@@ -1,0 +1,57 @@
+//! Criterion bench: symbols/second of the four decoder models — float
+//! reference, bit-accurate fixed-point, IR interpreter, and cycle-accurate
+//! RTL simulation — the abstraction-cost ladder of the flow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsp::{CFixed, Complex, Equalizer};
+use fixpt::Fixed;
+use hls_ir::Slot;
+use qam_decoder::{build_qam_decoder_ir, table1_architectures, table1_library, DecoderParams, IrDecoder, QamDecoderFixed};
+use rtl::{Fsmd, RtlSimulator};
+
+fn bench_models(c: &mut Criterion) {
+    let p = DecoderParams::default();
+    let x0 = CFixed::from_f64(0.3, -0.2, p.x_format());
+    let x1 = CFixed::from_f64(-0.1, 0.4, p.x_format());
+    let mut g = c.benchmark_group("decoder_models");
+
+    let mut float_eq = Equalizer::paper_64qam();
+    g.bench_function("float_reference", |b| {
+        b.iter(|| {
+            std::hint::black_box(float_eq.process(
+                Complex::new(0.3, -0.2),
+                Complex::new(-0.1, 0.4),
+                None,
+            ))
+        })
+    });
+
+    let mut fixed = QamDecoderFixed::new(p);
+    g.bench_function("fixed_bit_accurate", |b| {
+        b.iter(|| std::hint::black_box(fixed.decode([x0, x1])))
+    });
+
+    let mut ir = IrDecoder::new(p);
+    g.bench_function("ir_interpreter", |b| {
+        b.iter(|| std::hint::black_box(ir.decode(x0, x1).expect("runs")))
+    });
+
+    let ids = build_qam_decoder_ir(&p);
+    let arch = &table1_architectures()[0];
+    let r = hls_core::synthesize(&ids.func, &arch.directives, &table1_library()).expect("ok");
+    let mut sim = RtlSimulator::new(Fsmd::from_synthesis(&r));
+    let fmt = p.x_format();
+    g.bench_function("rtl_cycle_accurate", |b| {
+        b.iter(|| {
+            let re = Slot::Array(vec![Fixed::from_f64(0.3, fmt), Fixed::from_f64(-0.1, fmt)]);
+            let im = Slot::Array(vec![Fixed::from_f64(-0.2, fmt), Fixed::from_f64(0.4, fmt)]);
+            std::hint::black_box(
+                sim.run_call(&[(ids.x_in_re, re), (ids.x_in_im, im)]).expect("runs"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: cost of each flow stage in isolation — transforms,
+//! lowering, scheduling — over the decoder IR.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hls_core::{apply_loop_transforms, lower, schedule_dfg, Directives, TechLibrary};
+use qam_decoder::{build_qam_decoder_ir, DecoderParams};
+
+fn bench_stages(c: &mut Criterion) {
+    let ir = build_qam_decoder_ir(&DecoderParams::default());
+    let d = Directives::new(10.0);
+    let lib = TechLibrary::asic_100mhz();
+    let mut g = c.benchmark_group("flow_stages");
+
+    g.bench_function("build_ir", |b| {
+        b.iter(|| std::hint::black_box(build_qam_decoder_ir(&DecoderParams::default())))
+    });
+    g.bench_function("validate", |b| {
+        b.iter(|| std::hint::black_box(hls_ir::validate(&ir.func)))
+    });
+    g.bench_function("transforms", |b| {
+        b.iter(|| std::hint::black_box(apply_loop_transforms(&ir.func, &d)))
+    });
+    let t = apply_loop_transforms(&ir.func, &d);
+    g.bench_function("lowering", |b| b.iter(|| std::hint::black_box(lower(&t.func, &d))));
+    let lowered = lower(&t.func, &d);
+    g.bench_function("schedule_all_segments", |b| {
+        b.iter(|| {
+            for seg in &lowered.segments {
+                std::hint::black_box(
+                    schedule_dfg(seg.dfg(), &d, &lib, &|_| None).expect("schedules"),
+                );
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

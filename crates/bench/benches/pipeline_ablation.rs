@@ -1,0 +1,69 @@
+//! Criterion bench backing the paper's pipelining remark: for single-cycle
+//! loop bodies (the decoder), II=1 pipelining buys nothing over the rolled
+//! loop, while a genuinely multi-cycle body benefits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hls_core::{synthesize, Directives, TechLibrary};
+use hls_ir::{CmpOp, Expr, FunctionBuilder, Ty};
+use qam_decoder::{build_qam_decoder_ir, DecoderParams};
+
+/// A loop whose body chains two multiplies (2 cycles deep) — pipelining
+/// helps here.
+fn deep_body() -> hls_ir::Function {
+    let mut b = FunctionBuilder::new("deep");
+    let x = b.param_array("x", Ty::fixed(14, 2), 16);
+    let o = b.param_array("o", Ty::fixed(14, 2), 16);
+    b.for_loop("l", 0, CmpOp::Lt, 16, 1, |b, k| {
+        let t = Expr::mul(
+            Expr::mul(Expr::load(x, Expr::var(k)), Expr::load(x, Expr::var(k))),
+            Expr::load(x, Expr::var(k)),
+        );
+        b.store(o, Expr::var(k), t);
+    });
+    b.build()
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let lib = TechLibrary::asic_100mhz();
+    let mut g = c.benchmark_group("pipeline_ablation");
+
+    // The decoder: pipelined vs plain latency, measured through synthesis.
+    let ir = build_qam_decoder_ir(&DecoderParams::default());
+    let plain = synthesize(&ir.func, &Directives::new(10.0), &lib).expect("ok");
+    let piped = synthesize(
+        &ir.func,
+        &Directives::new(10.0).pipeline("ffe", 1).pipeline("ffe_adapt", 1),
+        &lib,
+    )
+    .expect("ok");
+    assert_eq!(
+        plain.metrics.latency_cycles, piped.metrics.latency_cycles,
+        "single-cycle bodies: pipelining must not help (the paper's claim)"
+    );
+
+    let deep = deep_body();
+    let deep_plain = synthesize(&deep, &Directives::new(10.0), &lib).expect("ok");
+    let deep_piped =
+        synthesize(&deep, &Directives::new(10.0).pipeline("l", 1), &lib).expect("ok");
+    assert!(
+        deep_piped.metrics.latency_cycles < deep_plain.metrics.latency_cycles,
+        "multi-cycle bodies must benefit from II=1"
+    );
+
+    g.bench_function("decoder_plain", |b| {
+        b.iter(|| std::hint::black_box(synthesize(&ir.func, &Directives::new(10.0), &lib)))
+    });
+    g.bench_function("decoder_pipelined", |b| {
+        b.iter(|| {
+            std::hint::black_box(synthesize(
+                &ir.func,
+                &Directives::new(10.0).pipeline("ffe", 1),
+                &lib,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

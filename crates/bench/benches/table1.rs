@@ -1,0 +1,24 @@
+//! Criterion bench: synthesis runtime for each Table-1 architecture (the
+//! paper's "architectural exploration performed in a matter of minutes" —
+//! here microseconds-to-milliseconds per run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qam_decoder::{build_qam_decoder_ir, table1_architectures, table1_library, DecoderParams};
+
+fn bench_table1(c: &mut Criterion) {
+    let ir = build_qam_decoder_ir(&DecoderParams::default());
+    let lib = table1_library();
+    let mut g = c.benchmark_group("table1_synthesis");
+    for arch in table1_architectures() {
+        g.bench_function(arch.name, |b| {
+            b.iter(|| {
+                let r = hls_core::synthesize(&ir.func, &arch.directives, &lib).expect("ok");
+                std::hint::black_box(r.metrics.latency_cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Extension bench: a full unroll x merge sweep over the decoder,
+//! including the pipelining ablation the paper describes in prose.
+
+use hls_core::{synthesize, Directives, MergePolicy, Unroll};
+use qam_decoder::{build_qam_decoder_ir, table1_library, DecoderParams, BITS_PER_CALL};
+
+fn main() {
+    let ir = build_qam_decoder_ir(&DecoderParams::default());
+    let lib = table1_library();
+    println!(
+        "{:<10} {:<8} {:>8} {:>9} {:>10} {:>8}",
+        "merge", "unroll", "cycles", "lat(ns)", "Mbps", "area"
+    );
+    for merge in [MergePolicy::Off, MergePolicy::ExactOnly, MergePolicy::AllowHazards] {
+        for u in [1u32, 2, 4] {
+            let mut d = Directives::new(10.0).merge_policy(merge);
+            if u > 1 {
+                for l in ["dfe", "dfe_adapt", "dfe_shift"] {
+                    d = d.unroll(l, Unroll::Factor(u));
+                }
+            }
+            match synthesize(&ir.func, &d, &lib) {
+                Ok(r) => println!(
+                    "{:<10} U={:<6} {:>8} {:>9.0} {:>10.1} {:>8.0}",
+                    format!("{merge:?}"),
+                    u,
+                    r.metrics.latency_cycles,
+                    r.metrics.latency_ns,
+                    r.metrics.data_rate_mbps(BITS_PER_CALL),
+                    r.metrics.area
+                ),
+                Err(e) => println!("{:<10} U={:<6} error: {e}", format!("{merge:?}"), u),
+            }
+        }
+    }
+
+    println!("\nPipelining ablation (the paper: no benefit for 1-cycle bodies):");
+    for (name, d) in [
+        ("plain", Directives::new(10.0)),
+        ("II=1 on ffe+adapt", Directives::new(10.0).pipeline("ffe", 1).pipeline("ffe_adapt", 1)),
+    ] {
+        let r = synthesize(&ir.func, &d, &lib).expect("synthesizes");
+        println!("  {:<20} {} cycles", name, r.metrics.latency_cycles);
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates Section 5's in-text latency accounting:
+//! 66 sequential loop cycles, 69 unmerged, 35 merged, 19 at U=2, 15 at U=2/4.
+
+use qam_decoder::{build_qam_decoder_ir, table1_architectures, table1_library, DecoderParams};
+
+fn main() {
+    let ir = build_qam_decoder_ir(&DecoderParams::default());
+    let trips: Vec<usize> = ir.func.loops().iter().map(|l| l.trip_count()).collect();
+    let sum: usize = trips.iter().sum();
+    println!("Six loops, sequential execution (Section 5):");
+    for (l, t) in ir.func.loops().iter().zip(&trips) {
+        println!("  {:<10} {t:>3} iterations", l.label);
+    }
+    println!("  total      {sum:>3} cycles   (paper: 8+16+8+16+3+15 = 66)\n");
+
+    for arch in table1_architectures() {
+        let r = hls_core::synthesize(&ir.func, &arch.directives, &table1_library())
+            .expect("synthesizes");
+        println!("{} -> {} cycles @10 ns:", arch.name, r.metrics.latency_cycles);
+        for s in &r.metrics.segments {
+            println!("  {:<12} trip {:>2} x depth {} = {:>2} cycles", s.name, s.trip, s.depth, s.cycles);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,50 @@
+//! Extension bench: Section 2.2's variable/array mapping trade-off.
+//! The decoder's arrays map to registers by default (unlimited parallel
+//! access); mapping the coefficient arrays to single-ported memories makes
+//! loads compete for ports and synchronous-read latency, stretching the
+//! schedule — the bandwidth coordination the paper describes in 2.4.
+
+use hls_core::{synthesize, ArrayMapping, Directives};
+use qam_decoder::{build_qam_decoder_ir, table1_library, DecoderParams, BITS_PER_CALL};
+
+fn main() {
+    let ir = build_qam_decoder_ir(&DecoderParams::default());
+    let lib = table1_library();
+    println!(
+        "{:<44} {:>8} {:>9} {:>8} {:>9}",
+        "array mapping", "cycles", "lat(ns)", "Mbps", "area"
+    );
+    let cases: Vec<(&str, Directives)> = vec![
+        ("all arrays in registers (default)", Directives::new(10.0)),
+        (
+            "dfe_c in 1R1W memory",
+            Directives::new(10.0)
+                .map_array("dfe_c_re", ArrayMapping::Memory { read_ports: 1, write_ports: 1 })
+                .map_array("dfe_c_im", ArrayMapping::Memory { read_ports: 1, write_ports: 1 }),
+        ),
+        (
+            "dfe_c + sv in 1R1W memories",
+            Directives::new(10.0)
+                .map_array("dfe_c_re", ArrayMapping::Memory { read_ports: 1, write_ports: 1 })
+                .map_array("dfe_c_im", ArrayMapping::Memory { read_ports: 1, write_ports: 1 })
+                .map_array("sv_re", ArrayMapping::Memory { read_ports: 1, write_ports: 1 })
+                .map_array("sv_im", ArrayMapping::Memory { read_ports: 1, write_ports: 1 }),
+        ),
+    ];
+    for (name, d) in cases {
+        match synthesize(&ir.func, &d, &lib) {
+            Ok(r) => println!(
+                "{:<44} {:>8} {:>9.0} {:>8.1} {:>9.0}",
+                name,
+                r.metrics.latency_cycles,
+                r.metrics.latency_ns,
+                r.metrics.data_rate_mbps(BITS_PER_CALL),
+                r.metrics.area
+            ),
+            Err(e) => println!("{name:<44} error: {e}"),
+        }
+    }
+    println!("\nSmall tap/coefficient arrays belong in registers (the default the");
+    println!("paper uses); memory mapping is the knob for designs whose arrays");
+    println!("would not fit — at a real throughput cost.");
+}

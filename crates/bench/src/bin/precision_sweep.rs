@@ -1,0 +1,64 @@
+//! Extension bench: Section 4.1's precision exploration — the paper
+//! parameterizes all bitwidths so "precision exploration" is a recompile.
+//! Sweeps coefficient width and reports steady-state MSE, SER and the
+//! synthesized area of the merged architecture.
+
+use dsp::{CFixed, Channel, Complex, ErrorCounter, MseTrace, QamConstellation, SymbolSource};
+use qam_decoder::{build_qam_decoder_ir, data_code, table1_library, DecoderParams, QamDecoderFixed};
+
+fn run_link(p: DecoderParams) -> (f64, f64) {
+    let qam = QamConstellation::new(64).expect("valid order");
+    let mut dec = QamDecoderFixed::new(p);
+    dec.set_ffe_tap(0, Complex::new(0.45, 0.0));
+    dec.set_ffe_tap(1, Complex::new(0.45, 0.0));
+    // No training input exists in Figure 4 ("we have not implemented
+    // details of how the training sequence is generated"), so the decoder
+    // must converge decision-directed: use a channel whose eye is open.
+    let mut ch = Channel::faint_isi(0.002, 3);
+    let mut src = SymbolSource::new(64, 5);
+    let mut mse = MseTrace::new(200);
+    let mut errs = ErrorCounter::new();
+    let settle = 2000;
+    for n in 0..(settle + 6000) {
+        let sym = src.next_symbol();
+        let point = qam.map(sym);
+        let x1 = ch.push(point);
+        let x0 = ch.push(point);
+        let out = dec.decode([
+            CFixed::from_complex(x0, p.x_format()),
+            CFixed::from_complex(x1, p.x_format()),
+        ]);
+        mse.push(out.error);
+        if n >= settle {
+            let (i_l, q_l) = qam.slice(point);
+            errs.record(data_code(i_l, q_l) as u32, out.data as u32, 6);
+        }
+    }
+    (mse.tail_mean(10), errs.ser())
+}
+
+fn main() {
+    println!(
+        "{:>7} {:>12} {:>10} {:>10}",
+        "coef_w", "MSE", "SER", "area"
+    );
+    for c_w in [10u32, 12, 14, 16, 18, 20] {
+        let p = DecoderParams { ffe_c_w: c_w, dfe_c_w: c_w, ..DecoderParams::default() };
+        let (mse, ser) = run_link(p);
+        // Area of the merged architecture at this width (clock relaxed so
+        // wider multipliers stay feasible).
+        let ir = build_qam_decoder_ir(&p);
+        let clock = if c_w > 14 { 16.0 } else { 10.0 };
+        let area = hls_core::synthesize(
+            &ir.func,
+            &hls_core::Directives::new(clock),
+            &table1_library(),
+        )
+        .map(|r| r.metrics.area)
+        .unwrap_or(f64::NAN);
+        println!("{c_w:>7} {mse:>12.2e} {ser:>10.2e} {area:>10.0}");
+    }
+    println!("\nThe paper's 10-bit coefficients cannot track (update underflow under");
+    println!("SC_TRN truncation). With noise dithering the link is clean from 16 bits;");
+    println!("18 bits (data width + mu_shift) guarantees every nonzero error resolves.");
+}

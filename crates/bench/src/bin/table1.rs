@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 1: four architectures of the 64-QAM
+//! decoder from one source, with latency, data rate and normalized area.
+
+fn main() {
+    println!("Table 1: Comparison of architectures generated from C synthesis");
+    println!("(measured by this reproduction vs the values the paper reports)\n");
+    print!("{}", bench_harness::render_table1());
+    println!("\nArea is normalized to the second (unmerged) design, as in the paper.");
+}

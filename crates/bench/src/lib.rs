@@ -1,0 +1,83 @@
+//! Shared harness code for the paper's tables and figures.
+//!
+//! Each artifact in the evaluation has a binary that regenerates it
+//! (`cargo run --release -p bench-harness --bin <name>`):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1: the four architectures |
+//! | `in_text_latencies` | Section 5's 66/69/35/19/15-cycle accounting |
+//! | `fig2_bitwidth` | Figure 2: counter-width inference vs template `N` |
+//! | `convergence` | Figure 3's behaviour: MSE convergence and SER |
+//! | `arch_sweep` | extension: unroll x merge ablation incl. pipelining |
+//! | `precision_sweep` | extension: Section 4.1's precision exploration |
+//! | `pareto` | extension: automatic design-space exploration |
+//! | `memory_ablation` | extension: Section 2.2's register-vs-memory mapping |
+//! | `clock_sweep` | extension: Section 1's delay-aware scheduling |
+//!
+//! Criterion benches (`cargo bench -p bench-harness`) measure the flow
+//! itself: synthesis runtime per architecture, decoder model throughput
+//! (float vs fixed vs interpreter vs RTL), and the pipelining ablation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hls_core::SynthesisResult;
+use qam_decoder::{build_qam_decoder_ir, table1_architectures, table1_library, Architecture, DecoderParams};
+
+/// Synthesizes one Table-1 architecture of the decoder.
+///
+/// # Panics
+///
+/// Panics if synthesis fails (the Table-1 design set is known-good).
+pub fn synthesize_architecture(arch: &Architecture) -> SynthesisResult {
+    let ir = build_qam_decoder_ir(&DecoderParams::default());
+    hls_core::synthesize(&ir.func, &arch.directives, &table1_library())
+        .expect("Table-1 architecture synthesizes")
+}
+
+/// Renders Table 1 (measured vs paper) as fixed-width text.
+pub fn render_table1() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:<34} {:>8} {:>8} | {:>8} {:>8} | {:>6} {:>6}",
+        "design", "loop constraints", "lat(ns)", "paper", "Mbps", "paper", "area", "paper"
+    );
+    let archs = table1_architectures();
+    let results: Vec<SynthesisResult> = archs.iter().map(synthesize_architecture).collect();
+    let baseline = results[1].metrics.area;
+    for (arch, r) in archs.iter().zip(&results) {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<34} {:>8.0} {:>8.0} | {:>8.1} {:>8.1} | {:>6.2} {:>6.2}",
+            arch.name,
+            arch.constraints,
+            r.metrics.latency_ns,
+            arch.paper.latency_ns,
+            r.metrics.data_rate_mbps(qam_decoder::BITS_PER_CALL),
+            arch.paper.data_rate_mbps,
+            r.metrics.area / baseline,
+            arch.paper.area_normalized,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_renders_four_rows() {
+        let t = render_table1();
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5); // header + 4 rows
+        assert!(t.contains("merged"));
+        assert!(t.contains("350"));
+        assert!(t.contains("690"));
+        assert!(t.contains("190"));
+        assert!(t.contains("150"));
+    }
+}

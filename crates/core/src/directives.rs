@@ -1,0 +1,251 @@
+//! Architectural directives: the designer's synthesis guidance.
+//!
+//! Section 2 of the paper lists the main architectural transformations —
+//! interface synthesis, variable/array mapping, loop pipelining, loop
+//! unrolling and scheduling constraints. Directives are the knobs that
+//! select between them without touching the source, which is how Table 1's
+//! four architectures were produced from one C function.
+
+use std::collections::BTreeMap;
+
+/// How a loop is unrolled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Unroll {
+    /// Keep the loop rolled (the default).
+    #[default]
+    None,
+    /// Partial unroll by the given factor (the paper's `U=2`, `U=4`).
+    Factor(u32),
+    /// Fully unroll: the loop disappears into straight-line code.
+    Full,
+}
+
+impl Unroll {
+    /// The replication factor for a loop of `trip` iterations.
+    pub fn factor(self, trip: usize) -> usize {
+        match self {
+            Unroll::None => 1,
+            Unroll::Factor(f) => (f.max(1) as usize).min(trip.max(1)),
+            Unroll::Full => trip.max(1),
+        }
+    }
+}
+
+/// Per-loop directives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoopDirective {
+    /// Unrolling for this loop.
+    pub unroll: Unroll,
+    /// Pipeline the loop with the given initiation interval. `None` leaves
+    /// the loop unpipelined.
+    pub pipeline_ii: Option<u32>,
+    /// Exclude the loop from automatic merging even when merging is enabled.
+    pub no_merge: bool,
+}
+
+/// Legality policy for loop merging (see `transform::merge` for the
+/// dependence analysis behind it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergePolicy {
+    /// Merge adjacent loops even when cross-iteration hazards on shared
+    /// arrays are detected. This mirrors the paper's tool behaviour, whose
+    /// default-constraint run merged the adaptation and shift loops; the
+    /// hazards perturb only the sign-LMS gradient (quantified in tests).
+    #[default]
+    AllowHazards,
+    /// Merge only when the interleaving is provably bit-exact.
+    ExactOnly,
+    /// Never merge.
+    Off,
+}
+
+/// How an array is realized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArrayMapping {
+    /// Split into individual registers: unlimited parallel access (the
+    /// right choice for the decoder's small tap/coefficient arrays).
+    #[default]
+    Registers,
+    /// Map to a synchronous memory with the given port counts; accesses
+    /// compete for ports and take a full cycle.
+    Memory {
+        /// Simultaneous read ports.
+        read_ports: u32,
+        /// Simultaneous write ports.
+        write_ports: u32,
+    },
+}
+
+/// How a parameter is exposed at the design boundary (interface synthesis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InterfaceKind {
+    /// Plain wires, sampled at start (inputs) or driven continuously.
+    Wire,
+    /// Registered with a start/done handshake; out-parameters written in a
+    /// dedicated completion state (the paper's registered `*data` output).
+    #[default]
+    RegisterHandshake,
+    /// Array exposed as a memory interface port.
+    Memory,
+    /// Array streamed over time, one element per transfer (the paper's
+    /// `uint10 x[1024]` example in Section 2.1).
+    Stream,
+}
+
+/// The complete directive set for one synthesis run.
+///
+/// # Examples
+///
+/// ```
+/// use hls_core::{Directives, Unroll};
+///
+/// // The paper's third architecture: merging on, U=2 on the 16-iteration
+/// // loops.
+/// let d = Directives::new(10.0)
+///     .unroll("dfe", Unroll::Factor(2))
+///     .unroll("dfe_adapt", Unroll::Factor(2))
+///     .unroll("dfe_shift", Unroll::Factor(2));
+/// assert_eq!(d.loop_directive("dfe").unroll, Unroll::Factor(2));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Directives {
+    /// Target clock period in nanoseconds.
+    pub clock_period_ns: f64,
+    /// Loop merging policy (the tool default enables merging).
+    pub merge_policy: MergePolicy,
+    /// Per-loop directives, keyed by loop label.
+    pub loops: BTreeMap<String, LoopDirective>,
+    /// Per-array mapping, keyed by variable name.
+    pub arrays: BTreeMap<String, ArrayMapping>,
+    /// Per-parameter interface kinds, keyed by parameter name.
+    pub interfaces: BTreeMap<String, InterfaceKind>,
+    /// Optional cap on functional units per class (scheduling resource
+    /// constraint); keys are `OpClass` display names.
+    pub fu_limits: BTreeMap<String, u32>,
+}
+
+impl Directives {
+    /// Creates a directive set with the given clock period and the tool
+    /// defaults: merging enabled, no unrolling, arrays in registers,
+    /// register-handshake interfaces.
+    pub fn new(clock_period_ns: f64) -> Self {
+        Directives {
+            clock_period_ns,
+            merge_policy: MergePolicy::default(),
+            loops: BTreeMap::new(),
+            arrays: BTreeMap::new(),
+            interfaces: BTreeMap::new(),
+            fu_limits: BTreeMap::new(),
+        }
+    }
+
+    /// Disables loop merging (the paper's second architecture: "none").
+    pub fn no_merging(mut self) -> Self {
+        self.merge_policy = MergePolicy::Off;
+        self
+    }
+
+    /// Sets the merge policy.
+    pub fn merge_policy(mut self, policy: MergePolicy) -> Self {
+        self.merge_policy = policy;
+        self
+    }
+
+    /// Sets the unroll factor of one loop.
+    pub fn unroll(mut self, label: &str, unroll: Unroll) -> Self {
+        self.loops.entry(label.to_string()).or_default().unroll = unroll;
+        self
+    }
+
+    /// Pipelines one loop with the given initiation interval.
+    pub fn pipeline(mut self, label: &str, ii: u32) -> Self {
+        self.loops.entry(label.to_string()).or_default().pipeline_ii = Some(ii);
+        self
+    }
+
+    /// Excludes one loop from merging.
+    pub fn no_merge(mut self, label: &str) -> Self {
+        self.loops.entry(label.to_string()).or_default().no_merge = true;
+        self
+    }
+
+    /// Maps one array variable.
+    pub fn map_array(mut self, var: &str, mapping: ArrayMapping) -> Self {
+        self.arrays.insert(var.to_string(), mapping);
+        self
+    }
+
+    /// Sets the interface kind of one parameter.
+    pub fn interface(mut self, param: &str, kind: InterfaceKind) -> Self {
+        self.interfaces.insert(param.to_string(), kind);
+        self
+    }
+
+    /// Caps the number of functional units of one class.
+    pub fn limit_fu(mut self, class: crate::tech::OpClass, max: u32) -> Self {
+        self.fu_limits.insert(class.to_string(), max);
+        self
+    }
+
+    /// The directive for a loop (defaults when unset).
+    pub fn loop_directive(&self, label: &str) -> LoopDirective {
+        self.loops.get(label).copied().unwrap_or_default()
+    }
+
+    /// The mapping for an array (registers when unset).
+    pub fn array_mapping(&self, var: &str) -> ArrayMapping {
+        self.arrays.get(var).copied().unwrap_or_default()
+    }
+
+    /// The interface kind for a parameter (register-handshake when unset).
+    pub fn interface_kind(&self, param: &str) -> InterfaceKind {
+        self.interfaces.get(param).copied().unwrap_or_default()
+    }
+
+    /// The FU limit for a class, if any.
+    pub fn fu_limit(&self, class: crate::tech::OpClass) -> Option<u32> {
+        self.fu_limits.get(&class.to_string()).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::OpClass;
+
+    #[test]
+    fn defaults_match_tool_defaults() {
+        let d = Directives::new(10.0);
+        assert_eq!(d.merge_policy, MergePolicy::AllowHazards);
+        assert_eq!(d.loop_directive("anything").unroll, Unroll::None);
+        assert_eq!(d.array_mapping("x"), ArrayMapping::Registers);
+        assert_eq!(d.interface_kind("data"), InterfaceKind::RegisterHandshake);
+        assert_eq!(d.fu_limit(OpClass::Mul), None);
+    }
+
+    #[test]
+    fn unroll_factor_semantics() {
+        assert_eq!(Unroll::None.factor(16), 1);
+        assert_eq!(Unroll::Factor(2).factor(16), 2);
+        assert_eq!(Unroll::Factor(32).factor(16), 16); // clamped to trip
+        assert_eq!(Unroll::Full.factor(16), 16);
+        assert_eq!(Unroll::Factor(0).factor(16), 1); // degenerate
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let d = Directives::new(10.0)
+            .no_merging()
+            .unroll("dfe", Unroll::Factor(2))
+            .pipeline("ffe", 1)
+            .map_array("x", ArrayMapping::Memory { read_ports: 1, write_ports: 1 })
+            .interface("data", InterfaceKind::Wire)
+            .limit_fu(OpClass::Mul, 4);
+        assert_eq!(d.merge_policy, MergePolicy::Off);
+        assert_eq!(d.loop_directive("dfe").unroll, Unroll::Factor(2));
+        assert_eq!(d.loop_directive("ffe").pipeline_ii, Some(1));
+        assert!(matches!(d.array_mapping("x"), ArrayMapping::Memory { .. }));
+        assert_eq!(d.interface_kind("data"), InterfaceKind::Wire);
+        assert_eq!(d.fu_limit(OpClass::Mul), Some(4));
+    }
+}

@@ -1,0 +1,77 @@
+//! Synthesis errors.
+
+use std::fmt;
+
+/// Failure to synthesize a design.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthesisError {
+    /// The input IR failed validation.
+    InvalidIr {
+        /// The validation messages.
+        problems: Vec<String>,
+    },
+    /// A directive referenced a loop label that does not exist.
+    UnknownLoop {
+        /// The missing label.
+        label: String,
+    },
+    /// A directive referenced an array/parameter name that does not exist.
+    UnknownVariable {
+        /// The missing name.
+        name: String,
+    },
+    /// A single operation is slower than the clock period.
+    InfeasibleClock {
+        /// Description of the offending operation.
+        op: String,
+        /// Its propagation delay in nanoseconds.
+        delay_ns: f64,
+        /// The requested clock period.
+        clock_ns: f64,
+    },
+    /// A requested pipeline initiation interval is below the minimum forced
+    /// by recurrences or resource limits.
+    InfeasibleInitiationInterval {
+        /// The loop label.
+        label: String,
+        /// The requested II.
+        requested: u32,
+        /// The minimum achievable II.
+        minimum: u32,
+    },
+    /// The scheduler could not place all operations (over-constrained
+    /// resources).
+    Unschedulable {
+        /// Human-readable context.
+        context: String,
+    },
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::InvalidIr { problems } => {
+                write!(f, "input IR failed validation: {}", problems.join("; "))
+            }
+            SynthesisError::UnknownLoop { label } => {
+                write!(f, "directive references unknown loop `{label}`")
+            }
+            SynthesisError::UnknownVariable { name } => {
+                write!(f, "directive references unknown variable `{name}`")
+            }
+            SynthesisError::InfeasibleClock { op, delay_ns, clock_ns } => write!(
+                f,
+                "operation {op} needs {delay_ns:.2} ns but the clock period is {clock_ns:.2} ns"
+            ),
+            SynthesisError::InfeasibleInitiationInterval { label, requested, minimum } => write!(
+                f,
+                "loop `{label}` cannot be pipelined at II={requested}; minimum is {minimum}"
+            ),
+            SynthesisError::Unschedulable { context } => {
+                write!(f, "scheduling failed: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}

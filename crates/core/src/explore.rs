@@ -1,0 +1,218 @@
+//! Automatic design-space exploration.
+//!
+//! The paper's methodology pitch is that "a variety of micro architectures
+//! can be rapidly explored". This module automates the exploration the
+//! paper's designer did by hand: sweep unroll factors (and optionally the
+//! merge policy) over every loop, synthesize each point, and keep the
+//! latency/area Pareto frontier.
+
+use crate::directives::{Directives, MergePolicy, Unroll};
+use crate::error::SynthesisError;
+use crate::synthesize::synthesize;
+use crate::tech::TechLibrary;
+use hls_ir::Function;
+
+/// One explored design point.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// The directives that produced it.
+    pub directives: Directives,
+    /// Human-readable description of the knob settings.
+    pub label: String,
+    /// Latency in cycles.
+    pub latency_cycles: u64,
+    /// Area (abstract units).
+    pub area: f64,
+}
+
+impl DesignPoint {
+    /// `true` if `self` dominates `other` (no worse on both axes, better on
+    /// at least one).
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        (self.latency_cycles <= other.latency_cycles && self.area <= other.area)
+            && (self.latency_cycles < other.latency_cycles || self.area < other.area)
+    }
+}
+
+/// Exploration configuration.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Clock period for every point.
+    pub clock_period_ns: f64,
+    /// Unroll factors to try per loop (1 = rolled). The sweep applies one
+    /// factor to *all* loops of trip count ≥ factor per point, plus the
+    /// per-loop refinements below.
+    pub unroll_factors: Vec<u32>,
+    /// Merge policies to try.
+    pub merge_policies: Vec<MergePolicy>,
+    /// Also try per-loop unrolling of each individual loop (on top of the
+    /// uniform sweep) — finds asymmetric winners like the paper's fourth
+    /// architecture.
+    pub per_loop_refinement: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            clock_period_ns: 10.0,
+            unroll_factors: vec![1, 2, 4],
+            merge_policies: vec![MergePolicy::Off, MergePolicy::AllowHazards],
+            per_loop_refinement: true,
+        }
+    }
+}
+
+/// The exploration outcome.
+#[derive(Debug, Clone)]
+pub struct ExploreResult {
+    /// Every feasible point evaluated, in evaluation order.
+    pub points: Vec<DesignPoint>,
+    /// Points that failed to synthesize, with their errors.
+    pub failures: Vec<(String, SynthesisError)>,
+}
+
+impl ExploreResult {
+    /// The latency/area Pareto frontier, sorted by latency.
+    pub fn pareto(&self) -> Vec<&DesignPoint> {
+        let mut frontier: Vec<&DesignPoint> = self
+            .points
+            .iter()
+            .filter(|p| !self.points.iter().any(|q| q.dominates(p)))
+            .collect();
+        frontier.sort_by_key(|p| (p.latency_cycles, p.area as u64));
+        frontier.dedup_by(|a, b| a.latency_cycles == b.latency_cycles && a.area == b.area);
+        frontier
+    }
+
+    /// The fastest feasible point.
+    pub fn fastest(&self) -> Option<&DesignPoint> {
+        self.points.iter().min_by_key(|p| p.latency_cycles)
+    }
+
+    /// The smallest feasible point.
+    pub fn smallest(&self) -> Option<&DesignPoint> {
+        self.points
+            .iter()
+            .min_by(|a, b| a.area.partial_cmp(&b.area).expect("finite areas"))
+    }
+}
+
+/// Explores the design space of `func` under `config`.
+pub fn explore(func: &Function, config: &ExploreConfig, lib: &TechLibrary) -> ExploreResult {
+    let labels = func.loop_labels();
+    let mut candidates: Vec<(String, Directives)> = Vec::new();
+
+    for &policy in &config.merge_policies {
+        for &u in &config.unroll_factors {
+            let mut d = Directives::new(config.clock_period_ns).merge_policy(policy);
+            if u > 1 {
+                for l in &labels {
+                    d = d.unroll(l, Unroll::Factor(u));
+                }
+            }
+            candidates.push((format!("{policy:?} U{u} (all loops)"), d));
+            if config.per_loop_refinement && u > 1 {
+                for target in &labels {
+                    let d = Directives::new(config.clock_period_ns)
+                        .merge_policy(policy)
+                        .unroll(target, Unroll::Factor(u));
+                    candidates.push((format!("{policy:?} U{u} ({target})"), d));
+                }
+            }
+        }
+    }
+
+    let mut points = Vec::new();
+    let mut failures = Vec::new();
+    for (label, d) in candidates {
+        match synthesize(func, &d, lib) {
+            Ok(r) => points.push(DesignPoint {
+                directives: d,
+                label,
+                latency_cycles: r.metrics.latency_cycles,
+                area: r.metrics.area,
+            }),
+            Err(e) => failures.push((label, e)),
+        }
+    }
+    ExploreResult { points, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::{CmpOp, Expr, FunctionBuilder, Ty};
+
+    fn two_loops() -> Function {
+        let mut b = FunctionBuilder::new("t");
+        let x = b.param_array("x", Ty::fixed(10, 0), 8);
+        let y = b.param_array("y", Ty::fixed(10, 0), 16);
+        let out = b.param_scalar("out", Ty::fixed(20, 6));
+        let a1 = b.local("a1", Ty::fixed(20, 6));
+        let a2 = b.local("a2", Ty::fixed(20, 6));
+        b.assign(a1, Expr::int_const(0));
+        b.for_loop("l1", 0, CmpOp::Lt, 8, 1, |b, k| {
+            b.assign(a1, Expr::add(Expr::var(a1), Expr::load(x, Expr::var(k))));
+        });
+        b.assign(a2, Expr::int_const(0));
+        b.for_loop("l2", 0, CmpOp::Lt, 16, 1, |b, k| {
+            b.assign(a2, Expr::add(Expr::var(a2), Expr::load(y, Expr::var(k))));
+        });
+        b.assign(out, Expr::add(Expr::var(a1), Expr::var(a2)));
+        b.build()
+    }
+
+    #[test]
+    fn exploration_finds_points_and_frontier() {
+        let f = two_loops();
+        let r = explore(&f, &ExploreConfig::default(), &TechLibrary::asic_100mhz());
+        assert!(r.points.len() >= 6, "{} points", r.points.len());
+        let pareto = r.pareto();
+        assert!(!pareto.is_empty());
+        // Frontier is sorted by latency and strictly improving in area.
+        for w in pareto.windows(2) {
+            assert!(w[0].latency_cycles <= w[1].latency_cycles);
+            assert!(w[0].area >= w[1].area, "frontier must trade area for speed");
+        }
+        // The fastest point is on the frontier.
+        let fastest = r.fastest().expect("points exist");
+        assert!(pareto.iter().any(|p| p.latency_cycles == fastest.latency_cycles));
+    }
+
+    #[test]
+    fn dominance_is_strict() {
+        let a = DesignPoint {
+            directives: Directives::new(10.0),
+            label: "a".into(),
+            latency_cycles: 10,
+            area: 100.0,
+        };
+        let b = DesignPoint { latency_cycles: 10, area: 100.0, label: "b".into(), ..a.clone() };
+        assert!(!a.dominates(&b), "equal points do not dominate");
+        let c = DesignPoint { latency_cycles: 9, area: 100.0, label: "c".into(), ..a.clone() };
+        assert!(c.dominates(&a));
+        assert!(!a.dominates(&c));
+    }
+
+    #[test]
+    fn merging_appears_on_the_frontier() {
+        // For back-to-back independent loops, merging is pure win on
+        // latency; the frontier must include a merged point as its fast end
+        // relative to the unmerged rolled design.
+        let f = two_loops();
+        let cfg = ExploreConfig {
+            unroll_factors: vec![1],
+            merge_policies: vec![MergePolicy::Off, MergePolicy::AllowHazards],
+            per_loop_refinement: false,
+            ..ExploreConfig::default()
+        };
+        let r = explore(&f, &cfg, &TechLibrary::asic_100mhz());
+        let off = r.points.iter().find(|p| p.label.contains("Off")).expect("off point");
+        let merged = r
+            .points
+            .iter()
+            .find(|p| p.label.contains("AllowHazards"))
+            .expect("merged point");
+        assert!(merged.latency_cycles < off.latency_cycles);
+    }
+}

@@ -1,0 +1,228 @@
+//! Designer-facing reports: bill of materials, Gantt chart, critical path.
+//!
+//! Section 3.2 of the paper describes finding width problems "by examining
+//! the bill-of-materials report, the critical-path report, or by careful
+//! examination of the schedule (Gantt chart)". These are those reports.
+
+use std::fmt::Write as _;
+
+use crate::allocate::Allocation;
+use crate::dfg::NodeKind;
+use crate::lower::Lowered;
+use crate::metrics::DesignMetrics;
+use crate::schedule::Schedule;
+
+/// Renders the bill of materials: every allocated resource with its area.
+pub fn bill_of_materials(alloc: &Allocation) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Bill of materials");
+    let _ = writeln!(out, "{:<10} {:>6} {:>7} {:>9} {:>10} {:>10}", "class", "count", "width", "bound", "fu area", "mux area");
+    for g in &alloc.fu_groups {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>7} {:>9} {:>10.0} {:>10.0}",
+            g.class.to_string(),
+            g.count,
+            g.width,
+            g.bound_ops,
+            g.fu_area,
+            g.mux_area
+        );
+    }
+    let _ = writeln!(out, "registers: {} state bits + {} temp bits = {:.0} area", alloc.state_bits, alloc.temp_bits, alloc.reg_area);
+    let _ = writeln!(out, "controller: {} states = {:.0} area", alloc.fsm_states, alloc.ctrl_area);
+    let _ = writeln!(out, "total area: {:.0}", alloc.total_area);
+    out
+}
+
+/// Renders a text Gantt chart of one segment's schedule: one row per
+/// operation, columns are cycles, `#` marks occupancy with chaining offsets
+/// shown as start times.
+pub fn gantt_chart(lowered: &Lowered, schedules: &[Schedule]) -> String {
+    let mut out = String::new();
+    for (seg, sched) in lowered.segments.iter().zip(schedules) {
+        let _ = writeln!(out, "== segment {} (depth {} cycles) ==", seg.name(), sched.depth);
+        let dfg = seg.dfg();
+        for cycle in 0..sched.depth {
+            let _ = writeln!(out, " cycle {cycle}:");
+            for id in sched.nodes_in_cycle(cycle) {
+                let n = dfg.node(id);
+                let desc = describe(lowered, &n.kind);
+                let _ = writeln!(
+                    out,
+                    "   [{:>5.2} - {:>5.2} ns] {:<18} ({} bits)",
+                    sched.node_start_ns[id.index()],
+                    sched.node_end_ns[id.index()],
+                    desc,
+                    n.format.width()
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders the critical-path report: the longest register-to-register chain
+/// with the operations along it.
+pub fn critical_path_report(lowered: &Lowered, schedules: &[Schedule]) -> String {
+    // Find the node with the largest end time; walk back through the
+    // same-cycle predecessor with the largest end time.
+    let mut best: Option<(usize, u32, f64)> = None; // (segment, cycle, end)
+    for (si, sched) in schedules.iter().enumerate() {
+        for i in 0..sched.node_end_ns.len() {
+            let end = sched.node_end_ns[i];
+            if best.map(|(_, _, e)| end > e).unwrap_or(true) {
+                best = Some((si, sched.node_cycle[i], end));
+            }
+        }
+    }
+    let Some((si, cycle, end)) = best else {
+        return "critical path: empty design".to_string();
+    };
+    let sched = &schedules[si];
+    let seg = &lowered.segments[si];
+    let dfg = seg.dfg();
+    // Terminal node of the path.
+    let mut cur = (0..sched.node_end_ns.len())
+        .filter(|i| sched.node_cycle[*i] == cycle)
+        .max_by(|a, b| sched.node_end_ns[*a].partial_cmp(&sched.node_end_ns[*b]).expect("finite"))
+        .expect("nonempty cycle");
+    let mut chain = vec![cur];
+    loop {
+        let n = &dfg.nodes()[cur];
+        let prev = n
+            .preds
+            .iter()
+            .filter(|p| sched.node_cycle[p.index()] == cycle)
+            .max_by(|a, b| {
+                sched.node_end_ns[a.index()]
+                    .partial_cmp(&sched.node_end_ns[b.index()])
+                    .expect("finite")
+            });
+        match prev {
+            Some(p) => {
+                chain.push(p.index());
+                cur = p.index();
+            }
+            None => break,
+        }
+    }
+    chain.reverse();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "critical path: {end:.2} ns in segment {} cycle {cycle}",
+        seg.name()
+    );
+    for i in chain {
+        let _ = writeln!(
+            out,
+            "  [{:>5.2} - {:>5.2} ns] {}",
+            sched.node_start_ns[i],
+            sched.node_end_ns[i],
+            describe(lowered, &dfg.nodes()[i].kind)
+        );
+    }
+    out
+}
+
+/// Renders the architecture summary used by the examples.
+pub fn summary(metrics: &DesignMetrics, lowered: &Lowered) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{metrics}");
+    let _ = writeln!(out, "ports:");
+    for p in &lowered.ports {
+        let _ = writeln!(
+            out,
+            "  {:<10} {:<6} {:?} {} bits x {}",
+            p.name,
+            p.direction.to_string(),
+            p.kind,
+            p.width,
+            p.elements
+        );
+    }
+    out
+}
+
+fn describe(lowered: &Lowered, kind: &NodeKind) -> String {
+    match kind {
+        NodeKind::Const(c) => format!("const {c}"),
+        NodeKind::VarRead(v) => format!("read {}", lowered.func.var(*v).name),
+        NodeKind::VarWrite(v) => format!("write {}", lowered.func.var(*v).name),
+        NodeKind::Bin(op) => format!("{op:?}").to_lowercase(),
+        NodeKind::MulPow2 => "mul_pow2".to_string(),
+        NodeKind::Un(op) => format!("{op:?}").to_lowercase(),
+        NodeKind::Cmp(op) => format!("cmp{op}"),
+        NodeKind::Mux => "mux".to_string(),
+        NodeKind::EnableMux => "enable_mux".to_string(),
+        NodeKind::Cast(..) => "cast".to_string(),
+        NodeKind::Load(a) => format!("load {}", lowered.func.var(*a).name),
+        NodeKind::Store(a) => format!("store {}", lowered.func.var(*a).name),
+        NodeKind::StoreCond(a) => format!("store? {}", lowered.func.var(*a).name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directives::Directives;
+    use crate::lower::lower;
+    use crate::schedule::schedule_dfg;
+    use crate::tech::TechLibrary;
+    use hls_ir::{CmpOp, Expr, FunctionBuilder, Ty};
+
+    fn setup() -> (Lowered, Vec<Schedule>, Allocation) {
+        let mut b = FunctionBuilder::new("r");
+        let x = b.param_array("x", Ty::fixed(10, 0), 4);
+        let out = b.param_scalar("out", Ty::fixed(22, 2));
+        let acc = b.local("acc", Ty::fixed(22, 2));
+        b.assign(acc, Expr::int_const(0));
+        b.for_loop("mac", 0, CmpOp::Lt, 4, 1, |b, k| {
+            b.assign(
+                acc,
+                Expr::add(
+                    Expr::var(acc),
+                    Expr::mul(Expr::load(x, Expr::var(k)), Expr::load(x, Expr::var(k))),
+                ),
+            );
+        });
+        b.assign(out, Expr::var(acc));
+        let f = b.build();
+        let d = Directives::new(10.0);
+        let lib = TechLibrary::asic_100mhz();
+        let lowered = lower(&f, &d);
+        let schedules: Vec<Schedule> = lowered
+            .segments
+            .iter()
+            .map(|s| schedule_dfg(s.dfg(), &d, &lib, &|_| None).expect("schedules"))
+            .collect();
+        let alloc = crate::allocate::allocate(&lowered.func, &lowered, &schedules, &d, &lib);
+        (lowered, schedules, alloc)
+    }
+
+    #[test]
+    fn bom_lists_multiplier() {
+        let (_, _, alloc) = setup();
+        let bom = bill_of_materials(&alloc);
+        assert!(bom.contains("mul"), "{bom}");
+        assert!(bom.contains("total area"), "{bom}");
+    }
+
+    #[test]
+    fn gantt_shows_segments_and_ops() {
+        let (lowered, schedules, _) = setup();
+        let g = gantt_chart(&lowered, &schedules);
+        assert!(g.contains("segment mac"), "{g}");
+        assert!(g.contains("mul"), "{g}");
+        assert!(g.contains("cycle 0"), "{g}");
+    }
+
+    #[test]
+    fn critical_path_names_the_chain() {
+        let (lowered, schedules, _) = setup();
+        let r = critical_path_report(&lowered, &schedules);
+        assert!(r.contains("critical path:"), "{r}");
+        assert!(r.contains("ns"), "{r}");
+    }
+}

@@ -1,0 +1,422 @@
+//! Resource-constrained list scheduling with operator chaining.
+//!
+//! Scheduling "transforms the sequential specification into an architecture
+//! with a well defined cycle-by-cycle behavior" (Section 2.5). Nodes are
+//! placed into cycles in priority order (longest combinational path first);
+//! a node may *chain* combinationally after a same-cycle predecessor as long
+//! as the accumulated delay fits the clock period, which is what lets a
+//! complete complex MAC execute in a single 10 ns cycle.
+
+use std::collections::BTreeMap;
+
+use hls_ir::VarId;
+
+use crate::dfg::{Dfg, NodeId, NodeKind};
+use crate::directives::Directives;
+use crate::error::SynthesisError;
+use crate::tech::{OpClass, TechLibrary};
+
+/// The cycle-by-cycle placement of one DFG.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Cycle of each node (indexed by [`NodeId::index`]).
+    pub node_cycle: Vec<u32>,
+    /// Start time of each node within its cycle (ns).
+    pub node_start_ns: Vec<f64>,
+    /// End time of each node within its cycle (ns).
+    pub node_end_ns: Vec<f64>,
+    /// Number of cycles the region occupies.
+    pub depth: u32,
+    /// Operator class per node (resolved against the array mappings).
+    pub node_class: Vec<OpClass>,
+    /// Width used for delay/area characterization per node (operand width
+    /// for multipliers, output width otherwise).
+    pub node_width: Vec<u32>,
+}
+
+impl Schedule {
+    /// Nodes placed in `cycle`, in start-time order.
+    pub fn nodes_in_cycle(&self, cycle: u32) -> Vec<NodeId> {
+        let mut v: Vec<usize> = (0..self.node_cycle.len())
+            .filter(|i| self.node_cycle[*i] == cycle)
+            .collect();
+        v.sort_by(|a, b| {
+            self.node_start_ns[*a]
+                .partial_cmp(&self.node_start_ns[*b])
+                .expect("finite start times")
+        });
+        v.into_iter().map(|i| NodeId(i as u32)).collect()
+    }
+
+    /// The longest combinational path in any cycle (critical path, ns).
+    pub fn critical_path_ns(&self) -> f64 {
+        self.node_end_ns.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// Schedules one DFG.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::InfeasibleClock`] when a single operation is
+/// slower than the clock period and [`SynthesisError::Unschedulable`] when
+/// resource constraints cannot be met.
+pub fn schedule_dfg(
+    dfg: &Dfg,
+    directives: &Directives,
+    lib: &TechLibrary,
+    mem_ports: &dyn Fn(VarId) -> Option<(u32, u32)>,
+) -> Result<Schedule, SynthesisError> {
+    let is_memory = |v: VarId| mem_ports(v).is_some();
+    let clock = directives.clock_period_ns;
+    let n = dfg.len();
+    let classes: Vec<OpClass> = dfg.nodes().iter().map(|nd| nd.op_class(&is_memory)).collect();
+    let char_widths: Vec<u32> = dfg
+        .nodes()
+        .iter()
+        .map(|nd| match &nd.kind {
+            NodeKind::Bin(hls_ir::BinOp::Mul) => nd
+                .preds
+                .iter()
+                .take(2)
+                .map(|p| dfg.node(*p).format.width())
+                .max()
+                .unwrap_or(nd.format.width()),
+            _ => nd.format.width(),
+        })
+        .collect();
+    let delays: Vec<f64> = classes
+        .iter()
+        .zip(&char_widths)
+        .map(|(class, width)| lib.delay(*class, *width))
+        .collect();
+
+    for (i, d) in delays.iter().enumerate() {
+        if *d > clock {
+            return Err(SynthesisError::InfeasibleClock {
+                op: format!("{:?} ({} bits)", dfg.nodes()[i].kind, dfg.nodes()[i].format.width()),
+                delay_ns: *d,
+                clock_ns: clock,
+            });
+        }
+    }
+
+    // Successor lists and priorities (longest path to a sink, in ns).
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, nd) in dfg.nodes().iter().enumerate() {
+        for p in &nd.preds {
+            succs[p.index()].push(i);
+        }
+    }
+    let mut priority = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let down = succs[i].iter().map(|s| priority[*s]).fold(0.0, f64::max);
+        priority[i] = delays[i] + down;
+    }
+
+    let mut node_cycle = vec![u32::MAX; n];
+    let mut node_start = vec![0.0f64; n];
+    let mut node_end = vec![0.0f64; n];
+    let mut remaining = n;
+    let mut cycle: u32 = 0;
+    // Per-cycle resource usage.
+    let max_cycles = (n as u32 + 4) * 4 + 64;
+
+    while remaining > 0 {
+        if cycle > max_cycles {
+            return Err(SynthesisError::Unschedulable {
+                context: format!("{remaining} operations left after {cycle} cycles"),
+            });
+        }
+        let mut fu_used: BTreeMap<OpClass, u32> = BTreeMap::new();
+        let mut mem_reads: BTreeMap<VarId, u32> = BTreeMap::new();
+        let mut mem_writes: BTreeMap<VarId, u32> = BTreeMap::new();
+        loop {
+            // Ready nodes: all preds scheduled in earlier cycles or already
+            // placed in this one.
+            let mut ready: Vec<usize> = (0..n)
+                .filter(|&i| {
+                    node_cycle[i] == u32::MAX
+                        && dfg.nodes()[i].preds.iter().all(|p| node_cycle[p.index()] <= cycle)
+                })
+                .collect();
+            ready.sort_by(|a, b| {
+                priority[*b].partial_cmp(&priority[*a]).expect("finite priorities")
+            });
+            let mut placed_any = false;
+            for i in ready {
+                let nd = &dfg.nodes()[i];
+                let start = nd
+                    .preds
+                    .iter()
+                    .map(|p| if node_cycle[p.index()] == cycle { node_end[p.index()] } else { 0.0 })
+                    .fold(0.0, f64::max);
+                if start + delays[i] > clock {
+                    continue; // must wait for the next cycle
+                }
+                let class = classes[i];
+                if let Some(limit) = directives.fu_limit(class) {
+                    if fu_used.get(&class).copied().unwrap_or(0) >= limit {
+                        continue;
+                    }
+                }
+                if let Some(arr) = nd.accessed_array() {
+                    if let Some((rp, wp)) = mem_ports(arr) {
+                        match class {
+                            OpClass::MemRead => {
+                                if mem_reads.get(&arr).copied().unwrap_or(0) >= rp {
+                                    continue;
+                                }
+                            }
+                            OpClass::MemWrite => {
+                                if mem_writes.get(&arr).copied().unwrap_or(0) >= wp {
+                                    continue;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                node_cycle[i] = cycle;
+                node_start[i] = start;
+                node_end[i] = start + delays[i];
+                *fu_used.entry(class).or_insert(0) += 1;
+                if let Some(arr) = nd.accessed_array() {
+                    if is_memory(arr) {
+                        match class {
+                            OpClass::MemRead => *mem_reads.entry(arr).or_insert(0) += 1,
+                            OpClass::MemWrite => *mem_writes.entry(arr).or_insert(0) += 1,
+                            _ => {}
+                        }
+                    }
+                }
+                remaining -= 1;
+                placed_any = true;
+            }
+            if !placed_any {
+                break;
+            }
+        }
+        if remaining > 0 {
+            cycle += 1;
+        }
+    }
+
+    let depth = if n == 0 { 0 } else { node_cycle.iter().copied().max().unwrap_or(0) + 1 };
+    Ok(Schedule {
+        node_cycle,
+        node_start_ns: node_start,
+        node_end_ns: node_end,
+        depth,
+        node_class: classes,
+        node_width: char_widths,
+    })
+}
+
+/// The minimum initiation interval forced by loop-carried recurrences.
+pub fn recurrence_min_ii(dfg: &Dfg, schedule: &Schedule) -> u32 {
+    let mut min_ii = 1u32;
+    for var in &dfg.live_out {
+        if !dfg.live_in.contains(var) {
+            continue;
+        }
+        // Scalar recurrence: write cycle - read cycle + 1.
+        let read_cycle = dfg
+            .iter()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::VarRead(v) if v == *var))
+            .map(|(id, _)| schedule.node_cycle[id.index()])
+            .min();
+        let write_cycle = dfg
+            .iter()
+            .filter(|(_, n)| {
+                matches!(n.kind, NodeKind::VarWrite(v) if v == *var)
+                    || matches!(n.kind, NodeKind::Store(v) if v == *var)
+                    || matches!(n.kind, NodeKind::StoreCond(v) if v == *var)
+            })
+            .map(|(id, _)| schedule.node_cycle[id.index()])
+            .max();
+        if let (Some(r), Some(w)) = (read_cycle, write_cycle) {
+            if w >= r {
+                min_ii = min_ii.max(w - r + 1);
+            }
+        }
+    }
+    // Array recurrences (load and store of the same array in the body).
+    for (id, n) in dfg.iter() {
+        if let NodeKind::Store(arr) | NodeKind::StoreCond(arr) = n.kind {
+            let first_load = dfg
+                .iter()
+                .filter(|(_, m)| matches!(m.kind, NodeKind::Load(a) if a == arr))
+                .map(|(lid, _)| schedule.node_cycle[lid.index()])
+                .min();
+            if let Some(l) = first_load {
+                let w = schedule.node_cycle[id.index()];
+                if w >= l {
+                    min_ii = min_ii.max(w - l + 1);
+                }
+            }
+        }
+    }
+    min_ii
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::build_dfg;
+    use hls_ir::{CmpOp, Expr, FunctionBuilder, Ty};
+
+    fn is_reg(_: VarId) -> Option<(u32, u32)> {
+        None
+    }
+
+    #[test]
+    fn mac_chains_into_one_cycle() {
+        let mut b = FunctionBuilder::new("mac");
+        let x = b.param_scalar("x", Ty::fixed(10, 0));
+        let c = b.param_scalar("c", Ty::fixed(10, 0));
+        let acc = b.param_scalar("acc", Ty::fixed(22, 2));
+        b.assign(acc, Expr::add(Expr::var(acc), Expr::mul(Expr::var(x), Expr::var(c))));
+        let f = b.build();
+        let dfg = build_dfg(&f, &f.body);
+        let d = Directives::new(10.0);
+        let lib = TechLibrary::asic_100mhz();
+        let s = schedule_dfg(&dfg, &d, &lib, &is_reg).expect("schedules");
+        assert_eq!(s.depth, 1, "complex of a simple MAC must fit one cycle");
+        assert!(s.critical_path_ns() <= 10.0);
+    }
+
+    #[test]
+    fn long_chain_splits_across_cycles() {
+        // Eight chained 20-bit multiplies cannot fit one 10 ns cycle.
+        let mut b = FunctionBuilder::new("chain");
+        let x = b.param_scalar("x", Ty::fixed(8, 2));
+        let out = b.param_scalar("out", Ty::fixed(8, 2));
+        let mut tmp = Vec::new();
+        for i in 0..4 {
+            tmp.push(b.local(format!("t{i}"), Ty::fixed(8, 2)));
+        }
+        b.assign(tmp[0], Expr::mul(Expr::var(x), Expr::var(x)));
+        for i in 1..4 {
+            b.assign(tmp[i], Expr::mul(Expr::var(tmp[i - 1]), Expr::var(x)));
+        }
+        b.assign(out, Expr::var(tmp[3]));
+        let f = b.build();
+        let dfg = build_dfg(&f, &f.body);
+        let d = Directives::new(10.0);
+        let lib = TechLibrary::asic_100mhz();
+        let s = schedule_dfg(&dfg, &d, &lib, &is_reg).expect("schedules");
+        assert!(s.depth >= 2, "depth = {}", s.depth);
+        // Dependences respected.
+        for (id, n) in dfg.iter() {
+            for p in &n.preds {
+                assert!(s.node_cycle[p.index()] <= s.node_cycle[id.index()]);
+                if s.node_cycle[p.index()] == s.node_cycle[id.index()] {
+                    assert!(s.node_end_ns[p.index()] <= s.node_start_ns[id.index()] + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fu_limit_serializes_ops() {
+        // Four independent multiplies, one multiplier -> at least 4 cycles?
+        // No: chaining is impossible for 10-bit muls (4.45 ns each, two fit),
+        // but a 1-multiplier limit forces one per cycle.
+        let mut b = FunctionBuilder::new("par");
+        let xs: Vec<_> = (0..4).map(|i| b.param_scalar(format!("x{i}"), Ty::fixed(10, 0))).collect();
+        let outs: Vec<_> =
+            (0..4).map(|i| b.param_scalar(format!("o{i}"), Ty::fixed(20, 0))).collect();
+        for i in 0..4 {
+            b.assign(outs[i], Expr::mul(Expr::var(xs[i]), Expr::var(xs[i])));
+        }
+        let f = b.build();
+        let dfg = build_dfg(&f, &f.body);
+        let lib = TechLibrary::asic_100mhz();
+
+        let free = schedule_dfg(&dfg, &Directives::new(10.0), &lib, &is_reg).expect("schedules");
+        assert_eq!(free.depth, 1, "unconstrained: all multiplies in parallel");
+
+        let limited = Directives::new(10.0).limit_fu(OpClass::Mul, 1);
+        let s = schedule_dfg(&dfg, &limited, &lib, &is_reg).expect("schedules");
+        // One multiply per cycle (chaining two muls through one FU in a
+        // cycle is not possible — an FU instance is busy for the cycle).
+        assert!(s.depth >= 4, "depth = {}", s.depth);
+    }
+
+    #[test]
+    fn infeasible_clock_reported() {
+        // A 30-bit multiply needs ~8.7 ns; a 5 ns clock cannot fit it.
+        let mut b = FunctionBuilder::new("wide");
+        let x = b.param_scalar("x", Ty::fixed(30, 0));
+        let out = b.param_scalar("out", Ty::fixed(60, 0));
+        b.assign(out, Expr::mul(Expr::var(x), Expr::var(x)));
+        let f = b.build();
+        let dfg = build_dfg(&f, &f.body);
+        let lib = TechLibrary::asic_100mhz();
+        let err = schedule_dfg(&dfg, &Directives::new(5.0), &lib, &is_reg).unwrap_err();
+        assert!(matches!(err, SynthesisError::InfeasibleClock { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_dfg_schedules_to_zero_depth() {
+        let dfg = Dfg::default();
+        let lib = TechLibrary::asic_100mhz();
+        let s = schedule_dfg(&dfg, &Directives::new(10.0), &lib, &is_reg).expect("schedules");
+        assert_eq!(s.depth, 0);
+    }
+
+    #[test]
+    fn accumulator_recurrence_forces_ii_one() {
+        let mut b = FunctionBuilder::new("acc");
+        let x = b.param_scalar("x", Ty::fixed(10, 0));
+        let acc = b.param_scalar("acc", Ty::fixed(22, 2));
+        b.assign(acc, Expr::add(Expr::var(acc), Expr::var(x)));
+        let f = b.build();
+        let dfg = build_dfg(&f, &f.body);
+        let lib = TechLibrary::asic_100mhz();
+        let s = schedule_dfg(&dfg, &Directives::new(10.0), &lib, &is_reg).expect("schedules");
+        assert_eq!(recurrence_min_ii(&dfg, &s), 1);
+    }
+
+    #[test]
+    fn memory_ports_limit_parallel_loads() {
+        // Two loads from a memory-mapped array with one read port need two
+        // cycles.
+        let mut b = FunctionBuilder::new("mem");
+        let a = b.param_array("a", Ty::fixed(10, 0), 8);
+        let o1 = b.param_scalar("o1", Ty::fixed(10, 0));
+        let o2 = b.param_scalar("o2", Ty::fixed(10, 0));
+        b.assign(o1, Expr::load(a, Expr::int_const(0)));
+        b.assign(o2, Expr::load(a, Expr::int_const(1)));
+        let f = b.build();
+        let a_id = f.params[0];
+        let dfg = build_dfg(&f, &f.body);
+        let lib = TechLibrary::asic_100mhz();
+        let d = Directives::new(10.0);
+        let one_port = move |v: VarId| (v == a_id).then_some((1u32, 1u32));
+        let s = schedule_dfg(&dfg, &d, &lib, &one_port).expect("schedules");
+        assert!(s.depth >= 2, "depth = {}", s.depth);
+
+        let two_ports = move |v: VarId| (v == a_id).then_some((2u32, 1u32));
+        let s2 = schedule_dfg(&dfg, &d, &lib, &two_ports).expect("schedules");
+        assert!(s2.depth < s.depth, "two ports must beat one");
+    }
+
+    #[test]
+    fn loop_body_with_guard_schedules() {
+        // A merged-style guarded body still schedules in one cycle.
+        let mut b = FunctionBuilder::new("g");
+        let x = b.param_scalar("x", Ty::fixed(10, 0));
+        let acc = b.param_scalar("acc", Ty::fixed(20, 4));
+        let m = b.param_scalar("m", Ty::int(8));
+        b.if_then(Expr::cmp(CmpOp::Lt, Expr::var(m), Expr::int_const(8)), |b| {
+            b.assign(acc, Expr::add(Expr::var(acc), Expr::var(x)));
+        });
+        let f = b.build();
+        let dfg = build_dfg(&f, &f.body);
+        let lib = TechLibrary::asic_100mhz();
+        let s = schedule_dfg(&dfg, &Directives::new(10.0), &lib, &is_reg).expect("schedules");
+        assert_eq!(s.depth, 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Adaptive FIR filtering: the LMS family.
+//!
+//! The paper adapts both equalizers with **sign-LMS** (`c[k] += mu * e *
+//! sign(conj(x[k]))`); the siblings are here for comparison benches and
+//! because any real deployment would evaluate them.
+
+use crate::complex::Complex;
+use crate::fir::FirFilter;
+
+/// Which stochastic-gradient update the filter applies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdaptationRule {
+    /// Standard LMS: `c += mu * e * conj(x)`.
+    Lms,
+    /// Sign-LMS (sign of the data, the paper's choice): `c += mu * e *
+    /// sign(conj(x))`. Multiplier-free data path.
+    SignLms,
+    /// Sign-sign LMS: `c += mu * sign(e) * sign(conj(x))`. Cheapest of all.
+    SignSignLms,
+    /// Normalized LMS: `c += mu/(eps + |x|^2) * e * conj(x)`.
+    Nlms {
+        /// Regularization added to the input power.
+        epsilon: f64,
+    },
+}
+
+/// An adaptive complex FIR filter.
+///
+/// # Examples
+///
+/// A one-tap sign-LMS filter learning a constant channel gain:
+///
+/// ```
+/// use dsp::{AdaptiveFir, AdaptationRule, Complex};
+///
+/// let mut af = AdaptiveFir::new(1, 0.01, AdaptationRule::SignLms);
+/// for _ in 0..2000 {
+///     let x = Complex::new(1.0, 0.0);
+///     let y = af.push(x);
+///     let desired = Complex::new(0.5, 0.0); // channel gain 0.5
+///     af.adapt(desired - y);
+/// }
+/// assert!((af.filter().taps()[0].re - 0.5).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveFir {
+    filter: FirFilter,
+    mu: f64,
+    rule: AdaptationRule,
+}
+
+impl AdaptiveFir {
+    /// Creates an adaptive filter with `taps` zero coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is zero.
+    pub fn new(taps: usize, mu: f64, rule: AdaptationRule) -> Self {
+        AdaptiveFir { filter: FirFilter::new(vec![Complex::zero(); taps]), mu, rule }
+    }
+
+    /// Creates an adaptive filter with the given initial coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty.
+    pub fn with_taps(initial: Vec<Complex>, mu: f64, rule: AdaptationRule) -> Self {
+        AdaptiveFir { filter: FirFilter::new(initial), mu, rule }
+    }
+
+    /// The underlying filter.
+    pub fn filter(&self) -> &FirFilter {
+        &self.filter
+    }
+
+    /// The step size.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The adaptation rule.
+    pub fn rule(&self) -> AdaptationRule {
+        self.rule
+    }
+
+    /// Shifts a sample in and returns the output.
+    pub fn push(&mut self, x: Complex) -> Complex {
+        self.filter.push(x)
+    }
+
+    /// The output for the current delay line.
+    pub fn output(&self) -> Complex {
+        self.filter.output()
+    }
+
+    /// Applies one coefficient update for error `e = desired - output`,
+    /// using the samples currently in the delay line.
+    pub fn adapt(&mut self, e: Complex) {
+        let mu = self.mu;
+        let rule = self.rule;
+        let power: f64 = self.filter.delay_line().iter().map(Complex::norm_sqr).sum();
+        let delay: Vec<Complex> = self.filter.delay_line().to_vec();
+        for (c, x) in self.filter.taps_mut().iter_mut().zip(delay) {
+            let step = match rule {
+                AdaptationRule::Lms => (e * x.conj()).scale(mu),
+                AdaptationRule::SignLms => (e * x.sign_conj()).scale(mu),
+                AdaptationRule::SignSignLms => (e.sign_conj().conj() * x.sign_conj()).scale(mu),
+                AdaptationRule::Nlms { epsilon } => {
+                    (e * x.conj()).scale(mu / (epsilon + power))
+                }
+            };
+            *c = *c + step;
+        }
+    }
+
+    /// Resets delay line and coefficients.
+    pub fn reset(&mut self) {
+        let n = self.filter.len();
+        self.filter = FirFilter::new(vec![Complex::zero(); n]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Identify a 3-tap channel with each rule.
+    fn identify(rule: AdaptationRule, mu: f64, iters: usize) -> f64 {
+        let target = [Complex::new(0.9, 0.1), Complex::new(0.3, -0.2), Complex::new(-0.1, 0.05)];
+        let mut channel = FirFilter::new(target.to_vec());
+        let mut af = AdaptiveFir::new(3, mu, rule);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..iters {
+            let x = Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+            let d = channel.push(x);
+            let y = af.push(x);
+            af.adapt(d - y);
+        }
+        af.filter()
+            .taps()
+            .iter()
+            .zip(target)
+            .map(|(c, t)| (*c - t).norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn lms_identifies_channel() {
+        assert!(identify(AdaptationRule::Lms, 0.05, 4000) < 0.05);
+    }
+
+    #[test]
+    fn sign_lms_identifies_channel() {
+        assert!(identify(AdaptationRule::SignLms, 0.005, 12000) < 0.08);
+    }
+
+    #[test]
+    fn sign_sign_lms_identifies_channel() {
+        assert!(identify(AdaptationRule::SignSignLms, 0.002, 20000) < 0.12);
+    }
+
+    #[test]
+    fn nlms_identifies_channel_fast() {
+        assert!(identify(AdaptationRule::Nlms { epsilon: 1e-6 }, 0.5, 2000) < 0.05);
+    }
+
+    #[test]
+    fn zero_error_is_a_fixed_point() {
+        let mut af = AdaptiveFir::with_taps(
+            vec![Complex::new(0.5, 0.25)],
+            0.1,
+            AdaptationRule::SignLms,
+        );
+        af.push(Complex::new(1.0, -1.0));
+        let before = af.filter().taps().to_vec();
+        af.adapt(Complex::zero());
+        assert_eq!(af.filter().taps(), before.as_slice());
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut af = AdaptiveFir::new(4, 0.1, AdaptationRule::Lms);
+        af.push(Complex::new(1.0, 1.0));
+        af.adapt(Complex::new(0.5, 0.5));
+        af.reset();
+        assert!(af.filter().taps().iter().all(|c| *c == Complex::zero()));
+        assert_eq!(af.output(), Complex::zero());
+    }
+}

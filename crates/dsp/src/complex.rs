@@ -1,0 +1,314 @@
+//! Complex arithmetic: a float reference type and a bit-accurate
+//! fixed-point type mirroring the paper's `sc_complex`.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use fixpt::{Fixed, Format, Overflow, Quantization};
+
+/// A double-precision complex number (the algorithm-validation reference).
+///
+/// # Examples
+///
+/// ```
+/// use dsp::Complex;
+///
+/// let a = Complex::new(1.0, 2.0);
+/// let b = Complex::new(3.0, -1.0);
+/// assert_eq!(a * b, Complex::new(5.0, 5.0));
+/// assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real (in-phase) component.
+    pub re: f64,
+    /// Imaginary (quadrature) component.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Zero.
+    pub fn zero() -> Self {
+        Complex { re: 0.0, im: 0.0 }
+    }
+
+    /// The complex conjugate.
+    pub fn conj(&self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(&self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// The sign of the conjugate, componentwise in {-1, 0, 1}: the
+    /// quantity the sign-LMS update multiplies by (`x.sign_conj()` in the
+    /// paper's code).
+    pub fn sign_conj(&self) -> Self {
+        Complex { re: sign(self.re), im: -sign(self.im) }
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(&self, s: f64) -> Self {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+}
+
+fn sign(v: f64) -> f64 {
+    if v > 0.0 {
+        1.0
+    } else if v < 0.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sqr();
+        Complex {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+/// A bit-accurate complex fixed-point value (the paper's `sc_complex`): both
+/// components share one [`Format`]. Arithmetic is exact (the result carries
+/// the widened format); [`CFixed::cast`] quantizes back, exactly like
+/// assigning to a typed `sc_complex` variable.
+///
+/// # Examples
+///
+/// ```
+/// use dsp::CFixed;
+/// use fixpt::Format;
+///
+/// let fmt = Format::signed(10, 1); // range [-1, 1)
+/// let a = CFixed::from_f64(0.25, -0.5, fmt);
+/// let b = CFixed::from_f64(0.5, 0.25, fmt);
+/// let p = a.mul(&b);
+/// assert_eq!(p.to_complex().re, 0.25 * 0.5 - (-0.5) * 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CFixed {
+    re: Fixed,
+    im: Fixed,
+}
+
+impl CFixed {
+    /// Zero in the given format.
+    pub fn zero(format: Format) -> Self {
+        CFixed { re: Fixed::zero(format), im: Fixed::zero(format) }
+    }
+
+    /// Builds from components (they may carry different formats mid-
+    /// expression; declared variables use one).
+    pub fn from_parts(re: Fixed, im: Fixed) -> Self {
+        CFixed { re, im }
+    }
+
+    /// Quantizes a float pair into `format` with default modes.
+    pub fn from_f64(re: f64, im: f64, format: Format) -> Self {
+        CFixed { re: Fixed::from_f64(re, format), im: Fixed::from_f64(im, format) }
+    }
+
+    /// Quantizes a float [`Complex`] into `format` with default modes.
+    pub fn from_complex(c: Complex, format: Format) -> Self {
+        Self::from_f64(c.re, c.im, format)
+    }
+
+    /// The real component.
+    pub fn re(&self) -> Fixed {
+        self.re
+    }
+
+    /// The imaginary component.
+    pub fn im(&self) -> Fixed {
+        self.im
+    }
+
+    /// Converts to the float reference type.
+    pub fn to_complex(&self) -> Complex {
+        Complex { re: self.re.to_f64(), im: self.im.to_f64() }
+    }
+
+    /// Exact complex addition.
+    pub fn add(&self, other: &CFixed) -> CFixed {
+        CFixed { re: self.re.exact_add(&other.re), im: self.im.exact_add(&other.im) }
+    }
+
+    /// Exact complex subtraction.
+    pub fn sub(&self, other: &CFixed) -> CFixed {
+        CFixed { re: self.re.exact_sub(&other.re), im: self.im.exact_sub(&other.im) }
+    }
+
+    /// Exact complex multiplication (4 real multiplies, 2 adds).
+    pub fn mul(&self, other: &CFixed) -> CFixed {
+        let rr = self.re.exact_mul(&other.re);
+        let ii = self.im.exact_mul(&other.im);
+        let ri = self.re.exact_mul(&other.im);
+        let ir = self.im.exact_mul(&other.re);
+        CFixed { re: rr.exact_sub(&ii), im: ri.exact_add(&ir) }
+    }
+
+    /// Exact multiplication by a real fixed-point scalar.
+    pub fn scale(&self, s: &Fixed) -> CFixed {
+        CFixed { re: self.re.exact_mul(s), im: self.im.exact_mul(s) }
+    }
+
+    /// Exact negation.
+    pub fn negate(&self) -> CFixed {
+        CFixed { re: self.re.negate(), im: self.im.negate() }
+    }
+
+    /// Componentwise sign of the conjugate in {-1, 0, 1} as `fixed<2,2>`
+    /// values — the paper's `sign_conj()`.
+    pub fn sign_conj(&self) -> CFixed {
+        let fmt = Format::signed(2, 2);
+        CFixed {
+            re: Fixed::from_int(self.re.signum() as i64, fmt),
+            im: Fixed::from_int(-self.im.signum() as i64, fmt),
+        }
+    }
+
+    /// Value shift right by `n` within each component's format (SystemC
+    /// `>>`, truncating).
+    pub fn shr(&self, n: u32) -> CFixed {
+        CFixed { re: self.re.shr(n), im: self.im.shr(n) }
+    }
+
+    /// Quantizes both components into `format` with default modes.
+    pub fn cast(&self, format: Format) -> CFixed {
+        CFixed { re: self.re.cast(format), im: self.im.cast(format) }
+    }
+
+    /// Quantizes both components with explicit modes.
+    pub fn cast_with(&self, format: Format, q: Quantization, o: Overflow) -> CFixed {
+        CFixed { re: self.re.cast_with(format, q, o), im: self.im.cast_with(format, q, o) }
+    }
+}
+
+impl fmt::Display for CFixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_complex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_field_ops() {
+        let a = Complex::new(3.0, 4.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        let b = Complex::new(1.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 3.0));
+        assert_eq!(a - b, Complex::new(2.0, 5.0));
+        assert_eq!(-a, Complex::new(-3.0, -4.0));
+        let q = a / b;
+        let back = q * b;
+        assert!((back - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sign_conj_float() {
+        let a = Complex::new(-2.0, 3.0);
+        assert_eq!(a.sign_conj(), Complex::new(-1.0, -1.0));
+        assert_eq!(Complex::zero().sign_conj(), Complex::zero());
+    }
+
+    #[test]
+    fn fixed_mul_matches_float() {
+        let fmt = Format::signed(10, 2);
+        for (ar, ai, br, bi) in [(0.5, -0.25, 1.5, 0.75), (-1.0, 1.0, 0.5, -0.5)] {
+            let a = CFixed::from_f64(ar, ai, fmt);
+            let b = CFixed::from_f64(br, bi, fmt);
+            let p = a.mul(&b).to_complex();
+            let expect = Complex::new(ar, ai) * Complex::new(br, bi);
+            assert_eq!(p, expect);
+        }
+    }
+
+    #[test]
+    fn fixed_sign_conj() {
+        let fmt = Format::signed(10, 2);
+        let a = CFixed::from_f64(-0.5, 0.25, fmt);
+        let s = a.sign_conj().to_complex();
+        assert_eq!(s, Complex::new(-1.0, -1.0));
+    }
+
+    #[test]
+    fn fixed_cast_quantizes() {
+        let wide = Format::signed(20, 4);
+        let narrow = Format::signed(6, 2);
+        let a = CFixed::from_f64(1.2345, -0.7071, wide);
+        let c = a.cast(narrow);
+        // 4 fractional bits after cast.
+        assert_eq!(c.re().to_f64(), (1.2345f64 * 16.0).floor() / 16.0);
+    }
+
+    #[test]
+    fn shr_is_componentwise() {
+        let fmt = Format::signed(12, 2);
+        let a = CFixed::from_f64(1.0, -0.5, fmt);
+        let s = a.shr(2);
+        assert_eq!(s.to_complex(), Complex::new(0.25, -0.125));
+    }
+}

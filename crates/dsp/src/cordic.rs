@@ -1,0 +1,162 @@
+//! CORDIC: shift-add rotation and vectoring.
+//!
+//! The paper's receiver omits carrier/timing recovery; the block those
+//! functions are built from in multiplier-poor hardware is CORDIC — pure
+//! shifts and adds, exactly the operator diet this flow schedules well.
+//! Provided here in floating point for the substrate (and exercised as a
+//! second synthesis workload in `examples/cordic_flow.rs`).
+
+use crate::complex::Complex;
+
+/// A CORDIC engine with a fixed iteration count.
+///
+/// # Examples
+///
+/// ```
+/// use dsp::{Cordic, Complex};
+///
+/// let cordic = Cordic::new(16);
+/// let rotated = cordic.rotate(Complex::new(1.0, 0.0), std::f64::consts::FRAC_PI_4);
+/// assert!((rotated.re - 0.7071).abs() < 1e-3);
+/// assert!((rotated.im - 0.7071).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cordic {
+    iterations: u32,
+    /// atan(2^-i) table.
+    angles: Vec<f64>,
+    /// Aggregate gain of `iterations` rotations.
+    gain: f64,
+}
+
+impl Cordic {
+    /// Creates an engine with `iterations` micro-rotations (1–60).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is 0 or exceeds 60.
+    pub fn new(iterations: u32) -> Self {
+        assert!((1..=60).contains(&iterations), "iterations must be 1..=60");
+        let angles: Vec<f64> = (0..iterations).map(|i| (2f64.powi(-(i as i32))).atan()).collect();
+        let gain = (0..iterations)
+            .map(|i| (1.0 + 4f64.powi(-(i as i32))).sqrt())
+            .product();
+        Cordic { iterations, angles, gain }
+    }
+
+    /// The number of micro-rotations.
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    /// The aggregate CORDIC gain K (≈ 1.6468 for many iterations).
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Rotates `v` by `angle` radians (|angle| ≤ ~1.74, the CORDIC
+    /// convergence range), compensating the gain.
+    pub fn rotate(&self, v: Complex, angle: f64) -> Complex {
+        let (mut x, mut y) = (v.re, v.im);
+        let mut z = angle;
+        for i in 0..self.iterations as i32 {
+            let d = if z >= 0.0 { 1.0 } else { -1.0 };
+            let shift = 2f64.powi(-i);
+            let nx = x - d * y * shift;
+            let ny = y + d * x * shift;
+            z -= d * self.angles[i as usize];
+            x = nx;
+            y = ny;
+        }
+        Complex::new(x / self.gain, y / self.gain)
+    }
+
+    /// Vectoring mode: returns `(magnitude, phase)` of `v` (phase in
+    /// (-π/2, π/2) plus quadrant correction for negative real parts).
+    pub fn to_polar(&self, v: Complex) -> (f64, f64) {
+        // Pre-rotate into the right half plane.
+        let (mut x, mut y, mut phase0) = if v.re < 0.0 {
+            if v.im >= 0.0 {
+                (v.im, -v.re, std::f64::consts::FRAC_PI_2)
+            } else {
+                (-v.im, v.re, -std::f64::consts::FRAC_PI_2)
+            }
+        } else {
+            (v.re, v.im, 0.0)
+        };
+        for i in 0..self.iterations as i32 {
+            let d = if y >= 0.0 { 1.0 } else { -1.0 };
+            let shift = 2f64.powi(-i);
+            let nx = x + d * y * shift;
+            let ny = y - d * x * shift;
+            phase0 += d * self.angles[i as usize];
+            x = nx;
+            y = ny;
+        }
+        (x / self.gain, phase0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    #[test]
+    fn rotation_matches_trig() {
+        let c = Cordic::new(24);
+        for angle in [-1.2, -FRAC_PI_4, -0.1, 0.0, 0.3, FRAC_PI_4, 1.5] {
+            let v = Complex::new(0.8, -0.3);
+            let got = c.rotate(v, angle);
+            let expect = v * Complex::new(angle.cos(), angle.sin());
+            assert!((got - expect).abs() < 1e-5, "angle {angle}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn gain_converges() {
+        let c = Cordic::new(30);
+        assert!((c.gain() - 1.646760258121).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vectoring_recovers_polar_form() {
+        let c = Cordic::new(24);
+        for (re, im) in [(1.0, 0.0), (0.6, 0.8), (0.5, -0.5), (-0.7, 0.2), (-0.3, -0.9)] {
+            let v = Complex::new(re, im);
+            let (mag, phase) = c.to_polar(v);
+            assert!((mag - v.abs()).abs() < 1e-5, "magnitude of {v}");
+            let expect = im.atan2(re);
+            let mut diff = (phase - expect) % (2.0 * PI);
+            if diff > PI {
+                diff -= 2.0 * PI;
+            }
+            assert!(diff.abs() < 1e-5, "phase of {v}: {phase} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn accuracy_improves_with_iterations() {
+        let coarse = Cordic::new(6);
+        let fine = Cordic::new(24);
+        let v = Complex::new(1.0, 0.0);
+        let target = v * Complex::new(FRAC_PI_4.cos(), FRAC_PI_4.sin());
+        let e_coarse = (coarse.rotate(v, FRAC_PI_4) - target).abs();
+        let e_fine = (fine.rotate(v, FRAC_PI_4) - target).abs();
+        assert!(e_fine < e_coarse / 100.0, "{e_fine} vs {e_coarse}");
+    }
+
+    #[test]
+    fn half_pi_within_range() {
+        let c = Cordic::new(24);
+        let got = c.rotate(Complex::new(1.0, 0.0), FRAC_PI_2);
+        assert!((got.re).abs() < 1e-5);
+        assert!((got.im - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "iterations")]
+    fn zero_iterations_rejected() {
+        let _ = Cordic::new(0);
+    }
+}

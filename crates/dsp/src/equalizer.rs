@@ -1,0 +1,238 @@
+//! The floating-point reference equalizer: T/2-spaced FFE + slicer +
+//! decision-feedback equalizer with sign-LMS adaptation (Figure 3 of the
+//! paper, same statement order as the Figure 4 code).
+
+use crate::complex::Complex;
+use crate::qam::QamConstellation;
+
+/// Output of one symbol-period update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EqualizerOutput {
+    /// The equalized soft value `y = yffe - ydfe`.
+    pub y: Complex,
+    /// The sliced (or training) decision point.
+    pub decision: Complex,
+    /// The error `decision - y` driving adaptation.
+    pub error: Complex,
+    /// The decided symbol bits.
+    pub symbol: u32,
+}
+
+/// A fractionally-spaced decision-feedback equalizer.
+///
+/// Every call to [`Equalizer::process`] consumes the two new T/2-spaced
+/// input samples of one symbol period (`x_in[0]` newest) and produces one
+/// decision, exactly like the paper's `qam_decoder` function. Adaptation is
+/// sign-LMS on both filters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Equalizer {
+    constellation: QamConstellation,
+    mu_ffe: f64,
+    mu_dfe: f64,
+    x: Vec<Complex>,
+    sv: Vec<Complex>,
+    ffe_c: Vec<Complex>,
+    dfe_c: Vec<Complex>,
+}
+
+impl Equalizer {
+    /// Creates an equalizer with `nffe` T/2-spaced forward taps and `ndfe`
+    /// feedback taps, all coefficients zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nffe < 2` (two new samples arrive per symbol) or
+    /// `ndfe == 0`.
+    pub fn new(
+        constellation: QamConstellation,
+        nffe: usize,
+        ndfe: usize,
+        mu_ffe: f64,
+        mu_dfe: f64,
+    ) -> Self {
+        assert!(nffe >= 2, "the T/2 FFE needs at least two taps");
+        assert!(ndfe >= 1, "the DFE needs at least one tap");
+        Equalizer {
+            constellation,
+            mu_ffe,
+            mu_dfe,
+            x: vec![Complex::zero(); nffe],
+            sv: vec![Complex::zero(); ndfe],
+            ffe_c: vec![Complex::zero(); nffe],
+            dfe_c: vec![Complex::zero(); ndfe],
+        }
+    }
+
+    /// The paper's dimensions: 8-tap T/2 FFE, 16-tap DFE, mu = 2⁻⁸, 64-QAM.
+    ///
+    /// # Panics
+    ///
+    /// Never (the 64-QAM order is valid).
+    pub fn paper_64qam() -> Self {
+        let c = QamConstellation::new(64).expect("64 is a valid order");
+        Equalizer::new(c, 8, 16, 2f64.powi(-8), 2f64.powi(-8))
+    }
+
+    /// Sets one forward tap (cold-start initialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_ffe_tap(&mut self, index: usize, value: Complex) {
+        self.ffe_c[index] = value;
+    }
+
+    /// The forward coefficients.
+    pub fn ffe_taps(&self) -> &[Complex] {
+        &self.ffe_c
+    }
+
+    /// The feedback coefficients.
+    pub fn dfe_taps(&self) -> &[Complex] {
+        &self.dfe_c
+    }
+
+    /// The constellation in use.
+    pub fn constellation(&self) -> &QamConstellation {
+        &self.constellation
+    }
+
+    /// Processes one symbol period. `x0` is the newer of the two T/2
+    /// samples (the paper's `x_in[0]`), `x1` the earlier. When `training`
+    /// carries the known transmitted point, the error (and the DFE feedback
+    /// value) use it instead of the slicer decision.
+    pub fn process(&mut self, x0: Complex, x1: Complex, training: Option<Complex>) -> EqualizerOutput {
+        // x[0] = x_in[0]; x[1] = x_in[1];
+        self.x[0] = x0;
+        self.x[1] = x1;
+        // nfe: yffe = sum x[k] * ffe_c[k]
+        let yffe = self
+            .x
+            .iter()
+            .zip(&self.ffe_c)
+            .fold(Complex::zero(), |acc, (x, c)| acc + *x * *c);
+        // dfe: ydfe = sum SV[k] * dfe_c[k]
+        let ydfe = self
+            .sv
+            .iter()
+            .zip(&self.dfe_c)
+            .fold(Complex::zero(), |acc, (s, c)| acc + *s * *c);
+        let y = yffe - ydfe;
+        // 64-QAM slicer.
+        let (ci, cq) = self.constellation.slice(y);
+        let sliced = self.constellation.point(ci, cq);
+        let decision = training.unwrap_or(sliced);
+        self.sv[0] = decision;
+        let error = decision - y;
+        let symbol = self.constellation.demap(ci, cq);
+        // ffe_adapt: ffe_c[k] += mu * e * sign_conj(x[k])
+        for (c, x) in self.ffe_c.iter_mut().zip(&self.x) {
+            *c = *c + (error * x.sign_conj()).scale(self.mu_ffe);
+        }
+        // dfe_adapt: dfe_c[k] -= mu * e * sign_conj(SV[k])
+        for (c, s) in self.dfe_c.iter_mut().zip(&self.sv) {
+            *c = *c - (error * s.sign_conj()).scale(self.mu_dfe);
+        }
+        // ffe_shift (two positions) and dfe_shift (one position).
+        self.x.rotate_right(2);
+        self.x[0] = Complex::zero();
+        self.x[1] = Complex::zero();
+        self.sv.rotate_right(1);
+        self.sv[0] = self.sv[1]; // keep SV[0] = latest decision, as the
+                                 // paper's shift leaves SV[0] untouched
+        EqualizerOutput { y, decision, error, symbol }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::Channel;
+    use crate::metrics::{ErrorCounter, MseTrace};
+    use crate::source::SymbolSource;
+
+    /// Full link: symbols → T/2 upsampling → channel → equalizer.
+    fn run_link(
+        mut channel: Channel,
+        train_symbols: usize,
+        data_symbols: usize,
+    ) -> (MseTrace, ErrorCounter) {
+        let mut eq = Equalizer::paper_64qam();
+        eq.set_ffe_tap(0, Complex::new(2.0, 0.0)); // compensate zero stuffing
+        let qam = *eq.constellation();
+        let mut src = SymbolSource::new(64, 11);
+        let mut mse = MseTrace::new(100);
+        let mut errs = ErrorCounter::new();
+        for n in 0..(train_symbols + data_symbols) {
+            let sym = src.next_symbol();
+            let point = qam.map(sym);
+            // T/2 transmission: zero-stuffed first half-sample.
+            let x1 = channel.push(Complex::zero());
+            let x0 = channel.push(point);
+            let training = (n < train_symbols).then_some(point);
+            let out = eq.process(x0, x1, training);
+            mse.push(out.error);
+            if n >= train_symbols {
+                errs.record(sym, out.symbol, qam.bits_per_symbol());
+            }
+        }
+        (mse, errs)
+    }
+
+    #[test]
+    fn converges_on_ideal_channel() {
+        let (mse, errs) = run_link(Channel::ideal(1), 2000, 4000);
+        assert!(errs.ser() < 1e-3, "SER {}", errs.ser());
+        // Steady-state MSE well below the decision margin squared.
+        let margin2 = (1.0f64 / 16.0).powi(2);
+        assert!(mse.tail_mean(5) < margin2, "MSE {}", mse.tail_mean(5));
+    }
+
+    #[test]
+    fn converges_on_mild_isi() {
+        let (mse, errs) = run_link(Channel::mild_isi(0.002, 3), 4000, 8000);
+        assert_eq!(errs.symbols(), 8000);
+        assert!(errs.ser() < 0.01, "SER {}", errs.ser());
+        let early = mse.blocks()[1];
+        let late = mse.tail_mean(10);
+        assert!(late < early / 10.0, "MSE did not drop: {early} -> {late}");
+    }
+
+    #[test]
+    fn dfe_helps_on_severe_isi() {
+        // With the DFE active the link converges on the notched channel.
+        let (_, errs) = run_link(Channel::severe_isi(0.001, 5), 6000, 6000);
+        assert!(errs.ser() < 0.05, "SER {}", errs.ser());
+    }
+
+    #[test]
+    fn training_pins_decisions() {
+        let mut eq = Equalizer::paper_64qam();
+        let qam = *eq.constellation();
+        let point = qam.map(17);
+        let out = eq.process(Complex::zero(), Complex::zero(), Some(point));
+        assert_eq!(out.decision, point);
+        // The DFE feedback now contains the training point.
+        let out2 = eq.process(Complex::zero(), Complex::zero(), Some(point));
+        assert_eq!(out2.decision, point);
+    }
+
+    #[test]
+    fn zero_coefficients_give_zero_output() {
+        let mut eq = Equalizer::paper_64qam();
+        let out = eq.process(Complex::new(0.3, 0.1), Complex::new(-0.2, 0.0), None);
+        assert_eq!(out.y, Complex::zero());
+    }
+
+    #[test]
+    fn shift_keeps_latest_decision_in_sv0() {
+        let mut eq = Equalizer::paper_64qam();
+        let qam = *eq.constellation();
+        let p1 = qam.map(5);
+        eq.process(Complex::zero(), Complex::zero(), Some(p1));
+        // After the shift SV[0] and SV[1] both hold p1 (the paper's shift
+        // copies SV[0] into SV[1] and leaves SV[0] unchanged).
+        assert_eq!(eq.sv[0], p1);
+        assert_eq!(eq.sv[1], p1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Direct-form FIR filters over complex samples.
+
+use crate::complex::Complex;
+
+/// A direct-form complex FIR filter.
+///
+/// # Examples
+///
+/// ```
+/// use dsp::{Complex, FirFilter};
+///
+/// // A two-tap averaging filter.
+/// let mut fir = FirFilter::new(vec![
+///     Complex::new(0.5, 0.0),
+///     Complex::new(0.5, 0.0),
+/// ]);
+/// assert_eq!(fir.push(Complex::new(2.0, 0.0)).re, 1.0);
+/// assert_eq!(fir.push(Complex::new(4.0, 0.0)).re, 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirFilter {
+    taps: Vec<Complex>,
+    delay: Vec<Complex>,
+}
+
+impl FirFilter {
+    /// Creates a filter with the given tap coefficients (`taps[0]` applies
+    /// to the newest sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty.
+    pub fn new(taps: Vec<Complex>) -> Self {
+        assert!(!taps.is_empty(), "FIR filter needs at least one tap");
+        let n = taps.len();
+        FirFilter { taps, delay: vec![Complex::zero(); n] }
+    }
+
+    /// The coefficients.
+    pub fn taps(&self) -> &[Complex] {
+        &self.taps
+    }
+
+    /// Mutable access to the coefficients (adaptation).
+    pub fn taps_mut(&mut self) -> &mut [Complex] {
+        &mut self.taps
+    }
+
+    /// The delay line, newest first.
+    pub fn delay_line(&self) -> &[Complex] {
+        &self.delay
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// `false` (a filter always has taps); kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Shifts `x` in and returns the filter output.
+    pub fn push(&mut self, x: Complex) -> Complex {
+        self.delay.rotate_right(1);
+        self.delay[0] = x;
+        self.output()
+    }
+
+    /// The output for the current delay-line contents.
+    pub fn output(&self) -> Complex {
+        self.taps
+            .iter()
+            .zip(&self.delay)
+            .fold(Complex::zero(), |acc, (c, x)| acc + *c * *x)
+    }
+
+    /// Clears the delay line.
+    pub fn reset(&mut self) {
+        self.delay.iter_mut().for_each(|d| *d = Complex::zero());
+    }
+
+    /// The impulse response (equals the taps for an FIR).
+    pub fn impulse_response(&mut self) -> Vec<Complex> {
+        self.reset();
+        let n = self.len();
+        let mut out = Vec::with_capacity(n);
+        out.push(self.push(Complex::new(1.0, 0.0)));
+        for _ in 1..n {
+            out.push(self.push(Complex::zero()));
+        }
+        self.reset();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impulse_response_is_taps() {
+        let taps = vec![
+            Complex::new(1.0, 0.5),
+            Complex::new(-0.25, 0.0),
+            Complex::new(0.125, -0.125),
+        ];
+        let mut fir = FirFilter::new(taps.clone());
+        assert_eq!(fir.impulse_response(), taps);
+    }
+
+    #[test]
+    fn linearity() {
+        let taps = vec![Complex::new(0.5, 0.0), Complex::new(0.25, -0.25)];
+        let xs = [Complex::new(1.0, 2.0), Complex::new(-0.5, 0.5), Complex::new(2.0, -1.0)];
+        let mut f1 = FirFilter::new(taps.clone());
+        let mut f2 = FirFilter::new(taps.clone());
+        let mut fsum = FirFilter::new(taps);
+        for x in xs {
+            let y1 = f1.push(x);
+            let y2 = f2.push(x.scale(2.0));
+            let ys = fsum.push(x + x.scale(2.0));
+            assert!((ys - (y1 + y2)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut fir = FirFilter::new(vec![Complex::new(1.0, 0.0); 4]);
+        fir.push(Complex::new(1.0, 1.0));
+        fir.reset();
+        assert_eq!(fir.push(Complex::zero()), Complex::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn empty_taps_panics() {
+        let _ = FirFilter::new(vec![]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Link-quality metrics: MSE traces, EVM, symbol/bit error rates.
+
+use crate::complex::Complex;
+
+/// A running mean-squared-error trace with block averaging.
+///
+/// # Examples
+///
+/// ```
+/// use dsp::{MseTrace, Complex};
+///
+/// let mut mse = MseTrace::new(4);
+/// for _ in 0..8 {
+///     mse.push(Complex::new(0.1, 0.0));
+/// }
+/// assert_eq!(mse.blocks().len(), 2);
+/// assert!((mse.blocks()[0] - 0.01).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MseTrace {
+    block: usize,
+    acc: f64,
+    count: usize,
+    blocks: Vec<f64>,
+}
+
+impl MseTrace {
+    /// Creates a trace averaging `block` errors per point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is zero.
+    pub fn new(block: usize) -> Self {
+        assert!(block > 0, "block size must be positive");
+        MseTrace { block, acc: 0.0, count: 0, blocks: Vec::new() }
+    }
+
+    /// Records one error sample.
+    pub fn push(&mut self, e: Complex) {
+        self.acc += e.norm_sqr();
+        self.count += 1;
+        if self.count == self.block {
+            self.blocks.push(self.acc / self.block as f64);
+            self.acc = 0.0;
+            self.count = 0;
+        }
+    }
+
+    /// The completed block averages.
+    pub fn blocks(&self) -> &[f64] {
+        &self.blocks
+    }
+
+    /// The block averages in dB (`10 log10`).
+    pub fn blocks_db(&self) -> Vec<f64> {
+        self.blocks.iter().map(|m| 10.0 * m.max(1e-300).log10()).collect()
+    }
+
+    /// Mean of the last `n` blocks (steady-state MSE).
+    pub fn tail_mean(&self, n: usize) -> f64 {
+        let len = self.blocks.len();
+        if len == 0 {
+            return f64::NAN;
+        }
+        let take = n.min(len);
+        self.blocks[len - take..].iter().sum::<f64>() / take as f64
+    }
+}
+
+/// Error-rate counter for symbols and bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ErrorCounter {
+    symbols: u64,
+    symbol_errors: u64,
+    bits: u64,
+    bit_errors: u64,
+}
+
+impl ErrorCounter {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one decided symbol against the transmitted one,
+    /// counting bit errors over `bits_per_symbol` bits.
+    pub fn record(&mut self, sent: u32, decided: u32, bits_per_symbol: u32) {
+        self.symbols += 1;
+        if sent != decided {
+            self.symbol_errors += 1;
+        }
+        self.bits += bits_per_symbol as u64;
+        self.bit_errors += ((sent ^ decided) & ((1u32 << bits_per_symbol) - 1)).count_ones() as u64;
+    }
+
+    /// Symbols observed.
+    pub fn symbols(&self) -> u64 {
+        self.symbols
+    }
+
+    /// Symbol errors observed.
+    pub fn symbol_errors(&self) -> u64 {
+        self.symbol_errors
+    }
+
+    /// The symbol error rate.
+    pub fn ser(&self) -> f64 {
+        if self.symbols == 0 {
+            f64::NAN
+        } else {
+            self.symbol_errors as f64 / self.symbols as f64
+        }
+    }
+
+    /// The bit error rate.
+    pub fn ber(&self) -> f64 {
+        if self.bits == 0 {
+            f64::NAN
+        } else {
+            self.bit_errors as f64 / self.bits as f64
+        }
+    }
+}
+
+/// Error vector magnitude (RMS, relative to the constellation's RMS symbol
+/// magnitude) over paired reference/measured points.
+pub fn evm_rms(reference: &[Complex], measured: &[Complex]) -> f64 {
+    assert_eq!(reference.len(), measured.len(), "EVM needs paired samples");
+    if reference.is_empty() {
+        return f64::NAN;
+    }
+    let err: f64 = reference
+        .iter()
+        .zip(measured)
+        .map(|(r, m)| (*m - *r).norm_sqr())
+        .sum();
+    let sig: f64 = reference.iter().map(Complex::norm_sqr).sum();
+    (err / sig).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_blocks_average() {
+        let mut t = MseTrace::new(2);
+        t.push(Complex::new(1.0, 0.0)); // |e|^2 = 1
+        t.push(Complex::new(0.0, 1.0)); // 1
+        t.push(Complex::new(2.0, 0.0)); // 4
+        t.push(Complex::new(0.0, 0.0)); // 0
+        assert_eq!(t.blocks(), &[1.0, 2.0]);
+        assert_eq!(t.tail_mean(1), 2.0);
+        assert_eq!(t.tail_mean(10), 1.5);
+        let db = t.blocks_db();
+        assert!((db[0] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_counter_ser_ber() {
+        let mut c = ErrorCounter::new();
+        c.record(0b101010, 0b101010, 6); // correct
+        c.record(0b101010, 0b101011, 6); // 1 bit error
+        c.record(0b000000, 0b111111, 6); // 6 bit errors
+        assert_eq!(c.symbols(), 3);
+        assert_eq!(c.symbol_errors(), 2);
+        assert!((c.ser() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.ber() - 7.0 / 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counters_are_nan() {
+        let c = ErrorCounter::new();
+        assert!(c.ser().is_nan());
+        assert!(c.ber().is_nan());
+    }
+
+    #[test]
+    fn evm_zero_for_perfect_signal() {
+        let pts = vec![Complex::new(0.3, -0.3); 10];
+        assert_eq!(evm_rms(&pts, &pts), 0.0);
+    }
+
+    #[test]
+    fn evm_scales_with_error() {
+        let r = vec![Complex::new(1.0, 0.0); 4];
+        let m: Vec<Complex> = r.iter().map(|p| *p + Complex::new(0.1, 0.0)).collect();
+        assert!((evm_rms(&r, &m) - 0.1).abs() < 1e-12);
+    }
+}

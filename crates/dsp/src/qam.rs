@@ -1,0 +1,270 @@
+//! Square QAM constellations, symbol mapping and slicing.
+//!
+//! The scale matches the paper's 64-QAM decoder: an `L x L` grid whose axis
+//! levels are `(2j + 1) / (2L)` for `j = -L/2 .. L/2 - 1`. For `L = 8` the
+//! levels are ±1/16, ±3/16, …, ±7/16 — exactly what the offset-based slicer
+//! in Figure 4 decodes (grid step 1/8, offset 2⁻⁴).
+
+use crate::complex::Complex;
+
+/// How symbol bits map onto axis level indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SymbolMapping {
+    /// Natural binary order per axis (the paper's `data = r*64 + i*8`
+    /// packing uses raw codes).
+    #[default]
+    Binary,
+    /// Gray coding per axis: adjacent levels differ in one bit.
+    Gray,
+}
+
+/// A square M-QAM constellation.
+///
+/// # Examples
+///
+/// ```
+/// use dsp::{QamConstellation, Complex};
+///
+/// let qam = QamConstellation::new(64)?;
+/// assert_eq!(qam.bits_per_symbol(), 6);
+/// let p = qam.map(0b101_011);
+/// let (i, q) = qam.slice(p);
+/// assert_eq!(qam.demap(i, q), 0b101_011);
+/// # Ok::<(), dsp::QamOrderError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QamConstellation {
+    order: u32,
+    levels: u32,
+    mapping: SymbolMapping,
+}
+
+/// Error: unsupported constellation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QamOrderError {
+    /// The rejected order.
+    pub order: u32,
+}
+
+impl std::fmt::Display for QamOrderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported QAM order {} (use 4, 16, 64 or 256)", self.order)
+    }
+}
+
+impl std::error::Error for QamOrderError {}
+
+impl QamConstellation {
+    /// Creates an M-QAM constellation with binary mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QamOrderError`] unless `order` is 4, 16, 64 or 256.
+    pub fn new(order: u32) -> Result<Self, QamOrderError> {
+        match order {
+            4 | 16 | 64 | 256 => Ok(QamConstellation {
+                order,
+                levels: (order as f64).sqrt() as u32,
+                mapping: SymbolMapping::Binary,
+            }),
+            _ => Err(QamOrderError { order }),
+        }
+    }
+
+    /// Switches the bit-to-level mapping.
+    pub fn with_mapping(mut self, mapping: SymbolMapping) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// The constellation order M.
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// Levels per axis (√M).
+    pub fn levels_per_axis(&self) -> u32 {
+        self.levels
+    }
+
+    /// Bits carried per symbol (log2 M).
+    pub fn bits_per_symbol(&self) -> u32 {
+        self.order.trailing_zeros()
+    }
+
+    /// The real value of axis level index `j ∈ [0, L)`.
+    pub fn level_value(&self, j: u32) -> f64 {
+        let l = self.levels as f64;
+        let centered = j as f64 - l / 2.0;
+        (2.0 * centered + 1.0) / (2.0 * l)
+    }
+
+    /// All axis level values, ascending.
+    pub fn level_values(&self) -> Vec<f64> {
+        (0..self.levels).map(|j| self.level_value(j)).collect()
+    }
+
+    /// Grid spacing between adjacent levels.
+    pub fn spacing(&self) -> f64 {
+        1.0 / self.levels as f64
+    }
+
+    /// Average symbol energy of the constellation.
+    pub fn average_energy(&self) -> f64 {
+        let per_axis: f64 = self
+            .level_values()
+            .iter()
+            .map(|v| v * v)
+            .sum::<f64>()
+            / self.levels as f64;
+        2.0 * per_axis
+    }
+
+    fn encode_axis(&self, bits: u32) -> u32 {
+        match self.mapping {
+            SymbolMapping::Binary => bits,
+            SymbolMapping::Gray => bits ^ (bits >> 1),
+        }
+    }
+
+    fn decode_axis(&self, code: u32) -> u32 {
+        match self.mapping {
+            SymbolMapping::Binary => code,
+            SymbolMapping::Gray => {
+                let mut b = code;
+                let mut shift = 1;
+                while shift < 32 {
+                    b ^= b >> shift;
+                    shift <<= 1;
+                }
+                b
+            }
+        }
+    }
+
+    /// Maps a symbol (`bits_per_symbol` bits; high half → I axis) to its
+    /// constellation point.
+    pub fn map(&self, symbol: u32) -> Complex {
+        let half = self.bits_per_symbol() / 2;
+        let mask = (1 << half) - 1;
+        let i_bits = (symbol >> half) & mask;
+        let q_bits = symbol & mask;
+        Complex::new(
+            self.level_value(self.encode_axis(i_bits)),
+            self.level_value(self.encode_axis(q_bits)),
+        )
+    }
+
+    /// Slices a received point to the nearest level indices (saturating at
+    /// the grid edges).
+    pub fn slice(&self, y: Complex) -> (u32, u32) {
+        (self.slice_axis(y.re), self.slice_axis(y.im))
+    }
+
+    fn slice_axis(&self, v: f64) -> u32 {
+        let l = self.levels as f64;
+        // Invert level_value: j = (v * 2L - 1)/2 + L/2, rounded.
+        let j = ((v * 2.0 * l - 1.0) / 2.0 + l / 2.0).round();
+        j.clamp(0.0, l - 1.0) as u32
+    }
+
+    /// The constellation point for sliced indices.
+    pub fn point(&self, i: u32, q: u32) -> Complex {
+        Complex::new(self.level_value(i), self.level_value(q))
+    }
+
+    /// Recovers the symbol bits from sliced level indices.
+    pub fn demap(&self, i: u32, q: u32) -> u32 {
+        let half = self.bits_per_symbol() / 2;
+        (self.decode_axis(i) << half) | self.decode_axis(q)
+    }
+
+    /// Minimum distance from any constellation point to a decision
+    /// boundary (half the grid spacing).
+    pub fn decision_margin(&self) -> f64 {
+        self.spacing() / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_and_bits() {
+        for (m, bits, l) in [(4u32, 2u32, 2u32), (16, 4, 4), (64, 6, 8), (256, 8, 16)] {
+            let q = QamConstellation::new(m).unwrap();
+            assert_eq!(q.bits_per_symbol(), bits);
+            assert_eq!(q.levels_per_axis(), l);
+        }
+        assert!(QamConstellation::new(32).is_err());
+        assert!(QamConstellation::new(0).is_err());
+    }
+
+    #[test]
+    fn levels_match_paper_scale() {
+        let q = QamConstellation::new(64).unwrap();
+        let lv = q.level_values();
+        assert_eq!(lv.len(), 8);
+        assert_eq!(lv[0], -7.0 / 16.0);
+        assert_eq!(lv[7], 7.0 / 16.0);
+        assert_eq!(q.spacing(), 1.0 / 8.0);
+        // Symmetric.
+        for j in 0..8 {
+            assert_eq!(lv[j], -lv[7 - j]);
+        }
+    }
+
+    #[test]
+    fn map_slice_demap_roundtrip_all_symbols() {
+        for m in [4u32, 16, 64, 256] {
+            for mapping in [SymbolMapping::Binary, SymbolMapping::Gray] {
+                let q = QamConstellation::new(m).unwrap().with_mapping(mapping);
+                for s in 0..m {
+                    let p = q.map(s);
+                    let (i, qx) = q.slice(p);
+                    assert_eq!(q.demap(i, qx), s, "m={m} s={s} {mapping:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slicing_is_nearest_neighbour() {
+        let q = QamConstellation::new(64).unwrap();
+        // Slightly perturbed points still decode correctly.
+        for s in 0..64 {
+            let p = q.map(s) + Complex::new(0.05, -0.05); // < spacing/2 = 0.0625
+            let (i, qx) = q.slice(p);
+            assert_eq!(q.demap(i, qx), s);
+        }
+    }
+
+    #[test]
+    fn slicing_saturates_outside_grid() {
+        let q = QamConstellation::new(64).unwrap();
+        let (i, qx) = q.slice(Complex::new(10.0, -10.0));
+        assert_eq!((i, qx), (7, 0));
+    }
+
+    #[test]
+    fn gray_neighbours_differ_in_one_bit() {
+        let q = QamConstellation::new(64).unwrap().with_mapping(SymbolMapping::Gray);
+        for j in 0..7u32 {
+            let a = q.decode_axis(j);
+            let b = q.decode_axis(j + 1);
+            // decode_axis inverts encode; check the encoded sequence instead:
+            let ga = q.encode_axis(j);
+            let gb = q.encode_axis(j + 1);
+            assert_eq!((ga ^ gb).count_ones(), 1, "levels {j},{} -> {a},{b}", j + 1);
+        }
+    }
+
+    #[test]
+    fn average_energy_reasonable() {
+        let q = QamConstellation::new(64).unwrap();
+        // E = 2 * mean(level^2); for levels (2j+1)/16: mean = (1+9+25+49)*2/(8*256)
+        let expect = 2.0 * (1.0 + 9.0 + 25.0 + 49.0) * 2.0 / (8.0 * 256.0);
+        assert!((q.average_energy() - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! Data and symbol sources: PRBS generators and random symbols.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A linear-feedback shift register pseudo-random bit sequence.
+///
+/// Standard ITU polynomials: PRBS-7 (x⁷+x⁶+1), PRBS-15 (x¹⁵+x¹⁴+1),
+/// PRBS-23 (x²³+x¹⁸+1) — the training/payload sources real modems use.
+///
+/// # Examples
+///
+/// ```
+/// use dsp::Prbs;
+///
+/// let mut prbs = Prbs::prbs7();
+/// let bits: Vec<bool> = (0..127).map(|_| prbs.next_bit()).collect();
+/// // Maximal-length: the state returns to the seed after 2^7 - 1 bits.
+/// let again = prbs.next_bit();
+/// assert_eq!(again, bits[0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prbs {
+    state: u32,
+    len: u32,
+    tap: u32,
+}
+
+impl Prbs {
+    /// PRBS-7: x⁷ + x⁶ + 1.
+    pub fn prbs7() -> Self {
+        Prbs { state: 0x7f, len: 7, tap: 6 }
+    }
+
+    /// PRBS-15: x¹⁵ + x¹⁴ + 1.
+    pub fn prbs15() -> Self {
+        Prbs { state: 0x7fff, len: 15, tap: 14 }
+    }
+
+    /// PRBS-23: x²³ + x¹⁸ + 1.
+    pub fn prbs23() -> Self {
+        Prbs { state: 0x7fffff, len: 23, tap: 18 }
+    }
+
+    /// Custom seed (must be nonzero in the low `len` bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seed is zero (the LFSR would lock up).
+    pub fn with_seed(mut self, seed: u32) -> Self {
+        let mask = (1u32 << self.len) - 1;
+        assert!(seed & mask != 0, "PRBS seed must be nonzero");
+        self.state = seed & mask;
+        self
+    }
+
+    /// Produces the next bit.
+    pub fn next_bit(&mut self) -> bool {
+        let fb = ((self.state >> (self.len - 1)) ^ (self.state >> (self.tap - 1))) & 1;
+        self.state = ((self.state << 1) | fb) & ((1 << self.len) - 1);
+        fb == 1
+    }
+
+    /// Produces the next `n`-bit word (MSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn next_word(&mut self, n: u32) -> u32 {
+        assert!(n <= 32);
+        let mut w = 0;
+        for _ in 0..n {
+            w = (w << 1) | self.next_bit() as u32;
+        }
+        w
+    }
+}
+
+/// A seeded uniform random symbol source.
+#[derive(Debug, Clone)]
+pub struct SymbolSource {
+    rng: StdRng,
+    order: u32,
+}
+
+impl SymbolSource {
+    /// Creates a source producing symbols in `[0, order)`.
+    pub fn new(order: u32, seed: u64) -> Self {
+        SymbolSource { rng: StdRng::seed_from_u64(seed), order }
+    }
+
+    /// The next symbol.
+    pub fn next_symbol(&mut self) -> u32 {
+        self.rng.gen_range(0..self.order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prbs7_maximal_length() {
+        let mut p = Prbs::prbs7();
+        let start = p.state;
+        let mut period = 0;
+        loop {
+            p.next_bit();
+            period += 1;
+            if p.state == start {
+                break;
+            }
+            assert!(period <= 127, "period exceeded 127");
+        }
+        assert_eq!(period, 127);
+    }
+
+    #[test]
+    fn prbs15_balanced_bits() {
+        let mut p = Prbs::prbs15();
+        let n = 1 << 15;
+        let ones: u32 = (0..n).map(|_| p.next_bit() as u32).sum();
+        // Maximal-length LFSR: 2^(n-1) ones per period.
+        assert_eq!(ones, 1 << 14);
+    }
+
+    #[test]
+    fn words_pack_bits_msb_first() {
+        let mut a = Prbs::prbs7();
+        let mut b = Prbs::prbs7();
+        let w = a.next_word(6);
+        let bits: Vec<u32> = (0..6).map(|_| b.next_bit() as u32).collect();
+        let expect = bits.iter().fold(0, |acc, bit| (acc << 1) | bit);
+        assert_eq!(w, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_seed_rejected() {
+        let _ = Prbs::prbs7().with_seed(0);
+    }
+
+    #[test]
+    fn symbol_source_in_range_and_deterministic() {
+        let mut s1 = SymbolSource::new(64, 5);
+        let mut s2 = SymbolSource::new(64, 5);
+        for _ in 0..1000 {
+            let a = s1.next_symbol();
+            assert!(a < 64);
+            assert_eq!(a, s2.next_symbol());
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! Bit-accurate integers (`mc_int` / `sc_bigint` analogue).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, BitAnd, BitOr, BitXor, Mul, Neg, Not, Shl, Shr, Sub};
+
+use crate::format::{Signedness, MAX_WIDTH};
+use crate::modes::{overflow_raw, Overflow};
+
+/// A bit-accurate integer of a fixed width.
+///
+/// Mirrors Mentor's `mc_int` / SystemC's `sc_bigint`: operations between
+/// `BitInt`s are performed in full precision and the *assignment* (here the
+/// constructor / [`BitInt::assign`]) wraps the value into the destination
+/// width, which is how RTL integer registers behave.
+///
+/// # Examples
+///
+/// ```
+/// use fixpt::BitInt;
+///
+/// // int17 as in the paper: a = (int17)(a + b*c)
+/// let b = BitInt::new_signed(17, 30_000);
+/// let c = BitInt::new_signed(17, 3);
+/// let a = BitInt::new_signed(17, 40_000);
+/// let r = a.wrapping_add(&b.wrapping_mul(&c)); // 130000 wraps into 17 bits
+/// assert_eq!(r.value(), 130_000 - (1 << 17));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitInt {
+    value: i128,
+    width: u32,
+    signedness: Signedness,
+}
+
+impl BitInt {
+    /// Creates a signed `width`-bit integer, wrapping `value` into range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+    pub fn new_signed(width: u32, value: i128) -> Self {
+        Self::with_signedness(width, Signedness::Signed, value)
+    }
+
+    /// Creates an unsigned `width`-bit integer, wrapping `value` into range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+    pub fn new_unsigned(width: u32, value: i128) -> Self {
+        Self::with_signedness(width, Signedness::Unsigned, value)
+    }
+
+    /// Creates an integer with explicit signedness, wrapping `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+    pub fn with_signedness(width: u32, signedness: Signedness, value: i128) -> Self {
+        assert!(width >= 1 && width <= MAX_WIDTH, "BitInt width {width} out of range");
+        let value = overflow_raw(value, width, signedness.is_signed(), Overflow::Wrap);
+        BitInt { value, width, signedness }
+    }
+
+    /// The contained value.
+    pub fn value(&self) -> i128 {
+        self.value
+    }
+
+    /// The width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The signedness.
+    pub fn signedness(&self) -> Signedness {
+        self.signedness
+    }
+
+    /// Returns a copy holding `value` wrapped into this integer's width
+    /// (RTL register assignment).
+    pub fn assign(&self, value: i128) -> Self {
+        BitInt::with_signedness(self.width, self.signedness, value)
+    }
+
+    /// Saturating variant of [`assign`](BitInt::assign).
+    pub fn assign_saturating(&self, value: i128) -> Self {
+        let v = overflow_raw(value, self.width, self.signedness.is_signed(), Overflow::Sat);
+        BitInt { value: v, width: self.width, signedness: self.signedness }
+    }
+
+    /// Full-precision sum wrapped back into `self`'s width.
+    pub fn wrapping_add(&self, other: &BitInt) -> Self {
+        self.assign(self.value + other.value)
+    }
+
+    /// Full-precision difference wrapped back into `self`'s width.
+    pub fn wrapping_sub(&self, other: &BitInt) -> Self {
+        self.assign(self.value - other.value)
+    }
+
+    /// Full-precision product wrapped back into `self`'s width.
+    pub fn wrapping_mul(&self, other: &BitInt) -> Self {
+        self.assign(self.value * other.value)
+    }
+
+    /// Reads bit `i` of the two's-complement representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn bit(&self, i: u32) -> bool {
+        assert!(i < self.width, "bit index {i} out of range for {}-bit integer", self.width);
+        let unsigned = overflow_raw(self.value, self.width, false, Overflow::Wrap);
+        (unsigned >> i) & 1 == 1
+    }
+
+    /// Extracts bits `[lo, hi]` (inclusive) as an unsigned integer, like a
+    /// Verilog part-select.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= width`.
+    pub fn bits(&self, hi: u32, lo: u32) -> BitInt {
+        assert!(hi >= lo && hi < self.width, "part-select [{hi}:{lo}] out of range");
+        let unsigned = overflow_raw(self.value, self.width, false, Overflow::Wrap);
+        let w = hi - lo + 1;
+        let mask = (1i128 << w) - 1;
+        BitInt { value: (unsigned >> lo) & mask, width: w, signedness: Signedness::Unsigned }
+    }
+
+    /// Minimum width needed to represent `value` with the given signedness
+    /// (at least 1). This is the analysis behind the paper's Figure 2
+    /// automatic bit reduction.
+    pub fn required_width(value: i128, signedness: Signedness) -> u32 {
+        match signedness {
+            Signedness::Unsigned => {
+                debug_assert!(value >= 0);
+                (128 - value.leading_zeros()).max(1)
+            }
+            Signedness::Signed => {
+                if value >= 0 {
+                    (128 - value.leading_zeros()) + 1
+                } else {
+                    128 - (!value).leading_zeros() + 1
+                }
+            }
+        }
+    }
+}
+
+impl Add for BitInt {
+    type Output = BitInt;
+    /// Full-precision sum carried in a widened result (max width + 1,
+    /// capped at [`MAX_WIDTH`]).
+    fn add(self, rhs: BitInt) -> BitInt {
+        let w = (self.width.max(rhs.width) + 1).min(MAX_WIDTH);
+        let s = if self.signedness.is_signed() || rhs.signedness.is_signed() {
+            Signedness::Signed
+        } else {
+            Signedness::Unsigned
+        };
+        BitInt::with_signedness(w, s, self.value + rhs.value)
+    }
+}
+
+impl Sub for BitInt {
+    type Output = BitInt;
+    /// Full-precision difference (always signed, widened).
+    fn sub(self, rhs: BitInt) -> BitInt {
+        let w = (self.width.max(rhs.width) + 1).min(MAX_WIDTH);
+        BitInt::with_signedness(w, Signedness::Signed, self.value - rhs.value)
+    }
+}
+
+impl Mul for BitInt {
+    type Output = BitInt;
+    /// Full-precision product carried in a widened result (sum of widths,
+    /// capped at [`MAX_WIDTH`]).
+    fn mul(self, rhs: BitInt) -> BitInt {
+        let w = (self.width + rhs.width).min(MAX_WIDTH);
+        let s = if self.signedness.is_signed() || rhs.signedness.is_signed() {
+            Signedness::Signed
+        } else {
+            Signedness::Unsigned
+        };
+        BitInt::with_signedness(w, s, self.value * rhs.value)
+    }
+}
+
+impl Neg for BitInt {
+    type Output = BitInt;
+    fn neg(self) -> BitInt {
+        let w = (self.width + 1).min(MAX_WIDTH);
+        BitInt::with_signedness(w, Signedness::Signed, -self.value)
+    }
+}
+
+impl Not for BitInt {
+    type Output = BitInt;
+    fn not(self) -> BitInt {
+        let unsigned = overflow_raw(self.value, self.width, false, Overflow::Wrap);
+        let mask = if self.width == 128 { -1i128 } else { (1i128 << self.width) - 1 };
+        BitInt::with_signedness(self.width, self.signedness, !unsigned & mask)
+    }
+}
+
+macro_rules! impl_bitop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for BitInt {
+            type Output = BitInt;
+            fn $method(self, rhs: BitInt) -> BitInt {
+                let w = self.width.max(rhs.width);
+                let a = overflow_raw(self.value, self.width, false, Overflow::Wrap);
+                let b = overflow_raw(rhs.value, rhs.width, false, Overflow::Wrap);
+                let s = if self.signedness.is_signed() && rhs.signedness.is_signed() {
+                    Signedness::Signed
+                } else {
+                    Signedness::Unsigned
+                };
+                BitInt::with_signedness(w, s, a $op b)
+            }
+        }
+    };
+}
+
+impl_bitop!(BitAnd, bitand, &);
+impl_bitop!(BitOr, bitor, |);
+impl_bitop!(BitXor, bitxor, ^);
+
+impl Shl<u32> for BitInt {
+    type Output = BitInt;
+    /// Shift left within the same width (bits fall off the top).
+    fn shl(self, n: u32) -> BitInt {
+        if n >= self.width + 64 {
+            return self.assign(0);
+        }
+        self.assign(self.value << n.min(63))
+    }
+}
+
+impl Shr<u32> for BitInt {
+    type Output = BitInt;
+    /// Arithmetic (signed) or logical (unsigned) shift right.
+    fn shr(self, n: u32) -> BitInt {
+        let v = if self.signedness.is_signed() {
+            self.value >> n.min(127)
+        } else {
+            let u = overflow_raw(self.value, self.width, false, Overflow::Wrap);
+            if n >= 127 { 0 } else { u >> n }
+        };
+        self.assign(v)
+    }
+}
+
+impl PartialOrd for BitInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.value.cmp(&other.value))
+    }
+}
+
+impl Ord for BitInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.value.cmp(&other.value)
+    }
+}
+
+impl fmt::Display for BitInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+impl fmt::Binary for BitInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let unsigned = overflow_raw(self.value, self.width, false, Overflow::Wrap) as u128;
+        write!(f, "{unsigned:0width$b}", width = self.width as usize)
+    }
+}
+
+impl fmt::LowerHex for BitInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let unsigned = overflow_raw(self.value, self.width, false, Overflow::Wrap) as u128;
+        write!(f, "{unsigned:x}")
+    }
+}
+
+impl fmt::UpperHex for BitInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let unsigned = overflow_raw(self.value, self.width, false, Overflow::Wrap) as u128;
+        write!(f, "{unsigned:X}")
+    }
+}
+
+impl fmt::Octal for BitInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let unsigned = overflow_raw(self.value, self.width, false, Overflow::Wrap) as u128;
+        write!(f, "{unsigned:o}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_wraps() {
+        assert_eq!(BitInt::new_signed(4, 8).value(), -8);
+        assert_eq!(BitInt::new_signed(4, 7).value(), 7);
+        assert_eq!(BitInt::new_unsigned(4, 16).value(), 0);
+        assert_eq!(BitInt::new_unsigned(4, -1).value(), 15);
+    }
+
+    #[test]
+    fn widening_ops() {
+        let a = BitInt::new_signed(8, 127);
+        let b = BitInt::new_signed(8, 127);
+        assert_eq!((a + b).value(), 254);
+        assert_eq!((a + b).width(), 9);
+        assert_eq!((a * b).value(), 16129);
+        assert_eq!((a * b).width(), 16);
+        assert_eq!((a - b).value(), 0);
+    }
+
+    #[test]
+    fn wrapping_ops_stay_narrow() {
+        let a = BitInt::new_signed(8, 100);
+        let b = BitInt::new_signed(8, 100);
+        let s = a.wrapping_add(&b); // 200 wraps in 8 bits -> -56
+        assert_eq!(s.value(), -56);
+        assert_eq!(s.width(), 8);
+    }
+
+    #[test]
+    fn saturating_assign() {
+        let r = BitInt::new_signed(8, 0);
+        assert_eq!(r.assign_saturating(1000).value(), 127);
+        assert_eq!(r.assign_saturating(-1000).value(), -128);
+    }
+
+    #[test]
+    fn bit_and_part_select() {
+        let v = BitInt::new_unsigned(8, 0b1011_0110);
+        assert!(v.bit(1));
+        assert!(!v.bit(0));
+        assert_eq!(v.bits(5, 2).value(), 0b1101);
+        assert_eq!(v.bits(7, 4).value(), 0b1011);
+        let n = BitInt::new_signed(4, -1);
+        assert_eq!(n.bits(3, 0).value(), 0b1111);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = BitInt::new_unsigned(4, 0b1100);
+        let b = BitInt::new_unsigned(4, 0b1010);
+        assert_eq!((a & b).value(), 0b1000);
+        assert_eq!((a | b).value(), 0b1110);
+        assert_eq!((a ^ b).value(), 0b0110);
+        assert_eq!((!a).value(), 0b0011);
+    }
+
+    #[test]
+    fn not_of_signed() {
+        let a = BitInt::new_signed(4, -1); // 0b1111
+        assert_eq!((!a).value(), 0);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = BitInt::new_unsigned(8, 0b0110_0000);
+        assert_eq!((a << 1).value(), 0b1100_0000);
+        assert_eq!((a << 2).value(), 0b1000_0000); // top bit falls off
+        let s = BitInt::new_signed(8, -64);
+        assert_eq!((s >> 2).value(), -16); // arithmetic
+        let u = BitInt::new_unsigned(8, 0b1000_0000);
+        assert_eq!((u >> 3).value(), 0b0001_0000); // logical
+        assert_eq!((u >> 200).value(), 0);
+        assert_eq!((u << 200).value(), 0);
+    }
+
+    #[test]
+    fn negation_widens() {
+        let m = BitInt::new_signed(4, -8);
+        assert_eq!((-m).value(), 8);
+        assert_eq!((-m).width(), 5);
+    }
+
+    #[test]
+    fn required_width_examples() {
+        // Figure 2: loop counter for N iterations.
+        assert_eq!(BitInt::required_width(0, Signedness::Unsigned), 1);
+        assert_eq!(BitInt::required_width(7, Signedness::Unsigned), 3);
+        assert_eq!(BitInt::required_width(8, Signedness::Unsigned), 4);
+        assert_eq!(BitInt::required_width(15, Signedness::Unsigned), 4);
+        assert_eq!(BitInt::required_width(16, Signedness::Unsigned), 5);
+        assert_eq!(BitInt::required_width(0, Signedness::Signed), 1);
+        assert_eq!(BitInt::required_width(-1, Signedness::Signed), 1);
+        assert_eq!(BitInt::required_width(-2, Signedness::Signed), 2);
+        assert_eq!(BitInt::required_width(1, Signedness::Signed), 2);
+        assert_eq!(BitInt::required_width(-128, Signedness::Signed), 8);
+        assert_eq!(BitInt::required_width(127, Signedness::Signed), 8);
+        // 17-bit example from Section 3.2.
+        assert_eq!(BitInt::required_width(65_535, Signedness::Signed), 17);
+    }
+
+    #[test]
+    fn ordering_and_formatting() {
+        let a = BitInt::new_signed(8, -5);
+        let b = BitInt::new_signed(8, 3);
+        assert!(a < b);
+        assert_eq!(format!("{a}"), "-5");
+        assert_eq!(format!("{a:b}"), "11111011");
+        assert_eq!(format!("{a:x}"), "fb");
+        assert_eq!(format!("{a:X}"), "FB");
+        assert_eq!(format!("{a:o}"), "373");
+    }
+}

@@ -1,0 +1,661 @@
+//! Dynamically-formatted bit-accurate fixed-point values.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::format::{Format, Signedness, MAX_WIDTH};
+use crate::modes::{overflow_raw, quantize_raw, Overflow, Quantization};
+
+/// Error constructing a [`Fixed`] from a raw mantissa.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawOutOfRangeError {
+    /// The mantissa that did not fit.
+    pub raw: i128,
+    /// The destination format.
+    pub format: Format,
+}
+
+impl fmt::Display for RawOutOfRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "raw mantissa {} does not fit in format {}", self.raw, self.format)
+    }
+}
+
+impl std::error::Error for RawOutOfRangeError {}
+
+/// A bit-accurate fixed-point value with a runtime [`Format`].
+///
+/// `Fixed` mirrors SystemC's `sc_fixed`/`sc_ufixed`: a two's-complement
+/// mantissa interpreted with a binary point placed by the format. All
+/// arithmetic between `Fixed` values is *exact* (the result carries the
+/// full-precision format, as SystemC expressions do before assignment);
+/// precision is lost only at explicit [`cast`](Fixed::cast) /
+/// [`cast_with`](Fixed::cast_with) boundaries, where a [`Quantization`] and
+/// an [`Overflow`] mode apply.
+///
+/// # Examples
+///
+/// ```
+/// use fixpt::{Fixed, Format, Quantization, Overflow};
+///
+/// let fmt = Format::signed(8, 3); // sc_fixed<8,3>
+/// let a = Fixed::from_f64(1.25, fmt);
+/// let b = Fixed::from_f64(0.5, fmt);
+/// let product = a.exact_mul(&b); // exact: fixed<16,6>
+/// assert_eq!(product.to_f64(), 0.625);
+///
+/// // Saturating, rounding cast back to the narrow format:
+/// let narrowed = product.cast_with(fmt, Quantization::Rnd, Overflow::Sat);
+/// assert_eq!(narrowed.to_f64(), 0.625);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fixed {
+    raw: i128,
+    format: Format,
+}
+
+impl Fixed {
+    /// The zero value in `format`.
+    pub fn zero(format: Format) -> Self {
+        Fixed { raw: 0, format }
+    }
+
+    /// Creates a value from a raw mantissa.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RawOutOfRangeError`] if `raw` does not fit the format.
+    pub fn from_raw(raw: i128, format: Format) -> Result<Self, RawOutOfRangeError> {
+        if format.contains_raw(raw) {
+            Ok(Fixed { raw, format })
+        } else {
+            Err(RawOutOfRangeError { raw, format })
+        }
+    }
+
+    /// Creates a value from a raw mantissa, wrapping it into range first
+    /// (two's-complement truncation, like assigning to a SystemC variable
+    /// with `SC_WRAP`).
+    pub fn from_raw_wrapped(raw: i128, format: Format) -> Self {
+        let raw = overflow_raw(raw, format.width(), format.is_signed(), Overflow::Wrap);
+        Fixed { raw, format }
+    }
+
+    /// Converts an `f64` using the SystemC default modes (truncate, wrap).
+    ///
+    /// Non-finite inputs map to zero.
+    pub fn from_f64(value: f64, format: Format) -> Self {
+        Self::from_f64_with(value, format, Quantization::Trn, Overflow::Wrap)
+    }
+
+    /// Converts an `f64` with explicit quantization and overflow modes.
+    ///
+    /// Non-finite inputs map to zero.
+    pub fn from_f64_with(value: f64, format: Format, q: Quantization, o: Overflow) -> Self {
+        if !value.is_finite() {
+            return Fixed::zero(format);
+        }
+        // Scale into the destination LSB grid with 30 guard bits so the
+        // quantization mode sees the fractional residue.
+        const GUARD: u32 = 30;
+        let scaled = value * 2f64.powi(format.frac_bits() + GUARD as i32);
+        // Clamp to i128 range before converting.
+        let scaled = scaled.clamp(-(2f64.powi(126)), 2f64.powi(126));
+        let raw_guarded = scaled.round() as i128;
+        let raw = quantize_raw(raw_guarded, GUARD, q);
+        let raw = overflow_raw(raw, format.width(), format.is_signed(), o);
+        Fixed { raw, format }
+    }
+
+    /// Converts an integer value (binary point at the LSB of `i`) into
+    /// `format` with default modes.
+    pub fn from_int(i: i64, format: Format) -> Self {
+        let int_fmt = Format::integer(MAX_WIDTH, Signedness::Signed);
+        Fixed { raw: i as i128, format: int_fmt }.cast(format)
+    }
+
+    /// The raw two's-complement mantissa.
+    pub fn raw(&self) -> i128 {
+        self.raw
+    }
+
+    /// The value's format.
+    pub fn format(&self) -> Format {
+        self.format
+    }
+
+    /// The represented real value as an `f64` (may round for wide formats).
+    pub fn to_f64(&self) -> f64 {
+        self.raw as f64 * 2f64.powi(-self.format.frac_bits())
+    }
+
+    /// The integer part, truncating toward negative infinity (SystemC
+    /// `to_int` on a value whose fractional part is discarded by `SC_TRN`).
+    pub fn to_i64(&self) -> i64 {
+        let f = self.format.frac_bits();
+        let v = if f >= 0 {
+            quantize_raw(self.raw, f as u32, Quantization::Trn)
+        } else {
+            self.raw << (-f) as u32
+        };
+        v as i64
+    }
+
+    /// `true` if the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.raw == 0
+    }
+
+    /// `true` if the value is negative.
+    pub fn is_negative(&self) -> bool {
+        self.raw < 0
+    }
+
+    /// Sign of the value: `-1`, `0` or `1`.
+    pub fn signum(&self) -> i32 {
+        self.raw.signum() as i32
+    }
+
+    /// Reads mantissa bit `i` (LSB is bit 0), like `sc_fixed::operator[]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn bit(&self, i: u32) -> bool {
+        assert!(i < self.format.width(), "bit index {i} out of range for {}", self.format);
+        let unsigned = overflow_raw(self.raw, self.format.width(), false, Overflow::Wrap);
+        (unsigned >> i) & 1 == 1
+    }
+
+    /// Returns a copy with mantissa bit `i` set to `value`, like
+    /// `offset[0] = 1` in the paper's slicer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn with_bit(&self, i: u32, value: bool) -> Self {
+        assert!(i < self.format.width(), "bit index {i} out of range for {}", self.format);
+        let w = self.format.width();
+        let mut unsigned = overflow_raw(self.raw, w, false, Overflow::Wrap);
+        if value {
+            unsigned |= 1i128 << i;
+        } else {
+            unsigned &= !(1i128 << i);
+        }
+        let raw = overflow_raw(unsigned, w, self.format.is_signed(), Overflow::Wrap);
+        Fixed { raw, format: self.format }
+    }
+
+    /// Casts into `format` with the SystemC default modes (truncate, wrap).
+    pub fn cast(&self, format: Format) -> Self {
+        self.cast_with(format, Quantization::Trn, Overflow::Wrap)
+    }
+
+    /// Casts into `format` applying `q` when fractional bits are dropped and
+    /// `o` when the value exceeds the destination range.
+    pub fn cast_with(&self, format: Format, q: Quantization, o: Overflow) -> Self {
+        let src_frac = self.format.frac_bits();
+        let dst_frac = format.frac_bits();
+        let raw = if dst_frac >= src_frac {
+            let shift = (dst_frac - src_frac) as u32;
+            assert!(shift < 64, "cast between formats {} and {} shifts too far", self.format, format);
+            self.raw << shift
+        } else {
+            quantize_raw(self.raw, (src_frac - dst_frac) as u32, q)
+        };
+        let raw = overflow_raw(raw, format.width(), format.is_signed(), o);
+        Fixed { raw, format }
+    }
+
+    fn align(&self, other: &Fixed) -> (i128, i128, i32) {
+        let f1 = self.format.frac_bits();
+        let f2 = other.format.frac_bits();
+        let cf = f1.max(f2);
+        let s1 = (cf - f1) as u32;
+        let s2 = (cf - f2) as u32;
+        assert!(
+            s1 < 62 && s2 < 62,
+            "operands {} and {} are too far apart in scale for exact arithmetic",
+            self.format,
+            other.format
+        );
+        (self.raw << s1, other.raw << s2, cf)
+    }
+
+    /// Exact sum; the result carries the full-precision
+    /// [`add_format`](Format::add_format).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exact result cannot be represented within
+    /// [`MAX_WIDTH`](crate::MAX_WIDTH) bits.
+    pub fn exact_add(&self, other: &Fixed) -> Fixed {
+        let (a, b, _) = self.align(other);
+        let format = self.format.add_format(&other.format);
+        let raw = a + b;
+        assert!(
+            format.contains_raw(raw),
+            "exact sum of {} and {} exceeds the {MAX_WIDTH}-bit limit",
+            self.format,
+            other.format
+        );
+        Fixed { raw, format }
+    }
+
+    /// Exact difference; always signed full precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exact result cannot be represented within
+    /// [`MAX_WIDTH`](crate::MAX_WIDTH) bits.
+    pub fn exact_sub(&self, other: &Fixed) -> Fixed {
+        let (a, b, _) = self.align(other);
+        let format = self.format.sub_format(&other.format);
+        let raw = a - b;
+        assert!(
+            format.contains_raw(raw),
+            "exact difference of {} and {} exceeds the {MAX_WIDTH}-bit limit",
+            self.format,
+            other.format
+        );
+        Fixed { raw, format }
+    }
+
+    /// Exact product; the result carries the full-precision
+    /// [`mul_format`](Format::mul_format).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exact result cannot be represented within
+    /// [`MAX_WIDTH`](crate::MAX_WIDTH) bits.
+    pub fn exact_mul(&self, other: &Fixed) -> Fixed {
+        let format = self.format.mul_format(&other.format);
+        let raw = self.raw * other.raw;
+        assert!(
+            format.contains_raw(raw),
+            "exact product of {} and {} exceeds the {MAX_WIDTH}-bit limit",
+            self.format,
+            other.format
+        );
+        Fixed { raw, format }
+    }
+
+    /// Exact negation (always signed, one extra bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exact result cannot be represented within
+    /// [`MAX_WIDTH`](crate::MAX_WIDTH) bits (only possible when negating the
+    /// minimum of a full-width format).
+    pub fn negate(&self) -> Fixed {
+        let format = self.format.neg_format();
+        let raw = -self.raw;
+        assert!(
+            format.contains_raw(raw),
+            "exact negation of {} exceeds the {MAX_WIDTH}-bit limit",
+            self.format
+        );
+        Fixed { raw, format }
+    }
+
+    /// Absolute value (exact, signed format with one extra bit).
+    pub fn abs(&self) -> Fixed {
+        if self.raw < 0 {
+            self.negate()
+        } else {
+            Fixed { raw: self.raw, format: self.format.neg_format() }
+        }
+    }
+
+    /// SystemC `>>`: shifts the *value* right by `n` places within the same
+    /// format, truncating shifted-out bits (`SC_TRN`).
+    pub fn shr(&self, n: u32) -> Fixed {
+        let raw = if n >= 127 { if self.raw < 0 { -1 } else { 0 } } else { quantize_raw(self.raw, n, Quantization::Trn) };
+        Fixed { raw, format: self.format }
+    }
+
+    /// SystemC `<<`: shifts the value left by `n` places within the same
+    /// format, wrapping on overflow.
+    pub fn shl(&self, n: u32) -> Fixed {
+        assert!(n < 64, "left shift {n} too large");
+        let raw = overflow_raw(self.raw << n, self.format.width(), self.format.is_signed(), Overflow::Wrap);
+        Fixed { raw, format: self.format }
+    }
+
+    /// Moves the binary point: returns the exact value `self * 2^n` by
+    /// adjusting `int_bits`, with no loss.
+    pub fn scale_pow2(&self, n: i32) -> Fixed {
+        let format = Format::new(
+            self.format.width(),
+            self.format.int_bits() + n,
+            self.format.signedness(),
+        )
+        .expect("scaled format within bounds");
+        Fixed { raw: self.raw, format }
+    }
+
+    /// Exact value comparison across formats.
+    fn cmp_exact(&self, other: &Fixed) -> Ordering {
+        let s1 = self.raw.signum();
+        let s2 = other.raw.signum();
+        if s1 != s2 {
+            return s1.cmp(&s2);
+        }
+        if s1 == 0 {
+            return Ordering::Equal;
+        }
+        // Same nonzero sign: compare canonical (odd mantissa, exponent).
+        let (m1, e1) = canonical(self.raw, self.format.frac_bits());
+        let (m2, e2) = canonical(other.raw, other.format.frac_bits());
+        // Exponent of the MSB: bitlen(|m|) + e.
+        let top1 = bitlen(m1.unsigned_abs()) as i64 + e1 as i64;
+        let top2 = bitlen(m2.unsigned_abs()) as i64 + e2 as i64;
+        if top1 != top2 {
+            return if s1 > 0 { top1.cmp(&top2) } else { top2.cmp(&top1) };
+        }
+        // Same MSB position: align (shift bounded by mantissa bit lengths).
+        let shift1 = (e1 as i64 - e1.min(e2) as i64) as u32;
+        let shift2 = (e2 as i64 - e1.min(e2) as i64) as u32;
+        debug_assert!(shift1 <= 64 && shift2 <= 64);
+        (m1 << shift1).cmp(&(m2 << shift2))
+    }
+}
+
+/// Strips trailing zero bits: returns (odd-or-zero mantissa, adjusted
+/// exponent) such that `raw * 2^-frac == m * 2^e`.
+fn canonical(raw: i128, frac: i32) -> (i128, i32) {
+    debug_assert!(raw != 0);
+    let tz = raw.trailing_zeros();
+    (raw >> tz, tz as i32 - frac)
+}
+
+fn bitlen(v: u128) -> u32 {
+    128 - v.leading_zeros()
+}
+
+impl PartialEq for Fixed {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_exact(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Fixed {}
+
+impl PartialOrd for Fixed {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp_exact(other))
+    }
+}
+
+impl Ord for Fixed {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_exact(other)
+    }
+}
+
+impl Hash for Fixed {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        if self.raw == 0 {
+            0i128.hash(state);
+            0i32.hash(state);
+        } else {
+            let (m, e) = canonical(self.raw, self.format.frac_bits());
+            m.hash(state);
+            e.hash(state);
+        }
+    }
+}
+
+impl Add for Fixed {
+    type Output = Fixed;
+    fn add(self, rhs: Fixed) -> Fixed {
+        Fixed::exact_add(&self, &rhs)
+    }
+}
+
+impl Sub for Fixed {
+    type Output = Fixed;
+    fn sub(self, rhs: Fixed) -> Fixed {
+        Fixed::exact_sub(&self, &rhs)
+    }
+}
+
+impl Mul for Fixed {
+    type Output = Fixed;
+    fn mul(self, rhs: Fixed) -> Fixed {
+        Fixed::exact_mul(&self, &rhs)
+    }
+}
+
+impl Neg for Fixed {
+    type Output = Fixed;
+    fn neg(self) -> Fixed {
+        self.negate()
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        let fmt = Format::signed(8, 3);
+        for v in [-4.0, -3.96875, -0.03125, 0.0, 0.03125, 1.25, 3.96875] {
+            let x = Fixed::from_f64(v, fmt);
+            assert_eq!(x.to_f64(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn from_f64_truncates_by_default() {
+        let fmt = Format::signed(8, 3);
+        assert_eq!(Fixed::from_f64(1.26, fmt).to_f64(), 1.25);
+        // SC_TRN floors: -1.26 -> -1.28125
+        assert_eq!(Fixed::from_f64(-1.26, fmt).to_f64(), -1.28125);
+    }
+
+    #[test]
+    fn from_f64_rounds_when_asked() {
+        let fmt = Format::signed(8, 3);
+        let x = Fixed::from_f64_with(1.26, fmt, Quantization::Rnd, Overflow::Sat);
+        assert_eq!(x.to_f64(), 1.25);
+        let y = Fixed::from_f64_with(1.27, fmt, Quantization::Rnd, Overflow::Sat);
+        assert_eq!(y.to_f64(), 1.28125);
+    }
+
+    #[test]
+    fn from_f64_saturates() {
+        let fmt = Format::signed(8, 3);
+        let x = Fixed::from_f64_with(100.0, fmt, Quantization::Rnd, Overflow::Sat);
+        assert_eq!(x.to_f64(), fmt.max_value());
+        let y = Fixed::from_f64_with(-100.0, fmt, Quantization::Rnd, Overflow::Sat);
+        assert_eq!(y.to_f64(), fmt.min_value());
+    }
+
+    #[test]
+    fn non_finite_maps_to_zero() {
+        let fmt = Format::signed(8, 3);
+        assert!(Fixed::from_f64(f64::NAN, fmt).is_zero());
+        assert!(Fixed::from_f64(f64::INFINITY, fmt).is_zero());
+    }
+
+    #[test]
+    fn exact_addition_widens() {
+        let fmt = Format::signed(8, 3);
+        let a = Fixed::from_f64(3.96875, fmt);
+        let b = Fixed::from_f64(3.96875, fmt);
+        let s = a.exact_add(&b);
+        assert_eq!(s.to_f64(), 7.9375);
+        assert_eq!(s.format().int_bits(), 4);
+        assert_eq!(s.format().width(), 9);
+    }
+
+    #[test]
+    fn exact_multiplication_widens() {
+        let fmt = Format::signed(8, 3);
+        let a = Fixed::from_f64(-4.0, fmt);
+        let b = Fixed::from_f64(-4.0, fmt);
+        let p = a.exact_mul(&b);
+        assert_eq!(p.to_f64(), 16.0);
+        assert_eq!(p.format().width(), 16);
+        assert_eq!(p.format().int_bits(), 6);
+    }
+
+    #[test]
+    fn mixed_point_addition() {
+        let a = Fixed::from_f64(1.5, Format::signed(8, 3)); // 5 frac
+        let b = Fixed::from_f64(2.25, Format::signed(6, 4)); // 2 frac
+        assert_eq!(a.exact_add(&b).to_f64(), 3.75);
+        assert_eq!(b.exact_sub(&a).to_f64(), 0.75);
+    }
+
+    #[test]
+    fn subtraction_is_signed() {
+        let fmt = Format::unsigned(4, 4);
+        let a = Fixed::from_f64(2.0, fmt);
+        let b = Fixed::from_f64(5.0, fmt);
+        let d = a.exact_sub(&b);
+        assert!(d.format().is_signed());
+        assert_eq!(d.to_f64(), -3.0);
+    }
+
+    #[test]
+    fn negation() {
+        let fmt = Format::signed(4, 4);
+        let m = Fixed::from_f64(-8.0, fmt);
+        assert_eq!(m.negate().to_f64(), 8.0); // widened, no wrap
+        assert_eq!((-m).to_f64(), 8.0);
+    }
+
+    #[test]
+    fn cast_wraps_by_default() {
+        let wide = Format::signed(16, 8);
+        let narrow = Format::signed(4, 4);
+        let x = Fixed::from_f64(9.0, wide);
+        // 9 wraps into 4-bit signed: 9 - 16 = -7.
+        assert_eq!(x.cast(narrow).to_f64(), -7.0);
+        assert_eq!(x.cast_with(narrow, Quantization::Trn, Overflow::Sat).to_f64(), 7.0);
+    }
+
+    #[test]
+    fn value_equality_across_formats() {
+        let a = Fixed::from_f64(1.5, Format::signed(8, 3));
+        let b = Fixed::from_f64(1.5, Format::signed(16, 8));
+        assert_eq!(a, b);
+        assert!(a <= b && b >= a);
+        let c = Fixed::from_f64(1.53125, Format::signed(8, 3));
+        assert_ne!(a, c);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn ordering_with_negative_values() {
+        let fmt = Format::signed(10, 4);
+        let vals = [-7.5, -1.0, -0.0625, 0.0, 0.0625, 1.0, 7.9375];
+        for w in vals.windows(2) {
+            let a = Fixed::from_f64(w[0], fmt);
+            let b = Fixed::from_f64(w[1], fmt);
+            assert!(a < b, "{} < {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn ordering_across_scales() {
+        // Values with very different LSB scales.
+        let big = Fixed::from_f64(1024.0, Format::signed(16, 12));
+        let small = Fixed::from_f64(0.001953125, Format::signed(16, 2));
+        assert!(small < big);
+        assert!(big > small);
+        assert_eq!(big.cmp(&big), Ordering::Equal);
+    }
+
+    #[test]
+    fn bit_access() {
+        let fmt = Format::signed(4, 0);
+        let mut offset = Fixed::zero(fmt);
+        offset = offset.with_bit(0, true); // LSB = 2^-4
+        assert_eq!(offset.to_f64(), 0.0625);
+        assert!(offset.bit(0));
+        assert!(!offset.bit(1));
+        let cleared = offset.with_bit(0, false);
+        assert!(cleared.is_zero());
+    }
+
+    #[test]
+    fn bit_access_negative_value() {
+        let fmt = Format::signed(4, 4);
+        let m1 = Fixed::from_f64(-1.0, fmt); // 0b1111
+        assert!(m1.bit(0) && m1.bit(1) && m1.bit(2) && m1.bit(3));
+        let cleared = m1.with_bit(3, false); // 0b0111 = 7
+        assert_eq!(cleared.to_f64(), 7.0);
+    }
+
+    #[test]
+    fn shifts() {
+        let fmt = Format::signed(12, 2); // like the paper's mu computation
+        let one = Fixed::from_f64(1.0, fmt);
+        let mu = one.shr(8);
+        assert_eq!(mu.to_f64(), 2f64.powi(-8));
+        assert_eq!(mu.shl(8).to_f64(), 1.0);
+        // Value shift truncates bits that fall off.
+        let tiny = Fixed::from_f64(2f64.powi(-10), fmt); // LSB
+        assert!(tiny.shr(1).is_zero());
+    }
+
+    #[test]
+    fn scale_pow2_is_exact() {
+        let x = Fixed::from_f64(1.25, Format::signed(8, 3));
+        let y = x.scale_pow2(-4);
+        assert_eq!(y.to_f64(), 1.25 / 16.0);
+        assert_eq!(y.format().width(), 8);
+    }
+
+    #[test]
+    fn to_i64_floors() {
+        let fmt = Format::signed(10, 6);
+        assert_eq!(Fixed::from_f64(5.75, fmt).to_i64(), 5);
+        assert_eq!(Fixed::from_f64(-5.75, fmt).to_i64(), -6);
+        assert_eq!(Fixed::from_f64(-5.0, fmt).to_i64(), -5);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        let fmt = Format::signed(4, 4);
+        assert!(Fixed::from_raw(7, fmt).is_ok());
+        assert!(Fixed::from_raw(8, fmt).is_err());
+        assert_eq!(Fixed::from_raw_wrapped(8, fmt).to_f64(), -8.0);
+    }
+
+    #[test]
+    fn signum_and_predicates() {
+        let fmt = Format::signed(8, 4);
+        assert_eq!(Fixed::from_f64(2.0, fmt).signum(), 1);
+        assert_eq!(Fixed::from_f64(-2.0, fmt).signum(), -1);
+        assert_eq!(Fixed::zero(fmt).signum(), 0);
+        assert!(Fixed::from_f64(-2.0, fmt).is_negative());
+    }
+
+    #[test]
+    fn abs_widens_safely() {
+        let fmt = Format::signed(4, 4);
+        let m = Fixed::from_f64(-8.0, fmt);
+        assert_eq!(m.abs().to_f64(), 8.0);
+        assert_eq!(Fixed::from_f64(3.0, fmt).abs().to_f64(), 3.0);
+    }
+
+    #[test]
+    fn from_int_conversion() {
+        let fmt = Format::signed(10, 6);
+        assert_eq!(Fixed::from_int(-17, fmt).to_f64(), -17.0);
+        assert_eq!(Fixed::from_int(31, fmt).to_f64(), 31.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Const-generic conveniences over [`Fixed`].
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::fixed::Fixed;
+use crate::format::{Format, Signedness};
+use crate::modes::{Overflow, Quantization};
+
+/// A signed fixed-point value with compile-time format `sc_fixed<W, I>`.
+///
+/// `Fx` is an ergonomic wrapper over [`Fixed`] for code whose formats are
+/// known statically (the DSP reference models). Arithmetic between equal
+/// formats quantizes the exact result back into `<W, I>` with the SystemC
+/// default modes (truncate, wrap) — i.e. it behaves like a C assignment
+/// `a = a + b` on `sc_fixed<W, I>` variables. Use [`Fx::widening`] to access
+/// the exact [`Fixed`] value when an accumulator needs more headroom.
+///
+/// # Examples
+///
+/// ```
+/// use fixpt::Fx;
+///
+/// type Coef = Fx<10, 0>; // sc_fixed<10,0>
+/// let a = Coef::from_f64(0.25);
+/// let b = Coef::from_f64(0.125);
+/// assert_eq!((a + b).to_f64(), 0.375);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fx<const W: u32, const I: i32> {
+    inner: Fixed,
+}
+
+impl<const W: u32, const I: i32> Fx<W, I> {
+    /// The compile-time format.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at first use) if `W` is zero or exceeds
+    /// [`MAX_WIDTH`](crate::MAX_WIDTH).
+    pub fn format() -> Format {
+        Format::signed(W, I)
+    }
+
+    /// Zero.
+    pub fn zero() -> Self {
+        Fx { inner: Fixed::zero(Self::format()) }
+    }
+
+    /// Converts from `f64` with default modes (truncate, wrap).
+    pub fn from_f64(v: f64) -> Self {
+        Fx { inner: Fixed::from_f64(v, Self::format()) }
+    }
+
+    /// Converts from `f64` with explicit modes.
+    pub fn from_f64_with(v: f64, q: Quantization, o: Overflow) -> Self {
+        Fx { inner: Fixed::from_f64_with(v, Self::format(), q, o) }
+    }
+
+    /// Quantizes any [`Fixed`] into this format with default modes.
+    pub fn from_fixed(v: Fixed) -> Self {
+        Fx { inner: v.cast(Self::format()) }
+    }
+
+    /// Quantizes any [`Fixed`] into this format with explicit modes.
+    pub fn from_fixed_with(v: Fixed, q: Quantization, o: Overflow) -> Self {
+        Fx { inner: v.cast_with(Self::format(), q, o) }
+    }
+
+    /// The exact dynamically-formatted value, for widening arithmetic.
+    pub fn widening(&self) -> Fixed {
+        self.inner
+    }
+
+    /// The represented value as `f64`.
+    pub fn to_f64(&self) -> f64 {
+        self.inner.to_f64()
+    }
+
+    /// The raw mantissa.
+    pub fn raw(&self) -> i128 {
+        self.inner.raw()
+    }
+
+    /// Sign of the value: -1, 0 or 1.
+    pub fn signum(&self) -> i32 {
+        self.inner.signum()
+    }
+}
+
+impl<const W: u32, const I: i32> Default for Fx<W, I> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<const W: u32, const I: i32> Add for Fx<W, I> {
+    type Output = Fx<W, I>;
+    fn add(self, rhs: Self) -> Self {
+        Self::from_fixed(self.inner + rhs.inner)
+    }
+}
+
+impl<const W: u32, const I: i32> Sub for Fx<W, I> {
+    type Output = Fx<W, I>;
+    fn sub(self, rhs: Self) -> Self {
+        Self::from_fixed(self.inner - rhs.inner)
+    }
+}
+
+impl<const W: u32, const I: i32> Mul for Fx<W, I> {
+    type Output = Fx<W, I>;
+    fn mul(self, rhs: Self) -> Self {
+        Self::from_fixed(self.inner * rhs.inner)
+    }
+}
+
+impl<const W: u32, const I: i32> Neg for Fx<W, I> {
+    type Output = Fx<W, I>;
+    fn neg(self) -> Self {
+        Self::from_fixed(self.inner.negate())
+    }
+}
+
+impl<const W: u32, const I: i32> fmt::Display for Fx<W, I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.inner)
+    }
+}
+
+impl<const W: u32, const I: i32> From<Fx<W, I>> for Fixed {
+    fn from(v: Fx<W, I>) -> Fixed {
+        v.inner
+    }
+}
+
+/// Unsigned compile-time-formatted fixed-point (`sc_ufixed<W, I>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UFx<const W: u32, const I: i32> {
+    inner: Fixed,
+}
+
+impl<const W: u32, const I: i32> UFx<W, I> {
+    /// The compile-time format.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at first use) if `W` is zero or exceeds
+    /// [`MAX_WIDTH`](crate::MAX_WIDTH).
+    pub fn format() -> Format {
+        Format::new(W, I, Signedness::Unsigned).expect("invalid UFx format")
+    }
+
+    /// Zero.
+    pub fn zero() -> Self {
+        UFx { inner: Fixed::zero(Self::format()) }
+    }
+
+    /// Converts from `f64` with default modes (truncate, wrap).
+    pub fn from_f64(v: f64) -> Self {
+        UFx { inner: Fixed::from_f64(v, Self::format()) }
+    }
+
+    /// Quantizes any [`Fixed`] into this format with default modes.
+    pub fn from_fixed(v: Fixed) -> Self {
+        UFx { inner: v.cast(Self::format()) }
+    }
+
+    /// The exact dynamically-formatted value.
+    pub fn widening(&self) -> Fixed {
+        self.inner
+    }
+
+    /// The represented value as `f64`.
+    pub fn to_f64(&self) -> f64 {
+        self.inner.to_f64()
+    }
+}
+
+impl<const W: u32, const I: i32> Default for UFx<W, I> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<const W: u32, const I: i32> fmt::Display for UFx<W, I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.inner)
+    }
+}
+
+impl<const W: u32, const I: i32> From<UFx<W, I>> for Fixed {
+    fn from(v: UFx<W, I>) -> Fixed {
+        v.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_format_arithmetic_quantizes_back() {
+        type T = Fx<8, 3>;
+        let a = T::from_f64(1.25);
+        let b = T::from_f64(2.5);
+        assert_eq!((a + b).to_f64(), 3.75);
+        assert_eq!((a - b).to_f64(), -1.25);
+        assert_eq!((a * b).to_f64(), 3.125);
+        assert_eq!((-a).to_f64(), -1.25);
+    }
+
+    #[test]
+    fn overflow_wraps_like_c_assignment() {
+        type T = Fx<4, 4>;
+        let a = T::from_f64(7.0);
+        let b = T::from_f64(2.0);
+        // 9 wraps to -7 in 4-bit signed.
+        assert_eq!((a + b).to_f64(), -7.0);
+    }
+
+    #[test]
+    fn widening_escape_hatch() {
+        type T = Fx<4, 4>;
+        let a = T::from_f64(7.0);
+        let exact = a.widening().exact_add(&a.widening());
+        assert_eq!(exact.to_f64(), 14.0);
+    }
+
+    #[test]
+    fn unsigned_type() {
+        type U = UFx<6, 6>;
+        let x = U::from_f64(63.0);
+        assert_eq!(x.to_f64(), 63.0);
+        assert_eq!(U::from_f64(64.0).to_f64(), 0.0); // wraps
+    }
+
+    #[test]
+    fn default_and_display() {
+        assert_eq!(Fx::<8, 3>::default().to_f64(), 0.0);
+        assert_eq!(format!("{}", Fx::<8, 3>::from_f64(1.5)), "1.5");
+    }
+}

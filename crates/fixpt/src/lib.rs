@@ -1,0 +1,49 @@
+//! Bit-accurate integer and fixed-point datatypes with SystemC semantics.
+//!
+//! This crate reproduces the datatype substrate of *C Based Hardware Design
+//! for Wireless Applications* (DATE 2005): the SystemC `sc_fixed`/`sc_ufixed`
+//! fixed-point types (with all quantization and overflow modes), the
+//! `sc_int`/`mc_int` bit-accurate integers, and the automatic-bit-reduction
+//! width analysis behind the paper's Figure 2.
+//!
+//! # Types
+//!
+//! - [`Format`] — a fixed-point format `<width, int_bits>` with signedness.
+//! - [`Fixed`] — a dynamically-formatted fixed-point value; arithmetic is
+//!   exact (full precision) and precision is lost only at explicit casts.
+//! - [`Fx`] / [`UFx`] — const-generic wrappers for statically-known formats.
+//! - [`BitInt`] — bit-accurate integer with wrap-on-assign semantics.
+//! - [`Quantization`] / [`Overflow`] — the SystemC rounding and saturation
+//!   modes (`SC_TRN`, `SC_RND_ZERO`, `SC_SAT`, …).
+//!
+//! # Example: the paper's slicer cast
+//!
+//! The 64-QAM slicer casts the equalizer output with `SC_RND_ZERO` rounding
+//! and `SC_SAT` saturation into a 3-bit integer part:
+//!
+//! ```
+//! use fixpt::{Fixed, Format, Quantization, Overflow};
+//!
+//! let y = Fixed::from_f64(2.73, Format::signed(20, 4));
+//! let sliced = y.cast_with(Format::signed(3, 3), Quantization::RndZero, Overflow::Sat);
+//! assert_eq!(sliced.to_f64(), 3.0);
+//!
+//! let out_of_range = Fixed::from_f64(9.9, Format::signed(20, 8));
+//! let sat = out_of_range.cast_with(Format::signed(3, 3), Quantization::RndZero, Overflow::Sat);
+//! assert_eq!(sat.to_f64(), 3.0); // saturated to the 3-bit max
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitint;
+mod fixed;
+mod format;
+mod fx;
+mod modes;
+
+pub use bitint::BitInt;
+pub use fixed::{Fixed, RawOutOfRangeError};
+pub use format::{Format, FormatError, Signedness, MAX_WIDTH};
+pub use fx::{Fx, UFx};
+pub use modes::{overflow_raw, quantize_raw, Overflow, Quantization};

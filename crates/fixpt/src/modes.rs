@@ -1,0 +1,311 @@
+//! Quantization (rounding) and overflow (saturation) modes.
+//!
+//! These reproduce the SystemC LRM fixed-point semantics cited by the paper:
+//! `SC_TRN`, `SC_RND`, `SC_RND_ZERO`, … for quantization and `SC_WRAP`,
+//! `SC_SAT`, … for overflow. The default SystemC modes are truncation and
+//! wrapping, matching `Quantization::Trn` / `Overflow::Wrap` here.
+
+use std::fmt;
+
+/// Quantization (rounding) behaviour when fractional bits are discarded.
+///
+/// The names follow SystemC: `Trn` ↔ `SC_TRN`, `RndZero` ↔ `SC_RND_ZERO`, etc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Quantization {
+    /// Truncate toward negative infinity (`SC_TRN`, the SystemC default).
+    #[default]
+    Trn,
+    /// Truncate toward zero (`SC_TRN_ZERO`).
+    TrnZero,
+    /// Round to nearest; ties toward positive infinity (`SC_RND`).
+    Rnd,
+    /// Round to nearest; ties toward zero (`SC_RND_ZERO`).
+    RndZero,
+    /// Round to nearest; ties toward negative infinity (`SC_RND_MIN_INF`).
+    RndMinInf,
+    /// Round to nearest; ties away from zero (`SC_RND_INF`).
+    RndInf,
+    /// Round to nearest; ties to even (`SC_RND_CONV`, convergent rounding).
+    RndConv,
+}
+
+impl Quantization {
+    /// All quantization modes, for exhaustive testing.
+    pub const ALL: [Quantization; 7] = [
+        Quantization::Trn,
+        Quantization::TrnZero,
+        Quantization::Rnd,
+        Quantization::RndZero,
+        Quantization::RndMinInf,
+        Quantization::RndInf,
+        Quantization::RndConv,
+    ];
+}
+
+impl fmt::Display for Quantization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Quantization::Trn => "SC_TRN",
+            Quantization::TrnZero => "SC_TRN_ZERO",
+            Quantization::Rnd => "SC_RND",
+            Quantization::RndZero => "SC_RND_ZERO",
+            Quantization::RndMinInf => "SC_RND_MIN_INF",
+            Quantization::RndInf => "SC_RND_INF",
+            Quantization::RndConv => "SC_RND_CONV",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Overflow behaviour when a value exceeds the destination range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Overflow {
+    /// Two's-complement wrap-around (`SC_WRAP`, the SystemC default).
+    #[default]
+    Wrap,
+    /// Saturate to the nearest representable bound (`SC_SAT`).
+    Sat,
+    /// Saturate to zero on overflow (`SC_SAT_ZERO`).
+    SatZero,
+    /// Symmetric saturation: signed minimum is `-(2^(w-1) - 1)` (`SC_SAT_SYM`).
+    SatSym,
+}
+
+impl Overflow {
+    /// All overflow modes, for exhaustive testing.
+    pub const ALL: [Overflow; 4] = [Overflow::Wrap, Overflow::Sat, Overflow::SatZero, Overflow::SatSym];
+}
+
+impl fmt::Display for Overflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Overflow::Wrap => "SC_WRAP",
+            Overflow::Sat => "SC_SAT",
+            Overflow::SatZero => "SC_SAT_ZERO",
+            Overflow::SatSym => "SC_SAT_SYM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Drops the low `shift` bits of `raw` according to `mode`, returning the
+/// quantized value at the coarser scale.
+///
+/// This is exact integer arithmetic: `raw` is interpreted as a fixed-point
+/// mantissa whose `shift` LSBs are being discarded.
+///
+/// # Panics
+///
+/// Panics if `shift >= 127` (cannot occur for formats within
+/// [`MAX_WIDTH`](crate::MAX_WIDTH)).
+pub fn quantize_raw(raw: i128, shift: u32, mode: Quantization) -> i128 {
+    assert!(shift < 127, "quantization shift {shift} out of range");
+    if shift == 0 {
+        return raw;
+    }
+    let floor = raw >> shift; // arithmetic shift: toward -inf
+    let rem = raw - (floor << shift); // in [0, 2^shift)
+    if rem == 0 {
+        return floor;
+    }
+    let half = 1i128 << (shift - 1);
+    match mode {
+        Quantization::Trn => floor,
+        Quantization::TrnZero => {
+            if raw < 0 {
+                floor + 1 // toward zero for negatives with a remainder
+            } else {
+                floor
+            }
+        }
+        Quantization::Rnd => {
+            if rem >= half {
+                floor + 1
+            } else {
+                floor
+            }
+        }
+        Quantization::RndZero => {
+            if rem > half || (rem == half && raw < 0) {
+                floor + 1
+            } else {
+                floor
+            }
+        }
+        Quantization::RndMinInf => {
+            if rem > half {
+                floor + 1
+            } else {
+                floor
+            }
+        }
+        Quantization::RndInf => {
+            if rem > half || (rem == half && raw > 0) {
+                floor + 1
+            } else {
+                floor
+            }
+        }
+        Quantization::RndConv => {
+            if rem > half || (rem == half && (floor & 1) != 0) {
+                floor + 1
+            } else {
+                floor
+            }
+        }
+    }
+}
+
+/// Fits `value` into a `width`-bit (two's-complement if `signed`) range
+/// according to `mode`.
+pub fn overflow_raw(value: i128, width: u32, signed: bool, mode: Overflow) -> i128 {
+    debug_assert!(width >= 1 && width <= 126);
+    let (min, max) = if signed {
+        (-(1i128 << (width - 1)), (1i128 << (width - 1)) - 1)
+    } else {
+        (0, (1i128 << width) - 1)
+    };
+    if value >= min && value <= max {
+        return value;
+    }
+    match mode {
+        Overflow::Wrap => {
+            let mask = (1i128 << width) - 1;
+            let low = value & mask;
+            if signed && (low & (1i128 << (width - 1))) != 0 {
+                low - (1i128 << width)
+            } else {
+                low
+            }
+        }
+        Overflow::Sat => {
+            if value > max {
+                max
+            } else {
+                min
+            }
+        }
+        Overflow::SatZero => 0,
+        Overflow::SatSym => {
+            if value > max {
+                max
+            } else if signed {
+                -max
+            } else {
+                min
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Helper: quantize value v (given with 3 fractional bits) down to 0
+    // fractional bits, i.e. shift = 3. v8 is v * 8.
+    fn q(v8: i128, mode: Quantization) -> i128 {
+        quantize_raw(v8, 3, mode)
+    }
+
+    #[test]
+    fn trn_floors() {
+        assert_eq!(q(21, Quantization::Trn), 2); // 2.625 -> 2
+        assert_eq!(q(-21, Quantization::Trn), -3); // -2.625 -> -3
+        assert_eq!(q(16, Quantization::Trn), 2); // exact stays
+        assert_eq!(q(-16, Quantization::Trn), -2);
+    }
+
+    #[test]
+    fn trn_zero_truncates_magnitude() {
+        assert_eq!(q(21, Quantization::TrnZero), 2); // 2.625 -> 2
+        assert_eq!(q(-21, Quantization::TrnZero), -2); // -2.625 -> -2
+        assert_eq!(q(-24, Quantization::TrnZero), -3); // exact -3 stays
+    }
+
+    #[test]
+    fn rnd_ties_up() {
+        assert_eq!(q(20, Quantization::Rnd), 3); // 2.5 -> 3
+        assert_eq!(q(-20, Quantization::Rnd), -2); // -2.5 -> -2 (toward +inf)
+        assert_eq!(q(19, Quantization::Rnd), 2); // 2.375 -> 2
+        assert_eq!(q(-19, Quantization::Rnd), -2); // -2.375 -> -2
+    }
+
+    #[test]
+    fn rnd_zero_ties_toward_zero() {
+        assert_eq!(q(20, Quantization::RndZero), 2); // 2.5 -> 2
+        assert_eq!(q(-20, Quantization::RndZero), -2); // -2.5 -> -2
+        assert_eq!(q(21, Quantization::RndZero), 3); // 2.625 -> 3
+        assert_eq!(q(-21, Quantization::RndZero), -3); // -2.625 -> -3
+    }
+
+    #[test]
+    fn rnd_min_inf_ties_down() {
+        assert_eq!(q(20, Quantization::RndMinInf), 2); // 2.5 -> 2
+        assert_eq!(q(-20, Quantization::RndMinInf), -3); // -2.5 -> -3
+    }
+
+    #[test]
+    fn rnd_inf_ties_away() {
+        assert_eq!(q(20, Quantization::RndInf), 3); // 2.5 -> 3
+        assert_eq!(q(-20, Quantization::RndInf), -3); // -2.5 -> -3
+    }
+
+    #[test]
+    fn rnd_conv_ties_to_even() {
+        assert_eq!(q(20, Quantization::RndConv), 2); // 2.5 -> 2 (even)
+        assert_eq!(q(28, Quantization::RndConv), 4); // 3.5 -> 4 (even)
+        assert_eq!(q(-20, Quantization::RndConv), -2); // -2.5 -> -2 (even)
+        assert_eq!(q(-28, Quantization::RndConv), -4); // -3.5 -> -4 (even)
+    }
+
+    #[test]
+    fn zero_shift_is_identity() {
+        for mode in Quantization::ALL {
+            assert_eq!(quantize_raw(12345, 0, mode), 12345);
+            assert_eq!(quantize_raw(-777, 0, mode), -777);
+        }
+    }
+
+    #[test]
+    fn wrap_signed() {
+        // 4-bit signed range [-8, 7].
+        assert_eq!(overflow_raw(8, 4, true, Overflow::Wrap), -8);
+        assert_eq!(overflow_raw(-9, 4, true, Overflow::Wrap), 7);
+        assert_eq!(overflow_raw(23, 4, true, Overflow::Wrap), 7);
+        assert_eq!(overflow_raw(7, 4, true, Overflow::Wrap), 7);
+    }
+
+    #[test]
+    fn wrap_unsigned() {
+        assert_eq!(overflow_raw(16, 4, false, Overflow::Wrap), 0);
+        assert_eq!(overflow_raw(17, 4, false, Overflow::Wrap), 1);
+        assert_eq!(overflow_raw(-1, 4, false, Overflow::Wrap), 15);
+    }
+
+    #[test]
+    fn saturate() {
+        assert_eq!(overflow_raw(100, 4, true, Overflow::Sat), 7);
+        assert_eq!(overflow_raw(-100, 4, true, Overflow::Sat), -8);
+        assert_eq!(overflow_raw(100, 4, false, Overflow::Sat), 15);
+        assert_eq!(overflow_raw(-3, 4, false, Overflow::Sat), 0);
+    }
+
+    #[test]
+    fn saturate_zero_and_sym() {
+        assert_eq!(overflow_raw(100, 4, true, Overflow::SatZero), 0);
+        assert_eq!(overflow_raw(-100, 4, true, Overflow::SatZero), 0);
+        assert_eq!(overflow_raw(-100, 4, true, Overflow::SatSym), -7);
+        assert_eq!(overflow_raw(100, 4, true, Overflow::SatSym), 7);
+        assert_eq!(overflow_raw(-5, 4, false, Overflow::SatSym), 0);
+    }
+
+    #[test]
+    fn in_range_untouched_all_modes() {
+        for mode in Overflow::ALL {
+            for v in [-8i128, -1, 0, 3, 7] {
+                assert_eq!(overflow_raw(v, 4, true, mode), v, "{mode} {v}");
+            }
+        }
+    }
+}

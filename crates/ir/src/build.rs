@@ -1,0 +1,215 @@
+//! Fluent construction of IR functions.
+//!
+//! The builder stands in for Catapult C's C++ front-end: it is how an
+//! algorithm written against the untimed programming model enters the flow.
+
+use crate::expr::{CmpOp, Expr};
+use crate::func::{Function, Var, VarId, VarKind};
+use crate::stmt::{Loop, Stmt};
+use crate::ty::Ty;
+
+/// Builds a [`Function`] statement by statement.
+///
+/// # Examples
+///
+/// ```
+/// use hls_ir::{FunctionBuilder, Ty, Expr, CmpOp};
+///
+/// let mut b = FunctionBuilder::new("accumulate");
+/// let x = b.param_array("x", Ty::int(10), 8);
+/// let out = b.param_scalar("out", Ty::int(14));
+/// let acc = b.local("acc", Ty::int(14));
+/// b.assign(acc, Expr::int_const(0));
+/// b.for_loop("sum", 0, CmpOp::Lt, 8, 1, |b, k| {
+///     b.assign(acc, Expr::add(Expr::var(acc), Expr::load(x, Expr::var(k))));
+/// });
+/// b.assign(out, Expr::var(acc));
+/// let f = b.build();
+/// assert_eq!(f.loop_labels(), vec!["sum"]);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    vars: Vec<Var>,
+    params: Vec<VarId>,
+    stack: Vec<Vec<Stmt>>,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        FunctionBuilder {
+            name: name.into(),
+            vars: Vec::new(),
+            params: Vec::new(),
+            stack: vec![Vec::new()],
+        }
+    }
+
+    fn add_var(&mut self, name: impl Into<String>, ty: Ty, kind: VarKind, len: Option<usize>) -> VarId {
+        let id = VarId::from_raw(self.vars.len() as u32);
+        self.vars.push(Var { name: name.into(), ty, kind, len });
+        id
+    }
+
+    /// Declares a scalar parameter.
+    pub fn param_scalar(&mut self, name: impl Into<String>, ty: Ty) -> VarId {
+        let id = self.add_var(name, ty, VarKind::Param, None);
+        self.params.push(id);
+        id
+    }
+
+    /// Declares an array parameter of `len` elements.
+    pub fn param_array(&mut self, name: impl Into<String>, ty: Ty, len: usize) -> VarId {
+        let id = self.add_var(name, ty, VarKind::Param, Some(len));
+        self.params.push(id);
+        id
+    }
+
+    /// Declares a `static` scalar (state preserved across calls, zero
+    /// initialized).
+    pub fn static_scalar(&mut self, name: impl Into<String>, ty: Ty) -> VarId {
+        self.add_var(name, ty, VarKind::Static, None)
+    }
+
+    /// Declares a `static` array of `len` elements (zero initialized).
+    pub fn static_array(&mut self, name: impl Into<String>, ty: Ty, len: usize) -> VarId {
+        self.add_var(name, ty, VarKind::Static, Some(len))
+    }
+
+    /// Declares a local scalar temporary.
+    pub fn local(&mut self, name: impl Into<String>, ty: Ty) -> VarId {
+        self.add_var(name, ty, VarKind::Local, None)
+    }
+
+    /// Declares a local array.
+    pub fn local_array(&mut self, name: impl Into<String>, ty: Ty, len: usize) -> VarId {
+        self.add_var(name, ty, VarKind::Local, Some(len))
+    }
+
+    fn push(&mut self, s: Stmt) {
+        self.stack
+            .last_mut()
+            .expect("builder scope stack is never empty")
+            .push(s);
+    }
+
+    /// Emits `var = value`.
+    pub fn assign(&mut self, var: VarId, value: Expr) {
+        self.push(Stmt::Assign { var, value });
+    }
+
+    /// Emits `array[index] = value`.
+    pub fn store(&mut self, array: VarId, index: Expr, value: Expr) {
+        self.push(Stmt::Store { array, index, value });
+    }
+
+    /// Emits a labelled counted loop
+    /// `label: for (k = start; k cmp bound; k += step) { body }`.
+    ///
+    /// The closure receives the builder and the fresh counter variable.
+    /// Counters default to a signed 32-bit type (the C `int`); the bitwidth
+    /// inference pass narrows them (Figure 2 of the paper).
+    pub fn for_loop(
+        &mut self,
+        label: impl Into<String>,
+        start: i64,
+        cmp: CmpOp,
+        bound: i64,
+        step: i64,
+        body: impl FnOnce(&mut Self, VarId),
+    ) {
+        let label = label.into();
+        let var = self.add_var(format!("{label}_k"), Ty::int(32), VarKind::Counter, None);
+        self.stack.push(Vec::new());
+        body(self, var);
+        let stmts = self.stack.pop().expect("loop scope present");
+        self.push(Stmt::For(Loop { label, var, start, cmp, bound, step, body: stmts }));
+    }
+
+    /// Emits `if (cond) { then } else { else }`.
+    pub fn if_else(
+        &mut self,
+        cond: Expr,
+        then_: impl FnOnce(&mut Self),
+        else_: impl FnOnce(&mut Self),
+    ) {
+        self.stack.push(Vec::new());
+        then_(self);
+        let t = self.stack.pop().expect("then scope present");
+        self.stack.push(Vec::new());
+        else_(self);
+        let e = self.stack.pop().expect("else scope present");
+        self.push(Stmt::If { cond, then_: t, else_: e });
+    }
+
+    /// Emits `if (cond) { then }` with no else branch.
+    pub fn if_then(&mut self, cond: Expr, then_: impl FnOnce(&mut Self)) {
+        self.if_else(cond, then_, |_| {});
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a loop or conditional scope is still open
+    /// (cannot happen through the closure-based API).
+    pub fn build(mut self) -> Function {
+        assert_eq!(self.stack.len(), 1, "unclosed scopes at build()");
+        Function {
+            name: self.name,
+            vars: self.vars,
+            params: self.params,
+            body: self.stack.pop().expect("body scope"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_scopes() {
+        let mut b = FunctionBuilder::new("g");
+        let a = b.local("a", Ty::int(8));
+        b.assign(a, Expr::int_const(0));
+        b.for_loop("outer", 0, CmpOp::Lt, 4, 1, |b, i| {
+            b.for_loop("inner", 0, CmpOp::Lt, 2, 1, |b, j| {
+                b.assign(a, Expr::add(Expr::var(i), Expr::var(j)));
+            });
+        });
+        let f = b.build();
+        assert_eq!(f.loop_labels(), vec!["outer", "inner"]);
+        assert_eq!(f.find_loop("inner").unwrap().trip_count(), 2);
+    }
+
+    #[test]
+    fn if_scopes() {
+        let mut b = FunctionBuilder::new("h");
+        let a = b.local("a", Ty::int(8));
+        b.if_else(
+            Expr::cmp(CmpOp::Gt, Expr::var(a), Expr::int_const(0)),
+            |b| b.assign(a, Expr::int_const(1)),
+            |b| b.assign(a, Expr::int_const(-1)),
+        );
+        let f = b.build();
+        match &f.body[0] {
+            Stmt::If { then_, else_, .. } => {
+                assert_eq!(then_.len(), 1);
+                assert_eq!(else_.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counters_get_named_after_labels() {
+        let mut b = FunctionBuilder::new("f");
+        b.for_loop("ffe", 0, CmpOp::Lt, 8, 1, |_, _| {});
+        let f = b.build();
+        let l = f.find_loop("ffe").unwrap();
+        assert_eq!(f.var(l.var).name, "ffe_k");
+        assert_eq!(f.var(l.var).kind, VarKind::Counter);
+    }
+}

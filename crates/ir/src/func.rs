@@ -1,0 +1,359 @@
+//! Functions, variables and the top-level design unit.
+
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::stmt::{collect_loops, Loop, Stmt};
+use crate::ty::Ty;
+
+/// Identifier of a variable within a [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(u32);
+
+impl VarId {
+    /// Builds a `VarId` from its raw index. Intended for tests and for
+    /// tooling that serializes IR; normal construction goes through the
+    /// [`FunctionBuilder`](crate::build::FunctionBuilder).
+    pub fn from_raw(raw: u32) -> VarId {
+        VarId(raw)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// What role a variable plays in the function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// A function argument (scalar or array). Interface synthesis maps these
+    /// to ports, memories or streams.
+    Param,
+    /// A `static` variable: state preserved between calls (the paper's tap
+    /// and coefficient arrays). Initialized to zero.
+    Static,
+    /// A function-local temporary.
+    Local,
+    /// A loop counter.
+    Counter,
+}
+
+/// Direction of a parameter, inferred from use (the paper's in/out/inout
+/// pointer-argument analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Only read.
+    In,
+    /// Only written.
+    Out,
+    /// Read and written.
+    InOut,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::In => f.write_str("in"),
+            Direction::Out => f.write_str("out"),
+            Direction::InOut => f.write_str("inout"),
+        }
+    }
+}
+
+/// A variable declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Var {
+    /// Source-level name.
+    pub name: String,
+    /// Element type (for arrays, the element type).
+    pub ty: Ty,
+    /// Role of the variable.
+    pub kind: VarKind,
+    /// `Some(n)` when the variable is an `n`-element array.
+    pub len: Option<usize>,
+}
+
+impl Var {
+    /// `true` if the variable is an array.
+    pub fn is_array(&self) -> bool {
+        self.len.is_some()
+    }
+}
+
+/// A synthesizable function: the design's top level (`#pragma design top`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// All variables: parameters, statics, locals and counters.
+    pub vars: Vec<Var>,
+    /// Parameter variables in declaration order.
+    pub params: Vec<VarId>,
+    /// The function body.
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// Looks up a variable declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this function.
+    pub fn var(&self, id: VarId) -> &Var {
+        &self.vars[id.index()]
+    }
+
+    /// Iterates over `(id, var)` pairs.
+    pub fn iter_vars(&self) -> impl Iterator<Item = (VarId, &Var)> {
+        self.vars.iter().enumerate().map(|(i, v)| (VarId(i as u32), v))
+    }
+
+    /// All static (inter-call state) variables.
+    pub fn statics(&self) -> Vec<VarId> {
+        self.iter_vars()
+            .filter(|(_, v)| v.kind == VarKind::Static)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// All loops in the body, pre-order.
+    pub fn loops(&self) -> Vec<&Loop> {
+        collect_loops(&self.body)
+    }
+
+    /// Finds a loop by label.
+    pub fn find_loop(&self, label: &str) -> Option<&Loop> {
+        self.loops().into_iter().find(|l| l.label == label)
+    }
+
+    /// Labels of every loop, pre-order.
+    pub fn loop_labels(&self) -> Vec<String> {
+        self.loops().iter().map(|l| l.label.clone()).collect()
+    }
+
+    /// Infers the direction of parameter `p` from reads and writes in the
+    /// body, mirroring the paper's treatment of pointer arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a parameter of this function.
+    pub fn param_direction(&self, p: VarId) -> Direction {
+        assert!(
+            self.params.contains(&p),
+            "{} is not a parameter of {}",
+            self.var(p).name,
+            self.name
+        );
+        let mut read = false;
+        let mut written = false;
+        for s in &self.body {
+            s.visit(&mut |s| match s {
+                Stmt::Assign { var, value } => {
+                    written |= *var == p;
+                    read |= value.reads().contains(&p);
+                }
+                Stmt::Store { array, index, value } => {
+                    written |= *array == p;
+                    read |= index.reads().contains(&p) || value.reads().contains(&p);
+                }
+                Stmt::If { cond, .. } => read |= cond.reads().contains(&p),
+                Stmt::For(_) => {}
+            });
+        }
+        match (read, written) {
+            (_, false) => Direction::In,
+            (false, true) => Direction::Out,
+            (true, true) => Direction::InOut,
+        }
+    }
+
+    /// Total primitive operation count over the whole body (a rough
+    /// complexity measure used by reports).
+    pub fn op_count(&self) -> usize {
+        let mut n = 0;
+        for s in &self.body {
+            s.visit(&mut |s| {
+                n += match s {
+                    Stmt::Assign { value, .. } => value.op_count(),
+                    Stmt::Store { index, value, .. } => index.op_count() + value.op_count() + 1,
+                    Stmt::If { cond, .. } => cond.op_count(),
+                    Stmt::For(_) => 0,
+                };
+            });
+        }
+        n
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fn {}(", self.name)?;
+        for &p in &self.params {
+            let v = self.var(p);
+            let dir = self.param_direction(p);
+            match v.len {
+                Some(n) => writeln!(f, "    {dir} {}: [{}; {n}],", v.name, v.ty)?,
+                None => writeln!(f, "    {dir} {}: {},", v.name, v.ty)?,
+            }
+        }
+        writeln!(f, ") {{")?;
+        for &s in self.statics().iter() {
+            let v = self.var(s);
+            match v.len {
+                Some(n) => writeln!(f, "    static {}: [{}; {n}];", v.name, v.ty)?,
+                None => writeln!(f, "    static {}: {};", v.name, v.ty)?,
+            }
+        }
+        for s in &self.body {
+            fmt_stmt(self, s, f, 1)?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+fn fmt_stmt(func: &Function, s: &Stmt, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+    let pad = "    ".repeat(indent);
+    match s {
+        Stmt::Assign { var, value } => {
+            writeln!(f, "{pad}{} = {};", func.var(*var).name, fmt_expr(func, value))
+        }
+        Stmt::Store { array, index, value } => writeln!(
+            f,
+            "{pad}{}[{}] = {};",
+            func.var(*array).name,
+            fmt_expr(func, index),
+            fmt_expr(func, value)
+        ),
+        Stmt::For(l) => {
+            writeln!(
+                f,
+                "{pad}{}: for ({} = {}; {} {} {}; {} += {}) {{",
+                l.label,
+                func.var(l.var).name,
+                l.start,
+                func.var(l.var).name,
+                l.cmp,
+                l.bound,
+                func.var(l.var).name,
+                l.step
+            )?;
+            for s in &l.body {
+                fmt_stmt(func, s, f, indent + 1)?;
+            }
+            writeln!(f, "{pad}}}")
+        }
+        Stmt::If { cond, then_, else_ } => {
+            writeln!(f, "{pad}if ({}) {{", fmt_expr(func, cond))?;
+            for s in then_ {
+                fmt_stmt(func, s, f, indent + 1)?;
+            }
+            if !else_.is_empty() {
+                writeln!(f, "{pad}}} else {{")?;
+                for s in else_ {
+                    fmt_stmt(func, s, f, indent + 1)?;
+                }
+            }
+            writeln!(f, "{pad}}}")
+        }
+    }
+}
+
+fn fmt_expr(func: &Function, e: &Expr) -> String {
+    use crate::expr::{BinOp, UnOp};
+    match e {
+        Expr::Const(c) => format!("{c}"),
+        Expr::ConstBool(b) => format!("{b}"),
+        Expr::Var(v) => func.var(*v).name.clone(),
+        Expr::Load { array, index } => {
+            format!("{}[{}]", func.var(*array).name, fmt_expr(func, index))
+        }
+        Expr::Unary { op, arg } => {
+            let a = fmt_expr(func, arg);
+            match op {
+                UnOp::Neg => format!("-({a})"),
+                UnOp::Signum => format!("sign({a})"),
+                UnOp::Not => format!("!({a})"),
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Shl => "<<",
+                BinOp::Shr => ">>",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+            };
+            format!("({} {sym} {})", fmt_expr(func, lhs), fmt_expr(func, rhs))
+        }
+        Expr::Compare { op, lhs, rhs } => {
+            format!("({} {op} {})", fmt_expr(func, lhs), fmt_expr(func, rhs))
+        }
+        Expr::Select { cond, then_, else_ } => format!(
+            "({} ? {} : {})",
+            fmt_expr(func, cond),
+            fmt_expr(func, then_),
+            fmt_expr(func, else_)
+        ),
+        Expr::Cast { ty, arg, .. } => format!("({ty})({})", fmt_expr(func, arg)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::FunctionBuilder;
+    use crate::expr::CmpOp;
+
+    fn sample() -> Function {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param_array("x", Ty::int(10), 4);
+        let out = b.param_scalar("out", Ty::int(16));
+        let acc = b.local("acc", Ty::int(16));
+        b.assign(acc, Expr::int_const(0));
+        b.for_loop("sum", 0, CmpOp::Lt, 4, 1, |b, k| {
+            b.assign(acc, Expr::add(Expr::var(acc), Expr::load(x, Expr::var(k))));
+        });
+        b.assign(out, Expr::var(acc));
+        b.build()
+    }
+
+    #[test]
+    fn directions() {
+        let f = sample();
+        assert_eq!(f.param_direction(f.params[0]), Direction::In);
+        assert_eq!(f.param_direction(f.params[1]), Direction::Out);
+    }
+
+    #[test]
+    fn loop_lookup() {
+        let f = sample();
+        assert_eq!(f.loop_labels(), vec!["sum"]);
+        assert_eq!(f.find_loop("sum").unwrap().trip_count(), 4);
+        assert!(f.find_loop("nope").is_none());
+    }
+
+    #[test]
+    fn display_roundtrip_contains_structure() {
+        let f = sample();
+        let text = f.to_string();
+        assert!(text.contains("fn f("), "{text}");
+        assert!(text.contains("sum: for"), "{text}");
+        assert!(text.contains("acc = (acc + x[sum_k]);"), "{text}");
+    }
+
+    #[test]
+    fn op_count_counts_loads_and_adds() {
+        let f = sample();
+        // add + load inside loop = 2 ops.
+        assert_eq!(f.op_count(), 2);
+    }
+}

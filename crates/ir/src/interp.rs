@@ -1,0 +1,678 @@
+//! Bit-accurate execution of IR functions.
+//!
+//! The interpreter is the flow's golden reference: transforms and generated
+//! RTL are checked against it. It executes with the same SystemC semantics
+//! as the `fixpt` types (exact expression arithmetic, cast-on-assign).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use fixpt::{Fixed, Format, Signedness};
+
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::func::{Function, VarId, VarKind};
+use crate::stmt::Stmt;
+use crate::ty::Ty;
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Fixed-point / integer value.
+    Fix(Fixed),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    fn as_fix(&self) -> Result<Fixed, EvalError> {
+        match self {
+            Value::Fix(f) => Ok(*f),
+            Value::Bool(_) => Err(EvalError::TypeMismatch("expected a numeric value, found bool")),
+        }
+    }
+
+    fn as_bool(&self) -> Result<bool, EvalError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            Value::Fix(_) => Err(EvalError::TypeMismatch("expected bool, found a numeric value")),
+        }
+    }
+}
+
+/// Storage for one variable: a scalar or an array of elements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Slot {
+    /// Scalar storage.
+    Scalar(Fixed),
+    /// Array storage.
+    Array(Vec<Fixed>),
+}
+
+impl Slot {
+    /// Convenience accessor for scalar slots.
+    pub fn scalar(&self) -> Option<Fixed> {
+        match self {
+            Slot::Scalar(f) => Some(*f),
+            Slot::Array(_) => None,
+        }
+    }
+
+    /// Convenience accessor for array slots.
+    pub fn array(&self) -> Option<&[Fixed]> {
+        match self {
+            Slot::Array(v) => Some(v),
+            Slot::Scalar(_) => None,
+        }
+    }
+}
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// An operation received a value of the wrong kind.
+    TypeMismatch(&'static str),
+    /// Array access outside the declared bounds.
+    IndexOutOfBounds {
+        /// The array's name.
+        array: String,
+        /// The evaluated index.
+        index: i64,
+        /// The declared length.
+        len: usize,
+    },
+    /// A scalar was indexed or an array used as a scalar.
+    ShapeMismatch {
+        /// The variable's name.
+        var: String,
+    },
+    /// A shift amount was not a constant integer.
+    NonConstShift,
+    /// A required input argument was not supplied.
+    MissingInput {
+        /// The parameter's name.
+        param: String,
+    },
+    /// A supplied argument had the wrong shape (scalar vs array) or length.
+    BadArgument {
+        /// The parameter's name.
+        param: String,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::TypeMismatch(msg) => write!(f, "type mismatch: {msg}"),
+            EvalError::IndexOutOfBounds { array, index, len } => {
+                write!(f, "index {index} out of bounds for {array}[{len}]")
+            }
+            EvalError::ShapeMismatch { var } => write!(f, "variable {var} used with the wrong shape"),
+            EvalError::NonConstShift => f.write_str("shift amount must be a constant"),
+            EvalError::MissingInput { param } => write!(f, "missing input for parameter {param}"),
+            EvalError::BadArgument { param } => write!(f, "argument for {param} has the wrong shape"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Format used for loop counters and integer intermediates.
+fn counter_format() -> Format {
+    Format::integer(fixpt::MAX_WIDTH, Signedness::Signed)
+}
+
+/// An interpreter instance holding the persistent `static` state of one
+/// function across calls (the decoder's tap and coefficient arrays).
+///
+/// # Examples
+///
+/// ```
+/// use hls_ir::{FunctionBuilder, Ty, Expr, CmpOp, Interpreter, Slot};
+/// use fixpt::{Fixed, Format};
+///
+/// let mut b = FunctionBuilder::new("count_calls");
+/// let out = b.param_scalar("out", Ty::int(8));
+/// let n = b.static_scalar("n", Ty::int(8));
+/// b.assign(n, Expr::add(Expr::var(n), Expr::int_const(1)));
+/// b.assign(out, Expr::var(n));
+/// let f = b.build();
+///
+/// let mut interp = Interpreter::new(f);
+/// let r1 = interp.call(&[])?;
+/// let r2 = interp.call(&[])?;
+/// let out_id = interp.function().params[0];
+/// assert_eq!(r1[&out_id].scalar().unwrap().to_i64(), 1);
+/// assert_eq!(r2[&out_id].scalar().unwrap().to_i64(), 2);
+/// # Ok::<(), hls_ir::EvalError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    func: Function,
+    statics: BTreeMap<VarId, Slot>,
+}
+
+impl Interpreter {
+    /// Creates an interpreter with zero-initialized static state.
+    pub fn new(func: Function) -> Self {
+        let mut statics = BTreeMap::new();
+        for (id, v) in func.iter_vars() {
+            if v.kind == VarKind::Static {
+                statics.insert(id, zero_slot(v.ty, v.len));
+            }
+        }
+        Interpreter { func, statics }
+    }
+
+    /// The interpreted function.
+    pub fn function(&self) -> &Function {
+        &self.func
+    }
+
+    /// Read access to the persistent static state.
+    pub fn static_slot(&self, id: VarId) -> Option<&Slot> {
+        self.statics.get(&id)
+    }
+
+    /// Overwrites one element of a static array (testbench state
+    /// preloading, e.g. cold-start equalizer coefficients). The value is
+    /// cast to the array's element format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a static array of this function or `index` is
+    /// out of bounds.
+    pub fn poke_static(&mut self, id: VarId, index: usize, value: Fixed) {
+        let fmt = self
+            .func
+            .var(id)
+            .ty
+            .format()
+            .expect("static arrays hold numeric elements");
+        match self.statics.get_mut(&id) {
+            Some(Slot::Array(a)) => a[index] = value.cast(fmt),
+            _ => panic!("{} is not a static array", self.func.var(id).name),
+        }
+    }
+
+    /// Resets all static state to zero.
+    pub fn reset(&mut self) {
+        for (id, v) in self.func.iter_vars() {
+            if v.kind == VarKind::Static {
+                self.statics.insert(id, zero_slot(v.ty, v.len));
+            }
+        }
+    }
+
+    /// Executes one call. `inputs` supplies values for parameters (by id);
+    /// output-only parameters may be omitted. Returns the final value of
+    /// every parameter, so callers read out-parameters from the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] on missing inputs, shape mismatches or
+    /// out-of-bounds accesses.
+    pub fn call(&mut self, inputs: &[(VarId, Slot)]) -> Result<BTreeMap<VarId, Slot>, EvalError> {
+        let mut env: BTreeMap<VarId, Slot> = BTreeMap::new();
+        // Parameters.
+        for &p in &self.func.params.clone() {
+            let v = self.func.var(p).clone();
+            let supplied = inputs.iter().find(|(id, _)| *id == p).map(|(_, s)| s.clone());
+            let slot = match supplied {
+                Some(s) => {
+                    check_shape(&v, &s)?;
+                    coerce_slot(s, v.ty)
+                }
+                None => {
+                    // Only out-parameters may be omitted.
+                    match self.func.param_direction(p) {
+                        crate::func::Direction::Out => zero_slot(v.ty, v.len),
+                        _ => return Err(EvalError::MissingInput { param: v.name.clone() }),
+                    }
+                }
+            };
+            env.insert(p, slot);
+        }
+        // Locals and counters (zero-initialized), statics from persistent state.
+        for (id, v) in self.func.iter_vars() {
+            match v.kind {
+                VarKind::Local | VarKind::Counter => {
+                    env.insert(id, zero_slot(v.ty, v.len));
+                }
+                VarKind::Static => {
+                    env.insert(id, self.statics[&id].clone());
+                }
+                VarKind::Param => {}
+            }
+        }
+
+        let body = self.func.body.clone();
+        exec_block(&self.func, &body, &mut env)?;
+
+        // Persist statics.
+        for id in self.func.statics() {
+            self.statics.insert(id, env[&id].clone());
+        }
+        // Return parameter slots.
+        Ok(self
+            .func
+            .params
+            .iter()
+            .map(|p| (*p, env[p].clone()))
+            .collect())
+    }
+}
+
+fn zero_slot(ty: Ty, len: Option<usize>) -> Slot {
+    let fmt = ty.format().unwrap_or_else(counter_format);
+    match len {
+        Some(n) => Slot::Array(vec![Fixed::zero(fmt); n]),
+        None => Slot::Scalar(Fixed::zero(fmt)),
+    }
+}
+
+fn check_shape(v: &crate::func::Var, s: &Slot) -> Result<(), EvalError> {
+    let ok = match (v.len, s) {
+        (Some(n), Slot::Array(a)) => a.len() == n,
+        (None, Slot::Scalar(_)) => true,
+        _ => false,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(EvalError::BadArgument { param: v.name.clone() })
+    }
+}
+
+/// Casts a supplied slot into the parameter's declared type (like passing an
+/// argument through a typed port).
+fn coerce_slot(s: Slot, ty: Ty) -> Slot {
+    let fmt = ty.format().unwrap_or_else(counter_format);
+    match s {
+        Slot::Scalar(f) => Slot::Scalar(f.cast(fmt)),
+        Slot::Array(a) => Slot::Array(a.into_iter().map(|f| f.cast(fmt)).collect()),
+    }
+}
+
+fn exec_block(
+    func: &Function,
+    stmts: &[Stmt],
+    env: &mut BTreeMap<VarId, Slot>,
+) -> Result<(), EvalError> {
+    for s in stmts {
+        exec_stmt(func, s, env)?;
+    }
+    Ok(())
+}
+
+fn exec_stmt(func: &Function, s: &Stmt, env: &mut BTreeMap<VarId, Slot>) -> Result<(), EvalError> {
+    match s {
+        Stmt::Assign { var, value } => {
+            let v = eval(func, value, env)?;
+            let decl = func.var(*var);
+            let stored = match (decl.ty, v) {
+                (Ty::Bool, Value::Bool(b)) => {
+                    // Booleans are stored as 1-bit integers.
+                    Fixed::from_int(b as i64, Format::integer(1, Signedness::Unsigned))
+                }
+                (Ty::Bool, Value::Fix(_)) => {
+                    return Err(EvalError::TypeMismatch("numeric value assigned to bool variable"))
+                }
+                (Ty::Fixed(fmt), Value::Fix(f)) => f.cast(fmt),
+                (Ty::Fixed(_), Value::Bool(_)) => {
+                    return Err(EvalError::TypeMismatch("bool assigned to numeric variable"))
+                }
+            };
+            match env.get_mut(var) {
+                Some(Slot::Scalar(slot)) => {
+                    *slot = stored;
+                    Ok(())
+                }
+                _ => Err(EvalError::ShapeMismatch { var: decl.name.clone() }),
+            }
+        }
+        Stmt::Store { array, index, value } => {
+            let idx = eval(func, index, env)?.as_fix()?.to_i64();
+            let val = eval(func, value, env)?.as_fix()?;
+            let decl = func.var(*array);
+            let fmt = decl
+                .ty
+                .format()
+                .ok_or(EvalError::TypeMismatch("store into bool array"))?;
+            let stored = val.cast(fmt);
+            match env.get_mut(array) {
+                Some(Slot::Array(a)) => {
+                    let len = a.len();
+                    if idx < 0 || idx as usize >= len {
+                        return Err(EvalError::IndexOutOfBounds {
+                            array: decl.name.clone(),
+                            index: idx,
+                            len,
+                        });
+                    }
+                    a[idx as usize] = stored;
+                    Ok(())
+                }
+                _ => Err(EvalError::ShapeMismatch { var: decl.name.clone() }),
+            }
+        }
+        Stmt::For(l) => {
+            for k in l.iteration_values() {
+                set_counter(env, l.var, k);
+                exec_block(func, &l.body, env)?;
+            }
+            // Final counter value (visible after the loop in C scope rules
+            // only for externally-declared counters; harmless here).
+            Ok(())
+        }
+        Stmt::If { cond, then_, else_ } => {
+            let c = eval(func, cond, env)?.as_bool()?;
+            if c {
+                exec_block(func, then_, env)
+            } else {
+                exec_block(func, else_, env)
+            }
+        }
+    }
+}
+
+fn set_counter(env: &mut BTreeMap<VarId, Slot>, var: VarId, k: i64) {
+    if let Some(Slot::Scalar(slot)) = env.get_mut(&var) {
+        *slot = Fixed::from_int(k, slot.format());
+    }
+}
+
+fn eval(func: &Function, e: &Expr, env: &BTreeMap<VarId, Slot>) -> Result<Value, EvalError> {
+    match e {
+        Expr::Const(c) => Ok(Value::Fix(*c)),
+        Expr::ConstBool(b) => Ok(Value::Bool(*b)),
+        Expr::Var(v) => match env.get(v) {
+            Some(Slot::Scalar(f)) => {
+                if func.var(*v).ty.is_bool() {
+                    Ok(Value::Bool(!f.is_zero()))
+                } else {
+                    Ok(Value::Fix(*f))
+                }
+            }
+            _ => Err(EvalError::ShapeMismatch { var: func.var(*v).name.clone() }),
+        },
+        Expr::Load { array, index } => {
+            let idx = eval(func, index, env)?.as_fix()?.to_i64();
+            let decl = func.var(*array);
+            match env.get(array) {
+                Some(Slot::Array(a)) => {
+                    if idx < 0 || idx as usize >= a.len() {
+                        Err(EvalError::IndexOutOfBounds {
+                            array: decl.name.clone(),
+                            index: idx,
+                            len: a.len(),
+                        })
+                    } else {
+                        Ok(Value::Fix(a[idx as usize]))
+                    }
+                }
+                _ => Err(EvalError::ShapeMismatch { var: decl.name.clone() }),
+            }
+        }
+        Expr::Unary { op, arg } => {
+            let a = eval(func, arg, env)?;
+            match op {
+                UnOp::Neg => Ok(Value::Fix(a.as_fix()?.negate())),
+                UnOp::Signum => {
+                    let s = a.as_fix()?.signum();
+                    Ok(Value::Fix(Fixed::from_int(s as i64, Format::signed(2, 2))))
+                }
+                UnOp::Not => Ok(Value::Bool(!a.as_bool()?)),
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let a = eval(func, lhs, env)?;
+            match op {
+                BinOp::And => {
+                    // Short-circuit like C.
+                    if !a.as_bool()? {
+                        return Ok(Value::Bool(false));
+                    }
+                    Ok(Value::Bool(eval(func, rhs, env)?.as_bool()?))
+                }
+                BinOp::Or => {
+                    if a.as_bool()? {
+                        return Ok(Value::Bool(true));
+                    }
+                    Ok(Value::Bool(eval(func, rhs, env)?.as_bool()?))
+                }
+                BinOp::Shl | BinOp::Shr => {
+                    let n = match rhs.as_ref() {
+                        Expr::Const(c) => c.to_i64(),
+                        _ => return Err(EvalError::NonConstShift),
+                    };
+                    if n < 0 {
+                        return Err(EvalError::NonConstShift);
+                    }
+                    let x = a.as_fix()?;
+                    Ok(Value::Fix(if matches!(op, BinOp::Shl) {
+                        x.shl(n as u32)
+                    } else {
+                        x.shr(n as u32)
+                    }))
+                }
+                BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                    let x = a.as_fix()?;
+                    let y = eval(func, rhs, env)?.as_fix()?;
+                    Ok(Value::Fix(match op {
+                        BinOp::Add => x.exact_add(&y),
+                        BinOp::Sub => x.exact_sub(&y),
+                        BinOp::Mul => x.exact_mul(&y),
+                        _ => unreachable!(),
+                    }))
+                }
+            }
+        }
+        Expr::Compare { op, lhs, rhs } => {
+            let a = eval(func, lhs, env)?.as_fix()?;
+            let b = eval(func, rhs, env)?.as_fix()?;
+            Ok(Value::Bool(op.eval(a.cmp(&b))))
+        }
+        Expr::Select { cond, then_, else_ } => {
+            let c = eval(func, cond, env)?.as_bool()?;
+            // Evaluate both arms (hardware mux semantics) but return one.
+            let t = eval(func, then_, env)?;
+            let e = eval(func, else_, env)?;
+            Ok(if c { t } else { e })
+        }
+        Expr::Cast { ty, quantization, overflow, arg } => {
+            let a = eval(func, arg, env)?.as_fix()?;
+            let fmt = ty
+                .format()
+                .ok_or(EvalError::TypeMismatch("cast to bool is not supported"))?;
+            Ok(Value::Fix(a.cast_with(fmt, *quantization, *overflow)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::FunctionBuilder;
+    use crate::expr::CmpOp;
+
+    fn fir4() -> (Function, VarId, VarId, VarId) {
+        // out = sum x[k] * c[k]
+        let mut b = FunctionBuilder::new("fir4");
+        let x = b.param_array("x", Ty::fixed(10, 2), 4);
+        let c = b.param_array("c", Ty::fixed(10, 2), 4);
+        let out = b.param_scalar("out", Ty::fixed(22, 6));
+        let acc = b.local("acc", Ty::fixed(22, 6));
+        b.assign(acc, Expr::int_const(0));
+        b.for_loop("mac", 0, CmpOp::Lt, 4, 1, |b, k| {
+            b.assign(
+                acc,
+                Expr::add(
+                    Expr::var(acc),
+                    Expr::mul(Expr::load(x, Expr::var(k)), Expr::load(c, Expr::var(k))),
+                ),
+            );
+        });
+        b.assign(out, Expr::var(acc));
+        let f = b.build();
+        let (x, c, out) = (f.params[0], f.params[1], f.params[2]);
+        (f, x, c, out)
+    }
+
+    fn fix_arr(vals: &[f64], fmt: Format) -> Slot {
+        Slot::Array(vals.iter().map(|v| Fixed::from_f64(*v, fmt)).collect())
+    }
+
+    #[test]
+    fn fir_computes_dot_product() {
+        let (f, x, c, out) = fir4();
+        let fmt = Format::signed(10, 2);
+        let mut interp = Interpreter::new(f);
+        let res = interp
+            .call(&[
+                (x, fix_arr(&[1.0, 0.5, -0.25, 1.5], fmt)),
+                (c, fix_arr(&[0.5, 0.5, 1.0, -1.0], fmt)),
+            ])
+            .unwrap();
+        let got = res[&out].scalar().unwrap().to_f64();
+        assert_eq!(got, 1.0 * 0.5 + 0.5 * 0.5 - 0.25 - 1.5);
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        let (f, x, _, _) = fir4();
+        let fmt = Format::signed(10, 2);
+        let mut interp = Interpreter::new(f);
+        let err = interp.call(&[(x, fix_arr(&[0.0; 4], fmt))]).unwrap_err();
+        assert!(matches!(err, EvalError::MissingInput { .. }));
+    }
+
+    #[test]
+    fn wrong_shape_is_an_error() {
+        let (f, x, c, _) = fir4();
+        let fmt = Format::signed(10, 2);
+        let mut interp = Interpreter::new(f);
+        let err = interp
+            .call(&[
+                (x, Slot::Scalar(Fixed::zero(fmt))),
+                (c, fix_arr(&[0.0; 4], fmt)),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, EvalError::BadArgument { .. }));
+    }
+
+    #[test]
+    fn static_state_persists_and_resets() {
+        let mut b = FunctionBuilder::new("acc");
+        let inp = b.param_scalar("inp", Ty::int(8));
+        let out = b.param_scalar("out", Ty::int(16));
+        let state = b.static_scalar("state", Ty::int(16));
+        b.assign(state, Expr::add(Expr::var(state), Expr::var(inp)));
+        b.assign(out, Expr::var(state));
+        let f = b.build();
+        let (inp, out) = (f.params[0], f.params[1]);
+        let mut interp = Interpreter::new(f);
+        let one = Slot::Scalar(Fixed::from_int(5, Format::integer(8, Signedness::Signed)));
+        let r1 = interp.call(&[(inp, one.clone())]).unwrap();
+        let r2 = interp.call(&[(inp, one.clone())]).unwrap();
+        assert_eq!(r1[&out].scalar().unwrap().to_i64(), 5);
+        assert_eq!(r2[&out].scalar().unwrap().to_i64(), 10);
+        interp.reset();
+        let r3 = interp.call(&[(inp, one)]).unwrap();
+        assert_eq!(r3[&out].scalar().unwrap().to_i64(), 5);
+    }
+
+    #[test]
+    fn descending_loop_with_guard() {
+        // Shift an array down by one, as dfe_shift does.
+        let mut b = FunctionBuilder::new("shift");
+        let a = b.param_array("a", Ty::int(8), 4);
+        b.for_loop("sh", 2, CmpOp::Ge, 0, -1, |b, k| {
+            b.store(a, Expr::add(Expr::var(k), Expr::int_const(1)), Expr::load(a, Expr::var(k)));
+        });
+        let f = b.build();
+        let a_id = f.params[0];
+        let mut interp = Interpreter::new(f);
+        let fmt = Format::integer(8, Signedness::Signed);
+        let slot = Slot::Array(
+            [1, 2, 3, 4].iter().map(|v| Fixed::from_int(*v, fmt)).collect(),
+        );
+        let res = interp.call(&[(a_id, slot)]).unwrap();
+        let vals: Vec<i64> = res[&a_id].array().unwrap().iter().map(|f| f.to_i64()).collect();
+        assert_eq!(vals, vec![1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let mut b = FunctionBuilder::new("oob");
+        let a = b.param_array("a", Ty::int(8), 4);
+        let out = b.param_scalar("out", Ty::int(8));
+        b.assign(out, Expr::load(a, Expr::int_const(4)));
+        let f = b.build();
+        let a_id = f.params[0];
+        let mut interp = Interpreter::new(f);
+        let fmt = Format::integer(8, Signedness::Signed);
+        let slot = Slot::Array(vec![Fixed::zero(fmt); 4]);
+        let err = interp.call(&[(a_id, slot)]).unwrap_err();
+        assert!(matches!(err, EvalError::IndexOutOfBounds { index: 4, .. }));
+    }
+
+    #[test]
+    fn select_and_compare() {
+        let mut b = FunctionBuilder::new("clip");
+        let x = b.param_scalar("x", Ty::int(8));
+        let out = b.param_scalar("out", Ty::int(8));
+        b.assign(
+            out,
+            Expr::select(
+                Expr::cmp(CmpOp::Gt, Expr::var(x), Expr::int_const(3)),
+                Expr::int_const(3),
+                Expr::var(x),
+            ),
+        );
+        let f = b.build();
+        let (x, out) = (f.params[0], f.params[1]);
+        let mut interp = Interpreter::new(f);
+        let fmt = Format::integer(8, Signedness::Signed);
+        let call = |i: &mut Interpreter, v: i64| {
+            let r = i.call(&[(x, Slot::Scalar(Fixed::from_int(v, fmt)))]).unwrap();
+            r[&out].scalar().unwrap().to_i64()
+        };
+        assert_eq!(call(&mut interp, 10), 3);
+        assert_eq!(call(&mut interp, -5), -5);
+    }
+
+    #[test]
+    fn signum_values() {
+        let mut b = FunctionBuilder::new("sgn");
+        let x = b.param_scalar("x", Ty::fixed(10, 2));
+        let out = b.param_scalar("out", Ty::fixed(2, 2));
+        b.assign(out, Expr::signum(Expr::var(x)));
+        let f = b.build();
+        let (x, out) = (f.params[0], f.params[1]);
+        let mut interp = Interpreter::new(f);
+        let fmt = Format::signed(10, 2);
+        let call = |i: &mut Interpreter, v: f64| {
+            let r = i.call(&[(x, Slot::Scalar(Fixed::from_f64(v, fmt)))]).unwrap();
+            r[&out].scalar().unwrap().to_i64()
+        };
+        assert_eq!(call(&mut interp, 0.5), 1);
+        assert_eq!(call(&mut interp, -0.5), -1);
+        assert_eq!(call(&mut interp, 0.0), 0);
+    }
+
+    #[test]
+    fn assignment_quantizes_to_declared_type() {
+        let mut b = FunctionBuilder::new("q");
+        let x = b.param_scalar("x", Ty::fixed(10, 2));
+        let out = b.param_scalar("out", Ty::fixed(4, 2)); // 2 frac bits
+        b.assign(out, Expr::var(x));
+        let f = b.build();
+        let (x, out) = (f.params[0], f.params[1]);
+        let mut interp = Interpreter::new(f);
+        let r = interp
+            .call(&[(x, Slot::Scalar(Fixed::from_f64(1.3125, Format::signed(10, 2))))])
+            .unwrap();
+        // 1.3125 truncated to 2 fractional bits = 1.25.
+        assert_eq!(r[&out].scalar().unwrap().to_f64(), 1.25);
+    }
+}

@@ -1,0 +1,212 @@
+//! Lexer for the C-like front-end.
+
+use std::fmt;
+
+/// A token with its source position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A decimal literal (kept as text for exact binary conversion).
+    Decimal(String),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::Decimal(s) => write!(f, "`{s}`"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A lexing error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// The offending character.
+    pub ch: char,
+    /// 1-based line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character `{}` on line {}", self.ch, self.line)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character operators, longest first.
+const PUNCTS: [&str; 28] = [
+    "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "++", "--", "<<", ">>",
+    "(", ")", "{", "}", "[", "]", "<", ">", ",", ";", ":", "?", "=",
+];
+
+/// Single-character operators not prefixing any multi-char one.
+const SINGLE: [&str; 6] = ["+", "-", "*", "/", "!", "&"];
+
+/// Tokenizes `src`. `//` and `/* */` comments and `#pragma` lines are
+/// skipped.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1u32;
+    'outer: while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments and pragmas.
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '*' {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                if bytes[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i += 2;
+            continue;
+        }
+        if c == '#' {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Numbers (integers and decimals).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == '.' {
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                out.push(Token { kind: Tok::Decimal(text), line });
+            } else {
+                let text: String = bytes[start..i].iter().collect();
+                let v = text.parse::<i64>().unwrap_or(0);
+                out.push(Token { kind: Tok::Int(v), line });
+            }
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            out.push(Token { kind: Tok::Ident(bytes[start..i].iter().collect()), line });
+            continue;
+        }
+        // Operators (longest match first).
+        for p in PUNCTS.iter().chain(SINGLE.iter()) {
+            let pl = p.chars().count();
+            if bytes[i..].iter().take(pl).collect::<String>() == **p {
+                out.push(Token { kind: Tok::Punct(p), line });
+                i += pl;
+                continue 'outer;
+            }
+        }
+        return Err(LexError { ch: c, line });
+    }
+    out.push(Token { kind: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("x += 3;"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Punct("+="),
+                Tok::Int(3),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn decimals_kept_as_text() {
+        assert_eq!(kinds("0.0625")[0], Tok::Decimal("0.0625".into()));
+        assert_eq!(kinds("1.5")[0], Tok::Decimal("1.5".into()));
+        assert_eq!(kinds("7")[0], Tok::Int(7));
+    }
+
+    #[test]
+    fn comments_and_pragmas_skipped() {
+        let toks = kinds("#pragma design top\n// line\nint /* mid */ x;");
+        assert_eq!(
+            toks,
+            vec![Tok::Ident("int".into()), Tok::Ident("x".into()), Tok::Punct(";"), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn longest_match_operators() {
+        assert_eq!(kinds(">>")[0], Tok::Punct(">>"));
+        assert_eq!(kinds(">=")[0], Tok::Punct(">="));
+        assert_eq!(kinds("> =").len(), 3); // '>' '=' eof
+        assert_eq!(kinds("k++")[1], Tok::Punct("++"));
+        assert_eq!(kinds("k -= 2")[1], Tok::Punct("-="));
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a\nb\n  c").expect("lexes");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a @ b").is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Value types carried by the IR.
+
+use std::fmt;
+
+use fixpt::{Format, Signedness};
+
+/// The type of an IR value.
+///
+/// Fixed-point formats subsume integers (an integer is a fixed-point value
+/// whose binary point sits at the LSB); booleans are kept distinct because
+/// they arise from comparisons and steer control flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// A fixed-point (or integer) value with the given format.
+    Fixed(Format),
+    /// A single-bit truth value produced by comparisons.
+    Bool,
+}
+
+impl Ty {
+    /// A signed integer type of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`fixpt::MAX_WIDTH`].
+    pub fn int(width: u32) -> Ty {
+        Ty::Fixed(Format::integer(width, Signedness::Signed))
+    }
+
+    /// An unsigned integer type of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`fixpt::MAX_WIDTH`].
+    pub fn uint(width: u32) -> Ty {
+        Ty::Fixed(Format::integer(width, Signedness::Unsigned))
+    }
+
+    /// A signed fixed-point type `sc_fixed<width, int_bits>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`fixpt::MAX_WIDTH`].
+    pub fn fixed(width: u32, int_bits: i32) -> Ty {
+        Ty::Fixed(Format::signed(width, int_bits))
+    }
+
+    /// The fixed-point format, if this is a fixed/integer type.
+    pub fn format(&self) -> Option<Format> {
+        match self {
+            Ty::Fixed(f) => Some(*f),
+            Ty::Bool => None,
+        }
+    }
+
+    /// Bit width of the hardware value carrying this type.
+    pub fn width(&self) -> u32 {
+        match self {
+            Ty::Fixed(f) => f.width(),
+            Ty::Bool => 1,
+        }
+    }
+
+    /// `true` for [`Ty::Bool`].
+    pub fn is_bool(&self) -> bool {
+        matches!(self, Ty::Bool)
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Fixed(fm) => write!(f, "{fm}"),
+            Ty::Bool => f.write_str("bool"),
+        }
+    }
+}
+
+impl From<Format> for Ty {
+    fn from(f: Format) -> Ty {
+        Ty::Fixed(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Ty::int(17).width(), 17);
+        assert_eq!(Ty::uint(6).width(), 6);
+        assert_eq!(Ty::fixed(10, 0).width(), 10);
+        assert_eq!(Ty::Bool.width(), 1);
+        assert!(Ty::Bool.is_bool());
+        assert!(Ty::Bool.format().is_none());
+        assert!(Ty::int(8).format().unwrap().is_signed());
+        assert!(!Ty::uint(8).format().unwrap().is_signed());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ty::fixed(10, 0).to_string(), "fixed<10,0>");
+        assert_eq!(Ty::Bool.to_string(), "bool");
+    }
+}

@@ -1,0 +1,437 @@
+//! Structural and type validation of IR functions.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::func::{Function, VarKind};
+use crate::stmt::Stmt;
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A statement referenced a variable id outside the function's table.
+    UnknownVar {
+        /// The raw id that was out of range.
+        raw: u32,
+    },
+    /// An array variable was used as a scalar or vice versa.
+    ShapeMismatch {
+        /// The variable's name.
+        var: String,
+    },
+    /// Two loops share a label.
+    DuplicateLabel {
+        /// The repeated label.
+        label: String,
+    },
+    /// A loop counter is assigned inside its own loop.
+    CounterAssigned {
+        /// The loop label.
+        label: String,
+    },
+    /// A constant array index is known to be out of bounds.
+    ConstIndexOutOfBounds {
+        /// The array's name.
+        array: String,
+        /// The constant index.
+        index: i64,
+        /// The declared length.
+        len: usize,
+    },
+    /// A boolean appeared where a number was required, or vice versa.
+    TypeMismatch {
+        /// Human-readable context.
+        context: String,
+    },
+    /// A shift amount was not a constant.
+    NonConstShift,
+    /// A loop never terminates within the statically-evaluated cap.
+    SuspiciousLoop {
+        /// The loop label.
+        label: String,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::UnknownVar { raw } => write!(f, "unknown variable id v{raw}"),
+            ValidateError::ShapeMismatch { var } => {
+                write!(f, "variable {var} used with the wrong shape")
+            }
+            ValidateError::DuplicateLabel { label } => {
+                write!(f, "duplicate loop label `{label}`")
+            }
+            ValidateError::CounterAssigned { label } => {
+                write!(f, "counter of loop `{label}` is assigned in its body")
+            }
+            ValidateError::ConstIndexOutOfBounds { array, index, len } => {
+                write!(f, "constant index {index} out of bounds for {array}[{len}]")
+            }
+            ValidateError::TypeMismatch { context } => write!(f, "type mismatch: {context}"),
+            ValidateError::NonConstShift => f.write_str("shift amount must be a constant"),
+            ValidateError::SuspiciousLoop { label } => {
+                write!(f, "loop `{label}` does not terminate within the static cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Num,
+    Bool,
+}
+
+/// Validates a function, returning every problem found.
+///
+/// An empty result means the function is structurally sound: variable ids
+/// resolve, arrays and scalars are used consistently, loop labels are
+/// unique, counters are read-only in their bodies, constant indices are in
+/// bounds, and boolean/numeric contexts are respected.
+pub fn validate(func: &Function) -> Vec<ValidateError> {
+    let mut errors = Vec::new();
+    let nvars = func.vars.len() as u32;
+
+    // Label uniqueness and loop sanity.
+    let mut seen = BTreeSet::new();
+    for l in func.loops() {
+        if !seen.insert(l.label.clone()) {
+            errors.push(ValidateError::DuplicateLabel { label: l.label.clone() });
+        }
+        if l.trip_count() >= crate::stmt::MAX_TRIP_COUNT {
+            errors.push(ValidateError::SuspiciousLoop { label: l.label.clone() });
+        }
+        if func.var(l.var).kind != VarKind::Counter {
+            errors.push(ValidateError::TypeMismatch {
+                context: format!("loop `{}` counter is not a counter variable", l.label),
+            });
+        }
+        for s in &l.body {
+            s.visit(&mut |s| {
+                if let Stmt::Assign { var, .. } = s {
+                    if *var == l.var {
+                        errors.push(ValidateError::CounterAssigned { label: l.label.clone() });
+                    }
+                }
+            });
+        }
+    }
+
+    // Per-statement checks.
+    for s in &func.body {
+        s.visit(&mut |s| check_stmt(func, s, nvars, &mut errors));
+    }
+    errors
+}
+
+fn check_stmt(func: &Function, s: &Stmt, nvars: u32, errors: &mut Vec<ValidateError>) {
+    match s {
+        Stmt::Assign { var, value } => {
+            if var.index() as u32 >= nvars {
+                errors.push(ValidateError::UnknownVar { raw: var.index() as u32 });
+                return;
+            }
+            let decl = func.var(*var);
+            if decl.is_array() {
+                errors.push(ValidateError::ShapeMismatch { var: decl.name.clone() });
+            }
+            if let Some(kind) = check_expr(func, value, nvars, errors) {
+                let want = if decl.ty.is_bool() { Kind::Bool } else { Kind::Num };
+                if kind != want {
+                    errors.push(ValidateError::TypeMismatch {
+                        context: format!("assignment to {}", decl.name),
+                    });
+                }
+            }
+        }
+        Stmt::Store { array, index, value } => {
+            if array.index() as u32 >= nvars {
+                errors.push(ValidateError::UnknownVar { raw: array.index() as u32 });
+                return;
+            }
+            let decl = func.var(*array);
+            match decl.len {
+                None => errors.push(ValidateError::ShapeMismatch { var: decl.name.clone() }),
+                Some(len) => {
+                    if let Expr::Const(c) = index {
+                        let i = c.to_i64();
+                        if i < 0 || i as usize >= len {
+                            errors.push(ValidateError::ConstIndexOutOfBounds {
+                                array: decl.name.clone(),
+                                index: i,
+                                len,
+                            });
+                        }
+                    }
+                }
+            }
+            if check_expr(func, index, nvars, errors) == Some(Kind::Bool) {
+                errors.push(ValidateError::TypeMismatch { context: "boolean array index".into() });
+            }
+            if check_expr(func, value, nvars, errors) == Some(Kind::Bool) {
+                errors.push(ValidateError::TypeMismatch {
+                    context: format!("boolean stored into {}", decl.name),
+                });
+            }
+        }
+        Stmt::If { cond, .. } => {
+            if check_expr(func, cond, nvars, errors) == Some(Kind::Num) {
+                errors.push(ValidateError::TypeMismatch {
+                    context: "if condition is not boolean".into(),
+                });
+            }
+        }
+        Stmt::For(_) => {}
+    }
+}
+
+/// Type/shape check of an expression; returns its kind when derivable.
+fn check_expr(
+    func: &Function,
+    e: &Expr,
+    nvars: u32,
+    errors: &mut Vec<ValidateError>,
+) -> Option<Kind> {
+    match e {
+        Expr::Const(_) => Some(Kind::Num),
+        Expr::ConstBool(_) => Some(Kind::Bool),
+        Expr::Var(v) => {
+            if v.index() as u32 >= nvars {
+                errors.push(ValidateError::UnknownVar { raw: v.index() as u32 });
+                return None;
+            }
+            let decl = func.var(*v);
+            if decl.is_array() {
+                errors.push(ValidateError::ShapeMismatch { var: decl.name.clone() });
+                return None;
+            }
+            Some(if decl.ty.is_bool() { Kind::Bool } else { Kind::Num })
+        }
+        Expr::Load { array, index } => {
+            if array.index() as u32 >= nvars {
+                errors.push(ValidateError::UnknownVar { raw: array.index() as u32 });
+                return None;
+            }
+            let decl = func.var(*array);
+            match decl.len {
+                None => {
+                    errors.push(ValidateError::ShapeMismatch { var: decl.name.clone() });
+                }
+                Some(len) => {
+                    if let Expr::Const(c) = index.as_ref() {
+                        let i = c.to_i64();
+                        if i < 0 || i as usize >= len {
+                            errors.push(ValidateError::ConstIndexOutOfBounds {
+                                array: decl.name.clone(),
+                                index: i,
+                                len,
+                            });
+                        }
+                    }
+                }
+            }
+            if check_expr(func, index, nvars, errors) == Some(Kind::Bool) {
+                errors.push(ValidateError::TypeMismatch { context: "boolean array index".into() });
+            }
+            Some(Kind::Num)
+        }
+        Expr::Unary { op, arg } => {
+            let k = check_expr(func, arg, nvars, errors)?;
+            match op {
+                UnOp::Neg | UnOp::Signum => {
+                    if k == Kind::Bool {
+                        errors.push(ValidateError::TypeMismatch {
+                            context: "arithmetic on boolean".into(),
+                        });
+                    }
+                    Some(Kind::Num)
+                }
+                UnOp::Not => {
+                    if k == Kind::Num {
+                        errors.push(ValidateError::TypeMismatch {
+                            context: "logical not on number".into(),
+                        });
+                    }
+                    Some(Kind::Bool)
+                }
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let kl = check_expr(func, lhs, nvars, errors);
+            let kr = check_expr(func, rhs, nvars, errors);
+            match op {
+                BinOp::And | BinOp::Or => {
+                    if kl == Some(Kind::Num) || kr == Some(Kind::Num) {
+                        errors.push(ValidateError::TypeMismatch {
+                            context: "logical op on numbers".into(),
+                        });
+                    }
+                    Some(Kind::Bool)
+                }
+                BinOp::Shl | BinOp::Shr => {
+                    if !matches!(rhs.as_ref(), Expr::Const(_)) {
+                        errors.push(ValidateError::NonConstShift);
+                    }
+                    Some(Kind::Num)
+                }
+                _ => {
+                    if kl == Some(Kind::Bool) || kr == Some(Kind::Bool) {
+                        errors.push(ValidateError::TypeMismatch {
+                            context: "arithmetic on boolean".into(),
+                        });
+                    }
+                    Some(Kind::Num)
+                }
+            }
+        }
+        Expr::Compare { lhs, rhs, .. } => {
+            for side in [lhs, rhs] {
+                if check_expr(func, side, nvars, errors) == Some(Kind::Bool) {
+                    errors.push(ValidateError::TypeMismatch {
+                        context: "comparison of booleans".into(),
+                    });
+                }
+            }
+            Some(Kind::Bool)
+        }
+        Expr::Select { cond, then_, else_ } => {
+            if check_expr(func, cond, nvars, errors) == Some(Kind::Num) {
+                errors.push(ValidateError::TypeMismatch {
+                    context: "select condition is not boolean".into(),
+                });
+            }
+            let kt = check_expr(func, then_, nvars, errors);
+            let ke = check_expr(func, else_, nvars, errors);
+            if kt.is_some() && ke.is_some() && kt != ke {
+                errors.push(ValidateError::TypeMismatch {
+                    context: "select arms disagree".into(),
+                });
+            }
+            kt.or(ke)
+        }
+        Expr::Cast { arg, .. } => {
+            if check_expr(func, arg, nvars, errors) == Some(Kind::Bool) {
+                errors.push(ValidateError::TypeMismatch { context: "cast of boolean".into() });
+            }
+            Some(Kind::Num)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::FunctionBuilder;
+    use crate::expr::CmpOp;
+    use crate::ty::Ty;
+
+    #[test]
+    fn valid_function_passes() {
+        let mut b = FunctionBuilder::new("ok");
+        let x = b.param_array("x", Ty::int(8), 4);
+        let out = b.param_scalar("out", Ty::int(12));
+        let acc = b.local("acc", Ty::int(12));
+        b.assign(acc, Expr::int_const(0));
+        b.for_loop("sum", 0, CmpOp::Lt, 4, 1, |b, k| {
+            b.assign(acc, Expr::add(Expr::var(acc), Expr::load(x, Expr::var(k))));
+        });
+        b.assign(out, Expr::var(acc));
+        assert!(validate(&b.build()).is_empty());
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let mut b = FunctionBuilder::new("dup");
+        b.for_loop("l", 0, CmpOp::Lt, 2, 1, |_, _| {});
+        b.for_loop("l", 0, CmpOp::Lt, 2, 1, |_, _| {});
+        let errs = validate(&b.build());
+        assert!(errs.iter().any(|e| matches!(e, ValidateError::DuplicateLabel { .. })));
+    }
+
+    #[test]
+    fn counter_assignment_rejected() {
+        let mut b = FunctionBuilder::new("bad");
+        b.for_loop("l", 0, CmpOp::Lt, 4, 1, |b, k| {
+            b.assign(k, Expr::int_const(0));
+        });
+        let errs = validate(&b.build());
+        assert!(errs.iter().any(|e| matches!(e, ValidateError::CounterAssigned { .. })));
+    }
+
+    #[test]
+    fn const_index_bounds_checked() {
+        let mut b = FunctionBuilder::new("oob");
+        let a = b.param_array("a", Ty::int(8), 4);
+        let out = b.param_scalar("out", Ty::int(8));
+        b.assign(out, Expr::load(a, Expr::int_const(7)));
+        let errs = validate(&b.build());
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::ConstIndexOutOfBounds { index: 7, len: 4, .. })));
+    }
+
+    #[test]
+    fn scalar_indexed_rejected() {
+        let mut b = FunctionBuilder::new("shape");
+        let s = b.param_scalar("s", Ty::int(8));
+        let out = b.param_scalar("out", Ty::int(8));
+        b.assign(out, Expr::load(s, Expr::int_const(0)));
+        let errs = validate(&b.build());
+        assert!(errs.iter().any(|e| matches!(e, ValidateError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn array_assigned_as_scalar_rejected() {
+        let mut b = FunctionBuilder::new("shape2");
+        let a = b.param_array("a", Ty::int(8), 4);
+        b.assign(a, Expr::int_const(0));
+        let errs = validate(&b.build());
+        assert!(errs.iter().any(|e| matches!(e, ValidateError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn boolean_misuse_rejected() {
+        let mut b = FunctionBuilder::new("bools");
+        let x = b.param_scalar("x", Ty::int(8));
+        let out = b.param_scalar("out", Ty::int(8));
+        // Arithmetic on a comparison result.
+        b.assign(
+            out,
+            Expr::add(Expr::cmp(CmpOp::Lt, Expr::var(x), Expr::int_const(0)), Expr::var(x)),
+        );
+        let errs = validate(&b.build());
+        assert!(errs.iter().any(|e| matches!(e, ValidateError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn non_const_shift_rejected() {
+        let mut b = FunctionBuilder::new("shift");
+        let x = b.param_scalar("x", Ty::int(8));
+        let n = b.param_scalar("n", Ty::int(8));
+        let out = b.param_scalar("out", Ty::int(8));
+        b.assign(
+            out,
+            Expr::Binary {
+                op: BinOp::Shr,
+                lhs: Box::new(Expr::var(x)),
+                rhs: Box::new(Expr::var(n)),
+            },
+        );
+        let errs = validate(&b.build());
+        assert!(errs.contains(&ValidateError::NonConstShift));
+    }
+
+    #[test]
+    fn if_condition_must_be_bool() {
+        let mut b = FunctionBuilder::new("ifnum");
+        let x = b.param_scalar("x", Ty::int(8));
+        let out = b.param_scalar("out", Ty::int(8));
+        b.if_then(Expr::var(x), |b| b.assign(out, Expr::int_const(1)));
+        let errs = validate(&b.build());
+        assert!(errs.iter().any(|e| matches!(e, ValidateError::TypeMismatch { .. })));
+    }
+}

@@ -1,0 +1,101 @@
+//! The four architectures of the paper's Table 1.
+
+use hls_core::{Directives, TechLibrary, Unroll};
+
+/// What the paper reports for one Table-1 row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Latency in nanoseconds at the 100 MHz clock.
+    pub latency_ns: f64,
+    /// Data rate in Mbps (6 bits per invocation).
+    pub data_rate_mbps: f64,
+    /// Area normalized to the second (unmerged, unrolled-nothing) design.
+    pub area_normalized: f64,
+}
+
+/// One architecture: a named directive set plus the paper's reported row.
+#[derive(Debug, Clone)]
+pub struct Architecture {
+    /// Short name.
+    pub name: &'static str,
+    /// The Table-1 loop-constraint row, verbatim.
+    pub constraints: &'static str,
+    /// The directives that realize it.
+    pub directives: Directives,
+    /// The paper's reported numbers.
+    pub paper: PaperRow,
+}
+
+/// The paper's clock: 100 MHz.
+pub const CLOCK_NS: f64 = 10.0;
+
+/// Bits produced per decoder invocation (one 64-QAM symbol).
+pub const BITS_PER_CALL: u32 = 6;
+
+/// The four rows of Table 1, in the paper's order.
+pub fn table1_architectures() -> Vec<Architecture> {
+    vec![
+        Architecture {
+            name: "merged",
+            constraints: "M M M M M M",
+            directives: Directives::new(CLOCK_NS),
+            paper: PaperRow { latency_ns: 350.0, data_rate_mbps: 17.1, area_normalized: 1.17 },
+        },
+        Architecture {
+            name: "none",
+            constraints: "none none none none none none",
+            directives: Directives::new(CLOCK_NS).no_merging(),
+            paper: PaperRow { latency_ns: 690.0, data_rate_mbps: 8.6, area_normalized: 1.00 },
+        },
+        Architecture {
+            name: "merged-u2",
+            constraints: "M | M,U=2 | M | M,U=2 | M | M,U=2",
+            directives: Directives::new(CLOCK_NS)
+                .unroll("dfe", Unroll::Factor(2))
+                .unroll("dfe_adapt", Unroll::Factor(2))
+                .unroll("dfe_shift", Unroll::Factor(2)),
+            paper: PaperRow { latency_ns: 190.0, data_rate_mbps: 31.5, area_normalized: 1.61 },
+        },
+        Architecture {
+            name: "merged-u4",
+            constraints: "M | M,U=2 | M,U=2 | M,U=4 | M | M,U=4",
+            directives: Directives::new(CLOCK_NS)
+                .unroll("dfe", Unroll::Factor(2))
+                .unroll("ffe_adapt", Unroll::Factor(2))
+                .unroll("dfe_adapt", Unroll::Factor(4))
+                .unroll("dfe_shift", Unroll::Factor(4)),
+            paper: PaperRow { latency_ns: 150.0, data_rate_mbps: 40.0, area_normalized: 1.88 },
+        },
+    ]
+}
+
+/// The technology library the Table-1 runs use.
+pub fn table1_library() -> TechLibrary {
+    TechLibrary::asic_100mhz()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_rows_in_paper_order() {
+        let archs = table1_architectures();
+        assert_eq!(archs.len(), 4);
+        assert_eq!(archs[0].name, "merged");
+        assert_eq!(archs[1].name, "none");
+        // The paper normalizes area to row 2.
+        assert_eq!(archs[1].paper.area_normalized, 1.0);
+        // Latency ordering: none > merged > u2 > u4.
+        let lat: Vec<f64> = archs.iter().map(|a| a.paper.latency_ns).collect();
+        assert!(lat[1] > lat[0] && lat[0] > lat[2] && lat[2] > lat[3]);
+    }
+
+    #[test]
+    fn directives_encode_the_unrolls() {
+        let archs = table1_architectures();
+        assert_eq!(archs[2].directives.loop_directive("dfe").unroll, Unroll::Factor(2));
+        assert_eq!(archs[3].directives.loop_directive("dfe_adapt").unroll, Unroll::Factor(4));
+        assert_eq!(archs[3].directives.loop_directive("ffe").unroll, Unroll::None);
+    }
+}

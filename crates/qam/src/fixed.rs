@@ -1,0 +1,359 @@
+//! Bit-accurate port of the paper's Figure 4 `qam_decoder` function.
+
+use dsp::{CFixed, Complex};
+use fixpt::{Fixed, Format, Overflow, Quantization, Signedness};
+
+use crate::params::DecoderParams;
+
+/// Result of decoding one symbol period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeOutput {
+    /// The 6-bit output word (`*data` in the paper): `(r*64 + i*8) mod 64`.
+    pub data: u8,
+    /// The equalized soft value `y` (as floats, for analysis).
+    pub y: Complex,
+    /// The slicer decision `SV[0]`.
+    pub decision: Complex,
+    /// The error `e = SV[0] - y`.
+    pub error: Complex,
+}
+
+/// The fixed-point 64-QAM decoder: a statement-for-statement port of the
+/// paper's C++ (Figure 4), with `static` arrays held as struct state.
+///
+/// # Examples
+///
+/// ```
+/// use qam_decoder::{QamDecoderFixed, DecoderParams};
+/// use dsp::{CFixed, Complex};
+///
+/// let mut dec = QamDecoderFixed::new(DecoderParams::default());
+/// // Coefficients live in sc_fixed<10,0> (range ±0.5), so unit gain uses
+/// // two near-half taps over the two T/2 samples of a symbol.
+/// let half = 511.0 / 1024.0;
+/// dec.set_ffe_tap(0, Complex::new(half, 0.0));
+/// dec.set_ffe_tap(1, Complex::new(half, 0.0));
+/// let fmt = DecoderParams::default().x_format();
+/// // Feed the constellation point for level indices (7, 0): I = 7/16.
+/// let x0 = CFixed::from_f64(7.0 / 16.0, -7.0 / 16.0, fmt);
+/// let out = dec.decode([x0, x0]);
+/// assert_eq!(out.decision, Complex::new(7.0 / 16.0, -7.0 / 16.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QamDecoderFixed {
+    params: DecoderParams,
+    // static sc_complex<..> arrays of Figure 4.
+    ffe_c: Vec<CFixed>,
+    dfe_c: Vec<CFixed>,
+    x: Vec<CFixed>,
+    sv: Vec<CFixed>,
+}
+
+impl QamDecoderFixed {
+    /// Creates a decoder with all state zeroed (as C statics are).
+    pub fn new(params: DecoderParams) -> Self {
+        QamDecoderFixed {
+            params,
+            ffe_c: vec![CFixed::zero(params.ffe_c_format()); params.nffe],
+            dfe_c: vec![CFixed::zero(params.dfe_c_format()); params.ndfe],
+            x: vec![CFixed::zero(params.x_format()); params.nffe],
+            sv: vec![CFixed::zero(params.sv_format()); params.ndfe],
+        }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &DecoderParams {
+        &self.params
+    }
+
+    /// Forward coefficients (as floats, for analysis).
+    pub fn ffe_taps(&self) -> Vec<Complex> {
+        self.ffe_c.iter().map(CFixed::to_complex).collect()
+    }
+
+    /// Feedback coefficients (as floats, for analysis).
+    pub fn dfe_taps(&self) -> Vec<Complex> {
+        self.dfe_c.iter().map(CFixed::to_complex).collect()
+    }
+
+    /// Raw decoder state, for equivalence checks against the IR form:
+    /// `(ffe_c, dfe_c, x, sv)`.
+    pub fn state(&self) -> (&[CFixed], &[CFixed], &[CFixed], &[CFixed]) {
+        (&self.ffe_c, &self.dfe_c, &self.x, &self.sv)
+    }
+
+    /// Cold-start initialization of one forward tap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= nffe`.
+    pub fn set_ffe_tap(&mut self, index: usize, value: Complex) {
+        self.ffe_c[index] = CFixed::from_complex(value, self.params.ffe_c_format());
+    }
+
+    /// Resets all state to zero.
+    pub fn reset(&mut self) {
+        *self = QamDecoderFixed::new(self.params);
+    }
+
+    /// One invocation of `qam_decoder`: consumes the two new T/2 samples
+    /// (`x_in[0]` newest) and produces the 6-bit decision word.
+    pub fn decode(&mut self, x_in: [CFixed; 2]) -> DecodeOutput {
+        let p = self.params;
+        let mu = p.mu();
+
+        // x[0] = x_in[0]; x[1] = x_in[1];
+        self.x[0] = x_in[0].cast(p.x_format());
+        self.x[1] = x_in[1].cast(p.x_format());
+
+        // nfe: for(k) yffe += x[k] * ffe_c[k];
+        let mut yffe = CFixed::zero(p.yffe_format());
+        for k in 0..p.nffe {
+            yffe = yffe.add(&self.x[k].mul(&self.ffe_c[k])).cast(p.yffe_format());
+        }
+        // dfe: for(k) ydfe += SV[k] * dfe_c[k];
+        let mut ydfe = CFixed::zero(p.ydfe_format());
+        for k in 0..p.ndfe {
+            ydfe = ydfe.add(&self.sv[k].mul(&self.dfe_c[k])).cast(p.ydfe_format());
+        }
+        // y = yffe - ydfe;  (sc_complex<FFE_W+1,1>)
+        let y = yffe.sub(&ydfe).cast(p.yffe_format());
+
+        // offset = 0; offset[0] = 1;  (sc_fixed<4,0> -> 2^-4)
+        let offset = Fixed::zero(p.sv_format()).with_bit(0, true);
+
+        // r/i = (sc_fixed<FFE_W,0,SC_RND_ZERO,SC_SAT>)(y.r/i() - offset),
+        // assigned into sc_fixed<3,0>. As printed, the rounding cast lands
+        // where no fractional bits are dropped (y already has FFE_W
+        // fractional bits) and the <3,0> assignment truncates; the
+        // *effective* intent — a nearest-level slicer — applies the modes
+        // at the 3-bit boundary. `slicer_rounding` selects between them.
+        let slice = |v: Fixed| -> Fixed {
+            let centered = v.exact_sub(&offset);
+            if p.slicer_rounding {
+                centered.cast_with(p.code_format(), Quantization::RndZero, Overflow::Sat)
+            } else {
+                centered
+                    .cast_with(p.slice_format(), Quantization::RndZero, Overflow::Sat)
+                    .cast(p.code_format())
+            }
+        };
+        let r = slice(y.re());
+        let i = slice(y.im());
+
+        // SV[0] = sc_complex<3,0>(r,i) + sc_complex<4,0>(offset, offset);
+        self.sv[0] = CFixed::from_parts(r, i)
+            .add(&CFixed::from_parts(offset, offset))
+            .cast(p.sv_format());
+
+        // e = SV[0] - y;  (sc_complex<FFE_W,0>)
+        let e = self.sv[0].sub(&y).cast(p.e_format());
+
+        // data_f = r*64 + i*8; *data = data_f.to_int();
+        let c64 = Fixed::from_int(64, Format::integer(8, Signedness::Signed));
+        let c8 = Fixed::from_int(8, Format::integer(5, Signedness::Signed));
+        let data_f = r
+            .exact_mul(&c64)
+            .exact_add(&i.exact_mul(&c8))
+            .cast(Format::signed(6, 6));
+        let data = data_f.cast(Format::integer(6, Signedness::Unsigned)).to_i64() as u8;
+
+        // ffe_adapt: ffe_c[k] += mu_ffe * e * x[k].sign_conj();
+        for k in 0..p.nffe {
+            let step = e.mul(&self.x[k].sign_conj()).scale(&mu);
+            self.ffe_c[k] = self.ffe_c[k].add(&step).cast(p.ffe_c_format());
+        }
+        // dfe_adapt: dfe_c[k] -= mu_dfe * e * SV[k].sign_conj();
+        for k in 0..p.ndfe {
+            let step = e.mul(&self.sv[k].sign_conj()).scale(&mu);
+            self.dfe_c[k] = self.dfe_c[k].sub(&step).cast(p.dfe_c_format());
+        }
+        // ffe_shift: for(k = nffe-4; k >= 0; k -= 2) { x[k+3]=x[k+1]; x[k+2]=x[k]; }
+        let mut k = p.nffe as i64 - 4;
+        while k >= 0 {
+            let ku = k as usize;
+            self.x[ku + 3] = self.x[ku + 1];
+            self.x[ku + 2] = self.x[ku];
+            k -= 2;
+        }
+        // dfe_shift: for(k = ndfe-2; k >= 0; k--) SV[k+1] = SV[k];
+        for k in (0..=p.ndfe - 2).rev() {
+            self.sv[k + 1] = self.sv[k];
+        }
+
+        DecodeOutput {
+            data,
+            y: y.to_complex(),
+            decision: self.sv[1].to_complex(), // SV[0] was shifted into SV[1]
+            error: e.to_complex(),
+        }
+    }
+}
+
+/// The 6-bit output word the decoder produces for axis level indices
+/// `(i_level, q_level)` in `[0, 8)` — the inverse of the paper's
+/// `data_f = r*64 + i*8` packing, for checking received words against
+/// transmitted symbols.
+pub fn data_code(i_level: u32, q_level: u32) -> u8 {
+    let jr = i_level as i64 - 4;
+    let ji = q_level as i64 - 4;
+    (((jr * 8) + ji) & 63) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp::QamConstellation;
+
+    /// Near-unit gain: the sc_fixed<10,0> coefficients max out just below
+    /// 0.5, so two taps cover the two (sample-and-hold) T/2 samples.
+    fn passthrough_decoder() -> QamDecoderFixed {
+        let mut d = QamDecoderFixed::new(DecoderParams::default());
+        let half = Complex::new(511.0 / 1024.0, 0.0);
+        d.set_ffe_tap(0, half);
+        d.set_ffe_tap(1, half);
+        d
+    }
+
+    #[test]
+    fn slices_all_64_grid_points() {
+        let qam = QamConstellation::new(64).unwrap();
+        let p = DecoderParams::default();
+        for s in 0..64u32 {
+            let mut dec = passthrough_decoder();
+            let point = qam.map(s);
+            let x0 = CFixed::from_complex(point, p.x_format());
+            let out = dec.decode([x0, x0]);
+            assert_eq!(out.decision, point, "symbol {s}");
+            let (i_l, q_l) = qam.slice(point);
+            assert_eq!(out.data, data_code(i_l, q_l), "symbol {s}");
+            // Near-unit gain: error within a few input LSBs.
+            assert!(out.error.abs() < 0.01, "symbol {s}: error {}", out.error);
+        }
+    }
+
+    #[test]
+    fn slicer_saturates_out_of_range_inputs() {
+        let p = DecoderParams::default();
+        let mut dec = passthrough_decoder();
+        let x0 = CFixed::from_f64(0.49, -0.49, p.x_format()); // beyond ±7/16
+        let out = dec.decode([x0, x0]);
+        assert_eq!(out.decision, Complex::new(7.0 / 16.0, -7.0 / 16.0));
+    }
+
+    #[test]
+    fn slicer_rounds_to_nearest_level() {
+        let p = DecoderParams::default();
+        let qam = QamConstellation::new(64).unwrap();
+        // Points halfway-ish between levels decode to the nearest one.
+        for (v, expect_level) in [(0.05, 4u32), (0.13, 5), (0.2, 5)] {
+            let mut dec = passthrough_decoder();
+            let x0 = CFixed::from_f64(v, v, p.x_format());
+            let out = dec.decode([x0, x0]);
+            let expect = qam.level_value(expect_level);
+            assert_eq!(out.decision.re, expect, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn adaptation_moves_coefficients_toward_lower_error() {
+        let p = DecoderParams::functional();
+        let mut dec = QamDecoderFixed::new(p);
+        // 0.9x gain: decision-directed adaptation still decides the right
+        // level for the corner point and pulls the gain up toward 1.
+        dec.set_ffe_tap(0, Complex::new(0.45, 0.0));
+        dec.set_ffe_tap(1, Complex::new(0.45, 0.0));
+        let qam = QamConstellation::new(64).unwrap();
+        let point = qam.map(63); // strongest corner point
+        let x0 = CFixed::from_complex(point, p.x_format());
+        let first = dec.decode([x0, x0]);
+        let mut last = first;
+        for _ in 0..300 {
+            last = dec.decode([x0, x0]);
+        }
+        // All taps (including the DFE's) share the work, so check the
+        // outcome: the soft value converges onto the decision point and the
+        // error shrinks.
+        assert!(last.error.abs() < first.error.abs(), "error should shrink");
+        let target = Complex::new(7.0 / 16.0, 7.0 / 16.0);
+        assert!(
+            (last.y - target).abs() < (first.y - target).abs(),
+            "y should approach the constellation point"
+        );
+    }
+
+    #[test]
+    fn shifts_move_history() {
+        let p = DecoderParams::default();
+        let mut dec = passthrough_decoder();
+        let a = CFixed::from_f64(0.25, -0.25, p.x_format());
+        let b = CFixed::from_f64(-0.125, 0.125, p.x_format());
+        dec.decode([a, b]);
+        // After the shift, the samples sit two positions deeper.
+        let (_, _, x, sv) = dec.state();
+        assert_eq!(x[2], a);
+        assert_eq!(x[3], b);
+        // SV[1] holds the decision just made; SV[0] is the stale copy.
+        assert_eq!(sv[0], sv[1]);
+    }
+
+    #[test]
+    fn data_code_packing_matches_figure4_formula() {
+        // data = (r*64 + i*8) mod 64 where r = (i_level-4)/8, i = (q_level-4)/8.
+        assert_eq!(data_code(4, 4), 0);
+        assert_eq!(data_code(5, 4), 8);
+        assert_eq!(data_code(4, 5), 1);
+        assert_eq!(data_code(3, 4), (64 - 8) as u8);
+        assert_eq!(data_code(4, 3), 63);
+        assert_eq!(data_code(7, 7), ((3 * 8 + 3) & 63) as u8);
+        assert_eq!(data_code(0, 0), (((-4i64 * 8 - 4) & 63)) as u8);
+    }
+
+    #[test]
+    fn paper_width_updates_truncate_to_nothing_or_drift() {
+        // The documented finding behind DecoderParams::functional(): with
+        // 10-bit coefficients and mu = 2^-8, a sub-LSB positive step is
+        // floored away entirely.
+        let p = DecoderParams::default();
+        let mut dec = QamDecoderFixed::new(p);
+        dec.set_ffe_tap(0, Complex::new(0.45, 0.0));
+        dec.set_ffe_tap(1, Complex::new(0.45, 0.0));
+        let qam = QamConstellation::new(64).unwrap();
+        let x0 = CFixed::from_complex(qam.map(63), p.x_format());
+        let before = dec.ffe_taps()[0].re;
+        for _ in 0..50 {
+            dec.decode([x0, x0]);
+        }
+        // Positive error, yet the coefficient never grew.
+        assert!(dec.ffe_taps()[0].re <= before + 1e-12);
+    }
+
+    #[test]
+    fn as_printed_slicer_is_biased_half_a_level() {
+        // The Figure 4 listing truncates at the <3,0> assignment: a point
+        // just below a level decodes one level down, which the rounded
+        // slicer gets right. This is the reproduction's documented fix.
+        let p = DecoderParams { slicer_rounding: false, ..DecoderParams::default() };
+        let mut printed = QamDecoderFixed::new(p);
+        printed.set_ffe_tap(0, Complex::new(511.0 / 1024.0, 0.0));
+        let mut rounded = passthrough_decoder();
+        // 1/16 minus one LSB of the input format.
+        let v = 1.0 / 16.0 - 2f64.powi(-(p.x_w as i32));
+        let x0 = CFixed::from_f64(v, v, p.x_format());
+        printed.set_ffe_tap(1, Complex::new(511.0 / 1024.0, 0.0));
+        let out_printed = printed.decode([x0, x0]);
+        let out_rounded = rounded.decode([x0, x0]);
+        assert_eq!(out_rounded.decision.re, 1.0 / 16.0);
+        assert_eq!(out_printed.decision.re, -1.0 / 16.0); // biased down
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let p = DecoderParams::default();
+        let mut dec = passthrough_decoder();
+        dec.decode([CFixed::from_f64(0.3, 0.3, p.x_format()), CFixed::zero(p.x_format())]);
+        dec.reset();
+        let fresh = QamDecoderFixed::new(p);
+        assert_eq!(dec, fresh);
+    }
+}

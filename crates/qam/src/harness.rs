@@ -1,0 +1,95 @@
+//! Executable harness around the IR decoder: drives the interpreter call by
+//! call so the IR (and any transformed variant of it) can be compared
+//! against [`QamDecoderFixed`](crate::QamDecoderFixed) bit for bit.
+
+use dsp::CFixed;
+use fixpt::Fixed;
+use hls_ir::{EvalError, Function, Interpreter, Slot, VarId};
+
+use crate::ir::QamDecoderIr;
+use crate::params::DecoderParams;
+
+/// An interpreter-backed decoder with persistent static state.
+#[derive(Debug, Clone)]
+pub struct IrDecoder {
+    interp: Interpreter,
+    params: DecoderParams,
+    x_in_re: VarId,
+    x_in_im: VarId,
+    data: VarId,
+    ffe_c: (VarId, VarId),
+    dfe_c: (VarId, VarId),
+    x: (VarId, VarId),
+    sv: (VarId, VarId),
+}
+
+impl IrDecoder {
+    /// Wraps the freshly-built IR.
+    pub fn new(params: DecoderParams) -> Self {
+        let ir = crate::ir::build_qam_decoder_ir(&params);
+        Self::from_ir(params, ir.func.clone(), &ir)
+    }
+
+    /// Wraps a *transformed* variant of the IR (merged/unrolled): the
+    /// transforms only append variables, so the original ids remain valid.
+    pub fn from_ir(params: DecoderParams, func: Function, ids: &QamDecoderIr) -> Self {
+        IrDecoder {
+            interp: Interpreter::new(func),
+            params,
+            x_in_re: ids.x_in_re,
+            x_in_im: ids.x_in_im,
+            data: ids.data,
+            ffe_c: ids.ffe_c,
+            dfe_c: ids.dfe_c,
+            x: ids.x,
+            sv: ids.sv,
+        }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &DecoderParams {
+        &self.params
+    }
+
+    /// Sets one forward coefficient in the persistent state (cold-start).
+    ///
+    /// This mirrors [`crate::QamDecoderFixed::set_ffe_tap`]; it pokes the static
+    /// arrays directly, as a testbench preloading state would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_ffe_tap(&mut self, index: usize, value: dsp::Complex) {
+        self.inject_static(self.ffe_c.0, index, value.re);
+        self.inject_static(self.ffe_c.1, index, value.im);
+    }
+
+    fn inject_static(&mut self, id: VarId, index: usize, v: f64) {
+        let fmt = self.params.ffe_c_format();
+        self.interp.poke_static(id, index, Fixed::from_f64(v, fmt));
+    }
+
+    /// Decodes one symbol period (`x0` newest), returning the 6-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter failures (which indicate IR bugs).
+    pub fn decode(&mut self, x0: CFixed, x1: CFixed) -> Result<u8, EvalError> {
+        let fmt = self.params.x_format();
+        let re = Slot::Array(vec![x0.re().cast(fmt), x1.re().cast(fmt)]);
+        let im = Slot::Array(vec![x0.im().cast(fmt), x1.im().cast(fmt)]);
+        let out = self.interp.call(&[(self.x_in_re, re), (self.x_in_im, im)])?;
+        Ok(out[&self.data].scalar().expect("data is scalar").to_i64() as u8)
+    }
+
+    /// The decoder's persistent state as float vectors:
+    /// `(ffe_c, dfe_c, x, sv)` with interleaved (re, im) pairs.
+    pub fn state(&self) -> (Vec<(f64, f64)>, Vec<(f64, f64)>, Vec<(f64, f64)>, Vec<(f64, f64)>) {
+        let get = |ids: (VarId, VarId)| -> Vec<(f64, f64)> {
+            let re = self.interp.static_slot(ids.0).expect("static").array().expect("array");
+            let im = self.interp.static_slot(ids.1).expect("static").array().expect("array");
+            re.iter().zip(im).map(|(r, i)| (r.to_f64(), i.to_f64())).collect()
+        };
+        (get(self.ffe_c), get(self.dfe_c), get(self.x), get(self.sv))
+    }
+}

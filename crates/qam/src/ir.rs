@@ -1,0 +1,314 @@
+//! The decoder as synthesis IR: Figure 4 expressed for the flow's
+//! front-end, with complex values split into re/im scalar arrays.
+//!
+//! The six labelled loops — `ffe`, `dfe`, `ffe_adapt`, `dfe_adapt`,
+//! `ffe_shift`, `dfe_shift` — carry exactly the paper's trip counts
+//! (8, 16, 8, 16, 3, 15). Sign multiplications (`e * sign_conj(..)`) are
+//! written as mux/negate selections rather than multiplies, the
+//! hardware-aware coding Section 3 advocates: sign-LMS's entire point is a
+//! multiplier-free update path.
+
+use fixpt::{Fixed, Format, Overflow, Quantization, Signedness};
+use hls_ir::{CmpOp, Expr, Function, FunctionBuilder, Ty, VarId};
+
+use crate::params::DecoderParams;
+
+/// The built function plus the variable ids a harness needs to drive it.
+#[derive(Debug, Clone)]
+pub struct QamDecoderIr {
+    /// The synthesizable function.
+    pub func: Function,
+    /// `x_in` real parts (2-element input array).
+    pub x_in_re: VarId,
+    /// `x_in` imaginary parts.
+    pub x_in_im: VarId,
+    /// The 6-bit output word.
+    pub data: VarId,
+    /// Static state: forward coefficients (re/im).
+    pub ffe_c: (VarId, VarId),
+    /// Static state: feedback coefficients (re/im).
+    pub dfe_c: (VarId, VarId),
+    /// Static state: input taps (re/im).
+    pub x: (VarId, VarId),
+    /// Static state: decision history (re/im).
+    pub sv: (VarId, VarId),
+}
+
+/// Builds the Figure-4 function for the given parameters.
+pub fn build_qam_decoder_ir(p: &DecoderParams) -> QamDecoderIr {
+    let nffe = p.nffe as i64;
+    let ndfe = p.ndfe as i64;
+    let x_ty = Ty::Fixed(p.x_format());
+    let ffe_c_ty = Ty::Fixed(p.ffe_c_format());
+    let dfe_c_ty = Ty::Fixed(p.dfe_c_format());
+    let sv_ty = Ty::Fixed(p.sv_format());
+    let yffe_ty = Ty::Fixed(p.yffe_format());
+    let ydfe_ty = Ty::Fixed(p.ydfe_format());
+    let e_ty = Ty::Fixed(p.e_format());
+    let code_ty = Ty::Fixed(p.code_format());
+
+    let mut b = FunctionBuilder::new("qam_decoder");
+    // void qam_decoder(sc_complex<X_W,0> x_in[2], uint6 *data)
+    let x_in_re = b.param_array("x_in_re", x_ty, 2);
+    let x_in_im = b.param_array("x_in_im", x_ty, 2);
+    let data = b.param_scalar("data", Ty::uint(6));
+
+    // static coefficient/tap/decision arrays.
+    let ffe_c_re = b.static_array("ffe_c_re", ffe_c_ty, p.nffe);
+    let ffe_c_im = b.static_array("ffe_c_im", ffe_c_ty, p.nffe);
+    let dfe_c_re = b.static_array("dfe_c_re", dfe_c_ty, p.ndfe);
+    let dfe_c_im = b.static_array("dfe_c_im", dfe_c_ty, p.ndfe);
+    let x_re = b.static_array("x_re", x_ty, p.nffe);
+    let x_im = b.static_array("x_im", x_ty, p.nffe);
+    let sv_re = b.static_array("sv_re", sv_ty, p.ndfe);
+    let sv_im = b.static_array("sv_im", sv_ty, p.ndfe);
+
+    // Locals.
+    let yffe_re = b.local("yffe_re", yffe_ty);
+    let yffe_im = b.local("yffe_im", yffe_ty);
+    let ydfe_re = b.local("ydfe_re", ydfe_ty);
+    let ydfe_im = b.local("ydfe_im", ydfe_ty);
+    let y_re = b.local("y_re", yffe_ty);
+    let y_im = b.local("y_im", yffe_ty);
+    let r = b.local("r", code_ty);
+    let i_c = b.local("i_c", code_ty);
+    let e_re = b.local("e_re", e_ty);
+    let e_im = b.local("e_im", e_ty);
+    let data_f = b.local("data_f", Ty::fixed(6, 6));
+
+    // Constants.
+    let offset = Expr::Const(Fixed::zero(p.sv_format()).with_bit(0, true)); // 2^-4
+    let mu = Expr::Const(p.mu());
+    let zero_e = Expr::Const(Fixed::zero(p.e_format()));
+    let c64 = Expr::Const(Fixed::from_int(64, Format::integer(8, Signedness::Signed)));
+    let c8 = Expr::Const(Fixed::from_int(8, Format::integer(5, Signedness::Signed)));
+
+    // x[0] = x_in[0]; x[1] = x_in[1];
+    for idx in 0..2i64 {
+        b.store(x_re, Expr::int_const(idx), Expr::load(x_in_re, Expr::int_const(idx)));
+        b.store(x_im, Expr::int_const(idx), Expr::load(x_in_im, Expr::int_const(idx)));
+    }
+
+    // sc_complex<FFE_W+1,1> yffe = 0;
+    b.assign(yffe_re, Expr::int_const(0));
+    b.assign(yffe_im, Expr::int_const(0));
+    // nfe: for(k) yffe += x[k] * ffe_c[k];
+    b.for_loop("ffe", 0, CmpOp::Lt, nffe, 1, |b, k| {
+        let (xr, xi) = (Expr::load(x_re, Expr::var(k)), Expr::load(x_im, Expr::var(k)));
+        let (cr, ci) = (Expr::load(ffe_c_re, Expr::var(k)), Expr::load(ffe_c_im, Expr::var(k)));
+        b.assign(
+            yffe_re,
+            Expr::add(
+                Expr::var(yffe_re),
+                Expr::sub(Expr::mul(xr.clone(), cr.clone()), Expr::mul(xi.clone(), ci.clone())),
+            ),
+        );
+        b.assign(
+            yffe_im,
+            Expr::add(Expr::var(yffe_im), Expr::add(Expr::mul(xr, ci), Expr::mul(xi, cr))),
+        );
+    });
+
+    // sc_complex<DFE_W+1,1> ydfe = 0;
+    b.assign(ydfe_re, Expr::int_const(0));
+    b.assign(ydfe_im, Expr::int_const(0));
+    // dfe: for(k) ydfe += SV[k] * dfe_c[k];
+    b.for_loop("dfe", 0, CmpOp::Lt, ndfe, 1, |b, k| {
+        let (sr, si) = (Expr::load(sv_re, Expr::var(k)), Expr::load(sv_im, Expr::var(k)));
+        let (cr, ci) = (Expr::load(dfe_c_re, Expr::var(k)), Expr::load(dfe_c_im, Expr::var(k)));
+        b.assign(
+            ydfe_re,
+            Expr::add(
+                Expr::var(ydfe_re),
+                Expr::sub(Expr::mul(sr.clone(), cr.clone()), Expr::mul(si.clone(), ci.clone())),
+            ),
+        );
+        b.assign(
+            ydfe_im,
+            Expr::add(Expr::var(ydfe_im), Expr::add(Expr::mul(sr, ci), Expr::mul(si, cr))),
+        );
+    });
+
+    // y = yffe - ydfe;
+    b.assign(y_re, Expr::sub(Expr::var(yffe_re), Expr::var(ydfe_re)));
+    b.assign(y_im, Expr::sub(Expr::var(yffe_im), Expr::var(ydfe_im)));
+
+    // 64-QAM slicer.
+    let slicer = |y: VarId| -> Expr {
+        let centered = Expr::sub(Expr::var(y), offset.clone());
+        if p.slicer_rounding {
+            Expr::cast_with(code_ty, Quantization::RndZero, Overflow::Sat, centered)
+        } else {
+            // As printed: round/saturate at <FFE_W,0> (a no-op rounding),
+            // truncation happens at the <3,0> assignment.
+            Expr::cast_with(
+                Ty::Fixed(p.slice_format()),
+                Quantization::RndZero,
+                Overflow::Sat,
+                centered,
+            )
+        }
+    };
+    b.assign(r, slicer(y_re));
+    b.assign(i_c, slicer(y_im));
+
+    // SV[0] = sc_complex<3,0>(r,i) + offset;
+    b.store(sv_re, Expr::int_const(0), Expr::add(Expr::var(r), offset.clone()));
+    b.store(sv_im, Expr::int_const(0), Expr::add(Expr::var(i_c), offset.clone()));
+
+    // e = SV[0] - y;
+    b.assign(e_re, Expr::sub(Expr::load(sv_re, Expr::int_const(0)), Expr::var(y_re)));
+    b.assign(e_im, Expr::sub(Expr::load(sv_im, Expr::int_const(0)), Expr::var(y_im)));
+
+    // data_f = r*64 + i*8; *data = data_f.to_int();
+    b.assign(
+        data_f,
+        Expr::add(Expr::mul(Expr::var(r), c64), Expr::mul(Expr::var(i_c), c8)),
+    );
+    b.assign(data, Expr::var(data_f));
+
+    // e * sign(src): a mux/negate selection, not a multiply.
+    let sign_mul = |e: VarId, src: Expr| -> Expr {
+        Expr::select(
+            Expr::cmp(CmpOp::Gt, src.clone(), Expr::int_const(0)),
+            Expr::var(e),
+            Expr::select(
+                Expr::cmp(CmpOp::Lt, src, Expr::int_const(0)),
+                Expr::neg(Expr::var(e)),
+                zero_e.clone(),
+            ),
+        )
+    };
+
+    // ffe_adapt: ffe_c[k] += mu * e * x[k].sign_conj();
+    b.for_loop("ffe_adapt", 0, CmpOp::Lt, nffe, 1, |b, k| {
+        let t_re = Expr::add(
+            sign_mul(e_re, Expr::load(x_re, Expr::var(k))),
+            sign_mul(e_im, Expr::load(x_im, Expr::var(k))),
+        );
+        let t_im = Expr::sub(
+            sign_mul(e_im, Expr::load(x_re, Expr::var(k))),
+            sign_mul(e_re, Expr::load(x_im, Expr::var(k))),
+        );
+        b.store(
+            ffe_c_re,
+            Expr::var(k),
+            Expr::add(Expr::load(ffe_c_re, Expr::var(k)), Expr::mul(t_re, mu.clone())),
+        );
+        b.store(
+            ffe_c_im,
+            Expr::var(k),
+            Expr::add(Expr::load(ffe_c_im, Expr::var(k)), Expr::mul(t_im, mu.clone())),
+        );
+    });
+
+    // dfe_adapt: dfe_c[k] -= mu * e * SV[k].sign_conj();
+    b.for_loop("dfe_adapt", 0, CmpOp::Lt, ndfe, 1, |b, k| {
+        let t_re = Expr::add(
+            sign_mul(e_re, Expr::load(sv_re, Expr::var(k))),
+            sign_mul(e_im, Expr::load(sv_im, Expr::var(k))),
+        );
+        let t_im = Expr::sub(
+            sign_mul(e_im, Expr::load(sv_re, Expr::var(k))),
+            sign_mul(e_re, Expr::load(sv_im, Expr::var(k))),
+        );
+        b.store(
+            dfe_c_re,
+            Expr::var(k),
+            Expr::sub(Expr::load(dfe_c_re, Expr::var(k)), Expr::mul(t_re, mu.clone())),
+        );
+        b.store(
+            dfe_c_im,
+            Expr::var(k),
+            Expr::sub(Expr::load(dfe_c_im, Expr::var(k)), Expr::mul(t_im, mu.clone())),
+        );
+    });
+
+    // ffe_shift: for(k = nffe-4; k >= 0; k -= 2) { x[k+3]=x[k+1]; x[k+2]=x[k]; }
+    b.for_loop("ffe_shift", nffe - 4, CmpOp::Ge, 0, -2, |b, k| {
+        for (off_dst, off_src) in [(3i64, 1i64), (2, 0)] {
+            b.store(
+                x_re,
+                Expr::add(Expr::var(k), Expr::int_const(off_dst)),
+                Expr::load(x_re, Expr::add(Expr::var(k), Expr::int_const(off_src))),
+            );
+            b.store(
+                x_im,
+                Expr::add(Expr::var(k), Expr::int_const(off_dst)),
+                Expr::load(x_im, Expr::add(Expr::var(k), Expr::int_const(off_src))),
+            );
+        }
+    });
+
+    // dfe_shift: for(k = ndfe-2; k >= 0; k--) SV[k+1] = SV[k];
+    b.for_loop("dfe_shift", ndfe - 2, CmpOp::Ge, 0, -1, |b, k| {
+        b.store(
+            sv_re,
+            Expr::add(Expr::var(k), Expr::int_const(1)),
+            Expr::load(sv_re, Expr::var(k)),
+        );
+        b.store(
+            sv_im,
+            Expr::add(Expr::var(k), Expr::int_const(1)),
+            Expr::load(sv_im, Expr::var(k)),
+        );
+    });
+
+    QamDecoderIr {
+        func: b.build(),
+        x_in_re,
+        x_in_im,
+        data,
+        ffe_c: (ffe_c_re, ffe_c_im),
+        dfe_c: (dfe_c_re, dfe_c_im),
+        x: (x_re, x_im),
+        sv: (sv_re, sv_im),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_and_has_the_six_loops() {
+        let ir = build_qam_decoder_ir(&DecoderParams::default());
+        let problems = hls_ir::validate(&ir.func);
+        assert!(problems.is_empty(), "{problems:?}");
+        assert_eq!(
+            ir.func.loop_labels(),
+            vec!["ffe", "dfe", "ffe_adapt", "dfe_adapt", "ffe_shift", "dfe_shift"]
+        );
+    }
+
+    #[test]
+    fn trip_counts_match_the_paper() {
+        // "a sequential execution of the six loops alone would take
+        //  8+16+8+16+3+15 = 66 cycles"
+        let ir = build_qam_decoder_ir(&DecoderParams::default());
+        let trips: Vec<usize> = ir.func.loops().iter().map(|l| l.trip_count()).collect();
+        assert_eq!(trips, vec![8, 16, 8, 16, 3, 15]);
+        assert_eq!(trips.iter().sum::<usize>(), 66);
+    }
+
+    #[test]
+    fn directions_match_figure4() {
+        let ir = build_qam_decoder_ir(&DecoderParams::default());
+        assert_eq!(ir.func.param_direction(ir.x_in_re), hls_ir::Direction::In);
+        assert_eq!(ir.func.param_direction(ir.data), hls_ir::Direction::Out);
+    }
+
+    #[test]
+    fn counter_widths_infer_like_figure2() {
+        let ir = build_qam_decoder_ir(&DecoderParams::default());
+        let widths = hls_ir::bitwidth::loop_counter_widths(&ir.func);
+        let by_label = |l: &str| widths.iter().find(|w| w.label == l).expect("loop exists").clone();
+        // ffe: 0..8 (exit 8) -> unsigned 4 bits.
+        assert_eq!(by_label("ffe").unsigned_width, Some(4));
+        // dfe: 0..16 (exit 16) -> unsigned 5 bits.
+        assert_eq!(by_label("dfe").unsigned_width, Some(5));
+        // dfe_shift counts down to -1: needs a sign.
+        assert_eq!(by_label("dfe_shift").unsigned_width, None);
+        assert_eq!(by_label("dfe_shift").signed_width, 5);
+    }
+}

@@ -1,0 +1,161 @@
+//! Decoder bitwidth parameters.
+//!
+//! The paper writes the algorithm "so that the various bitwidths can easily
+//! be set by changing the definition of a few constants" — `FFE_W`,
+//! `DFE_W`, `FFE_C_W`, `DFE_C_W` (all 10 in the evaluated design) plus the
+//! `2^-8` adaptation step. This struct is those constants.
+
+use fixpt::Format;
+
+/// Bitwidths and dimensions of the 64-QAM decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecoderParams {
+    /// Input sample width (`X_W`).
+    pub x_w: u32,
+    /// Forward-equalizer data width (`FFE_W`).
+    pub ffe_w: u32,
+    /// Feedback-equalizer data width (`DFE_W`).
+    pub dfe_w: u32,
+    /// Forward coefficient width (`FFE_C_W`).
+    pub ffe_c_w: u32,
+    /// Feedback coefficient width (`DFE_C_W`).
+    pub dfe_c_w: u32,
+    /// Adaptation step as a right shift: mu = 2^-mu_shift.
+    pub mu_shift: u32,
+    /// Forward taps (T/2 spaced).
+    pub nffe: usize,
+    /// Feedback taps (T spaced).
+    pub ndfe: usize,
+    /// Apply the slicer's `SC_RND_ZERO`/`SC_SAT` modes at the effective
+    /// 3-bit boundary (`true`, the intended behaviour) or exactly as
+    /// printed in Figure 4 (`false`), where the modes land on a cast that
+    /// does not quantize and the final `sc_fixed<3,0>` assignment truncates
+    /// — leaving the slicer biased by half a level (demonstrated in tests).
+    pub slicer_rounding: bool,
+}
+
+impl Default for DecoderParams {
+    /// The paper's design: 10-bit data and coefficients, mu = 2⁻⁸,
+    /// 8 forward and 16 feedback taps.
+    fn default() -> Self {
+        DecoderParams {
+            x_w: 10,
+            ffe_w: 10,
+            dfe_w: 10,
+            ffe_c_w: 10,
+            dfe_c_w: 10,
+            mu_shift: 8,
+            nffe: 8,
+            ndfe: 16,
+            slicer_rounding: true,
+        }
+    }
+}
+
+impl DecoderParams {
+    /// A functionally-convergent parameter set: the paper's dimensions but
+    /// with 18-bit coefficients.
+    ///
+    /// As printed (10-bit coefficients, mu = 2⁻⁸, default `SC_TRN`
+    /// assignment), every sub-LSB coefficient update truncates: positive
+    /// steps vanish and negative steps floor a full LSB down, so the filter
+    /// cannot track — a dead zone of |e| ≳ 0.25 against a decision margin
+    /// of 1/16. Widening the coefficients by `mu_shift` bits (10 + 8 = 18)
+    /// makes every nonzero error resolvable, which is the standard rule for
+    /// LMS coefficient precision. Table-1 synthesis results keep the
+    /// paper's widths (the cycle counts are width-independent there).
+    pub fn functional() -> Self {
+        DecoderParams { ffe_c_w: 18, dfe_c_w: 18, ..DecoderParams::default() }
+    }
+
+    /// Input sample format `sc_complex<X_W, 0>`.
+    pub fn x_format(&self) -> Format {
+        Format::signed(self.x_w, 0)
+    }
+
+    /// Forward coefficient format `sc_complex<FFE_C_W, 0>`.
+    pub fn ffe_c_format(&self) -> Format {
+        Format::signed(self.ffe_c_w, 0)
+    }
+
+    /// Feedback coefficient format `sc_complex<DFE_C_W, 0>`.
+    pub fn dfe_c_format(&self) -> Format {
+        Format::signed(self.dfe_c_w, 0)
+    }
+
+    /// Slicer output format `sc_complex<4, 0>` (the SV array).
+    pub fn sv_format(&self) -> Format {
+        Format::signed(4, 0)
+    }
+
+    /// Forward accumulator format `sc_complex<FFE_W+1, 1>`.
+    pub fn yffe_format(&self) -> Format {
+        Format::signed(self.ffe_w + 1, 1)
+    }
+
+    /// Feedback accumulator format `sc_complex<DFE_W+1, 1>`.
+    pub fn ydfe_format(&self) -> Format {
+        Format::signed(self.dfe_w + 1, 1)
+    }
+
+    /// Error format `sc_complex<FFE_W, 0>`.
+    pub fn e_format(&self) -> Format {
+        Format::signed(self.ffe_w, 0)
+    }
+
+    /// The slicer's intermediate cast format
+    /// `sc_fixed<FFE_W, 0, SC_RND_ZERO, SC_SAT>`.
+    pub fn slice_format(&self) -> Format {
+        Format::signed(self.ffe_w, 0)
+    }
+
+    /// The 3-bit slicer code format `sc_fixed<3, 0>`.
+    pub fn code_format(&self) -> Format {
+        Format::signed(3, 0)
+    }
+
+    /// The adaptation step mu = 2^-mu_shift as an exact fixed-point value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu_shift` exceeds the coefficient fractional bits (the
+    /// step would underflow to zero).
+    pub fn mu(&self) -> fixpt::Fixed {
+        assert!(
+            self.mu_shift < self.ffe_c_w,
+            "mu = 2^-{} is not representable in {} fractional bits",
+            self.mu_shift,
+            self.ffe_c_w
+        );
+        fixpt::Fixed::from_f64(2f64.powi(-(self.mu_shift as i32)), self.ffe_c_format())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = DecoderParams::default();
+        assert_eq!((p.x_w, p.ffe_w, p.dfe_w, p.ffe_c_w, p.dfe_c_w), (10, 10, 10, 10, 10));
+        assert_eq!(p.mu_shift, 8);
+        assert_eq!((p.nffe, p.ndfe), (8, 16));
+        assert_eq!(p.yffe_format().to_string(), "fixed<11,1>");
+        assert_eq!(p.sv_format().to_string(), "fixed<4,0>");
+    }
+
+    #[test]
+    fn mu_is_exact() {
+        let p = DecoderParams::default();
+        assert_eq!(p.mu().to_f64(), 2f64.powi(-8));
+        assert_eq!(p.mu().raw(), 4); // 2^-8 at 10 fractional bits
+    }
+
+    #[test]
+    #[should_panic(expected = "not representable")]
+    fn unrepresentable_mu_panics() {
+        let p = DecoderParams { mu_shift: 12, ..DecoderParams::default() };
+        let _ = p.mu();
+    }
+}

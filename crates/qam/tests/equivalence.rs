@@ -1,0 +1,67 @@
+//! Figure-4 equivalence: the bit-accurate Rust port and the synthesis IR
+//! (executed by the interpreter) must produce identical words and identical
+//! internal state on arbitrary input streams — the flow's "verify the
+//! refined C model" step.
+
+use dsp::CFixed;
+use qam_decoder::{DecoderParams, IrDecoder, QamDecoderFixed};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_sample(rng: &mut StdRng, p: &DecoderParams) -> CFixed {
+    CFixed::from_f64(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5), p.x_format())
+}
+
+fn run_pair(p: DecoderParams, calls: usize, seed: u64) {
+    let mut fixed = QamDecoderFixed::new(p);
+    let mut ir = IrDecoder::new(p);
+    // Identical cold-start coefficients.
+    let init = dsp::Complex::new(0.4, -0.1);
+    fixed.set_ffe_tap(0, init);
+    fixed.set_ffe_tap(1, init);
+    ir.set_ffe_tap(0, init);
+    ir.set_ffe_tap(1, init);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    for call in 0..calls {
+        let x0 = random_sample(&mut rng, &p);
+        let x1 = random_sample(&mut rng, &p);
+        let a = fixed.decode([x0, x1]);
+        let b = ir.decode(x0, x1).expect("IR executes");
+        assert_eq!(a.data, b, "call {call}: fixed={} ir={}", a.data, b);
+    }
+
+    // Full state must agree bit for bit.
+    let (fc, dc, x, sv) = fixed.state();
+    let (ic, idc, ix, isv) = ir.state();
+    let to_pairs = |v: &[CFixed]| -> Vec<(f64, f64)> {
+        v.iter().map(|c| (c.to_complex().re, c.to_complex().im)).collect()
+    };
+    assert_eq!(to_pairs(fc), ic, "ffe coefficients diverged");
+    assert_eq!(to_pairs(dc), idc, "dfe coefficients diverged");
+    assert_eq!(to_pairs(x), ix, "tap history diverged");
+    assert_eq!(to_pairs(sv), isv, "decision history diverged");
+}
+
+#[test]
+fn fixed_and_ir_agree_default_params() {
+    run_pair(DecoderParams::default(), 300, 1);
+}
+
+#[test]
+fn fixed_and_ir_agree_functional_params() {
+    run_pair(DecoderParams::functional(), 300, 2);
+}
+
+#[test]
+fn fixed_and_ir_agree_as_printed_slicer() {
+    let p = DecoderParams { slicer_rounding: false, ..DecoderParams::default() };
+    run_pair(p, 200, 3);
+}
+
+#[test]
+fn fixed_and_ir_agree_small_decoder() {
+    // A smaller configuration exercises the parameterization.
+    let p = DecoderParams { nffe: 4, ndfe: 8, ..DecoderParams::functional() };
+    run_pair(p, 200, 4);
+}

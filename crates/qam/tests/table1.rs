@@ -1,0 +1,128 @@
+//! Regenerates Table 1 and the in-text latency accounting of Section 5.
+
+use qam_decoder::{build_qam_decoder_ir, table1_architectures, table1_library, DecoderParams, BITS_PER_CALL};
+
+#[test]
+fn table1_latencies_match_exactly() {
+    let ir = build_qam_decoder_ir(&DecoderParams::default());
+    let lib = table1_library();
+    let expect_cycles = [35u64, 69, 19, 15];
+    for (arch, cycles) in table1_architectures().iter().zip(expect_cycles) {
+        let r = hls_core::synthesize(&ir.func, &arch.directives, &lib).expect("synthesizes");
+        assert_eq!(r.metrics.latency_cycles, cycles, "{}: {}", arch.name, r.metrics);
+        assert_eq!(r.metrics.latency_ns, arch.paper.latency_ns, "{}", arch.name);
+    }
+}
+
+#[test]
+fn table1_data_rates_match() {
+    let ir = build_qam_decoder_ir(&DecoderParams::default());
+    let lib = table1_library();
+    for arch in table1_architectures() {
+        let r = hls_core::synthesize(&ir.func, &arch.directives, &lib).expect("synthesizes");
+        let mbps = r.metrics.data_rate_mbps(BITS_PER_CALL);
+        // The paper rounds to one decimal (8.6 for 8.695...).
+        assert!(
+            (mbps - arch.paper.data_rate_mbps).abs() < 0.2,
+            "{}: measured {mbps} vs paper {}",
+            arch.name,
+            arch.paper.data_rate_mbps
+        );
+    }
+}
+
+#[test]
+fn table1_area_ordering_and_ratios_hold() {
+    let ir = build_qam_decoder_ir(&DecoderParams::default());
+    let lib = table1_library();
+    let areas: Vec<f64> = table1_architectures()
+        .iter()
+        .map(|a| hls_core::synthesize(&ir.func, &a.directives, &lib).expect("synthesizes").metrics.area)
+        .collect();
+    let baseline = areas[1]; // the paper normalizes to the unmerged design
+    let norm: Vec<f64> = areas.iter().map(|a| a / baseline).collect();
+    // Ordering: none < merged < u2 < u4.
+    assert!(norm[1] < norm[0] && norm[0] < norm[2] && norm[2] < norm[3], "{norm:?}");
+    // Factors within ~25% of the paper's 1.17 / 1.00 / 1.61 / 1.88.
+    for (n, a) in norm.iter().zip(table1_architectures()) {
+        let rel = n / a.paper.area_normalized;
+        assert!((0.75..=1.25).contains(&rel), "{}: {n:.2} vs paper {}", a.name, a.paper.area_normalized);
+    }
+}
+
+#[test]
+fn in_text_latency_accounting() {
+    // "a sequential execution of the six loops alone would take
+    //  8+16+8+16+3+15 = 66 cycles" and the merged default is 3+16+16.
+    let ir = build_qam_decoder_ir(&DecoderParams::default());
+    let lib = table1_library();
+    let merged = hls_core::synthesize(
+        &ir.func,
+        &table1_architectures()[0].directives,
+        &lib,
+    )
+    .expect("synthesizes");
+    let loop_cycles: u64 = merged
+        .metrics
+        .segments
+        .iter()
+        .filter(|s| s.trip > 1)
+        .map(|s| s.cycles)
+        .sum();
+    let straight_cycles: u64 = merged
+        .metrics
+        .segments
+        .iter()
+        .filter(|s| s.trip == 1)
+        .map(|s| s.cycles)
+        .sum();
+    assert_eq!(loop_cycles, 32); // 16 + 16
+    assert_eq!(straight_cycles, 3); // "three cycles for behavior between loops"
+
+    let none = hls_core::synthesize(&ir.func, &table1_architectures()[1].directives, &lib)
+        .expect("synthesizes");
+    let none_loops: u64 =
+        none.metrics.segments.iter().filter(|s| s.trip > 1).map(|s| s.cycles).sum();
+    assert_eq!(none_loops, 66); // 8+16+8+16+3+15
+}
+
+#[test]
+fn merged_fu_demand_exceeds_sequential() {
+    // Merging trades multipliers for latency: the merged design needs the
+    // ffe and dfe complex MACs concurrently.
+    let ir = build_qam_decoder_ir(&DecoderParams::default());
+    let lib = table1_library();
+    let archs = table1_architectures();
+    let merged = hls_core::synthesize(&ir.func, &archs[0].directives, &lib).expect("ok");
+    let none = hls_core::synthesize(&ir.func, &archs[1].directives, &lib).expect("ok");
+    let muls = |r: &hls_core::SynthesisResult| r.allocation.fu_count(hls_core::OpClass::Mul);
+    assert_eq!(muls(&none), 4, "one complex MAC at a time");
+    assert_eq!(muls(&merged), 8, "both filters in the same state");
+}
+
+#[test]
+fn paper_designs_dominate_the_uniform_sweep() {
+    // The guided-synthesis thesis, quantified: the paper's asymmetric
+    // fourth design beats every point a uniform merge x unroll grid finds.
+    let ir = build_qam_decoder_ir(&DecoderParams::default());
+    let lib = table1_library();
+    let cfg = hls_core::ExploreConfig {
+        clock_period_ns: 10.0,
+        unroll_factors: vec![1, 2, 4],
+        merge_policies: vec![
+            hls_core::MergePolicy::Off,
+            hls_core::MergePolicy::AllowHazards,
+        ],
+        per_loop_refinement: false,
+    };
+    let sweep = hls_core::explore(&ir.func, &cfg, &lib);
+    let grid_fastest = sweep.fastest().expect("sweep nonempty").latency_cycles;
+    let hand = hls_core::synthesize(&ir.func, &table1_architectures()[3].directives, &lib)
+        .expect("synthesizes");
+    assert!(
+        hand.metrics.latency_cycles < grid_fastest,
+        "hand-crafted {} vs grid {}",
+        hand.metrics.latency_cycles,
+        grid_fastest
+    );
+}

@@ -1,0 +1,138 @@
+//! Semantics of the Table-1 loop transforms on the decoder itself.
+//!
+//! The ffe/dfe filter merge is dependence-exact, so the transformed IR must
+//! stay bit-identical. The adaptation/shift merge carries the hazards the
+//! dependence analysis reports (the shift loops overwrite taps the
+//! adaptation still reads); the paper's tool merged them anyway, and the
+//! divergence only perturbs the sign-LMS gradient — shown here by tracking
+//! the two decoders' behavior.
+
+use dsp::CFixed;
+use hls_core::{apply_loop_transforms, MergePolicy};
+use qam_decoder::{build_qam_decoder_ir, DecoderParams, IrDecoder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn decoders(policy: MergePolicy) -> (IrDecoder, IrDecoder) {
+    let p = DecoderParams::default();
+    let ir = build_qam_decoder_ir(&p);
+    let d = hls_core::Directives::new(10.0).merge_policy(policy);
+    let t = apply_loop_transforms(&ir.func, &d);
+    let reference = IrDecoder::new(p);
+    let transformed = IrDecoder::from_ir(p, t.func, &ir);
+    (reference, transformed)
+}
+
+fn drive(
+    a: &mut IrDecoder,
+    b: &mut IrDecoder,
+    calls: usize,
+    seed: u64,
+) -> (usize, usize) {
+    let p = *a.params();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut agreements = 0;
+    let mut total = 0;
+    for _ in 0..calls {
+        let x0 = CFixed::from_f64(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5), p.x_format());
+        let x1 = CFixed::from_f64(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5), p.x_format());
+        let da = a.decode(x0, x1).expect("reference executes");
+        let db = b.decode(x0, x1).expect("transformed executes");
+        total += 1;
+        if da == db {
+            agreements += 1;
+        }
+    }
+    (agreements, total)
+}
+
+#[test]
+fn exact_only_merge_stays_bit_identical() {
+    // ExactOnly merges only the hazard-free ffe/dfe pair; the result must
+    // match the unmerged reference word for word.
+    let (mut reference, mut transformed) = decoders(MergePolicy::ExactOnly);
+    let (agree, total) = drive(&mut reference, &mut transformed, 300, 7);
+    assert_eq!(agree, total, "exact merge must be bit-identical");
+}
+
+#[test]
+fn exact_only_policy_reports_structure() {
+    let p = DecoderParams::default();
+    let ir = build_qam_decoder_ir(&p);
+    let d = hls_core::Directives::new(10.0).merge_policy(MergePolicy::ExactOnly);
+    let t = apply_loop_transforms(&ir.func, &d);
+    // ffe+dfe merge (exact); the adapt group stays split apart wherever
+    // hazards appear.
+    let filter_merge = t.merges.iter().find(|m| m.merged.contains(&"ffe".to_string()));
+    assert!(filter_merge.is_some(), "{:?}", t.merges);
+    assert!(filter_merge.unwrap().hazards.is_empty());
+    for m in &t.merges {
+        assert!(m.hazards.is_empty(), "ExactOnly must not accept hazards: {:?}", m);
+    }
+}
+
+#[test]
+fn hazardous_merge_diverges_but_keeps_decoding() {
+    // AllowHazards (the paper's default run) merges the adaptation and
+    // shift loops; coefficients evolve slightly differently, so internal
+    // state drifts — but on a real QAM stream the merged decoder decodes
+    // just as well (the hazards only perturb the sign-LMS gradient).
+    let p = DecoderParams::functional();
+    let ir = build_qam_decoder_ir(&p);
+    let d = hls_core::Directives::new(10.0).merge_policy(MergePolicy::AllowHazards);
+    let t = apply_loop_transforms(&ir.func, &d);
+    let mut reference = IrDecoder::new(p);
+    let mut transformed = IrDecoder::from_ir(p, t.func, &ir);
+    for dec in [&mut reference, &mut transformed] {
+        dec.set_ffe_tap(0, dsp::Complex::new(0.45, 0.0));
+        dec.set_ffe_tap(1, dsp::Complex::new(0.45, 0.0));
+    }
+
+    let qam = dsp::QamConstellation::new(64).expect("valid order");
+    let mut src = dsp::SymbolSource::new(64, 21);
+    let mut errs_ref = 0usize;
+    let mut errs_tr = 0usize;
+    let mut agree = 0usize;
+    let calls = 600;
+    for _ in 0..calls {
+        let sym = src.next_symbol();
+        let point = qam.map(sym);
+        let x = CFixed::from_complex(point, p.x_format());
+        let (i_l, q_l) = qam.slice(point);
+        let expected = qam_decoder::data_code(i_l, q_l);
+        let da = reference.decode(x, x).expect("reference executes");
+        let db = transformed.decode(x, x).expect("transformed executes");
+        if da != expected {
+            errs_ref += 1;
+        }
+        if db != expected {
+            errs_tr += 1;
+        }
+        if da == db {
+            agree += 1;
+        }
+    }
+    assert!(errs_ref * 20 < calls, "reference SER too high: {errs_ref}/{calls}");
+    assert!(errs_tr * 20 < calls, "merged SER too high: {errs_tr}/{calls}");
+    assert!(agree * 10 >= calls * 9, "decoders should mostly agree: {agree}/{calls}");
+    // And the hazards are real: adaptation state has drifted.
+    let (fc_a, ..) = reference.state();
+    let (fc_b, ..) = transformed.state();
+    assert_ne!(fc_a, fc_b, "hazardous merge should perturb adaptation state");
+}
+
+#[test]
+fn hazards_are_reported_for_the_adapt_group() {
+    let p = DecoderParams::default();
+    let ir = build_qam_decoder_ir(&p);
+    let d = hls_core::Directives::new(10.0); // AllowHazards
+    let t = apply_loop_transforms(&ir.func, &d);
+    let adapt = t
+        .merges
+        .iter()
+        .find(|m| m.merged.contains(&"ffe_adapt".to_string()))
+        .expect("adapt group merged");
+    assert!(!adapt.hazards.is_empty(), "the shift-after-read hazard must be detected");
+    let vars: Vec<&str> = adapt.hazards.iter().map(|h| h.var.as_str()).collect();
+    assert!(vars.iter().any(|v| v.starts_with("x_") || v.starts_with("sv_")), "{vars:?}");
+}

@@ -1,0 +1,49 @@
+//! Quickstart: write an untimed algorithm, synthesize two architectures of
+//! it, inspect the reports, and emit Verilog.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use wireless_hls::hls_core::{synthesize, Directives, TechLibrary, Unroll};
+use wireless_hls::hls_ir::{CmpOp, Expr, FunctionBuilder, Ty};
+use wireless_hls::rtl::{emit_verilog, Fsmd};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The algorithm: an 8-tap fixed-point dot product, written untimed.
+    let mut b = FunctionBuilder::new("dot8");
+    let x = b.param_array("x", Ty::fixed(10, 1), 8);
+    let c = b.param_array("c", Ty::fixed(10, 1), 8);
+    let out = b.param_scalar("out", Ty::fixed(24, 6));
+    let acc = b.local("acc", Ty::fixed(24, 6));
+    b.assign(acc, Expr::int_const(0));
+    b.for_loop("mac", 0, CmpOp::Lt, 8, 1, |b, k| {
+        b.assign(
+            acc,
+            Expr::add(
+                Expr::var(acc),
+                Expr::mul(Expr::load(x, Expr::var(k)), Expr::load(c, Expr::var(k))),
+            ),
+        );
+    });
+    b.assign(out, Expr::var(acc));
+    let func = b.build();
+
+    // 2. Two architectures from the same source: rolled and unrolled x4.
+    let lib = TechLibrary::asic_100mhz();
+    let rolled = synthesize(&func, &Directives::new(10.0), &lib)?;
+    let unrolled = synthesize(
+        &func,
+        &Directives::new(10.0).unroll("mac", Unroll::Factor(4)),
+        &lib,
+    )?;
+
+    println!("== rolled ==\n{}", rolled.summary());
+    println!("== unrolled x4 ==\n{}", unrolled.summary());
+    println!("== bill of materials (unrolled) ==\n{}", unrolled.bill_of_materials());
+    println!("== critical path (rolled) ==\n{}", rolled.critical_path_report());
+
+    // 3. RTL for the faster design.
+    let verilog = emit_verilog(&Fsmd::from_synthesis(&unrolled));
+    let lines: Vec<&str> = verilog.lines().take(12).collect();
+    println!("== Verilog (first lines) ==\n{}\n...", lines.join("\n"));
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! # wireless-hls
+//!
+//! A from-scratch Rust reproduction of *C Based Hardware Design for
+//! Wireless Applications* (Takach, Bowyer, Bollaert — DATE 2005): a guided
+//! algorithmic-synthesis flow and the 64-QAM adaptive decision-feedback
+//! equalizer it is evaluated on.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! - [`fixpt`] — bit-accurate integer/fixed-point datatypes (SystemC
+//!   quantization and overflow semantics).
+//! - [`hls_ir`] — the untimed, typed, loop-labelled IR standing in for the
+//!   C++ front-end, with validator, interpreter and bitwidth inference.
+//! - [`hls_core`] — directives, technology libraries, loop merging and
+//!   unrolling with dependence analysis, list scheduling with chaining,
+//!   allocation/binding and the designer reports.
+//! - [`rtl`] — FSMD generation, cycle-accurate simulation and Verilog
+//!   emission.
+//! - [`dsp`] — the complex-baseband substrate: filters, QAM, channels,
+//!   metrics, and the floating-point reference equalizer.
+//! - [`qam_decoder`] — the paper's Figure-4 case study in bit-accurate and
+//!   IR forms, plus the Table-1 architecture set.
+//!
+//! See `examples/quickstart.rs` for the five-minute tour and the
+//! `bench-harness` binaries for every reproduced table and figure.
+
+#![forbid(unsafe_code)]
+
+pub use dsp;
+pub use fixpt;
+pub use hls_core;
+pub use hls_ir;
+pub use qam_decoder;
+pub use rtl;

@@ -1,0 +1,223 @@
+//! Property test over the whole flow: for *random* straight-line/looped
+//! IR programs, the synthesized FSMD (via the cycle-accurate simulator)
+//! must compute exactly what the untimed interpreter computes — across
+//! if-conversion, scheduling, chaining, predication and loop control.
+
+use proptest::prelude::*;
+use wireless_hls::fixpt::{Fixed, Format, Overflow, Quantization};
+use wireless_hls::hls_core::{synthesize, Directives, MergePolicy, TechLibrary, Unroll};
+use wireless_hls::hls_ir::{CmpOp, Expr, FunctionBuilder, Interpreter, Slot, Ty, VarId};
+use wireless_hls::rtl::{Fsmd, RtlSimulator};
+
+/// A recipe for one random program (kept `Debug`-friendly for shrinking).
+#[derive(Debug, Clone)]
+struct Program {
+    stmts: Vec<StmtSpec>,
+    trip: i64,
+    unroll: Option<u32>,
+    merge: MergePolicy,
+    inputs: Vec<i64>,
+}
+
+#[derive(Debug, Clone)]
+enum StmtSpec {
+    /// locals[dst] = expr
+    Assign { dst: usize, expr: ExprSpec },
+    /// arr[idx % 4] = expr
+    Store { idx: usize, expr: ExprSpec },
+    /// if (locals[a] < locals[b]) locals[dst] = expr
+    CondAssign { a: usize, b: usize, dst: usize, expr: ExprSpec },
+    /// A counted loop: locals[dst] accumulates arr[k] each iteration.
+    Loop { dst: usize },
+}
+
+#[derive(Debug, Clone)]
+enum ExprSpec {
+    Const(i64),
+    Local(usize),
+    Load(usize),
+    Add(Box<ExprSpec>, Box<ExprSpec>),
+    Sub(Box<ExprSpec>, Box<ExprSpec>),
+    MulCast(Box<ExprSpec>, Box<ExprSpec>),
+    Select(usize, Box<ExprSpec>, Box<ExprSpec>),
+    SatCast(Box<ExprSpec>),
+}
+
+const NLOCALS: usize = 3;
+
+fn arb_expr(depth: u32) -> impl Strategy<Value = ExprSpec> {
+    let leaf = prop_oneof![
+        (-100i64..100).prop_map(ExprSpec::Const),
+        (0..NLOCALS).prop_map(ExprSpec::Local),
+        (0..4usize).prop_map(ExprSpec::Load),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ExprSpec::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ExprSpec::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprSpec::MulCast(a.into(), b.into())),
+            (0..NLOCALS, inner.clone(), inner.clone())
+                .prop_map(|(c, a, b)| ExprSpec::Select(c, a.into(), b.into())),
+            inner.clone().prop_map(|a| ExprSpec::SatCast(a.into())),
+        ]
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = StmtSpec> {
+    prop_oneof![
+        (0..NLOCALS, arb_expr(2)).prop_map(|(dst, expr)| StmtSpec::Assign { dst, expr }),
+        (0..4usize, arb_expr(2)).prop_map(|(idx, expr)| StmtSpec::Store { idx, expr }),
+        (0..NLOCALS, 0..NLOCALS, 0..NLOCALS, arb_expr(2))
+            .prop_map(|(a, b, dst, expr)| StmtSpec::CondAssign { a, b, dst, expr }),
+        (0..NLOCALS).prop_map(|dst| StmtSpec::Loop { dst }),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec(arb_stmt(), 1..8),
+        2i64..5, // trips stay within the 4-element array
+        prop::option::of(2u32..4),
+        prop::sample::select(vec![
+            MergePolicy::Off,
+            MergePolicy::ExactOnly,
+            MergePolicy::AllowHazards,
+        ]),
+        prop::collection::vec(-400i64..400, 4),
+    )
+        .prop_map(|(stmts, trip, unroll, merge, inputs)| Program {
+            stmts,
+            trip,
+            unroll,
+            merge,
+            inputs,
+        })
+}
+
+/// Wide-but-bounded working format: every operation is cast back into this,
+/// so widths never approach the 64-bit exactness limit.
+fn work_ty() -> Ty {
+    Ty::fixed(14, 10)
+}
+
+fn build(prog: &Program) -> (wireless_hls::hls_ir::Function, VarId, VarId) {
+    let mut b = FunctionBuilder::new("prog");
+    let arr = b.param_array("arr", work_ty(), 4);
+    let out = b.param_scalar("out", work_ty());
+    let locals: Vec<VarId> =
+        (0..NLOCALS).map(|i| b.local(format!("l{i}"), work_ty())).collect();
+    for (i, &l) in locals.iter().enumerate() {
+        b.assign(l, Expr::int_const(i as i64 + 1));
+    }
+    let mut loop_count = 0;
+    for s in &prog.stmts {
+        match s {
+            StmtSpec::Assign { dst, expr } => {
+                b.assign(locals[*dst], lower_expr(expr, &locals, arr));
+            }
+            StmtSpec::Store { idx, expr } => {
+                b.store(arr, Expr::int_const(*idx as i64), lower_expr(expr, &locals, arr));
+            }
+            StmtSpec::CondAssign { a, b: bb, dst, expr } => {
+                let cond = Expr::cmp(CmpOp::Lt, Expr::var(locals[*a]), Expr::var(locals[*bb]));
+                let value = lower_expr(expr, &locals, arr);
+                let target = locals[*dst];
+                b.if_then(cond, |b| b.assign(target, value.clone()));
+            }
+            StmtSpec::Loop { dst } => {
+                let label = format!("loop{loop_count}");
+                loop_count += 1;
+                let target = locals[*dst];
+                b.for_loop(label, 0, CmpOp::Lt, prog.trip, 1, |b, k| {
+                    b.assign(
+                        target,
+                        Expr::add(
+                            Expr::var(target),
+                            Expr::load(arr, Expr::var(k)),
+                        ),
+                    );
+                });
+            }
+        }
+    }
+    b.assign(out, Expr::var(locals[0]));
+    let f = b.build();
+    (f, arr, out)
+}
+
+fn lower_expr(e: &ExprSpec, locals: &[VarId], arr: VarId) -> Expr {
+    let wrap = |inner: Expr| Expr::cast(work_ty(), inner);
+    match e {
+        ExprSpec::Const(v) => Expr::Const(Fixed::from_int(
+            *v,
+            Format::integer(10, wireless_hls::fixpt::Signedness::Signed),
+        )),
+        ExprSpec::Local(i) => Expr::var(locals[*i]),
+        ExprSpec::Load(i) => Expr::load(arr, Expr::int_const(*i as i64)),
+        ExprSpec::Add(a, b) => wrap(Expr::add(
+            lower_expr(a, locals, arr),
+            lower_expr(b, locals, arr),
+        )),
+        ExprSpec::Sub(a, b) => wrap(Expr::sub(
+            lower_expr(a, locals, arr),
+            lower_expr(b, locals, arr),
+        )),
+        ExprSpec::MulCast(a, b) => wrap(Expr::mul(
+            lower_expr(a, locals, arr),
+            lower_expr(b, locals, arr),
+        )),
+        ExprSpec::Select(c, a, b) => Expr::select(
+            Expr::cmp(CmpOp::Gt, Expr::var(locals[*c]), Expr::int_const(0)),
+            lower_expr(a, locals, arr),
+            lower_expr(b, locals, arr),
+        ),
+        ExprSpec::SatCast(a) => Expr::cast_with(
+            Ty::fixed(8, 6),
+            Quantization::Rnd,
+            Overflow::Sat,
+            lower_expr(a, locals, arr),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rtl_simulation_equals_interpreter(prog in arb_program()) {
+        let (func, arr, out) = build(&prog);
+        prop_assert!(wireless_hls::hls_ir::validate(&func).is_empty());
+
+        let mut d = Directives::new(20.0).merge_policy(prog.merge);
+        if let Some(u) = prog.unroll {
+            for label in func.loop_labels() {
+                d = d.unroll(&label, Unroll::Factor(u));
+            }
+        }
+        let r = synthesize(&func, &d, &TechLibrary::asic_100mhz()).expect("synthesizes");
+
+        let fmt = work_ty().format().expect("numeric");
+        let input = Slot::Array(
+            prog.inputs.iter().map(|v| Fixed::from_int(*v, fmt)).collect(),
+        );
+
+        // Reference: interpreter on the transformed IR (the RTL implements
+        // the transformed program).
+        let mut interp = Interpreter::new(r.transformed.clone());
+        let want = interp.call(&[(arr, input.clone())]).expect("interprets");
+
+        let mut sim = RtlSimulator::new(Fsmd::from_synthesis(&r));
+        let got = sim.run_call(&[(arr, input)]).expect("simulates");
+
+        prop_assert_eq!(
+            want[&out].scalar().expect("scalar").raw(),
+            got[&out].scalar().expect("scalar").raw(),
+            "out differs"
+        );
+        // The inout array must agree element-wise too.
+        prop_assert_eq!(want[&arr].array(), got[&arr].array());
+        // And the cycle count matches the scheduler's claim.
+        prop_assert_eq!(sim.cycles(), r.metrics.latency_cycles);
+    }
+}
