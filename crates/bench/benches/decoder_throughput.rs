@@ -1,13 +1,17 @@
-//! Criterion bench: symbols/second of the four decoder models — float
-//! reference, bit-accurate fixed-point, IR interpreter, and cycle-accurate
-//! RTL simulation — the abstraction-cost ladder of the flow.
+//! Criterion bench: symbols/second of the five decoder models — float
+//! reference, bit-accurate fixed-point, IR interpreter, cycle-accurate
+//! RTL simulation, and the compiled fast path — the abstraction-cost
+//! ladder of the flow.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dsp::{CFixed, Complex, Equalizer};
 use fixpt::Fixed;
 use hls_ir::Slot;
-use qam_decoder::{build_qam_decoder_ir, table1_architectures, table1_library, DecoderParams, IrDecoder, QamDecoderFixed};
-use rtl::{Fsmd, RtlSimulator};
+use qam_decoder::{
+    build_qam_decoder_ir, table1_architectures, table1_library, DecoderParams, IrDecoder,
+    QamDecoderFixed,
+};
+use rtl::{CompiledSim, Fsmd, RtlSimulator};
 
 fn bench_models(c: &mut Criterion) {
     let p = DecoderParams::default();
@@ -39,14 +43,29 @@ fn bench_models(c: &mut Criterion) {
     let ids = build_qam_decoder_ir(&p);
     let arch = &table1_architectures()[0];
     let r = hls_core::synthesize(&ids.func, &arch.directives, &table1_library()).expect("ok");
-    let mut sim = RtlSimulator::new(Fsmd::from_synthesis(&r));
+    let fsmd = Fsmd::from_synthesis(&r);
+    let mut sim = RtlSimulator::new(fsmd.clone());
     let fmt = p.x_format();
     g.bench_function("rtl_cycle_accurate", |b| {
         b.iter(|| {
             let re = Slot::Array(vec![Fixed::from_f64(0.3, fmt), Fixed::from_f64(-0.1, fmt)]);
             let im = Slot::Array(vec![Fixed::from_f64(-0.2, fmt), Fixed::from_f64(0.4, fmt)]);
             std::hint::black_box(
-                sim.run_call(&[(ids.x_in_re, re), (ids.x_in_im, im)]).expect("runs"),
+                sim.run_call(&[(ids.x_in_re, re), (ids.x_in_im, im)])
+                    .expect("runs"),
+            )
+        })
+    });
+
+    let mut compiled = CompiledSim::from_fsmd(&fsmd);
+    g.bench_function("rtl_compiled", |b| {
+        b.iter(|| {
+            let re = Slot::Array(vec![Fixed::from_f64(0.3, fmt), Fixed::from_f64(-0.1, fmt)]);
+            let im = Slot::Array(vec![Fixed::from_f64(-0.2, fmt), Fixed::from_f64(0.4, fmt)]);
+            std::hint::black_box(
+                compiled
+                    .run_call(&[(ids.x_in_re, re), (ids.x_in_im, im)])
+                    .expect("runs"),
             )
         })
     });

@@ -21,7 +21,9 @@ fn bench_stages(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(apply_loop_transforms(&ir.func, &d)))
     });
     let t = apply_loop_transforms(&ir.func, &d);
-    g.bench_function("lowering", |b| b.iter(|| std::hint::black_box(lower(&t.func, &d))));
+    g.bench_function("lowering", |b| {
+        b.iter(|| std::hint::black_box(lower(&t.func, &d)))
+    });
     let lowered = lower(&t.func, &d);
     g.bench_function("schedule_all_segments", |b| {
         b.iter(|| {

@@ -32,7 +32,9 @@ fn bench_ablation(c: &mut Criterion) {
     let plain = synthesize(&ir.func, &Directives::new(10.0), &lib).expect("ok");
     let piped = synthesize(
         &ir.func,
-        &Directives::new(10.0).pipeline("ffe", 1).pipeline("ffe_adapt", 1),
+        &Directives::new(10.0)
+            .pipeline("ffe", 1)
+            .pipeline("ffe_adapt", 1),
         &lib,
     )
     .expect("ok");
@@ -43,8 +45,7 @@ fn bench_ablation(c: &mut Criterion) {
 
     let deep = deep_body();
     let deep_plain = synthesize(&deep, &Directives::new(10.0), &lib).expect("ok");
-    let deep_piped =
-        synthesize(&deep, &Directives::new(10.0).pipeline("l", 1), &lib).expect("ok");
+    let deep_piped = synthesize(&deep, &Directives::new(10.0).pipeline("l", 1), &lib).expect("ok");
     assert!(
         deep_piped.metrics.latency_cycles < deep_plain.metrics.latency_cycles,
         "multi-cycle bodies must benefit from II=1"

@@ -11,7 +11,11 @@ fn main() {
         "{:<10} {:<8} {:>8} {:>9} {:>10} {:>8}",
         "merge", "unroll", "cycles", "lat(ns)", "Mbps", "area"
     );
-    for merge in [MergePolicy::Off, MergePolicy::ExactOnly, MergePolicy::AllowHazards] {
+    for merge in [
+        MergePolicy::Off,
+        MergePolicy::ExactOnly,
+        MergePolicy::AllowHazards,
+    ] {
         for u in [1u32, 2, 4] {
             let mut d = Directives::new(10.0).merge_policy(merge);
             if u > 1 {
@@ -37,7 +41,12 @@ fn main() {
     println!("\nPipelining ablation (the paper: no benefit for 1-cycle bodies):");
     for (name, d) in [
         ("plain", Directives::new(10.0)),
-        ("II=1 on ffe+adapt", Directives::new(10.0).pipeline("ffe", 1).pipeline("ffe_adapt", 1)),
+        (
+            "II=1 on ffe+adapt",
+            Directives::new(10.0)
+                .pipeline("ffe", 1)
+                .pipeline("ffe_adapt", 1),
+        ),
     ] {
         let r = synthesize(&ir.func, &d, &lib).expect("synthesizes");
         println!("  {:<20} {} cycles", name, r.metrics.latency_cycles);

@@ -2,7 +2,9 @@
 //! MSE convergence and symbol error rate over a multipath channel, for the
 //! float reference and the bit-accurate fixed-point decoder.
 
-use dsp::{CFixed, Channel, Complex, Equalizer, ErrorCounter, MseTrace, QamConstellation, SymbolSource};
+use dsp::{
+    CFixed, Channel, Complex, Equalizer, ErrorCounter, MseTrace, QamConstellation, SymbolSource,
+};
 use qam_decoder::{data_code, DecoderParams, QamDecoderFixed};
 
 fn main() {
@@ -35,7 +37,11 @@ fn main() {
         println!("    block {i:>3}: {db:>7.1} dB");
     }
     println!("  steady-state MSE: {:.2e}", mse.tail_mean(10));
-    println!("  SER over {} payload symbols: {:.2e}\n", errs.symbols(), errs.ser());
+    println!(
+        "  SER over {} payload symbols: {:.2e}\n",
+        errs.symbols(),
+        errs.ser()
+    );
 
     // Bit-accurate fixed-point decoder (decision-directed from a rough
     // cold-start; the paper's source omits training generation).
@@ -68,7 +74,14 @@ fn main() {
             errs.record(sent as u32, out.data as u32, 6);
         }
     }
-    println!("Fixed-point decoder ({}-bit coefficients, mu = 2^-{}):", p.ffe_c_w, p.mu_shift);
+    println!(
+        "Fixed-point decoder ({}-bit coefficients, mu = 2^-{}):",
+        p.ffe_c_w, p.mu_shift
+    );
     println!("  steady-state MSE: {:.2e}", mse.tail_mean(10));
-    println!("  SER over {} payload symbols: {:.2e}", errs.symbols(), errs.ser());
+    println!(
+        "  SER over {} payload symbols: {:.2e}",
+        errs.symbols(),
+        errs.ser()
+    );
 }

@@ -21,7 +21,10 @@ fn figure2(n: i64) -> hls_ir::Function {
 
 fn main() {
     println!("Figure 2: minimum counter width vs template parameter N");
-    println!("{:<8} {:>10} {:>16} {:>16}", "N", "declared", "unsigned bits", "signed bits");
+    println!(
+        "{:<8} {:>10} {:>16} {:>16}",
+        "N", "declared", "unsigned bits", "signed bits"
+    );
     for n in [4i64, 8, 15, 16, 100, 1000, 1024] {
         let f = figure2(n);
         let w = &loop_counter_widths(&f)[0];
@@ -29,7 +32,9 @@ fn main() {
             "{:<8} {:>10} {:>16} {:>16}",
             n,
             w.declared_width,
-            w.unsigned_width.map(|u| u.to_string()).unwrap_or_else(|| "-".into()),
+            w.unsigned_width
+                .map(|u| u.to_string())
+                .unwrap_or_else(|| "-".into()),
             w.signed_width
         );
     }

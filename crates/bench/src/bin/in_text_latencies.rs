@@ -16,9 +16,15 @@ fn main() {
     for arch in table1_architectures() {
         let r = hls_core::synthesize(&ir.func, &arch.directives, &table1_library())
             .expect("synthesizes");
-        println!("{} -> {} cycles @10 ns:", arch.name, r.metrics.latency_cycles);
+        println!(
+            "{} -> {} cycles @10 ns:",
+            arch.name, r.metrics.latency_cycles
+        );
         for s in &r.metrics.segments {
-            println!("  {:<12} trip {:>2} x depth {} = {:>2} cycles", s.name, s.trip, s.depth, s.cycles);
+            println!(
+                "  {:<12} trip {:>2} x depth {} = {:>2} cycles",
+                s.name, s.trip, s.depth, s.cycles
+            );
         }
         println!();
     }

@@ -19,16 +19,52 @@ fn main() {
         (
             "dfe_c in 1R1W memory",
             Directives::new(10.0)
-                .map_array("dfe_c_re", ArrayMapping::Memory { read_ports: 1, write_ports: 1 })
-                .map_array("dfe_c_im", ArrayMapping::Memory { read_ports: 1, write_ports: 1 }),
+                .map_array(
+                    "dfe_c_re",
+                    ArrayMapping::Memory {
+                        read_ports: 1,
+                        write_ports: 1,
+                    },
+                )
+                .map_array(
+                    "dfe_c_im",
+                    ArrayMapping::Memory {
+                        read_ports: 1,
+                        write_ports: 1,
+                    },
+                ),
         ),
         (
             "dfe_c + sv in 1R1W memories",
             Directives::new(10.0)
-                .map_array("dfe_c_re", ArrayMapping::Memory { read_ports: 1, write_ports: 1 })
-                .map_array("dfe_c_im", ArrayMapping::Memory { read_ports: 1, write_ports: 1 })
-                .map_array("sv_re", ArrayMapping::Memory { read_ports: 1, write_ports: 1 })
-                .map_array("sv_im", ArrayMapping::Memory { read_ports: 1, write_ports: 1 }),
+                .map_array(
+                    "dfe_c_re",
+                    ArrayMapping::Memory {
+                        read_ports: 1,
+                        write_ports: 1,
+                    },
+                )
+                .map_array(
+                    "dfe_c_im",
+                    ArrayMapping::Memory {
+                        read_ports: 1,
+                        write_ports: 1,
+                    },
+                )
+                .map_array(
+                    "sv_re",
+                    ArrayMapping::Memory {
+                        read_ports: 1,
+                        write_ports: 1,
+                    },
+                )
+                .map_array(
+                    "sv_im",
+                    ArrayMapping::Memory {
+                        read_ports: 1,
+                        write_ports: 1,
+                    },
+                ),
         ),
     ];
     for (name, d) in cases {

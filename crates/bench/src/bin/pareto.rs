@@ -10,7 +10,11 @@ fn main() {
     let cfg = ExploreConfig {
         clock_period_ns: 10.0,
         unroll_factors: vec![1, 2, 4],
-        merge_policies: vec![MergePolicy::Off, MergePolicy::ExactOnly, MergePolicy::AllowHazards],
+        merge_policies: vec![
+            MergePolicy::Off,
+            MergePolicy::ExactOnly,
+            MergePolicy::AllowHazards,
+        ],
         per_loop_refinement: true,
     };
     let mut result = explore(&ir.func, &cfg, &table1_library());
@@ -38,7 +42,10 @@ fn main() {
     }
     let fastest = result.fastest().expect("points exist");
     let smallest = result.smallest().expect("points exist");
-    println!("\nfastest:  {} ({} cycles)", fastest.label, fastest.latency_cycles);
+    println!(
+        "\nfastest:  {} ({} cycles)",
+        fastest.label, fastest.latency_cycles
+    );
     println!("smallest: {} ({:.0} area)", smallest.label, smallest.area);
     println!("\nThe uniform sweep bottoms out at 18 cycles; the paper's asymmetric");
     println!("hand design (dfe U2, adapt U4) reaches 15 — expert refinement still");

@@ -4,7 +4,9 @@
 //! synthesized area of the merged architecture.
 
 use dsp::{CFixed, Channel, Complex, ErrorCounter, MseTrace, QamConstellation, SymbolSource};
-use qam_decoder::{build_qam_decoder_ir, data_code, table1_library, DecoderParams, QamDecoderFixed};
+use qam_decoder::{
+    build_qam_decoder_ir, data_code, table1_library, DecoderParams, QamDecoderFixed,
+};
 
 fn run_link(p: DecoderParams) -> (f64, f64) {
     let qam = QamConstellation::new(64).expect("valid order");
@@ -38,12 +40,13 @@ fn run_link(p: DecoderParams) -> (f64, f64) {
 }
 
 fn main() {
-    println!(
-        "{:>7} {:>12} {:>10} {:>10}",
-        "coef_w", "MSE", "SER", "area"
-    );
+    println!("{:>7} {:>12} {:>10} {:>10}", "coef_w", "MSE", "SER", "area");
     for c_w in [10u32, 12, 14, 16, 18, 20] {
-        let p = DecoderParams { ffe_c_w: c_w, dfe_c_w: c_w, ..DecoderParams::default() };
+        let p = DecoderParams {
+            ffe_c_w: c_w,
+            dfe_c_w: c_w,
+            ..DecoderParams::default()
+        };
         let (mse, ser) = run_link(p);
         // Area of the merged architecture at this width (clock relaxed so
         // wider multipliers stay feasible).

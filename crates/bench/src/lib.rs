@@ -17,13 +17,19 @@
 //!
 //! Criterion benches (`cargo bench -p bench-harness`) measure the flow
 //! itself: synthesis runtime per architecture, decoder model throughput
-//! (float vs fixed vs interpreter vs RTL), and the pipelining ablation.
+//! (float vs fixed vs interpreter vs reference RTL vs compiled RTL), the
+//! pipelining ablation, and `sim_fast_path` — the compiled-simulation
+//! fast path vs the reference simulator on all four Table-1
+//! architectures plus serial vs parallel design-space exploration
+//! (results recorded in `BENCH_sim.json` at the repo root).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use hls_core::SynthesisResult;
-use qam_decoder::{build_qam_decoder_ir, table1_architectures, table1_library, Architecture, DecoderParams};
+use qam_decoder::{
+    build_qam_decoder_ir, table1_architectures, table1_library, Architecture, DecoderParams,
+};
 
 /// Synthesizes one Table-1 architecture of the decoder.
 ///

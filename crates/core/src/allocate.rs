@@ -60,7 +60,11 @@ pub struct Allocation {
 impl Allocation {
     /// Instances allocated for a class (0 when unused).
     pub fn fu_count(&self, class: OpClass) -> u32 {
-        self.fu_groups.iter().find(|g| g.class == class).map(|g| g.count).unwrap_or(0)
+        self.fu_groups
+            .iter()
+            .find(|g| g.class == class)
+            .map(|g| g.count)
+            .unwrap_or(0)
     }
 }
 
@@ -72,7 +76,11 @@ pub fn allocate(
     directives: &Directives,
     lib: &TechLibrary,
 ) -> Allocation {
-    assert_eq!(lowered.segments.len(), schedules.len(), "one schedule per segment");
+    assert_eq!(
+        lowered.segments.len(),
+        schedules.len(),
+        "one schedule per segment"
+    );
 
     // Peak per-cycle demand and totals per (class).
     let mut peak: BTreeMap<OpClass, u32> = BTreeMap::new();
@@ -132,7 +140,11 @@ pub fn allocate(
         let a = lib.area(*class, width) * *count as f64;
         // Sharing muxes: each instance serving k ops needs a k-way mux on
         // each of two operand inputs.
-        let per_fu = if *count > 0 { bound.div_ceil(*count) } else { 0 };
+        let per_fu = if *count > 0 {
+            bound.div_ceil(*count)
+        } else {
+            0
+        };
         let m = lib.mux_tree_area(per_fu as usize, width) * 2.0 * *count as f64;
         fu_area += a;
         mux_area += m;
@@ -151,7 +163,10 @@ pub fn allocate(
     let mut state_bits = 0u64;
     for (_, v) in func.iter_vars() {
         let bits = v.ty.width() as u64 * v.len.unwrap_or(1) as u64;
-        let is_mem = matches!(directives.array_mapping(&v.name), ArrayMapping::Memory { .. });
+        let is_mem = matches!(
+            directives.array_mapping(&v.name),
+            ArrayMapping::Memory { .. }
+        );
         match v.kind {
             VarKind::Static | VarKind::Param => {
                 if !is_mem {
@@ -218,7 +233,10 @@ fn live_bits(dfg: &Dfg, sched: &Schedule) -> u64 {
         for (id, n) in dfg.iter() {
             if matches!(
                 n.kind,
-                NodeKind::VarWrite(_) | NodeKind::Store(_) | NodeKind::StoreCond(_) | NodeKind::Const(_)
+                NodeKind::VarWrite(_)
+                    | NodeKind::Store(_)
+                    | NodeKind::StoreCond(_)
+                    | NodeKind::Const(_)
             ) {
                 continue; // committed to architectural state or wired
             }
@@ -292,7 +310,11 @@ mod tests {
         assert_eq!(a1.fu_count(OpClass::Mul), 1);
         // Unrolling by 4 exposes 4 multiplies; chained accumulation may
         // split the body into 2 cycles, so the peak is at least 2.
-        assert!(a4.fu_count(OpClass::Mul) >= 2, "{}", a4.fu_count(OpClass::Mul));
+        assert!(
+            a4.fu_count(OpClass::Mul) >= 2,
+            "{}",
+            a4.fu_count(OpClass::Mul)
+        );
         assert!(a4.fu_count(OpClass::Mul) > a1.fu_count(OpClass::Mul));
         assert!(a4.total_area > a1.total_area);
     }

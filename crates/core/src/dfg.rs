@@ -145,7 +145,10 @@ impl Dfg {
 
     /// Iterates `(id, node)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
     }
 
     /// The node for an id.
@@ -159,7 +162,11 @@ impl Dfg {
 
     fn push(&mut self, kind: NodeKind, preds: Vec<NodeId>, format: Format) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { kind, preds, format });
+        self.nodes.push(Node {
+            kind,
+            preds,
+            format,
+        });
         id
     }
 
@@ -237,7 +244,8 @@ impl<'f> DfgBuilder<'f> {
             Expr::Const(c) => self.dfg.push(NodeKind::Const(*c), vec![], c.format()),
             Expr::ConstBool(bv) => {
                 let c = fixpt::Fixed::from_int(*bv as i64, Self::bool_format());
-                self.dfg.push(NodeKind::Const(c), vec![], Self::bool_format())
+                self.dfg
+                    .push(NodeKind::Const(c), vec![], Self::bool_format())
             }
             Expr::Var(v) => self.read_var(*v),
             Expr::Load { array, index } => {
@@ -290,7 +298,8 @@ impl<'f> DfgBuilder<'f> {
             Expr::Compare { op, lhs, rhs } => {
                 let a = self.expr(lhs);
                 let b = self.expr(rhs);
-                self.dfg.push(NodeKind::Cmp(*op), vec![a, b], Self::bool_format())
+                self.dfg
+                    .push(NodeKind::Cmp(*op), vec![a, b], Self::bool_format())
             }
             Expr::Select { cond, then_, else_ } => {
                 let c = self.expr(cond);
@@ -299,10 +308,16 @@ impl<'f> DfgBuilder<'f> {
                 let fmt = common_format(self.dfg.node(t).format, self.dfg.node(e2).format);
                 self.dfg.push(NodeKind::Mux, vec![c, t, e2], fmt)
             }
-            Expr::Cast { ty, quantization, overflow, arg } => {
+            Expr::Cast {
+                ty,
+                quantization,
+                overflow,
+                arg,
+            } => {
                 let a = self.expr(arg);
                 let fmt = ty.format().unwrap_or_else(Self::bool_format);
-                self.dfg.push(NodeKind::Cast(*quantization, *overflow), vec![a], fmt)
+                self.dfg
+                    .push(NodeKind::Cast(*quantization, *overflow), vec![a], fmt)
             }
         }
     }
@@ -364,7 +379,11 @@ impl<'f> DfgBuilder<'f> {
         if let Some(loads) = self.array_loads_since.get(&array) {
             preds.extend(loads.iter().copied());
         }
-        let kind = if pred.is_some() { NodeKind::StoreCond(array) } else { NodeKind::Store(array) };
+        let kind = if pred.is_some() {
+            NodeKind::StoreCond(array)
+        } else {
+            NodeKind::Store(array)
+        };
         let n = self.dfg.push(kind, preds, decl_fmt);
         let entry = self.array_last_store.entry(array).or_default();
         match static_idx {
@@ -387,19 +406,26 @@ impl<'f> DfgBuilder<'f> {
         for s in stmts {
             match s {
                 Stmt::Assign { var, value } => self.assign(*var, value, pred),
-                Stmt::Store { array, index, value } => self.store(*array, index, value, pred),
+                Stmt::Store {
+                    array,
+                    index,
+                    value,
+                } => self.store(*array, index, value, pred),
                 Stmt::If { cond, then_, else_ } => {
                     let c = self.expr(cond);
                     let c = match pred {
-                        Some(p) => {
-                            self.dfg.push(NodeKind::Bin(BinOp::And), vec![p, c], Self::bool_format())
-                        }
+                        Some(p) => self.dfg.push(
+                            NodeKind::Bin(BinOp::And),
+                            vec![p, c],
+                            Self::bool_format(),
+                        ),
                         None => c,
                     };
                     self.block(then_, Some(c));
                     if !else_.is_empty() {
                         let not_c =
-                            self.dfg.push(NodeKind::Un(UnOp::Not), vec![c], Self::bool_format());
+                            self.dfg
+                                .push(NodeKind::Un(UnOp::Not), vec![c], Self::bool_format());
                         self.block(else_, Some(not_c));
                     }
                 }
@@ -456,7 +482,11 @@ fn common_format(a: Format, b: Format) -> Format {
     let int = eff(a).max(eff(b));
     let frac = a.frac_bits().max(b.frac_bits());
     let width = ((int + frac).max(1)) as u32;
-    let s = if signed { Signedness::Signed } else { Signedness::Unsigned };
+    let s = if signed {
+        Signedness::Signed
+    } else {
+        Signedness::Unsigned
+    };
     Format::new(width, int, s).expect("mux bus format within bounds")
 }
 
@@ -466,7 +496,10 @@ mod tests {
     use hls_ir::{FunctionBuilder, Ty};
 
     fn ids(dfg: &Dfg, pred: impl Fn(&Node) -> bool) -> Vec<NodeId> {
-        dfg.iter().filter(|(_, n)| pred(n)).map(|(i, _)| i).collect()
+        dfg.iter()
+            .filter(|(_, n)| pred(n))
+            .map(|(i, _)| i)
+            .collect()
     }
 
     #[test]
@@ -475,11 +508,20 @@ mod tests {
         let x = b.param_scalar("x", Ty::fixed(10, 0));
         let c = b.param_scalar("c", Ty::fixed(10, 0));
         let acc = b.param_scalar("acc", Ty::fixed(22, 2));
-        b.assign(acc, Expr::add(Expr::var(acc), Expr::mul(Expr::var(x), Expr::var(c))));
+        b.assign(
+            acc,
+            Expr::add(Expr::var(acc), Expr::mul(Expr::var(x), Expr::var(c))),
+        );
         let f = b.build();
         let dfg = build_dfg(&f, &f.body);
-        assert_eq!(ids(&dfg, |n| matches!(n.kind, NodeKind::Bin(BinOp::Mul))).len(), 1);
-        assert_eq!(ids(&dfg, |n| matches!(n.kind, NodeKind::Bin(BinOp::Add))).len(), 1);
+        assert_eq!(
+            ids(&dfg, |n| matches!(n.kind, NodeKind::Bin(BinOp::Mul))).len(),
+            1
+        );
+        assert_eq!(
+            ids(&dfg, |n| matches!(n.kind, NodeKind::Bin(BinOp::Add))).len(),
+            1
+        );
         // Mul of two fixed<10,0> is fixed<20,0>.
         let mul = ids(&dfg, |n| matches!(n.kind, NodeKind::Bin(BinOp::Mul)))[0];
         assert_eq!(dfg.node(mul).format.width(), 20);
@@ -513,12 +555,21 @@ mod tests {
         // First predicated assignment sees the register's start-of-cycle
         // value (write-enable mux); the second sees the first's result and
         // needs a real mux.
-        assert_eq!(ids(&dfg, |n| matches!(n.kind, NodeKind::EnableMux)).len(), 1);
+        assert_eq!(
+            ids(&dfg, |n| matches!(n.kind, NodeKind::EnableMux)).len(),
+            1
+        );
         assert_eq!(ids(&dfg, |n| matches!(n.kind, NodeKind::Mux)).len(), 1);
         assert_eq!(ids(&dfg, |n| matches!(n.kind, NodeKind::Cmp(_))).len(), 1);
-        assert_eq!(ids(&dfg, |n| matches!(n.kind, NodeKind::Un(UnOp::Not))).len(), 1);
+        assert_eq!(
+            ids(&dfg, |n| matches!(n.kind, NodeKind::Un(UnOp::Not))).len(),
+            1
+        );
         // out committed once.
-        assert_eq!(ids(&dfg, |n| matches!(n.kind, NodeKind::VarWrite(_))).len(), 1);
+        assert_eq!(
+            ids(&dfg, |n| matches!(n.kind, NodeKind::VarWrite(_))).len(),
+            1
+        );
     }
 
     #[test]
@@ -568,9 +619,12 @@ mod tests {
         let mut b = FunctionBuilder::new("ps");
         let a = b.param_array("a", Ty::int(8), 4);
         let x = b.param_scalar("x", Ty::int(8));
-        b.if_then(Expr::cmp(CmpOp::Gt, Expr::var(x), Expr::int_const(0)), |b| {
-            b.store(a, Expr::int_const(2), Expr::var(x));
-        });
+        b.if_then(
+            Expr::cmp(CmpOp::Gt, Expr::var(x), Expr::int_const(0)),
+            |b| {
+                b.store(a, Expr::int_const(2), Expr::var(x));
+            },
+        );
         let f = b.build();
         let dfg = build_dfg(&f, &f.body);
         // The predicate gates the write enable: a conditional store with

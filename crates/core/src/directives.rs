@@ -238,7 +238,13 @@ mod tests {
             .no_merging()
             .unroll("dfe", Unroll::Factor(2))
             .pipeline("ffe", 1)
-            .map_array("x", ArrayMapping::Memory { read_ports: 1, write_ports: 1 })
+            .map_array(
+                "x",
+                ArrayMapping::Memory {
+                    read_ports: 1,
+                    write_ports: 1,
+                },
+            )
             .interface("data", InterfaceKind::Wire)
             .limit_fu(OpClass::Mul, 4);
         assert_eq!(d.merge_policy, MergePolicy::Off);

@@ -59,11 +59,19 @@ impl fmt::Display for SynthesisError {
             SynthesisError::UnknownVariable { name } => {
                 write!(f, "directive references unknown variable `{name}`")
             }
-            SynthesisError::InfeasibleClock { op, delay_ns, clock_ns } => write!(
+            SynthesisError::InfeasibleClock {
+                op,
+                delay_ns,
+                clock_ns,
+            } => write!(
                 f,
                 "operation {op} needs {delay_ns:.2} ns but the clock period is {clock_ns:.2} ns"
             ),
-            SynthesisError::InfeasibleInitiationInterval { label, requested, minimum } => write!(
+            SynthesisError::InfeasibleInitiationInterval {
+                label,
+                requested,
+                minimum,
+            } => write!(
                 f,
                 "loop `{label}` cannot be pipelined at II={requested}; minimum is {minimum}"
             ),

@@ -5,6 +5,19 @@
 //! paper's designer did by hand: sweep unroll factors (and optionally the
 //! merge policy) over every loop, synthesize each point, and keep the
 //! latency/area Pareto frontier.
+//!
+//! Two throughput levers keep large sweeps rapid:
+//!
+//! - **Memoization** — candidates are keyed by their canonicalized
+//!   [`Directives`], so duplicate knob settings (common once per-loop
+//!   refinement overlaps the uniform sweep) synthesize once.
+//! - **Parallel evaluation** — with the `parallel` feature (on by
+//!   default), unique candidates are synthesized across all available
+//!   cores via scoped threads. Results are keyed by candidate index, so
+//!   point order, failure order and the Pareto frontier are identical to
+//!   the serial path ([`explore_serial`]) regardless of thread timing.
+
+use std::collections::BTreeMap;
 
 use crate::directives::{Directives, MergePolicy, Unroll};
 use crate::error::SynthesisError;
@@ -65,10 +78,14 @@ impl Default for ExploreConfig {
 /// The exploration outcome.
 #[derive(Debug, Clone)]
 pub struct ExploreResult {
-    /// Every feasible point evaluated, in evaluation order.
+    /// Every feasible point evaluated, in candidate-generation order.
     pub points: Vec<DesignPoint>,
     /// Points that failed to synthesize, with their errors.
     pub failures: Vec<(String, SynthesisError)>,
+    /// Unique directive sets actually synthesized (candidates whose
+    /// canonicalized directives matched an earlier candidate reused its
+    /// memoized result instead).
+    pub evaluations: usize,
 }
 
 impl ExploreResult {
@@ -97,8 +114,73 @@ impl ExploreResult {
     }
 }
 
-/// Explores the design space of `func` under `config`.
-pub fn explore(func: &Function, config: &ExploreConfig, lib: &TechLibrary) -> ExploreResult {
+/// A canonical, order-independent rendering of a directive set, used as
+/// the memo-cache key. The maps inside [`Directives`] are `BTreeMap`s, so
+/// their debug rendering is already sorted; the clock is keyed by its
+/// exact bit pattern rather than a rounded decimal.
+fn canonical_key(d: &Directives) -> String {
+    format!(
+        "clk={:016x};merge={:?};loops={:?};arrays={:?};ifs={:?};fu={:?}",
+        d.clock_period_ns.to_bits(),
+        d.merge_policy,
+        d.loops,
+        d.arrays,
+        d.interfaces,
+        d.fu_limits,
+    )
+}
+
+/// The latency/area outcome of synthesizing one unique directive set.
+type JobOutcome = Result<(u64, f64), SynthesisError>;
+
+fn run_job(func: &Function, d: &Directives, lib: &TechLibrary) -> JobOutcome {
+    synthesize(func, d, lib).map(|r| (r.metrics.latency_cycles, r.metrics.area))
+}
+
+fn run_jobs_serial(func: &Function, jobs: &[&Directives], lib: &TechLibrary) -> Vec<JobOutcome> {
+    jobs.iter().map(|d| run_job(func, d, lib)).collect()
+}
+
+/// Evaluates the unique jobs across all available cores with scoped
+/// threads. A shared atomic cursor hands out job indices; each outcome is
+/// stored at its job's slot, so the returned order (and everything derived
+/// from it) is independent of scheduling.
+#[cfg(feature = "parallel")]
+fn run_jobs_parallel(func: &Function, jobs: &[&Directives], lib: &TechLibrary) -> Vec<JobOutcome> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(jobs.len());
+    if workers <= 1 {
+        return run_jobs_serial(func, jobs, lib);
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<JobOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(d) = jobs.get(i) else { break };
+                let outcome = run_job(func, d, lib);
+                *slots[i].lock().expect("no panics hold this lock") = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("worker finished")
+                .expect("every job ran")
+        })
+        .collect()
+}
+
+fn candidates_for(func: &Function, config: &ExploreConfig) -> Vec<(String, Directives)> {
     let labels = func.loop_labels();
     let mut candidates: Vec<(String, Directives)> = Vec::new();
 
@@ -121,21 +203,75 @@ pub fn explore(func: &Function, config: &ExploreConfig, lib: &TechLibrary) -> Ex
             }
         }
     }
+    candidates
+}
+
+fn explore_impl(
+    func: &Function,
+    config: &ExploreConfig,
+    lib: &TechLibrary,
+    parallel: bool,
+) -> ExploreResult {
+    let candidates = candidates_for(func, config);
+
+    // Memoize: map every candidate to a unique job; duplicate knob
+    // settings synthesize once and share the outcome.
+    let mut jobs: Vec<&Directives> = Vec::new();
+    let mut job_of_key: BTreeMap<String, usize> = BTreeMap::new();
+    let job_of_candidate: Vec<usize> = candidates
+        .iter()
+        .map(|(_, d)| {
+            *job_of_key.entry(canonical_key(d)).or_insert_with(|| {
+                jobs.push(d);
+                jobs.len() - 1
+            })
+        })
+        .collect();
+
+    // Without the `parallel` feature the parallel path degrades to serial.
+    #[cfg(not(feature = "parallel"))]
+    use run_jobs_serial as run_jobs_parallel;
+
+    let outcomes = if parallel {
+        run_jobs_parallel(func, &jobs, lib)
+    } else {
+        run_jobs_serial(func, &jobs, lib)
+    };
+    let evaluations = jobs.len();
 
     let mut points = Vec::new();
     let mut failures = Vec::new();
-    for (label, d) in candidates {
-        match synthesize(func, &d, lib) {
-            Ok(r) => points.push(DesignPoint {
+    for ((label, d), job) in candidates.into_iter().zip(job_of_candidate) {
+        match &outcomes[job] {
+            Ok((latency_cycles, area)) => points.push(DesignPoint {
                 directives: d,
                 label,
-                latency_cycles: r.metrics.latency_cycles,
-                area: r.metrics.area,
+                latency_cycles: *latency_cycles,
+                area: *area,
             }),
-            Err(e) => failures.push((label, e)),
+            Err(e) => failures.push((label, e.clone())),
         }
     }
-    ExploreResult { points, failures }
+    ExploreResult {
+        points,
+        failures,
+        evaluations,
+    }
+}
+
+/// Explores the design space of `func` under `config`.
+///
+/// With the `parallel` feature (enabled by default) candidates are
+/// synthesized across all available cores; the result is deterministic
+/// and identical to [`explore_serial`] either way.
+pub fn explore(func: &Function, config: &ExploreConfig, lib: &TechLibrary) -> ExploreResult {
+    explore_impl(func, config, lib, true)
+}
+
+/// Explores on the current thread only — the single-threaded reference
+/// path for [`explore`], independent of the `parallel` feature.
+pub fn explore_serial(func: &Function, config: &ExploreConfig, lib: &TechLibrary) -> ExploreResult {
+    explore_impl(func, config, lib, false)
 }
 
 #[cfg(test)]
@@ -176,7 +312,9 @@ mod tests {
         }
         // The fastest point is on the frontier.
         let fastest = r.fastest().expect("points exist");
-        assert!(pareto.iter().any(|p| p.latency_cycles == fastest.latency_cycles));
+        assert!(pareto
+            .iter()
+            .any(|p| p.latency_cycles == fastest.latency_cycles));
     }
 
     #[test]
@@ -187,11 +325,100 @@ mod tests {
             latency_cycles: 10,
             area: 100.0,
         };
-        let b = DesignPoint { latency_cycles: 10, area: 100.0, label: "b".into(), ..a.clone() };
+        let b = DesignPoint {
+            latency_cycles: 10,
+            area: 100.0,
+            label: "b".into(),
+            ..a.clone()
+        };
         assert!(!a.dominates(&b), "equal points do not dominate");
-        let c = DesignPoint { latency_cycles: 9, area: 100.0, label: "c".into(), ..a.clone() };
+        let c = DesignPoint {
+            latency_cycles: 9,
+            area: 100.0,
+            label: "c".into(),
+            ..a.clone()
+        };
         assert!(c.dominates(&a));
         assert!(!a.dominates(&c));
+    }
+
+    #[test]
+    fn parallel_exploration_matches_serial_exactly() {
+        let f = two_loops();
+        let cfg = ExploreConfig::default();
+        let lib = TechLibrary::asic_100mhz();
+        let par = explore(&f, &cfg, &lib);
+        let ser = explore_serial(&f, &cfg, &lib);
+        assert_eq!(par.points.len(), ser.points.len());
+        for (p, s) in par.points.iter().zip(&ser.points) {
+            assert_eq!(p.label, s.label);
+            assert_eq!(p.latency_cycles, s.latency_cycles);
+            assert_eq!(p.area, s.area);
+            assert_eq!(p.directives, s.directives);
+        }
+        assert_eq!(par.failures.len(), ser.failures.len());
+        assert_eq!(par.evaluations, ser.evaluations);
+        // Identical points imply an identical Pareto frontier.
+        let fp: Vec<_> = par
+            .pareto()
+            .iter()
+            .map(|p| (p.latency_cycles, p.area))
+            .collect();
+        let fs: Vec<_> = ser
+            .pareto()
+            .iter()
+            .map(|p| (p.latency_cycles, p.area))
+            .collect();
+        assert_eq!(fp, fs);
+    }
+
+    #[test]
+    fn duplicate_directives_synthesize_once() {
+        // With a single loop, "U=n on all loops" and "U=n on l1" are the
+        // same directive set — the memo cache must collapse them.
+        let mut b = FunctionBuilder::new("one");
+        let x = b.param_array("x", Ty::fixed(10, 0), 8);
+        let out = b.param_scalar("out", Ty::fixed(16, 6));
+        let acc = b.local("acc", Ty::fixed(16, 6));
+        b.assign(acc, Expr::int_const(0));
+        b.for_loop("l1", 0, CmpOp::Lt, 8, 1, |b, k| {
+            b.assign(acc, Expr::add(Expr::var(acc), Expr::load(x, Expr::var(k))));
+        });
+        b.assign(out, Expr::var(acc));
+        let f = b.build();
+        let r = explore(&f, &ExploreConfig::default(), &TechLibrary::asic_100mhz());
+        let total = r.points.len() + r.failures.len();
+        assert!(
+            r.evaluations < total,
+            "expected memo hits: {} evaluations for {} candidates",
+            r.evaluations,
+            total
+        );
+        // Duplicates share the memoized outcome bit for bit.
+        let all = r
+            .points
+            .iter()
+            .find(|p| p.label.contains("all loops") && p.label.contains("U2"));
+        let one = r
+            .points
+            .iter()
+            .find(|p| p.label.contains("(l1)") && p.label.contains("U2"));
+        let (all, one) = (all.expect("uniform point"), one.expect("refined point"));
+        assert_eq!(all.latency_cycles, one.latency_cycles);
+        assert_eq!(all.area, one.area);
+    }
+
+    #[test]
+    fn canonical_key_ignores_insertion_order() {
+        let a = Directives::new(10.0)
+            .unroll("l1", Unroll::Factor(2))
+            .unroll("l2", Unroll::Factor(4));
+        let b = Directives::new(10.0)
+            .unroll("l2", Unroll::Factor(4))
+            .unroll("l1", Unroll::Factor(2));
+        assert_eq!(canonical_key(&a), canonical_key(&b));
+        let c = Directives::new(10.0).unroll("l1", Unroll::Factor(2));
+        assert_ne!(canonical_key(&a), canonical_key(&c));
     }
 
     #[test]
@@ -207,7 +434,11 @@ mod tests {
             ..ExploreConfig::default()
         };
         let r = explore(&f, &cfg, &TechLibrary::asic_100mhz());
-        let off = r.points.iter().find(|p| p.label.contains("Off")).expect("off point");
+        let off = r
+            .points
+            .iter()
+            .find(|p| p.label.contains("Off"))
+            .expect("off point");
         let merged = r
             .points
             .iter()

@@ -108,7 +108,9 @@ pub fn lower(func: &Function, directives: &Directives) -> Lowered {
         match s {
             Stmt::For(l) => {
                 if !run.is_empty() {
-                    segments.push(Segment::Straight { dfg: build_dfg(&func, &run) });
+                    segments.push(Segment::Straight {
+                        dfg: build_dfg(&func, &run),
+                    });
                     run.clear();
                 }
                 let d = directives.loop_directive(&l.label);
@@ -128,11 +130,18 @@ pub fn lower(func: &Function, directives: &Directives) -> Lowered {
         }
     }
     if !run.is_empty() {
-        segments.push(Segment::Straight { dfg: build_dfg(&func, &run) });
+        segments.push(Segment::Straight {
+            dfg: build_dfg(&func, &run),
+        });
     }
 
     let ports = synthesize_ports(&func, directives);
-    Lowered { func, segments, ports, handshake: true }
+    Lowered {
+        func,
+        segments,
+        ports,
+        handshake: true,
+    }
 }
 
 /// Inner loops inside a segment body are fully expanded (the paper's designs
@@ -143,7 +152,10 @@ fn flatten_inner_loops(stmts: &[Stmt]) -> Vec<Stmt> {
         match s {
             Stmt::For(l) => {
                 for k in l.iteration_values() {
-                    out.push(Stmt::Assign { var: l.var, value: Expr::int_const(k) });
+                    out.push(Stmt::Assign {
+                        var: l.var,
+                        value: Expr::int_const(k),
+                    });
                     out.extend(flatten_inner_loops(&l.body));
                 }
             }
@@ -186,7 +198,10 @@ fn stage_outputs(func: &mut Function, directives: &Directives) {
             len: None,
         });
         rewrite_var(&mut func.body, p, stage);
-        commits.push(Stmt::Assign { var: p, value: Expr::var(stage) });
+        commits.push(Stmt::Assign {
+            var: p,
+            value: Expr::var(stage),
+        });
     }
     func.body.extend(commits);
 }
@@ -200,7 +215,11 @@ fn rewrite_var(stmts: &mut [Stmt], from: VarId, to: VarId) {
                 }
                 *value = value.substitute(&|v| (v == from).then(|| Expr::var(to)));
             }
-            Stmt::Store { array, index, value } => {
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
                 if *array == from {
                     *array = to;
                 }
@@ -247,12 +266,18 @@ mod tests {
         let acc2 = b.local("acc2", Ty::fixed(20, 4));
         b.assign(acc1, Expr::int_const(0));
         b.for_loop("l1", 0, CmpOp::Lt, 8, 1, |b, k| {
-            b.assign(acc1, Expr::add(Expr::var(acc1), Expr::load(x, Expr::var(k))));
+            b.assign(
+                acc1,
+                Expr::add(Expr::var(acc1), Expr::load(x, Expr::var(k))),
+            );
         });
         // Stranded between the loops, like the paper's `ydfe = 0`.
         b.assign(acc2, Expr::int_const(0));
         b.for_loop("l2", 0, CmpOp::Lt, 8, 1, |b, k| {
-            b.assign(acc2, Expr::add(Expr::var(acc2), Expr::load(x, Expr::var(k))));
+            b.assign(
+                acc2,
+                Expr::add(Expr::var(acc2), Expr::load(x, Expr::var(k))),
+            );
         });
         b.assign(out, Expr::add(Expr::var(acc1), Expr::var(acc2)));
         b.build()
@@ -306,7 +331,14 @@ mod tests {
         let f = two_loop_func();
         let lowered = lower(&f, &Directives::new(10.0));
         match &lowered.segments[1] {
-            Segment::Loop { label, trip, start, step, bound, .. } => {
+            Segment::Loop {
+                label,
+                trip,
+                start,
+                step,
+                bound,
+                ..
+            } => {
                 assert_eq!(label, "l1");
                 assert_eq!(*trip, 8);
                 assert_eq!(*start, 0);

@@ -31,7 +31,12 @@ pub fn segment_cycles(segment: &Segment, schedule: &Schedule) -> SegmentCycles {
             ii: None,
             cycles: schedule.depth as u64,
         },
-        Segment::Loop { label, trip, pipeline_ii, .. } => {
+        Segment::Loop {
+            label,
+            trip,
+            pipeline_ii,
+            ..
+        } => {
             let depth = schedule.depth.max(1);
             let cycles = match pipeline_ii {
                 Some(ii) if *trip > 0 => depth as u64 + (*trip as u64 - 1) * *ii as u64,
@@ -101,7 +106,9 @@ impl fmt::Display for DesignMetrics {
                 )?,
             }
         }
-        writeln!(f, "area: {:.0} (fu {:.0} + mux {:.0} + reg {:.0} + ctrl {:.0})",
+        writeln!(
+            f,
+            "area: {:.0} (fu {:.0} + mux {:.0} + reg {:.0} + ctrl {:.0})",
             self.area,
             self.allocation.fu_area,
             self.allocation.mux_area,

@@ -16,7 +16,11 @@ use crate::schedule::Schedule;
 pub fn bill_of_materials(alloc: &Allocation) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Bill of materials");
-    let _ = writeln!(out, "{:<10} {:>6} {:>7} {:>9} {:>10} {:>10}", "class", "count", "width", "bound", "fu area", "mux area");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} {:>7} {:>9} {:>10} {:>10}",
+        "class", "count", "width", "bound", "fu area", "mux area"
+    );
     for g in &alloc.fu_groups {
         let _ = writeln!(
             out,
@@ -29,8 +33,16 @@ pub fn bill_of_materials(alloc: &Allocation) -> String {
             g.mux_area
         );
     }
-    let _ = writeln!(out, "registers: {} state bits + {} temp bits = {:.0} area", alloc.state_bits, alloc.temp_bits, alloc.reg_area);
-    let _ = writeln!(out, "controller: {} states = {:.0} area", alloc.fsm_states, alloc.ctrl_area);
+    let _ = writeln!(
+        out,
+        "registers: {} state bits + {} temp bits = {:.0} area",
+        alloc.state_bits, alloc.temp_bits, alloc.reg_area
+    );
+    let _ = writeln!(
+        out,
+        "controller: {} states = {:.0} area",
+        alloc.fsm_states, alloc.ctrl_area
+    );
     let _ = writeln!(out, "total area: {:.0}", alloc.total_area);
     out
 }
@@ -41,7 +53,12 @@ pub fn bill_of_materials(alloc: &Allocation) -> String {
 pub fn gantt_chart(lowered: &Lowered, schedules: &[Schedule]) -> String {
     let mut out = String::new();
     for (seg, sched) in lowered.segments.iter().zip(schedules) {
-        let _ = writeln!(out, "== segment {} (depth {} cycles) ==", seg.name(), sched.depth);
+        let _ = writeln!(
+            out,
+            "== segment {} (depth {} cycles) ==",
+            seg.name(),
+            sched.depth
+        );
         let dfg = seg.dfg();
         for cycle in 0..sched.depth {
             let _ = writeln!(out, " cycle {cycle}:");
@@ -85,7 +102,11 @@ pub fn critical_path_report(lowered: &Lowered, schedules: &[Schedule]) -> String
     // Terminal node of the path.
     let mut cur = (0..sched.node_end_ns.len())
         .filter(|i| sched.node_cycle[*i] == cycle)
-        .max_by(|a, b| sched.node_end_ns[*a].partial_cmp(&sched.node_end_ns[*b]).expect("finite"))
+        .max_by(|a, b| {
+            sched.node_end_ns[*a]
+                .partial_cmp(&sched.node_end_ns[*b])
+                .expect("finite")
+        })
         .expect("nonempty cycle");
     let mut chain = vec![cur];
     loop {

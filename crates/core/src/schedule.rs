@@ -70,7 +70,11 @@ pub fn schedule_dfg(
     let is_memory = |v: VarId| mem_ports(v).is_some();
     let clock = directives.clock_period_ns;
     let n = dfg.len();
-    let classes: Vec<OpClass> = dfg.nodes().iter().map(|nd| nd.op_class(&is_memory)).collect();
+    let classes: Vec<OpClass> = dfg
+        .nodes()
+        .iter()
+        .map(|nd| nd.op_class(&is_memory))
+        .collect();
     let char_widths: Vec<u32> = dfg
         .nodes()
         .iter()
@@ -94,7 +98,11 @@ pub fn schedule_dfg(
     for (i, d) in delays.iter().enumerate() {
         if *d > clock {
             return Err(SynthesisError::InfeasibleClock {
-                op: format!("{:?} ({} bits)", dfg.nodes()[i].kind, dfg.nodes()[i].format.width()),
+                op: format!(
+                    "{:?} ({} bits)",
+                    dfg.nodes()[i].kind,
+                    dfg.nodes()[i].format.width()
+                ),
                 delay_ns: *d,
                 clock_ns: clock,
             });
@@ -137,11 +145,16 @@ pub fn schedule_dfg(
             let mut ready: Vec<usize> = (0..n)
                 .filter(|&i| {
                     node_cycle[i] == u32::MAX
-                        && dfg.nodes()[i].preds.iter().all(|p| node_cycle[p.index()] <= cycle)
+                        && dfg.nodes()[i]
+                            .preds
+                            .iter()
+                            .all(|p| node_cycle[p.index()] <= cycle)
                 })
                 .collect();
             ready.sort_by(|a, b| {
-                priority[*b].partial_cmp(&priority[*a]).expect("finite priorities")
+                priority[*b]
+                    .partial_cmp(&priority[*a])
+                    .expect("finite priorities")
             });
             let mut placed_any = false;
             for i in ready {
@@ -149,7 +162,13 @@ pub fn schedule_dfg(
                 let start = nd
                     .preds
                     .iter()
-                    .map(|p| if node_cycle[p.index()] == cycle { node_end[p.index()] } else { 0.0 })
+                    .map(|p| {
+                        if node_cycle[p.index()] == cycle {
+                            node_end[p.index()]
+                        } else {
+                            0.0
+                        }
+                    })
                     .fold(0.0, f64::max);
                 if start + delays[i] > clock {
                     continue; // must wait for the next cycle
@@ -163,15 +182,13 @@ pub fn schedule_dfg(
                 if let Some(arr) = nd.accessed_array() {
                     if let Some((rp, wp)) = mem_ports(arr) {
                         match class {
-                            OpClass::MemRead => {
-                                if mem_reads.get(&arr).copied().unwrap_or(0) >= rp {
-                                    continue;
-                                }
+                            OpClass::MemRead if mem_reads.get(&arr).copied().unwrap_or(0) >= rp => {
+                                continue;
                             }
-                            OpClass::MemWrite => {
-                                if mem_writes.get(&arr).copied().unwrap_or(0) >= wp {
-                                    continue;
-                                }
+                            OpClass::MemWrite
+                                if mem_writes.get(&arr).copied().unwrap_or(0) >= wp =>
+                            {
+                                continue;
                             }
                             _ => {}
                         }
@@ -202,7 +219,11 @@ pub fn schedule_dfg(
         }
     }
 
-    let depth = if n == 0 { 0 } else { node_cycle.iter().copied().max().unwrap_or(0) + 1 };
+    let depth = if n == 0 {
+        0
+    } else {
+        node_cycle.iter().copied().max().unwrap_or(0) + 1
+    };
     Ok(Schedule {
         node_cycle,
         node_start_ns: node_start,
@@ -276,7 +297,10 @@ mod tests {
         let x = b.param_scalar("x", Ty::fixed(10, 0));
         let c = b.param_scalar("c", Ty::fixed(10, 0));
         let acc = b.param_scalar("acc", Ty::fixed(22, 2));
-        b.assign(acc, Expr::add(Expr::var(acc), Expr::mul(Expr::var(x), Expr::var(c))));
+        b.assign(
+            acc,
+            Expr::add(Expr::var(acc), Expr::mul(Expr::var(x), Expr::var(c))),
+        );
         let f = b.build();
         let dfg = build_dfg(&f, &f.body);
         let d = Directives::new(10.0);
@@ -324,9 +348,12 @@ mod tests {
         // No: chaining is impossible for 10-bit muls (4.45 ns each, two fit),
         // but a 1-multiplier limit forces one per cycle.
         let mut b = FunctionBuilder::new("par");
-        let xs: Vec<_> = (0..4).map(|i| b.param_scalar(format!("x{i}"), Ty::fixed(10, 0))).collect();
-        let outs: Vec<_> =
-            (0..4).map(|i| b.param_scalar(format!("o{i}"), Ty::fixed(20, 0))).collect();
+        let xs: Vec<_> = (0..4)
+            .map(|i| b.param_scalar(format!("x{i}"), Ty::fixed(10, 0)))
+            .collect();
+        let outs: Vec<_> = (0..4)
+            .map(|i| b.param_scalar(format!("o{i}"), Ty::fixed(20, 0)))
+            .collect();
         for i in 0..4 {
             b.assign(outs[i], Expr::mul(Expr::var(xs[i]), Expr::var(xs[i])));
         }
@@ -355,7 +382,10 @@ mod tests {
         let dfg = build_dfg(&f, &f.body);
         let lib = TechLibrary::asic_100mhz();
         let err = schedule_dfg(&dfg, &Directives::new(5.0), &lib, &is_reg).unwrap_err();
-        assert!(matches!(err, SynthesisError::InfeasibleClock { .. }), "{err}");
+        assert!(
+            matches!(err, SynthesisError::InfeasibleClock { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -410,9 +440,12 @@ mod tests {
         let x = b.param_scalar("x", Ty::fixed(10, 0));
         let acc = b.param_scalar("acc", Ty::fixed(20, 4));
         let m = b.param_scalar("m", Ty::int(8));
-        b.if_then(Expr::cmp(CmpOp::Lt, Expr::var(m), Expr::int_const(8)), |b| {
-            b.assign(acc, Expr::add(Expr::var(acc), Expr::var(x)));
-        });
+        b.if_then(
+            Expr::cmp(CmpOp::Lt, Expr::var(m), Expr::int_const(8)),
+            |b| {
+                b.assign(acc, Expr::add(Expr::var(acc), Expr::var(x)));
+            },
+        );
         let f = b.build();
         let dfg = build_dfg(&f, &f.body);
         let lib = TechLibrary::asic_100mhz();

@@ -102,7 +102,9 @@ pub fn synthesize(
     let labels = func.loop_labels();
     for label in directives.loops.keys() {
         if !labels.contains(label) {
-            return Err(SynthesisError::UnknownLoop { label: label.clone() });
+            return Err(SynthesisError::UnknownLoop {
+                label: label.clone(),
+            });
         }
     }
     let var_names: Vec<&str> = func.vars.iter().map(|v| v.name.as_str()).collect();
@@ -126,8 +128,10 @@ pub fn synthesize(
     let d2 = directives.clone();
     let mem_ports = move |v: hls_ir::VarId| -> Option<(u32, u32)> {
         let name = &lowered_func.var(v).name;
-        if let crate::directives::ArrayMapping::Memory { read_ports, write_ports } =
-            d2.array_mapping(name)
+        if let crate::directives::ArrayMapping::Memory {
+            read_ports,
+            write_ports,
+        } = d2.array_mapping(name)
         {
             return Some((read_ports, write_ports));
         }
@@ -140,7 +144,13 @@ pub fn synthesize(
     let mut schedules = Vec::new();
     for seg in &lowered.segments {
         let sched = schedule_dfg(seg.dfg(), directives, lib, &mem_ports)?;
-        if let Segment::Loop { label, pipeline_ii: Some(ii), dfg, .. } = seg {
+        if let Segment::Loop {
+            label,
+            pipeline_ii: Some(ii),
+            dfg,
+            ..
+        } = seg
+        {
             let min_ii = recurrence_min_ii(dfg, &sched);
             if *ii < min_ii {
                 return Err(SynthesisError::InfeasibleInitiationInterval {
@@ -162,7 +172,10 @@ pub fn synthesize(
         .map(|(s, sc)| segment_cycles(s, sc))
         .collect();
     let latency_cycles: u64 = segments.iter().map(|s| s.cycles).sum();
-    let critical = schedules.iter().map(Schedule::critical_path_ns).fold(0.0, f64::max);
+    let critical = schedules
+        .iter()
+        .map(Schedule::critical_path_ns)
+        .fold(0.0, f64::max);
     let metrics = DesignMetrics {
         latency_cycles,
         latency_ns: latency_cycles as f64 * directives.clock_period_ns,
@@ -222,10 +235,13 @@ mod tests {
     #[test]
     fn unknown_array_directive_rejected() {
         let f = sum_loop();
-        let d = Directives::new(10.0)
-            .map_array("ghost", crate::directives::ArrayMapping::Registers);
+        let d =
+            Directives::new(10.0).map_array("ghost", crate::directives::ArrayMapping::Registers);
         let err = synthesize(&f, &d, &TechLibrary::asic_100mhz()).unwrap_err();
-        assert!(matches!(err, SynthesisError::UnknownVariable { .. }), "{err}");
+        assert!(
+            matches!(err, SynthesisError::UnknownVariable { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -312,7 +328,11 @@ mod tests {
         let f = b.build();
         let d = Directives::new(10.0).pipeline("l", 1);
         match synthesize(&f, &d, &TechLibrary::asic_100mhz()) {
-            Err(SynthesisError::InfeasibleInitiationInterval { label, requested, minimum }) => {
+            Err(SynthesisError::InfeasibleInitiationInterval {
+                label,
+                requested,
+                minimum,
+            }) => {
                 assert_eq!(label, "l");
                 assert_eq!(requested, 1);
                 assert!(minimum > 1, "minimum {minimum}");

@@ -16,8 +16,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use hls_ir::{CmpOp, Expr, Function, Stmt, Ty, Var, VarId, VarKind};
 use hls_ir::Loop;
+use hls_ir::{CmpOp, Expr, Function, Stmt, Ty, Var, VarId, VarKind};
 
 use crate::directives::{Directives, MergePolicy, Unroll};
 
@@ -176,7 +176,10 @@ fn unroll_loop(mut l: Loop, directives: &Directives, vars: &mut Vec<Var>) -> Vec
         // Full unroll: straight-line copies with constant counters.
         let mut out = Vec::new();
         for k in l.iteration_values() {
-            out.push(Stmt::Assign { var: l.var, value: Expr::int_const(k) });
+            out.push(Stmt::Assign {
+                var: l.var,
+                value: Expr::int_const(k),
+            });
             out.extend(l.body.iter().cloned());
         }
         return out;
@@ -209,17 +212,27 @@ fn unroll_loop(mut l: Loop, directives: &Directives, vars: &mut Vec<Var>) -> Vec
             kind: VarKind::Local,
             len: None,
         });
-        init.push(Stmt::Assign { var: k_ind, value: Expr::int_const(start_j) });
+        init.push(Stmt::Assign {
+            var: k_ind,
+            value: Expr::int_const(start_j),
+        });
         // Body copy with the counter substituted by the induction register.
-        let copy: Vec<Stmt> =
-            l.body.iter().map(|st| substitute_stmt(st, l.var, k_ind)).collect();
+        let copy: Vec<Stmt> = l
+            .body
+            .iter()
+            .map(|st| substitute_stmt(st, l.var, k_ind))
+            .collect();
         // Copy j runs in the first q_j iterations.
         let q_j = (trip - 1 - j) / factor + 1;
         if q_j == new_trip {
             body.extend(copy);
         } else {
             let cond = Expr::cmp(CmpOp::Lt, Expr::var(m), Expr::int_const(q_j as i64));
-            body.push(Stmt::If { cond, then_: copy, else_: Vec::new() });
+            body.push(Stmt::If {
+                cond,
+                then_: copy,
+                else_: Vec::new(),
+            });
         }
         // Unconditional induction update (the overshoot is covered by the
         // register width and never observed).
@@ -249,19 +262,33 @@ fn substitute_stmt(s: &Stmt, from: VarId, to: VarId) -> Stmt {
             var: if *var == from { to } else { *var },
             value: value.substitute(&map),
         },
-        Stmt::Store { array, index, value } => Stmt::Store {
+        Stmt::Store {
+            array,
+            index,
+            value,
+        } => Stmt::Store {
             array: *array,
             index: index.substitute(&map),
             value: value.substitute(&map),
         },
         Stmt::For(l) => Stmt::For(Loop {
-            body: l.body.iter().map(|st| substitute_stmt(st, from, to)).collect(),
+            body: l
+                .body
+                .iter()
+                .map(|st| substitute_stmt(st, from, to))
+                .collect(),
             ..l.clone()
         }),
         Stmt::If { cond, then_, else_ } => Stmt::If {
             cond: cond.substitute(&map),
-            then_: then_.iter().map(|st| substitute_stmt(st, from, to)).collect(),
-            else_: else_.iter().map(|st| substitute_stmt(st, from, to)).collect(),
+            then_: then_
+                .iter()
+                .map(|st| substitute_stmt(st, from, to))
+                .collect(),
+            else_: else_
+                .iter()
+                .map(|st| substitute_stmt(st, from, to))
+                .collect(),
         },
     }
 }
@@ -340,9 +367,9 @@ fn partition_run(loops: &[Loop], directives: &Directives, vars: &[Var]) -> Vec<V
         MergePolicy::ExactOnly => {
             let mut groups: Vec<Vec<Loop>> = Vec::new();
             for l in loops {
-                let fits = groups.last().is_some_and(|g| {
-                    g.iter().all(|prev| merge_hazards(prev, l, vars).is_empty())
-                });
+                let fits = groups
+                    .last()
+                    .is_some_and(|g| g.iter().all(|prev| merge_hazards(prev, l, vars).is_empty()));
                 if fits {
                     groups.last_mut().expect("nonempty").push(l.clone());
                 } else {
@@ -371,15 +398,26 @@ fn merge_group(group: Vec<Loop>, vars: &mut Vec<Var>) -> (Vec<Stmt>, Loop, Merge
         // start value before the loop and stepped (under the guard) at the
         // end of its section, so no multiplier sits on the index path.
         vars[l.var.index()].kind = VarKind::Local;
-        init.push(Stmt::Assign { var: l.var, value: Expr::int_const(l.start) });
+        init.push(Stmt::Assign {
+            var: l.var,
+            value: Expr::int_const(l.start),
+        });
         let mut section: Vec<Stmt> = l.body.clone();
         section.push(Stmt::Assign {
             var: l.var,
             value: Expr::add(Expr::var(l.var), Expr::int_const(l.step)),
         });
         if l.trip_count() < trip {
-            let cond = Expr::cmp(CmpOp::Lt, Expr::var(m), Expr::int_const(l.trip_count() as i64));
-            body.push(Stmt::If { cond, then_: section, else_: Vec::new() });
+            let cond = Expr::cmp(
+                CmpOp::Lt,
+                Expr::var(m),
+                Expr::int_const(l.trip_count() as i64),
+            );
+            body.push(Stmt::If {
+                cond,
+                then_: section,
+                else_: Vec::new(),
+            });
         } else {
             body.extend(section);
         }
@@ -416,10 +454,11 @@ pub(crate) fn hoist_between_loops(func: &mut Function) {
             }
             let stmt_reads = body[i].reads();
             let stmt_writes = body[i].writes();
-            let Stmt::For(l) = &body[i - 1] else { unreachable!() };
+            let Stmt::For(l) = &body[i - 1] else {
+                unreachable!()
+            };
             let loop_reads: Vec<VarId> = l.body.iter().flat_map(|s| s.reads()).collect();
-            let mut loop_writes: Vec<VarId> =
-                l.body.iter().flat_map(|s| s.writes()).collect();
+            let mut loop_writes: Vec<VarId> = l.body.iter().flat_map(|s| s.writes()).collect();
             loop_writes.push(l.var);
             let conflict = stmt_reads.iter().any(|v| loop_writes.contains(v))
                 || stmt_writes
@@ -525,7 +564,12 @@ fn collect_accesses(
         match s {
             Stmt::Assign { var, value } => {
                 expr_accesses(value, env, slot, out);
-                out.push(Access { var: *var, index: Some(0), write: true, iter: slot });
+                out.push(Access {
+                    var: *var,
+                    index: Some(0),
+                    write: true,
+                    iter: slot,
+                });
                 match eval_int(value, env) {
                     Some(v) => {
                         env.insert(*var, v);
@@ -535,10 +579,19 @@ fn collect_accesses(
                     }
                 }
             }
-            Stmt::Store { array, index, value } => {
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
                 expr_accesses(index, env, slot, out);
                 expr_accesses(value, env, slot, out);
-                out.push(Access { var: *array, index: eval_int(index, env), write: true, iter: slot });
+                out.push(Access {
+                    var: *array,
+                    index: eval_int(index, env),
+                    write: true,
+                    iter: slot,
+                });
             }
             Stmt::For(inner) => {
                 // Nested loop: execute abstractly with its own counter.
@@ -574,10 +627,20 @@ fn collect_accesses(
 
 fn expr_accesses(e: &Expr, env: &BTreeMap<VarId, i64>, slot: usize, out: &mut Vec<Access>) {
     match e {
-        Expr::Var(v) => out.push(Access { var: *v, index: Some(0), write: false, iter: slot }),
+        Expr::Var(v) => out.push(Access {
+            var: *v,
+            index: Some(0),
+            write: false,
+            iter: slot,
+        }),
         Expr::Load { array, index } => {
             expr_accesses(index, env, slot, out);
-            out.push(Access { var: *array, index: eval_int(index, env), write: false, iter: slot });
+            out.push(Access {
+                var: *array,
+                index: eval_int(index, env),
+                write: false,
+                iter: slot,
+            });
         }
         Expr::Const(_) | Expr::ConstBool(_) => {}
         Expr::Unary { arg, .. } | Expr::Cast { arg, .. } => expr_accesses(arg, env, slot, out),
@@ -647,7 +710,11 @@ mod tests {
         let o = b.param_array("o", Ty::int(10), n as usize);
         let acc = b.param_scalar("acc", Ty::int(16));
         b.for_loop("scale", 0, CmpOp::Lt, n, 1, |b, k| {
-            b.store(o, Expr::var(k), Expr::mul(Expr::load(a, Expr::var(k)), Expr::int_const(2)));
+            b.store(
+                o,
+                Expr::var(k),
+                Expr::mul(Expr::load(a, Expr::var(k)), Expr::int_const(2)),
+            );
         });
         b.for_loop("sum", 0, CmpOp::Lt, n, 1, |b, k| {
             b.assign(acc, Expr::add(Expr::var(acc), Expr::load(o, Expr::var(k))));
@@ -664,7 +731,11 @@ mod tests {
             b.assign(acc, Expr::add(Expr::var(acc), Expr::load(x, Expr::var(k))));
         });
         b.for_loop("shift", 6, CmpOp::Ge, 0, -1, |b, k| {
-            b.store(x, Expr::add(Expr::var(k), Expr::int_const(1)), Expr::load(x, Expr::var(k)));
+            b.store(
+                x,
+                Expr::add(Expr::var(k), Expr::int_const(1)),
+                Expr::load(x, Expr::var(k)),
+            );
         });
         b.build()
     }
@@ -684,7 +755,9 @@ mod tests {
             };
             all.push((p, slot));
         }
-        Interpreter::new(func.clone()).call(&all).expect("interpreter runs")
+        Interpreter::new(func.clone())
+            .call(&all)
+            .expect("interpreter runs")
     }
 
     fn int_arr(vals: &[i64], width: u32) -> Slot {
@@ -712,7 +785,10 @@ mod tests {
             ref_out[&acc].scalar().unwrap().to_i64(),
             merged_out[&acc].scalar().unwrap().to_i64()
         );
-        assert_eq!(ref_out[&acc].scalar().unwrap().to_i64(), 2 * (1 - 2 + 3 - 4 + 5 - 6));
+        assert_eq!(
+            ref_out[&acc].scalar().unwrap().to_i64(),
+            2 * (1 - 2 + 3 - 4 + 5 - 6)
+        );
     }
 
     #[test]
@@ -722,7 +798,8 @@ mod tests {
         let shift = f.find_loop("shift").unwrap().clone();
         let hz = merge_hazards(&read, &shift, &f.vars);
         assert!(
-            hz.iter().any(|h| h.var == "x" && h.kind == HazardKind::WriteBeforeRead),
+            hz.iter()
+                .any(|h| h.var == "x" && h.kind == HazardKind::WriteBeforeRead),
             "{hz:?}"
         );
     }
@@ -756,7 +833,11 @@ mod tests {
             b.store(o, Expr::var(k), Expr::load(a, Expr::var(k)));
         });
         b.for_loop("long", 0, CmpOp::Lt, 8, 1, |b, k| {
-            b.store(o, Expr::var(k), Expr::add(Expr::load(o, Expr::var(k)), Expr::int_const(1)));
+            b.store(
+                o,
+                Expr::var(k),
+                Expr::add(Expr::load(o, Expr::var(k)), Expr::int_const(1)),
+            );
         });
         let f = b.build();
         let d = Directives::new(10.0);
@@ -769,7 +850,12 @@ mod tests {
         let a_id = f.params[0];
         let o_id = f.params[1];
         let out = run(&t.func, &[(a_id, int_arr(&[5, 6, 7, 8], 8))]);
-        let vals: Vec<i64> = out[&o_id].array().unwrap().iter().map(|v| v.to_i64()).collect();
+        let vals: Vec<i64> = out[&o_id]
+            .array()
+            .unwrap()
+            .iter()
+            .map(|v| v.to_i64())
+            .collect();
         assert_eq!(vals, vec![6, 7, 8, 9, 1, 1, 1, 1]);
     }
 
@@ -805,7 +891,9 @@ mod tests {
     #[test]
     fn full_unroll_eliminates_loop() {
         let f = exact_pair(4);
-        let d = Directives::new(10.0).no_merging().unroll("scale", Unroll::Full);
+        let d = Directives::new(10.0)
+            .no_merging()
+            .unroll("scale", Unroll::Full);
         let t = apply_loop_transforms(&f, &d);
         assert!(t.func.find_loop("scale").is_none());
         assert!(t.func.find_loop("sum").is_some());
@@ -826,10 +914,16 @@ mod tests {
         let mut b = FunctionBuilder::new("s");
         let a = b.param_array("a", Ty::int(8), 16);
         b.for_loop("shift", 14, CmpOp::Ge, 0, -1, |b, k| {
-            b.store(a, Expr::add(Expr::var(k), Expr::int_const(1)), Expr::load(a, Expr::var(k)));
+            b.store(
+                a,
+                Expr::add(Expr::var(k), Expr::int_const(1)),
+                Expr::load(a, Expr::var(k)),
+            );
         });
         let f = b.build();
-        let d = Directives::new(10.0).no_merging().unroll("shift", Unroll::Factor(4));
+        let d = Directives::new(10.0)
+            .no_merging()
+            .unroll("shift", Unroll::Factor(4));
         let t = apply_loop_transforms(&f, &d);
         assert_eq!(t.func.find_loop("shift").unwrap().trip_count(), 4); // ceil(15/4)
 
@@ -868,8 +962,14 @@ mod tests {
         let av: Vec<i64> = (0..8).collect();
         let cv: Vec<i64> = (0..16).map(|i| i * 2).collect();
         let out = run(&t.func, &[(a_id, int_arr(&av, 8)), (c_id, int_arr(&cv, 8))]);
-        assert_eq!(out[&s1_id].scalar().unwrap().to_i64(), av.iter().sum::<i64>());
-        assert_eq!(out[&s2_id].scalar().unwrap().to_i64(), cv.iter().sum::<i64>());
+        assert_eq!(
+            out[&s1_id].scalar().unwrap().to_i64(),
+            av.iter().sum::<i64>()
+        );
+        assert_eq!(
+            out[&s2_id].scalar().unwrap().to_i64(),
+            cv.iter().sum::<i64>()
+        );
     }
 
     #[test]
@@ -877,6 +977,10 @@ mod tests {
         let f = exact_pair(15);
         let d = Directives::new(10.0).unroll("scale", Unroll::Factor(4));
         let t = apply_loop_transforms(&f, &d);
-        assert!(hls_ir::validate(&t.func).is_empty(), "{:?}", hls_ir::validate(&t.func));
+        assert!(
+            hls_ir::validate(&t.func).is_empty(),
+            "{:?}",
+            hls_ir::validate(&t.func)
+        );
     }
 }

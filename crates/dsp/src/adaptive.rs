@@ -56,7 +56,11 @@ impl AdaptiveFir {
     ///
     /// Panics if `taps` is zero.
     pub fn new(taps: usize, mu: f64, rule: AdaptationRule) -> Self {
-        AdaptiveFir { filter: FirFilter::new(vec![Complex::zero(); taps]), mu, rule }
+        AdaptiveFir {
+            filter: FirFilter::new(vec![Complex::zero(); taps]),
+            mu,
+            rule,
+        }
     }
 
     /// Creates an adaptive filter with the given initial coefficients.
@@ -65,7 +69,11 @@ impl AdaptiveFir {
     ///
     /// Panics if `initial` is empty.
     pub fn with_taps(initial: Vec<Complex>, mu: f64, rule: AdaptationRule) -> Self {
-        AdaptiveFir { filter: FirFilter::new(initial), mu, rule }
+        AdaptiveFir {
+            filter: FirFilter::new(initial),
+            mu,
+            rule,
+        }
     }
 
     /// The underlying filter.
@@ -105,9 +113,7 @@ impl AdaptiveFir {
                 AdaptationRule::Lms => (e * x.conj()).scale(mu),
                 AdaptationRule::SignLms => (e * x.sign_conj()).scale(mu),
                 AdaptationRule::SignSignLms => (e.sign_conj().conj() * x.sign_conj()).scale(mu),
-                AdaptationRule::Nlms { epsilon } => {
-                    (e * x.conj()).scale(mu / (epsilon + power))
-                }
+                AdaptationRule::Nlms { epsilon } => (e * x.conj()).scale(mu / (epsilon + power)),
             };
             *c = *c + step;
         }
@@ -128,7 +134,11 @@ mod tests {
 
     /// Identify a 3-tap channel with each rule.
     fn identify(rule: AdaptationRule, mu: f64, iters: usize) -> f64 {
-        let target = [Complex::new(0.9, 0.1), Complex::new(0.3, -0.2), Complex::new(-0.1, 0.05)];
+        let target = [
+            Complex::new(0.9, 0.1),
+            Complex::new(0.3, -0.2),
+            Complex::new(-0.1, 0.05),
+        ];
         let mut channel = FirFilter::new(target.to_vec());
         let mut af = AdaptiveFir::new(3, mu, rule);
         let mut rng = StdRng::seed_from_u64(7);
@@ -169,11 +179,8 @@ mod tests {
 
     #[test]
     fn zero_error_is_a_fixed_point() {
-        let mut af = AdaptiveFir::with_taps(
-            vec![Complex::new(0.5, 0.25)],
-            0.1,
-            AdaptationRule::SignLms,
-        );
+        let mut af =
+            AdaptiveFir::with_taps(vec![Complex::new(0.5, 0.25)], 0.1, AdaptationRule::SignLms);
         af.push(Complex::new(1.0, -1.0));
         let before = af.filter().taps().to_vec();
         af.adapt(Complex::zero());

@@ -37,7 +37,11 @@ impl Channel {
     ///
     /// Panics if `taps` is empty.
     pub fn new(taps: Vec<Complex>, noise_std: f64, seed: u64) -> Self {
-        Channel { fir: FirFilter::new(taps), noise_std, rng: StdRng::seed_from_u64(seed) }
+        Channel {
+            fir: FirFilter::new(taps),
+            noise_std,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The identity channel with no noise.
@@ -109,7 +113,10 @@ impl Channel {
         if self.noise_std == 0.0 {
             y
         } else {
-            y + Complex::new(self.gaussian() * self.noise_std, self.gaussian() * self.noise_std)
+            y + Complex::new(
+                self.gaussian() * self.noise_std,
+                self.gaussian() * self.noise_std,
+            )
         }
     }
 

@@ -39,7 +39,10 @@ impl Complex {
 
     /// The complex conjugate.
     pub fn conj(&self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude.
@@ -56,12 +59,18 @@ impl Complex {
     /// quantity the sign-LMS update multiplies by (`x.sign_conj()` in the
     /// paper's code).
     pub fn sign_conj(&self) -> Self {
-        Complex { re: sign(self.re), im: -sign(self.im) }
+        Complex {
+            re: sign(self.re),
+            im: -sign(self.im),
+        }
     }
 
     /// Scales by a real factor.
     pub fn scale(&self, s: f64) -> Self {
-        Complex { re: self.re * s, im: self.im * s }
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
@@ -78,14 +87,20 @@ fn sign(v: f64) -> f64 {
 impl Add for Complex {
     type Output = Complex;
     fn add(self, rhs: Complex) -> Complex {
-        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
 impl Sub for Complex {
     type Output = Complex;
     fn sub(self, rhs: Complex) -> Complex {
-        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -113,7 +128,10 @@ impl Div for Complex {
 impl Neg for Complex {
     type Output = Complex;
     fn neg(self) -> Complex {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -153,7 +171,10 @@ pub struct CFixed {
 impl CFixed {
     /// Zero in the given format.
     pub fn zero(format: Format) -> Self {
-        CFixed { re: Fixed::zero(format), im: Fixed::zero(format) }
+        CFixed {
+            re: Fixed::zero(format),
+            im: Fixed::zero(format),
+        }
     }
 
     /// Builds from components (they may carry different formats mid-
@@ -164,7 +185,10 @@ impl CFixed {
 
     /// Quantizes a float pair into `format` with default modes.
     pub fn from_f64(re: f64, im: f64, format: Format) -> Self {
-        CFixed { re: Fixed::from_f64(re, format), im: Fixed::from_f64(im, format) }
+        CFixed {
+            re: Fixed::from_f64(re, format),
+            im: Fixed::from_f64(im, format),
+        }
     }
 
     /// Quantizes a float [`Complex`] into `format` with default modes.
@@ -184,17 +208,26 @@ impl CFixed {
 
     /// Converts to the float reference type.
     pub fn to_complex(&self) -> Complex {
-        Complex { re: self.re.to_f64(), im: self.im.to_f64() }
+        Complex {
+            re: self.re.to_f64(),
+            im: self.im.to_f64(),
+        }
     }
 
     /// Exact complex addition.
     pub fn add(&self, other: &CFixed) -> CFixed {
-        CFixed { re: self.re.exact_add(&other.re), im: self.im.exact_add(&other.im) }
+        CFixed {
+            re: self.re.exact_add(&other.re),
+            im: self.im.exact_add(&other.im),
+        }
     }
 
     /// Exact complex subtraction.
     pub fn sub(&self, other: &CFixed) -> CFixed {
-        CFixed { re: self.re.exact_sub(&other.re), im: self.im.exact_sub(&other.im) }
+        CFixed {
+            re: self.re.exact_sub(&other.re),
+            im: self.im.exact_sub(&other.im),
+        }
     }
 
     /// Exact complex multiplication (4 real multiplies, 2 adds).
@@ -203,17 +236,26 @@ impl CFixed {
         let ii = self.im.exact_mul(&other.im);
         let ri = self.re.exact_mul(&other.im);
         let ir = self.im.exact_mul(&other.re);
-        CFixed { re: rr.exact_sub(&ii), im: ri.exact_add(&ir) }
+        CFixed {
+            re: rr.exact_sub(&ii),
+            im: ri.exact_add(&ir),
+        }
     }
 
     /// Exact multiplication by a real fixed-point scalar.
     pub fn scale(&self, s: &Fixed) -> CFixed {
-        CFixed { re: self.re.exact_mul(s), im: self.im.exact_mul(s) }
+        CFixed {
+            re: self.re.exact_mul(s),
+            im: self.im.exact_mul(s),
+        }
     }
 
     /// Exact negation.
     pub fn negate(&self) -> CFixed {
-        CFixed { re: self.re.negate(), im: self.im.negate() }
+        CFixed {
+            re: self.re.negate(),
+            im: self.im.negate(),
+        }
     }
 
     /// Componentwise sign of the conjugate in {-1, 0, 1} as `fixed<2,2>`
@@ -229,17 +271,26 @@ impl CFixed {
     /// Value shift right by `n` within each component's format (SystemC
     /// `>>`, truncating).
     pub fn shr(&self, n: u32) -> CFixed {
-        CFixed { re: self.re.shr(n), im: self.im.shr(n) }
+        CFixed {
+            re: self.re.shr(n),
+            im: self.im.shr(n),
+        }
     }
 
     /// Quantizes both components into `format` with default modes.
     pub fn cast(&self, format: Format) -> CFixed {
-        CFixed { re: self.re.cast(format), im: self.im.cast(format) }
+        CFixed {
+            re: self.re.cast(format),
+            im: self.im.cast(format),
+        }
     }
 
     /// Quantizes both components with explicit modes.
     pub fn cast_with(&self, format: Format, q: Quantization, o: Overflow) -> CFixed {
-        CFixed { re: self.re.cast_with(format, q, o), im: self.im.cast_with(format, q, o) }
+        CFixed {
+            re: self.re.cast_with(format, q, o),
+            im: self.im.cast_with(format, q, o),
+        }
     }
 }
 
@@ -298,7 +349,7 @@ mod tests {
     fn fixed_cast_quantizes() {
         let wide = Format::signed(20, 4);
         let narrow = Format::signed(6, 2);
-        let a = CFixed::from_f64(1.2345, -0.7071, wide);
+        let a = CFixed::from_f64(1.2345, -0.75, wide);
         let c = a.cast(narrow);
         // 4 fractional bits after cast.
         assert_eq!(c.re().to_f64(), (1.2345f64 * 16.0).floor() / 16.0);

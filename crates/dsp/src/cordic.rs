@@ -37,11 +37,17 @@ impl Cordic {
     /// Panics if `iterations` is 0 or exceeds 60.
     pub fn new(iterations: u32) -> Self {
         assert!((1..=60).contains(&iterations), "iterations must be 1..=60");
-        let angles: Vec<f64> = (0..iterations).map(|i| (2f64.powi(-(i as i32))).atan()).collect();
+        let angles: Vec<f64> = (0..iterations)
+            .map(|i| (2f64.powi(-(i as i32))).atan())
+            .collect();
         let gain = (0..iterations)
             .map(|i| (1.0 + 4f64.powi(-(i as i32))).sqrt())
             .product();
-        Cordic { iterations, angles, gain }
+        Cordic {
+            iterations,
+            angles,
+            gain,
+        }
     }
 
     /// The number of micro-rotations.
@@ -109,7 +115,10 @@ mod tests {
             let v = Complex::new(0.8, -0.3);
             let got = c.rotate(v, angle);
             let expect = v * Complex::new(angle.cos(), angle.sin());
-            assert!((got - expect).abs() < 1e-5, "angle {angle}: {got} vs {expect}");
+            assert!(
+                (got - expect).abs() < 1e-5,
+                "angle {angle}: {got} vs {expect}"
+            );
         }
     }
 
@@ -122,7 +131,13 @@ mod tests {
     #[test]
     fn vectoring_recovers_polar_form() {
         let c = Cordic::new(24);
-        for (re, im) in [(1.0, 0.0), (0.6, 0.8), (0.5, -0.5), (-0.7, 0.2), (-0.3, -0.9)] {
+        for (re, im) in [
+            (1.0, 0.0),
+            (0.6, 0.8),
+            (0.5, -0.5),
+            (-0.7, 0.2),
+            (-0.3, -0.9),
+        ] {
             let v = Complex::new(re, im);
             let (mag, phase) = c.to_polar(v);
             assert!((mag - v.abs()).abs() < 1e-5, "magnitude of {v}");

@@ -101,7 +101,12 @@ impl Equalizer {
     /// samples (the paper's `x_in[0]`), `x1` the earlier. When `training`
     /// carries the known transmitted point, the error (and the DFE feedback
     /// value) use it instead of the slicer decision.
-    pub fn process(&mut self, x0: Complex, x1: Complex, training: Option<Complex>) -> EqualizerOutput {
+    pub fn process(
+        &mut self,
+        x0: Complex,
+        x1: Complex,
+        training: Option<Complex>,
+    ) -> EqualizerOutput {
         // x[0] = x_in[0]; x[1] = x_in[1];
         self.x[0] = x0;
         self.x[1] = x1;
@@ -140,7 +145,12 @@ impl Equalizer {
         self.sv.rotate_right(1);
         self.sv[0] = self.sv[1]; // keep SV[0] = latest decision, as the
                                  // paper's shift leaves SV[0] untouched
-        EqualizerOutput { y, decision, error, symbol }
+        EqualizerOutput {
+            y,
+            decision,
+            error,
+            symbol,
+        }
     }
 }
 

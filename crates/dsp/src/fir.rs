@@ -33,7 +33,10 @@ impl FirFilter {
     pub fn new(taps: Vec<Complex>) -> Self {
         assert!(!taps.is_empty(), "FIR filter needs at least one tap");
         let n = taps.len();
-        FirFilter { taps, delay: vec![Complex::zero(); n] }
+        FirFilter {
+            taps,
+            delay: vec![Complex::zero(); n],
+        }
     }
 
     /// The coefficients.
@@ -113,7 +116,11 @@ mod tests {
     #[test]
     fn linearity() {
         let taps = vec![Complex::new(0.5, 0.0), Complex::new(0.25, -0.25)];
-        let xs = [Complex::new(1.0, 2.0), Complex::new(-0.5, 0.5), Complex::new(2.0, -1.0)];
+        let xs = [
+            Complex::new(1.0, 2.0),
+            Complex::new(-0.5, 0.5),
+            Complex::new(2.0, -1.0),
+        ];
         let mut f1 = FirFilter::new(taps.clone());
         let mut f2 = FirFilter::new(taps.clone());
         let mut fsum = FirFilter::new(taps);

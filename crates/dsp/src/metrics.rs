@@ -32,7 +32,12 @@ impl MseTrace {
     /// Panics if `block` is zero.
     pub fn new(block: usize) -> Self {
         assert!(block > 0, "block size must be positive");
-        MseTrace { block, acc: 0.0, count: 0, blocks: Vec::new() }
+        MseTrace {
+            block,
+            acc: 0.0,
+            count: 0,
+            blocks: Vec::new(),
+        }
     }
 
     /// Records one error sample.
@@ -53,7 +58,10 @@ impl MseTrace {
 
     /// The block averages in dB (`10 log10`).
     pub fn blocks_db(&self) -> Vec<f64> {
-        self.blocks.iter().map(|m| 10.0 * m.max(1e-300).log10()).collect()
+        self.blocks
+            .iter()
+            .map(|m| 10.0 * m.max(1e-300).log10())
+            .collect()
     }
 
     /// Mean of the last `n` blocks (steady-state MSE).

@@ -29,7 +29,10 @@ use crate::fir::FirFilter;
 /// ```
 pub fn rrc_taps(rolloff: f64, samples_per_symbol: u32, span: u32) -> Vec<f64> {
     assert!(rolloff > 0.0 && rolloff <= 1.0, "rolloff must be in (0, 1]");
-    assert!(samples_per_symbol >= 1, "need at least one sample per symbol");
+    assert!(
+        samples_per_symbol >= 1,
+        "need at least one sample per symbol"
+    );
     let sps = samples_per_symbol as f64;
     let n = (2 * span * samples_per_symbol + 1) as i64;
     let mid = n / 2;

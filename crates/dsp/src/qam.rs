@@ -48,7 +48,11 @@ pub struct QamOrderError {
 
 impl std::fmt::Display for QamOrderError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "unsupported QAM order {} (use 4, 16, 64 or 256)", self.order)
+        write!(
+            f,
+            "unsupported QAM order {} (use 4, 16, 64 or 256)",
+            self.order
+        )
     }
 }
 
@@ -111,12 +115,8 @@ impl QamConstellation {
 
     /// Average symbol energy of the constellation.
     pub fn average_energy(&self) -> f64 {
-        let per_axis: f64 = self
-            .level_values()
-            .iter()
-            .map(|v| v * v)
-            .sum::<f64>()
-            / self.levels as f64;
+        let per_axis: f64 =
+            self.level_values().iter().map(|v| v * v).sum::<f64>() / self.levels as f64;
         2.0 * per_axis
     }
 
@@ -249,7 +249,9 @@ mod tests {
 
     #[test]
     fn gray_neighbours_differ_in_one_bit() {
-        let q = QamConstellation::new(64).unwrap().with_mapping(SymbolMapping::Gray);
+        let q = QamConstellation::new(64)
+            .unwrap()
+            .with_mapping(SymbolMapping::Gray);
         for j in 0..7u32 {
             let a = q.decode_axis(j);
             let b = q.decode_axis(j + 1);

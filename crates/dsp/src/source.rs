@@ -29,17 +29,29 @@ pub struct Prbs {
 impl Prbs {
     /// PRBS-7: x⁷ + x⁶ + 1.
     pub fn prbs7() -> Self {
-        Prbs { state: 0x7f, len: 7, tap: 6 }
+        Prbs {
+            state: 0x7f,
+            len: 7,
+            tap: 6,
+        }
     }
 
     /// PRBS-15: x¹⁵ + x¹⁴ + 1.
     pub fn prbs15() -> Self {
-        Prbs { state: 0x7fff, len: 15, tap: 14 }
+        Prbs {
+            state: 0x7fff,
+            len: 15,
+            tap: 14,
+        }
     }
 
     /// PRBS-23: x²³ + x¹⁸ + 1.
     pub fn prbs23() -> Self {
-        Prbs { state: 0x7fffff, len: 23, tap: 18 }
+        Prbs {
+            state: 0x7fffff,
+            len: 23,
+            tap: 18,
+        }
     }
 
     /// Custom seed (must be nonzero in the low `len` bits).
@@ -86,7 +98,10 @@ pub struct SymbolSource {
 impl SymbolSource {
     /// Creates a source producing symbols in `[0, order)`.
     pub fn new(order: u32, seed: u64) -> Self {
-        SymbolSource { rng: StdRng::seed_from_u64(seed), order }
+        SymbolSource {
+            rng: StdRng::seed_from_u64(seed),
+            order,
+        }
     }
 
     /// The next symbol.

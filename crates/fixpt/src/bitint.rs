@@ -58,9 +58,16 @@ impl BitInt {
     ///
     /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
     pub fn with_signedness(width: u32, signedness: Signedness, value: i128) -> Self {
-        assert!(width >= 1 && width <= MAX_WIDTH, "BitInt width {width} out of range");
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "BitInt width {width} out of range"
+        );
         let value = overflow_raw(value, width, signedness.is_signed(), Overflow::Wrap);
-        BitInt { value, width, signedness }
+        BitInt {
+            value,
+            width,
+            signedness,
+        }
     }
 
     /// The contained value.
@@ -86,8 +93,17 @@ impl BitInt {
 
     /// Saturating variant of [`assign`](BitInt::assign).
     pub fn assign_saturating(&self, value: i128) -> Self {
-        let v = overflow_raw(value, self.width, self.signedness.is_signed(), Overflow::Sat);
-        BitInt { value: v, width: self.width, signedness: self.signedness }
+        let v = overflow_raw(
+            value,
+            self.width,
+            self.signedness.is_signed(),
+            Overflow::Sat,
+        );
+        BitInt {
+            value: v,
+            width: self.width,
+            signedness: self.signedness,
+        }
     }
 
     /// Full-precision sum wrapped back into `self`'s width.
@@ -111,7 +127,11 @@ impl BitInt {
     ///
     /// Panics if `i >= width`.
     pub fn bit(&self, i: u32) -> bool {
-        assert!(i < self.width, "bit index {i} out of range for {}-bit integer", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for {}-bit integer",
+            self.width
+        );
         let unsigned = overflow_raw(self.value, self.width, false, Overflow::Wrap);
         (unsigned >> i) & 1 == 1
     }
@@ -123,11 +143,18 @@ impl BitInt {
     ///
     /// Panics if `hi < lo` or `hi >= width`.
     pub fn bits(&self, hi: u32, lo: u32) -> BitInt {
-        assert!(hi >= lo && hi < self.width, "part-select [{hi}:{lo}] out of range");
+        assert!(
+            hi >= lo && hi < self.width,
+            "part-select [{hi}:{lo}] out of range"
+        );
         let unsigned = overflow_raw(self.value, self.width, false, Overflow::Wrap);
         let w = hi - lo + 1;
         let mask = (1i128 << w) - 1;
-        BitInt { value: (unsigned >> lo) & mask, width: w, signedness: Signedness::Unsigned }
+        BitInt {
+            value: (unsigned >> lo) & mask,
+            width: w,
+            signedness: Signedness::Unsigned,
+        }
     }
 
     /// Minimum width needed to represent `value` with the given signedness
@@ -201,7 +228,11 @@ impl Not for BitInt {
     type Output = BitInt;
     fn not(self) -> BitInt {
         let unsigned = overflow_raw(self.value, self.width, false, Overflow::Wrap);
-        let mask = if self.width == 128 { -1i128 } else { (1i128 << self.width) - 1 };
+        let mask = if self.width == 128 {
+            -1i128
+        } else {
+            (1i128 << self.width) - 1
+        };
         BitInt::with_signedness(self.width, self.signedness, !unsigned & mask)
     }
 }
@@ -248,7 +279,11 @@ impl Shr<u32> for BitInt {
             self.value >> n.min(127)
         } else {
             let u = overflow_raw(self.value, self.width, false, Overflow::Wrap);
-            if n >= 127 { 0 } else { u >> n }
+            if n >= 127 {
+                0
+            } else {
+                u >> n
+            }
         };
         self.assign(v)
     }
@@ -256,7 +291,7 @@ impl Shr<u32> for BitInt {
 
 impl PartialOrd for BitInt {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.value.cmp(&other.value))
+        Some(self.cmp(other))
     }
 }
 

@@ -19,7 +19,11 @@ pub struct RawOutOfRangeError {
 
 impl fmt::Display for RawOutOfRangeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "raw mantissa {} does not fit in format {}", self.raw, self.format)
+        write!(
+            f,
+            "raw mantissa {} does not fit in format {}",
+            self.raw, self.format
+        )
     }
 }
 
@@ -113,7 +117,11 @@ impl Fixed {
     /// `format` with default modes.
     pub fn from_int(i: i64, format: Format) -> Self {
         let int_fmt = Format::integer(MAX_WIDTH, Signedness::Signed);
-        Fixed { raw: i as i128, format: int_fmt }.cast(format)
+        Fixed {
+            raw: i as i128,
+            format: int_fmt,
+        }
+        .cast(format)
     }
 
     /// The raw two's-complement mantissa.
@@ -164,7 +172,11 @@ impl Fixed {
     ///
     /// Panics if `i >= width`.
     pub fn bit(&self, i: u32) -> bool {
-        assert!(i < self.format.width(), "bit index {i} out of range for {}", self.format);
+        assert!(
+            i < self.format.width(),
+            "bit index {i} out of range for {}",
+            self.format
+        );
         let unsigned = overflow_raw(self.raw, self.format.width(), false, Overflow::Wrap);
         (unsigned >> i) & 1 == 1
     }
@@ -176,7 +188,11 @@ impl Fixed {
     ///
     /// Panics if `i >= width`.
     pub fn with_bit(&self, i: u32, value: bool) -> Self {
-        assert!(i < self.format.width(), "bit index {i} out of range for {}", self.format);
+        assert!(
+            i < self.format.width(),
+            "bit index {i} out of range for {}",
+            self.format
+        );
         let w = self.format.width();
         let mut unsigned = overflow_raw(self.raw, w, false, Overflow::Wrap);
         if value {
@@ -185,7 +201,10 @@ impl Fixed {
             unsigned &= !(1i128 << i);
         }
         let raw = overflow_raw(unsigned, w, self.format.is_signed(), Overflow::Wrap);
-        Fixed { raw, format: self.format }
+        Fixed {
+            raw,
+            format: self.format,
+        }
     }
 
     /// Casts into `format` with the SystemC default modes (truncate, wrap).
@@ -200,7 +219,12 @@ impl Fixed {
         let dst_frac = format.frac_bits();
         let raw = if dst_frac >= src_frac {
             let shift = (dst_frac - src_frac) as u32;
-            assert!(shift < 64, "cast between formats {} and {} shifts too far", self.format, format);
+            assert!(
+                shift < 64,
+                "cast between formats {} and {} shifts too far",
+                self.format,
+                format
+            );
             self.raw << shift
         } else {
             quantize_raw(self.raw, (src_frac - dst_frac) as u32, q)
@@ -305,23 +329,45 @@ impl Fixed {
         if self.raw < 0 {
             self.negate()
         } else {
-            Fixed { raw: self.raw, format: self.format.neg_format() }
+            Fixed {
+                raw: self.raw,
+                format: self.format.neg_format(),
+            }
         }
     }
 
     /// SystemC `>>`: shifts the *value* right by `n` places within the same
     /// format, truncating shifted-out bits (`SC_TRN`).
     pub fn shr(&self, n: u32) -> Fixed {
-        let raw = if n >= 127 { if self.raw < 0 { -1 } else { 0 } } else { quantize_raw(self.raw, n, Quantization::Trn) };
-        Fixed { raw, format: self.format }
+        let raw = if n >= 127 {
+            if self.raw < 0 {
+                -1
+            } else {
+                0
+            }
+        } else {
+            quantize_raw(self.raw, n, Quantization::Trn)
+        };
+        Fixed {
+            raw,
+            format: self.format,
+        }
     }
 
     /// SystemC `<<`: shifts the value left by `n` places within the same
     /// format, wrapping on overflow.
     pub fn shl(&self, n: u32) -> Fixed {
         assert!(n < 64, "left shift {n} too large");
-        let raw = overflow_raw(self.raw << n, self.format.width(), self.format.is_signed(), Overflow::Wrap);
-        Fixed { raw, format: self.format }
+        let raw = overflow_raw(
+            self.raw << n,
+            self.format.width(),
+            self.format.is_signed(),
+            Overflow::Wrap,
+        );
+        Fixed {
+            raw,
+            format: self.format,
+        }
     }
 
     /// Moves the binary point: returns the exact value `self * 2^n` by
@@ -333,7 +379,10 @@ impl Fixed {
             self.format.signedness(),
         )
         .expect("scaled format within bounds");
-        Fixed { raw: self.raw, format }
+        Fixed {
+            raw: self.raw,
+            format,
+        }
     }
 
     /// Exact value comparison across formats.
@@ -353,7 +402,11 @@ impl Fixed {
         let top1 = bitlen(m1.unsigned_abs()) as i64 + e1 as i64;
         let top2 = bitlen(m2.unsigned_abs()) as i64 + e2 as i64;
         if top1 != top2 {
-            return if s1 > 0 { top1.cmp(&top2) } else { top2.cmp(&top1) };
+            return if s1 > 0 {
+                top1.cmp(&top2)
+            } else {
+                top2.cmp(&top1)
+            };
         }
         // Same MSB position: align (shift bounded by mantissa bit lengths).
         let shift1 = (e1 as i64 - e1.min(e2) as i64) as u32;
@@ -385,7 +438,7 @@ impl Eq for Fixed {}
 
 impl PartialOrd for Fixed {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_exact(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -543,7 +596,11 @@ mod tests {
         let x = Fixed::from_f64(9.0, wide);
         // 9 wraps into 4-bit signed: 9 - 16 = -7.
         assert_eq!(x.cast(narrow).to_f64(), -7.0);
-        assert_eq!(x.cast_with(narrow, Quantization::Trn, Overflow::Sat).to_f64(), 7.0);
+        assert_eq!(
+            x.cast_with(narrow, Quantization::Trn, Overflow::Sat)
+                .to_f64(),
+            7.0
+        );
     }
 
     #[test]
@@ -551,7 +608,8 @@ mod tests {
         let a = Fixed::from_f64(1.5, Format::signed(8, 3));
         let b = Fixed::from_f64(1.5, Format::signed(16, 8));
         assert_eq!(a, b);
-        assert!(a <= b && b >= a);
+        assert!(a <= b);
+        assert!(b >= a);
         let c = Fixed::from_f64(1.53125, Format::signed(8, 3));
         assert_ne!(a, c);
         assert!(a < c);

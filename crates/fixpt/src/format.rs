@@ -52,7 +52,10 @@ impl fmt::Display for FormatError {
         match self {
             FormatError::ZeroWidth => f.write_str("format width must be at least 1 bit"),
             FormatError::WidthTooLarge { width } => {
-                write!(f, "format width {width} exceeds the supported maximum {MAX_WIDTH}")
+                write!(
+                    f,
+                    "format width {width} exceeds the supported maximum {MAX_WIDTH}"
+                )
             }
         }
     }
@@ -104,7 +107,11 @@ impl Format {
         if width > MAX_WIDTH {
             return Err(FormatError::WidthTooLarge { width });
         }
-        Ok(Format { width, int_bits, signedness })
+        Ok(Format {
+            width,
+            int_bits,
+            signedness,
+        })
     }
 
     /// Signed format, panicking on invalid widths. Intended for constants.
@@ -222,7 +229,11 @@ impl Format {
         Format {
             width,
             int_bits: int,
-            signedness: if signed { Signedness::Signed } else { Signedness::Unsigned },
+            signedness: if signed {
+                Signedness::Signed
+            } else {
+                Signedness::Unsigned
+            },
         }
     }
 
@@ -243,7 +254,11 @@ impl Format {
         let int = eff(self).max(eff(other)) + 1;
         let frac = self.frac_bits().max(other.frac_bits());
         let width = exact_width(int, frac, "difference", self, other);
-        Format { width, int_bits: int, signedness: Signedness::Signed }
+        Format {
+            width,
+            int_bits: int,
+            signedness: Signedness::Signed,
+        }
     }
 
     /// The exact (lossless) format of the product of values in `self` and
@@ -260,7 +275,11 @@ impl Format {
         Format {
             width,
             int_bits: int,
-            signedness: if signed { Signedness::Signed } else { Signedness::Unsigned },
+            signedness: if signed {
+                Signedness::Signed
+            } else {
+                Signedness::Unsigned
+            },
         }
     }
 
@@ -274,7 +293,11 @@ impl Format {
             width <= MAX_WIDTH,
             "exact negation of {self} exceeds the {MAX_WIDTH}-bit limit"
         );
-        Format { width, int_bits: int, signedness: Signedness::Signed }
+        Format {
+            width,
+            int_bits: int,
+            signedness: Signedness::Signed,
+        }
     }
 }
 

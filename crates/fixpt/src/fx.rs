@@ -44,27 +44,37 @@ impl<const W: u32, const I: i32> Fx<W, I> {
 
     /// Zero.
     pub fn zero() -> Self {
-        Fx { inner: Fixed::zero(Self::format()) }
+        Fx {
+            inner: Fixed::zero(Self::format()),
+        }
     }
 
     /// Converts from `f64` with default modes (truncate, wrap).
     pub fn from_f64(v: f64) -> Self {
-        Fx { inner: Fixed::from_f64(v, Self::format()) }
+        Fx {
+            inner: Fixed::from_f64(v, Self::format()),
+        }
     }
 
     /// Converts from `f64` with explicit modes.
     pub fn from_f64_with(v: f64, q: Quantization, o: Overflow) -> Self {
-        Fx { inner: Fixed::from_f64_with(v, Self::format(), q, o) }
+        Fx {
+            inner: Fixed::from_f64_with(v, Self::format(), q, o),
+        }
     }
 
     /// Quantizes any [`Fixed`] into this format with default modes.
     pub fn from_fixed(v: Fixed) -> Self {
-        Fx { inner: v.cast(Self::format()) }
+        Fx {
+            inner: v.cast(Self::format()),
+        }
     }
 
     /// Quantizes any [`Fixed`] into this format with explicit modes.
     pub fn from_fixed_with(v: Fixed, q: Quantization, o: Overflow) -> Self {
-        Fx { inner: v.cast_with(Self::format(), q, o) }
+        Fx {
+            inner: v.cast_with(Self::format(), q, o),
+        }
     }
 
     /// The exact dynamically-formatted value, for widening arithmetic.
@@ -153,17 +163,23 @@ impl<const W: u32, const I: i32> UFx<W, I> {
 
     /// Zero.
     pub fn zero() -> Self {
-        UFx { inner: Fixed::zero(Self::format()) }
+        UFx {
+            inner: Fixed::zero(Self::format()),
+        }
     }
 
     /// Converts from `f64` with default modes (truncate, wrap).
     pub fn from_f64(v: f64) -> Self {
-        UFx { inner: Fixed::from_f64(v, Self::format()) }
+        UFx {
+            inner: Fixed::from_f64(v, Self::format()),
+        }
     }
 
     /// Quantizes any [`Fixed`] into this format with default modes.
     pub fn from_fixed(v: Fixed) -> Self {
-        UFx { inner: v.cast(Self::format()) }
+        UFx {
+            inner: v.cast(Self::format()),
+        }
     }
 
     /// The exact dynamically-formatted value.

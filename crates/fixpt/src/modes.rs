@@ -73,7 +73,12 @@ pub enum Overflow {
 
 impl Overflow {
     /// All overflow modes, for exhaustive testing.
-    pub const ALL: [Overflow; 4] = [Overflow::Wrap, Overflow::Sat, Overflow::SatZero, Overflow::SatSym];
+    pub const ALL: [Overflow; 4] = [
+        Overflow::Wrap,
+        Overflow::Sat,
+        Overflow::SatZero,
+        Overflow::SatSym,
+    ];
 }
 
 impl fmt::Display for Overflow {
@@ -159,13 +164,13 @@ pub fn quantize_raw(raw: i128, shift: u32, mode: Quantization) -> i128 {
 /// Fits `value` into a `width`-bit (two's-complement if `signed`) range
 /// according to `mode`.
 pub fn overflow_raw(value: i128, width: u32, signed: bool, mode: Overflow) -> i128 {
-    debug_assert!(width >= 1 && width <= 126);
+    debug_assert!((1..=126).contains(&width));
     let (min, max) = if signed {
         (-(1i128 << (width - 1)), (1i128 << (width - 1)) - 1)
     } else {
         (0, (1i128 << width) - 1)
     };
-    if value >= min && value <= max {
+    if (min..=max).contains(&value) {
         return value;
     }
     match mode {

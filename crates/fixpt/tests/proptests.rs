@@ -7,7 +7,11 @@ use proptest::prelude::*;
 
 fn arb_format() -> impl Strategy<Value = Format> {
     (1u32..=24, -8i32..=24, prop::bool::ANY).prop_map(|(w, i, signed)| {
-        let s = if signed { Signedness::Signed } else { Signedness::Unsigned };
+        let s = if signed {
+            Signedness::Signed
+        } else {
+            Signedness::Unsigned
+        };
         Format::new(w, i, s).expect("format in range")
     })
 }
@@ -173,7 +177,7 @@ proptest! {
         let v = v as i128;
         let w = BitInt::required_width(v, Signedness::Signed);
         let fits = |bits: u32| {
-            bits >= 1 && v >= -(1i128 << (bits - 1)) && v <= (1i128 << (bits - 1)) - 1
+            bits >= 1 && v >= -(1i128 << (bits - 1)) && v < (1i128 << (bits - 1))
         };
         prop_assert!(fits(w));
         if w > 1 {

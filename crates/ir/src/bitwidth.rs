@@ -52,7 +52,10 @@ pub fn loop_counter_widths(func: &Function) -> Vec<CounterWidth> {
             let min_value = *vals.iter().min().expect("nonempty");
             let max_value = *vals.iter().max().expect("nonempty");
             let unsigned_width = if min_value >= 0 {
-                Some(BitInt::required_width(max_value as i128, Signedness::Unsigned))
+                Some(BitInt::required_width(
+                    max_value as i128,
+                    Signedness::Unsigned,
+                ))
             } else {
                 None
             };
@@ -91,19 +94,33 @@ impl Interval {
 
     /// The interval covering both operands.
     pub fn union(self, other: Interval) -> Interval {
-        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     fn add(self, o: Interval) -> Interval {
-        Interval { lo: self.lo + o.lo, hi: self.hi + o.hi }
+        Interval {
+            lo: self.lo + o.lo,
+            hi: self.hi + o.hi,
+        }
     }
 
     fn sub(self, o: Interval) -> Interval {
-        Interval { lo: self.lo - o.hi, hi: self.hi - o.lo }
+        Interval {
+            lo: self.lo - o.hi,
+            hi: self.hi - o.lo,
+        }
     }
 
     fn mul(self, o: Interval) -> Interval {
-        let c = [self.lo * o.lo, self.lo * o.hi, self.hi * o.lo, self.hi * o.hi];
+        let c = [
+            self.lo * o.lo,
+            self.lo * o.hi,
+            self.hi * o.lo,
+            self.hi * o.hi,
+        ];
         Interval {
             lo: c.iter().cloned().fold(f64::INFINITY, f64::min),
             hi: c.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
@@ -111,7 +128,10 @@ impl Interval {
     }
 
     fn neg(self) -> Interval {
-        Interval { lo: -self.hi, hi: -self.lo }
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
     }
 }
 
@@ -157,7 +177,10 @@ pub fn infer_ranges(func: &Function, max_iters: usize) -> BTreeMap<VarId, Interv
 
 fn declared_interval(func: &Function, id: VarId) -> Interval {
     match func.var(id).ty.format() {
-        Some(f) => Interval { lo: f.min_value(), hi: f.max_value() },
+        Some(f) => Interval {
+            lo: f.min_value(),
+            hi: f.max_value(),
+        },
         None => Interval { lo: 0.0, hi: 1.0 },
     }
 }
@@ -171,17 +194,23 @@ fn abstract_block(
     for s in stmts {
         match s {
             Stmt::Assign { var, value } => {
-                let iv = abstract_expr(func, value, env);
+                let iv = abstract_expr(value, env);
                 // Clamp to the declared range: assignment casts.
                 let d = declared_interval(func, *var);
-                let clamped = Interval { lo: iv.lo.max(d.lo), hi: iv.hi.min(d.hi) };
+                let clamped = Interval {
+                    lo: iv.lo.max(d.lo),
+                    hi: iv.hi.min(d.hi),
+                };
                 env.insert(*var, if clamped.lo <= clamped.hi { clamped } else { d });
             }
             Stmt::Store { array, value, .. } => {
-                let iv = abstract_expr(func, value, env);
+                let iv = abstract_expr(value, env);
                 let d = declared_interval(func, *array);
                 let prev = env[array];
-                let clamped = Interval { lo: iv.lo.max(d.lo), hi: iv.hi.min(d.hi) };
+                let clamped = Interval {
+                    lo: iv.lo.max(d.lo),
+                    hi: iv.hi.min(d.hi),
+                };
                 let joined = prev.union(if clamped.lo <= clamped.hi { clamped } else { d });
                 env.insert(*array, joined);
             }
@@ -223,14 +252,14 @@ fn abstract_block(
     }
 }
 
-fn abstract_expr(func: &Function, e: &Expr, env: &BTreeMap<VarId, Interval>) -> Interval {
+fn abstract_expr(e: &Expr, env: &BTreeMap<VarId, Interval>) -> Interval {
     match e {
         Expr::Const(c) => Interval::point(c.to_f64()),
         Expr::ConstBool(_) => Interval { lo: 0.0, hi: 1.0 },
         Expr::Var(v) => env[v],
         Expr::Load { array, .. } => env[array],
         Expr::Unary { op, arg } => {
-            let a = abstract_expr(func, arg, env);
+            let a = abstract_expr(arg, env);
             match op {
                 UnOp::Neg => a.neg(),
                 UnOp::Signum => Interval { lo: -1.0, hi: 1.0 },
@@ -238,8 +267,8 @@ fn abstract_expr(func: &Function, e: &Expr, env: &BTreeMap<VarId, Interval>) -> 
             }
         }
         Expr::Binary { op, lhs, rhs } => {
-            let a = abstract_expr(func, lhs, env);
-            let b = abstract_expr(func, rhs, env);
+            let a = abstract_expr(lhs, env);
+            let b = abstract_expr(rhs, env);
             match op {
                 BinOp::Add => a.add(b),
                 BinOp::Sub => a.sub(b),
@@ -251,12 +280,15 @@ fn abstract_expr(func: &Function, e: &Expr, env: &BTreeMap<VarId, Interval>) -> 
         }
         Expr::Compare { .. } => Interval { lo: 0.0, hi: 1.0 },
         Expr::Select { then_, else_, .. } => {
-            abstract_expr(func, then_, env).union(abstract_expr(func, else_, env))
+            abstract_expr(then_, env).union(abstract_expr(else_, env))
         }
         Expr::Cast { ty, arg, .. } => {
-            let a = abstract_expr(func, arg, env);
+            let a = abstract_expr(arg, env);
             match ty.format() {
-                Some(f) => Interval { lo: a.lo.max(f.min_value()), hi: a.hi.min(f.max_value()) },
+                Some(f) => Interval {
+                    lo: a.lo.max(f.min_value()),
+                    hi: a.hi.min(f.max_value()),
+                },
                 None => a,
             }
         }
@@ -365,7 +397,10 @@ mod tests {
         // Section 3.2: a 32-bit local that only ever needs ~13 bits.
         let f = figure2(8);
         let suggestions = narrowing_suggestions(&f, 64);
-        let a = suggestions.iter().find(|s| s.name == "a").expect("suggestion for a");
+        let a = suggestions
+            .iter()
+            .find(|s| s.name == "a")
+            .expect("suggestion for a");
         assert_eq!(a.declared_width, 32);
         assert!(a.required_width <= 14, "required {}", a.required_width);
         assert!(a.required_width >= 12, "required {}", a.required_width);

@@ -46,9 +46,20 @@ impl FunctionBuilder {
         }
     }
 
-    fn add_var(&mut self, name: impl Into<String>, ty: Ty, kind: VarKind, len: Option<usize>) -> VarId {
+    fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        ty: Ty,
+        kind: VarKind,
+        len: Option<usize>,
+    ) -> VarId {
         let id = VarId::from_raw(self.vars.len() as u32);
-        self.vars.push(Var { name: name.into(), ty, kind, len });
+        self.vars.push(Var {
+            name: name.into(),
+            ty,
+            kind,
+            len,
+        });
         id
     }
 
@@ -101,7 +112,11 @@ impl FunctionBuilder {
 
     /// Emits `array[index] = value`.
     pub fn store(&mut self, array: VarId, index: Expr, value: Expr) {
-        self.push(Stmt::Store { array, index, value });
+        self.push(Stmt::Store {
+            array,
+            index,
+            value,
+        });
     }
 
     /// Emits a labelled counted loop
@@ -124,7 +139,15 @@ impl FunctionBuilder {
         self.stack.push(Vec::new());
         body(self, var);
         let stmts = self.stack.pop().expect("loop scope present");
-        self.push(Stmt::For(Loop { label, var, start, cmp, bound, step, body: stmts }));
+        self.push(Stmt::For(Loop {
+            label,
+            var,
+            start,
+            cmp,
+            bound,
+            step,
+            body: stmts,
+        }));
     }
 
     /// Emits `if (cond) { then } else { else }`.
@@ -140,7 +163,11 @@ impl FunctionBuilder {
         self.stack.push(Vec::new());
         else_(self);
         let e = self.stack.pop().expect("else scope present");
-        self.push(Stmt::If { cond, then_: t, else_: e });
+        self.push(Stmt::If {
+            cond,
+            then_: t,
+            else_: e,
+        });
     }
 
     /// Emits `if (cond) { then }` with no else branch.

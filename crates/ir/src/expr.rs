@@ -151,13 +151,20 @@ pub enum Expr {
     },
 }
 
+// The constructor names mirror the IR mnemonics; they are associated
+// functions (not methods), so they cannot be confused with the `std::ops`
+// traits at a call site.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Integer constant helper. The constant carries the minimal signed
     /// integer format that holds `v`, so exact expression arithmetic never
     /// widens more than needed.
     pub fn int_const(v: i64) -> Expr {
         let width = fixpt::BitInt::required_width(v as i128, fixpt::Signedness::Signed);
-        Expr::Const(Fixed::from_int(v, fixpt::Format::integer(width, fixpt::Signedness::Signed)))
+        Expr::Const(Fixed::from_int(
+            v,
+            fixpt::Format::integer(width, fixpt::Signedness::Signed),
+        ))
     }
 
     /// Variable read helper.
@@ -167,27 +174,46 @@ impl Expr {
 
     /// `lhs + rhs`.
     pub fn add(lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Binary { op: BinOp::Add, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// `lhs - rhs`.
     pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Binary { op: BinOp::Sub, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Binary {
+            op: BinOp::Sub,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// `lhs * rhs`.
     pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Binary { op: BinOp::Mul, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Binary {
+            op: BinOp::Mul,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Comparison helper.
     pub fn cmp(op: CmpOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Compare { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Compare {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// `array[index]` load helper.
     pub fn load(array: VarId, index: Expr) -> Expr {
-        Expr::Load { array, index: Box::new(index) }
+        Expr::Load {
+            array,
+            index: Box::new(index),
+        }
     }
 
     /// Default-mode cast helper (truncate, wrap).
@@ -202,22 +228,37 @@ impl Expr {
 
     /// Explicit-mode cast helper.
     pub fn cast_with(ty: Ty, q: Quantization, o: Overflow, arg: Expr) -> Expr {
-        Expr::Cast { ty, quantization: q, overflow: o, arg: Box::new(arg) }
+        Expr::Cast {
+            ty,
+            quantization: q,
+            overflow: o,
+            arg: Box::new(arg),
+        }
     }
 
     /// Negation helper.
     pub fn neg(arg: Expr) -> Expr {
-        Expr::Unary { op: UnOp::Neg, arg: Box::new(arg) }
+        Expr::Unary {
+            op: UnOp::Neg,
+            arg: Box::new(arg),
+        }
     }
 
     /// Signum helper (-1/0/1).
     pub fn signum(arg: Expr) -> Expr {
-        Expr::Unary { op: UnOp::Signum, arg: Box::new(arg) }
+        Expr::Unary {
+            op: UnOp::Signum,
+            arg: Box::new(arg),
+        }
     }
 
     /// Select (mux) helper.
     pub fn select(cond: Expr, then_: Expr, else_: Expr) -> Expr {
-        Expr::Select { cond: Box::new(cond), then_: Box::new(then_), else_: Box::new(else_) }
+        Expr::Select {
+            cond: Box::new(cond),
+            then_: Box::new(then_),
+            else_: Box::new(else_),
+        }
     }
 
     /// Visits every sub-expression (including `self`), pre-order.
@@ -262,7 +303,10 @@ impl Expr {
                 array: *array,
                 index: Box::new(index.substitute(map)),
             },
-            Expr::Unary { op, arg } => Expr::Unary { op: *op, arg: Box::new(arg.substitute(map)) },
+            Expr::Unary { op, arg } => Expr::Unary {
+                op: *op,
+                arg: Box::new(arg.substitute(map)),
+            },
             Expr::Binary { op, lhs, rhs } => Expr::Binary {
                 op: *op,
                 lhs: Box::new(lhs.substitute(map)),
@@ -278,7 +322,12 @@ impl Expr {
                 then_: Box::new(then_.substitute(map)),
                 else_: Box::new(else_.substitute(map)),
             },
-            Expr::Cast { ty, quantization, overflow, arg } => Expr::Cast {
+            Expr::Cast {
+                ty,
+                quantization,
+                overflow,
+                arg,
+            } => Expr::Cast {
                 ty: *ty,
                 quantization: *quantization,
                 overflow: *overflow,

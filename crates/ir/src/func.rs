@@ -112,7 +112,10 @@ impl Function {
 
     /// Iterates over `(id, var)` pairs.
     pub fn iter_vars(&self) -> impl Iterator<Item = (VarId, &Var)> {
-        self.vars.iter().enumerate().map(|(i, v)| (VarId(i as u32), v))
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VarId(i as u32), v))
     }
 
     /// All static (inter-call state) variables.
@@ -159,7 +162,11 @@ impl Function {
                     written |= *var == p;
                     read |= value.reads().contains(&p);
                 }
-                Stmt::Store { array, index, value } => {
+                Stmt::Store {
+                    array,
+                    index,
+                    value,
+                } => {
                     written |= *array == p;
                     read |= index.reads().contains(&p) || value.reads().contains(&p);
                 }
@@ -222,9 +229,18 @@ fn fmt_stmt(func: &Function, s: &Stmt, f: &mut fmt::Formatter<'_>, indent: usize
     let pad = "    ".repeat(indent);
     match s {
         Stmt::Assign { var, value } => {
-            writeln!(f, "{pad}{} = {};", func.var(*var).name, fmt_expr(func, value))
+            writeln!(
+                f,
+                "{pad}{} = {};",
+                func.var(*var).name,
+                fmt_expr(func, value)
+            )
         }
-        Stmt::Store { array, index, value } => writeln!(
+        Stmt::Store {
+            array,
+            index,
+            value,
+        } => writeln!(
             f,
             "{pad}{}[{}] = {};",
             func.var(*array).name,

@@ -27,14 +27,18 @@ impl Value {
     fn as_fix(&self) -> Result<Fixed, EvalError> {
         match self {
             Value::Fix(f) => Ok(*f),
-            Value::Bool(_) => Err(EvalError::TypeMismatch("expected a numeric value, found bool")),
+            Value::Bool(_) => Err(EvalError::TypeMismatch(
+                "expected a numeric value, found bool",
+            )),
         }
     }
 
     fn as_bool(&self) -> Result<bool, EvalError> {
         match self {
             Value::Bool(b) => Ok(*b),
-            Value::Fix(_) => Err(EvalError::TypeMismatch("expected bool, found a numeric value")),
+            Value::Fix(_) => Err(EvalError::TypeMismatch(
+                "expected bool, found a numeric value",
+            )),
         }
     }
 }
@@ -106,10 +110,14 @@ impl fmt::Display for EvalError {
             EvalError::IndexOutOfBounds { array, index, len } => {
                 write!(f, "index {index} out of bounds for {array}[{len}]")
             }
-            EvalError::ShapeMismatch { var } => write!(f, "variable {var} used with the wrong shape"),
+            EvalError::ShapeMismatch { var } => {
+                write!(f, "variable {var} used with the wrong shape")
+            }
             EvalError::NonConstShift => f.write_str("shift amount must be a constant"),
             EvalError::MissingInput { param } => write!(f, "missing input for parameter {param}"),
-            EvalError::BadArgument { param } => write!(f, "argument for {param} has the wrong shape"),
+            EvalError::BadArgument { param } => {
+                write!(f, "argument for {param} has the wrong shape")
+            }
         }
     }
 }
@@ -120,6 +128,12 @@ impl std::error::Error for EvalError {}
 fn counter_format() -> Format {
     Format::integer(fixpt::MAX_WIDTH, Signedness::Signed)
 }
+
+/// Dense execution environment: one slot per function variable, indexed by
+/// [`VarId::index`]. Replaces the earlier `BTreeMap<VarId, Slot>` — every
+/// variable access is a direct vector index instead of a tree walk, which
+/// matters because `eval` hits the environment on every operand.
+type Env = Vec<Option<Slot>>;
 
 /// An interpreter instance holding the persistent `static` state of one
 /// function across calls (the decoder's tap and coefficient arrays).
@@ -212,52 +226,59 @@ impl Interpreter {
     /// Returns an [`EvalError`] on missing inputs, shape mismatches or
     /// out-of-bounds accesses.
     pub fn call(&mut self, inputs: &[(VarId, Slot)]) -> Result<BTreeMap<VarId, Slot>, EvalError> {
-        let mut env: BTreeMap<VarId, Slot> = BTreeMap::new();
+        let mut env: Env = vec![None; self.func.vars.len()];
         // Parameters.
-        for &p in &self.func.params.clone() {
-            let v = self.func.var(p).clone();
-            let supplied = inputs.iter().find(|(id, _)| *id == p).map(|(_, s)| s.clone());
+        for &p in &self.func.params {
+            let v = self.func.var(p);
+            let supplied = inputs
+                .iter()
+                .find(|(id, _)| *id == p)
+                .map(|(_, s)| s.clone());
             let slot = match supplied {
                 Some(s) => {
-                    check_shape(&v, &s)?;
+                    check_shape(v, &s)?;
                     coerce_slot(s, v.ty)
                 }
                 None => {
                     // Only out-parameters may be omitted.
                     match self.func.param_direction(p) {
                         crate::func::Direction::Out => zero_slot(v.ty, v.len),
-                        _ => return Err(EvalError::MissingInput { param: v.name.clone() }),
+                        _ => {
+                            return Err(EvalError::MissingInput {
+                                param: v.name.clone(),
+                            })
+                        }
                     }
                 }
             };
-            env.insert(p, slot);
+            env[p.index()] = Some(slot);
         }
         // Locals and counters (zero-initialized), statics from persistent state.
         for (id, v) in self.func.iter_vars() {
             match v.kind {
                 VarKind::Local | VarKind::Counter => {
-                    env.insert(id, zero_slot(v.ty, v.len));
+                    env[id.index()] = Some(zero_slot(v.ty, v.len));
                 }
                 VarKind::Static => {
-                    env.insert(id, self.statics[&id].clone());
+                    env[id.index()] = Some(self.statics[&id].clone());
                 }
                 VarKind::Param => {}
             }
         }
 
-        let body = self.func.body.clone();
-        exec_block(&self.func, &body, &mut env)?;
+        exec_block(&self.func, &self.func.body, &mut env)?;
 
         // Persist statics.
         for id in self.func.statics() {
-            self.statics.insert(id, env[&id].clone());
+            let slot = env[id.index()].clone().expect("static initialized");
+            self.statics.insert(id, slot);
         }
         // Return parameter slots.
         Ok(self
             .func
             .params
             .iter()
-            .map(|p| (*p, env[p].clone()))
+            .map(|&p| (p, env[p.index()].take().expect("parameter initialized")))
             .collect())
     }
 }
@@ -279,7 +300,9 @@ fn check_shape(v: &crate::func::Var, s: &Slot) -> Result<(), EvalError> {
     if ok {
         Ok(())
     } else {
-        Err(EvalError::BadArgument { param: v.name.clone() })
+        Err(EvalError::BadArgument {
+            param: v.name.clone(),
+        })
     }
 }
 
@@ -293,18 +316,14 @@ fn coerce_slot(s: Slot, ty: Ty) -> Slot {
     }
 }
 
-fn exec_block(
-    func: &Function,
-    stmts: &[Stmt],
-    env: &mut BTreeMap<VarId, Slot>,
-) -> Result<(), EvalError> {
+fn exec_block(func: &Function, stmts: &[Stmt], env: &mut Env) -> Result<(), EvalError> {
     for s in stmts {
         exec_stmt(func, s, env)?;
     }
     Ok(())
 }
 
-fn exec_stmt(func: &Function, s: &Stmt, env: &mut BTreeMap<VarId, Slot>) -> Result<(), EvalError> {
+fn exec_stmt(func: &Function, s: &Stmt, env: &mut Env) -> Result<(), EvalError> {
     match s {
         Stmt::Assign { var, value } => {
             let v = eval(func, value, env)?;
@@ -315,22 +334,30 @@ fn exec_stmt(func: &Function, s: &Stmt, env: &mut BTreeMap<VarId, Slot>) -> Resu
                     Fixed::from_int(b as i64, Format::integer(1, Signedness::Unsigned))
                 }
                 (Ty::Bool, Value::Fix(_)) => {
-                    return Err(EvalError::TypeMismatch("numeric value assigned to bool variable"))
+                    return Err(EvalError::TypeMismatch(
+                        "numeric value assigned to bool variable",
+                    ))
                 }
                 (Ty::Fixed(fmt), Value::Fix(f)) => f.cast(fmt),
                 (Ty::Fixed(_), Value::Bool(_)) => {
                     return Err(EvalError::TypeMismatch("bool assigned to numeric variable"))
                 }
             };
-            match env.get_mut(var) {
+            match env[var.index()].as_mut() {
                 Some(Slot::Scalar(slot)) => {
                     *slot = stored;
                     Ok(())
                 }
-                _ => Err(EvalError::ShapeMismatch { var: decl.name.clone() }),
+                _ => Err(EvalError::ShapeMismatch {
+                    var: decl.name.clone(),
+                }),
             }
         }
-        Stmt::Store { array, index, value } => {
+        Stmt::Store {
+            array,
+            index,
+            value,
+        } => {
             let idx = eval(func, index, env)?.as_fix()?.to_i64();
             let val = eval(func, value, env)?.as_fix()?;
             let decl = func.var(*array);
@@ -339,7 +366,7 @@ fn exec_stmt(func: &Function, s: &Stmt, env: &mut BTreeMap<VarId, Slot>) -> Resu
                 .format()
                 .ok_or(EvalError::TypeMismatch("store into bool array"))?;
             let stored = val.cast(fmt);
-            match env.get_mut(array) {
+            match env[array.index()].as_mut() {
                 Some(Slot::Array(a)) => {
                     let len = a.len();
                     if idx < 0 || idx as usize >= len {
@@ -352,7 +379,9 @@ fn exec_stmt(func: &Function, s: &Stmt, env: &mut BTreeMap<VarId, Slot>) -> Resu
                     a[idx as usize] = stored;
                     Ok(())
                 }
-                _ => Err(EvalError::ShapeMismatch { var: decl.name.clone() }),
+                _ => Err(EvalError::ShapeMismatch {
+                    var: decl.name.clone(),
+                }),
             }
         }
         Stmt::For(l) => {
@@ -375,17 +404,17 @@ fn exec_stmt(func: &Function, s: &Stmt, env: &mut BTreeMap<VarId, Slot>) -> Resu
     }
 }
 
-fn set_counter(env: &mut BTreeMap<VarId, Slot>, var: VarId, k: i64) {
-    if let Some(Slot::Scalar(slot)) = env.get_mut(&var) {
+fn set_counter(env: &mut Env, var: VarId, k: i64) {
+    if let Some(Slot::Scalar(slot)) = env[var.index()].as_mut() {
         *slot = Fixed::from_int(k, slot.format());
     }
 }
 
-fn eval(func: &Function, e: &Expr, env: &BTreeMap<VarId, Slot>) -> Result<Value, EvalError> {
+fn eval(func: &Function, e: &Expr, env: &Env) -> Result<Value, EvalError> {
     match e {
         Expr::Const(c) => Ok(Value::Fix(*c)),
         Expr::ConstBool(b) => Ok(Value::Bool(*b)),
-        Expr::Var(v) => match env.get(v) {
+        Expr::Var(v) => match env[v.index()].as_ref() {
             Some(Slot::Scalar(f)) => {
                 if func.var(*v).ty.is_bool() {
                     Ok(Value::Bool(!f.is_zero()))
@@ -393,12 +422,14 @@ fn eval(func: &Function, e: &Expr, env: &BTreeMap<VarId, Slot>) -> Result<Value,
                     Ok(Value::Fix(*f))
                 }
             }
-            _ => Err(EvalError::ShapeMismatch { var: func.var(*v).name.clone() }),
+            _ => Err(EvalError::ShapeMismatch {
+                var: func.var(*v).name.clone(),
+            }),
         },
         Expr::Load { array, index } => {
             let idx = eval(func, index, env)?.as_fix()?.to_i64();
             let decl = func.var(*array);
-            match env.get(array) {
+            match env[array.index()].as_ref() {
                 Some(Slot::Array(a)) => {
                     if idx < 0 || idx as usize >= a.len() {
                         Err(EvalError::IndexOutOfBounds {
@@ -410,7 +441,9 @@ fn eval(func: &Function, e: &Expr, env: &BTreeMap<VarId, Slot>) -> Result<Value,
                         Ok(Value::Fix(a[idx as usize]))
                     }
                 }
-                _ => Err(EvalError::ShapeMismatch { var: decl.name.clone() }),
+                _ => Err(EvalError::ShapeMismatch {
+                    var: decl.name.clone(),
+                }),
             }
         }
         Expr::Unary { op, arg } => {
@@ -479,7 +512,12 @@ fn eval(func: &Function, e: &Expr, env: &BTreeMap<VarId, Slot>) -> Result<Value,
             let e = eval(func, else_, env)?;
             Ok(if c { t } else { e })
         }
-        Expr::Cast { ty, quantization, overflow, arg } => {
+        Expr::Cast {
+            ty,
+            quantization,
+            overflow,
+            arg,
+        } => {
             let a = eval(func, arg, env)?.as_fix()?;
             let fmt = ty
                 .format()
@@ -587,17 +625,29 @@ mod tests {
         let mut b = FunctionBuilder::new("shift");
         let a = b.param_array("a", Ty::int(8), 4);
         b.for_loop("sh", 2, CmpOp::Ge, 0, -1, |b, k| {
-            b.store(a, Expr::add(Expr::var(k), Expr::int_const(1)), Expr::load(a, Expr::var(k)));
+            b.store(
+                a,
+                Expr::add(Expr::var(k), Expr::int_const(1)),
+                Expr::load(a, Expr::var(k)),
+            );
         });
         let f = b.build();
         let a_id = f.params[0];
         let mut interp = Interpreter::new(f);
         let fmt = Format::integer(8, Signedness::Signed);
         let slot = Slot::Array(
-            [1, 2, 3, 4].iter().map(|v| Fixed::from_int(*v, fmt)).collect(),
+            [1, 2, 3, 4]
+                .iter()
+                .map(|v| Fixed::from_int(*v, fmt))
+                .collect(),
         );
         let res = interp.call(&[(a_id, slot)]).unwrap();
-        let vals: Vec<i64> = res[&a_id].array().unwrap().iter().map(|f| f.to_i64()).collect();
+        let vals: Vec<i64> = res[&a_id]
+            .array()
+            .unwrap()
+            .iter()
+            .map(|f| f.to_i64())
+            .collect();
         assert_eq!(vals, vec![1, 1, 2, 3]);
     }
 
@@ -634,7 +684,9 @@ mod tests {
         let mut interp = Interpreter::new(f);
         let fmt = Format::integer(8, Signedness::Signed);
         let call = |i: &mut Interpreter, v: i64| {
-            let r = i.call(&[(x, Slot::Scalar(Fixed::from_int(v, fmt)))]).unwrap();
+            let r = i
+                .call(&[(x, Slot::Scalar(Fixed::from_int(v, fmt)))])
+                .unwrap();
             r[&out].scalar().unwrap().to_i64()
         };
         assert_eq!(call(&mut interp, 10), 3);
@@ -652,7 +704,9 @@ mod tests {
         let mut interp = Interpreter::new(f);
         let fmt = Format::signed(10, 2);
         let call = |i: &mut Interpreter, v: f64| {
-            let r = i.call(&[(x, Slot::Scalar(Fixed::from_f64(v, fmt)))]).unwrap();
+            let r = i
+                .call(&[(x, Slot::Scalar(Fixed::from_f64(v, fmt)))])
+                .unwrap();
             r[&out].scalar().unwrap().to_i64()
         };
         assert_eq!(call(&mut interp, 0.5), 1);
@@ -670,7 +724,10 @@ mod tests {
         let (x, out) = (f.params[0], f.params[1]);
         let mut interp = Interpreter::new(f);
         let r = interp
-            .call(&[(x, Slot::Scalar(Fixed::from_f64(1.3125, Format::signed(10, 2))))])
+            .call(&[(
+                x,
+                Slot::Scalar(Fixed::from_f64(1.3125, Format::signed(10, 2))),
+            )])
             .unwrap();
         // 1.3125 truncated to 2 fractional bits = 1.25.
         assert_eq!(r[&out].scalar().unwrap().to_f64(), 1.25);

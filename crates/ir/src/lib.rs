@@ -43,11 +43,11 @@
 #![warn(missing_docs)]
 
 pub mod bitwidth;
-mod parse;
 mod build;
 mod expr;
 mod func;
 mod interp;
+mod parse;
 mod stmt;
 mod ty;
 mod validate;
@@ -56,7 +56,7 @@ pub use build::FunctionBuilder;
 pub use expr::{BinOp, CmpOp, Expr, UnOp};
 pub use func::{Direction, Function, Var, VarId, VarKind};
 pub use interp::{EvalError, Interpreter, Slot, Value};
+pub use parse::{parse_function, ParseError};
 pub use stmt::{collect_loops, Loop, Stmt, MAX_TRIP_COUNT};
 pub use ty::Ty;
-pub use parse::{parse_function, ParseError};
 pub use validate::{validate, ValidateError};

@@ -49,7 +49,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unexpected character `{}` on line {}", self.ch, self.line)
+        write!(
+            f,
+            "unexpected character `{}` on line {}",
+            self.ch, self.line
+        )
     }
 }
 
@@ -118,11 +122,17 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let text: String = bytes[start..i].iter().collect();
-                out.push(Token { kind: Tok::Decimal(text), line });
+                out.push(Token {
+                    kind: Tok::Decimal(text),
+                    line,
+                });
             } else {
                 let text: String = bytes[start..i].iter().collect();
                 let v = text.parse::<i64>().unwrap_or(0);
-                out.push(Token { kind: Tok::Int(v), line });
+                out.push(Token {
+                    kind: Tok::Int(v),
+                    line,
+                });
             }
             continue;
         }
@@ -132,21 +142,30 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
                 i += 1;
             }
-            out.push(Token { kind: Tok::Ident(bytes[start..i].iter().collect()), line });
+            out.push(Token {
+                kind: Tok::Ident(bytes[start..i].iter().collect()),
+                line,
+            });
             continue;
         }
         // Operators (longest match first).
         for p in PUNCTS.iter().chain(SINGLE.iter()) {
             let pl = p.chars().count();
             if bytes[i..].iter().take(pl).collect::<String>() == **p {
-                out.push(Token { kind: Tok::Punct(p), line });
+                out.push(Token {
+                    kind: Tok::Punct(p),
+                    line,
+                });
                 i += pl;
                 continue 'outer;
             }
         }
         return Err(LexError { ch: c, line });
     }
-    out.push(Token { kind: Tok::Eof, line });
+    out.push(Token {
+        kind: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -155,7 +174,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<Tok> {
-        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -184,7 +207,12 @@ mod tests {
         let toks = kinds("#pragma design top\n// line\nint /* mid */ x;");
         assert_eq!(
             toks,
-            vec![Tok::Ident("int".into()), Tok::Ident("x".into()), Tok::Punct(";"), Tok::Eof]
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
         );
     }
 

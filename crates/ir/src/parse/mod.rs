@@ -65,7 +65,10 @@ impl std::error::Error for ParseError {}
 /// syntactic, unknown name, non-constant loop bound, or a decimal constant
 /// with no exact binary representation).
 pub fn parse_function(src: &str) -> Result<Function, ParseError> {
-    let tokens = lex(src).map_err(|e| ParseError { message: e.to_string(), line: e.line })?;
+    let tokens = lex(src).map_err(|e| ParseError {
+        message: e.to_string(),
+        line: e.line,
+    })?;
     let mut p = Parser {
         toks: tokens,
         pos: 0,
@@ -106,7 +109,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: message.into(), line: self.line() })
+        Err(ParseError {
+            message: message.into(),
+            line: self.line(),
+        })
     }
 
     fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
@@ -151,7 +157,12 @@ impl Parser {
 
     fn declare(&mut self, name: &str, ty: Ty, kind: VarKind, len: Option<usize>) -> VarId {
         let id = VarId::from_raw(self.vars.len() as u32);
-        self.vars.push(Var { name: name.to_string(), ty, kind, len });
+        self.vars.push(Var {
+            name: name.to_string(),
+            ty,
+            kind,
+            len,
+        });
         self.scopes
             .last_mut()
             .expect("scope stack never empty")
@@ -186,9 +197,15 @@ impl Parser {
                     om = self.parse_ovf()?;
                 }
                 self.expect_punct(">")?;
-                let s = if name == "sc_fixed" { Signedness::Signed } else { Signedness::Unsigned };
-                let fmt = Format::new(w as u32, i as i32, s)
-                    .map_err(|e| ParseError { message: e.to_string(), line: self.line() })?;
+                let s = if name == "sc_fixed" {
+                    Signedness::Signed
+                } else {
+                    Signedness::Unsigned
+                };
+                let fmt = Format::new(w as u32, i as i32, s).map_err(|e| ParseError {
+                    message: e.to_string(),
+                    line: self.line(),
+                })?;
                 Ok((Ty::Fixed(fmt), qm, om))
             }
             "sc_int" | "sc_uint" => {
@@ -196,12 +213,19 @@ impl Parser {
                 let w = self.const_expr()?;
                 self.expect_punct(">")?;
                 let w = self.checked_width(w)?;
-                let ty = if name == "sc_int" { Ty::int(w) } else { Ty::uint(w) };
+                let ty = if name == "sc_int" {
+                    Ty::int(w)
+                } else {
+                    Ty::uint(w)
+                };
                 Ok((ty, q, o))
             }
             _ => {
                 // intN / uintN shorthand (the paper's `int17`, `uint6`).
-                if let Some(w) = name.strip_prefix("uint").and_then(|d| d.parse::<u32>().ok()) {
+                if let Some(w) = name
+                    .strip_prefix("uint")
+                    .and_then(|d| d.parse::<u32>().ok())
+                {
                     let w = self.checked_width(w as i64)?;
                     return Ok((Ty::uint(w), q, o));
                 }
@@ -218,7 +242,10 @@ impl Parser {
         if (1..=fixpt::MAX_WIDTH as i64).contains(&w) {
             Ok(w as u32)
         } else {
-            self.err(format!("integer width {w} out of range (1..={})", fixpt::MAX_WIDTH))
+            self.err(format!(
+                "integer width {w} out of range (1..={})",
+                fixpt::MAX_WIDTH
+            ))
         }
     }
 
@@ -251,8 +278,10 @@ impl Parser {
     fn at_type(&self) -> bool {
         match self.peek() {
             Tok::Ident(s) => {
-                matches!(s.as_str(), "int" | "bool" | "sc_fixed" | "sc_ufixed" | "sc_int" | "sc_uint")
-                    || (s.starts_with("int") && s[3..].parse::<u32>().is_ok())
+                matches!(
+                    s.as_str(),
+                    "int" | "bool" | "sc_fixed" | "sc_ufixed" | "sc_int" | "sc_uint"
+                ) || (s.starts_with("int") && s[3..].parse::<u32>().is_ok())
                     || (s.starts_with("uint") && s[4..].parse::<u32>().is_ok())
             }
             _ => false,
@@ -281,7 +310,10 @@ impl Parser {
     }
 
     fn overflow_err(&self) -> ParseError {
-        ParseError { message: "constant expression overflows".into(), line: self.line() }
+        ParseError {
+            message: "constant expression overflows".into(),
+            line: self.line(),
+        }
     }
 
     fn const_term(&mut self) -> Result<i64, ParseError> {
@@ -296,10 +328,10 @@ impl Parser {
 
     fn const_atom(&mut self) -> Result<i64, ParseError> {
         if self.eat_punct("-") {
-            return Ok(self
+            return self
                 .const_atom()?
                 .checked_neg()
-                .ok_or_else(|| self.overflow_err())?);
+                .ok_or_else(|| self.overflow_err());
         }
         if self.eat_punct("(") {
             let v = self.const_expr()?;
@@ -368,7 +400,11 @@ impl Parser {
         let (ty, ..) = self.parse_type()?;
         let pointer = self.eat_punct("*");
         let name = self.expect_ident()?;
-        let len = if self.eat_punct("[") { Some(self.array_len()?) } else { None };
+        let len = if self.eat_punct("[") {
+            Some(self.array_len()?)
+        } else {
+            None
+        };
         if pointer && len.is_some() {
             return self.err("a parameter cannot be both a pointer and an array");
         }
@@ -418,7 +454,11 @@ impl Parser {
             self.bump();
             let (ty, ..) = self.parse_type()?;
             let name = self.expect_ident()?;
-            let len = if self.eat_punct("[") { Some(self.array_len()?) } else { None };
+            let len = if self.eat_punct("[") {
+                Some(self.array_len()?)
+            } else {
+                None
+            };
             self.expect_punct(";")?;
             self.declare(&name, ty, VarKind::Static, len);
             return Ok(());
@@ -430,7 +470,11 @@ impl Parser {
             let cond = self.expr()?;
             self.expect_punct(")")?;
             let then_ = self.braced_block()?;
-            let else_ = if self.eat_keyword("else") { self.braced_block()? } else { Vec::new() };
+            let else_ = if self.eat_keyword("else") {
+                self.braced_block()?
+            } else {
+                Vec::new()
+            };
             out.push(Stmt::If { cond, then_, else_ });
             return Ok(());
         }
@@ -456,7 +500,11 @@ impl Parser {
         if self.at_type() {
             let (ty, ..) = self.parse_type()?;
             let name = self.expect_ident()?;
-            let len = if self.eat_punct("[") { Some(self.array_len()?) } else { None };
+            let len = if self.eat_punct("[") {
+                Some(self.array_len()?)
+            } else {
+                None
+            };
             let id = self.declare(&name, ty, VarKind::Local, len);
             if self.eat_punct("=") {
                 if len.is_some() {
@@ -489,7 +537,11 @@ impl Parser {
             _ => Expr::sub(current, rhs),
         };
         out.push(match index {
-            Some(i) => Stmt::Store { array: target, index: i, value },
+            Some(i) => Stmt::Store {
+                array: target,
+                index: i,
+                value,
+            },
             None => Stmt::Assign { var: target, value },
         });
         Ok(())
@@ -543,7 +595,15 @@ impl Parser {
         self.expect_punct(")")?;
         let body = self.braced_block()?;
         self.scopes.pop();
-        Ok(Stmt::For(Loop { label, var, start, cmp, bound, step, body }))
+        Ok(Stmt::For(Loop {
+            label,
+            var,
+            start,
+            cmp,
+            bound,
+            step,
+            body,
+        }))
     }
 
     fn lvalue(&mut self) -> Result<(VarId, Option<Expr>), ParseError> {
@@ -713,9 +773,10 @@ impl Parser {
 
     /// Converts a decimal literal to an exact binary fixed-point constant.
     fn decimal_const(&mut self, text: &str) -> Result<Expr, ParseError> {
-        let v: f64 = text
-            .parse()
-            .map_err(|_| ParseError { message: format!("bad decimal `{text}`"), line: self.line() })?;
+        let v: f64 = text.parse().map_err(|_| ParseError {
+            message: format!("bad decimal `{text}`"),
+            line: self.line(),
+        })?;
         // Find the smallest fractional bit count that represents it exactly.
         for frac in 0..=30u32 {
             let scaled = v * 2f64.powi(frac as i32);
@@ -726,12 +787,16 @@ impl Parser {
                     return self.err(format!("decimal `{text}` needs {width} bits"));
                 }
                 let fmt = Format::signed(width, width as i32 - frac as i32);
-                let f = Fixed::from_raw(mantissa, fmt)
-                    .map_err(|e| ParseError { message: e.to_string(), line: self.line() })?;
+                let f = Fixed::from_raw(mantissa, fmt).map_err(|e| ParseError {
+                    message: e.to_string(),
+                    line: self.line(),
+                })?;
                 return Ok(Expr::Const(f));
             }
         }
-        self.err(format!("decimal `{text}` has no exact binary representation"))
+        self.err(format!(
+            "decimal `{text}` has no exact binary representation"
+        ))
     }
 }
 
@@ -868,7 +933,10 @@ mod tests {
     fn inexact_decimal_rejected() {
         let err = parse_function("void f(sc_fixed<10,2> *o) { *o = 0.1; }")
             .expect_err("0.1 is not binary-exact");
-        assert!(err.message.contains("no exact binary representation"), "{err}");
+        assert!(
+            err.message.contains("no exact binary representation"),
+            "{err}"
+        );
     }
 
     #[test]

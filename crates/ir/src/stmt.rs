@@ -227,8 +227,14 @@ mod tests {
 
     #[test]
     fn writes_and_loops() {
-        let inner = Stmt::Assign { var: VarId::from_raw(3), value: Expr::int_const(0) };
-        let l = Loop { body: vec![inner], ..mkloop(0, CmpOp::Lt, 4, 1) };
+        let inner = Stmt::Assign {
+            var: VarId::from_raw(3),
+            value: Expr::int_const(0),
+        };
+        let l = Loop {
+            body: vec![inner],
+            ..mkloop(0, CmpOp::Lt, 4, 1)
+        };
         let s = Stmt::For(l);
         let w = s.writes();
         assert!(w.contains(&VarId::from_raw(3)));

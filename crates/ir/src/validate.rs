@@ -100,10 +100,14 @@ pub fn validate(func: &Function) -> Vec<ValidateError> {
     let mut seen = BTreeSet::new();
     for l in func.loops() {
         if !seen.insert(l.label.clone()) {
-            errors.push(ValidateError::DuplicateLabel { label: l.label.clone() });
+            errors.push(ValidateError::DuplicateLabel {
+                label: l.label.clone(),
+            });
         }
         if l.trip_count() >= crate::stmt::MAX_TRIP_COUNT {
-            errors.push(ValidateError::SuspiciousLoop { label: l.label.clone() });
+            errors.push(ValidateError::SuspiciousLoop {
+                label: l.label.clone(),
+            });
         }
         if func.var(l.var).kind != VarKind::Counter {
             errors.push(ValidateError::TypeMismatch {
@@ -114,7 +118,9 @@ pub fn validate(func: &Function) -> Vec<ValidateError> {
             s.visit(&mut |s| {
                 if let Stmt::Assign { var, .. } = s {
                     if *var == l.var {
-                        errors.push(ValidateError::CounterAssigned { label: l.label.clone() });
+                        errors.push(ValidateError::CounterAssigned {
+                            label: l.label.clone(),
+                        });
                     }
                 }
             });
@@ -132,15 +138,23 @@ fn check_stmt(func: &Function, s: &Stmt, nvars: u32, errors: &mut Vec<ValidateEr
     match s {
         Stmt::Assign { var, value } => {
             if var.index() as u32 >= nvars {
-                errors.push(ValidateError::UnknownVar { raw: var.index() as u32 });
+                errors.push(ValidateError::UnknownVar {
+                    raw: var.index() as u32,
+                });
                 return;
             }
             let decl = func.var(*var);
             if decl.is_array() {
-                errors.push(ValidateError::ShapeMismatch { var: decl.name.clone() });
+                errors.push(ValidateError::ShapeMismatch {
+                    var: decl.name.clone(),
+                });
             }
             if let Some(kind) = check_expr(func, value, nvars, errors) {
-                let want = if decl.ty.is_bool() { Kind::Bool } else { Kind::Num };
+                let want = if decl.ty.is_bool() {
+                    Kind::Bool
+                } else {
+                    Kind::Num
+                };
                 if kind != want {
                     errors.push(ValidateError::TypeMismatch {
                         context: format!("assignment to {}", decl.name),
@@ -148,14 +162,22 @@ fn check_stmt(func: &Function, s: &Stmt, nvars: u32, errors: &mut Vec<ValidateEr
                 }
             }
         }
-        Stmt::Store { array, index, value } => {
+        Stmt::Store {
+            array,
+            index,
+            value,
+        } => {
             if array.index() as u32 >= nvars {
-                errors.push(ValidateError::UnknownVar { raw: array.index() as u32 });
+                errors.push(ValidateError::UnknownVar {
+                    raw: array.index() as u32,
+                });
                 return;
             }
             let decl = func.var(*array);
             match decl.len {
-                None => errors.push(ValidateError::ShapeMismatch { var: decl.name.clone() }),
+                None => errors.push(ValidateError::ShapeMismatch {
+                    var: decl.name.clone(),
+                }),
                 Some(len) => {
                     if let Expr::Const(c) = index {
                         let i = c.to_i64();
@@ -170,7 +192,9 @@ fn check_stmt(func: &Function, s: &Stmt, nvars: u32, errors: &mut Vec<ValidateEr
                 }
             }
             if check_expr(func, index, nvars, errors) == Some(Kind::Bool) {
-                errors.push(ValidateError::TypeMismatch { context: "boolean array index".into() });
+                errors.push(ValidateError::TypeMismatch {
+                    context: "boolean array index".into(),
+                });
             }
             if check_expr(func, value, nvars, errors) == Some(Kind::Bool) {
                 errors.push(ValidateError::TypeMismatch {
@@ -201,25 +225,37 @@ fn check_expr(
         Expr::ConstBool(_) => Some(Kind::Bool),
         Expr::Var(v) => {
             if v.index() as u32 >= nvars {
-                errors.push(ValidateError::UnknownVar { raw: v.index() as u32 });
+                errors.push(ValidateError::UnknownVar {
+                    raw: v.index() as u32,
+                });
                 return None;
             }
             let decl = func.var(*v);
             if decl.is_array() {
-                errors.push(ValidateError::ShapeMismatch { var: decl.name.clone() });
+                errors.push(ValidateError::ShapeMismatch {
+                    var: decl.name.clone(),
+                });
                 return None;
             }
-            Some(if decl.ty.is_bool() { Kind::Bool } else { Kind::Num })
+            Some(if decl.ty.is_bool() {
+                Kind::Bool
+            } else {
+                Kind::Num
+            })
         }
         Expr::Load { array, index } => {
             if array.index() as u32 >= nvars {
-                errors.push(ValidateError::UnknownVar { raw: array.index() as u32 });
+                errors.push(ValidateError::UnknownVar {
+                    raw: array.index() as u32,
+                });
                 return None;
             }
             let decl = func.var(*array);
             match decl.len {
                 None => {
-                    errors.push(ValidateError::ShapeMismatch { var: decl.name.clone() });
+                    errors.push(ValidateError::ShapeMismatch {
+                        var: decl.name.clone(),
+                    });
                 }
                 Some(len) => {
                     if let Expr::Const(c) = index.as_ref() {
@@ -235,7 +271,9 @@ fn check_expr(
                 }
             }
             if check_expr(func, index, nvars, errors) == Some(Kind::Bool) {
-                errors.push(ValidateError::TypeMismatch { context: "boolean array index".into() });
+                errors.push(ValidateError::TypeMismatch {
+                    context: "boolean array index".into(),
+                });
             }
             Some(Kind::Num)
         }
@@ -315,7 +353,9 @@ fn check_expr(
         }
         Expr::Cast { arg, .. } => {
             if check_expr(func, arg, nvars, errors) == Some(Kind::Bool) {
-                errors.push(ValidateError::TypeMismatch { context: "cast of boolean".into() });
+                errors.push(ValidateError::TypeMismatch {
+                    context: "cast of boolean".into(),
+                });
             }
             Some(Kind::Num)
         }
@@ -349,7 +389,9 @@ mod tests {
         b.for_loop("l", 0, CmpOp::Lt, 2, 1, |_, _| {});
         b.for_loop("l", 0, CmpOp::Lt, 2, 1, |_, _| {});
         let errs = validate(&b.build());
-        assert!(errs.iter().any(|e| matches!(e, ValidateError::DuplicateLabel { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::DuplicateLabel { .. })));
     }
 
     #[test]
@@ -359,7 +401,9 @@ mod tests {
             b.assign(k, Expr::int_const(0));
         });
         let errs = validate(&b.build());
-        assert!(errs.iter().any(|e| matches!(e, ValidateError::CounterAssigned { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::CounterAssigned { .. })));
     }
 
     #[test]
@@ -369,9 +413,14 @@ mod tests {
         let out = b.param_scalar("out", Ty::int(8));
         b.assign(out, Expr::load(a, Expr::int_const(7)));
         let errs = validate(&b.build());
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, ValidateError::ConstIndexOutOfBounds { index: 7, len: 4, .. })));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ValidateError::ConstIndexOutOfBounds {
+                index: 7,
+                len: 4,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -381,7 +430,9 @@ mod tests {
         let out = b.param_scalar("out", Ty::int(8));
         b.assign(out, Expr::load(s, Expr::int_const(0)));
         let errs = validate(&b.build());
-        assert!(errs.iter().any(|e| matches!(e, ValidateError::ShapeMismatch { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::ShapeMismatch { .. })));
     }
 
     #[test]
@@ -390,7 +441,9 @@ mod tests {
         let a = b.param_array("a", Ty::int(8), 4);
         b.assign(a, Expr::int_const(0));
         let errs = validate(&b.build());
-        assert!(errs.iter().any(|e| matches!(e, ValidateError::ShapeMismatch { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::ShapeMismatch { .. })));
     }
 
     #[test]
@@ -401,10 +454,15 @@ mod tests {
         // Arithmetic on a comparison result.
         b.assign(
             out,
-            Expr::add(Expr::cmp(CmpOp::Lt, Expr::var(x), Expr::int_const(0)), Expr::var(x)),
+            Expr::add(
+                Expr::cmp(CmpOp::Lt, Expr::var(x), Expr::int_const(0)),
+                Expr::var(x),
+            ),
         );
         let errs = validate(&b.build());
-        assert!(errs.iter().any(|e| matches!(e, ValidateError::TypeMismatch { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::TypeMismatch { .. })));
     }
 
     #[test]
@@ -432,6 +490,8 @@ mod tests {
         let out = b.param_scalar("out", Ty::int(8));
         b.if_then(Expr::var(x), |b| b.assign(out, Expr::int_const(1)));
         let errs = validate(&b.build());
-        assert!(errs.iter().any(|e| matches!(e, ValidateError::TypeMismatch { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::TypeMismatch { .. })));
     }
 }

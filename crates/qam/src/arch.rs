@@ -39,13 +39,21 @@ pub fn table1_architectures() -> Vec<Architecture> {
             name: "merged",
             constraints: "M M M M M M",
             directives: Directives::new(CLOCK_NS),
-            paper: PaperRow { latency_ns: 350.0, data_rate_mbps: 17.1, area_normalized: 1.17 },
+            paper: PaperRow {
+                latency_ns: 350.0,
+                data_rate_mbps: 17.1,
+                area_normalized: 1.17,
+            },
         },
         Architecture {
             name: "none",
             constraints: "none none none none none none",
             directives: Directives::new(CLOCK_NS).no_merging(),
-            paper: PaperRow { latency_ns: 690.0, data_rate_mbps: 8.6, area_normalized: 1.00 },
+            paper: PaperRow {
+                latency_ns: 690.0,
+                data_rate_mbps: 8.6,
+                area_normalized: 1.00,
+            },
         },
         Architecture {
             name: "merged-u2",
@@ -54,7 +62,11 @@ pub fn table1_architectures() -> Vec<Architecture> {
                 .unroll("dfe", Unroll::Factor(2))
                 .unroll("dfe_adapt", Unroll::Factor(2))
                 .unroll("dfe_shift", Unroll::Factor(2)),
-            paper: PaperRow { latency_ns: 190.0, data_rate_mbps: 31.5, area_normalized: 1.61 },
+            paper: PaperRow {
+                latency_ns: 190.0,
+                data_rate_mbps: 31.5,
+                area_normalized: 1.61,
+            },
         },
         Architecture {
             name: "merged-u4",
@@ -64,7 +76,11 @@ pub fn table1_architectures() -> Vec<Architecture> {
                 .unroll("ffe_adapt", Unroll::Factor(2))
                 .unroll("dfe_adapt", Unroll::Factor(4))
                 .unroll("dfe_shift", Unroll::Factor(4)),
-            paper: PaperRow { latency_ns: 150.0, data_rate_mbps: 40.0, area_normalized: 1.88 },
+            paper: PaperRow {
+                latency_ns: 150.0,
+                data_rate_mbps: 40.0,
+                area_normalized: 1.88,
+            },
         },
     ]
 }
@@ -94,8 +110,17 @@ mod tests {
     #[test]
     fn directives_encode_the_unrolls() {
         let archs = table1_architectures();
-        assert_eq!(archs[2].directives.loop_directive("dfe").unroll, Unroll::Factor(2));
-        assert_eq!(archs[3].directives.loop_directive("dfe_adapt").unroll, Unroll::Factor(4));
-        assert_eq!(archs[3].directives.loop_directive("ffe").unroll, Unroll::None);
+        assert_eq!(
+            archs[2].directives.loop_directive("dfe").unroll,
+            Unroll::Factor(2)
+        );
+        assert_eq!(
+            archs[3].directives.loop_directive("dfe_adapt").unroll,
+            Unroll::Factor(4)
+        );
+        assert_eq!(
+            archs[3].directives.loop_directive("ffe").unroll,
+            Unroll::None
+        );
     }
 }

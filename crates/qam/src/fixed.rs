@@ -109,12 +109,16 @@ impl QamDecoderFixed {
         // nfe: for(k) yffe += x[k] * ffe_c[k];
         let mut yffe = CFixed::zero(p.yffe_format());
         for k in 0..p.nffe {
-            yffe = yffe.add(&self.x[k].mul(&self.ffe_c[k])).cast(p.yffe_format());
+            yffe = yffe
+                .add(&self.x[k].mul(&self.ffe_c[k]))
+                .cast(p.yffe_format());
         }
         // dfe: for(k) ydfe += SV[k] * dfe_c[k];
         let mut ydfe = CFixed::zero(p.ydfe_format());
         for k in 0..p.ndfe {
-            ydfe = ydfe.add(&self.sv[k].mul(&self.dfe_c[k])).cast(p.ydfe_format());
+            ydfe = ydfe
+                .add(&self.sv[k].mul(&self.dfe_c[k]))
+                .cast(p.ydfe_format());
         }
         // y = yffe - ydfe;  (sc_complex<FFE_W+1,1>)
         let y = yffe.sub(&ydfe).cast(p.yffe_format());
@@ -156,7 +160,9 @@ impl QamDecoderFixed {
             .exact_mul(&c64)
             .exact_add(&i.exact_mul(&c8))
             .cast(Format::signed(6, 6));
-        let data = data_f.cast(Format::integer(6, Signedness::Unsigned)).to_i64() as u8;
+        let data = data_f
+            .cast(Format::integer(6, Signedness::Unsigned))
+            .to_i64() as u8;
 
         // ffe_adapt: ffe_c[k] += mu_ffe * e * x[k].sign_conj();
         for k in 0..p.nffe {
@@ -306,7 +312,7 @@ mod tests {
         assert_eq!(data_code(3, 4), (64 - 8) as u8);
         assert_eq!(data_code(4, 3), 63);
         assert_eq!(data_code(7, 7), ((3 * 8 + 3) & 63) as u8);
-        assert_eq!(data_code(0, 0), (((-4i64 * 8 - 4) & 63)) as u8);
+        assert_eq!(data_code(0, 0), ((-4i64 * 8 - 4) & 63) as u8);
     }
 
     #[test]
@@ -333,7 +339,10 @@ mod tests {
         // The Figure 4 listing truncates at the <3,0> assignment: a point
         // just below a level decodes one level down, which the rounded
         // slicer gets right. This is the reproduction's documented fix.
-        let p = DecoderParams { slicer_rounding: false, ..DecoderParams::default() };
+        let p = DecoderParams {
+            slicer_rounding: false,
+            ..DecoderParams::default()
+        };
         let mut printed = QamDecoderFixed::new(p);
         printed.set_ffe_tap(0, Complex::new(511.0 / 1024.0, 0.0));
         let mut rounded = passthrough_decoder();
@@ -351,7 +360,10 @@ mod tests {
     fn reset_restores_initial_state() {
         let p = DecoderParams::default();
         let mut dec = passthrough_decoder();
-        dec.decode([CFixed::from_f64(0.3, 0.3, p.x_format()), CFixed::zero(p.x_format())]);
+        dec.decode([
+            CFixed::from_f64(0.3, 0.3, p.x_format()),
+            CFixed::zero(p.x_format()),
+        ]);
         dec.reset();
         let fresh = QamDecoderFixed::new(p);
         assert_eq!(dec, fresh);

@@ -9,6 +9,9 @@ use hls_ir::{EvalError, Function, Interpreter, Slot, VarId};
 use crate::ir::QamDecoderIr;
 use crate::params::DecoderParams;
 
+/// Interleaved `(re, im)` float pairs of one persistent state array.
+pub type TapPairs = Vec<(f64, f64)>;
+
 /// An interpreter-backed decoder with persistent static state.
 #[derive(Debug, Clone)]
 pub struct IrDecoder {
@@ -78,17 +81,32 @@ impl IrDecoder {
         let fmt = self.params.x_format();
         let re = Slot::Array(vec![x0.re().cast(fmt), x1.re().cast(fmt)]);
         let im = Slot::Array(vec![x0.im().cast(fmt), x1.im().cast(fmt)]);
-        let out = self.interp.call(&[(self.x_in_re, re), (self.x_in_im, im)])?;
+        let out = self
+            .interp
+            .call(&[(self.x_in_re, re), (self.x_in_im, im)])?;
         Ok(out[&self.data].scalar().expect("data is scalar").to_i64() as u8)
     }
 
     /// The decoder's persistent state as float vectors:
     /// `(ffe_c, dfe_c, x, sv)` with interleaved (re, im) pairs.
-    pub fn state(&self) -> (Vec<(f64, f64)>, Vec<(f64, f64)>, Vec<(f64, f64)>, Vec<(f64, f64)>) {
-        let get = |ids: (VarId, VarId)| -> Vec<(f64, f64)> {
-            let re = self.interp.static_slot(ids.0).expect("static").array().expect("array");
-            let im = self.interp.static_slot(ids.1).expect("static").array().expect("array");
-            re.iter().zip(im).map(|(r, i)| (r.to_f64(), i.to_f64())).collect()
+    pub fn state(&self) -> (TapPairs, TapPairs, TapPairs, TapPairs) {
+        let get = |ids: (VarId, VarId)| -> TapPairs {
+            let re = self
+                .interp
+                .static_slot(ids.0)
+                .expect("static")
+                .array()
+                .expect("array");
+            let im = self
+                .interp
+                .static_slot(ids.1)
+                .expect("static")
+                .array()
+                .expect("array");
+            re.iter()
+                .zip(im)
+                .map(|(r, i)| (r.to_f64(), i.to_f64()))
+                .collect()
         };
         (get(self.ffe_c), get(self.dfe_c), get(self.x), get(self.sv))
     }

@@ -85,8 +85,16 @@ pub fn build_qam_decoder_ir(p: &DecoderParams) -> QamDecoderIr {
 
     // x[0] = x_in[0]; x[1] = x_in[1];
     for idx in 0..2i64 {
-        b.store(x_re, Expr::int_const(idx), Expr::load(x_in_re, Expr::int_const(idx)));
-        b.store(x_im, Expr::int_const(idx), Expr::load(x_in_im, Expr::int_const(idx)));
+        b.store(
+            x_re,
+            Expr::int_const(idx),
+            Expr::load(x_in_re, Expr::int_const(idx)),
+        );
+        b.store(
+            x_im,
+            Expr::int_const(idx),
+            Expr::load(x_in_im, Expr::int_const(idx)),
+        );
     }
 
     // sc_complex<FFE_W+1,1> yffe = 0;
@@ -94,18 +102,30 @@ pub fn build_qam_decoder_ir(p: &DecoderParams) -> QamDecoderIr {
     b.assign(yffe_im, Expr::int_const(0));
     // nfe: for(k) yffe += x[k] * ffe_c[k];
     b.for_loop("ffe", 0, CmpOp::Lt, nffe, 1, |b, k| {
-        let (xr, xi) = (Expr::load(x_re, Expr::var(k)), Expr::load(x_im, Expr::var(k)));
-        let (cr, ci) = (Expr::load(ffe_c_re, Expr::var(k)), Expr::load(ffe_c_im, Expr::var(k)));
+        let (xr, xi) = (
+            Expr::load(x_re, Expr::var(k)),
+            Expr::load(x_im, Expr::var(k)),
+        );
+        let (cr, ci) = (
+            Expr::load(ffe_c_re, Expr::var(k)),
+            Expr::load(ffe_c_im, Expr::var(k)),
+        );
         b.assign(
             yffe_re,
             Expr::add(
                 Expr::var(yffe_re),
-                Expr::sub(Expr::mul(xr.clone(), cr.clone()), Expr::mul(xi.clone(), ci.clone())),
+                Expr::sub(
+                    Expr::mul(xr.clone(), cr.clone()),
+                    Expr::mul(xi.clone(), ci.clone()),
+                ),
             ),
         );
         b.assign(
             yffe_im,
-            Expr::add(Expr::var(yffe_im), Expr::add(Expr::mul(xr, ci), Expr::mul(xi, cr))),
+            Expr::add(
+                Expr::var(yffe_im),
+                Expr::add(Expr::mul(xr, ci), Expr::mul(xi, cr)),
+            ),
         );
     });
 
@@ -114,18 +134,30 @@ pub fn build_qam_decoder_ir(p: &DecoderParams) -> QamDecoderIr {
     b.assign(ydfe_im, Expr::int_const(0));
     // dfe: for(k) ydfe += SV[k] * dfe_c[k];
     b.for_loop("dfe", 0, CmpOp::Lt, ndfe, 1, |b, k| {
-        let (sr, si) = (Expr::load(sv_re, Expr::var(k)), Expr::load(sv_im, Expr::var(k)));
-        let (cr, ci) = (Expr::load(dfe_c_re, Expr::var(k)), Expr::load(dfe_c_im, Expr::var(k)));
+        let (sr, si) = (
+            Expr::load(sv_re, Expr::var(k)),
+            Expr::load(sv_im, Expr::var(k)),
+        );
+        let (cr, ci) = (
+            Expr::load(dfe_c_re, Expr::var(k)),
+            Expr::load(dfe_c_im, Expr::var(k)),
+        );
         b.assign(
             ydfe_re,
             Expr::add(
                 Expr::var(ydfe_re),
-                Expr::sub(Expr::mul(sr.clone(), cr.clone()), Expr::mul(si.clone(), ci.clone())),
+                Expr::sub(
+                    Expr::mul(sr.clone(), cr.clone()),
+                    Expr::mul(si.clone(), ci.clone()),
+                ),
             ),
         );
         b.assign(
             ydfe_im,
-            Expr::add(Expr::var(ydfe_im), Expr::add(Expr::mul(sr, ci), Expr::mul(si, cr))),
+            Expr::add(
+                Expr::var(ydfe_im),
+                Expr::add(Expr::mul(sr, ci), Expr::mul(si, cr)),
+            ),
         );
     });
 
@@ -153,12 +185,26 @@ pub fn build_qam_decoder_ir(p: &DecoderParams) -> QamDecoderIr {
     b.assign(i_c, slicer(y_im));
 
     // SV[0] = sc_complex<3,0>(r,i) + offset;
-    b.store(sv_re, Expr::int_const(0), Expr::add(Expr::var(r), offset.clone()));
-    b.store(sv_im, Expr::int_const(0), Expr::add(Expr::var(i_c), offset.clone()));
+    b.store(
+        sv_re,
+        Expr::int_const(0),
+        Expr::add(Expr::var(r), offset.clone()),
+    );
+    b.store(
+        sv_im,
+        Expr::int_const(0),
+        Expr::add(Expr::var(i_c), offset.clone()),
+    );
 
     // e = SV[0] - y;
-    b.assign(e_re, Expr::sub(Expr::load(sv_re, Expr::int_const(0)), Expr::var(y_re)));
-    b.assign(e_im, Expr::sub(Expr::load(sv_im, Expr::int_const(0)), Expr::var(y_im)));
+    b.assign(
+        e_re,
+        Expr::sub(Expr::load(sv_re, Expr::int_const(0)), Expr::var(y_re)),
+    );
+    b.assign(
+        e_im,
+        Expr::sub(Expr::load(sv_im, Expr::int_const(0)), Expr::var(y_im)),
+    );
 
     // data_f = r*64 + i*8; *data = data_f.to_int();
     b.assign(
@@ -193,12 +239,18 @@ pub fn build_qam_decoder_ir(p: &DecoderParams) -> QamDecoderIr {
         b.store(
             ffe_c_re,
             Expr::var(k),
-            Expr::add(Expr::load(ffe_c_re, Expr::var(k)), Expr::mul(t_re, mu.clone())),
+            Expr::add(
+                Expr::load(ffe_c_re, Expr::var(k)),
+                Expr::mul(t_re, mu.clone()),
+            ),
         );
         b.store(
             ffe_c_im,
             Expr::var(k),
-            Expr::add(Expr::load(ffe_c_im, Expr::var(k)), Expr::mul(t_im, mu.clone())),
+            Expr::add(
+                Expr::load(ffe_c_im, Expr::var(k)),
+                Expr::mul(t_im, mu.clone()),
+            ),
         );
     });
 
@@ -215,12 +267,18 @@ pub fn build_qam_decoder_ir(p: &DecoderParams) -> QamDecoderIr {
         b.store(
             dfe_c_re,
             Expr::var(k),
-            Expr::sub(Expr::load(dfe_c_re, Expr::var(k)), Expr::mul(t_re, mu.clone())),
+            Expr::sub(
+                Expr::load(dfe_c_re, Expr::var(k)),
+                Expr::mul(t_re, mu.clone()),
+            ),
         );
         b.store(
             dfe_c_im,
             Expr::var(k),
-            Expr::sub(Expr::load(dfe_c_im, Expr::var(k)), Expr::mul(t_im, mu.clone())),
+            Expr::sub(
+                Expr::load(dfe_c_im, Expr::var(k)),
+                Expr::mul(t_im, mu.clone()),
+            ),
         );
     });
 
@@ -277,7 +335,14 @@ mod tests {
         assert!(problems.is_empty(), "{problems:?}");
         assert_eq!(
             ir.func.loop_labels(),
-            vec!["ffe", "dfe", "ffe_adapt", "dfe_adapt", "ffe_shift", "dfe_shift"]
+            vec![
+                "ffe",
+                "dfe",
+                "ffe_adapt",
+                "dfe_adapt",
+                "ffe_shift",
+                "dfe_shift"
+            ]
         );
     }
 
@@ -302,7 +367,13 @@ mod tests {
     fn counter_widths_infer_like_figure2() {
         let ir = build_qam_decoder_ir(&DecoderParams::default());
         let widths = hls_ir::bitwidth::loop_counter_widths(&ir.func);
-        let by_label = |l: &str| widths.iter().find(|w| w.label == l).expect("loop exists").clone();
+        let by_label = |l: &str| {
+            widths
+                .iter()
+                .find(|w| w.label == l)
+                .expect("loop exists")
+                .clone()
+        };
         // ffe: 0..8 (exit 8) -> unsigned 4 bits.
         assert_eq!(by_label("ffe").unsigned_width, Some(4));
         // dfe: 0..16 (exit 16) -> unsigned 5 bits.

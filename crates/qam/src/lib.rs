@@ -30,11 +30,15 @@ mod fixed;
 mod harness;
 mod ir;
 mod params;
+mod rtl_harness;
 mod source;
 
-pub use arch::{table1_architectures, table1_library, Architecture, PaperRow, BITS_PER_CALL, CLOCK_NS};
+pub use arch::{
+    table1_architectures, table1_library, Architecture, PaperRow, BITS_PER_CALL, CLOCK_NS,
+};
 pub use fixed::{data_code, DecodeOutput, QamDecoderFixed};
-pub use harness::IrDecoder;
+pub use harness::{IrDecoder, TapPairs};
 pub use ir::{build_qam_decoder_ir, QamDecoderIr};
 pub use params::DecoderParams;
+pub use rtl_harness::{RtlDecoder, SimBackend};
 pub use source::{parse_qam_decoder, QAM_DECODER_SOURCE};

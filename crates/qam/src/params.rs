@@ -65,7 +65,11 @@ impl DecoderParams {
     /// LMS coefficient precision. Table-1 synthesis results keep the
     /// paper's widths (the cycle counts are width-independent there).
     pub fn functional() -> Self {
-        DecoderParams { ffe_c_w: 18, dfe_c_w: 18, ..DecoderParams::default() }
+        DecoderParams {
+            ffe_c_w: 18,
+            dfe_c_w: 18,
+            ..DecoderParams::default()
+        }
     }
 
     /// Input sample format `sc_complex<X_W, 0>`.
@@ -138,7 +142,10 @@ mod tests {
     #[test]
     fn defaults_match_paper() {
         let p = DecoderParams::default();
-        assert_eq!((p.x_w, p.ffe_w, p.dfe_w, p.ffe_c_w, p.dfe_c_w), (10, 10, 10, 10, 10));
+        assert_eq!(
+            (p.x_w, p.ffe_w, p.dfe_w, p.ffe_c_w, p.dfe_c_w),
+            (10, 10, 10, 10, 10)
+        );
         assert_eq!(p.mu_shift, 8);
         assert_eq!((p.nffe, p.ndfe), (8, 16));
         assert_eq!(p.yffe_format().to_string(), "fixed<11,1>");
@@ -155,7 +162,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "not representable")]
     fn unrepresentable_mu_panics() {
-        let p = DecoderParams { mu_shift: 12, ..DecoderParams::default() };
+        let p = DecoderParams {
+            mu_shift: 12,
+            ..DecoderParams::default()
+        };
         let _ = p.mu();
     }
 }

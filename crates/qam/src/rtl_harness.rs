@@ -1,0 +1,211 @@
+//! RTL-level decoder harness: synthesizes one architecture and drives the
+//! cycle-accurate simulation symbol by symbol, mirroring [`IrDecoder`]'s
+//! interface so the two levels can be compared bit for bit.
+//!
+//! The harness is backend-selectable: the same synthesized design can run
+//! on the map-based reference simulator or on the compiled fast path
+//! ([`rtl::SimProgram`]), which is what the throughput benchmarks and
+//! long convergence runs use.
+//!
+//! [`IrDecoder`]: crate::IrDecoder
+
+use dsp::CFixed;
+use fixpt::Fixed;
+use hls_ir::{Function, Slot, VarId};
+use rtl::{CompiledSim, Fsmd, RtlSimulator, SimError};
+
+use crate::arch::table1_library;
+use crate::ir::{build_qam_decoder_ir, QamDecoderIr};
+use crate::params::DecoderParams;
+
+/// Which simulator executes the synthesized decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimBackend {
+    /// The map-based reference simulator ([`RtlSimulator`]).
+    Reference,
+    /// The compiled fast path ([`CompiledSim`]); the default — it is
+    /// bit-identical to the reference and an order of magnitude faster.
+    #[default]
+    Compiled,
+}
+
+#[derive(Debug, Clone)]
+enum Sim {
+    Reference(RtlSimulator),
+    Compiled(CompiledSim),
+}
+
+impl Sim {
+    fn run_call(
+        &mut self,
+        inputs: &[(VarId, Slot)],
+    ) -> Result<std::collections::BTreeMap<VarId, Slot>, SimError> {
+        match self {
+            Sim::Reference(s) => s.run_call(inputs),
+            Sim::Compiled(s) => s.run_call(inputs),
+        }
+    }
+}
+
+/// A synthesized decoder driven through cycle-accurate simulation.
+#[derive(Debug, Clone)]
+pub struct RtlDecoder {
+    sim: Sim,
+    ids: QamDecoderIr,
+    params: DecoderParams,
+}
+
+impl RtlDecoder {
+    /// Synthesizes the decoder under `directives` (with the Table-1
+    /// technology library) on the default backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if synthesis fails — the Table-1 directive sets always
+    /// synthesize.
+    pub fn new(params: DecoderParams, directives: &hls_core::Directives) -> Self {
+        Self::with_backend(params, directives, SimBackend::default())
+    }
+
+    /// Synthesizes the decoder and simulates it on `backend`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if synthesis fails.
+    pub fn with_backend(
+        params: DecoderParams,
+        directives: &hls_core::Directives,
+        backend: SimBackend,
+    ) -> Self {
+        let ids = build_qam_decoder_ir(&params);
+        let result = hls_core::synthesize(&ids.func, directives, &table1_library())
+            .expect("decoder synthesizes");
+        let fsmd = Fsmd::from_synthesis(&result);
+        let sim = match backend {
+            SimBackend::Reference => Sim::Reference(RtlSimulator::new(fsmd)),
+            SimBackend::Compiled => Sim::Compiled(CompiledSim::from_fsmd(&fsmd)),
+        };
+        RtlDecoder { sim, ids, params }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &DecoderParams {
+        &self.params
+    }
+
+    /// The IR variable ids of the decoder's ports and state.
+    pub fn ids(&self) -> &QamDecoderIr {
+        &self.ids
+    }
+
+    /// The staged function the simulated datapath references (its variable
+    /// set enumerates all registers and arrays).
+    pub fn function(&self) -> &Function {
+        match &self.sim {
+            Sim::Reference(s) => s.design().function(),
+            Sim::Compiled(s) => s.program().function(),
+        }
+    }
+
+    /// Total cycles simulated.
+    pub fn cycles(&self) -> u64 {
+        match &self.sim {
+            Sim::Reference(s) => s.cycles(),
+            Sim::Compiled(s) => s.cycles(),
+        }
+    }
+
+    /// Reads a persistent register.
+    pub fn reg(&self, id: VarId) -> Option<Fixed> {
+        match &self.sim {
+            Sim::Reference(s) => s.reg(id),
+            Sim::Compiled(s) => s.reg(id),
+        }
+    }
+
+    /// Reads a persistent array.
+    pub fn array(&self, id: VarId) -> Option<&[Fixed]> {
+        match &self.sim {
+            Sim::Reference(s) => s.array(id),
+            Sim::Compiled(s) => s.array(id),
+        }
+    }
+
+    /// Sets one forward coefficient in the persistent state (cold-start),
+    /// mirroring [`crate::QamDecoderFixed::set_ffe_tap`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_ffe_tap(&mut self, index: usize, value: dsp::Complex) {
+        let fmt = self.params.ffe_c_format();
+        let (re, im) = self.ids.ffe_c;
+        self.poke(re, index, Fixed::from_f64(value.re, fmt));
+        self.poke(im, index, Fixed::from_f64(value.im, fmt));
+    }
+
+    fn poke(&mut self, id: VarId, index: usize, value: Fixed) {
+        match &mut self.sim {
+            Sim::Reference(s) => s.poke_array(id, index, value),
+            Sim::Compiled(s) => s.poke_array(id, index, value),
+        }
+    }
+
+    /// Decodes one symbol period (`x0` newest), returning the 6-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures (which indicate generation bugs).
+    pub fn decode(&mut self, x0: CFixed, x1: CFixed) -> Result<u8, SimError> {
+        let fmt = self.params.x_format();
+        let re = Slot::Array(vec![x0.re().cast(fmt), x1.re().cast(fmt)]);
+        let im = Slot::Array(vec![x0.im().cast(fmt), x1.im().cast(fmt)]);
+        let out = self
+            .sim
+            .run_call(&[(self.ids.x_in_re, re), (self.ids.x_in_im, im)])?;
+        Ok(out[&self.ids.data]
+            .scalar()
+            .expect("data is scalar")
+            .to_i64() as u8)
+    }
+
+    /// The forward-coefficient state as `(re, im)` float pairs.
+    pub fn ffe_taps(&self) -> Vec<(f64, f64)> {
+        let re = self.array(self.ids.ffe_c.0).expect("array");
+        let im = self.array(self.ids.ffe_c.1).expect("array");
+        re.iter()
+            .zip(im)
+            .map(|(r, i)| (r.to_f64(), i.to_f64()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::table1_architectures;
+
+    #[test]
+    fn backends_agree_on_words_and_cycles() {
+        let p = DecoderParams::default();
+        let arch = &table1_architectures()[0];
+        let mut reference = RtlDecoder::with_backend(p, &arch.directives, SimBackend::Reference);
+        let mut compiled = RtlDecoder::with_backend(p, &arch.directives, SimBackend::Compiled);
+        let init = dsp::Complex::new(0.45, -0.05);
+        for dec in [&mut reference, &mut compiled] {
+            dec.set_ffe_tap(0, init);
+            dec.set_ffe_tap(1, init);
+        }
+        for step in 0..20i64 {
+            let v = (step % 17 - 8) as f64 / 32.0;
+            let w = (step % 13 - 6) as f64 / 64.0;
+            let x0 = CFixed::from_f64(v, w, p.x_format());
+            let x1 = CFixed::from_f64(w, -v, p.x_format());
+            let a = reference.decode(x0, x1).expect("reference runs");
+            let b = compiled.decode(x0, x1).expect("compiled runs");
+            assert_eq!(a, b, "step {step}");
+        }
+        assert_eq!(reference.cycles(), compiled.cycles());
+        assert_eq!(reference.ffe_taps(), compiled.ffe_taps());
+    }
+}

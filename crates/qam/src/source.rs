@@ -127,7 +127,14 @@ mod tests {
         assert!(problems.is_empty(), "{problems:?}");
         assert_eq!(
             ir.func.loop_labels(),
-            vec!["ffe", "dfe", "ffe_adapt", "dfe_adapt", "ffe_shift", "dfe_shift"]
+            vec![
+                "ffe",
+                "dfe",
+                "ffe_adapt",
+                "dfe_adapt",
+                "ffe_shift",
+                "dfe_shift"
+            ]
         );
         let trips: Vec<usize> = ir.func.loops().iter().map(|l| l.trip_count()).collect();
         assert_eq!(trips, vec![8, 16, 8, 16, 3, 15]);
@@ -146,8 +153,16 @@ mod tests {
         fixed.set_ffe_tap(1, init);
         let mut rng = StdRng::seed_from_u64(77);
         for call in 0..200 {
-            let x0 = CFixed::from_f64(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5), p.x_format());
-            let x1 = CFixed::from_f64(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5), p.x_format());
+            let x0 = CFixed::from_f64(
+                rng.gen_range(-0.5..0.5),
+                rng.gen_range(-0.5..0.5),
+                p.x_format(),
+            );
+            let x1 = CFixed::from_f64(
+                rng.gen_range(-0.5..0.5),
+                rng.gen_range(-0.5..0.5),
+                p.x_format(),
+            );
             let a = fixed.decode([x0, x1]).data;
             let b = from_source.decode(x0, x1).expect("parsed IR executes");
             assert_eq!(a, b, "call {call}");
@@ -160,9 +175,13 @@ mod tests {
         let lib = crate::table1_library();
         let expect = [35u64, 69, 19, 15];
         for (arch, cycles) in crate::table1_architectures().iter().zip(expect) {
-            let r = hls_core::synthesize(&parsed.func, &arch.directives, &lib)
-                .expect("synthesizes");
-            assert_eq!(r.metrics.latency_cycles, cycles, "{} (from C source)", arch.name);
+            let r =
+                hls_core::synthesize(&parsed.func, &arch.directives, &lib).expect("synthesizes");
+            assert_eq!(
+                r.metrics.latency_cycles, cycles,
+                "{} (from C source)",
+                arch.name
+            );
         }
     }
 }

@@ -9,7 +9,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn random_sample(rng: &mut StdRng, p: &DecoderParams) -> CFixed {
-    CFixed::from_f64(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5), p.x_format())
+    CFixed::from_f64(
+        rng.gen_range(-0.5..0.5),
+        rng.gen_range(-0.5..0.5),
+        p.x_format(),
+    )
 }
 
 fn run_pair(p: DecoderParams, calls: usize, seed: u64) {
@@ -35,7 +39,9 @@ fn run_pair(p: DecoderParams, calls: usize, seed: u64) {
     let (fc, dc, x, sv) = fixed.state();
     let (ic, idc, ix, isv) = ir.state();
     let to_pairs = |v: &[CFixed]| -> Vec<(f64, f64)> {
-        v.iter().map(|c| (c.to_complex().re, c.to_complex().im)).collect()
+        v.iter()
+            .map(|c| (c.to_complex().re, c.to_complex().im))
+            .collect()
     };
     assert_eq!(to_pairs(fc), ic, "ffe coefficients diverged");
     assert_eq!(to_pairs(dc), idc, "dfe coefficients diverged");
@@ -55,13 +61,20 @@ fn fixed_and_ir_agree_functional_params() {
 
 #[test]
 fn fixed_and_ir_agree_as_printed_slicer() {
-    let p = DecoderParams { slicer_rounding: false, ..DecoderParams::default() };
+    let p = DecoderParams {
+        slicer_rounding: false,
+        ..DecoderParams::default()
+    };
     run_pair(p, 200, 3);
 }
 
 #[test]
 fn fixed_and_ir_agree_small_decoder() {
     // A smaller configuration exercises the parameterization.
-    let p = DecoderParams { nffe: 4, ndfe: 8, ..DecoderParams::functional() };
+    let p = DecoderParams {
+        nffe: 4,
+        ndfe: 8,
+        ..DecoderParams::functional()
+    };
     run_pair(p, 200, 4);
 }

@@ -3,69 +3,32 @@
 //! decoder is synthesized, turned into an FSMD, and driven cycle by cycle
 //! on the same stimulus as the IR interpreter — words and persistent state
 //! must agree bit for bit (the architecture changes the schedule, never
-//! the values).
+//! the values). Each architecture is checked on both simulation backends:
+//! the map-based reference simulator and the compiled fast path.
 
 use dsp::CFixed;
-use fixpt::Fixed;
 use hls_ir::Slot;
-use qam_decoder::{build_qam_decoder_ir, table1_architectures, table1_library, DecoderParams, IrDecoder};
+use qam_decoder::{
+    build_qam_decoder_ir, table1_architectures, table1_library, DecoderParams, IrDecoder,
+    RtlDecoder, SimBackend,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rtl::{Fsmd, RtlSimulator};
-
-struct RtlDecoder {
-    sim: RtlSimulator,
-    ids: qam_decoder::QamDecoderIr,
-    params: DecoderParams,
-}
-
-impl RtlDecoder {
-    fn new(params: DecoderParams, directives: &hls_core::Directives) -> Self {
-        let ids = build_qam_decoder_ir(&params);
-        let result = hls_core::synthesize(&ids.func, directives, &table1_library())
-            .expect("decoder synthesizes");
-        RtlDecoder { sim: RtlSimulator::new(Fsmd::from_synthesis(&result)), ids, params }
-    }
-
-    fn set_ffe_tap(&mut self, index: usize, value: dsp::Complex) {
-        let fmt = self.params.ffe_c_format();
-        self.sim.poke_array(self.ids.ffe_c.0, index, Fixed::from_f64(value.re, fmt));
-        self.sim.poke_array(self.ids.ffe_c.1, index, Fixed::from_f64(value.im, fmt));
-    }
-
-    fn decode(&mut self, x0: CFixed, x1: CFixed) -> u8 {
-        let fmt = self.params.x_format();
-        let re = Slot::Array(vec![x0.re().cast(fmt), x1.re().cast(fmt)]);
-        let im = Slot::Array(vec![x0.im().cast(fmt), x1.im().cast(fmt)]);
-        let out = self
-            .sim
-            .run_call(&[(self.ids.x_in_re, re), (self.ids.x_in_im, im)])
-            .expect("RTL simulates");
-        out[&self.ids.data].scalar().expect("data is scalar").to_i64() as u8
-    }
-
-    fn ffe_taps(&self) -> Vec<(f64, f64)> {
-        let re = self.sim.array(self.ids.ffe_c.0).expect("array");
-        let im = self.sim.array(self.ids.ffe_c.1).expect("array");
-        re.iter().zip(im).map(|(r, i)| (r.to_f64(), i.to_f64())).collect()
-    }
-}
+use rtl::Fsmd;
 
 /// Compares the RTL simulation of one architecture against the IR
-/// interpreter on the *same transformed IR is not needed*: the untimed IR
-/// is the specification, so the reference is the untransformed decoder —
-/// except that the paper's default merge accepts hazards, so the reference
-/// must be the transformed function itself for bit-exactness.
-fn run_arch(arch_index: usize, calls: usize, seed: u64) {
+/// interpreter. The untimed IR is the specification, but the paper's
+/// default merge accepts hazards, so the reference must be the interpreter
+/// on the *transformed* function (the RTL implements the transformed
+/// semantics, hazards and all).
+fn run_arch(arch_index: usize, backend: SimBackend, calls: usize, seed: u64) {
     let p = DecoderParams::default();
     let arch = &table1_architectures()[arch_index];
 
-    // Reference: interpreter on the *transformed* function (the RTL
-    // implements the transformed semantics, hazards and all).
     let ids = build_qam_decoder_ir(&p);
     let t = hls_core::apply_loop_transforms(&ids.func, &arch.directives);
     let mut reference = IrDecoder::from_ir(p, t.func, &ids);
-    let mut hardware = RtlDecoder::new(p, &arch.directives);
+    let mut hardware = RtlDecoder::with_backend(p, &arch.directives, backend);
 
     let init = dsp::Complex::new(0.45, -0.05);
     reference.set_ffe_tap(0, init);
@@ -75,47 +38,66 @@ fn run_arch(arch_index: usize, calls: usize, seed: u64) {
 
     let mut rng = StdRng::seed_from_u64(seed);
     for call in 0..calls {
-        let x0 = CFixed::from_f64(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5), p.x_format());
-        let x1 = CFixed::from_f64(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5), p.x_format());
+        let x0 = CFixed::from_f64(
+            rng.gen_range(-0.5..0.5),
+            rng.gen_range(-0.5..0.5),
+            p.x_format(),
+        );
+        let x1 = CFixed::from_f64(
+            rng.gen_range(-0.5..0.5),
+            rng.gen_range(-0.5..0.5),
+            p.x_format(),
+        );
         let a = reference.decode(x0, x1).expect("interpreter runs");
-        let b = hardware.decode(x0, x1);
+        let b = hardware.decode(x0, x1).expect("RTL simulates");
         assert_eq!(a, b, "{}: call {call}", arch.name);
     }
 
     // Persistent coefficient state agrees bit for bit.
     let (ref_ffe, ..) = reference.state();
-    assert_eq!(ref_ffe, hardware.ffe_taps(), "{}: coefficient state diverged", arch.name);
+    assert_eq!(
+        ref_ffe,
+        hardware.ffe_taps(),
+        "{}: coefficient state diverged",
+        arch.name
+    );
 }
 
 #[test]
 fn rtl_matches_interpreter_merged() {
-    run_arch(0, 60, 101);
+    run_arch(0, SimBackend::Reference, 60, 101);
+    run_arch(0, SimBackend::Compiled, 60, 101);
 }
 
 #[test]
 fn rtl_matches_interpreter_unmerged() {
-    run_arch(1, 60, 102);
+    run_arch(1, SimBackend::Reference, 60, 102);
+    run_arch(1, SimBackend::Compiled, 60, 102);
 }
 
 #[test]
 fn rtl_matches_interpreter_u2() {
-    run_arch(2, 60, 103);
+    run_arch(2, SimBackend::Reference, 60, 103);
+    run_arch(2, SimBackend::Compiled, 60, 103);
 }
 
 #[test]
 fn rtl_matches_interpreter_u4() {
-    run_arch(3, 60, 104);
+    run_arch(3, SimBackend::Reference, 60, 104);
+    run_arch(3, SimBackend::Compiled, 60, 104);
 }
 
 #[test]
 fn rtl_cycle_counts_match_table1() {
     let p = DecoderParams::default();
     let expect = [35u64, 69, 19, 15];
-    for (arch, cycles) in table1_architectures().iter().zip(expect) {
-        let mut dec = RtlDecoder::new(p, &arch.directives);
-        let x = CFixed::zero(p.x_format());
-        dec.decode(x, x);
-        assert_eq!(dec.sim.cycles(), cycles, "{}", arch.name);
+    for backend in [SimBackend::Reference, SimBackend::Compiled] {
+        for (arch, cycles) in table1_architectures().iter().zip(expect) {
+            let mut dec = RtlDecoder::with_backend(p, &arch.directives, backend);
+            let x = CFixed::zero(p.x_format());
+            dec.decode(x, x).expect("decodes");
+            assert_eq!(dec.cycles(), cycles, "{} ({backend:?})", arch.name);
+        }
     }
 }
 
@@ -132,5 +114,27 @@ fn verilog_emits_for_every_architecture() {
         assert!(v.trim_end().ends_with("endmodule"), "{}", arch.name);
         // Every state is encoded.
         assert!(v.matches("localparam S").count() >= r.metrics.segments.len());
+    }
+}
+
+#[test]
+fn decode_output_slots_agree_across_backends() {
+    // Beyond the data word: every parameter slot returned by run_call is
+    // identical across backends on every architecture.
+    let p = DecoderParams::default();
+    for arch in table1_architectures() {
+        let ids = build_qam_decoder_ir(&p);
+        let result = hls_core::synthesize(&ids.func, &arch.directives, &table1_library())
+            .expect("synthesizes");
+        let fsmd = Fsmd::from_synthesis(&result);
+        let mut reference = rtl::RtlSimulator::new(fsmd.clone());
+        let mut compiled = rtl::CompiledSim::from_fsmd(&fsmd);
+        let fmt = p.x_format();
+        let re = Slot::Array(vec![fixpt::Fixed::from_f64(0.25, fmt); 2]);
+        let im = Slot::Array(vec![fixpt::Fixed::from_f64(-0.125, fmt); 2]);
+        let inputs = [(ids.x_in_re, re), (ids.x_in_im, im)];
+        let a = reference.run_call(&inputs).expect("reference runs");
+        let b = compiled.run_call(&inputs).expect("compiled runs");
+        assert_eq!(a, b, "{}", arch.name);
     }
 }

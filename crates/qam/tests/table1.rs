@@ -1,6 +1,8 @@
 //! Regenerates Table 1 and the in-text latency accounting of Section 5.
 
-use qam_decoder::{build_qam_decoder_ir, table1_architectures, table1_library, DecoderParams, BITS_PER_CALL};
+use qam_decoder::{
+    build_qam_decoder_ir, table1_architectures, table1_library, DecoderParams, BITS_PER_CALL,
+};
 
 #[test]
 fn table1_latencies_match_exactly() {
@@ -9,7 +11,11 @@ fn table1_latencies_match_exactly() {
     let expect_cycles = [35u64, 69, 19, 15];
     for (arch, cycles) in table1_architectures().iter().zip(expect_cycles) {
         let r = hls_core::synthesize(&ir.func, &arch.directives, &lib).expect("synthesizes");
-        assert_eq!(r.metrics.latency_cycles, cycles, "{}: {}", arch.name, r.metrics);
+        assert_eq!(
+            r.metrics.latency_cycles, cycles,
+            "{}: {}",
+            arch.name, r.metrics
+        );
         assert_eq!(r.metrics.latency_ns, arch.paper.latency_ns, "{}", arch.name);
     }
 }
@@ -37,16 +43,29 @@ fn table1_area_ordering_and_ratios_hold() {
     let lib = table1_library();
     let areas: Vec<f64> = table1_architectures()
         .iter()
-        .map(|a| hls_core::synthesize(&ir.func, &a.directives, &lib).expect("synthesizes").metrics.area)
+        .map(|a| {
+            hls_core::synthesize(&ir.func, &a.directives, &lib)
+                .expect("synthesizes")
+                .metrics
+                .area
+        })
         .collect();
     let baseline = areas[1]; // the paper normalizes to the unmerged design
     let norm: Vec<f64> = areas.iter().map(|a| a / baseline).collect();
     // Ordering: none < merged < u2 < u4.
-    assert!(norm[1] < norm[0] && norm[0] < norm[2] && norm[2] < norm[3], "{norm:?}");
+    assert!(
+        norm[1] < norm[0] && norm[0] < norm[2] && norm[2] < norm[3],
+        "{norm:?}"
+    );
     // Factors within ~25% of the paper's 1.17 / 1.00 / 1.61 / 1.88.
     for (n, a) in norm.iter().zip(table1_architectures()) {
         let rel = n / a.paper.area_normalized;
-        assert!((0.75..=1.25).contains(&rel), "{}: {n:.2} vs paper {}", a.name, a.paper.area_normalized);
+        assert!(
+            (0.75..=1.25).contains(&rel),
+            "{}: {n:.2} vs paper {}",
+            a.name,
+            a.paper.area_normalized
+        );
     }
 }
 
@@ -56,12 +75,8 @@ fn in_text_latency_accounting() {
     //  8+16+8+16+3+15 = 66 cycles" and the merged default is 3+16+16.
     let ir = build_qam_decoder_ir(&DecoderParams::default());
     let lib = table1_library();
-    let merged = hls_core::synthesize(
-        &ir.func,
-        &table1_architectures()[0].directives,
-        &lib,
-    )
-    .expect("synthesizes");
+    let merged = hls_core::synthesize(&ir.func, &table1_architectures()[0].directives, &lib)
+        .expect("synthesizes");
     let loop_cycles: u64 = merged
         .metrics
         .segments
@@ -81,8 +96,13 @@ fn in_text_latency_accounting() {
 
     let none = hls_core::synthesize(&ir.func, &table1_architectures()[1].directives, &lib)
         .expect("synthesizes");
-    let none_loops: u64 =
-        none.metrics.segments.iter().filter(|s| s.trip > 1).map(|s| s.cycles).sum();
+    let none_loops: u64 = none
+        .metrics
+        .segments
+        .iter()
+        .filter(|s| s.trip > 1)
+        .map(|s| s.cycles)
+        .sum();
     assert_eq!(none_loops, 66); // 8+16+8+16+3+15
 }
 

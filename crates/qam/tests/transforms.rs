@@ -23,19 +23,22 @@ fn decoders(policy: MergePolicy) -> (IrDecoder, IrDecoder) {
     (reference, transformed)
 }
 
-fn drive(
-    a: &mut IrDecoder,
-    b: &mut IrDecoder,
-    calls: usize,
-    seed: u64,
-) -> (usize, usize) {
+fn drive(a: &mut IrDecoder, b: &mut IrDecoder, calls: usize, seed: u64) -> (usize, usize) {
     let p = *a.params();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut agreements = 0;
     let mut total = 0;
     for _ in 0..calls {
-        let x0 = CFixed::from_f64(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5), p.x_format());
-        let x1 = CFixed::from_f64(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5), p.x_format());
+        let x0 = CFixed::from_f64(
+            rng.gen_range(-0.5..0.5),
+            rng.gen_range(-0.5..0.5),
+            p.x_format(),
+        );
+        let x1 = CFixed::from_f64(
+            rng.gen_range(-0.5..0.5),
+            rng.gen_range(-0.5..0.5),
+            p.x_format(),
+        );
         let da = a.decode(x0, x1).expect("reference executes");
         let db = b.decode(x0, x1).expect("transformed executes");
         total += 1;
@@ -63,11 +66,18 @@ fn exact_only_policy_reports_structure() {
     let t = apply_loop_transforms(&ir.func, &d);
     // ffe+dfe merge (exact); the adapt group stays split apart wherever
     // hazards appear.
-    let filter_merge = t.merges.iter().find(|m| m.merged.contains(&"ffe".to_string()));
+    let filter_merge = t
+        .merges
+        .iter()
+        .find(|m| m.merged.contains(&"ffe".to_string()));
     assert!(filter_merge.is_some(), "{:?}", t.merges);
     assert!(filter_merge.unwrap().hazards.is_empty());
     for m in &t.merges {
-        assert!(m.hazards.is_empty(), "ExactOnly must not accept hazards: {:?}", m);
+        assert!(
+            m.hazards.is_empty(),
+            "ExactOnly must not accept hazards: {:?}",
+            m
+        );
     }
 }
 
@@ -112,13 +122,25 @@ fn hazardous_merge_diverges_but_keeps_decoding() {
             agree += 1;
         }
     }
-    assert!(errs_ref * 20 < calls, "reference SER too high: {errs_ref}/{calls}");
-    assert!(errs_tr * 20 < calls, "merged SER too high: {errs_tr}/{calls}");
-    assert!(agree * 10 >= calls * 9, "decoders should mostly agree: {agree}/{calls}");
+    assert!(
+        errs_ref * 20 < calls,
+        "reference SER too high: {errs_ref}/{calls}"
+    );
+    assert!(
+        errs_tr * 20 < calls,
+        "merged SER too high: {errs_tr}/{calls}"
+    );
+    assert!(
+        agree * 10 >= calls * 9,
+        "decoders should mostly agree: {agree}/{calls}"
+    );
     // And the hazards are real: adaptation state has drifted.
     let (fc_a, ..) = reference.state();
     let (fc_b, ..) = transformed.state();
-    assert_ne!(fc_a, fc_b, "hazardous merge should perturb adaptation state");
+    assert_ne!(
+        fc_a, fc_b,
+        "hazardous merge should perturb adaptation state"
+    );
 }
 
 #[test]
@@ -132,7 +154,14 @@ fn hazards_are_reported_for_the_adapt_group() {
         .iter()
         .find(|m| m.merged.contains(&"ffe_adapt".to_string()))
         .expect("adapt group merged");
-    assert!(!adapt.hazards.is_empty(), "the shift-after-read hazard must be detected");
+    assert!(
+        !adapt.hazards.is_empty(),
+        "the shift-after-read hazard must be detected"
+    );
     let vars: Vec<&str> = adapt.hazards.iter().map(|h| h.var.as_str()).collect();
-    assert!(vars.iter().any(|v| v.starts_with("x_") || v.starts_with("sv_")), "{vars:?}");
+    assert!(
+        vars.iter()
+            .any(|v| v.starts_with("x_") || v.starts_with("sv_")),
+        "{vars:?}"
+    );
 }

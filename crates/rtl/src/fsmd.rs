@@ -77,18 +77,25 @@ impl Fsmd {
             .zip(&result.schedules)
             .map(|(seg, sched)| match seg {
                 Segment::Straight { .. } => Control::Straight { depth: sched.depth },
-                Segment::Loop { label, trip, counter, start, cmp, bound, step, .. } => {
-                    Control::Loop {
-                        label: label.clone(),
-                        depth: sched.depth.max(1),
-                        trip: *trip,
-                        counter: *counter,
-                        start: *start,
-                        cmp: *cmp,
-                        bound: *bound,
-                        step: *step,
-                    }
-                }
+                Segment::Loop {
+                    label,
+                    trip,
+                    counter,
+                    start,
+                    cmp,
+                    bound,
+                    step,
+                    ..
+                } => Control::Loop {
+                    label: label.clone(),
+                    depth: sched.depth.max(1),
+                    trip: *trip,
+                    counter: *counter,
+                    start: *start,
+                    cmp: *cmp,
+                    bound: *bound,
+                    step: *step,
+                },
             })
             .collect();
         Fsmd {
@@ -134,7 +141,12 @@ mod tests {
             b.assign(acc, Expr::add(Expr::var(acc), Expr::load(x, Expr::var(k))));
         });
         b.assign(out, Expr::var(acc));
-        synthesize(&b.build(), &Directives::new(10.0), &TechLibrary::asic_100mhz()).expect("ok")
+        synthesize(
+            &b.build(),
+            &Directives::new(10.0),
+            &TechLibrary::asic_100mhz(),
+        )
+        .expect("ok")
     }
 
     #[test]
@@ -144,7 +156,9 @@ mod tests {
         assert_eq!(fsmd.control.len(), 3); // init, loop, commit
         assert!(matches!(fsmd.control[0], Control::Straight { depth: 1 }));
         match &fsmd.control[1] {
-            Control::Loop { trip, depth, label, .. } => {
+            Control::Loop {
+                trip, depth, label, ..
+            } => {
                 assert_eq!(*trip, 4);
                 assert_eq!(*depth, 1);
                 assert_eq!(label, "sum");

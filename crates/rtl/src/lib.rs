@@ -35,12 +35,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compile;
 mod fsmd;
 mod sim;
 mod testbench;
 mod vcd;
 mod verilog;
 
+pub use compile::{CompiledSim, SimProgram};
 pub use fsmd::{Control, Fsmd};
 pub use sim::{RtlSimulator, SimError};
 pub use testbench::{capture_vectors, emit_testbench, TestVector};

@@ -48,7 +48,9 @@ impl fmt::Display for SimError {
                 write!(f, "index {index} out of bounds for {array}[{len}]")
             }
             SimError::MissingInput { param } => write!(f, "missing input for port {param}"),
-            SimError::BadArgument { param } => write!(f, "argument for {param} has the wrong shape"),
+            SimError::BadArgument { param } => {
+                write!(f, "argument for {param} has the wrong shape")
+            }
         }
     }
 }
@@ -152,7 +154,10 @@ impl RtlSimulator {
         // Sample inputs.
         for &p in &func.params {
             let v = func.var(p);
-            let supplied = inputs.iter().find(|(id, _)| *id == p).map(|(_, s)| s.clone());
+            let supplied = inputs
+                .iter()
+                .find(|(id, _)| *id == p)
+                .map(|(_, s)| s.clone());
             match supplied {
                 Some(Slot::Scalar(f)) if v.len.is_none() => {
                     let fmt = v.ty.format().unwrap_or_else(bool_format);
@@ -160,12 +165,19 @@ impl RtlSimulator {
                 }
                 Some(Slot::Array(a)) if v.len == Some(a.len()) => {
                     let fmt = v.ty.format().unwrap_or_else(bool_format);
-                    self.arrays.insert(p, a.iter().map(|f| f.cast(fmt)).collect());
+                    self.arrays
+                        .insert(p, a.iter().map(|f| f.cast(fmt)).collect());
                 }
-                Some(_) => return Err(SimError::BadArgument { param: v.name.clone() }),
+                Some(_) => {
+                    return Err(SimError::BadArgument {
+                        param: v.name.clone(),
+                    })
+                }
                 None => {
                     if func.param_direction(p) != hls_ir::Direction::Out {
-                        return Err(SimError::MissingInput { param: v.name.clone() });
+                        return Err(SimError::MissingInput {
+                            param: v.name.clone(),
+                        });
                     }
                 }
             }
@@ -180,17 +192,22 @@ impl RtlSimulator {
                 Control::Straight { depth } => {
                     self.run_body(&dfg, &sched, *depth)?;
                 }
-                Control::Loop { depth, trip, counter, start, step, .. } => {
+                Control::Loop {
+                    depth,
+                    trip,
+                    counter,
+                    start,
+                    step,
+                    ..
+                } => {
                     // Counter register initialization (loop entry).
                     let cfmt = func.var(*counter).ty.format().unwrap_or_else(bool_format);
                     self.regs.insert(*counter, Fixed::from_int(*start, cfmt));
                     for _ in 0..*trip {
                         self.run_body(&dfg, &sched, *depth)?;
                         let k = self.regs[counter];
-                        self.regs.insert(
-                            *counter,
-                            Fixed::from_int(k.to_i64() + *step, cfmt),
-                        );
+                        self.regs
+                            .insert(*counter, Fixed::from_int(k.to_i64() + *step, cfmt));
                     }
                 }
             }
@@ -258,9 +275,7 @@ impl RtlSimulator {
                 let a = val(node.preds[0]);
                 match op {
                     UnOp::Neg => a.negate(),
-                    UnOp::Signum => {
-                        Fixed::from_int(a.signum() as i64, Format::signed(2, 2))
-                    }
+                    UnOp::Signum => Fixed::from_int(a.signum() as i64, Format::signed(2, 2)),
                     UnOp::Not => bool_fixed(a.is_zero()),
                 }
             }
@@ -273,7 +288,11 @@ impl RtlSimulator {
                 // Both arms share the mux's bus format (a lossless union of
                 // the arm formats), so the alignment cast never loses bits.
                 let c = val(node.preds[0]);
-                let arm = if !c.is_zero() { val(node.preds[1]) } else { val(node.preds[2]) };
+                let arm = if !c.is_zero() {
+                    val(node.preds[1])
+                } else {
+                    val(node.preds[2])
+                };
                 arm.cast(node.format)
             }
             NodeKind::Cast(q, o) => val(node.preds[0]).cast_with(node.format, *q, *o),

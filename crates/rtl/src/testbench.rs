@@ -39,10 +39,7 @@ pub fn capture_vectors(
     let mut vectors = Vec::with_capacity(stimulus.len());
     for call in stimulus {
         let result = sim.run_call(call)?;
-        let inputs = call
-            .iter()
-            .map(|(id, s)| (*id, slot_elems(s)))
-            .collect();
+        let inputs = call.iter().map(|(id, s)| (*id, slot_elems(s))).collect();
         let outputs = func
             .params
             .iter()
@@ -68,7 +65,11 @@ pub fn emit_testbench(design: &Fsmd, vectors: &[TestVector]) -> String {
     let mut out = String::new();
     let name = &design.name;
     let half = (design.clock_ns / 2.0).max(1.0);
-    let _ = writeln!(out, "// Self-checking testbench for `{name}` ({} vectors)", vectors.len());
+    let _ = writeln!(
+        out,
+        "// Self-checking testbench for `{name}` ({} vectors)",
+        vectors.len()
+    );
     let _ = writeln!(out, "`timescale 1ns/1ps");
     let _ = writeln!(out, "module tb_{name};");
     let _ = writeln!(out, "    reg clk = 0, rst = 1, start = 0;");
@@ -90,7 +91,10 @@ pub fn emit_testbench(design: &Fsmd, vectors: &[TestVector]) -> String {
     }
     // DUT instantiation.
     let _ = writeln!(out, "\n    {name} dut (");
-    let _ = write!(out, "        .clk(clk), .rst(rst), .start(start), .done(done)");
+    let _ = write!(
+        out,
+        "        .clk(clk), .rst(rst), .start(start), .done(done)"
+    );
     for p in &design.ports {
         for i in 0..p.elements {
             let pname = port_name(&p.name, p.elements, i);
@@ -179,7 +183,10 @@ mod tests {
 
     fn stim(x: VarId, vals: [f64; 4]) -> Vec<(VarId, Slot)> {
         let fmt = fixpt::Format::signed(8, 4);
-        vec![(x, Slot::Array(vals.iter().map(|v| Fixed::from_f64(*v, fmt)).collect()))]
+        vec![(
+            x,
+            Slot::Array(vals.iter().map(|v| Fixed::from_f64(*v, fmt)).collect()),
+        )]
     }
 
     #[test]
@@ -188,13 +195,26 @@ mod tests {
         let mut sim = RtlSimulator::new(fsmd);
         let vectors = capture_vectors(
             &mut sim,
-            &[stim(x, [1.0, 2.0, 3.0, 0.5]), stim(x, [-1.0, 0.25, 0.0, 0.0])],
+            &[
+                stim(x, [1.0, 2.0, 3.0, 0.5]),
+                stim(x, [-1.0, 0.25, 0.0, 0.0]),
+            ],
         )
         .expect("captures");
         assert_eq!(vectors.len(), 2);
-        let out0 = &vectors[0].outputs.iter().find(|(id, _)| *id == out).expect("out").1;
+        let out0 = &vectors[0]
+            .outputs
+            .iter()
+            .find(|(id, _)| *id == out)
+            .expect("out")
+            .1;
         assert_eq!(out0[0].to_f64(), 6.5);
-        let out1 = &vectors[1].outputs.iter().find(|(id, _)| *id == out).expect("out").1;
+        let out1 = &vectors[1]
+            .outputs
+            .iter()
+            .find(|(id, _)| *id == out)
+            .expect("out")
+            .1;
         assert_eq!(out1[0].to_f64(), -0.75);
     }
 
@@ -219,7 +239,9 @@ mod tests {
     fn testbench_replays_every_vector() {
         let (fsmd, x, _) = design();
         let mut sim = RtlSimulator::new(fsmd.clone());
-        let stimulus: Vec<_> = (0..5).map(|i| stim(x, [i as f64 * 0.5, 0.25, 0.0, -0.5])).collect();
+        let stimulus: Vec<_> = (0..5)
+            .map(|i| stim(x, [i as f64 * 0.5, 0.25, 0.0, -0.5]))
+            .collect();
         let vectors = capture_vectors(&mut sim, &stimulus).expect("captures");
         let tb = emit_testbench(&fsmd, &vectors);
         assert_eq!(tb.matches("// vector").count(), 5);

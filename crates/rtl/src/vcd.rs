@@ -48,7 +48,11 @@ impl VcdRecorder {
                 }
             }
         }
-        VcdRecorder { signals, samples: Vec::new(), clock_ns: sim.design().clock_ns }
+        VcdRecorder {
+            signals,
+            samples: Vec::new(),
+            clock_ns: sim.design().clock_ns,
+        }
     }
 
     /// Number of snapshots taken.
@@ -69,9 +73,11 @@ impl VcdRecorder {
             .iter()
             .map(|(_, _, src)| match src {
                 Source::Reg(id) => sim.reg(*id).as_ref().map(Fixed::raw).unwrap_or(0),
-                Source::ArrayElem(id, i) => {
-                    sim.array(*id).and_then(|a| a.get(*i)).map(Fixed::raw).unwrap_or(0)
-                }
+                Source::ArrayElem(id, i) => sim
+                    .array(*id)
+                    .and_then(|a| a.get(*i))
+                    .map(Fixed::raw)
+                    .unwrap_or(0),
             })
             .collect();
         self.samples.push((sim.cycles(), values));
@@ -127,9 +133,16 @@ fn vcd_id(mut i: usize) -> String {
 
 /// Two's-complement bit string of `v` at `width` bits.
 fn to_bits(v: i128, width: u32) -> String {
-    let mask = if width >= 127 { u128::MAX } else { (1u128 << width) - 1 };
+    let mask = if width >= 127 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    };
     let u = (v as u128) & mask;
-    (0..width).rev().map(|b| if (u >> b) & 1 == 1 { '1' } else { '0' }).collect()
+    (0..width)
+        .rev()
+        .map(|b| if (u >> b) & 1 == 1 { '1' } else { '0' })
+        .collect()
 }
 
 #[cfg(test)]
@@ -184,7 +197,11 @@ mod tests {
         rec.snapshot(&s); // nothing changed
         let vcd = rec.to_vcd("acc");
         // Exactly one time marker (the initial dump).
-        assert_eq!(vcd.lines().filter(|l| l.starts_with('#')).count(), 1, "{vcd}");
+        assert_eq!(
+            vcd.lines().filter(|l| l.starts_with('#')).count(),
+            1,
+            "{vcd}"
+        );
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace ships
+//! a miniature property-testing framework that is source-compatible with
+//! the `proptest` API subset its tests use: the [`proptest!`] macro,
+//! strategy combinators (`prop_map`, `prop_flat_map`, `prop_recursive`),
+//! [`prop_oneof!`], ranges / tuples / string patterns as strategies, and
+//! the `prop::{bool, sample, collection, option}` helper modules.
+//!
+//! Semantics differ from real proptest in one deliberate way: failing
+//! cases are *not shrunk* — the failing inputs are printed verbatim
+//! instead. Case generation is deterministic per test (seeded from the
+//! test's module path), so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Helper strategies, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::strategy::{Strategy, TestRng};
+
+        /// The uniform boolean strategy.
+        #[derive(Debug, Clone, Copy)]
+        pub struct BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+
+        /// Uniformly `true` or `false`.
+        pub const ANY: BoolAny = BoolAny;
+    }
+
+    /// Sampling from explicit value sets.
+    pub mod sample {
+        use crate::strategy::BoxedStrategy;
+
+        /// A strategy that picks one element of `options` uniformly.
+        pub fn select<T>(options: Vec<T>) -> BoxedStrategy<T>
+        where
+            T: Clone + std::fmt::Debug + 'static,
+        {
+            assert!(!options.is_empty(), "select() needs at least one option");
+            BoxedStrategy::new(move |rng| {
+                let i = (rng.next_u64() % options.len() as u64) as usize;
+                options[i].clone()
+            })
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{BoxedStrategy, Strategy};
+
+        /// Length specification for [`vec`]: a fixed size or a range.
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize, // inclusive
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
+            }
+        }
+
+        /// A strategy for vectors whose elements come from `element` and
+        /// whose length lies in `size`.
+        pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+        where
+            S: Strategy + 'static,
+        {
+            let size = size.into();
+            BoxedStrategy::new(move |rng| {
+                let span = (size.hi - size.lo) as u64 + 1;
+                let n = size.lo + (rng.next_u64() % span) as usize;
+                (0..n).map(|_| element.sample(rng)).collect()
+            })
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use crate::strategy::{BoxedStrategy, Strategy};
+
+        /// `None` about a third of the time, otherwise `Some` of `inner`.
+        pub fn of<S>(inner: S) -> BoxedStrategy<Option<S::Value>>
+        where
+            S: Strategy + 'static,
+        {
+            BoxedStrategy::new(move |rng| {
+                if rng.next_u64() % 3 == 0 {
+                    None
+                } else {
+                    Some(inner.sample(rng))
+                }
+            })
+        }
+    }
+}
+
+/// The everything-you-need import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Builds one test function per `fn` item, running its body over `cases`
+/// sampled inputs. `#![proptest_config(..)]` sets the case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ [$crate::test_runner::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::strategy::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);)*
+                let __desc = format!(
+                    concat!("case {}: ", $(stringify!($arg), " = {:?} ",)*),
+                    __case, $(&$arg),*
+                );
+                let __result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || $body),
+                );
+                if let Err(e) = __result {
+                    eprintln!("proptest failure in {}; {}", stringify!($name), __desc);
+                    ::std::panic::resume_unwind(e);
+                }
+            }
+        }
+        $crate::__proptest_fns!{ [$cfg] $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks one of several strategies (uniformly) per sample. All arms must
+/// share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let arms = vec![$($crate::strategy::Strategy::boxed($arm)),+];
+        $crate::strategy::union(arms)
+    }};
+}

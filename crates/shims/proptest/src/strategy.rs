@@ -1,0 +1,417 @@
+//! Strategies: deterministic samplers over a seeded generator.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The per-test generator strategies sample from.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A generator seeded from the test's name, so every run of a given
+    /// test sees the same case sequence.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the test path.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    /// The next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A source of values for one [`proptest!`](crate::proptest) argument.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a
+/// deterministic sampler. Combinators consume `self` and return a
+/// [`BoxedStrategy`], which is cheap to clone (an `Arc`).
+pub trait Strategy {
+    /// The type of sampled values.
+    type Value: Debug + 'static;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Applies `f` to every sampled value.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + 'static,
+        U: Debug + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        BoxedStrategy::new(move |rng| f(self.sample(rng)))
+    }
+
+    /// Samples a value, then samples from the strategy `f` builds from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> BoxedStrategy<S2::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2 + 'static,
+    {
+        BoxedStrategy::new(move |rng| f(self.sample(rng)).sample(rng))
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf, and `f` wraps an
+    /// inner strategy into one more level of structure. A sample picks a
+    /// nesting level in `0..=depth` uniformly. The `_desired_size` and
+    /// `_expected_branch_size` tuning knobs of real proptest are accepted
+    /// and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+    {
+        let mut level = self.boxed();
+        let mut levels = vec![level.clone()];
+        for _ in 0..depth {
+            level = f(level).boxed();
+            levels.push(level.clone());
+        }
+        BoxedStrategy::new(move |rng| {
+            let i = (rng.next_u64() % levels.len() as u64) as usize;
+            levels[i].sample(rng)
+        })
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::new(move |rng| self.sample(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a sampler closure.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy(Arc::new(f))
+    }
+}
+
+impl<T: Debug + 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice between `arms` (the [`prop_oneof!`](crate::prop_oneof)
+/// implementation).
+pub fn union<T: Debug + 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy::new(move |rng| {
+        let i = (rng.next_u64() % arms.len() as u64) as usize;
+        arms[i].sample(rng)
+    })
+}
+
+/// The whole-type strategy for `T` (`any::<i64>()` etc.).
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Debug + Sized + 'static {
+    /// The whole-domain strategy.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<Self> {
+                BoxedStrategy::new(|rng| rng.next_u64() as $t)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<Self> {
+        BoxedStrategy::new(|rng| rng.next_u64() & 1 == 1)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, i128, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0.0);
+impl_tuple_strategy!(S0.0, S1.1);
+impl_tuple_strategy!(S0.0, S1.1, S2.2);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+
+/// String-pattern strategies: a `&str` is interpreted as a tiny regex
+/// subset — a sequence of literal characters or `[...]` character classes,
+/// each optionally followed by `{m}`, `{m,n}`, `*` or `+`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = match atom.rep {
+                Rep::One => 1,
+                Rep::Range(lo, hi) => lo + (rng.next_u64() % (hi - lo + 1) as u64) as usize,
+            };
+            for _ in 0..n {
+                let i = (rng.next_u64() % atom.chars.len() as u64) as usize;
+                out.push(atom.chars[i]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    rep: Rep,
+}
+
+enum Rep {
+    One,
+    Range(usize, usize),
+}
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pat:?}"));
+                let set = parse_class(&chars[i + 1..close], pat);
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = unescape(chars[i]);
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let rep = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed {{ in pattern {pat:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    let (lo, hi) = match body.split_once(',') {
+                        Some((a, b)) => (
+                            a.trim().parse().expect("repeat lower bound"),
+                            b.trim().parse().expect("repeat upper bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("repeat count");
+                            (n, n)
+                        }
+                    };
+                    Rep::Range(lo, hi)
+                }
+                '*' => {
+                    i += 1;
+                    Rep::Range(0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    Rep::Range(1, 8)
+                }
+                _ => Rep::One,
+            }
+        } else {
+            Rep::One
+        };
+        atoms.push(Atom { chars: set, rep });
+    }
+    atoms
+}
+
+fn parse_class(body: &[char], pat: &str) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let c = if body[i] == '\\' {
+            i += 1;
+            unescape(body[i])
+        } else {
+            body[i]
+        };
+        // A range like `a-z` (a trailing or leading `-` is a literal).
+        if i + 2 < body.len() && body[i + 1] == '-' && body[i + 2] != ']' {
+            let hi = if body[i + 2] == '\\' {
+                i += 1;
+                unescape(body[i + 2])
+            } else {
+                body[i + 2]
+            };
+            assert!(c <= hi, "reversed class range in pattern {pat:?}");
+            for v in c as u32..=hi as u32 {
+                set.push(char::from_u32(v).expect("valid char in class range"));
+            }
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    assert!(!set.is_empty(), "empty character class in pattern {pat:?}");
+    set
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("strategy::tests")
+    }
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (10u32..20).sample(&mut r);
+            assert!((10..20).contains(&v));
+            let w = (-5i64..=5).sample(&mut r);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn string_pattern_respects_class_and_reps() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[ -~\n]{0,160}".sample(&mut r);
+            assert!(s.chars().count() <= 160);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+        let t = "ab{3}".sample(&mut r);
+        assert_eq!(t, "abbb");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf(#[allow(dead_code)] u32),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(_) => 0,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0u32..10).prop_map(T::Leaf);
+        let tree = leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Node(a.into(), b.into()))
+        });
+        let mut r = rng();
+        for _ in 0..100 {
+            // Each recursion level adds at most one Node layer around
+            // level-(n-1) strategies, so depth is bounded by the cap.
+            assert!(depth(&tree.sample(&mut r)) <= 3 + 3 + 3);
+        }
+    }
+
+    #[test]
+    fn oneof_union_covers_arms() {
+        let u = union(vec![(0u32..1).boxed(), (5u32..6).boxed()]);
+        let mut r = rng();
+        let mut saw = [false; 2];
+        for _ in 0..100 {
+            match u.sample(&mut r) {
+                0 => saw[0] = true,
+                5 => saw[1] = true,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(saw[0] && saw[1]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Test-runner configuration.
+
+pub use crate::strategy::TestRng;
+
+/// Configuration for one [`proptest!`](crate::proptest) block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(128);
+        ProptestConfig { cases }
+    }
+}

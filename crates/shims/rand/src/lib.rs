@@ -1,0 +1,228 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the small slice of the `rand` 0.8 API it actually uses: a seeded
+//! [`rngs::StdRng`] plus the [`Rng`]/[`SeedableRng`] traits with
+//! `gen_range` over integer and float ranges. The generator is
+//! xoshiro256++ seeded through SplitMix64 — deterministic for a given
+//! seed, which is all the tests and harnesses rely on (they compare two
+//! implementations on the *same* stream, never golden values from the
+//! real `rand`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeding support (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random value generation (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next 64 raw bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        let (lo, hi, inclusive) = range.bounds();
+        T::sample(self, lo, hi, inclusive)
+    }
+
+    /// A uniformly distributed value of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample(self, 0.0, 1.0, false) < p
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples from `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample<G: Rng + ?Sized>(g: &mut G, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// `(low, high, inclusive)` bounds of the range.
+    fn bounds(&self) -> (T, T, bool);
+}
+
+impl<T: Copy> SampleRange<T> for Range<T> {
+    fn bounds(&self) -> (T, T, bool) {
+        (self.start, self.end, false)
+    }
+}
+
+impl<T: Copy> SampleRange<T> for RangeInclusive<T> {
+    fn bounds(&self) -> (T, T, bool) {
+        (*self.start(), *self.end(), true)
+    }
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<G: Rng + ?Sized>(g: &mut G, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let lo_w = lo as i128;
+                let hi_w = hi as i128 + if inclusive { 1 } else { 0 };
+                assert!(lo_w < hi_w, "empty range in gen_range");
+                let span = (hi_w - lo_w) as u128;
+                // Multiply-shift bounded sampling; the tiny modulo bias is
+                // irrelevant for test stimulus.
+                let r = ((g.next_u64() as u128).wrapping_mul(span)) >> 64;
+                (lo_w + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, i128, isize);
+
+impl SampleUniform for f64 {
+    fn sample<G: Rng + ?Sized>(g: &mut G, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        assert!(lo < hi, "empty range in gen_range");
+        // 53 uniform mantissa bits in [0, 1).
+        let u = (g.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + u * (hi - lo)
+    }
+}
+
+/// Types producible by [`Rng::gen`] (subset of the `Standard` distribution).
+pub trait Standard {
+    /// A uniformly distributed value.
+    fn standard<G: Rng + ?Sized>(g: &mut G) -> Self;
+}
+
+impl Standard for bool {
+    fn standard<G: Rng + ?Sized>(g: &mut G) -> Self {
+        g.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn standard<G: Rng + ?Sized>(g: &mut G) -> Self {
+        g.next_u64()
+    }
+}
+
+impl Standard for i64 {
+    fn standard<G: Rng + ?Sized>(g: &mut G) -> Self {
+        g.next_u64() as i64
+    }
+}
+
+impl Standard for u32 {
+    fn standard<G: Rng + ?Sized>(g: &mut G) -> Self {
+        (g.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for i32 {
+    fn standard<G: Rng + ?Sized>(g: &mut G) -> Self {
+        (g.next_u64() >> 32) as i32
+    }
+}
+
+impl Standard for f64 {
+    fn standard<G: Rng + ?Sized>(g: &mut G) -> Self {
+        (g.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Pre-packaged generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A deterministic xoshiro256++ generator (stands in for the real
+    /// `StdRng`; the algorithm differs but the contract — a seeded,
+    /// reproducible stream — is the same).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = r.gen_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&x));
+            let n: u32 = r.gen_range(0..64u32);
+            assert!(n < 64);
+            let k: i64 = r.gen_range(-400i64..400);
+            assert!((-400..400).contains(&k));
+            let m: i128 = 1 << 60;
+            let v: i64 = r.gen_range((-m as i64)..m as i64);
+            assert!(v >= -m as i64 && v < m as i64);
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v: u32 = r.gen_range(0..=2u32);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -41,8 +41,11 @@ fn main() {
         println!(
             "  N = {n:<5} counter: {} -> {} bits unsigned; accumulator: 32 -> {} bits",
             w.declared_width,
-            w.unsigned_width.map(|u| u.to_string()).unwrap_or_else(|| "-".into()),
-            acc.map(|s| s.required_width.to_string()).unwrap_or_else(|| "32".into()),
+            w.unsigned_width
+                .map(|u| u.to_string())
+                .unwrap_or_else(|| "-".into()),
+            acc.map(|s| s.required_width.to_string())
+                .unwrap_or_else(|| "32".into()),
         );
     }
     println!("\nThe same analysis runs inside synthesis: counters are narrowed");

@@ -17,15 +17,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         QAM_DECODER_SOURCE.lines().count()
     );
     let ir = parse_qam_decoder()?;
-    println!("parsed `{}`: {} loops, {} variables\n", ir.func.name, ir.func.loops().len(), ir.func.vars.len());
+    println!(
+        "parsed `{}`: {} loops, {} variables\n",
+        ir.func.name,
+        ir.func.loops().len(),
+        ir.func.vars.len()
+    );
 
     // Automatic bit reduction, straight off the source.
     for w in wireless_hls::hls_ir::bitwidth::loop_counter_widths(&ir.func) {
         println!(
             "  counter of `{}`: {} -> {} bits",
-            w.label,
-            w.declared_width,
-            w.signed_width
+            w.label, w.declared_width, w.signed_width
         );
     }
     println!();

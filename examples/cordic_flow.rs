@@ -26,7 +26,10 @@ fn generate_source() -> String {
         s,
         "void cordic{STAGES}(sc_fixed<16,2> x_in, sc_fixed<16,2> y_in, sc_fixed<16,2> z_in,"
     );
-    let _ = writeln!(s, "             sc_fixed<16,2> *x_out, sc_fixed<16,2> *y_out) {{");
+    let _ = writeln!(
+        s,
+        "             sc_fixed<16,2> *x_out, sc_fixed<16,2> *y_out) {{"
+    );
     let _ = writeln!(s, "    sc_fixed<16,2> x0 = x_in;");
     let _ = writeln!(s, "    sc_fixed<16,2> y0 = y_in;");
     let _ = writeln!(s, "    sc_fixed<16,2> z0 = z_in;");
@@ -56,7 +59,11 @@ fn generate_source() -> String {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let src = generate_source();
     let f = parse_function(&src)?;
-    println!("generated and parsed `{}` ({} source lines)", f.name, src.lines().count());
+    println!(
+        "generated and parsed `{}` ({} source lines)",
+        f.name,
+        src.lines().count()
+    );
 
     // Two clocks: at 10 ns several stages chain per cycle; at 4 ns fewer do.
     let lib = TechLibrary::asic_100mhz();
@@ -72,8 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r = synthesize(&f, &Directives::new(10.0), &lib)?;
     let fmt = Format::signed(16, 2);
     let params = r.lowered.func.params.clone();
-    let (x_in, y_in, z_in, x_out, y_out) =
-        (params[0], params[1], params[2], params[3], params[4]);
+    let (x_in, y_in, z_in, x_out, y_out) = (params[0], params[1], params[2], params[3], params[4]);
 
     let v = Complex::new(0.75, -0.25);
     let angle = 0.5f64;

@@ -40,7 +40,10 @@ fn run_point(esn0_db: f64, equalized: bool) -> f64 {
 }
 
 fn main() {
-    println!("64-QAM over mild ISI, {:>8} {:>12} {:>12}", "Es/N0", "raw SER", "equalized");
+    println!(
+        "64-QAM over mild ISI, {:>8} {:>12} {:>12}",
+        "Es/N0", "raw SER", "equalized"
+    );
     for esn0 in [15.0, 20.0, 25.0, 30.0, 35.0] {
         let raw = run_point(esn0, false);
         let eq = run_point(esn0, true);

@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<14} {:>9} {:>8} {:>9} {:>10}",
         "target", "clock", "cycles", "lat(ns)", "Mbps"
     );
-    for (lib, clock) in [(TechLibrary::asic_100mhz(), 10.0), (TechLibrary::fpga_slow(), 30.0)] {
+    for (lib, clock) in [
+        (TechLibrary::asic_100mhz(), 10.0),
+        (TechLibrary::fpga_slow(), 30.0),
+    ] {
         let r = synthesize(&ir.func, &Directives::new(clock), &lib)?;
         println!(
             "{:<14} {:>6.0} ns {:>8} {:>9.0} {:>10.2}",

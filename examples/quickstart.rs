@@ -38,8 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== rolled ==\n{}", rolled.summary());
     println!("== unrolled x4 ==\n{}", unrolled.summary());
-    println!("== bill of materials (unrolled) ==\n{}", unrolled.bill_of_materials());
-    println!("== critical path (rolled) ==\n{}", rolled.critical_path_report());
+    println!(
+        "== bill of materials (unrolled) ==\n{}",
+        unrolled.bill_of_materials()
+    );
+    println!(
+        "== critical path (rolled) ==\n{}",
+        rolled.critical_path_report()
+    );
 
     // 3. RTL for the faster design.
     let verilog = emit_verilog(&Fsmd::from_synthesis(&unrolled));

@@ -11,7 +11,9 @@ use wireless_hls::hls_ir::Slot;
 use wireless_hls::qam_decoder::{
     build_qam_decoder_ir, table1_architectures, table1_library, DecoderParams, IrDecoder,
 };
-use wireless_hls::rtl::{capture_vectors, emit_testbench, emit_verilog, Fsmd, RtlSimulator, VcdRecorder};
+use wireless_hls::rtl::{
+    capture_vectors, emit_testbench, emit_verilog, Fsmd, RtlSimulator, VcdRecorder,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let p = DecoderParams::default();
@@ -50,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let out = sim
             .run_call(&[(ids.x_in_re, re), (ids.x_in_im, im)])
             .map_err(|e| format!("rtl sim: {e}"))?;
-        let got = out[&ids.data].scalar().map(|f: Fixed| f.to_i64()).unwrap_or(-1) as u8;
+        let got = out[&ids.data]
+            .scalar()
+            .map(|f: Fixed| f.to_i64())
+            .unwrap_or(-1) as u8;
         println!("call {step}: untimed={expected:2} rtl={got:2}");
         all_match &= expected == got;
         waves.snapshot(&sim);
@@ -67,16 +72,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Slot::Array(vec![F::from_f64(v, fmt2), F::from_f64(-v, fmt2)])
     };
     let stimulus: Vec<Vec<(_, Slot)>> = (0..4)
-        .map(|i| vec![(ids.x_in_re, mk(i as f64 / 16.0)), (ids.x_in_im, mk(-(i as f64) / 32.0))])
+        .map(|i| {
+            vec![
+                (ids.x_in_re, mk(i as f64 / 16.0)),
+                (ids.x_in_im, mk(-(i as f64) / 32.0)),
+            ]
+        })
         .collect();
     let vectors = capture_vectors(&mut tb_sim, &stimulus).map_err(|e| format!("capture: {e}"))?;
     let tb = emit_testbench(tb_sim.design(), &vectors);
     let tb_path = std::env::temp_dir().join("tb_qam_decoder.v");
     std::fs::write(&tb_path, tb)?;
-    println!("wrote {} (self-checking, {} vectors)", tb_path.display(), vectors.len());
+    println!(
+        "wrote {} (self-checking, {} vectors)",
+        tb_path.display(),
+        vectors.len()
+    );
     println!(
         "\n{} ({} RTL cycles total = {} per call)",
-        if all_match { "RTL matches the untimed algorithm bit for bit" } else { "MISMATCH" },
+        if all_match {
+            "RTL matches the untimed algorithm bit for bit"
+        } else {
+            "MISMATCH"
+        },
         sim.cycles(),
         sim.cycles() / 10
     );

@@ -1,8 +1,15 @@
 //! Cross-crate Figure-4 equivalence chain through the facade:
-//! float reference ≈ fixed-point port ≡ IR interpreter ≡ RTL simulation.
+//! float reference ≈ fixed-point port ≡ IR interpreter ≡ RTL simulation
+//! ≡ compiled RTL simulation.
 
 use wireless_hls::dsp::{CFixed, Channel, Complex, Equalizer, QamConstellation, SymbolSource};
-use wireless_hls::qam_decoder::{DecoderParams, IrDecoder, QamDecoderFixed};
+use wireless_hls::fixpt::Fixed;
+use wireless_hls::hls_ir::Slot;
+use wireless_hls::qam_decoder::{
+    build_qam_decoder_ir, table1_architectures, table1_library, DecoderParams, IrDecoder,
+    QamDecoderFixed,
+};
+use wireless_hls::rtl::{CompiledSim, Fsmd, RtlSimulator};
 
 /// The float model and the fixed-point port implement the same algorithm:
 /// on an open-eye channel both decode the same symbols and their
@@ -65,5 +72,73 @@ fn fixed_and_ir_bit_identical_via_facade() {
         let a = fixed.decode([x0, x1]);
         let b = ir.decode(x0, x1).expect("IR executes");
         assert_eq!(a.data, b, "step {step}");
+    }
+}
+
+/// The compiled simulator ([`SimProgram`]/[`CompiledSim`]) is a bit-exact
+/// stand-in for the reference [`RtlSimulator`] on every Table-1
+/// architecture: after every call, the returned parameter slots, the cycle
+/// counter, and the *entire* register and array state agree.
+///
+/// [`SimProgram`]: wireless_hls::rtl::SimProgram
+#[test]
+fn compiled_simulator_matches_reference_on_all_architectures() {
+    let p = DecoderParams::default();
+    for arch in table1_architectures() {
+        let ids = build_qam_decoder_ir(&p);
+        let result =
+            wireless_hls::hls_core::synthesize(&ids.func, &arch.directives, &table1_library())
+                .expect("decoder synthesizes");
+        let fsmd = Fsmd::from_synthesis(&result);
+        let mut reference = RtlSimulator::new(fsmd.clone());
+        let mut compiled = CompiledSim::from_fsmd(&fsmd);
+
+        // Preload coefficient state identically on both simulators.
+        let cfmt = p.ffe_c_format();
+        for sim_poke in [0usize, 1] {
+            let v = Fixed::from_f64(0.45, cfmt);
+            reference.poke_array(ids.ffe_c.0, sim_poke, v);
+            compiled.poke_array(ids.ffe_c.0, sim_poke, v);
+        }
+
+        let xfmt = p.x_format();
+        for call in 0..25i64 {
+            let v = (call % 11 - 5) as f64 / 16.0;
+            let w = (call % 7 - 3) as f64 / 32.0;
+            let re = Slot::Array(vec![Fixed::from_f64(v, xfmt), Fixed::from_f64(w, xfmt)]);
+            let im = Slot::Array(vec![Fixed::from_f64(-w, xfmt), Fixed::from_f64(v, xfmt)]);
+            let inputs = [(ids.x_in_re, re), (ids.x_in_im, im)];
+
+            let a = reference.run_call(&inputs).expect("reference simulates");
+            let b = compiled.run_call(&inputs).expect("compiled simulates");
+            assert_eq!(a, b, "{}: outputs diverged at call {call}", arch.name);
+            assert_eq!(
+                reference.cycles(),
+                compiled.cycles(),
+                "{}: cycle counters diverged at call {call}",
+                arch.name
+            );
+
+            // Full state sweep: every register and array of the staged
+            // function, not just the visible ports.
+            for (id, var) in fsmd.function().iter_vars() {
+                match var.len {
+                    Some(_) => assert_eq!(
+                        reference.array(id),
+                        compiled.array(id),
+                        "{}: array {} diverged at call {call}",
+                        arch.name,
+                        var.name
+                    ),
+                    None => assert_eq!(
+                        reference.reg(id),
+                        compiled.reg(id),
+                        "{}: register {} diverged at call {call}",
+                        arch.name,
+                        var.name
+                    ),
+                }
+            }
+        }
     }
 }

@@ -26,7 +26,12 @@ enum StmtSpec {
     /// arr[idx % 4] = expr
     Store { idx: usize, expr: ExprSpec },
     /// if (locals[a] < locals[b]) locals[dst] = expr
-    CondAssign { a: usize, b: usize, dst: usize, expr: ExprSpec },
+    CondAssign {
+        a: usize,
+        b: usize,
+        dst: usize,
+        expr: ExprSpec,
+    },
     /// A counted loop: locals[dst] accumulates arr[k] each iteration.
     Loop { dst: usize },
 }
@@ -55,10 +60,12 @@ fn arb_expr(depth: u32) -> impl Strategy<Value = ExprSpec> {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| ExprSpec::Add(a.into(), b.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| ExprSpec::Sub(a.into(), b.into())),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| ExprSpec::MulCast(a.into(), b.into())),
-            (0..NLOCALS, inner.clone(), inner.clone())
-                .prop_map(|(c, a, b)| ExprSpec::Select(c, a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ExprSpec::MulCast(a.into(), b.into())),
+            (0..NLOCALS, inner.clone(), inner.clone()).prop_map(|(c, a, b)| ExprSpec::Select(
+                c,
+                a.into(),
+                b.into()
+            )),
             inner.clone().prop_map(|a| ExprSpec::SatCast(a.into())),
         ]
     })
@@ -105,8 +112,9 @@ fn build(prog: &Program) -> (wireless_hls::hls_ir::Function, VarId, VarId) {
     let mut b = FunctionBuilder::new("prog");
     let arr = b.param_array("arr", work_ty(), 4);
     let out = b.param_scalar("out", work_ty());
-    let locals: Vec<VarId> =
-        (0..NLOCALS).map(|i| b.local(format!("l{i}"), work_ty())).collect();
+    let locals: Vec<VarId> = (0..NLOCALS)
+        .map(|i| b.local(format!("l{i}"), work_ty()))
+        .collect();
     for (i, &l) in locals.iter().enumerate() {
         b.assign(l, Expr::int_const(i as i64 + 1));
     }
@@ -117,9 +125,18 @@ fn build(prog: &Program) -> (wireless_hls::hls_ir::Function, VarId, VarId) {
                 b.assign(locals[*dst], lower_expr(expr, &locals, arr));
             }
             StmtSpec::Store { idx, expr } => {
-                b.store(arr, Expr::int_const(*idx as i64), lower_expr(expr, &locals, arr));
+                b.store(
+                    arr,
+                    Expr::int_const(*idx as i64),
+                    lower_expr(expr, &locals, arr),
+                );
             }
-            StmtSpec::CondAssign { a, b: bb, dst, expr } => {
+            StmtSpec::CondAssign {
+                a,
+                b: bb,
+                dst,
+                expr,
+            } => {
                 let cond = Expr::cmp(CmpOp::Lt, Expr::var(locals[*a]), Expr::var(locals[*bb]));
                 let value = lower_expr(expr, &locals, arr);
                 let target = locals[*dst];
@@ -132,10 +149,7 @@ fn build(prog: &Program) -> (wireless_hls::hls_ir::Function, VarId, VarId) {
                 b.for_loop(label, 0, CmpOp::Lt, prog.trip, 1, |b, k| {
                     b.assign(
                         target,
-                        Expr::add(
-                            Expr::var(target),
-                            Expr::load(arr, Expr::var(k)),
-                        ),
+                        Expr::add(Expr::var(target), Expr::load(arr, Expr::var(k))),
                     );
                 });
             }
