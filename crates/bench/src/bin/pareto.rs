@@ -16,6 +16,7 @@ fn main() {
             MergePolicy::AllowHazards,
         ],
         per_loop_refinement: true,
+        ..ExploreConfig::default()
     };
     let mut result = explore(&ir.func, &cfg, &table1_library());
     // Seed the paper's hand-crafted (asymmetric) designs into the pool —

@@ -47,6 +47,24 @@ impl DesignPoint {
     }
 }
 
+/// How much of an explored design space to equivalence-check.
+///
+/// The checker itself lives downstream (the `hls-verify` crate proves or
+/// fuzzes IR↔FSMD equivalence); this crate only carries the policy and the
+/// [`explore_with_check`] hook so exploration results can be gated without
+/// a dependency cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyLevel {
+    /// No equivalence checking (the historical behavior).
+    #[default]
+    Off,
+    /// Check only the latency/area Pareto frontier — the points a designer
+    /// would actually pick.
+    Pareto,
+    /// Check every unique feasible point.
+    All,
+}
+
 /// Exploration configuration.
 #[derive(Debug, Clone)]
 pub struct ExploreConfig {
@@ -62,6 +80,10 @@ pub struct ExploreConfig {
     /// uniform sweep) — finds asymmetric winners like the paper's fourth
     /// architecture.
     pub per_loop_refinement: bool,
+    /// Which explored points [`explore_with_check`] equivalence-checks.
+    /// Plain [`explore`]/[`explore_serial`] ignore this (they have no
+    /// checker to run).
+    pub verify: VerifyLevel,
 }
 
 impl Default for ExploreConfig {
@@ -71,6 +93,7 @@ impl Default for ExploreConfig {
             unroll_factors: vec![1, 2, 4],
             merge_policies: vec![MergePolicy::Off, MergePolicy::AllowHazards],
             per_loop_refinement: true,
+            verify: VerifyLevel::Off,
         }
     }
 }
@@ -86,6 +109,10 @@ pub struct ExploreResult {
     /// canonicalized directives matched an earlier candidate reused its
     /// memoized result instead).
     pub evaluations: usize,
+    /// Points that synthesized but *failed the equivalence check*, as
+    /// `(label, diagnosis)`. Always empty unless the result came from
+    /// [`explore_with_check`] with [`ExploreConfig::verify`] enabled.
+    pub verify_failures: Vec<(String, String)>,
 }
 
 impl ExploreResult {
@@ -256,6 +283,7 @@ fn explore_impl(
         points,
         failures,
         evaluations,
+        verify_failures: Vec::new(),
     }
 }
 
@@ -272,6 +300,55 @@ pub fn explore(func: &Function, config: &ExploreConfig, lib: &TechLibrary) -> Ex
 /// path for [`explore`], independent of the `parallel` feature.
 pub fn explore_serial(func: &Function, config: &ExploreConfig, lib: &TechLibrary) -> ExploreResult {
     explore_impl(func, config, lib, false)
+}
+
+/// An equivalence checker for one design point: `Ok(())` if the
+/// synthesized design provably (or empirically) implements `func` under
+/// the given directives, `Err(diagnosis)` otherwise.
+///
+/// The real implementation lives in the `hls-verify` crate (which depends
+/// on this one and on the RTL backend); keeping only the function shape
+/// here avoids a dependency cycle.
+pub type EquivChecker<'a> = dyn Fn(&Function, &Directives, &TechLibrary) -> Result<(), String> + 'a;
+
+/// [`explore`], then equivalence-check the points selected by
+/// [`ExploreConfig::verify`] using `check`. Failures land in
+/// [`ExploreResult::verify_failures`]; the points themselves are kept so
+/// callers can still see *what* was wrong with the frontier.
+///
+/// Checked directive sets are deduplicated by the same canonical key as
+/// the synthesis memo cache, so a frontier full of memo-aliases costs one
+/// check.
+pub fn explore_with_check(
+    func: &Function,
+    config: &ExploreConfig,
+    lib: &TechLibrary,
+    check: &EquivChecker,
+) -> ExploreResult {
+    let mut result = explore(func, config, lib);
+    let targets: Vec<(String, Directives)> = match config.verify {
+        VerifyLevel::Off => Vec::new(),
+        VerifyLevel::Pareto => result
+            .pareto()
+            .iter()
+            .map(|p| (p.label.clone(), p.directives.clone()))
+            .collect(),
+        VerifyLevel::All => result
+            .points
+            .iter()
+            .map(|p| (p.label.clone(), p.directives.clone()))
+            .collect(),
+    };
+    let mut checked: BTreeMap<String, Result<(), String>> = BTreeMap::new();
+    for (label, d) in targets {
+        let outcome = checked
+            .entry(canonical_key(&d))
+            .or_insert_with(|| check(func, &d, lib));
+        if let Err(msg) = outcome {
+            result.verify_failures.push((label, msg.clone()));
+        }
+    }
+    result
 }
 
 #[cfg(test)]

@@ -40,7 +40,10 @@ pub mod transform;
 pub use allocate::{allocate, Allocation, FuGroup};
 pub use directives::{ArrayMapping, Directives, InterfaceKind, LoopDirective, MergePolicy, Unroll};
 pub use error::SynthesisError;
-pub use explore::{explore, explore_serial, DesignPoint, ExploreConfig, ExploreResult};
+pub use explore::{
+    explore, explore_serial, explore_with_check, DesignPoint, EquivChecker, ExploreConfig,
+    ExploreResult, VerifyLevel,
+};
 pub use lower::{lower, Lowered, Port, Segment};
 pub use metrics::{segment_cycles, DesignMetrics, SegmentCycles};
 pub use schedule::{recurrence_min_ii, schedule_dfg, Schedule};

@@ -134,6 +134,7 @@ fn paper_designs_dominate_the_uniform_sweep() {
             hls_core::MergePolicy::AllowHazards,
         ],
         per_loop_refinement: false,
+        verify: hls_core::VerifyLevel::Off,
     };
     let sweep = hls_core::explore(&ir.func, &cfg, &lib);
     let grid_fastest = sweep.fastest().expect("sweep nonempty").latency_cycles;

@@ -148,6 +148,8 @@ pub struct SimProgram {
     /// Total words in the flat array store.
     array_words: u32,
     segments: Vec<SegProgram>,
+    /// Clock period of the source design (ns), for waveform timestamps.
+    clock_ns: f64,
 }
 
 impl SimProgram {
@@ -236,6 +238,7 @@ impl SimProgram {
             arrays,
             array_words,
             segments,
+            clock_ns: design.clock_ns,
         }
     }
 
@@ -247,6 +250,11 @@ impl SimProgram {
     /// The function whose variables the datapath references.
     pub fn function(&self) -> &hls_ir::Function {
         &self.func
+    }
+
+    /// Clock period of the source design, in nanoseconds.
+    pub fn clock_ns(&self) -> f64 {
+        self.clock_ns
     }
 
     /// Total pre-resolved ops across all segments (one per DFG node that

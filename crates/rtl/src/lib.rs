@@ -46,5 +46,5 @@ pub use compile::{CompiledSim, SimProgram};
 pub use fsmd::{Control, Fsmd};
 pub use sim::{RtlSimulator, SimError};
 pub use testbench::{capture_vectors, emit_testbench, TestVector};
-pub use vcd::VcdRecorder;
+pub use vcd::{VcdRecorder, WaveSource};
 pub use verilog::emit_verilog;

@@ -1,0 +1,40 @@
+//! # hls-verify
+//!
+//! The flow's correctness backbone: *proves* — not just samples — that a
+//! synthesized FSMD implements its untimed IR function.
+//!
+//! Three layers, used in order by [`verify_equiv`]:
+//!
+//! 1. **Symbolic proof** ([`equiv`]): both machines execute into one
+//!    hash-consed, normalizing bit-vector expression DAG ([`sym`]);
+//!    observables that intern to the same canonical node are proved for
+//!    all inputs, and narrow residual obligations are decided by
+//!    exhaustive bit-blast.
+//! 2. **Coverage-guided differential fuzzing** ([`fuzz`]): for designs
+//!    too wide to prove, deterministic seeded stimulus evolves under
+//!    FSMD branch/state coverage, and any mismatch against the
+//!    interpreter is **shrunk** to a minimal failing stimulus.
+//! 3. **Integration** ([`explore_verified`], the `verify_equiv` CLI in
+//!    `bench-harness`, and mutation self-checks in [`mutate`]) so
+//!    design-space exploration and CI can gate on equivalence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod equiv;
+pub mod fsmd_exec;
+pub mod fuzz;
+pub mod ir_exec;
+pub mod mutate;
+pub mod pipeline;
+pub mod state;
+pub mod sym;
+
+pub use equiv::{
+    prove_equiv, prove_equiv_with, Obligation, ProofCex, ProofMethod, ProveOptions, ProveVerdict,
+};
+pub use fuzz::{fuzz_equiv, fuzz_equiv_with, Coverage, FuzzCex, FuzzConfig, FuzzReport, Stimulus};
+pub use mutate::{mutate_fsmd, mutations_for, Mutation};
+pub use pipeline::{
+    explore_verified, verify_equiv, verify_equiv_with, VerifyFinding, VerifyReport,
+};

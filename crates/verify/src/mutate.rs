@@ -1,0 +1,95 @@
+//! Mutation testing for the checker itself.
+//!
+//! A verifier that never fires is indistinguishable from one that works.
+//! This module seeds *deliberate scheduling/control bugs* into a correct
+//! FSMD — off-by-one trip counts, corrupted counter initialization, wrong
+//! step direction — and the self-check asserts that [`crate::verify_equiv`]
+//! refutes every mutant with a concrete counterexample.
+//!
+//! Mutations target the controller ([`Control::Loop`]) because that is
+//! exactly the class of bug scheduling and FSM generation can introduce:
+//! the datapath is right, the sequencing is wrong.
+
+use rtl::{Control, Fsmd};
+
+/// One seedable controller bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mutation {
+    /// Run the loop in `segment` one fewer iteration (classic off-by-one
+    /// in the exit comparison).
+    TripShort {
+        /// Control-segment index.
+        segment: usize,
+    },
+    /// Run the loop in `segment` one extra iteration.
+    TripLong {
+        /// Control-segment index.
+        segment: usize,
+    },
+    /// Start the loop counter in `segment` one `step` late, as if the
+    /// initialization state were skipped.
+    StartSkewed {
+        /// Control-segment index.
+        segment: usize,
+    },
+}
+
+impl std::fmt::Display for Mutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mutation::TripShort { segment } => {
+                write!(f, "segment {segment}: trip count one short")
+            }
+            Mutation::TripLong { segment } => {
+                write!(f, "segment {segment}: trip count one long")
+            }
+            Mutation::StartSkewed { segment } => {
+                write!(f, "segment {segment}: counter start skewed by one step")
+            }
+        }
+    }
+}
+
+/// All mutations applicable to `fsmd` (every loop segment yields three).
+pub fn mutations_for(fsmd: &Fsmd) -> Vec<Mutation> {
+    let mut out = Vec::new();
+    for (si, ctl) in fsmd.control.iter().enumerate() {
+        if let Control::Loop { trip, .. } = ctl {
+            if *trip > 1 {
+                out.push(Mutation::TripShort { segment: si });
+            }
+            out.push(Mutation::TripLong { segment: si });
+            out.push(Mutation::StartSkewed { segment: si });
+        }
+    }
+    out
+}
+
+/// Returns a copy of `fsmd` with `m` seeded, or `None` if the mutation
+/// does not apply (e.g. the segment is straight-line).
+pub fn mutate_fsmd(fsmd: &Fsmd, m: &Mutation) -> Option<Fsmd> {
+    let mut out = fsmd.clone();
+    let seg = match m {
+        Mutation::TripShort { segment }
+        | Mutation::TripLong { segment }
+        | Mutation::StartSkewed { segment } => *segment,
+    };
+    match out.control.get_mut(seg)? {
+        Control::Loop {
+            trip, start, step, ..
+        } => {
+            match m {
+                Mutation::TripShort { .. } => {
+                    if *trip <= 1 {
+                        return None;
+                    }
+                    *trip -= 1;
+                }
+                Mutation::TripLong { .. } => *trip += 1,
+                Mutation::StartSkewed { .. } => *start += *step,
+            }
+            Some(out)
+        }
+        Control::Straight { .. } => None,
+    }
+}

@@ -1,0 +1,156 @@
+//! The staged verification pipeline: prove first, fuzz the remainder.
+//!
+//! [`verify_equiv`] is the one call sites use: it runs the symbolic
+//! prover ([`crate::equiv`]) and, only when the prover returns
+//! [`ProveVerdict::Unknown`], falls back to coverage-guided differential
+//! fuzzing ([`crate::fuzz`]). A [`ProveVerdict::Disproved`] or a fuzz
+//! counterexample is a hard failure with a concrete witness.
+//!
+//! [`explore_verified`] plugs the same pipeline into design-space
+//! exploration via `hls_core::explore_with_check`, gating the Pareto
+//! frontier (or every point) on equivalence.
+
+use hls_core::{explore_with_check, synthesize, ExploreConfig, ExploreResult, TechLibrary};
+use hls_ir::Function;
+use rtl::Fsmd;
+
+use crate::equiv::{prove_equiv_with, ProofCex, ProofMethod, ProveOptions, ProveVerdict};
+use crate::fuzz::{fuzz_equiv_with, FuzzCex, FuzzConfig};
+
+/// How [`verify_equiv`] reached its conclusion.
+#[derive(Debug, Clone)]
+pub enum VerifyFinding {
+    /// Every observable proved equal for all inputs (canonical form or
+    /// exhaustive bit-blast).
+    Proved {
+        /// Discharged obligations.
+        obligations: usize,
+        /// How many needed the bit-blast fallback.
+        bit_blasted: usize,
+        /// Interned DAG size.
+        sym_nodes: usize,
+    },
+    /// The prover found a concrete input on which the machines differ.
+    ProofCounterexample(ProofCex),
+    /// The prover gave up; the differential fuzzer found no mismatch.
+    Fuzzed {
+        /// Why the prover stopped.
+        prover_reason: String,
+        /// Calls executed on both machines.
+        calls: u64,
+        /// Distinct controller states covered.
+        states: usize,
+        /// Distinct branch directions covered.
+        branch_directions: usize,
+    },
+    /// The fuzzer found (and shrank) a mismatch.
+    FuzzCounterexample(FuzzCex),
+}
+
+/// Outcome of [`verify_equiv`].
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// What happened.
+    pub finding: VerifyFinding,
+}
+
+impl VerifyReport {
+    /// `true` when no disagreement between IR and FSMD was found.
+    pub fn passed(&self) -> bool {
+        matches!(
+            self.finding,
+            VerifyFinding::Proved { .. } | VerifyFinding::Fuzzed { .. }
+        )
+    }
+
+    /// One-line human-readable summary.
+    pub fn describe(&self) -> String {
+        match &self.finding {
+            VerifyFinding::Proved {
+                obligations,
+                bit_blasted,
+                sym_nodes,
+            } => format!(
+                "PROVED: {obligations} observables ({bit_blasted} by bit-blast), {sym_nodes} DAG nodes"
+            ),
+            VerifyFinding::ProofCounterexample(cex) => format!(
+                "DISPROVED: {} = {:?} (IR) vs {:?} (FSMD) at {:?}",
+                cex.observable, cex.ir_value, cex.rtl_value, cex.inputs
+            ),
+            VerifyFinding::Fuzzed {
+                prover_reason,
+                calls,
+                states,
+                branch_directions,
+            } => format!(
+                "FUZZED clean: {calls} calls, {states} controller states, \
+                 {branch_directions} branch directions (prover: {prover_reason})"
+            ),
+            VerifyFinding::FuzzCounterexample(cex) => format!(
+                "FUZZ COUNTEREXAMPLE ({} calls, fails at call {}): {}",
+                cex.stimulus.len(),
+                cex.failing_call,
+                cex.message
+            ),
+        }
+    }
+}
+
+/// Checks that `fsmd` implements its function's untimed semantics:
+/// symbolic proof first, coverage-guided differential fuzzing if the
+/// design is too wide to prove. Default knobs throughout.
+pub fn verify_equiv(fsmd: &Fsmd) -> VerifyReport {
+    verify_equiv_with(fsmd, &ProveOptions::default(), &FuzzConfig::default())
+}
+
+/// [`verify_equiv`] with explicit prover and fuzzer configuration.
+pub fn verify_equiv_with(fsmd: &Fsmd, prove: &ProveOptions, fuzz: &FuzzConfig) -> VerifyReport {
+    let finding = match prove_equiv_with(fsmd, prove) {
+        ProveVerdict::Proved {
+            obligations,
+            sym_nodes,
+        } => VerifyFinding::Proved {
+            obligations: obligations.len(),
+            bit_blasted: obligations
+                .iter()
+                .filter(|o| matches!(o.method, ProofMethod::BitBlast { .. }))
+                .count(),
+            sym_nodes,
+        },
+        ProveVerdict::Disproved(cex) => VerifyFinding::ProofCounterexample(cex),
+        ProveVerdict::Unknown { reason, .. } => {
+            let report = fuzz_equiv_with(fsmd, fuzz);
+            match report.counterexample {
+                Some(cex) => VerifyFinding::FuzzCounterexample(cex),
+                None => VerifyFinding::Fuzzed {
+                    prover_reason: reason,
+                    calls: report.calls,
+                    states: report.coverage.states(),
+                    branch_directions: report.coverage.branch_directions(),
+                },
+            }
+        }
+    };
+    VerifyReport { finding }
+}
+
+/// Design-space exploration gated on equivalence: explores like
+/// `hls_core::explore`, then re-synthesizes and verifies the points
+/// selected by [`ExploreConfig::verify`], recording any failure in
+/// `ExploreResult::verify_failures`.
+pub fn explore_verified(
+    func: &Function,
+    config: &ExploreConfig,
+    lib: &TechLibrary,
+) -> ExploreResult {
+    explore_with_check(func, config, lib, &|f, d, l| {
+        let r = synthesize(f, d, l).map_err(|e| format!("re-synthesis failed: {e}"))?;
+        let fsmd = Fsmd::from_synthesis(&r);
+        let report = verify_equiv(&fsmd);
+        if report.passed() {
+            Ok(())
+        } else {
+            Err(report.describe())
+        }
+    })
+}

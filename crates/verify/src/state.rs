@@ -1,0 +1,111 @@
+//! Shared symbolic machine-state plumbing for the two executors.
+//!
+//! Both the IR-side and FSMD-side symbolic executors manipulate variables
+//! holding [`SymId`]s; the helpers here (array select/update chains, index
+//! constants, bounds reasoning) are deliberately *shared* so that when the
+//! two sides perform the same array access they build byte-for-byte the
+//! same DAG structure and hash-cons to the same node.
+
+use fixpt::{Fixed, Format, Signedness};
+use hls_ir::CmpOp;
+
+use crate::sym::{Op, SymId, SymTable};
+
+/// Symbolic storage for one variable: a scalar node or one node per
+/// array element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymSlot {
+    /// A scalar register.
+    Scalar(SymId),
+    /// An array, one symbolic value per element.
+    Array(Vec<SymId>),
+}
+
+impl SymSlot {
+    /// The scalar node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is an array.
+    pub fn scalar(&self) -> SymId {
+        match self {
+            SymSlot::Scalar(s) => *s,
+            SymSlot::Array(_) => panic!("expected scalar slot"),
+        }
+    }
+
+    /// The element nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is a scalar.
+    pub fn array(&self) -> &[SymId] {
+        match self {
+            SymSlot::Array(a) => a,
+            SymSlot::Scalar(_) => panic!("expected array slot"),
+        }
+    }
+}
+
+/// Why a symbolic execution had to give up. An `Unsupported` execution is
+/// *not* a verdict about the design — the caller falls back to fuzzing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unsupported(pub String);
+
+impl std::fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "symbolic execution unsupported: {}", self.0)
+    }
+}
+
+/// Result type of the symbolic executors.
+pub type ExecResult<T> = Result<T, Unsupported>;
+
+/// The index format used when materializing array-index comparisons; both
+/// executors must use the same one so the chains hash-cons together.
+pub(crate) fn index_format() -> Format {
+    Format::integer(fixpt::MAX_WIDTH, Signedness::Signed)
+}
+
+/// Interns the integer `i` as an index constant.
+pub(crate) fn index_const(t: &mut SymTable, i: i64) -> SymId {
+    t.constant(Fixed::from_int(i, index_format()))
+}
+
+/// Builds the mux chain selecting `elems[idx]` for a symbolic in-bounds
+/// index.
+pub(crate) fn select_element(t: &mut SymTable, idx: SymId, elems: &[SymId]) -> SymId {
+    let mut acc = *elems.last().expect("non-empty array");
+    for (i, &e) in elems.iter().enumerate().rev().skip(1) {
+        let ic = index_const(t, i as i64);
+        let c = t.intern(Op::Cmp(CmpOp::Eq, idx, ic));
+        acc = t.intern(Op::Ite(c, e, acc));
+    }
+    acc
+}
+
+/// Updates `elems` in place for a (possibly symbolic, in-bounds) index
+/// write, optionally gated by `cond`.
+pub(crate) fn store_element(
+    t: &mut SymTable,
+    idx: SymId,
+    val: SymId,
+    cond: Option<SymId>,
+    elems: &mut [SymId],
+) {
+    for (i, e) in elems.iter_mut().enumerate() {
+        let ic = index_const(t, i as i64);
+        let eq = t.intern(Op::Cmp(CmpOp::Eq, idx, ic));
+        let gate = match cond {
+            Some(c) => t.intern(Op::And(c, eq)),
+            None => eq,
+        };
+        *e = t.intern(Op::Ite(gate, val, *e));
+    }
+}
+
+/// `true` if the node's value enclosure proves `0 ≤ value < len`.
+pub(crate) fn index_in_bounds(t: &SymTable, idx: SymId, len: usize) -> bool {
+    t.interval_of(idx)
+        .is_some_and(|iv| iv.within_ints(0, len as i128 - 1))
+}

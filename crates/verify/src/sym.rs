@@ -1,0 +1,735 @@
+//! Word-level symbolic expression DAGs over bit-accurate fixed point.
+//!
+//! Both the IR interpreter semantics and the FSMD per-state op streams are
+//! executed into one shared [`SymTable`]: a hash-consed arena of
+//! [`Fixed`]-valued operations. The table applies a small *normalizing
+//! rewrite system* at construction time — constant folding, commutativity
+//! canonicalization, shift algebra, and interval-based elimination of
+//! lossless fixed-point resize casts — so that two computations that are
+//! equal for every input tend to intern to the *same* node id. Canonical
+//! equality (`a == b` as [`SymId`]s) is therefore a proof of functional
+//! equivalence; disequality is decided by the exhaustive bit-blast
+//! fallback in [`crate::equiv`] when the input cone is narrow enough.
+//!
+//! Soundness invariant: every rewrite preserves the node's *value* for all
+//! possible input valuations, and [`SymTable::eval`] reproduces exactly the
+//! arithmetic the concrete executors perform (`exact_add`, `cast_with`,
+//! format-sensitive `shl`/`shr`, …), so a bit-blast verdict speaks about
+//! the real machines, not an abstraction.
+
+use std::collections::HashMap;
+
+use fixpt::{Fixed, Format, Overflow, Quantization, Signedness};
+use hls_ir::CmpOp;
+
+/// Identifier of one hash-consed node in a [`SymTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymId(u32);
+
+impl SymId {
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The operation a symbolic node performs.
+///
+/// Booleans are 1-bit unsigned values, exactly as the interpreter stores
+/// them and the RTL wires them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// A free input: an arbitrary value of the given format.
+    Input(u32, Format),
+    /// A constant, keyed by `(raw, format)` — the format matters because
+    /// downstream shifts and casts are format-sensitive.
+    Const(i128, Format),
+    /// Exact widening addition.
+    Add(SymId, SymId),
+    /// Exact widening subtraction.
+    Sub(SymId, SymId),
+    /// Exact widening multiplication.
+    Mul(SymId, SymId),
+    /// Exact negation.
+    Neg(SymId),
+    /// Three-valued sign, in `Format::signed(2, 2)`.
+    Signum(SymId),
+    /// Boolean negation.
+    Not(SymId),
+    /// Strict boolean AND (expressions are effect-free, so this has the
+    /// same value as the interpreter's short-circuit form).
+    And(SymId, SymId),
+    /// Strict boolean OR.
+    Or(SymId, SymId),
+    /// Value comparison (format-independent, like `Fixed`'s `Ord`).
+    Cmp(CmpOp, SymId, SymId),
+    /// If-then-else on a boolean: yields the chosen arm *unchanged* (any
+    /// bus alignment is an explicit [`Op::Cast`], mirroring the DFG).
+    Ite(SymId, SymId, SymId),
+    /// Fixed-point resize with explicit quantization/overflow modes.
+    Cast(SymId, Format, Quantization, Overflow),
+    /// Left shift by a constant, wrapping in the operand's runtime format.
+    Shl(SymId, u32),
+    /// Right shift by a constant, truncating in the operand's runtime
+    /// format.
+    Shr(SymId, u32),
+}
+
+impl Op {
+    fn operands(&self) -> Vec<SymId> {
+        match *self {
+            Op::Input(..) | Op::Const(..) => vec![],
+            Op::Neg(a) | Op::Signum(a) | Op::Not(a) => vec![a],
+            Op::Cast(a, ..) | Op::Shl(a, _) | Op::Shr(a, _) => vec![a],
+            Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::And(a, b)
+            | Op::Or(a, b)
+            | Op::Cmp(_, a, b) => vec![a, b],
+            Op::Ite(c, t, e) => vec![c, t, e],
+        }
+    }
+}
+
+/// A sound enclosure of a node's possible values: every reachable value is
+/// `m · 2⁻ᶠʳᵃᶜ` for some integer `lo ≤ m ≤ hi`.
+///
+/// This is the analysis behind the *fixed-point resize laws*: a cast whose
+/// operand interval provably fits the destination format losslessly is the
+/// identity and is rewritten away, which is what lets the IR-side and
+/// FSMD-side DAGs (which insert alignment casts at different places)
+/// converge to one canonical form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    lo: i128,
+    hi: i128,
+    frac: i32,
+}
+
+impl Interval {
+    fn from_format(f: Format) -> Interval {
+        Interval {
+            lo: f.min_raw(),
+            hi: f.max_raw(),
+            frac: f.frac_bits(),
+        }
+    }
+
+    fn point(raw: i128, frac: i32) -> Interval {
+        Interval {
+            lo: raw,
+            hi: raw,
+            frac,
+        }
+    }
+
+    /// Rescales both intervals to a common `frac`; `None` on overflow.
+    fn aligned(self, other: Interval) -> Option<(Interval, Interval)> {
+        let frac = self.frac.max(other.frac);
+        Some((self.rescale(frac)?, other.rescale(frac)?))
+    }
+
+    fn rescale(self, frac: i32) -> Option<Interval> {
+        let shift = u32::try_from(frac - self.frac).ok()?;
+        Some(Interval {
+            lo: self
+                .lo
+                .checked_shl(shift)
+                .filter(|v| v >> shift == self.lo)?,
+            hi: self
+                .hi
+                .checked_shl(shift)
+                .filter(|v| v >> shift == self.hi)?,
+            frac,
+        })
+    }
+
+    fn add(self, other: Interval) -> Option<Interval> {
+        let (a, b) = self.aligned(other)?;
+        Some(Interval {
+            lo: a.lo.checked_add(b.lo)?,
+            hi: a.hi.checked_add(b.hi)?,
+            frac: a.frac,
+        })
+    }
+
+    fn sub(self, other: Interval) -> Option<Interval> {
+        other.neg().and_then(|n| self.add(n))
+    }
+
+    fn neg(self) -> Option<Interval> {
+        Some(Interval {
+            lo: self.hi.checked_neg()?,
+            hi: self.lo.checked_neg()?,
+            frac: self.frac,
+        })
+    }
+
+    fn mul(self, other: Interval) -> Option<Interval> {
+        let products = [
+            self.lo.checked_mul(other.lo)?,
+            self.lo.checked_mul(other.hi)?,
+            self.hi.checked_mul(other.lo)?,
+            self.hi.checked_mul(other.hi)?,
+        ];
+        Some(Interval {
+            lo: *products.iter().min().expect("non-empty"),
+            hi: *products.iter().max().expect("non-empty"),
+            frac: self.frac.checked_add(other.frac)?,
+        })
+    }
+
+    fn union(self, other: Interval) -> Option<Interval> {
+        let (a, b) = self.aligned(other)?;
+        Some(Interval {
+            lo: a.lo.min(b.lo),
+            hi: a.hi.max(b.hi),
+            frac: a.frac,
+        })
+    }
+
+    /// `true` if every value in the interval is exactly representable in
+    /// `f` (so a cast into `f` is the identity for all reachable values).
+    fn fits_losslessly(self, f: Format) -> bool {
+        if self.frac > f.frac_bits() {
+            return false;
+        }
+        match self.aligned(Interval::from_format(f)) {
+            Some((v, r)) => v.lo >= r.lo && v.hi <= r.hi,
+            None => false,
+        }
+    }
+
+    /// `true` if every value lies in the *integer* range `[lo, hi]`.
+    pub(crate) fn within_ints(self, lo: i128, hi: i128) -> bool {
+        let r = Interval { lo, hi, frac: 0 };
+        match self.aligned(r) {
+            Some((v, r)) => v.lo >= r.lo && v.hi <= r.hi,
+            None => false,
+        }
+    }
+
+    /// `true` if all values are strictly positive / negative / zero.
+    fn sign(self) -> Option<i32> {
+        if self.lo > 0 {
+            Some(1)
+        } else if self.hi < 0 {
+            Some(-1)
+        } else if self.lo == 0 && self.hi == 0 {
+            Some(0)
+        } else {
+            None
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    op: Op,
+    /// The statically-known runtime format of the value, when it is the
+    /// same on every path (an [`Op::Ite`] of differently-formatted arms
+    /// has none).
+    fmt: Option<Format>,
+    /// Sound value enclosure, when representable.
+    iv: Option<Interval>,
+}
+
+/// The 1-bit unsigned format used for booleans throughout the flow.
+pub fn bool_format() -> Format {
+    Format::integer(1, Signedness::Unsigned)
+}
+
+/// A hash-consed arena of symbolic nodes with normalizing construction.
+#[derive(Debug, Default)]
+pub struct SymTable {
+    nodes: Vec<NodeData>,
+    dedup: HashMap<Op, SymId>,
+    next_input: u32,
+}
+
+impl SymTable {
+    /// An empty table.
+    pub fn new() -> SymTable {
+        SymTable::default()
+    }
+
+    /// Number of interned nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if no nodes have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Creates a fresh free input of the given format and returns its id
+    /// together with the input ordinal (used to name counterexamples).
+    pub fn fresh_input(&mut self, format: Format) -> SymId {
+        let n = self.next_input;
+        self.next_input += 1;
+        self.intern(Op::Input(n, format))
+    }
+
+    /// Interns a constant.
+    pub fn constant(&mut self, value: Fixed) -> SymId {
+        self.intern(Op::Const(value.raw(), value.format()))
+    }
+
+    /// Interns a boolean constant (1-bit unsigned, like the interpreter).
+    pub fn constant_bool(&mut self, b: bool) -> SymId {
+        self.constant(Fixed::from_int(b as i64, bool_format()))
+    }
+
+    /// The statically-known format of a node, if any.
+    pub fn format_of(&self, id: SymId) -> Option<Format> {
+        self.nodes[id.index()].fmt
+    }
+
+    /// The value enclosure of a node, if one could be computed.
+    pub(crate) fn interval_of(&self, id: SymId) -> Option<Interval> {
+        self.nodes[id.index()].iv
+    }
+
+    /// The `(ordinal, format)` of a node, if it is an [`Op::Input`].
+    pub fn input_info(&self, id: SymId) -> Option<(u32, Format)> {
+        match self.nodes[id.index()].op {
+            Op::Input(n, f) => Some((n, f)),
+            _ => None,
+        }
+    }
+
+    /// The constant value of a node, if it is an [`Op::Const`].
+    pub fn const_value(&self, id: SymId) -> Option<Fixed> {
+        match self.nodes[id.index()].op {
+            Op::Const(raw, f) => Some(Fixed::from_raw(raw, f).expect("interned raw in range")),
+            _ => None,
+        }
+    }
+
+    fn op_of(&self, id: SymId) -> &Op {
+        &self.nodes[id.index()].op
+    }
+
+    /// Interns `op`, first applying the normalizing rewrites. The returned
+    /// id denotes a node whose value equals `op`'s for every input.
+    pub fn intern(&mut self, op: Op) -> SymId {
+        let op = match self.rewrite(op) {
+            Ok(id) => return id,
+            Err(op) => op,
+        };
+        if let Some(&id) = self.dedup.get(&op) {
+            return id;
+        }
+        let fmt = self.fmt_of(&op);
+        let iv = self.iv_of(&op, fmt);
+        let id = SymId(u32::try_from(self.nodes.len()).expect("node count fits u32"));
+        self.nodes.push(NodeData {
+            op: op.clone(),
+            fmt,
+            iv,
+        });
+        self.dedup.insert(op, id);
+        id
+    }
+
+    /// One rewriting step: `Ok(id)` means the op reduced to an existing
+    /// node, `Err(op)` returns the (possibly canonicalized) op to intern.
+    fn rewrite(&mut self, op: Op) -> Result<SymId, Op> {
+        // Constant folding: every operation on constants evaluates with
+        // the exact fixpt arithmetic the concrete machines use.
+        if !matches!(op, Op::Const(..) | Op::Input(..)) {
+            let consts: Option<Vec<Fixed>> =
+                op.operands().iter().map(|&o| self.const_value(o)).collect();
+            if let Some(vals) = consts {
+                let folded = eval_op(&op, &vals);
+                return Ok(self.constant(folded));
+            }
+        }
+        match op {
+            // Commutativity canonicalization: order operands by id.
+            Op::Add(a, b) if a > b => Err(Op::Add(b, a)),
+            Op::Mul(a, b) if a > b => Err(Op::Mul(b, a)),
+            Op::And(a, b) if a > b => Err(Op::And(b, a)),
+            Op::Or(a, b) if a > b => Err(Op::Or(b, a)),
+            Op::Cmp(c, a, b) if a > b => Err(Op::Cmp(mirror(c), b, a)),
+            Op::And(a, b) | Op::Or(a, b) if a == b => Ok(a),
+            Op::And(a, b) => match (self.const_value(a), self.const_value(b)) {
+                (Some(c), _) => Ok(if c.is_zero() {
+                    self.constant_bool(false)
+                } else {
+                    b
+                }),
+                (_, Some(c)) => Ok(if c.is_zero() {
+                    self.constant_bool(false)
+                } else {
+                    a
+                }),
+                _ => Err(Op::And(a, b)),
+            },
+            Op::Or(a, b) => match (self.const_value(a), self.const_value(b)) {
+                (Some(c), _) => Ok(if c.is_zero() {
+                    b
+                } else {
+                    self.constant_bool(true)
+                }),
+                (_, Some(c)) => Ok(if c.is_zero() {
+                    a
+                } else {
+                    self.constant_bool(true)
+                }),
+                _ => Err(Op::Or(a, b)),
+            },
+            Op::Not(a) => match self.op_of(a) {
+                Op::Not(inner) => Ok(*inner),
+                _ => Err(Op::Not(a)),
+            },
+            // A comparison of a node with itself is decided by reflexivity.
+            Op::Cmp(c, a, b) if a == b => {
+                let v = c.eval(std::cmp::Ordering::Equal);
+                Ok(self.constant_bool(v))
+            }
+            Op::Ite(c, t, e) => {
+                if t == e {
+                    return Ok(t);
+                }
+                if let Some(cv) = self.const_value(c) {
+                    return Ok(if !cv.is_zero() { t } else { e });
+                }
+                if let Op::Not(inner) = self.op_of(c) {
+                    return Err(Op::Ite(*inner, e, t));
+                }
+                Err(Op::Ite(c, t, e))
+            }
+            // Fixed-point resize laws: identity and interval-lossless
+            // casts vanish.
+            Op::Cast(a, f, q, o) => {
+                if self.format_of(a) == Some(f) {
+                    return Ok(a);
+                }
+                if let Some(iv) = self.interval_of(a) {
+                    if iv.fits_losslessly(f) {
+                        return Ok(a);
+                    }
+                }
+                Err(Op::Cast(a, f, q, o))
+            }
+            // Shift algebra: zero shifts vanish; same-direction shifts in
+            // the same runtime format compose (raw-wise on the same
+            // register width, so wrapping and truncation both compose).
+            Op::Shl(a, 0) | Op::Shr(a, 0) => Ok(a),
+            Op::Shl(a, n) => match *self.op_of(a) {
+                Op::Shl(inner, m) => Err(Op::Shl(inner, n + m)),
+                _ => Err(Op::Shl(a, n)),
+            },
+            Op::Shr(a, n) => match *self.op_of(a) {
+                Op::Shr(inner, m) => Err(Op::Shr(inner, n + m)),
+                _ => Err(Op::Shr(a, n)),
+            },
+            other => Err(other),
+        }
+    }
+
+    fn fmt_of(&self, op: &Op) -> Option<Format> {
+        let f = |id: SymId| self.format_of(id);
+        match *op {
+            Op::Input(_, fm) | Op::Const(_, fm) => Some(fm),
+            Op::Add(a, b) => Some(f(a)?.add_format(&f(b)?)),
+            Op::Sub(a, b) => Some(f(a)?.sub_format(&f(b)?)),
+            Op::Mul(a, b) => Some(f(a)?.mul_format(&f(b)?)),
+            Op::Neg(a) => Some(f(a)?.neg_format()),
+            Op::Signum(_) => Some(Format::signed(2, 2)),
+            Op::Not(_) | Op::And(..) | Op::Or(..) | Op::Cmp(..) => Some(bool_format()),
+            Op::Ite(_, t, e) => match (f(t), f(e)) {
+                (Some(a), Some(b)) if a == b => Some(a),
+                _ => None,
+            },
+            Op::Cast(_, fm, _, _) => Some(fm),
+            Op::Shl(a, _) | Op::Shr(a, _) => f(a),
+        }
+    }
+
+    fn iv_of(&self, op: &Op, fmt: Option<Format>) -> Option<Interval> {
+        let iv = |id: SymId| self.interval_of(id);
+        let fallback = fmt.map(Interval::from_format);
+        let refined = match *op {
+            Op::Const(raw, f) => Some(Interval::point(raw, f.frac_bits())),
+            Op::Add(a, b) => iv(a)?.add(iv(b)?),
+            Op::Sub(a, b) => iv(a)?.sub(iv(b)?),
+            Op::Mul(a, b) => iv(a)?.mul(iv(b)?),
+            Op::Neg(a) => iv(a)?.neg(),
+            Op::Signum(a) => {
+                let s = iv(a).and_then(Interval::sign);
+                Some(match s {
+                    Some(s) => Interval::point(s as i128, 0),
+                    None => Interval {
+                        lo: -1,
+                        hi: 1,
+                        frac: 0,
+                    },
+                })
+            }
+            Op::Not(_) | Op::And(..) | Op::Or(..) | Op::Cmp(..) => Some(Interval {
+                lo: 0,
+                hi: 1,
+                frac: 0,
+            }),
+            Op::Ite(_, t, e) => iv(t)?.union(iv(e)?),
+            Op::Cast(a, f, _, _) => match iv(a) {
+                Some(src) if src.fits_losslessly(f) => Some(src),
+                _ => Some(Interval::from_format(f)),
+            },
+            _ => None,
+        };
+        refined.or(fallback)
+    }
+
+    /// Collects the distinct free inputs (`(ordinal, format, id)`) that
+    /// `roots` depend on, in ordinal order.
+    pub fn support(&self, roots: &[SymId]) -> Vec<(u32, Format, SymId)> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack: Vec<SymId> = roots.to_vec();
+        let mut inputs = Vec::new();
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut seen[id.index()], true) {
+                continue;
+            }
+            if let Op::Input(n, f) = self.nodes[id.index()].op {
+                inputs.push((n, f, id));
+            }
+            stack.extend(self.nodes[id.index()].op.operands());
+        }
+        inputs.sort_by_key(|&(n, _, _)| n);
+        inputs
+    }
+
+    /// Evaluates `roots` concretely under the given input valuation
+    /// (`ordinal → value`). Every node is evaluated exactly once, in the
+    /// all-arms style of the hardware (mux arms and dead guards included),
+    /// which matches both the RTL simulator and the interpreter's
+    /// evaluate-both-arms `Select`.
+    pub fn eval(&self, roots: &[SymId], inputs: &HashMap<u32, Fixed>) -> Vec<Fixed> {
+        Evaluator::new().eval(self, roots, inputs)
+    }
+}
+
+/// A reusable concrete evaluator: keeps its memo buffers alive across
+/// valuations (generation-stamped) so exhaustive bit-blast enumeration
+/// does not allocate per input point.
+#[derive(Debug, Default)]
+pub struct Evaluator {
+    vals: Vec<Fixed>,
+    stamp: Vec<u32>,
+    cur: u32,
+    stack: Vec<(SymId, bool)>,
+}
+
+impl Evaluator {
+    /// A fresh evaluator.
+    pub fn new() -> Evaluator {
+        Evaluator::default()
+    }
+
+    /// Evaluates `roots` concretely under `inputs` (`ordinal → value`).
+    /// See [`SymTable::eval`] for the all-arms semantics.
+    pub fn eval(
+        &mut self,
+        t: &SymTable,
+        roots: &[SymId],
+        inputs: &HashMap<u32, Fixed>,
+    ) -> Vec<Fixed> {
+        if self.vals.len() < t.nodes.len() {
+            let zero = Fixed::from_int(0, bool_format());
+            self.vals.resize(t.nodes.len(), zero);
+            self.stamp.resize(t.nodes.len(), 0);
+        }
+        self.cur += 1;
+        for &root in roots {
+            self.eval_into(t, root, inputs);
+        }
+        roots.iter().map(|r| self.vals[r.index()]).collect()
+    }
+
+    fn eval_into(&mut self, t: &SymTable, root: SymId, inputs: &HashMap<u32, Fixed>) {
+        // Iterative post-order so deep unrolled datapaths cannot overflow
+        // the call stack.
+        self.stack.clear();
+        self.stack.push((root, false));
+        while let Some((id, expanded)) = self.stack.pop() {
+            if self.stamp[id.index()] == self.cur {
+                continue;
+            }
+            let node = &t.nodes[id.index()];
+            if !expanded {
+                self.stack.push((id, true));
+                for o in node.op.operands() {
+                    if self.stamp[o.index()] != self.cur {
+                        self.stack.push((o, false));
+                    }
+                }
+                continue;
+            }
+            let vals: Vec<Fixed> = node
+                .op
+                .operands()
+                .iter()
+                .map(|o| self.vals[o.index()])
+                .collect();
+            let v = match node.op {
+                Op::Input(n, f) => {
+                    let v = *inputs.get(&n).expect("valuation covers support");
+                    debug_assert_eq!(v.format(), f, "input valuation format");
+                    v
+                }
+                _ => eval_op(&node.op, &vals),
+            };
+            self.vals[id.index()] = v;
+            self.stamp[id.index()] = self.cur;
+        }
+    }
+}
+
+/// Mirror of a comparison under operand swap.
+fn mirror(c: CmpOp) -> CmpOp {
+    match c {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// Concrete evaluation of one op on operand values — the single source of
+/// truth shared by constant folding and [`SymTable::eval`], mirroring the
+/// interpreter and the RTL simulator op-for-op.
+fn eval_op(op: &Op, vals: &[Fixed]) -> Fixed {
+    let b = |f: &Fixed| !f.is_zero();
+    let mk_bool = |v: bool| Fixed::from_int(v as i64, bool_format());
+    match *op {
+        Op::Input(..) => unreachable!("inputs are valued by the caller"),
+        Op::Const(raw, f) => Fixed::from_raw(raw, f).expect("interned raw in range"),
+        Op::Add(..) => vals[0].exact_add(&vals[1]),
+        Op::Sub(..) => vals[0].exact_sub(&vals[1]),
+        Op::Mul(..) => vals[0].exact_mul(&vals[1]),
+        Op::Neg(_) => vals[0].negate(),
+        Op::Signum(_) => Fixed::from_int(vals[0].signum() as i64, Format::signed(2, 2)),
+        Op::Not(_) => mk_bool(!b(&vals[0])),
+        Op::And(..) => mk_bool(b(&vals[0]) && b(&vals[1])),
+        Op::Or(..) => mk_bool(b(&vals[0]) || b(&vals[1])),
+        Op::Cmp(c, ..) => mk_bool(c.eval(vals[0].cmp(&vals[1]))),
+        Op::Ite(..) => {
+            if b(&vals[0]) {
+                vals[1]
+            } else {
+                vals[2]
+            }
+        }
+        Op::Cast(_, f, q, o) => vals[0].cast_with(f, q, o),
+        Op::Shl(_, n) => vals[0].shl(n),
+        Op::Shr(_, n) => vals[0].shr(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fx(v: i64, w: u32, i: i32) -> Fixed {
+        Fixed::from_int(v, Format::signed(w, i))
+    }
+
+    #[test]
+    fn hash_consing_dedups_structurally() {
+        let mut t = SymTable::new();
+        let a = t.fresh_input(Format::signed(8, 4));
+        let b = t.fresh_input(Format::signed(8, 4));
+        let s1 = t.intern(Op::Add(a, b));
+        let s2 = t.intern(Op::Add(b, a)); // commuted
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn constants_fold() {
+        let mut t = SymTable::new();
+        let a = t.constant(fx(3, 8, 8));
+        let b = t.constant(fx(4, 8, 8));
+        let s = t.intern(Op::Add(a, b));
+        assert_eq!(t.const_value(s).unwrap().to_i64(), 7);
+    }
+
+    #[test]
+    fn lossless_cast_is_identity() {
+        let mut t = SymTable::new();
+        let a = t.fresh_input(Format::signed(8, 4));
+        // Widening both left and right of the binary point loses nothing.
+        let c = t.intern(Op::Cast(
+            a,
+            Format::signed(16, 8),
+            Quantization::Trn,
+            Overflow::Wrap,
+        ));
+        assert_eq!(c, a);
+        // A narrowing cast must stay.
+        let n = t.intern(Op::Cast(
+            a,
+            Format::signed(4, 2),
+            Quantization::Trn,
+            Overflow::Wrap,
+        ));
+        assert_ne!(n, a);
+    }
+
+    #[test]
+    fn interval_tracks_additions() {
+        let mut t = SymTable::new();
+        let a = t.fresh_input(Format::signed(4, 4)); // [-8, 7]
+        let b = t.fresh_input(Format::signed(4, 4));
+        let s = t.intern(Op::Add(a, b));
+        let iv = t.interval_of(s).unwrap();
+        assert_eq!((iv.lo, iv.hi, iv.frac), (-16, 14, 0));
+    }
+
+    #[test]
+    fn eval_matches_fixed_arithmetic() {
+        let mut t = SymTable::new();
+        let f = Format::signed(8, 4);
+        let a = t.fresh_input(f);
+        let b = t.fresh_input(f);
+        let sum = t.intern(Op::Add(a, b));
+        let prod = t.intern(Op::Mul(a, sum));
+        let mut env = HashMap::new();
+        let va = Fixed::from_raw(5, f).unwrap();
+        let vb = Fixed::from_raw(-3, f).unwrap();
+        env.insert(0, va);
+        env.insert(1, vb);
+        let got = t.eval(&[prod], &env);
+        assert_eq!(got[0], va.exact_mul(&va.exact_add(&vb)));
+    }
+
+    #[test]
+    fn shift_algebra_composes() {
+        let mut t = SymTable::new();
+        let a = t.fresh_input(Format::signed(12, 6));
+        let s1 = t.intern(Op::Shr(a, 2));
+        let s2 = t.intern(Op::Shr(s1, 3));
+        assert_eq!(s2, t.intern(Op::Shr(a, 5)));
+        assert_eq!(t.intern(Op::Shl(a, 0)), a);
+    }
+
+    #[test]
+    fn ite_normalizes_negated_condition() {
+        let mut t = SymTable::new();
+        let f = Format::signed(8, 4);
+        let x = t.fresh_input(f);
+        let y = t.fresh_input(f);
+        let zero = t.constant(Fixed::from_int(0, f));
+        let c = t.intern(Op::Cmp(CmpOp::Lt, x, zero));
+        let nc = t.intern(Op::Not(c));
+        let a = t.intern(Op::Ite(c, x, y));
+        let b = t.intern(Op::Ite(nc, y, x));
+        assert_eq!(a, b);
+    }
+}

@@ -16,6 +16,9 @@
 //!   allocation/binding and the designer reports.
 //! - [`rtl`] — FSMD generation, cycle-accurate simulation and Verilog
 //!   emission.
+//! - [`hls_verify`] — IR↔FSMD equivalence checking: symbolic proof with
+//!   bit-blast fallback, coverage-guided differential fuzzing with
+//!   counterexample shrinking, and mutation self-checks.
 //! - [`dsp`] — the complex-baseband substrate: filters, QAM, channels,
 //!   metrics, and the floating-point reference equalizer.
 //! - [`qam_decoder`] — the paper's Figure-4 case study in bit-accurate and
@@ -30,5 +33,6 @@ pub use dsp;
 pub use fixpt;
 pub use hls_core;
 pub use hls_ir;
+pub use hls_verify;
 pub use qam_decoder;
 pub use rtl;

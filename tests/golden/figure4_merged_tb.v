@@ -1,0 +1,65 @@
+// Self-checking testbench for `qam_decoder` (3 vectors)
+`timescale 1ns/1ps
+module tb_qam_decoder;
+    reg clk = 0, rst = 1, start = 0;
+    wire done;
+    integer errors = 0;
+    reg signed [9:0] x_in_re_0 = 0;
+    reg signed [9:0] x_in_re_1 = 0;
+    reg signed [9:0] x_in_im_0 = 0;
+    reg signed [9:0] x_in_im_1 = 0;
+    wire signed [5:0] data;
+
+    qam_decoder dut (
+        .clk(clk), .rst(rst), .start(start), .done(done),
+        .x_in_re_0(x_in_re_0),
+        .x_in_re_1(x_in_re_1),
+        .x_in_im_0(x_in_im_0),
+        .x_in_im_1(x_in_im_1),
+        .data(data)
+    );
+
+    always #5.0 clk = ~clk;
+
+    task check;
+        input signed [63:0] expected;
+        input signed [63:0] got;
+        begin
+            if (expected !== got) begin errors = errors + 1; $display("FAIL: expected %0d got %0d", expected, got); end
+        end
+    endtask
+
+    initial begin
+        repeat (4) @(posedge clk);
+        rst = 0;
+        // vector 0
+        x_in_re_0 = -512;
+        x_in_re_1 = -105;
+        x_in_im_0 = -512;
+        x_in_im_1 = -105;
+        @(posedge clk); start = 1;
+        @(posedge clk); start = 0;
+        wait (done); @(posedge clk);
+        check(0, data);
+        // vector 1
+        x_in_re_0 = -475;
+        x_in_re_1 = -68;
+        x_in_im_0 = -475;
+        x_in_im_1 = -68;
+        @(posedge clk); start = 1;
+        @(posedge clk); start = 0;
+        wait (done); @(posedge clk);
+        check(0, data);
+        // vector 2
+        x_in_re_0 = -438;
+        x_in_re_1 = -31;
+        x_in_im_0 = -438;
+        x_in_im_1 = -31;
+        @(posedge clk); start = 1;
+        @(posedge clk); start = 0;
+        wait (done); @(posedge clk);
+        check(0, data);
+        if (errors == 0) $display("PASS: all 3 vectors"); else $display("FAIL: %0d errors", errors);
+        $finish;
+    end
+endmodule
