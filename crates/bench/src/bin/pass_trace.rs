@@ -1,0 +1,40 @@
+//! Per-pass observability of the synthesis pipeline itself: runs the four
+//! Table-1 architectures through `synthesize_traced` with invariant
+//! re-validation enabled, prints the human-readable per-pass report, and
+//! records the machine-readable traces in `BENCH_passes.json` at the repo
+//! root (schema documented in DESIGN.md under "Pipeline & diagnostics").
+
+use hls_core::{synthesize_traced, PipelineConfig};
+use qam_decoder::{build_qam_decoder_ir, table1_architectures, table1_library, DecoderParams};
+
+fn main() {
+    let ir = build_qam_decoder_ir(&DecoderParams::default());
+    let lib = table1_library();
+    let cfg = PipelineConfig::checked();
+
+    let mut entries = Vec::new();
+    for arch in table1_architectures() {
+        let (result, run) = synthesize_traced(&ir.func, &arch.directives, &lib, &cfg);
+        let r = result.expect("Table-1 architecture synthesizes");
+        println!("== {} ({}) ==", arch.name, arch.constraints);
+        print!("{}", run.trace.report());
+        for d in run.diagnostics.iter() {
+            println!("  [{}] {:?} {}: {}", d.pass, d.severity, d.code, d.message);
+        }
+        println!(
+            "-> {} cycles, {:.0} ns\n",
+            r.metrics.latency_cycles, r.metrics.latency_ns
+        );
+        entries.push(format!(
+            "{{\"arch\":\"{}\",\"latency_cycles\":{},\"trace\":{}}}",
+            arch.name,
+            r.metrics.latency_cycles,
+            run.trace.to_json()
+        ));
+    }
+
+    let json = format!("[{}]\n", entries.join(","));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_passes.json");
+    std::fs::write(path, &json).expect("writes BENCH_passes.json");
+    println!("wrote BENCH_passes.json ({} designs)", 4);
+}

@@ -14,6 +14,8 @@
 //! | `pareto` | extension: automatic design-space exploration |
 //! | `memory_ablation` | extension: Section 2.2's register-vs-memory mapping |
 //! | `clock_sweep` | extension: Section 1's delay-aware scheduling |
+//! | `pass_trace` | extension: per-pass timings/stats of the flow itself (`BENCH_passes.json`) |
+//! | `verify_equiv` | Figure 1's verification arrow: RTL ≡ source proofs |
 //!
 //! Criterion benches (`cargo bench -p bench-harness`) measure the flow
 //! itself: synthesis runtime per architecture, decoder model throughput

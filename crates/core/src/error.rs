@@ -1,6 +1,12 @@
-//! Synthesis errors.
+//! Synthesis errors: the typed failure kinds of the pipeline.
+//!
+//! Every variant maps onto a structured [`Diagnostic`] (stable code,
+//! severity, source anchors) via [`SynthesisError::to_diagnostic`]; the
+//! pass manager stamps the pass of origin when a pass returns one.
 
 use std::fmt;
+
+use hls_ir::{Anchor, Diagnostic};
 
 /// Failure to synthesize a design.
 #[derive(Debug, Clone, PartialEq)]
@@ -9,6 +15,11 @@ pub enum SynthesisError {
     InvalidIr {
         /// The validation messages.
         problems: Vec<String>,
+    },
+    /// The requested clock period is not a positive finite number.
+    InvalidClock {
+        /// The offending clock period.
+        clock_ns: f64,
     },
     /// A directive referenced a loop label that does not exist.
     UnknownLoop {
@@ -53,6 +64,12 @@ impl fmt::Display for SynthesisError {
             SynthesisError::InvalidIr { problems } => {
                 write!(f, "input IR failed validation: {}", problems.join("; "))
             }
+            SynthesisError::InvalidClock { clock_ns } => {
+                write!(
+                    f,
+                    "clock period {clock_ns} ns is not a positive finite number"
+                )
+            }
             SynthesisError::UnknownLoop { label } => {
                 write!(f, "directive references unknown loop `{label}`")
             }
@@ -83,3 +100,38 @@ impl fmt::Display for SynthesisError {
 }
 
 impl std::error::Error for SynthesisError {}
+
+impl SynthesisError {
+    /// The stable machine-readable diagnostic code of this error kind.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SynthesisError::InvalidIr { .. } => "invalid-ir",
+            SynthesisError::InvalidClock { .. } => "invalid-clock",
+            SynthesisError::UnknownLoop { .. } => "unknown-loop",
+            SynthesisError::UnknownVariable { .. } => "unknown-variable",
+            SynthesisError::InfeasibleClock { .. } => "infeasible-clock",
+            SynthesisError::InfeasibleInitiationInterval { .. } => "infeasible-ii",
+            SynthesisError::Unschedulable { .. } => "unschedulable",
+        }
+    }
+
+    /// Converts the error into a structured [`Diagnostic`] with the
+    /// appropriate code and source anchors. The pass of origin is stamped
+    /// by the pass manager.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        let d = Diagnostic::error(self.code(), self.to_string());
+        match self {
+            SynthesisError::InvalidIr { problems } => {
+                problems.iter().fold(d, |d, p| d.with_note(p.clone()))
+            }
+            SynthesisError::InvalidClock { .. } => d,
+            SynthesisError::UnknownLoop { label } => d.with_anchor(Anchor::Loop(label.clone())),
+            SynthesisError::UnknownVariable { name } => d.with_anchor(Anchor::Var(name.clone())),
+            SynthesisError::InfeasibleClock { op, .. } => d.with_anchor(Anchor::Op(op.clone())),
+            SynthesisError::InfeasibleInitiationInterval { label, .. } => {
+                d.with_anchor(Anchor::Loop(label.clone()))
+            }
+            SynthesisError::Unschedulable { .. } => d,
+        }
+    }
+}

@@ -6,11 +6,16 @@
 //! merge policy) over every loop, synthesize each point, and keep the
 //! latency/area Pareto frontier.
 //!
-//! Two throughput levers keep large sweeps rapid:
+//! Three throughput levers keep large sweeps rapid:
 //!
 //! - **Memoization** — candidates are keyed by their canonicalized
 //!   [`Directives`], so duplicate knob settings (common once per-loop
 //!   refinement overlaps the uniform sweep) synthesize once.
+//! - **Prefix memoization** — the loop-transform prefix of the pipeline
+//!   depends only on the merge policy and loop directives, not on the
+//!   clock, mappings or FU limits. Candidates sharing that prefix (every
+//!   point of a clock sweep, notably) transform once and reuse the result
+//!   through the pass manager's seeded transform pass.
 //! - **Parallel evaluation** — with the `parallel` feature (on by
 //!   default), unique candidates are synthesized across all available
 //!   cores via scoped threads. Results are keyed by candidate index, so
@@ -18,11 +23,14 @@
 //!   the serial path ([`explore_serial`]) regardless of thread timing.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::directives::{Directives, MergePolicy, Unroll};
 use crate::error::SynthesisError;
+use crate::pipeline::{synthesize_traced_with_transform, PipelineConfig};
 use crate::synthesize::synthesize;
 use crate::tech::TechLibrary;
+use crate::transform::{apply_loop_transforms, TransformResult};
 use hls_ir::Function;
 
 /// One explored design point.
@@ -70,6 +78,11 @@ pub enum VerifyLevel {
 pub struct ExploreConfig {
     /// Clock period for every point.
     pub clock_period_ns: f64,
+    /// Additional clock periods to sweep. Empty (the default) means only
+    /// [`ExploreConfig::clock_period_ns`] is explored; non-empty replaces
+    /// it with this list. Points of a clock sweep share their
+    /// loop-transform prefix, which runs once per unique knob setting.
+    pub clock_periods_ns: Vec<f64>,
     /// Unroll factors to try per loop (1 = rolled). The sweep applies one
     /// factor to *all* loops of trip count ≥ factor per point, plus the
     /// per-loop refinements below.
@@ -90,6 +103,7 @@ impl Default for ExploreConfig {
     fn default() -> Self {
         ExploreConfig {
             clock_period_ns: 10.0,
+            clock_periods_ns: Vec::new(),
             unroll_factors: vec![1, 2, 4],
             merge_policies: vec![MergePolicy::Off, MergePolicy::AllowHazards],
             per_loop_refinement: true,
@@ -109,6 +123,10 @@ pub struct ExploreResult {
     /// canonicalized directives matched an earlier candidate reused its
     /// memoized result instead).
     pub evaluations: usize,
+    /// Unique loop-transform prefixes actually computed. Candidates that
+    /// differ only in clock, mappings or FU limits share one transform
+    /// (see the module docs), so this is ≤ [`ExploreResult::evaluations`].
+    pub transform_evaluations: usize,
     /// Points that synthesized but *failed the equivalence check*, as
     /// `(label, diagnosis)`. Always empty unless the result came from
     /// [`explore_with_check`] with [`ExploreConfig::verify`] enabled.
@@ -157,14 +175,41 @@ fn canonical_key(d: &Directives) -> String {
     )
 }
 
+/// The part of a directive set the loop-transform prefix depends on.
+/// Candidates sharing this key transform identically regardless of clock,
+/// array/interface mappings or FU limits.
+fn transform_key(d: &Directives) -> String {
+    format!("merge={:?};loops={:?}", d.merge_policy, d.loops)
+}
+
 /// The latency/area outcome of synthesizing one unique directive set.
 type JobOutcome = Result<(u64, f64), SynthesisError>;
 
-fn run_job(func: &Function, d: &Directives, lib: &TechLibrary) -> JobOutcome {
-    synthesize(func, d, lib).map(|r| (r.metrics.latency_cycles, r.metrics.area))
+/// One unique directive set to synthesize, with its (optionally) shared
+/// precomputed transform prefix.
+struct Job<'a> {
+    directives: &'a Directives,
+    transformed: Option<Arc<TransformResult>>,
 }
 
-fn run_jobs_serial(func: &Function, jobs: &[&Directives], lib: &TechLibrary) -> Vec<JobOutcome> {
+fn run_job(func: &Function, job: &Job<'_>, lib: &TechLibrary) -> JobOutcome {
+    let result = match &job.transformed {
+        Some(t) => {
+            synthesize_traced_with_transform(
+                func,
+                job.directives,
+                lib,
+                &PipelineConfig::default(),
+                Arc::clone(t),
+            )
+            .0
+        }
+        None => synthesize(func, job.directives, lib),
+    };
+    result.map(|r| (r.metrics.latency_cycles, r.metrics.area))
+}
+
+fn run_jobs_serial(func: &Function, jobs: &[Job<'_>], lib: &TechLibrary) -> Vec<JobOutcome> {
     jobs.iter().map(|d| run_job(func, d, lib)).collect()
 }
 
@@ -173,7 +218,7 @@ fn run_jobs_serial(func: &Function, jobs: &[&Directives], lib: &TechLibrary) -> 
 /// stored at its job's slot, so the returned order (and everything derived
 /// from it) is independent of scheduling.
 #[cfg(feature = "parallel")]
-fn run_jobs_parallel(func: &Function, jobs: &[&Directives], lib: &TechLibrary) -> Vec<JobOutcome> {
+fn run_jobs_parallel(func: &Function, jobs: &[Job<'_>], lib: &TechLibrary) -> Vec<JobOutcome> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
@@ -209,23 +254,36 @@ fn run_jobs_parallel(func: &Function, jobs: &[&Directives], lib: &TechLibrary) -
 
 fn candidates_for(func: &Function, config: &ExploreConfig) -> Vec<(String, Directives)> {
     let labels = func.loop_labels();
+    let clocks: Vec<f64> = if config.clock_periods_ns.is_empty() {
+        vec![config.clock_period_ns]
+    } else {
+        config.clock_periods_ns.clone()
+    };
+    let sweep = clocks.len() > 1;
     let mut candidates: Vec<(String, Directives)> = Vec::new();
 
-    for &policy in &config.merge_policies {
-        for &u in &config.unroll_factors {
-            let mut d = Directives::new(config.clock_period_ns).merge_policy(policy);
-            if u > 1 {
-                for l in &labels {
-                    d = d.unroll(l, Unroll::Factor(u));
+    for &clk in &clocks {
+        let suffix = if sweep {
+            format!(" @{clk}ns")
+        } else {
+            String::new()
+        };
+        for &policy in &config.merge_policies {
+            for &u in &config.unroll_factors {
+                let mut d = Directives::new(clk).merge_policy(policy);
+                if u > 1 {
+                    for l in &labels {
+                        d = d.unroll(l, Unroll::Factor(u));
+                    }
                 }
-            }
-            candidates.push((format!("{policy:?} U{u} (all loops)"), d));
-            if config.per_loop_refinement && u > 1 {
-                for target in &labels {
-                    let d = Directives::new(config.clock_period_ns)
-                        .merge_policy(policy)
-                        .unroll(target, Unroll::Factor(u));
-                    candidates.push((format!("{policy:?} U{u} ({target})"), d));
+                candidates.push((format!("{policy:?} U{u} (all loops){suffix}"), d));
+                if config.per_loop_refinement && u > 1 {
+                    for target in &labels {
+                        let d = Directives::new(clk)
+                            .merge_policy(policy)
+                            .unroll(target, Unroll::Factor(u));
+                        candidates.push((format!("{policy:?} U{u} ({target}){suffix}"), d));
+                    }
                 }
             }
         }
@@ -243,15 +301,39 @@ fn explore_impl(
 
     // Memoize: map every candidate to a unique job; duplicate knob
     // settings synthesize once and share the outcome.
-    let mut jobs: Vec<&Directives> = Vec::new();
+    let mut uniques: Vec<&Directives> = Vec::new();
     let mut job_of_key: BTreeMap<String, usize> = BTreeMap::new();
     let job_of_candidate: Vec<usize> = candidates
         .iter()
         .map(|(_, d)| {
             *job_of_key.entry(canonical_key(d)).or_insert_with(|| {
-                jobs.push(d);
-                jobs.len() - 1
+                uniques.push(d);
+                uniques.len() - 1
             })
+        })
+        .collect();
+
+    // Prefix memoization: precompute one transform per unique
+    // (merge policy, loop directives) combination, deterministically and
+    // before the parallel fan-out, and share it across the jobs (clock
+    // sweeps hit this hard: every clock reuses the same prefix). Skipped
+    // when the IR is invalid — the pipeline's validate pass must report
+    // that, and transforms assume validated IR.
+    let mut transforms: BTreeMap<String, Arc<TransformResult>> = BTreeMap::new();
+    if hls_ir::validate(func).is_empty() {
+        for d in &uniques {
+            transforms
+                .entry(transform_key(d))
+                .or_insert_with(|| Arc::new(apply_loop_transforms(func, d)));
+        }
+    }
+    let transform_evaluations = transforms.len();
+
+    let jobs: Vec<Job<'_>> = uniques
+        .iter()
+        .map(|d| Job {
+            directives: d,
+            transformed: transforms.get(&transform_key(d)).map(Arc::clone),
         })
         .collect();
 
@@ -283,6 +365,7 @@ fn explore_impl(
         points,
         failures,
         evaluations,
+        transform_evaluations,
         verify_failures: Vec::new(),
     }
 }
@@ -435,6 +518,7 @@ mod tests {
         }
         assert_eq!(par.failures.len(), ser.failures.len());
         assert_eq!(par.evaluations, ser.evaluations);
+        assert_eq!(par.transform_evaluations, ser.transform_evaluations);
         // Identical points imply an identical Pareto frontier.
         let fp: Vec<_> = par
             .pareto()
@@ -496,6 +580,61 @@ mod tests {
         assert_eq!(canonical_key(&a), canonical_key(&b));
         let c = Directives::new(10.0).unroll("l1", Unroll::Factor(2));
         assert_ne!(canonical_key(&a), canonical_key(&c));
+    }
+
+    #[test]
+    fn clock_sweep_shares_transform_prefixes() {
+        let f = two_loops();
+        let lib = TechLibrary::asic_100mhz();
+        let one_clock = ExploreConfig::default();
+        let swept = ExploreConfig {
+            clock_periods_ns: vec![5.0, 10.0, 20.0],
+            ..ExploreConfig::default()
+        };
+        let base = explore(&f, &one_clock, &lib);
+        let r = explore(&f, &swept, &lib);
+        // Three clocks triple the synthesis work but NOT the transform
+        // work: the prefix memo collapses them onto one transform per
+        // unique (merge, loops) combination.
+        assert_eq!(r.evaluations, 3 * base.evaluations);
+        assert_eq!(r.transform_evaluations, base.transform_evaluations);
+        assert!(r.transform_evaluations < r.evaluations);
+        // Every clock's points are present and labelled with their clock.
+        for clk in ["@5ns", "@10ns", "@20ns"] {
+            assert!(
+                r.points.iter().any(|p| p.label.contains(clk)),
+                "missing points for {clk}"
+            );
+        }
+        // The 10 ns sweep slice agrees exactly with the single-clock run.
+        for p in base.points.iter() {
+            let swept_twin = r
+                .points
+                .iter()
+                .find(|q| q.label == format!("{} @10ns", p.label))
+                .expect("swept twin exists");
+            assert_eq!(p.latency_cycles, swept_twin.latency_cycles);
+            assert_eq!(p.area, swept_twin.area);
+        }
+    }
+
+    #[test]
+    fn seeded_transform_prefix_changes_no_point() {
+        // The prefix memo must be invisible: points computed through the
+        // seeded transform pass equal a fresh unseeded synthesis.
+        let f = two_loops();
+        let lib = TechLibrary::asic_100mhz();
+        let r = explore(&f, &ExploreConfig::default(), &lib);
+        assert!(r.transform_evaluations <= r.evaluations);
+        for p in &r.points {
+            let fresh = crate::synthesize::synthesize(&f, &p.directives, &lib).expect("feasible");
+            assert_eq!(
+                p.latency_cycles, fresh.metrics.latency_cycles,
+                "{}",
+                p.label
+            );
+            assert_eq!(p.area, fresh.metrics.area, "{}", p.label);
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@ mod error;
 pub mod explore;
 mod lower;
 mod metrics;
+pub mod pipeline;
 pub mod report;
 mod schedule;
 mod synthesize;
@@ -44,9 +45,16 @@ pub use explore::{
     explore, explore_serial, explore_with_check, DesignPoint, EquivChecker, ExploreConfig,
     ExploreResult, VerifyLevel,
 };
+pub use hls_ir::{Anchor, Diagnostic, Diagnostics, Severity};
 pub use lower::{lower, Lowered, Port, Segment};
 pub use metrics::{segment_cycles, DesignMetrics, SegmentCycles};
+pub use pipeline::{
+    synthesize_traced, synthesize_traced_with_transform, IrStats, Pass, PassHook, PassRecord,
+    PassTrace, Pipeline, PipelineConfig, PipelineRun, PipelineState,
+};
 pub use schedule::{recurrence_min_ii, schedule_dfg, Schedule};
 pub use synthesize::{synthesize, SynthesisResult};
 pub use tech::{OpClass, TechLibrary};
-pub use transform::{apply_loop_transforms, HazardKind, MergeHazard, MergeReport, TransformResult};
+pub use transform::{
+    apply_loop_transforms, merge_hazards, HazardKind, MergeHazard, MergeReport, TransformResult,
+};

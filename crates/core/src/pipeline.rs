@@ -1,0 +1,1035 @@
+//! The pass-manager pipeline: synthesis as an explicit, instrumented
+//! sequence of passes.
+//!
+//! The paper's methodology is one C source plus *directives* flowing
+//! through interface synthesis, loop transforms, scheduling and
+//! allocation. This module makes that flow first-class: each step is a
+//! [`Pass`] over a typed [`PipelineState`] (IR → transformed → lowered →
+//! scheduled → allocated → RTL artifacts), run by a [`Pipeline`] that
+//! records per-pass wall time and IR stat deltas ([`PassTrace`]), stamps
+//! structured [`Diagnostic`]s with their pass of origin, optionally
+//! re-validates the IR after every IR-mutating pass
+//! ([`PipelineConfig::check_invariants`]), and lets downstream crates
+//! observe every step through [`PassHook`]s (the `hls-verify` crate hangs
+//! its equivalence gate off one).
+//!
+//! [`synthesize`](crate::synthesize), `explore`, the RTL backend's
+//! compile flow and the decoder harnesses are all built on this manager;
+//! [`synthesize_traced`] is the entry point that also returns the trace.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hls_ir::diag::json_str;
+use hls_ir::{Diagnostic, Diagnostics, Expr, Function, Stmt};
+
+use crate::allocate::{allocate, Allocation};
+use crate::directives::Directives;
+use crate::error::SynthesisError;
+use crate::lower::{lower, Lowered, Segment};
+use crate::metrics::{segment_cycles, DesignMetrics};
+use crate::schedule::{recurrence_min_ii, schedule_dfg, Schedule};
+use crate::synthesize::SynthesisResult;
+use crate::tech::TechLibrary;
+use crate::transform::{apply_loop_transforms, MergeReport, TransformResult};
+
+// ---------------------------------------------------------------------------
+// State
+// ---------------------------------------------------------------------------
+
+/// Everything a synthesis run carries between passes.
+///
+/// The typed slots fill in pipeline order: `func` holds the input IR and
+/// is replaced by the transformed IR; `lowered`, `schedules`,
+/// `allocation` and `metrics` start empty and are populated by their
+/// passes. RTL-level passes (which live downstream in the `rtl` crate)
+/// stash their products in the typed-by-key [`artifacts`] map.
+///
+/// [`artifacts`]: PipelineState::artifacts
+pub struct PipelineState {
+    /// The directives guiding this run.
+    pub directives: Directives,
+    /// The technology library.
+    pub lib: TechLibrary,
+    /// The current IR (input, then transformed in place by passes).
+    pub func: Function,
+    /// Merges performed by the transform pass.
+    pub merges: Vec<MergeReport>,
+    /// The lowered design, once lowering has run.
+    pub lowered: Option<Lowered>,
+    /// One schedule per segment, once scheduling has run.
+    pub schedules: Option<Vec<Schedule>>,
+    /// The allocation, once allocation has run.
+    pub allocation: Option<Allocation>,
+    /// Headline metrics, once the metrics pass has run.
+    pub metrics: Option<DesignMetrics>,
+    /// Opaque artifacts for downstream passes (FSMD, compiled simulation,
+    /// Verilog), keyed by a stable name.
+    pub artifacts: BTreeMap<&'static str, Box<dyn Any + Send>>,
+}
+
+impl PipelineState {
+    /// A fresh state holding the input IR.
+    pub fn new(func: &Function, directives: &Directives, lib: &TechLibrary) -> Self {
+        PipelineState {
+            directives: directives.clone(),
+            lib: lib.clone(),
+            func: func.clone(),
+            merges: Vec::new(),
+            lowered: None,
+            schedules: None,
+            allocation: None,
+            metrics: None,
+            artifacts: BTreeMap::new(),
+        }
+    }
+
+    /// The function the next pass should operate on: the lowered (staged)
+    /// function once lowering has run, the transformed function before.
+    pub fn current_func(&self) -> &Function {
+        self.lowered.as_ref().map(|l| &l.func).unwrap_or(&self.func)
+    }
+
+    /// Stores a typed artifact under `key`, replacing any previous one.
+    pub fn put_artifact<T: Any + Send>(&mut self, key: &'static str, value: T) {
+        self.artifacts.insert(key, Box::new(value));
+    }
+
+    /// Borrows the artifact stored under `key`, if present and of type `T`.
+    pub fn artifact<T: Any + Send>(&self, key: &str) -> Option<&T> {
+        self.artifacts.get(key).and_then(|b| b.downcast_ref())
+    }
+
+    /// Removes and returns the artifact stored under `key`.
+    pub fn take_artifact<T: Any + Send>(&mut self, key: &str) -> Option<T> {
+        let boxed = self.artifacts.remove(key)?;
+        match boxed.downcast::<T>() {
+            Ok(v) => Some(*v),
+            Err(_) => None,
+        }
+    }
+
+    /// Assembles the classic [`SynthesisResult`] from a completed run.
+    /// Returns `None` while any slot is still empty.
+    pub fn to_result(&self) -> Option<SynthesisResult> {
+        Some(SynthesisResult {
+            transformed: self.func.clone(),
+            lowered: self.lowered.clone()?,
+            schedules: self.schedules.clone()?,
+            allocation: self.allocation.clone()?,
+            metrics: self.metrics.clone()?,
+            merges: self.merges.clone(),
+        })
+    }
+
+    /// Snapshot of the observable size of the design at this point.
+    pub fn stats(&self) -> IrStats {
+        let func = self.current_func();
+        let mut ops = 0usize;
+        for s in &func.body {
+            count_stmt_ops(s, &mut ops);
+        }
+        IrStats {
+            ops,
+            loops: func.loops().len(),
+            segments: self.lowered.as_ref().map(|l| l.segments.len()).unwrap_or(0),
+            fus: self
+                .allocation
+                .as_ref()
+                .map(|a| a.fu_groups.iter().map(|g| g.count).sum())
+                .unwrap_or(0),
+        }
+    }
+}
+
+fn count_expr_ops(e: &Expr, ops: &mut usize) {
+    match e {
+        Expr::Const(_) | Expr::ConstBool(_) | Expr::Var(_) => {}
+        Expr::Load { index, .. } => {
+            *ops += 1;
+            count_expr_ops(index, ops);
+        }
+        Expr::Unary { arg, .. } | Expr::Cast { arg, .. } => {
+            *ops += 1;
+            count_expr_ops(arg, ops);
+        }
+        Expr::Binary { lhs, rhs, .. } | Expr::Compare { lhs, rhs, .. } => {
+            *ops += 1;
+            count_expr_ops(lhs, ops);
+            count_expr_ops(rhs, ops);
+        }
+        Expr::Select { cond, then_, else_ } => {
+            *ops += 1;
+            count_expr_ops(cond, ops);
+            count_expr_ops(then_, ops);
+            count_expr_ops(else_, ops);
+        }
+    }
+}
+
+fn count_stmt_ops(s: &Stmt, ops: &mut usize) {
+    match s {
+        Stmt::Assign { value, .. } => {
+            *ops += 1; // the register write itself
+            count_expr_ops(value, ops);
+        }
+        Stmt::Store { index, value, .. } => {
+            *ops += 1;
+            count_expr_ops(index, ops);
+            count_expr_ops(value, ops);
+        }
+        Stmt::For(l) => {
+            for s in &l.body {
+                count_stmt_ops(s, ops);
+            }
+        }
+        Stmt::If { cond, then_, else_ } => {
+            count_expr_ops(cond, ops);
+            for s in then_.iter().chain(else_) {
+                count_stmt_ops(s, ops);
+            }
+        }
+    }
+}
+
+/// Observable design size at one point in the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IrStats {
+    /// Expression operations (including register writes) in the IR.
+    pub ops: usize,
+    /// Loops remaining in the IR.
+    pub loops: usize,
+    /// Lowered segments (0 before lowering).
+    pub segments: usize,
+    /// Allocated functional-unit instances (0 before allocation).
+    pub fus: u32,
+}
+
+impl IrStats {
+    fn json_fields(&self) -> String {
+        format!(
+            "\"ops\":{},\"loops\":{},\"segments\":{},\"fus\":{}",
+            self.ops, self.loops, self.segments, self.fus
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass trait, hooks, config
+// ---------------------------------------------------------------------------
+
+/// One step of the synthesis flow.
+pub trait Pass {
+    /// Stable kebab-case pass name; shows up in traces and as the
+    /// diagnostics' pass of origin.
+    fn name(&self) -> &'static str;
+
+    /// `true` when the pass rewrites the IR (triggers post-pass
+    /// re-validation under [`PipelineConfig::check_invariants`]).
+    fn mutates_ir(&self) -> bool {
+        false
+    }
+
+    /// Runs the pass. Warnings and notes go into `diags`; a returned
+    /// error aborts the pipeline (the manager records it both as the
+    /// typed error and as a stamped diagnostic).
+    fn run(&self, state: &mut PipelineState, diags: &mut Diagnostics)
+        -> Result<(), SynthesisError>;
+}
+
+/// An observer invoked after every successful pass — the seam through
+/// which downstream crates (equivalence checking, logging, metrics
+/// export) watch a run without being passes themselves. A hook may push
+/// error diagnostics to abort the remainder of the pipeline.
+pub trait PassHook {
+    /// Called after `pass` ran successfully on `state`.
+    fn after_pass(&self, pass: &str, state: &PipelineState, diags: &mut Diagnostics);
+}
+
+/// Pipeline behaviour knobs.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfig {
+    /// Re-run `hls_ir::validate` on the current function after every
+    /// IR-mutating pass; a violation aborts with an `invalid-ir`
+    /// diagnostic naming the offending pass.
+    pub check_invariants: bool,
+}
+
+impl PipelineConfig {
+    /// The checked configuration: invariants re-validated after every
+    /// IR-mutating pass.
+    pub fn checked() -> Self {
+        PipelineConfig {
+            check_invariants: true,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace
+// ---------------------------------------------------------------------------
+
+/// What one pass did and cost.
+#[derive(Debug, Clone)]
+pub struct PassRecord {
+    /// The pass name.
+    pub pass: String,
+    /// Wall time in nanoseconds.
+    pub wall_ns: u64,
+    /// Design stats before the pass.
+    pub before: IrStats,
+    /// Design stats after the pass.
+    pub after: IrStats,
+    /// Diagnostics emitted during the pass (including by hooks).
+    pub diagnostics: usize,
+    /// Whether post-pass invariant re-validation ran.
+    pub invariants_checked: bool,
+    /// Whether the pass was satisfied from a memo cache (shared prefix).
+    pub memo_hit: bool,
+}
+
+/// The machine-readable record of one pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct PassTrace {
+    /// Design name (the function's).
+    pub design: String,
+    /// One record per executed pass, in order.
+    pub passes: Vec<PassRecord>,
+    /// Total wall time in nanoseconds.
+    pub total_ns: u64,
+}
+
+impl PassTrace {
+    /// Renders the trace as a JSON object (stable schema, documented in
+    /// DESIGN.md under "Pipeline & diagnostics").
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"design\":{}", json_str(&self.design)));
+        s.push_str(&format!(",\"total_ns\":{}", self.total_ns));
+        s.push_str(",\"passes\":[");
+        for (i, p) in self.passes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"pass\":{},\"wall_ns\":{},\"before\":{{{}}},\"after\":{{{}}},\
+                 \"diagnostics\":{},\"invariants_checked\":{},\"memo_hit\":{}}}",
+                json_str(&p.pass),
+                p.wall_ns,
+                p.before.json_fields(),
+                p.after.json_fields(),
+                p.diagnostics,
+                p.invariants_checked,
+                p.memo_hit,
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Renders a human-readable per-pass report.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "pipeline `{}`: {} passes, {:.3} ms",
+            self.design,
+            self.passes.len(),
+            self.total_ns as f64 / 1e6
+        );
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9} {:>7} {:>6} {:>5} {:>4} {:>6} {:>5}",
+            "pass", "time(us)", "ops", "loops", "segs", "FUs", "diags", "memo"
+        );
+        for p in &self.passes {
+            let delta = |b: i64, a: i64| -> String {
+                if a == b {
+                    format!("{a}")
+                } else {
+                    format!("{a}({:+})", a - b)
+                }
+            };
+            let _ = writeln!(
+                out,
+                "{:<16} {:>9.1} {:>7} {:>6} {:>5} {:>4} {:>6} {:>5}",
+                p.pass,
+                p.wall_ns as f64 / 1e3,
+                delta(p.before.ops as i64, p.after.ops as i64),
+                delta(p.before.loops as i64, p.after.loops as i64),
+                delta(p.before.segments as i64, p.after.segments as i64),
+                delta(p.before.fus as i64, p.after.fus as i64),
+                p.diagnostics,
+                if p.memo_hit { "hit" } else { "-" },
+            );
+        }
+        out
+    }
+}
+
+/// Everything a pipeline run reports besides the design itself.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineRun {
+    /// Per-pass observability record.
+    pub trace: PassTrace,
+    /// Every diagnostic emitted, stamped with its pass of origin.
+    pub diagnostics: Diagnostics,
+    /// The typed error that aborted the run, if any.
+    pub error: Option<SynthesisError>,
+}
+
+// ---------------------------------------------------------------------------
+// The manager
+// ---------------------------------------------------------------------------
+
+/// An ordered pass sequence plus hooks and configuration.
+pub struct Pipeline<'a> {
+    passes: Vec<Box<dyn Pass + 'a>>,
+    hooks: Vec<&'a dyn PassHook>,
+    config: PipelineConfig,
+}
+
+impl<'a> Pipeline<'a> {
+    /// An empty pipeline under `config`.
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline {
+            passes: Vec::new(),
+            hooks: Vec::new(),
+            config,
+        }
+    }
+
+    /// The standard synthesis pipeline: validate → check-directives →
+    /// loop-transforms → lower → schedule → allocate → metrics.
+    pub fn synthesis(config: PipelineConfig) -> Self {
+        Pipeline::new(config)
+            .with_pass(ValidateIrPass)
+            .with_pass(CheckDirectivesPass)
+            .with_pass(LoopTransformsPass { seeded: None })
+            .with_pass(LowerPass)
+            .with_pass(SchedulePass)
+            .with_pass(AllocatePass)
+            .with_pass(MetricsPass)
+    }
+
+    /// Like [`Pipeline::synthesis`], but the transform pass reuses a
+    /// precomputed result (the shared-prefix memoization `explore` uses
+    /// for clock sweeps: identical transform prefixes run once).
+    pub fn synthesis_with_transform(
+        config: PipelineConfig,
+        transformed: Arc<TransformResult>,
+    ) -> Self {
+        Pipeline::new(config)
+            .with_pass(ValidateIrPass)
+            .with_pass(CheckDirectivesPass)
+            .with_pass(LoopTransformsPass {
+                seeded: Some(transformed),
+            })
+            .with_pass(LowerPass)
+            .with_pass(SchedulePass)
+            .with_pass(AllocatePass)
+            .with_pass(MetricsPass)
+    }
+
+    /// Appends a pass (builder style).
+    pub fn with_pass(mut self, pass: impl Pass + 'a) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Registers an observer invoked after every pass (builder style).
+    pub fn with_hook(mut self, hook: &'a dyn PassHook) -> Self {
+        self.hooks.push(hook);
+        self
+    }
+
+    /// Runs every pass over `state`, stopping at the first error (from a
+    /// pass, an invariant re-validation, or an error diagnostic pushed by
+    /// a hook).
+    pub fn run(&self, state: &mut PipelineState) -> PipelineRun {
+        let mut run = PipelineRun {
+            trace: PassTrace {
+                design: state.func.name.clone(),
+                ..PassTrace::default()
+            },
+            ..PipelineRun::default()
+        };
+        let total_start = Instant::now();
+        for pass in &self.passes {
+            let before = state.stats();
+            let diags_before = run.diagnostics.len();
+            let start = Instant::now();
+            let result = pass.run(state, &mut run.diagnostics);
+            // The transform pass marks cache reuse with a note.
+            let memo_hit = run
+                .diagnostics
+                .iter()
+                .skip(diags_before)
+                .any(|d| d.code == "memo-hit");
+            // Stamp the pass of origin on everything emitted here.
+            stamp_pass(&mut run.diagnostics, diags_before, pass.name());
+
+            let mut aborted = false;
+            if let Err(e) = result {
+                run.diagnostics.push(e.to_diagnostic().in_pass(pass.name()));
+                run.error = Some(e);
+                aborted = true;
+            }
+
+            // Post-pass invariant re-validation.
+            let mut invariants_checked = false;
+            if !aborted && self.config.check_invariants && pass.mutates_ir() {
+                invariants_checked = true;
+                let problems = hls_ir::validate(state.current_func());
+                if !problems.is_empty() {
+                    for p in &problems {
+                        run.diagnostics.push(
+                            p.to_diagnostic()
+                                .in_pass(pass.name())
+                                .with_note("invariant re-validation after this pass"),
+                        );
+                    }
+                    run.error = Some(SynthesisError::InvalidIr {
+                        problems: problems.iter().map(|p| p.to_string()).collect(),
+                    });
+                    aborted = true;
+                }
+            }
+
+            // Hooks observe the completed pass.
+            if !aborted {
+                for hook in &self.hooks {
+                    let n = run.diagnostics.len();
+                    hook.after_pass(pass.name(), state, &mut run.diagnostics);
+                    stamp_pass(&mut run.diagnostics, n, pass.name());
+                }
+                if run.diagnostics.has_errors() && run.error.is_none() {
+                    aborted = true;
+                }
+            }
+
+            run.trace.passes.push(PassRecord {
+                pass: pass.name().to_string(),
+                wall_ns: start.elapsed().as_nanos() as u64,
+                before,
+                after: state.stats(),
+                diagnostics: run.diagnostics.len() - diags_before,
+                invariants_checked,
+                memo_hit,
+            });
+            if aborted {
+                break;
+            }
+        }
+        run.trace.total_ns = total_start.elapsed().as_nanos() as u64;
+        run
+    }
+}
+
+/// Stamps `pass` on every diagnostic from `from` onward that has no pass.
+fn stamp_pass(diags: &mut Diagnostics, from: usize, pass: &str) {
+    for d in diags.iter_mut().skip(from) {
+        if d.pass.is_empty() {
+            d.pass = pass.to_string();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The standard passes
+// ---------------------------------------------------------------------------
+
+/// Validates the input IR (structure, shapes, types, loop sanity).
+pub struct ValidateIrPass;
+
+impl Pass for ValidateIrPass {
+    fn name(&self) -> &'static str {
+        "validate-ir"
+    }
+
+    fn run(
+        &self,
+        state: &mut PipelineState,
+        _diags: &mut Diagnostics,
+    ) -> Result<(), SynthesisError> {
+        let problems = hls_ir::validate(&state.func);
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(SynthesisError::InvalidIr {
+                problems: problems.iter().map(|p| p.to_string()).collect(),
+            })
+        }
+    }
+}
+
+/// Checks that every directive refers to something that exists and that
+/// the clock is usable.
+pub struct CheckDirectivesPass;
+
+impl Pass for CheckDirectivesPass {
+    fn name(&self) -> &'static str {
+        "check-directives"
+    }
+
+    fn run(
+        &self,
+        state: &mut PipelineState,
+        _diags: &mut Diagnostics,
+    ) -> Result<(), SynthesisError> {
+        let clock = state.directives.clock_period_ns;
+        if !clock.is_finite() || clock <= 0.0 {
+            return Err(SynthesisError::InvalidClock { clock_ns: clock });
+        }
+        let labels = state.func.loop_labels();
+        for label in state.directives.loops.keys() {
+            if !labels.contains(label) {
+                return Err(SynthesisError::UnknownLoop {
+                    label: label.clone(),
+                });
+            }
+        }
+        let var_names: Vec<&str> = state.func.vars.iter().map(|v| v.name.as_str()).collect();
+        for name in state
+            .directives
+            .arrays
+            .keys()
+            .chain(state.directives.interfaces.keys())
+        {
+            if !var_names.contains(&name.as_str()) {
+                return Err(SynthesisError::UnknownVariable { name: name.clone() });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Applies counter narrowing, unrolling and merging; accepted merge
+/// hazards surface as `merge-hazard` warnings.
+pub struct LoopTransformsPass {
+    /// A precomputed transform result to reuse (shared-prefix memo).
+    pub seeded: Option<Arc<TransformResult>>,
+}
+
+impl Pass for LoopTransformsPass {
+    fn name(&self) -> &'static str {
+        "loop-transforms"
+    }
+
+    fn mutates_ir(&self) -> bool {
+        true
+    }
+
+    fn run(
+        &self,
+        state: &mut PipelineState,
+        diags: &mut Diagnostics,
+    ) -> Result<(), SynthesisError> {
+        let t = match &self.seeded {
+            Some(t) => {
+                diags.push(Diagnostic::note(
+                    "memo-hit",
+                    "transform prefix reused from memo cache",
+                ));
+                (**t).clone()
+            }
+            None => apply_loop_transforms(&state.func, &state.directives),
+        };
+        for m in &t.merges {
+            for h in &m.hazards {
+                diags.push(
+                    Diagnostic::warning("merge-hazard", h.to_string())
+                        .with_anchor(hls_ir::Anchor::Loop(h.first.clone()))
+                        .with_anchor(hls_ir::Anchor::Loop(h.second.clone()))
+                        .with_anchor(hls_ir::Anchor::Var(h.var.clone())),
+                );
+            }
+        }
+        state.func = t.func;
+        state.merges = t.merges;
+        Ok(())
+    }
+}
+
+/// Lowers the transformed IR: hoisting, output staging, segmentation and
+/// interface synthesis.
+pub struct LowerPass;
+
+impl Pass for LowerPass {
+    fn name(&self) -> &'static str {
+        "lower"
+    }
+
+    fn mutates_ir(&self) -> bool {
+        true
+    }
+
+    fn run(
+        &self,
+        state: &mut PipelineState,
+        _diags: &mut Diagnostics,
+    ) -> Result<(), SynthesisError> {
+        state.lowered = Some(lower(&state.func, &state.directives));
+        Ok(())
+    }
+}
+
+/// Schedules every segment and checks pipelined loops against their
+/// recurrence-minimum initiation interval.
+pub struct SchedulePass;
+
+impl Pass for SchedulePass {
+    fn name(&self) -> &'static str {
+        "schedule"
+    }
+
+    fn run(
+        &self,
+        state: &mut PipelineState,
+        _diags: &mut Diagnostics,
+    ) -> Result<(), SynthesisError> {
+        let lowered = state
+            .lowered
+            .as_ref()
+            .expect("invariant: lower runs before schedule");
+        // Memory-mapped arrays and streamed array parameters (Section 2.1:
+        // index accesses become accesses over time) compete for ports
+        // instead of being freely parallel registers.
+        let lowered_func = lowered.func.clone();
+        let d2 = state.directives.clone();
+        let mem_ports = move |v: hls_ir::VarId| -> Option<(u32, u32)> {
+            let name = &lowered_func.var(v).name;
+            if let crate::directives::ArrayMapping::Memory {
+                read_ports,
+                write_ports,
+            } = d2.array_mapping(name)
+            {
+                return Some((read_ports, write_ports));
+            }
+            if d2.interface_kind(name) == crate::directives::InterfaceKind::Stream {
+                return Some((1, 1)); // one element per cycle, over time
+            }
+            None
+        };
+
+        let mut schedules = Vec::new();
+        for seg in &lowered.segments {
+            let sched = schedule_dfg(seg.dfg(), &state.directives, &state.lib, &mem_ports)?;
+            if let Segment::Loop {
+                label,
+                pipeline_ii: Some(ii),
+                dfg,
+                ..
+            } = seg
+            {
+                let min_ii = recurrence_min_ii(dfg, &sched);
+                if *ii < min_ii {
+                    return Err(SynthesisError::InfeasibleInitiationInterval {
+                        label: label.clone(),
+                        requested: *ii,
+                        minimum: min_ii,
+                    });
+                }
+            }
+            schedules.push(sched);
+        }
+        state.schedules = Some(schedules);
+        Ok(())
+    }
+}
+
+/// Allocates functional units, registers and muxes.
+pub struct AllocatePass;
+
+impl Pass for AllocatePass {
+    fn name(&self) -> &'static str {
+        "allocate"
+    }
+
+    fn run(
+        &self,
+        state: &mut PipelineState,
+        _diags: &mut Diagnostics,
+    ) -> Result<(), SynthesisError> {
+        let lowered = state
+            .lowered
+            .as_ref()
+            .expect("invariant: lower runs before allocate");
+        let schedules = state
+            .schedules
+            .as_ref()
+            .expect("invariant: schedule runs before allocate");
+        state.allocation = Some(allocate(
+            &lowered.func,
+            lowered,
+            schedules,
+            &state.directives,
+            &state.lib,
+        ));
+        Ok(())
+    }
+}
+
+/// Computes headline metrics from the scheduled, allocated design.
+pub struct MetricsPass;
+
+impl Pass for MetricsPass {
+    fn name(&self) -> &'static str {
+        "metrics"
+    }
+
+    fn run(
+        &self,
+        state: &mut PipelineState,
+        _diags: &mut Diagnostics,
+    ) -> Result<(), SynthesisError> {
+        let lowered = state
+            .lowered
+            .as_ref()
+            .expect("invariant: lower runs before metrics");
+        let schedules = state
+            .schedules
+            .as_ref()
+            .expect("invariant: schedule runs before metrics");
+        let allocation = state
+            .allocation
+            .as_ref()
+            .expect("invariant: allocate runs before metrics");
+        let segments: Vec<_> = lowered
+            .segments
+            .iter()
+            .zip(schedules)
+            .map(|(s, sc)| segment_cycles(s, sc))
+            .collect();
+        let latency_cycles: u64 = segments.iter().map(|s| s.cycles).sum();
+        let critical = schedules
+            .iter()
+            .map(Schedule::critical_path_ns)
+            .fold(0.0, f64::max);
+        state.metrics = Some(DesignMetrics {
+            latency_cycles,
+            latency_ns: latency_cycles as f64 * state.directives.clock_period_ns,
+            clock_ns: state.directives.clock_period_ns,
+            critical_path_ns: critical,
+            segments,
+            area: allocation.total_area,
+            allocation: allocation.clone(),
+        });
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Synthesizes `func` through the standard pipeline, returning both the
+/// classic result and the full observability record (pass trace plus
+/// stamped diagnostics).
+pub fn synthesize_traced(
+    func: &Function,
+    directives: &Directives,
+    lib: &TechLibrary,
+    config: &PipelineConfig,
+) -> (Result<SynthesisResult, SynthesisError>, PipelineRun) {
+    let pipeline = Pipeline::synthesis(config.clone());
+    let mut state = PipelineState::new(func, directives, lib);
+    let run = pipeline.run(&mut state);
+    let result = match &run.error {
+        Some(e) => Err(e.clone()),
+        None => Ok(state
+            .to_result()
+            .expect("invariant: completed pipeline fills every state slot")),
+    };
+    (result, run)
+}
+
+/// [`synthesize_traced`] reusing a precomputed transform prefix — the
+/// memoization `explore` applies when many candidates (e.g. a clock
+/// sweep) share identical loop-transform inputs.
+pub fn synthesize_traced_with_transform(
+    func: &Function,
+    directives: &Directives,
+    lib: &TechLibrary,
+    config: &PipelineConfig,
+    transformed: Arc<TransformResult>,
+) -> (Result<SynthesisResult, SynthesisError>, PipelineRun) {
+    let pipeline = Pipeline::synthesis_with_transform(config.clone(), transformed);
+    let mut state = PipelineState::new(func, directives, lib);
+    let run = pipeline.run(&mut state);
+    let result = match &run.error {
+        Some(e) => Err(e.clone()),
+        None => Ok(state
+            .to_result()
+            .expect("invariant: completed pipeline fills every state slot")),
+    };
+    (result, run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directives::Unroll;
+    use hls_ir::{CmpOp, Expr, FunctionBuilder, Ty};
+
+    fn sum_loop() -> Function {
+        let mut b = FunctionBuilder::new("sum");
+        let x = b.param_array("x", Ty::fixed(10, 0), 8);
+        let out = b.param_scalar("out", Ty::fixed(14, 4));
+        let acc = b.local("acc", Ty::fixed(14, 4));
+        b.assign(acc, Expr::int_const(0));
+        b.for_loop("sum", 0, CmpOp::Lt, 8, 1, |b, k| {
+            b.assign(acc, Expr::add(Expr::var(acc), Expr::load(x, Expr::var(k))));
+        });
+        b.assign(out, Expr::var(acc));
+        b.build()
+    }
+
+    #[test]
+    fn trace_records_every_pass_in_order() {
+        let f = sum_loop();
+        let (r, run) = synthesize_traced(
+            &f,
+            &Directives::new(10.0),
+            &TechLibrary::asic_100mhz(),
+            &PipelineConfig::default(),
+        );
+        assert!(r.is_ok());
+        let names: Vec<&str> = run.trace.passes.iter().map(|p| p.pass.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "validate-ir",
+                "check-directives",
+                "loop-transforms",
+                "lower",
+                "schedule",
+                "allocate",
+                "metrics"
+            ]
+        );
+        // Lowering introduces segments; allocation introduces FUs.
+        let lower = &run.trace.passes[3];
+        assert_eq!(lower.before.segments, 0);
+        assert!(lower.after.segments >= 3);
+        let alloc = &run.trace.passes[5];
+        assert_eq!(alloc.before.fus, 0);
+        assert!(alloc.after.fus > 0);
+    }
+
+    #[test]
+    fn check_invariants_validates_after_mutating_passes() {
+        let f = sum_loop();
+        let (r, run) = synthesize_traced(
+            &f,
+            &Directives::new(10.0).unroll("sum", Unroll::Factor(2)),
+            &TechLibrary::asic_100mhz(),
+            &PipelineConfig::checked(),
+        );
+        assert!(r.is_ok());
+        for p in &run.trace.passes {
+            let expect = matches!(p.pass.as_str(), "loop-transforms" | "lower");
+            assert_eq!(p.invariants_checked, expect, "pass {}", p.pass);
+        }
+    }
+
+    #[test]
+    fn error_aborts_and_is_stamped_with_pass_of_origin() {
+        let f = sum_loop();
+        let d = Directives::new(10.0).unroll("ghost", Unroll::Factor(2));
+        let (r, run) = synthesize_traced(
+            &f,
+            &d,
+            &TechLibrary::asic_100mhz(),
+            &PipelineConfig::default(),
+        );
+        assert!(matches!(r, Err(SynthesisError::UnknownLoop { .. })));
+        // The pipeline stopped at check-directives.
+        assert_eq!(run.trace.passes.last().unwrap().pass, "check-directives");
+        let diag = run.diagnostics.find("unknown-loop").expect("diagnostic");
+        assert_eq!(diag.pass, "check-directives");
+        assert!(diag
+            .anchors
+            .iter()
+            .any(|a| matches!(a, hls_ir::Anchor::Loop(l) if l == "ghost")));
+    }
+
+    #[test]
+    fn trace_json_is_well_formed() {
+        let f = sum_loop();
+        let (_, run) = synthesize_traced(
+            &f,
+            &Directives::new(10.0),
+            &TechLibrary::asic_100mhz(),
+            &PipelineConfig::default(),
+        );
+        let json = run.trace.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"design\":\"sum\""));
+        assert!(json.contains("\"pass\":\"schedule\""));
+        // Balanced braces/brackets (cheap well-formedness check; the bench
+        // smoke test runs a real parser over the emitted file).
+        let braces = json.matches('{').count();
+        assert_eq!(braces, json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn hooks_observe_every_pass_and_can_abort() {
+        struct Recorder(std::cell::RefCell<Vec<String>>);
+        impl PassHook for Recorder {
+            fn after_pass(&self, pass: &str, _state: &PipelineState, _d: &mut Diagnostics) {
+                self.0.borrow_mut().push(pass.to_string());
+            }
+        }
+        let rec = Recorder(std::cell::RefCell::new(Vec::new()));
+        let f = sum_loop();
+        let mut state = PipelineState::new(&f, &Directives::new(10.0), &TechLibrary::asic_100mhz());
+        let run = Pipeline::synthesis(PipelineConfig::default())
+            .with_hook(&rec)
+            .run(&mut state);
+        assert!(run.error.is_none());
+        assert_eq!(rec.0.borrow().len(), 7);
+
+        struct Gate;
+        impl PassHook for Gate {
+            fn after_pass(&self, pass: &str, _state: &PipelineState, d: &mut Diagnostics) {
+                if pass == "lower" {
+                    d.push(Diagnostic::error("gate-failed", "hook vetoed the design"));
+                }
+            }
+        }
+        let gate = Gate;
+        let mut state = PipelineState::new(&f, &Directives::new(10.0), &TechLibrary::asic_100mhz());
+        let run = Pipeline::synthesis(PipelineConfig::default())
+            .with_hook(&gate)
+            .run(&mut state);
+        assert!(run.diagnostics.has_errors());
+        assert_eq!(run.trace.passes.last().unwrap().pass, "lower");
+        assert_eq!(run.diagnostics.find("gate-failed").unwrap().pass, "lower");
+    }
+
+    #[test]
+    fn seeded_transform_marks_memo_hit_and_matches_unseeded() {
+        let f = sum_loop();
+        let d = Directives::new(10.0).unroll("sum", Unroll::Factor(2));
+        let lib = TechLibrary::asic_100mhz();
+        let (plain, _) = synthesize_traced(&f, &d, &lib, &PipelineConfig::default());
+        let t = Arc::new(apply_loop_transforms(&f, &d));
+        let (seeded, run) =
+            synthesize_traced_with_transform(&f, &d, &lib, &PipelineConfig::default(), t);
+        let (plain, seeded) = (plain.unwrap(), seeded.unwrap());
+        assert_eq!(plain.metrics.latency_cycles, seeded.metrics.latency_cycles);
+        assert_eq!(plain.metrics.area, seeded.metrics.area);
+        let tp = run
+            .trace
+            .passes
+            .iter()
+            .find(|p| p.pass == "loop-transforms")
+            .unwrap();
+        assert!(tp.memo_hit);
+    }
+}

@@ -1,16 +1,21 @@
 //! The top-level synthesis flow: validate → transform → lower → schedule →
 //! allocate → report.
+//!
+//! [`synthesize`] is a thin wrapper over the pass-manager pipeline in
+//! [`crate::pipeline`]; use [`crate::synthesize_traced`] when you also
+//! want the per-pass trace and structured diagnostics.
 
 use hls_ir::Function;
 
-use crate::allocate::{allocate, Allocation};
+use crate::allocate::Allocation;
 use crate::directives::Directives;
 use crate::error::SynthesisError;
-use crate::lower::{lower, Lowered, Segment};
-use crate::metrics::{segment_cycles, DesignMetrics};
-use crate::schedule::{recurrence_min_ii, schedule_dfg, Schedule};
+use crate::lower::Lowered;
+use crate::metrics::DesignMetrics;
+use crate::pipeline::{synthesize_traced, PipelineConfig};
+use crate::schedule::Schedule;
 use crate::tech::TechLibrary;
-use crate::transform::{apply_loop_transforms, MergeReport};
+use crate::transform::MergeReport;
 
 /// Everything produced by one synthesis run.
 #[derive(Debug, Clone)]
@@ -90,110 +95,7 @@ pub fn synthesize(
     directives: &Directives,
     lib: &TechLibrary,
 ) -> Result<SynthesisResult, SynthesisError> {
-    // 1. Validate the input IR.
-    let problems = hls_ir::validate(func);
-    if !problems.is_empty() {
-        return Err(SynthesisError::InvalidIr {
-            problems: problems.iter().map(|p| p.to_string()).collect(),
-        });
-    }
-
-    // 2. Check directive references.
-    let labels = func.loop_labels();
-    for label in directives.loops.keys() {
-        if !labels.contains(label) {
-            return Err(SynthesisError::UnknownLoop {
-                label: label.clone(),
-            });
-        }
-    }
-    let var_names: Vec<&str> = func.vars.iter().map(|v| v.name.as_str()).collect();
-    for name in directives.arrays.keys().chain(directives.interfaces.keys()) {
-        if !var_names.contains(&name.as_str()) {
-            return Err(SynthesisError::UnknownVariable { name: name.clone() });
-        }
-    }
-
-    // 3. Loop transforms.
-    let transformed = apply_loop_transforms(func, directives);
-
-    // 4. Lowering (hoisting, output staging, segmentation, interface
-    // synthesis).
-    let lowered = lower(&transformed.func, directives);
-
-    // 5. Scheduling. Memory-mapped arrays and streamed array parameters
-    // (Section 2.1: index accesses become accesses over time) compete for
-    // ports instead of being freely parallel registers.
-    let lowered_func = lowered.func.clone();
-    let d2 = directives.clone();
-    let mem_ports = move |v: hls_ir::VarId| -> Option<(u32, u32)> {
-        let name = &lowered_func.var(v).name;
-        if let crate::directives::ArrayMapping::Memory {
-            read_ports,
-            write_ports,
-        } = d2.array_mapping(name)
-        {
-            return Some((read_ports, write_ports));
-        }
-        if d2.interface_kind(name) == crate::directives::InterfaceKind::Stream {
-            return Some((1, 1)); // one element per cycle, over time
-        }
-        None
-    };
-
-    let mut schedules = Vec::new();
-    for seg in &lowered.segments {
-        let sched = schedule_dfg(seg.dfg(), directives, lib, &mem_ports)?;
-        if let Segment::Loop {
-            label,
-            pipeline_ii: Some(ii),
-            dfg,
-            ..
-        } = seg
-        {
-            let min_ii = recurrence_min_ii(dfg, &sched);
-            if *ii < min_ii {
-                return Err(SynthesisError::InfeasibleInitiationInterval {
-                    label: label.clone(),
-                    requested: *ii,
-                    minimum: min_ii,
-                });
-            }
-        }
-        schedules.push(sched);
-    }
-
-    // 6. Allocation and metrics.
-    let allocation = allocate(&lowered.func, &lowered, &schedules, directives, lib);
-    let segments: Vec<_> = lowered
-        .segments
-        .iter()
-        .zip(&schedules)
-        .map(|(s, sc)| segment_cycles(s, sc))
-        .collect();
-    let latency_cycles: u64 = segments.iter().map(|s| s.cycles).sum();
-    let critical = schedules
-        .iter()
-        .map(Schedule::critical_path_ns)
-        .fold(0.0, f64::max);
-    let metrics = DesignMetrics {
-        latency_cycles,
-        latency_ns: latency_cycles as f64 * directives.clock_period_ns,
-        clock_ns: directives.clock_period_ns,
-        critical_path_ns: critical,
-        segments,
-        area: allocation.total_area,
-        allocation: allocation.clone(),
-    };
-
-    Ok(SynthesisResult {
-        transformed: transformed.func,
-        lowered,
-        schedules,
-        allocation,
-        metrics,
-        merges: transformed.merges,
-    })
+    synthesize_traced(func, directives, lib, &PipelineConfig::default()).0
 }
 
 #[cfg(test)]

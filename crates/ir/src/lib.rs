@@ -44,6 +44,7 @@
 
 pub mod bitwidth;
 mod build;
+pub mod diag;
 mod expr;
 mod func;
 mod interp;
@@ -53,10 +54,11 @@ mod ty;
 mod validate;
 
 pub use build::FunctionBuilder;
+pub use diag::{Anchor, Diagnostic, Diagnostics, Severity};
 pub use expr::{BinOp, CmpOp, Expr, UnOp};
 pub use func::{Direction, Function, Var, VarId, VarKind};
 pub use interp::{EvalError, Interpreter, Slot, Value};
 pub use parse::{parse_function, ParseError};
 pub use stmt::{collect_loops, Loop, Stmt, MAX_TRIP_COUNT};
 pub use ty::Ty;
-pub use validate::{validate, ValidateError};
+pub use validate::{validate, validate_diagnostics, ValidateError};

@@ -80,6 +80,35 @@ impl fmt::Display for ValidateError {
 
 impl std::error::Error for ValidateError {}
 
+impl ValidateError {
+    /// Converts the validation failure into a structured
+    /// [`Diagnostic`](crate::diag::Diagnostic) with the appropriate stable
+    /// code and source anchor.
+    pub fn to_diagnostic(&self) -> crate::diag::Diagnostic {
+        use crate::diag::{Anchor, Diagnostic};
+        let d = Diagnostic::error("invalid-ir", self.to_string());
+        match self {
+            ValidateError::UnknownVar { raw } => d.with_anchor(Anchor::Var(format!("v{raw}"))),
+            ValidateError::ShapeMismatch { var } => d.with_anchor(Anchor::Var(var.clone())),
+            ValidateError::DuplicateLabel { label }
+            | ValidateError::CounterAssigned { label }
+            | ValidateError::SuspiciousLoop { label } => d.with_anchor(Anchor::Loop(label.clone())),
+            ValidateError::ConstIndexOutOfBounds { array, .. } => {
+                d.with_anchor(Anchor::Var(array.clone()))
+            }
+            ValidateError::TypeMismatch { .. } | ValidateError::NonConstShift => d,
+        }
+    }
+}
+
+/// [`validate`], with the problems reported as structured diagnostics.
+pub fn validate_diagnostics(func: &Function) -> crate::diag::Diagnostics {
+    validate(func)
+        .iter()
+        .map(ValidateError::to_diagnostic)
+        .collect()
+}
+
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Kind {
     Num,

@@ -9,14 +9,45 @@
 //!
 //! [`IrDecoder`]: crate::IrDecoder
 
+use std::fmt;
+
 use dsp::CFixed;
 use fixpt::Fixed;
+use hls_core::{Diagnostics, PipelineConfig, SynthesisError};
 use hls_ir::{Function, Slot, VarId};
 use rtl::{CompiledSim, Fsmd, RtlSimulator, SimError};
 
 use crate::arch::table1_library;
 use crate::ir::{build_qam_decoder_ir, QamDecoderIr};
 use crate::params::DecoderParams;
+
+/// Why [`RtlDecoder`] construction failed: the synthesis error together
+/// with the pass pipeline's structured diagnostics (pass of origin,
+/// anchors, notes), so callers can report *where* in the flow the design
+/// was rejected instead of just that it was.
+#[derive(Debug, Clone)]
+pub struct RtlBuildError {
+    /// The underlying synthesis failure.
+    pub error: SynthesisError,
+    /// Everything the pipeline recorded up to (and including) the failure.
+    pub diagnostics: Diagnostics,
+}
+
+impl fmt::Display for RtlBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decoder synthesis failed: {}", self.error)?;
+        for d in self.diagnostics.iter() {
+            write!(f, "\n  [{}] {}: {}", d.pass, d.code, d.message)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RtlBuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
 
 /// Which simulator executes the synthesized decoder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,33 +90,48 @@ impl RtlDecoder {
     /// Synthesizes the decoder under `directives` (with the Table-1
     /// technology library) on the default backend.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if synthesis fails — the Table-1 directive sets always
-    /// synthesize.
-    pub fn new(params: DecoderParams, directives: &hls_core::Directives) -> Self {
-        Self::with_backend(params, directives, SimBackend::default())
+    /// Returns an [`RtlBuildError`] carrying the synthesis failure and the
+    /// pipeline's diagnostics when the directives reject (unknown loop,
+    /// infeasible clock or II, …).
+    pub fn try_new(
+        params: DecoderParams,
+        directives: &hls_core::Directives,
+    ) -> Result<Self, Box<RtlBuildError>> {
+        Self::try_with_backend(params, directives, SimBackend::default())
     }
 
     /// Synthesizes the decoder and simulates it on `backend`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if synthesis fails.
-    pub fn with_backend(
+    /// Returns an [`RtlBuildError`] carrying the synthesis failure and the
+    /// pipeline's diagnostics.
+    pub fn try_with_backend(
         params: DecoderParams,
         directives: &hls_core::Directives,
         backend: SimBackend,
-    ) -> Self {
+    ) -> Result<Self, Box<RtlBuildError>> {
         let ids = build_qam_decoder_ir(&params);
-        let result = hls_core::synthesize(&ids.func, directives, &table1_library())
-            .expect("decoder synthesizes");
+        let (result, run) = hls_core::synthesize_traced(
+            &ids.func,
+            directives,
+            &table1_library(),
+            &PipelineConfig::default(),
+        );
+        let result = result.map_err(|error| {
+            Box::new(RtlBuildError {
+                error,
+                diagnostics: run.diagnostics,
+            })
+        })?;
         let fsmd = Fsmd::from_synthesis(&result);
         let sim = match backend {
             SimBackend::Reference => Sim::Reference(RtlSimulator::new(fsmd)),
             SimBackend::Compiled => Sim::Compiled(CompiledSim::from_fsmd(&fsmd)),
         };
-        RtlDecoder { sim, ids, params }
+        Ok(RtlDecoder { sim, ids, params })
     }
 
     /// The parameters.
@@ -189,8 +235,11 @@ mod tests {
     fn backends_agree_on_words_and_cycles() {
         let p = DecoderParams::default();
         let arch = &table1_architectures()[0];
-        let mut reference = RtlDecoder::with_backend(p, &arch.directives, SimBackend::Reference);
-        let mut compiled = RtlDecoder::with_backend(p, &arch.directives, SimBackend::Compiled);
+        let mut reference =
+            RtlDecoder::try_with_backend(p, &arch.directives, SimBackend::Reference)
+                .expect("reference decoder synthesizes");
+        let mut compiled = RtlDecoder::try_with_backend(p, &arch.directives, SimBackend::Compiled)
+            .expect("compiled decoder synthesizes");
         let init = dsp::Complex::new(0.45, -0.05);
         for dec in [&mut reference, &mut compiled] {
             dec.set_ffe_tap(0, init);
@@ -207,5 +256,24 @@ mod tests {
         }
         assert_eq!(reference.cycles(), compiled.cycles());
         assert_eq!(reference.ffe_taps(), compiled.ffe_taps());
+    }
+
+    #[test]
+    fn bad_directives_are_reported_not_panicked() {
+        let p = DecoderParams::default();
+        let d = hls_core::Directives::new(10.0).unroll("no_such_loop", hls_core::Unroll::Factor(2));
+        let err = RtlDecoder::try_new(p, &d).expect_err("unknown loop must be rejected");
+        assert!(
+            matches!(err.error, hls_core::SynthesisError::UnknownLoop { .. }),
+            "{err}"
+        );
+        // The error carries the pipeline's structured diagnostics, stamped
+        // with the pass that rejected the design.
+        let diag = err
+            .diagnostics
+            .find("unknown-loop")
+            .expect("diagnostic recorded");
+        assert_eq!(diag.pass, "check-directives");
+        assert!(err.to_string().contains("unknown-loop"), "{err}");
     }
 }

@@ -28,7 +28,8 @@ fn run_arch(arch_index: usize, backend: SimBackend, calls: usize, seed: u64) {
     let ids = build_qam_decoder_ir(&p);
     let t = hls_core::apply_loop_transforms(&ids.func, &arch.directives);
     let mut reference = IrDecoder::from_ir(p, t.func, &ids);
-    let mut hardware = RtlDecoder::with_backend(p, &arch.directives, backend);
+    let mut hardware =
+        RtlDecoder::try_with_backend(p, &arch.directives, backend).expect("decoder synthesizes");
 
     let init = dsp::Complex::new(0.45, -0.05);
     reference.set_ffe_tap(0, init);
@@ -93,7 +94,8 @@ fn rtl_cycle_counts_match_table1() {
     let expect = [35u64, 69, 19, 15];
     for backend in [SimBackend::Reference, SimBackend::Compiled] {
         for (arch, cycles) in table1_architectures().iter().zip(expect) {
-            let mut dec = RtlDecoder::with_backend(p, &arch.directives, backend);
+            let mut dec = RtlDecoder::try_with_backend(p, &arch.directives, backend)
+                .expect("decoder synthesizes");
             let x = CFixed::zero(p.x_format());
             dec.decode(x, x).expect("decodes");
             assert_eq!(dec.cycles(), cycles, "{} ({backend:?})", arch.name);

@@ -128,6 +128,7 @@ fn paper_designs_dominate_the_uniform_sweep() {
     let lib = table1_library();
     let cfg = hls_core::ExploreConfig {
         clock_period_ns: 10.0,
+        clock_periods_ns: Vec::new(),
         unroll_factors: vec![1, 2, 4],
         merge_policies: vec![
             hls_core::MergePolicy::Off,

@@ -37,6 +37,7 @@
 
 mod compile;
 mod fsmd;
+pub mod passes;
 mod sim;
 mod testbench;
 mod vcd;
@@ -44,6 +45,7 @@ mod verilog;
 
 pub use compile::{CompiledSim, SimProgram};
 pub use fsmd::{Control, Fsmd};
+pub use passes::{compile, compile_traced, RtlArtifacts};
 pub use sim::{RtlSimulator, SimError};
 pub use testbench::{capture_vectors, emit_testbench, TestVector};
 pub use vcd::{VcdRecorder, WaveSource};

@@ -1,0 +1,210 @@
+//! RTL-level passes: the back end as pass-manager stages.
+//!
+//! These passes extend the synthesis pipeline of `hls-core` past
+//! allocation into the RTL domain — FSMD construction, compiled-simulation
+//! lowering and Verilog emission — so one [`Pipeline`] run carries a
+//! design from untimed IR to netlist with a single pass trace covering
+//! every stage. Products land in the pipeline's artifacts map under the
+//! keys [`FSMD`], [`SIM_PROGRAM`] and [`VERILOG`].
+
+use hls_core::{Pass, Pipeline, PipelineConfig, PipelineRun, PipelineState, SynthesisError};
+use hls_ir::{Diagnostics, Function};
+
+use crate::compile::SimProgram;
+use crate::fsmd::Fsmd;
+use crate::verilog::emit_verilog;
+
+/// Artifact key of the FSMD built by [`FsmdPass`].
+pub const FSMD: &str = "fsmd";
+/// Artifact key of the dense simulation program built by [`CompileSimPass`].
+pub const SIM_PROGRAM: &str = "sim-program";
+/// Artifact key of the Verilog source emitted by [`VerilogPass`].
+pub const VERILOG: &str = "verilog";
+
+/// Builds the FSMD netlist from the scheduled, allocated design.
+pub struct FsmdPass;
+
+impl Pass for FsmdPass {
+    fn name(&self) -> &'static str {
+        "build-fsmd"
+    }
+
+    fn run(
+        &self,
+        state: &mut PipelineState,
+        _diags: &mut Diagnostics,
+    ) -> Result<(), SynthesisError> {
+        let result = state
+            .to_result()
+            .expect("invariant: synthesis passes run before build-fsmd");
+        state.put_artifact(FSMD, Fsmd::from_synthesis(&result));
+        Ok(())
+    }
+}
+
+/// Lowers the FSMD into the dense compiled-simulation form.
+pub struct CompileSimPass;
+
+impl Pass for CompileSimPass {
+    fn name(&self) -> &'static str {
+        "compile-sim"
+    }
+
+    fn run(
+        &self,
+        state: &mut PipelineState,
+        _diags: &mut Diagnostics,
+    ) -> Result<(), SynthesisError> {
+        let fsmd: &Fsmd = state
+            .artifact(FSMD)
+            .expect("invariant: build-fsmd runs before compile-sim");
+        let program = SimProgram::compile(fsmd);
+        state.put_artifact(SIM_PROGRAM, program);
+        Ok(())
+    }
+}
+
+/// Emits Verilog-2001 for the FSMD.
+pub struct VerilogPass;
+
+impl Pass for VerilogPass {
+    fn name(&self) -> &'static str {
+        "emit-verilog"
+    }
+
+    fn run(
+        &self,
+        state: &mut PipelineState,
+        _diags: &mut Diagnostics,
+    ) -> Result<(), SynthesisError> {
+        let fsmd: &Fsmd = state
+            .artifact(FSMD)
+            .expect("invariant: build-fsmd runs before emit-verilog");
+        state.put_artifact(VERILOG, emit_verilog(fsmd));
+        Ok(())
+    }
+}
+
+/// Everything the full front-to-back pipeline produces.
+pub struct RtlArtifacts {
+    /// The synthesis-level result (schedules, allocation, metrics).
+    pub synthesis: hls_core::SynthesisResult,
+    /// The FSMD netlist.
+    pub fsmd: Fsmd,
+    /// The dense simulation program.
+    pub program: SimProgram,
+    /// The emitted Verilog source.
+    pub verilog: String,
+}
+
+/// The full front-to-back pipeline: the standard synthesis passes
+/// followed by [`FsmdPass`], [`CompileSimPass`] and [`VerilogPass`].
+pub fn rtl_pipeline<'a>(config: PipelineConfig) -> Pipeline<'a> {
+    Pipeline::synthesis(config)
+        .with_pass(FsmdPass)
+        .with_pass(CompileSimPass)
+        .with_pass(VerilogPass)
+}
+
+/// Compiles `func` all the way to RTL through the pass manager, returning
+/// both the artifacts and the full observability record.
+pub fn compile_traced(
+    func: &Function,
+    directives: &hls_core::Directives,
+    lib: &hls_core::TechLibrary,
+    config: &PipelineConfig,
+) -> (Result<RtlArtifacts, SynthesisError>, PipelineRun) {
+    let pipeline = rtl_pipeline(config.clone());
+    let mut state = PipelineState::new(func, directives, lib);
+    let run = pipeline.run(&mut state);
+    let result = match &run.error {
+        Some(e) => Err(e.clone()),
+        None => Ok(RtlArtifacts {
+            synthesis: state
+                .to_result()
+                .expect("invariant: completed pipeline fills every state slot"),
+            fsmd: state
+                .take_artifact(FSMD)
+                .expect("invariant: build-fsmd ran"),
+            program: state
+                .take_artifact(SIM_PROGRAM)
+                .expect("invariant: compile-sim ran"),
+            verilog: state
+                .take_artifact(VERILOG)
+                .expect("invariant: emit-verilog ran"),
+        }),
+    };
+    (result, run)
+}
+
+/// [`compile_traced`] without the trace: the plain front-to-back compile.
+pub fn compile(
+    func: &Function,
+    directives: &hls_core::Directives,
+    lib: &hls_core::TechLibrary,
+) -> Result<RtlArtifacts, SynthesisError> {
+    compile_traced(func, directives, lib, &PipelineConfig::default()).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_core::{Directives, TechLibrary};
+    use hls_ir::{CmpOp, Expr, FunctionBuilder, Ty};
+
+    fn sum_loop() -> Function {
+        let mut b = FunctionBuilder::new("sum");
+        let x = b.param_array("x", Ty::fixed(10, 0), 8);
+        let out = b.param_scalar("out", Ty::fixed(14, 4));
+        let acc = b.local("acc", Ty::fixed(14, 4));
+        b.assign(acc, Expr::int_const(0));
+        b.for_loop("sum", 0, CmpOp::Lt, 8, 1, |b, k| {
+            b.assign(acc, Expr::add(Expr::var(acc), Expr::load(x, Expr::var(k))));
+        });
+        b.assign(out, Expr::var(acc));
+        b.build()
+    }
+
+    #[test]
+    fn full_pipeline_produces_all_artifacts_with_one_trace() {
+        let f = sum_loop();
+        let (r, run) = compile_traced(
+            &f,
+            &Directives::new(10.0),
+            &TechLibrary::asic_100mhz(),
+            &PipelineConfig::default(),
+        );
+        let artifacts = r.expect("compiles");
+        assert!(artifacts.verilog.contains("module sum"));
+        assert_eq!(
+            artifacts.fsmd.cycles_per_call(),
+            artifacts.synthesis.metrics.latency_cycles
+        );
+        assert!(artifacts.program.op_count() > 0);
+        // One trace covers synthesis AND the RTL stages, in order.
+        let names: Vec<&str> = run.trace.passes.iter().map(|p| p.pass.as_str()).collect();
+        assert_eq!(
+            &names[names.len() - 3..],
+            &["build-fsmd", "compile-sim", "emit-verilog"]
+        );
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn synthesis_error_stops_before_rtl_passes() {
+        let f = sum_loop();
+        let d = Directives::new(f64::NAN);
+        let (r, run) = compile_traced(
+            &f,
+            &d,
+            &TechLibrary::asic_100mhz(),
+            &PipelineConfig::default(),
+        );
+        assert!(matches!(r, Err(SynthesisError::InvalidClock { .. })));
+        assert!(run.trace.passes.iter().all(|p| p.pass != "build-fsmd"));
+        assert_eq!(
+            run.diagnostics.find("invalid-clock").unwrap().pass,
+            "check-directives"
+        );
+    }
+}

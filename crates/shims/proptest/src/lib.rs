@@ -59,7 +59,7 @@ pub mod prop {
     pub mod collection {
         use crate::strategy::{BoxedStrategy, Strategy};
 
-        /// Length specification for [`vec`]: a fixed size or a range.
+        /// Length specification for [`vec()`]: a fixed size or a range.
         #[derive(Debug, Clone, Copy)]
         pub struct SizeRange {
             lo: usize,

@@ -134,10 +134,15 @@ fn eval_node(
                         .ok_or_else(|| Unsupported("dynamic shift amount".into()))?
                         .to_i64()
                         .max(0) as u32;
+                    // The simulator shifts in the operand's runtime format,
+                    // which for every DFG node is its `format` field; pin
+                    // it so symbolic rewrites cannot change what the shift
+                    // wraps/truncates in.
+                    let fm = dfg.node(node.preds[0]).format;
                     t.intern(if matches!(op, BinOp::Shl) {
-                        Op::Shl(a, n)
+                        Op::Shl(a, n, fm)
                     } else {
-                        Op::Shr(a, n)
+                        Op::Shr(a, n, fm)
                     })
                 }
                 BinOp::And => t.intern(Op::And(a, b)),

@@ -178,6 +178,40 @@ fn exec_stmt(t: &mut SymTable, func: &Function, s: &Stmt, env: &mut SymEnv) -> E
     }
 }
 
+/// The *runtime* format the interpreter's value of `e` carries — a static
+/// mirror of `hls_ir::Interpreter::eval`'s dynamic format rules (variables
+/// and array elements hold their declared formats thanks to cast-on-assign;
+/// arithmetic widens exactly; shifts keep their operand's format). Returns
+/// `None` when the format is data-dependent (a `Select` whose arms differ)
+/// or the expression is boolean-valued.
+fn machine_format(func: &Function, e: &Expr) -> Option<fixpt::Format> {
+    match e {
+        Expr::Const(c) => Some(c.format()),
+        Expr::ConstBool(_) => None,
+        Expr::Var(v) => func.var(*v).ty.format(),
+        Expr::Load { array, .. } => func.var(*array).ty.format(),
+        Expr::Unary { op, arg } => match op {
+            UnOp::Neg => Some(machine_format(func, arg)?.neg_format()),
+            UnOp::Signum => Some(fixpt::Format::signed(2, 2)),
+            UnOp::Not => None,
+        },
+        Expr::Binary { op, lhs, rhs } => match op {
+            BinOp::Add => Some(machine_format(func, lhs)?.add_format(&machine_format(func, rhs)?)),
+            BinOp::Sub => Some(machine_format(func, lhs)?.sub_format(&machine_format(func, rhs)?)),
+            BinOp::Mul => Some(machine_format(func, lhs)?.mul_format(&machine_format(func, rhs)?)),
+            BinOp::Shl | BinOp::Shr => machine_format(func, lhs),
+            BinOp::And | BinOp::Or => None,
+        },
+        Expr::Compare { .. } => None,
+        Expr::Select { then_, else_, .. } => {
+            let a = machine_format(func, then_)?;
+            let b = machine_format(func, else_)?;
+            (a == b).then_some(a)
+        }
+        Expr::Cast { ty, .. } => ty.format(),
+    }
+}
+
 fn merge_scalar(t: &mut SymTable, c: SymId, a: SymId, b: SymId) -> SymId {
     if a == b {
         a
@@ -251,10 +285,16 @@ fn eval(t: &mut SymTable, func: &Function, e: &Expr, env: &SymEnv) -> ExecResult
                     return Err(Unsupported("negative shift amount".into()));
                 }
                 let a = eval(t, func, lhs, env)?;
+                // The interpreter shifts in the operand's runtime format;
+                // pin it into the node so symbolic rewrites cannot change
+                // what the shift wraps/truncates in.
+                let fm = machine_format(func, lhs).ok_or_else(|| {
+                    Unsupported("shift operand with data-dependent runtime format".into())
+                })?;
                 Ok(t.intern(if matches!(op, BinOp::Shl) {
-                    Op::Shl(a, n as u32)
+                    Op::Shl(a, n as u32, fm)
                 } else {
-                    Op::Shr(a, n as u32)
+                    Op::Shr(a, n as u32, fm)
                 }))
             }
             BinOp::Add | BinOp::Sub | BinOp::Mul => {

@@ -36,5 +36,5 @@ pub use equiv::{
 pub use fuzz::{fuzz_equiv, fuzz_equiv_with, Coverage, FuzzCex, FuzzConfig, FuzzReport, Stimulus};
 pub use mutate::{mutate_fsmd, mutations_for, Mutation};
 pub use pipeline::{
-    explore_verified, verify_equiv, verify_equiv_with, VerifyFinding, VerifyReport,
+    explore_verified, verify_equiv, verify_equiv_with, EquivGate, VerifyFinding, VerifyReport,
 };

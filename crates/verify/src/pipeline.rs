@@ -8,9 +8,15 @@
 //!
 //! [`explore_verified`] plugs the same pipeline into design-space
 //! exploration via `hls_core::explore_with_check`, gating the Pareto
-//! frontier (or every point) on equivalence.
+//! frontier (or every point) on equivalence. [`EquivGate`] plugs it into
+//! the pass manager itself: registered as a `PassHook`, it verifies the
+//! design the moment metrics land and vetoes the rest of the pipeline on
+//! a counterexample.
 
-use hls_core::{explore_with_check, synthesize, ExploreConfig, ExploreResult, TechLibrary};
+use hls_core::{
+    explore_with_check, synthesize, Diagnostic, Diagnostics, ExploreConfig, ExploreResult,
+    PassHook, PipelineState, TechLibrary,
+};
 use hls_ir::Function;
 use rtl::Fsmd;
 
@@ -132,6 +138,35 @@ pub fn verify_equiv_with(fsmd: &Fsmd, prove: &ProveOptions, fuzz: &FuzzConfig) -
         }
     };
     VerifyReport { finding }
+}
+
+/// An equivalence gate for the synthesis pass manager.
+///
+/// Registered via `Pipeline::with_hook`, it waits for the `metrics` pass
+/// (the last synthesis stage), builds the FSMD, and runs [`verify_equiv`]
+/// on it. A counterexample becomes an `equiv-failed` error diagnostic —
+/// aborting the remaining passes (RTL emission never sees an unproven
+/// design) — and a clean result becomes an `equiv-ok` note, so the pass
+/// trace records that verification ran.
+#[derive(Debug, Clone, Default)]
+pub struct EquivGate;
+
+impl PassHook for EquivGate {
+    fn after_pass(&self, pass: &str, state: &PipelineState, diags: &mut Diagnostics) {
+        if pass != "metrics" {
+            return;
+        }
+        let Some(result) = state.to_result() else {
+            return;
+        };
+        let fsmd = Fsmd::from_synthesis(&result);
+        let report = verify_equiv(&fsmd);
+        if report.passed() {
+            diags.push(Diagnostic::note("equiv-ok", report.describe()));
+        } else {
+            diags.push(Diagnostic::error("equiv-failed", report.describe()));
+        }
+    }
 }
 
 /// Design-space exploration gated on equivalence: explores like

@@ -4,8 +4,8 @@
 //! executed into one shared [`SymTable`]: a hash-consed arena of
 //! [`Fixed`]-valued operations. The table applies a small *normalizing
 //! rewrite system* at construction time — constant folding, commutativity
-//! canonicalization, shift algebra, and interval-based elimination of
-//! lossless fixed-point resize casts — so that two computations that are
+//! canonicalization, shift algebra, lossless-cast elimination, cast-chain
+//! collapse, and mux cast hoisting — so that two computations that are
 //! equal for every input tend to intern to the *same* node id. Canonical
 //! equality (`a == b` as [`SymId`]s) is therefore a proof of functional
 //! equivalence; disequality is decided by the exhaustive bit-blast
@@ -14,8 +14,12 @@
 //! Soundness invariant: every rewrite preserves the node's *value* for all
 //! possible input valuations, and [`SymTable::eval`] reproduces exactly the
 //! arithmetic the concrete executors perform (`exact_add`, `cast_with`,
-//! format-sensitive `shl`/`shr`, …), so a bit-blast verdict speaks about
-//! the real machines, not an abstraction.
+//! …), so a bit-blast verdict speaks about the real machines, not an
+//! abstraction. The one format-sensitive operation — shifting, which
+//! wraps/truncates in the operand's *runtime* format — pins that format
+//! into the node ([`Op::Shl`]/[`Op::Shr`]) at translation time, so value-
+//! preserving rewrites on the operand can never change what a shift
+//! computes.
 
 use std::collections::HashMap;
 
@@ -68,11 +72,16 @@ pub enum Op {
     Ite(SymId, SymId, SymId),
     /// Fixed-point resize with explicit quantization/overflow modes.
     Cast(SymId, Format, Quantization, Overflow),
-    /// Left shift by a constant, wrapping in the operand's runtime format.
-    Shl(SymId, u32),
-    /// Right shift by a constant, truncating in the operand's runtime
-    /// format.
-    Shr(SymId, u32),
+    /// Left shift by a constant, wrapping in the *pinned* format — the
+    /// operand's runtime format in the concrete machine, captured at
+    /// translation time. Pinning it here (instead of deriving it from the
+    /// operand node) is what keeps the lossless-cast elimination sound:
+    /// rewrites may change the operand's symbolic format, but never the
+    /// format the machine shifts in.
+    Shl(SymId, u32, Format),
+    /// Right shift by a constant, truncating in the pinned format (same
+    /// contract as [`Op::Shl`]).
+    Shr(SymId, u32, Format),
 }
 
 impl Op {
@@ -80,7 +89,7 @@ impl Op {
         match *self {
             Op::Input(..) | Op::Const(..) => vec![],
             Op::Neg(a) | Op::Signum(a) | Op::Not(a) => vec![a],
-            Op::Cast(a, ..) | Op::Shl(a, _) | Op::Shr(a, _) => vec![a],
+            Op::Cast(a, ..) | Op::Shl(a, ..) | Op::Shr(a, ..) => vec![a],
             Op::Add(a, b)
             | Op::Sub(a, b)
             | Op::Mul(a, b)
@@ -97,9 +106,12 @@ impl Op {
 ///
 /// This is the analysis behind the *fixed-point resize laws*: a cast whose
 /// operand interval provably fits the destination format losslessly is the
-/// identity and is rewritten away, which is what lets the IR-side and
-/// FSMD-side DAGs (which insert alignment casts at different places)
-/// converge to one canonical form.
+/// identity *on values* — so it collapses out of cast chains, hoists out
+/// of muxes, and is looked through at value-based consumers, which is what
+/// lets the IR-side and FSMD-side DAGs (which insert alignment casts at
+/// different places) converge to one canonical form. A lossless cast is
+/// NOT erased outright: downstream shifts wrap in the operand's runtime
+/// format, so the format change itself is observable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Interval {
     lo: i128,
@@ -398,34 +410,61 @@ impl SymTable {
                     return Ok(if !cv.is_zero() { t } else { e });
                 }
                 if let Op::Not(inner) = self.op_of(c) {
-                    return Err(Op::Ite(*inner, e, t));
+                    let inner = *inner;
+                    return Ok(self.intern(Op::Ite(inner, e, t)));
+                }
+                // Cast hoisting: a mux whose arms are the same resize of
+                // two values is the resize of the mux of the values. This
+                // is how the FSMD side's bus-alignment casts (inserted on
+                // each mux arm) meet the IR side's bare select.
+                if let (&Op::Cast(x, f1, q1, o1), &Op::Cast(y, f2, q2, o2)) =
+                    (self.op_of(t), self.op_of(e))
+                {
+                    if (f1, q1, o1) == (f2, q2, o2) {
+                        let inner = self.intern(Op::Ite(c, x, y));
+                        return Ok(self.intern(Op::Cast(inner, f1, q1, o1)));
+                    }
                 }
                 Err(Op::Ite(c, t, e))
             }
-            // Fixed-point resize laws: identity and interval-lossless
-            // casts vanish.
+            // Fixed-point resize laws. A cast whose operand provably fits
+            // the target format is value-invisible, and every consumer in
+            // this DAG is value-based (shifts pin the machine format they
+            // operate in rather than reading the operand node's format),
+            // so it vanishes. This is the workhorse that lets the IR
+            // side's exact intermediate formats meet the FSMD side's
+            // bus-aligned ones. When the operand's own interval is
+            // unknown, a known-lossless *inner* cast still collapses out
+            // of a cast chain.
             Op::Cast(a, f, q, o) => {
                 if self.format_of(a) == Some(f) {
                     return Ok(a);
                 }
-                if let Some(iv) = self.interval_of(a) {
-                    if iv.fits_losslessly(f) {
-                        return Ok(a);
+                if self.interval_of(a).is_some_and(|iv| iv.fits_losslessly(f)) {
+                    return Ok(a);
+                }
+                if let Op::Cast(x, f1, _, _) = *self.op_of(a) {
+                    let inner_lossless =
+                        self.interval_of(x).is_some_and(|iv| iv.fits_losslessly(f1));
+                    if inner_lossless {
+                        return Ok(self.intern(Op::Cast(x, f, q, o)));
                     }
                 }
                 Err(Op::Cast(a, f, q, o))
             }
-            // Shift algebra: zero shifts vanish; same-direction shifts in
-            // the same runtime format compose (raw-wise on the same
-            // register width, so wrapping and truncation both compose).
-            Op::Shl(a, 0) | Op::Shr(a, 0) => Ok(a),
-            Op::Shl(a, n) => match *self.op_of(a) {
-                Op::Shl(inner, m) => Err(Op::Shl(inner, n + m)),
-                _ => Err(Op::Shl(a, n)),
+            // Shift algebra: zero shifts vanish (the operand's machine
+            // value is representable in the pinned format by construction,
+            // so the implicit re-format is identity); same-direction
+            // shifts in the same pinned format compose raw-wise on the
+            // same register width, so wrapping and truncation compose.
+            Op::Shl(a, 0, _) | Op::Shr(a, 0, _) => Ok(a),
+            Op::Shl(a, n, fm) => match *self.op_of(a) {
+                Op::Shl(inner, m, f2) if f2 == fm => Err(Op::Shl(inner, n + m, fm)),
+                _ => Err(Op::Shl(a, n, fm)),
             },
-            Op::Shr(a, n) => match *self.op_of(a) {
-                Op::Shr(inner, m) => Err(Op::Shr(inner, n + m)),
-                _ => Err(Op::Shr(a, n)),
+            Op::Shr(a, n, fm) => match *self.op_of(a) {
+                Op::Shr(inner, m, f2) if f2 == fm => Err(Op::Shr(inner, n + m, fm)),
+                _ => Err(Op::Shr(a, n, fm)),
             },
             other => Err(other),
         }
@@ -446,7 +485,7 @@ impl SymTable {
                 _ => None,
             },
             Op::Cast(_, fm, _, _) => Some(fm),
-            Op::Shl(a, _) | Op::Shr(a, _) => f(a),
+            Op::Shl(_, _, fm) | Op::Shr(_, _, fm) => Some(fm),
         }
     }
 
@@ -628,8 +667,12 @@ fn eval_op(op: &Op, vals: &[Fixed]) -> Fixed {
             }
         }
         Op::Cast(_, f, q, o) => vals[0].cast_with(f, q, o),
-        Op::Shl(_, n) => vals[0].shl(n),
-        Op::Shr(_, n) => vals[0].shr(n),
+        // The operand's machine value is representable in the pinned
+        // format (it *is* the operand's machine format at translation
+        // time), so the cast is a lossless re-format and the shift
+        // wraps/truncates exactly as the concrete machines do.
+        Op::Shl(_, n, fm) => vals[0].cast(fm).shl(n),
+        Op::Shr(_, n, fm) => vals[0].cast(fm).shr(n),
     }
 }
 
@@ -661,10 +704,12 @@ mod tests {
     }
 
     #[test]
-    fn lossless_cast_is_identity() {
+    fn lossless_cast_is_eliminated() {
+        // A cast whose operand provably fits the target format preserves
+        // the value, and (shifts being format-pinned) no consumer can
+        // observe the format change: the node vanishes entirely.
         let mut t = SymTable::new();
         let a = t.fresh_input(Format::signed(8, 4));
-        // Widening both left and right of the binary point loses nothing.
         let c = t.intern(Op::Cast(
             a,
             Format::signed(16, 8),
@@ -672,14 +717,70 @@ mod tests {
             Overflow::Wrap,
         ));
         assert_eq!(c, a);
-        // A narrowing cast must stay.
-        let n = t.intern(Op::Cast(
+    }
+
+    #[test]
+    fn lossless_inner_casts_collapse_out_of_chains() {
+        // Align-then-clip equals a direct clip when the alignment step is
+        // lossless — even though the clip itself is not.
+        let mut t = SymTable::new();
+        let a = t.fresh_input(Format::signed(8, 4));
+        let wide = t.intern(Op::Cast(
             a,
-            Format::signed(4, 2),
+            Format::signed(16, 8),
             Quantization::Trn,
             Overflow::Wrap,
         ));
-        assert_ne!(n, a);
+        let clip = Format::signed(5, 2);
+        let out = t.intern(Op::Cast(wide, clip, Quantization::Trn, Overflow::Wrap));
+        let direct = t.intern(Op::Cast(a, clip, Quantization::Trn, Overflow::Wrap));
+        assert_eq!(out, direct, "align-then-clip equals direct clip");
+    }
+
+    #[test]
+    fn mux_arm_casts_hoist() {
+        // Lossy (clipping) casts cannot vanish, but identical casts on
+        // both mux arms hoist over the mux — matching the IR side's
+        // bare select followed by one resize.
+        let mut t = SymTable::new();
+        let c = t.fresh_input(bool_format());
+        let x = t.fresh_input(Format::signed(8, 4));
+        let y = t.fresh_input(Format::signed(8, 4));
+        let clip = Format::signed(5, 2);
+        let cx = t.intern(Op::Cast(x, clip, Quantization::Trn, Overflow::Wrap));
+        let cy = t.intern(Op::Cast(y, clip, Quantization::Trn, Overflow::Wrap));
+        let aligned_mux = t.intern(Op::Ite(c, cx, cy));
+        let bare_mux = t.intern(Op::Ite(c, x, y));
+        let cast_of_mux = t.intern(Op::Cast(bare_mux, clip, Quantization::Trn, Overflow::Wrap));
+        assert_eq!(aligned_mux, cast_of_mux, "arm casts hoist over the mux");
+    }
+
+    #[test]
+    fn shl_wraps_in_its_pinned_format_despite_cast_elimination() {
+        // Regression: a Shl after a value-lossless widening cast must wrap
+        // in the *widened* format even though the cast node itself is
+        // rewritten away (3 << 2 wraps to -4 in signed(4), but is 12 in
+        // signed(9)). The pinned format on the shift carries that
+        // information independently of the operand node.
+        let mut t = SymTable::new();
+        let f4 = Format::signed(4, 4);
+        let f9 = Format::signed(9, 9);
+        let x = t.fresh_input(f4);
+        let c = t.intern(Op::Cast(x, f9, Quantization::Trn, Overflow::Wrap));
+        assert_eq!(c, x, "the widening cast is eliminated");
+        let s = t.intern(Op::Shl(c, 2, f9));
+        let mut env = HashMap::new();
+        let v = Fixed::from_raw(3, f4).unwrap();
+        env.insert(0u32, v);
+        let got = t.eval(&[s], &env)[0];
+        let concrete = v.cast_with(f9, Quantization::Trn, Overflow::Wrap).shl(2);
+        assert_eq!(got.raw(), concrete.raw());
+        assert_eq!(got.to_i64(), 12);
+        // The same shift pinned to the narrow format wraps: a distinct node.
+        let narrow = t.intern(Op::Shl(x, 2, f4));
+        assert_ne!(narrow, s);
+        let wrapped = t.eval(&[narrow], &env)[0];
+        assert_eq!(wrapped.to_i64(), v.shl(2).to_i64());
     }
 
     #[test]
@@ -712,11 +813,18 @@ mod tests {
     #[test]
     fn shift_algebra_composes() {
         let mut t = SymTable::new();
-        let a = t.fresh_input(Format::signed(12, 6));
-        let s1 = t.intern(Op::Shr(a, 2));
-        let s2 = t.intern(Op::Shr(s1, 3));
-        assert_eq!(s2, t.intern(Op::Shr(a, 5)));
-        assert_eq!(t.intern(Op::Shl(a, 0)), a);
+        let f = Format::signed(12, 6);
+        let a = t.fresh_input(f);
+        let s1 = t.intern(Op::Shr(a, 2, f));
+        let s2 = t.intern(Op::Shr(s1, 3, f));
+        assert_eq!(s2, t.intern(Op::Shr(a, 5, f)));
+        assert_eq!(t.intern(Op::Shl(a, 0, f)), a);
+        // Shifts in *different* pinned formats must not compose.
+        let g = Format::signed(20, 10);
+        let o1 = t.intern(Op::Shr(a, 2, g));
+        let o2 = t.intern(Op::Shr(o1, 3, f));
+        assert_ne!(o2, t.intern(Op::Shr(a, 5, f)));
+        assert_ne!(o2, t.intern(Op::Shr(a, 5, g)));
     }
 
     #[test]
