@@ -1,0 +1,208 @@
+//! Budgeted design-space exploration benchmark: the Table-1 directive
+//! sweep crossed with a target-clock sweep, explored three ways —
+//!
+//! 1. **serial reference** — the historical flow: explore serially, then
+//!    re-synthesize and equivalence-check every point after the sweep
+//!    (`explore_verified_serial`);
+//! 2. **fused** — proofs run inside the explorer's worker pool against
+//!    each point's already-built synthesis result, sharing IR contexts
+//!    and replaying verdicts for structurally identical clock twins
+//!    (`explore_verified`);
+//! 3. **budgeted + fused** — the same, plus branch-and-bound pruning of
+//!    candidates whose admissible bounds are already dominated.
+//!
+//! Each flow runs `REPEATS` times and scores its minimum wall time. The
+//! binary *enforces* the optimization contract and exits nonzero if it
+//! does not hold: every flow must report the identical Pareto frontier
+//! and identical per-point metrics (budgeted may drop dominated interior
+//! points, but only into its pruned list), no equivalence check may
+//! fail, and the budgeted + fused flow must be at least 2x faster than
+//! the serial reference. Results land in `BENCH_explore.json` at the
+//! repo root (schema documented in DESIGN.md under "Exploration &
+//! budgeting").
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use hls_core::{ExploreConfig, ExploreResult, MergePolicy, TechLibrary, VerifyLevel};
+use hls_ir::Function;
+use hls_verify::{explore_verified, explore_verified_serial};
+use qam_decoder::{build_qam_decoder_ir, table1_library, DecoderParams};
+
+const REPEATS: usize = 3;
+const REQUIRED_SPEEDUP: f64 = 2.0;
+
+/// The Table-1 knob sweep (uniform + per-loop unrolling, both merge
+/// policies) crossed with a realistic target-clock sweep, 5 ns (200 MHz)
+/// to 40 ns (25 MHz). Slow clocks chain identically and become clock
+/// twins — exactly the redundancy the fused prover's structural memo is
+/// built to exploit.
+fn sweep_config() -> ExploreConfig {
+    ExploreConfig {
+        clock_period_ns: 10.0,
+        clock_periods_ns: vec![5.0, 7.5, 10.0, 15.0, 20.0, 40.0],
+        unroll_factors: vec![1, 2, 4],
+        merge_policies: vec![MergePolicy::Off, MergePolicy::AllowHazards],
+        per_loop_refinement: true,
+        verify: VerifyLevel::All,
+        budget: None,
+    }
+}
+
+struct Flow {
+    name: &'static str,
+    ms: f64,
+    result: ExploreResult,
+}
+
+fn run_flow(
+    name: &'static str,
+    func: &Function,
+    config: &ExploreConfig,
+    lib: &TechLibrary,
+    serial: bool,
+) -> Flow {
+    let mut best: Option<(f64, ExploreResult)> = None;
+    for _ in 0..REPEATS {
+        let t0 = Instant::now();
+        let r = if serial {
+            explore_verified_serial(func, config, lib)
+        } else {
+            explore_verified(func, config, lib)
+        };
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if best.as_ref().is_none_or(|(b, _)| ms < *b) {
+            best = Some((ms, r));
+        }
+    }
+    let (ms, result) = best.expect("at least one repeat");
+    Flow { name, ms, result }
+}
+
+fn frontier(r: &ExploreResult) -> Vec<(String, u64, f64)> {
+    r.pareto()
+        .iter()
+        .map(|p| (p.label.clone(), p.latency_cycles, p.area))
+        .collect()
+}
+
+fn main() {
+    let ir = build_qam_decoder_ir(&DecoderParams::default());
+    let lib = table1_library();
+    let config = sweep_config();
+    let budgeted_config = config.clone().budgeted();
+
+    let serial = run_flow("serial-reference", &ir.func, &config, &lib, true);
+    let fused = run_flow("fused", &ir.func, &config, &lib, false);
+    let budgeted = run_flow("budgeted-fused", &ir.func, &budgeted_config, &lib, false);
+
+    let mut failed = false;
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            eprintln!("FAIL: {what}");
+            failed = true;
+        }
+    };
+
+    // Exactness: identical frontier everywhere; identical per-point
+    // metrics, with the budgeted flow allowed to move dominated interior
+    // points into `pruned` but nowhere else.
+    let reference = frontier(&serial.result);
+    for flow in [&fused, &budgeted] {
+        check(
+            frontier(&flow.result) == reference,
+            &format!("{} frontier differs from the serial reference", flow.name),
+        );
+        check(
+            flow.result.verify_failures.is_empty(),
+            &format!("{} reported equivalence failures", flow.name),
+        );
+    }
+    check(
+        serial.result.verify_failures.is_empty(),
+        "serial reference reported equivalence failures",
+    );
+    let by_label: BTreeMap<&str, (u64, f64)> = serial
+        .result
+        .points
+        .iter()
+        .map(|p| (p.label.as_str(), (p.latency_cycles, p.area)))
+        .collect();
+    check(
+        fused.result.points.len() == serial.result.points.len(),
+        "fused flow must evaluate every point the reference does",
+    );
+    check(
+        budgeted.result.points.len() + budgeted.result.pruned.len() == serial.result.points.len(),
+        "budgeted flow must account for every reference point (evaluated or pruned)",
+    );
+    for p in fused.result.points.iter().chain(&budgeted.result.points) {
+        check(
+            by_label.get(p.label.as_str()) == Some(&(p.latency_cycles, p.area)),
+            &format!("point {} metrics differ from the reference", p.label),
+        );
+    }
+
+    let speedup_fused = serial.ms / fused.ms;
+    let speedup_budgeted = serial.ms / budgeted.ms;
+    check(
+        speedup_budgeted >= REQUIRED_SPEEDUP,
+        &format!(
+            "budgeted+fused speedup {speedup_budgeted:.2}x below the required {REQUIRED_SPEEDUP:.1}x"
+        ),
+    );
+
+    println!(
+        "sweep: {} candidates, {} unique evaluations, {} transform prefixes",
+        serial.result.points.len() + serial.result.failures.len(),
+        serial.result.evaluations,
+        serial.result.transform_evaluations,
+    );
+    for flow in [&serial, &fused, &budgeted] {
+        println!(
+            "{:>16}: {:7.1} ms  ({} points, {} pruned, {} frontier)",
+            flow.name,
+            flow.ms,
+            flow.result.points.len(),
+            flow.result.pruned.len(),
+            flow.result.pareto().len(),
+        );
+    }
+    println!("speedup: fused {speedup_fused:.2}x, budgeted+fused {speedup_budgeted:.2}x");
+
+    let flows_json: Vec<String> = [&serial, &fused, &budgeted]
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"name\":\"{}\",\"ms\":{:.3},\"points\":{},\"pruned\":{},\"evaluations\":{},\"verify_failures\":{}}}",
+                f.name,
+                f.ms,
+                f.result.points.len(),
+                f.result.pruned.len(),
+                f.result.evaluations,
+                f.result.verify_failures.len()
+            )
+        })
+        .collect();
+    let frontier_json: Vec<String> = reference
+        .iter()
+        .map(|(label, lat, area)| {
+            format!("{{\"label\":\"{label}\",\"latency_cycles\":{lat},\"area\":{area:.1}}}")
+        })
+        .collect();
+    let json = format!(
+        "{{\"repeats\":{REPEATS},\"required_speedup\":{REQUIRED_SPEEDUP:.1},\
+         \"speedup_fused\":{speedup_fused:.3},\"speedup_budgeted\":{speedup_budgeted:.3},\
+         \"frontier_identical\":{},\"flows\":[{}],\"frontier\":[{}]}}\n",
+        !failed,
+        flows_json.join(","),
+        frontier_json.join(",")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
+    std::fs::write(path, &json).expect("writes BENCH_explore.json");
+    println!("wrote BENCH_explore.json");
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -92,23 +92,24 @@ pub fn allocate(
     for (seg, sched) in lowered.segments.iter().zip(schedules) {
         let dfg = seg.dfg();
         fsm_states += sched.depth.max(1) as usize;
-        for cycle in 0..sched.depth {
-            let mut used: BTreeMap<OpClass, u32> = BTreeMap::new();
-            for id in sched.nodes_in_cycle(cycle) {
-                let class = sched.node_class[id.index()];
-                if !counts_as_datapath(class) {
-                    continue;
-                }
-                *used.entry(class).or_insert(0) += 1;
-                let w = sched.node_width[id.index()];
-                let e = widths.entry(class).or_insert(0);
-                *e = (*e).max(w);
-                *totals.entry(class).or_insert(0) += 1;
+        // One pass over the nodes accumulates per-(cycle, class) counts;
+        // max/sum reductions are order-independent, so this matches the
+        // historical per-cycle rescan exactly.
+        let mut used: BTreeMap<(u32, OpClass), u32> = BTreeMap::new();
+        for i in 0..sched.node_cycle.len() {
+            let class = sched.node_class[i];
+            if !counts_as_datapath(class) {
+                continue;
             }
-            for (class, n) in used {
-                let e = peak.entry(class).or_insert(0);
-                *e = (*e).max(n);
-            }
+            *used.entry((sched.node_cycle[i], class)).or_insert(0) += 1;
+            let w = sched.node_width[i];
+            let e = widths.entry(class).or_insert(0);
+            *e = (*e).max(w);
+            *totals.entry(class).or_insert(0) += 1;
+        }
+        for ((_, class), n) in used {
+            let e = peak.entry(class).or_insert(0);
+            *e = (*e).max(n);
         }
         // Values alive across cycle boundaries inside the segment.
         temp_bits_peak = temp_bits_peak.max(live_bits(dfg, sched));
@@ -227,33 +228,44 @@ fn live_bits(dfg: &Dfg, sched: &Schedule) -> u64 {
     if sched.depth <= 1 {
         return 0;
     }
-    let mut peak = 0u64;
-    for boundary in 0..sched.depth.saturating_sub(1) {
-        let mut bits = 0u64;
-        for (id, n) in dfg.iter() {
-            if matches!(
-                n.kind,
-                NodeKind::VarWrite(_)
-                    | NodeKind::Store(_)
-                    | NodeKind::StoreCond(_)
-                    | NodeKind::Const(_)
-            ) {
-                continue; // committed to architectural state or wired
-            }
-            let def = sched.node_cycle[id.index()];
-            let last_use = dfg
-                .iter()
-                .filter(|(_, m)| m.preds.contains(&id))
-                .map(|(uid, _)| sched.node_cycle[uid.index()])
-                .max()
-                .unwrap_or(def);
-            if def <= boundary && last_use > boundary {
-                bits += n.format.width() as u64;
-            }
+    // One edge sweep computes every producer's last-use cycle; each value
+    // live across boundaries [def, last_use) contributes its width to that
+    // range of a difference array, whose prefix-sum maximum is the peak.
+    let n = dfg.len();
+    let mut last_use: Vec<u32> = (0..n).map(|i| sched.node_cycle[i]).collect();
+    for (id, m) in dfg.iter() {
+        let uc = sched.node_cycle[id.index()];
+        for p in &m.preds {
+            let e = &mut last_use[p.index()];
+            *e = (*e).max(uc);
         }
+    }
+    let boundaries = sched.depth as usize - 1;
+    let mut diff = vec![0i64; boundaries + 1];
+    for (id, nd) in dfg.iter() {
+        if matches!(
+            nd.kind,
+            NodeKind::VarWrite(_)
+                | NodeKind::Store(_)
+                | NodeKind::StoreCond(_)
+                | NodeKind::Const(_)
+        ) {
+            continue; // committed to architectural state or wired
+        }
+        let def = sched.node_cycle[id.index()] as usize;
+        let lu = last_use[id.index()] as usize;
+        if lu > def && def < boundaries {
+            diff[def] += nd.format.width() as i64;
+            diff[lu.min(boundaries)] -= nd.format.width() as i64;
+        }
+    }
+    let mut peak = 0i64;
+    let mut bits = 0i64;
+    for d in diff.iter().take(boundaries) {
+        bits += d;
         peak = peak.max(bits);
     }
-    peak
+    peak as u64
 }
 
 #[cfg(test)]

@@ -1,0 +1,480 @@
+//! Admissible lower bounds on latency and area from unscheduled IR.
+//!
+//! The explorer's branch-and-bound pruning needs, for a transformed but
+//! not-yet-scheduled candidate, numbers that are *guaranteed* not to
+//! exceed what scheduling and allocation would report — then any
+//! candidate whose bound is already Pareto-dominated by a completed
+//! design point can skip the back end entirely without changing the
+//! frontier.
+//!
+//! Both bounds mirror the real passes' accounting rather than inventing
+//! their own model:
+//!
+//! - **latency** — each top-level loop contributes `trip × depth_bound`
+//!   cycles (pipelined: `depth_bound + (trip−1)·II`), where `depth_bound`
+//!   is the longest per-statement dependence-chain delay divided by the
+//!   clock, rounded up. The chain delays reuse the scheduler's own
+//!   operator classes, characterization widths and [`TechLibrary`]
+//!   delays, and chaining covers at most one clock period per cycle, so
+//!   the real schedule can never be shallower. Straight-line statements
+//!   add one region of at least their own chain bound.
+//! - **area** — every operator class the statement walk proves present
+//!   costs at least one functional unit at the widest width observed
+//!   (the allocator shares units, but keeps ≥ 1 per used class at the
+//!   class's maximum width), registers cost at least the architectural
+//!   state bits (statics, non-memory parameters, counters), and the
+//!   controller at least one state per predicted cycle of segment depth.
+//!   Sharing muxes, temporaries, predication muxes and locals are all
+//!   priced at zero — under-approximations, never over.
+//!
+//! Anything uncertain is resolved downward: variable reads are free,
+//! if-conversion overhead is ignored, nested loops count as one
+//! iteration. The accompanying proptest (`tests/explore_budget.rs`)
+//! checks `bound ≤ actual` across randomized directive sweeps.
+
+use fixpt::{Format, Signedness};
+use hls_ir::{BinOp, Direction, Expr, Function, Stmt, UnOp, VarId};
+
+use std::collections::BTreeMap;
+
+use crate::dfg::common_format;
+use crate::directives::{ArrayMapping, Directives, InterfaceKind};
+use crate::tech::{OpClass, TechLibrary};
+
+/// Admissible lower bounds for one transformed candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignBound {
+    /// Latency in cycles: the real design needs at least this many.
+    pub latency_cycles: u64,
+    /// Area in abstract units: the real design costs at least this much.
+    pub area: f64,
+    /// Operations visited while deriving the bound — the size input to
+    /// the explorer's per-pass cost model.
+    pub ops: usize,
+}
+
+/// Computes admissible latency/area lower bounds for a transformed (but
+/// unscheduled) function under `directives`.
+pub fn lower_bound(func: &Function, directives: &Directives, lib: &TechLibrary) -> DesignBound {
+    let mut b = Bounder {
+        func,
+        directives,
+        lib,
+        class_widths: BTreeMap::new(),
+        ops: 0,
+    };
+    let clock = directives.clock_period_ns;
+
+    let mut latency: u64 = 0;
+    let mut fsm_states: u64 = 0;
+    let mut loops = 0usize;
+    let mut straight_chain = 0.0f64;
+    let mut any_straight = false;
+    for s in &func.body {
+        match s {
+            Stmt::For(l) => {
+                loops += 1;
+                let mut chain = 0.0f64;
+                for bs in &l.body {
+                    chain = chain.max(b.stmt_chain(bs));
+                }
+                // The body schedule is at least this deep; `segment_cycles`
+                // floors loop depth at 1 even for empty bodies.
+                let depth_bound = chain_cycles(chain, clock).max(1);
+                let trip = l.trip_count() as u64;
+                let cycles = match directives.loop_directive(&l.label).pipeline_ii {
+                    Some(ii) if trip > 0 => depth_bound + (trip - 1) * ii as u64,
+                    _ => trip * depth_bound,
+                };
+                latency += cycles;
+                fsm_states += depth_bound;
+            }
+            other => {
+                any_straight = true;
+                straight_chain = straight_chain.max(b.stmt_chain(other));
+            }
+        }
+    }
+    // Handshake out-parameters are committed from staging registers in a
+    // dedicated trailing straight region even when the body has no other
+    // top-level straight statement.
+    let staged_outputs = func.params.iter().any(|p| {
+        let v = func.var(*p);
+        !v.is_array()
+            && func.param_direction(*p) == Direction::Out
+            && directives.interface_kind(&v.name) == InterfaceKind::RegisterHandshake
+    });
+    if any_straight || staged_outputs {
+        let depth = chain_cycles(straight_chain, clock).max(1);
+        latency += depth;
+        fsm_states += depth;
+    }
+
+    // Loop control: the allocator adds a counter incrementer to the adder
+    // peak and guarantees a comparator whenever loop segments exist.
+    if loops > 0 {
+        let w = b.class_widths.entry(OpClass::Add).or_insert(0);
+        *w = (*w).max(8);
+        b.class_widths.entry(OpClass::Cmp).or_insert(8);
+    }
+
+    let mut area = 0.0;
+    for (class, width) in &b.class_widths {
+        area += lib.area(*class, (*width).max(1));
+    }
+    area += lib.register_area(state_bits_bound(func, directives));
+    area += lib.controller_area(fsm_states as usize);
+
+    DesignBound {
+        latency_cycles: latency,
+        area,
+        ops: b.ops,
+    }
+}
+
+/// Cycles needed to cover `chain` ns of dependence-chain delay when each
+/// cycle chains at most `clock` ns. The epsilon forgives float-summation
+/// noise in the admissible direction (rounding the bound *down*).
+fn chain_cycles(chain: f64, clock: f64) -> u64 {
+    if chain <= 0.0 || clock <= 0.0 {
+        return 0;
+    }
+    (chain / clock - 1e-9).ceil().max(0.0) as u64
+}
+
+/// Architectural register bits the allocator is guaranteed to count:
+/// statics and non-memory-mapped parameters at full width, one narrowed
+/// 8-bit register per counter. Locals (counted only when they cross
+/// segments) are priced at zero.
+fn state_bits_bound(func: &Function, directives: &Directives) -> u64 {
+    let mut bits = 0u64;
+    for (_, v) in func.iter_vars() {
+        let is_mem = matches!(
+            directives.array_mapping(&v.name),
+            ArrayMapping::Memory { .. }
+        );
+        match v.kind {
+            hls_ir::VarKind::Static | hls_ir::VarKind::Param => {
+                if !is_mem {
+                    bits += v.ty.width() as u64 * v.len.unwrap_or(1) as u64;
+                }
+            }
+            hls_ir::VarKind::Counter => bits += 8,
+            hls_ir::VarKind::Local => {}
+        }
+    }
+    bits
+}
+
+struct Bounder<'a> {
+    func: &'a Function,
+    directives: &'a Directives,
+    lib: &'a TechLibrary,
+    /// Maximum characterization width seen per definitely-present class.
+    class_widths: BTreeMap<OpClass, u32>,
+    ops: usize,
+}
+
+impl Bounder<'_> {
+    fn bool_format() -> Format {
+        Format::integer(1, Signedness::Unsigned)
+    }
+
+    fn var_format(&self, v: VarId) -> Format {
+        self.func
+            .var(v)
+            .ty
+            .format()
+            .unwrap_or_else(Self::bool_format)
+    }
+
+    /// Mirrors the scheduler's memory test: memory-mapped arrays and
+    /// streamed parameters access elements over time.
+    fn is_mem(&self, v: VarId) -> bool {
+        let name = &self.func.var(v).name;
+        matches!(
+            self.directives.array_mapping(name),
+            ArrayMapping::Memory { .. }
+        ) || self.directives.interface_kind(name) == InterfaceKind::Stream
+    }
+
+    fn note(&mut self, class: OpClass, width: u32) {
+        let e = self.class_widths.entry(class).or_insert(0);
+        *e = (*e).max(width);
+    }
+
+    /// Output format and chain delay (ns) of `e`, mirroring the DFG
+    /// builder's format inference and the scheduler's per-class delays.
+    /// Variable reads are free (their producer may be anywhere), which
+    /// only lowers the bound.
+    fn expr(&mut self, e: &Expr) -> (Format, f64) {
+        match e {
+            Expr::Const(c) => (c.format(), 0.0),
+            Expr::ConstBool(_) => (Self::bool_format(), 0.0),
+            Expr::Var(v) => (self.var_format(*v), 0.0),
+            Expr::Load { array, index } => {
+                self.ops += 1;
+                let (_, ci) = self.expr(index);
+                let fmt = self.var_format(*array);
+                let class = if self.is_mem(*array) {
+                    OpClass::MemRead
+                } else {
+                    OpClass::RegRead
+                };
+                (fmt, ci + self.lib.delay(class, fmt.width()))
+            }
+            Expr::Unary { op, arg } => {
+                self.ops += 1;
+                let (af, ca) = self.expr(arg);
+                match op {
+                    UnOp::Neg => {
+                        let fmt = af.neg_format();
+                        self.note(OpClass::Neg, fmt.width());
+                        (fmt, ca + self.lib.delay(OpClass::Neg, fmt.width()))
+                    }
+                    UnOp::Signum => {
+                        let fmt = Format::signed(2, 2);
+                        self.note(OpClass::Sign, fmt.width());
+                        (fmt, ca + self.lib.delay(OpClass::Sign, fmt.width()))
+                    }
+                    UnOp::Not => (Self::bool_format(), ca), // wiring
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                self.ops += 1;
+                let (fa, ca) = self.expr(lhs);
+                let (fb, cb) = self.expr(rhs);
+                let chain = ca.max(cb);
+                match op {
+                    BinOp::Add | BinOp::Sub => {
+                        let fmt = if *op == BinOp::Add {
+                            fa.add_format(&fb)
+                        } else {
+                            fa.sub_format(&fb)
+                        };
+                        self.note(OpClass::Add, fmt.width());
+                        (fmt, chain + self.lib.delay(OpClass::Add, fmt.width()))
+                    }
+                    BinOp::Mul => {
+                        let fmt = fa.mul_format(&fb);
+                        if is_pow2_const(lhs) || is_pow2_const(rhs) {
+                            (fmt, chain) // a fixed shift: wiring
+                        } else {
+                            // Multiplier characterization width is the
+                            // widest operand, as in the scheduler.
+                            let w = fa.width().max(fb.width());
+                            self.note(OpClass::Mul, w);
+                            (fmt, chain + self.lib.delay(OpClass::Mul, w))
+                        }
+                    }
+                    BinOp::Shl | BinOp::Shr => (fa, chain),
+                    BinOp::And | BinOp::Or => (Self::bool_format(), chain),
+                }
+            }
+            Expr::Compare { lhs, rhs, .. } => {
+                self.ops += 1;
+                let (_, ca) = self.expr(lhs);
+                let (_, cb) = self.expr(rhs);
+                let fmt = Self::bool_format();
+                self.note(OpClass::Cmp, fmt.width());
+                (fmt, ca.max(cb) + self.lib.delay(OpClass::Cmp, fmt.width()))
+            }
+            Expr::Select { cond, then_, else_ } => {
+                self.ops += 1;
+                let (_, cc) = self.expr(cond);
+                let (ft, ct) = self.expr(then_);
+                let (fe, ce) = self.expr(else_);
+                let fmt = common_format(ft, fe);
+                self.note(OpClass::Mux, fmt.width());
+                let chain = cc.max(ct).max(ce);
+                (fmt, chain + self.lib.delay(OpClass::Mux, fmt.width()))
+            }
+            Expr::Cast { ty, arg, .. } => {
+                self.ops += 1;
+                let (_, ca) = self.expr(arg);
+                let fmt = ty.format().unwrap_or_else(Self::bool_format);
+                self.note(OpClass::Cast, fmt.width());
+                (fmt, ca + self.lib.delay(OpClass::Cast, fmt.width()))
+            }
+        }
+    }
+
+    /// Value chain of an assignment right-hand side including the
+    /// declared-format cast the DFG builder inserts when formats differ.
+    fn value_chain(&mut self, value: &Expr, decl: Format) -> f64 {
+        let (vf, cv) = self.expr(value);
+        if vf != decl {
+            self.note(OpClass::Cast, decl.width());
+            cv + self.lib.delay(OpClass::Cast, decl.width())
+        } else {
+            cv
+        }
+    }
+
+    /// The longest dependence chain any single statement forces. Nested
+    /// loops count as one iteration and predication logic is free — both
+    /// only lower the bound.
+    fn stmt_chain(&mut self, s: &Stmt) -> f64 {
+        match s {
+            Stmt::Assign { var, value } => {
+                self.ops += 1; // the register write itself
+                let decl = self.var_format(*var);
+                self.value_chain(value, decl) // RegWrite adds no delay
+            }
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
+                self.ops += 1;
+                let (_, ci) = self.expr(index);
+                let decl = self.var_format(*array);
+                let cv = self.value_chain(value, decl);
+                let class = if self.is_mem(*array) {
+                    OpClass::MemWrite
+                } else {
+                    OpClass::RegWrite
+                };
+                ci.max(cv) + self.lib.delay(class, decl.width())
+            }
+            Stmt::If { cond, then_, else_ } => {
+                let (_, cc) = self.expr(cond);
+                let mut chain = cc;
+                for s in then_.iter().chain(else_) {
+                    chain = chain.max(self.stmt_chain(s));
+                }
+                chain
+            }
+            Stmt::For(l) => {
+                let mut chain = 0.0f64;
+                for s in &l.body {
+                    chain = chain.max(self.stmt_chain(s));
+                }
+                chain
+            }
+        }
+    }
+}
+
+/// Mirrors the DFG builder's power-of-two-constant test: such a multiply
+/// operand turns the multiply into wiring.
+fn is_pow2_const(e: &Expr) -> bool {
+    match e {
+        Expr::Const(c) => {
+            let m = c.raw().unsigned_abs();
+            m != 0 && m.is_power_of_two()
+        }
+        Expr::ConstBool(v) => *v, // raw mantissa 1
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directives::Unroll;
+    use crate::synthesize::synthesize;
+    use crate::transform::apply_loop_transforms;
+    use hls_ir::{CmpOp, FunctionBuilder, Ty};
+
+    fn mac_loop() -> Function {
+        let mut b = FunctionBuilder::new("fir");
+        let x = b.param_array("x", Ty::fixed(10, 0), 16);
+        let c = b.param_array("c", Ty::fixed(10, 0), 16);
+        let out = b.param_scalar("out", Ty::fixed(24, 4));
+        let acc = b.local("acc", Ty::fixed(24, 4));
+        b.assign(acc, Expr::int_const(0));
+        b.for_loop("mac", 0, CmpOp::Lt, 16, 1, |b, k| {
+            b.assign(
+                acc,
+                Expr::add(
+                    Expr::var(acc),
+                    Expr::mul(Expr::load(x, Expr::var(k)), Expr::load(c, Expr::var(k))),
+                ),
+            );
+        });
+        b.assign(out, Expr::var(acc));
+        b.build()
+    }
+
+    fn assert_admissible(func: &Function, d: &Directives) {
+        let lib = TechLibrary::asic_100mhz();
+        let t = apply_loop_transforms(func, d);
+        let bound = lower_bound(&t.func, d, &lib);
+        let actual = synthesize(func, d, &lib).expect("synthesizes");
+        assert!(
+            bound.latency_cycles <= actual.metrics.latency_cycles,
+            "latency bound {} exceeds actual {} for {d:?}",
+            bound.latency_cycles,
+            actual.metrics.latency_cycles
+        );
+        assert!(
+            bound.area <= actual.metrics.area + 1e-9,
+            "area bound {} exceeds actual {} for {d:?}",
+            bound.area,
+            actual.metrics.area
+        );
+    }
+
+    #[test]
+    fn bounds_are_admissible_across_unroll_factors() {
+        let f = mac_loop();
+        for u in [1u32, 2, 4, 8] {
+            let d = if u == 1 {
+                Directives::new(10.0)
+            } else {
+                Directives::new(10.0).unroll("mac", Unroll::Factor(u))
+            };
+            assert_admissible(&f, &d);
+        }
+        assert_admissible(&f, &Directives::new(10.0).unroll("mac", Unroll::Full));
+    }
+
+    #[test]
+    fn bounds_are_admissible_across_clocks_and_mappings() {
+        let f = mac_loop();
+        for clk in [5.0, 10.0, 20.0] {
+            assert_admissible(&f, &Directives::new(clk));
+            assert_admissible(
+                &f,
+                &Directives::new(clk).map_array(
+                    "x",
+                    ArrayMapping::Memory {
+                        read_ports: 1,
+                        write_ports: 1,
+                    },
+                ),
+            );
+        }
+    }
+
+    #[test]
+    fn bound_is_informative_not_trivial() {
+        let f = mac_loop();
+        let d = Directives::new(10.0);
+        let lib = TechLibrary::asic_100mhz();
+        let t = apply_loop_transforms(&f, &d);
+        let b = lower_bound(&t.func, &d, &lib);
+        // 16 iterations of a rolled MAC loop: at least one cycle each.
+        assert!(b.latency_cycles >= 16, "{}", b.latency_cycles);
+        // Registers for the two 160-bit arrays alone dwarf zero.
+        assert!(b.area > 0.0);
+        assert!(b.ops > 0);
+    }
+
+    #[test]
+    fn pipelined_loop_bound_uses_initiation_interval() {
+        let f = mac_loop();
+        let lib = TechLibrary::asic_100mhz();
+        let d = Directives::new(10.0).pipeline("mac", 1);
+        let t = apply_loop_transforms(&f, &d);
+        let b = lower_bound(&t.func, &d, &lib);
+        let rolled = lower_bound(
+            &apply_loop_transforms(&f, &Directives::new(10.0)).func,
+            &Directives::new(10.0),
+            &lib,
+        );
+        assert!(b.latency_cycles <= rolled.latency_cycles);
+        assert_admissible(&f, &d);
+    }
+}

@@ -474,9 +474,48 @@ fn may_alias(a: Option<i64>, b: Option<i64>) -> bool {
     }
 }
 
+/// A fixed-width bitset over DFG node indices.
+///
+/// The list scheduler tracks per-cycle dependence state (which nodes have
+/// been placed in the cycle currently being filled) with one of these
+/// instead of scanning `node_cycle` per predecessor: a membership test is
+/// one word load and the whole set clears in `O(words)` between cycles.
+#[derive(Debug, Clone, Default)]
+pub struct FixedBitSet {
+    words: Vec<u64>,
+}
+
+impl FixedBitSet {
+    /// An empty set over a universe of `n` indices.
+    pub fn new(n: usize) -> Self {
+        FixedBitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Inserts `i`.
+    pub fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// `true` when `i` is in the set.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
 /// The smallest format that holds every value of both operands — the bus
-/// format a hardware mux aligns its arms to.
-fn common_format(a: Format, b: Format) -> Format {
+/// format a hardware mux aligns its arms to. Also used by the explorer's
+/// lower-bound model, which mirrors the builder's format inference without
+/// constructing a graph.
+pub(crate) fn common_format(a: Format, b: Format) -> Format {
     let signed = a.is_signed() || b.is_signed();
     let eff = |f: Format| f.int_bits() + (signed && !f.is_signed()) as i32;
     let int = eff(a).max(eff(b));

@@ -56,6 +56,13 @@ pub enum SynthesisError {
         /// Human-readable context.
         context: String,
     },
+    /// The pipeline configuration is unsatisfiable: a pass was enabled
+    /// whose prerequisites are disabled or missing (e.g. schedule without
+    /// lower), or a run completed without producing the requested result.
+    InvalidPipelineConfig {
+        /// The configuration problems.
+        problems: Vec<String>,
+    },
 }
 
 impl fmt::Display for SynthesisError {
@@ -95,6 +102,9 @@ impl fmt::Display for SynthesisError {
             SynthesisError::Unschedulable { context } => {
                 write!(f, "scheduling failed: {context}")
             }
+            SynthesisError::InvalidPipelineConfig { problems } => {
+                write!(f, "invalid pipeline configuration: {}", problems.join("; "))
+            }
         }
     }
 }
@@ -112,6 +122,7 @@ impl SynthesisError {
             SynthesisError::InfeasibleClock { .. } => "infeasible-clock",
             SynthesisError::InfeasibleInitiationInterval { .. } => "infeasible-ii",
             SynthesisError::Unschedulable { .. } => "unschedulable",
+            SynthesisError::InvalidPipelineConfig { .. } => "invalid-pipeline-config",
         }
     }
 
@@ -132,6 +143,9 @@ impl SynthesisError {
                 d.with_anchor(Anchor::Loop(label.clone()))
             }
             SynthesisError::Unschedulable { .. } => d,
+            SynthesisError::InvalidPipelineConfig { problems } => {
+                problems.iter().fold(d, |d, p| d.with_note(p.clone()))
+            }
         }
     }
 }

@@ -6,7 +6,7 @@
 //! merge policy) over every loop, synthesize each point, and keep the
 //! latency/area Pareto frontier.
 //!
-//! Three throughput levers keep large sweeps rapid:
+//! Five throughput levers keep large sweeps rapid:
 //!
 //! - **Memoization** — candidates are keyed by their canonicalized
 //!   [`Directives`], so duplicate knob settings (common once per-loop
@@ -21,14 +21,35 @@
 //!   cores via scoped threads. Results are keyed by candidate index, so
 //!   point order, failure order and the Pareto frontier are identical to
 //!   the serial path ([`explore_serial`]) regardless of thread timing.
+//! - **Branch-and-bound pruning** — with an [`ExploreBudget`], each
+//!   candidate's transformed-but-unscheduled IR yields admissible
+//!   latency/area lower bounds ([`crate::bound::lower_bound`]); a
+//!   candidate whose *bounds* are already strictly dominated by a
+//!   completed design point cannot reach the frontier (its actual point
+//!   is no better than its bounds), so its back end is skipped entirely.
+//!   Candidates run in deterministic waves and pruning only consults
+//!   points completed in *earlier* waves, so which candidates get pruned
+//!   never depends on thread timing; a per-pass cost model fitted from
+//!   the pass traces of already-run candidates additionally refuses to
+//!   prune candidates whose modeled back-end cost is below
+//!   [`ExploreBudget::min_prune_cost_ns`] (pruning something cheaper than
+//!   the bound computation is a loss).
+//! - **Fused synthesize + verify** — [`explore_with_check`] runs the
+//!   equivalence checker *inside* the synthesis worker pool, reusing each
+//!   candidate's just-built [`SynthesisResult`] instead of re-synthesizing
+//!   it after the frontier is known. At [`VerifyLevel::All`] proofs
+//!   overlap synthesis; at [`VerifyLevel::Pareto`] the frontier's stored
+//!   results fan back out across the pool. The pre-fusion serial flow
+//!   survives as [`explore_with_check_serial`] for reference benchmarks.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+use crate::bound::{lower_bound, DesignBound};
 use crate::directives::{Directives, MergePolicy, Unroll};
 use crate::error::SynthesisError;
-use crate::pipeline::{synthesize_traced_with_transform, PipelineConfig};
-use crate::synthesize::synthesize;
+use crate::pipeline::{synthesize_traced, synthesize_traced_with_transform, PipelineConfig};
+use crate::synthesize::SynthesisResult;
 use crate::tech::TechLibrary;
 use crate::transform::{apply_loop_transforms, TransformResult};
 use hls_ir::Function;
@@ -73,6 +94,28 @@ pub enum VerifyLevel {
     All,
 }
 
+/// Branch-and-bound pruning policy for [`ExploreConfig::budget`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExploreBudget {
+    /// A candidate is only pruned when its *modeled* back-end cost — the
+    /// mean scheduled-pass wall time per bounded operation observed so
+    /// far, times the candidate's own operation count — reaches this many
+    /// nanoseconds. Cheap candidates run even when dominated: skipping
+    /// them saves less than the bookkeeping costs, and running them keeps
+    /// the cost model fed. `0` prunes every dominated candidate (useful
+    /// for deterministic tests); the default skips only candidates worth
+    /// at least ~50 µs of back-end work.
+    pub min_prune_cost_ns: u64,
+}
+
+impl Default for ExploreBudget {
+    fn default() -> Self {
+        ExploreBudget {
+            min_prune_cost_ns: 50_000,
+        }
+    }
+}
+
 /// Exploration configuration.
 #[derive(Debug, Clone)]
 pub struct ExploreConfig {
@@ -97,6 +140,14 @@ pub struct ExploreConfig {
     /// Plain [`explore`]/[`explore_serial`] ignore this (they have no
     /// checker to run).
     pub verify: VerifyLevel,
+    /// Branch-and-bound pruning. `None` (the default) evaluates every
+    /// unique candidate; `Some` skips the back end of candidates whose
+    /// admissible lower bounds are already strictly dominated by a
+    /// completed point. Pruning never changes the Pareto frontier, the
+    /// fastest point's latency or the smallest point's area — only
+    /// dominated interior points can disappear (into
+    /// [`ExploreResult::pruned`]).
+    pub budget: Option<ExploreBudget>,
 }
 
 impl Default for ExploreConfig {
@@ -108,8 +159,34 @@ impl Default for ExploreConfig {
             merge_policies: vec![MergePolicy::Off, MergePolicy::AllowHazards],
             per_loop_refinement: true,
             verify: VerifyLevel::Off,
+            budget: None,
         }
     }
+}
+
+impl ExploreConfig {
+    /// This configuration with default branch-and-bound pruning enabled.
+    pub fn budgeted(self) -> Self {
+        ExploreConfig {
+            budget: Some(ExploreBudget::default()),
+            ..self
+        }
+    }
+}
+
+/// A candidate whose back end was skipped by branch-and-bound pruning:
+/// its admissible bounds were already strictly dominated by a completed
+/// design point, so its actual latency/area could not have reached the
+/// Pareto frontier.
+#[derive(Debug, Clone)]
+pub struct PrunedCandidate {
+    /// Human-readable description of the knob settings.
+    pub label: String,
+    /// The candidate's admissible latency lower bound (its actual latency
+    /// would have been at least this).
+    pub latency_bound_cycles: u64,
+    /// The candidate's admissible area lower bound.
+    pub area_bound: f64,
 }
 
 /// The exploration outcome.
@@ -119,9 +196,9 @@ pub struct ExploreResult {
     pub points: Vec<DesignPoint>,
     /// Points that failed to synthesize, with their errors.
     pub failures: Vec<(String, SynthesisError)>,
-    /// Unique directive sets actually synthesized (candidates whose
+    /// Unique directive sets actually synthesized. Candidates whose
     /// canonicalized directives matched an earlier candidate reused its
-    /// memoized result instead).
+    /// memoized result, and candidates pruned by the budget never ran.
     pub evaluations: usize,
     /// Unique loop-transform prefixes actually computed. Candidates that
     /// differ only in clock, mappings or FU limits share one transform
@@ -131,6 +208,10 @@ pub struct ExploreResult {
     /// `(label, diagnosis)`. Always empty unless the result came from
     /// [`explore_with_check`] with [`ExploreConfig::verify`] enabled.
     pub verify_failures: Vec<(String, String)>,
+    /// Candidates skipped by branch-and-bound pruning, in
+    /// candidate-generation order. Always empty without
+    /// [`ExploreConfig::budget`].
+    pub pruned: Vec<PrunedCandidate>,
 }
 
 impl ExploreResult {
@@ -177,8 +258,10 @@ fn canonical_key(d: &Directives) -> String {
 
 /// The part of a directive set the loop-transform prefix depends on.
 /// Candidates sharing this key transform identically regardless of clock,
-/// array/interface mappings or FU limits.
-fn transform_key(d: &Directives) -> String {
+/// array/interface mappings or FU limits. Public so sweep-scoped caches
+/// (notably `hls-verify`'s `ExploreProver`) can group design points by
+/// their shared transformed function without re-deriving it.
+pub fn transform_signature(d: &Directives) -> String {
     format!("merge={:?};loops={:?}", d.merge_policy, d.loops)
 }
 
@@ -192,64 +275,146 @@ struct Job<'a> {
     transformed: Option<Arc<TransformResult>>,
 }
 
-fn run_job(func: &Function, job: &Job<'_>, lib: &TechLibrary) -> JobOutcome {
-    let result = match &job.transformed {
-        Some(t) => {
-            synthesize_traced_with_transform(
-                func,
-                job.directives,
-                lib,
-                &PipelineConfig::default(),
-                Arc::clone(t),
-            )
-            .0
-        }
-        None => synthesize(func, job.directives, lib),
+/// An equivalence checker for one design point: `Ok(())` if the
+/// synthesized design provably (or empirically) implements `func` under
+/// the given directives, `Err(diagnosis)` otherwise.
+///
+/// Unlike the legacy [`EquivChecker`], the checker receives the
+/// [`SynthesisResult`] the explorer already built for the point, so it
+/// never has to re-synthesize — and it must be `Sync`, because
+/// [`explore_with_check`] runs it inside the synthesis worker pool.
+///
+/// The real implementation lives in the `hls-verify` crate (which depends
+/// on this one and on the RTL backend); keeping only the function shape
+/// here avoids a dependency cycle.
+pub type PointChecker<'a> = dyn Fn(&Function, &Directives, &TechLibrary, &SynthesisResult) -> Result<(), String>
+    + Sync
+    + 'a;
+
+/// The pre-fusion equivalence-checker shape: no synthesis result, so the
+/// checker re-synthesizes internally. Kept for
+/// [`explore_with_check_serial`], the serial reference flow.
+pub type EquivChecker<'a> = dyn Fn(&Function, &Directives, &TechLibrary) -> Result<(), String> + 'a;
+
+/// What a synthesis worker does with a successful result, beyond
+/// extracting the metrics.
+#[derive(Clone, Copy)]
+enum CheckOp<'c, 'f> {
+    /// Nothing — plain exploration.
+    None,
+    /// Run the equivalence checker inline ([`VerifyLevel::All`]): the
+    /// proof overlaps other workers' synthesis.
+    Inline(&'c PointChecker<'f>),
+    /// Keep the full [`SynthesisResult`] ([`VerifyLevel::Pareto`]): the
+    /// frontier's checks fan out over the stored results afterwards.
+    Store,
+}
+
+/// Everything one synthesis worker produced for one unique job.
+struct JobResult {
+    outcome: JobOutcome,
+    /// The inline equivalence verdict ([`CheckOp::Inline`] only).
+    check: Option<Result<(), String>>,
+    /// The full result ([`CheckOp::Store`] only).
+    stored: Option<SynthesisResult>,
+    /// Wall time of the back-end passes (lower/schedule/allocate/metrics)
+    /// — the part of the pipeline pruning would have skipped; feeds the
+    /// explorer's cost model.
+    tail_ns: u64,
+}
+
+/// The pipeline passes branch-and-bound pruning skips; their wall time is
+/// what the cost model predicts.
+const TAIL_PASSES: [&str; 4] = ["lower", "schedule", "allocate", "metrics"];
+
+fn run_job(func: &Function, job: &Job<'_>, lib: &TechLibrary, check: CheckOp<'_, '_>) -> JobResult {
+    let (result, run) = match &job.transformed {
+        Some(t) => synthesize_traced_with_transform(
+            func,
+            job.directives,
+            lib,
+            &PipelineConfig::default(),
+            Arc::clone(t),
+        ),
+        None => synthesize_traced(func, job.directives, lib, &PipelineConfig::default()),
     };
-    result.map(|r| (r.metrics.latency_cycles, r.metrics.area))
-}
-
-fn run_jobs_serial(func: &Function, jobs: &[Job<'_>], lib: &TechLibrary) -> Vec<JobOutcome> {
-    jobs.iter().map(|d| run_job(func, d, lib)).collect()
-}
-
-/// Evaluates the unique jobs across all available cores with scoped
-/// threads. A shared atomic cursor hands out job indices; each outcome is
-/// stored at its job's slot, so the returned order (and everything derived
-/// from it) is independent of scheduling.
-#[cfg(feature = "parallel")]
-fn run_jobs_parallel(func: &Function, jobs: &[Job<'_>], lib: &TechLibrary) -> Vec<JobOutcome> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(jobs.len());
-    if workers <= 1 {
-        return run_jobs_serial(func, jobs, lib);
-    }
-
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<JobOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(d) = jobs.get(i) else { break };
-                let outcome = run_job(func, d, lib);
-                *slots[i].lock().expect("no panics hold this lock") = Some(outcome);
-            });
+    let tail_ns = run
+        .trace
+        .passes
+        .iter()
+        .filter(|p| TAIL_PASSES.contains(&p.pass.as_str()))
+        .map(|p| p.wall_ns)
+        .sum();
+    match result {
+        Ok(r) => {
+            let metrics = (r.metrics.latency_cycles, r.metrics.area);
+            let (check, stored) = match check {
+                CheckOp::None => (None, None),
+                CheckOp::Inline(c) => (Some(c(func, job.directives, lib, &r)), None),
+                CheckOp::Store => (None, Some(r)),
+            };
+            JobResult {
+                outcome: Ok(metrics),
+                check,
+                stored,
+                tail_ns,
+            }
         }
-    });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("worker finished")
-                .expect("every job ran")
-        })
-        .collect()
+        Err(e) => JobResult {
+            outcome: Err(e),
+            check: None,
+            stored: None,
+            tail_ns,
+        },
+    }
+}
+
+/// Maps `f` over `0..n`, across the worker pool when `parallel` (and the
+/// `parallel` feature) allow it. A shared atomic cursor hands out indices;
+/// each value lands at its own slot, so the returned order is independent
+/// of thread scheduling.
+fn par_map<T, F>(parallel: bool, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(n);
+        if parallel && workers > 1 {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            use std::sync::Mutex;
+
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let v = f(i);
+                        *slots[i].lock().expect("no panics hold this lock") = Some(v);
+                    });
+                }
+            });
+            return slots
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .expect("worker finished")
+                        .expect("every index ran")
+                })
+                .collect();
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = parallel;
+    (0..n).map(f).collect()
 }
 
 fn candidates_for(func: &Function, config: &ExploreConfig) -> Vec<(String, Directives)> {
@@ -291,11 +456,58 @@ fn candidates_for(func: &Function, config: &ExploreConfig) -> Vec<(String, Direc
     candidates
 }
 
+/// How many candidates each pruning wave evaluates. Small enough that the
+/// first completed points start pruning early, large enough to keep every
+/// worker of the pool busy per wave.
+const PRUNE_WAVE: usize = 8;
+
+/// `true` when a completed `(latency, area)` point strictly dominates the
+/// candidate's *bounds* — and therefore strictly dominates its actual
+/// point, wherever it lands: the actual is no better than the bounds on
+/// either axis, so `p ≤ bound ≤ actual` with strictness surviving on the
+/// strict axis. Anything the pruned point could have dominated, `p`
+/// dominates too (transitivity through the bound), so the frontier is
+/// unchanged.
+fn bound_dominated(completed: &[(u64, f64)], b: &DesignBound) -> bool {
+    completed.iter().any(|&(lat, area)| {
+        lat <= b.latency_cycles && area <= b.area && (lat < b.latency_cycles || area < b.area)
+    })
+}
+
+/// The deterministic evaluation order under pruning: the candidate with
+/// the smallest latency bound first, then the one with the smallest area
+/// bound (the two likeliest extremal frontier anchors — completing them
+/// early maximizes what later waves can prune against), then everything
+/// else in index order. Ties break on the lower index.
+fn eval_order(bounds: &[Option<DesignBound>]) -> Vec<usize> {
+    let n = bounds.len();
+    let a_lat = (0..n)
+        .filter(|&i| bounds[i].is_some())
+        .min_by_key(|&i| (bounds[i].expect("filtered").latency_cycles, i));
+    let a_area = (0..n)
+        .filter(|&i| bounds[i].is_some() && Some(i) != a_lat)
+        .min_by(|&i, &j| {
+            let (bi, bj) = (bounds[i].expect("filtered"), bounds[j].expect("filtered"));
+            bi.area.total_cmp(&bj.area).then(i.cmp(&j))
+        });
+    let anchors: Vec<usize> = [a_lat, a_area].into_iter().flatten().collect();
+    let mut order = anchors.clone();
+    order.extend((0..n).filter(|i| !anchors.contains(i)));
+    order
+}
+
+/// The resolution of one unique job after the wave loop.
+enum Slot {
+    Pruned(DesignBound),
+    Done(Box<JobResult>),
+}
+
 fn explore_impl(
     func: &Function,
     config: &ExploreConfig,
     lib: &TechLibrary,
     parallel: bool,
+    check: Option<&PointChecker<'_>>,
 ) -> ExploreResult {
     let candidates = candidates_for(func, config);
 
@@ -323,7 +535,7 @@ fn explore_impl(
     if hls_ir::validate(func).is_empty() {
         for d in &uniques {
             transforms
-                .entry(transform_key(d))
+                .entry(transform_signature(d))
                 .or_insert_with(|| Arc::new(apply_loop_transforms(func, d)));
         }
     }
@@ -333,41 +545,190 @@ fn explore_impl(
         .iter()
         .map(|d| Job {
             directives: d,
-            transformed: transforms.get(&transform_key(d)).map(Arc::clone),
+            transformed: transforms.get(&transform_signature(d)).map(Arc::clone),
         })
         .collect();
 
-    // Without the `parallel` feature the parallel path degrades to serial.
-    #[cfg(not(feature = "parallel"))]
-    use run_jobs_serial as run_jobs_parallel;
-
-    let outcomes = if parallel {
-        run_jobs_parallel(func, &jobs, lib)
-    } else {
-        run_jobs_serial(func, &jobs, lib)
+    let check_op = match (config.verify, check) {
+        (VerifyLevel::All, Some(c)) => CheckOp::Inline(c),
+        (VerifyLevel::Pareto, Some(_)) => CheckOp::Store,
+        _ => CheckOp::None,
     };
-    let evaluations = jobs.len();
 
-    let mut points = Vec::new();
-    let mut failures = Vec::new();
-    for ((label, d), job) in candidates.into_iter().zip(job_of_candidate) {
-        match &outcomes[job] {
-            Ok((latency_cycles, area)) => points.push(DesignPoint {
-                directives: d,
-                label,
-                latency_cycles: *latency_cycles,
-                area: *area,
-            }),
-            Err(e) => failures.push((label, e.clone())),
+    // Bounds exist only under a budget and only for candidates whose
+    // transform prefix ran (an invalid-IR run has nothing to bound — and
+    // nothing to prune, since every job just reports the validation
+    // error).
+    let bounds: Vec<Option<DesignBound>> = if config.budget.is_some() {
+        jobs.iter()
+            .map(|j| {
+                j.transformed
+                    .as_ref()
+                    .map(|t| lower_bound(&t.func, j.directives, lib))
+            })
+            .collect()
+    } else {
+        vec![None; jobs.len()]
+    };
+
+    // The wave loop. Without a budget there is a single wave holding every
+    // job — exactly the old fan-out. With one, candidates run in
+    // deterministic waves; before each wave, candidates whose bounds are
+    // strictly dominated by a point completed in an *earlier* wave (and
+    // whose modeled back-end cost clears the budget's floor) are pruned.
+    // Consulting only earlier waves keeps the prune set — and with
+    // `min_prune_cost_ns == 0` even its exact membership — independent of
+    // thread timing; a nonzero floor lets wall-clock noise shift which
+    // *dominated* candidates are skipped, but dominated candidates are
+    // interior by construction, so the frontier never moves.
+    let order: Vec<usize> = if config.budget.is_some() {
+        eval_order(&bounds)
+    } else {
+        (0..jobs.len()).collect()
+    };
+    let wave_size = if config.budget.is_some() {
+        PRUNE_WAVE
+    } else {
+        order.len().max(1)
+    };
+
+    let mut slots: Vec<Option<Slot>> = (0..jobs.len()).map(|_| None).collect();
+    let mut completed: Vec<(u64, f64)> = Vec::new();
+    let mut tail_ns_sum: u64 = 0;
+    let mut ops_sum: u64 = 0;
+    for wave in order.chunks(wave_size.max(1)) {
+        let mut to_run: Vec<usize> = Vec::new();
+        for &i in wave {
+            let prune = match (&config.budget, &bounds[i]) {
+                (Some(budget), Some(b)) => {
+                    let modeled_ns = if ops_sum > 0 {
+                        tail_ns_sum as f64 / ops_sum as f64 * b.ops as f64
+                    } else {
+                        0.0
+                    };
+                    modeled_ns >= budget.min_prune_cost_ns as f64 && bound_dominated(&completed, b)
+                }
+                _ => false,
+            };
+            if prune {
+                slots[i] = Some(Slot::Pruned(bounds[i].expect("pruned jobs have bounds")));
+            } else {
+                to_run.push(i);
+            }
+        }
+        let results = par_map(parallel, to_run.len(), |k| {
+            run_job(func, &jobs[to_run[k]], lib, check_op)
+        });
+        for (&i, r) in to_run.iter().zip(results) {
+            if let (Ok(point), Some(b)) = (&r.outcome, &bounds[i]) {
+                completed.push(*point);
+                tail_ns_sum += r.tail_ns;
+                ops_sum += b.ops as u64;
+            } else if let Ok(point) = &r.outcome {
+                completed.push(*point);
+            }
+            slots[i] = Some(Slot::Done(Box::new(r)));
         }
     }
+    let evaluations = slots
+        .iter()
+        .filter(|s| matches!(s, Some(Slot::Done(_))))
+        .count();
+
+    // Assemble in candidate order, exactly as the serial reference does.
+    let mut points = Vec::new();
+    let mut point_jobs: Vec<usize> = Vec::new();
+    let mut failures = Vec::new();
+    let mut pruned = Vec::new();
+    for ((label, d), &job) in candidates.iter().zip(&job_of_candidate) {
+        match slots[job].as_ref().expect("every job resolved") {
+            Slot::Pruned(b) => pruned.push(PrunedCandidate {
+                label: label.clone(),
+                latency_bound_cycles: b.latency_cycles,
+                area_bound: b.area,
+            }),
+            Slot::Done(r) => match &r.outcome {
+                Ok((latency_cycles, area)) => {
+                    point_jobs.push(job);
+                    points.push(DesignPoint {
+                        directives: d.clone(),
+                        label: label.clone(),
+                        latency_cycles: *latency_cycles,
+                        area: *area,
+                    });
+                }
+                Err(e) => failures.push((label.clone(), e.clone())),
+            },
+        }
+    }
+
+    // Harvest the fused equivalence verdicts.
+    let mut verify_failures: Vec<(String, String)> = Vec::new();
+    match check_op {
+        CheckOp::None => {}
+        CheckOp::Inline(_) => {
+            // Every point's job carries its inline verdict; report
+            // failures per candidate label, in point order.
+            for (p, &job) in points.iter().zip(&point_jobs) {
+                let Some(Slot::Done(r)) = slots[job].as_ref() else {
+                    unreachable!("points come from completed jobs")
+                };
+                if let Some(Err(msg)) = &r.check {
+                    verify_failures.push((p.label.clone(), msg.clone()));
+                }
+            }
+        }
+        CheckOp::Store => {
+            // Fan the frontier's checks back out over the stored results,
+            // deduplicated per unique job.
+            let frontier = frontier_indices(&points);
+            let unique_jobs: Vec<usize> = frontier
+                .iter()
+                .map(|&pi| point_jobs[pi])
+                .collect::<BTreeSet<usize>>()
+                .into_iter()
+                .collect();
+            let checker = check.expect("Store implies a checker");
+            let verdicts: Vec<Result<(), String>> = par_map(parallel, unique_jobs.len(), |k| {
+                let job = unique_jobs[k];
+                let Some(Slot::Done(r)) = slots[job].as_ref() else {
+                    unreachable!("frontier points come from completed jobs")
+                };
+                let stored = r.stored.as_ref().expect("Store keeps every result");
+                checker(func, jobs[job].directives, lib, stored)
+            });
+            let verdict_of_job: BTreeMap<usize, &Result<(), String>> =
+                unique_jobs.iter().copied().zip(verdicts.iter()).collect();
+            for &pi in &frontier {
+                if let Err(msg) = verdict_of_job[&point_jobs[pi]] {
+                    verify_failures.push((points[pi].label.clone(), msg.clone()));
+                }
+            }
+        }
+    }
+
     ExploreResult {
         points,
         failures,
         evaluations,
         transform_evaluations,
-        verify_failures: Vec::new(),
+        verify_failures,
+        pruned,
     }
+}
+
+/// The indices into `points` of the Pareto frontier, in the order
+/// [`ExploreResult::pareto`] reports it (sorted by latency, duplicate
+/// latency/area pairs collapsed).
+fn frontier_indices(points: &[DesignPoint]) -> Vec<usize> {
+    let mut frontier: Vec<usize> = (0..points.len())
+        .filter(|&i| !points.iter().any(|q| q.dominates(&points[i])))
+        .collect();
+    frontier.sort_by_key(|&i| (points[i].latency_cycles, points[i].area as u64));
+    frontier.dedup_by(|a, b| {
+        points[*a].latency_cycles == points[*b].latency_cycles && points[*a].area == points[*b].area
+    });
+    frontier
 }
 
 /// Explores the design space of `func` under `config`.
@@ -376,28 +737,23 @@ fn explore_impl(
 /// synthesized across all available cores; the result is deterministic
 /// and identical to [`explore_serial`] either way.
 pub fn explore(func: &Function, config: &ExploreConfig, lib: &TechLibrary) -> ExploreResult {
-    explore_impl(func, config, lib, true)
+    explore_impl(func, config, lib, true, None)
 }
 
 /// Explores on the current thread only — the single-threaded reference
 /// path for [`explore`], independent of the `parallel` feature.
 pub fn explore_serial(func: &Function, config: &ExploreConfig, lib: &TechLibrary) -> ExploreResult {
-    explore_impl(func, config, lib, false)
+    explore_impl(func, config, lib, false, None)
 }
 
-/// An equivalence checker for one design point: `Ok(())` if the
-/// synthesized design provably (or empirically) implements `func` under
-/// the given directives, `Err(diagnosis)` otherwise.
-///
-/// The real implementation lives in the `hls-verify` crate (which depends
-/// on this one and on the RTL backend); keeping only the function shape
-/// here avoids a dependency cycle.
-pub type EquivChecker<'a> = dyn Fn(&Function, &Directives, &TechLibrary) -> Result<(), String> + 'a;
-
-/// [`explore`], then equivalence-check the points selected by
-/// [`ExploreConfig::verify`] using `check`. Failures land in
-/// [`ExploreResult::verify_failures`]; the points themselves are kept so
-/// callers can still see *what* was wrong with the frontier.
+/// [`explore`] with fused equivalence checking: the points selected by
+/// [`ExploreConfig::verify`] are checked *inside* the synthesis worker
+/// pool, against the [`SynthesisResult`] the explorer already built —
+/// proofs overlap synthesis at [`VerifyLevel::All`], and fan out across
+/// the pool over the frontier's stored results at [`VerifyLevel::Pareto`].
+/// Failures land in [`ExploreResult::verify_failures`]; the points
+/// themselves are kept so callers can still see *what* was wrong with the
+/// frontier.
 ///
 /// Checked directive sets are deduplicated by the same canonical key as
 /// the synthesis memo cache, so a frontier full of memo-aliases costs one
@@ -406,9 +762,28 @@ pub fn explore_with_check(
     func: &Function,
     config: &ExploreConfig,
     lib: &TechLibrary,
-    check: &EquivChecker,
+    check: &PointChecker<'_>,
 ) -> ExploreResult {
-    let mut result = explore(func, config, lib);
+    explore_impl(func, config, lib, true, Some(check))
+}
+
+/// The pre-fusion reference flow: explore serially with pruning disabled,
+/// then run every selected check on the current thread, *after* the
+/// frontier is known, with a checker that re-synthesizes each point from
+/// its directives. Exists so benchmarks (and tests) can measure the fused
+/// path against the historical behavior; new callers want
+/// [`explore_with_check`].
+pub fn explore_with_check_serial(
+    func: &Function,
+    config: &ExploreConfig,
+    lib: &TechLibrary,
+    check: &EquivChecker<'_>,
+) -> ExploreResult {
+    let cfg = ExploreConfig {
+        budget: None,
+        ..config.clone()
+    };
+    let mut result = explore_impl(func, &cfg, lib, false, None);
     let targets: Vec<(String, Directives)> = match config.verify {
         VerifyLevel::Off => Vec::new(),
         VerifyLevel::Pareto => result
@@ -661,5 +1036,227 @@ mod tests {
             .find(|p| p.label.contains("AllowHazards"))
             .expect("merged point");
         assert!(merged.latency_cycles < off.latency_cycles);
+    }
+
+    /// A clock sweep widened enough that bound-dominated candidates exist.
+    fn swept_config() -> ExploreConfig {
+        ExploreConfig {
+            clock_periods_ns: vec![5.0, 10.0, 20.0],
+            unroll_factors: vec![1, 2, 4, 8],
+            ..ExploreConfig::default()
+        }
+    }
+
+    #[test]
+    fn budgeted_exploration_keeps_the_frontier_identical() {
+        let f = two_loops();
+        let lib = TechLibrary::asic_100mhz();
+        let reference = explore_serial(&f, &swept_config(), &lib);
+        let budgeted_cfg = ExploreConfig {
+            budget: Some(ExploreBudget {
+                min_prune_cost_ns: 0,
+            }),
+            ..swept_config()
+        };
+        let budgeted = explore(&f, &budgeted_cfg, &lib);
+        // Pruning may drop dominated interior points but must preserve the
+        // frontier, the fastest latency and the smallest area exactly.
+        let rf: Vec<_> = reference
+            .pareto()
+            .iter()
+            .map(|p| (p.latency_cycles, p.area))
+            .collect();
+        let bf: Vec<_> = budgeted
+            .pareto()
+            .iter()
+            .map(|p| (p.latency_cycles, p.area))
+            .collect();
+        assert_eq!(rf, bf);
+        assert_eq!(
+            reference.fastest().map(|p| p.latency_cycles),
+            budgeted.fastest().map(|p| p.latency_cycles)
+        );
+        assert_eq!(
+            reference.smallest().map(|p| p.area),
+            budgeted.smallest().map(|p| p.area)
+        );
+        // Every surviving budgeted point is bit-identical to its
+        // reference twin.
+        for p in &budgeted.points {
+            let twin = reference
+                .points
+                .iter()
+                .find(|q| q.label == p.label)
+                .expect("twin exists");
+            assert_eq!(p.latency_cycles, twin.latency_cycles, "{}", p.label);
+            assert_eq!(p.area, twin.area, "{}", p.label);
+        }
+        // Points + pruned candidates + failures account for every
+        // reference candidate.
+        assert_eq!(
+            budgeted.points.len() + budgeted.pruned.len() + budgeted.failures.len(),
+            reference.points.len() + reference.failures.len()
+        );
+    }
+
+    #[test]
+    fn pruned_candidates_are_strictly_dominated() {
+        let f = two_loops();
+        let lib = TechLibrary::asic_100mhz();
+        let cfg = ExploreConfig {
+            budget: Some(ExploreBudget {
+                min_prune_cost_ns: 0,
+            }),
+            ..swept_config()
+        };
+        let r = explore(&f, &cfg, &lib);
+        // Soundness: each pruned candidate's *bounds* are strictly
+        // dominated by some completed point, so its actual point could not
+        // have reached the frontier.
+        for pc in &r.pruned {
+            assert!(
+                r.points.iter().any(|p| {
+                    p.latency_cycles <= pc.latency_bound_cycles
+                        && p.area <= pc.area_bound
+                        && (p.latency_cycles < pc.latency_bound_cycles || p.area < pc.area_bound)
+                }),
+                "pruned `{}` (bounds ≥{} cycles, ≥{:.1} area) is not dominated",
+                pc.label,
+                pc.latency_bound_cycles,
+                pc.area_bound
+            );
+        }
+        // Evaluations count only the jobs that actually ran.
+        let unbudgeted = explore(&f, &swept_config(), &lib);
+        assert!(r.evaluations <= unbudgeted.evaluations);
+    }
+
+    #[test]
+    fn zero_floor_pruning_is_deterministic_across_serial_and_parallel() {
+        // With `min_prune_cost_ns == 0` the cost model never vetoes a
+        // prune, so the wave protocol alone decides — and it only consults
+        // completed earlier waves, making the full result (points, pruned
+        // set, evaluations) identical regardless of threading.
+        let f = two_loops();
+        let lib = TechLibrary::asic_100mhz();
+        let cfg = ExploreConfig {
+            budget: Some(ExploreBudget {
+                min_prune_cost_ns: 0,
+            }),
+            ..swept_config()
+        };
+        let par = explore(&f, &cfg, &lib);
+        let ser = explore_serial(&f, &cfg, &lib);
+        let key = |r: &ExploreResult| {
+            (
+                r.points
+                    .iter()
+                    .map(|p| (p.label.clone(), p.latency_cycles, p.area))
+                    .collect::<Vec<_>>(),
+                r.pruned.iter().map(|p| p.label.clone()).collect::<Vec<_>>(),
+                r.evaluations,
+            )
+        };
+        assert_eq!(key(&par), key(&ser));
+    }
+
+    #[test]
+    fn prohibitive_cost_floor_disables_pruning() {
+        let f = two_loops();
+        let lib = TechLibrary::asic_100mhz();
+        let cfg = ExploreConfig {
+            budget: Some(ExploreBudget {
+                min_prune_cost_ns: u64::MAX,
+            }),
+            ..swept_config()
+        };
+        let r = explore(&f, &cfg, &lib);
+        let unbudgeted = explore(&f, &swept_config(), &lib);
+        assert!(r.pruned.is_empty());
+        assert_eq!(r.evaluations, unbudgeted.evaluations);
+        assert_eq!(r.points.len(), unbudgeted.points.len());
+    }
+
+    #[test]
+    fn fused_all_checker_sees_the_real_synthesis_result() {
+        use std::sync::Mutex;
+        let f = two_loops();
+        let lib = TechLibrary::asic_100mhz();
+        let cfg = ExploreConfig {
+            verify: VerifyLevel::All,
+            ..ExploreConfig::default()
+        };
+        let seen: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        let r = explore_with_check(&f, &cfg, &lib, &|func, d, l, result| {
+            // The stored result must be the very design the explorer
+            // reports — byte-for-byte equal metrics to a fresh synthesis.
+            let fresh = crate::synthesize::synthesize(func, d, l).expect("feasible");
+            assert_eq!(result.metrics.latency_cycles, fresh.metrics.latency_cycles);
+            assert_eq!(result.metrics.area, fresh.metrics.area);
+            seen.lock()
+                .expect("no panics")
+                .push(format!("{:?}", d.merge_policy));
+            if d.merge_policy == MergePolicy::AllowHazards {
+                Err("rejected for the test".into())
+            } else {
+                Ok(())
+            }
+        });
+        // Each unique feasible job was checked exactly once.
+        assert_eq!(seen.lock().expect("no panics").len(), r.evaluations);
+        // Every AllowHazards point (and only those) failed.
+        let failed: Vec<&String> = r.verify_failures.iter().map(|(l, _)| l).collect();
+        for p in &r.points {
+            assert_eq!(
+                failed.contains(&&p.label),
+                p.directives.merge_policy == MergePolicy::AllowHazards,
+                "{}",
+                p.label
+            );
+        }
+    }
+
+    #[test]
+    fn fused_pareto_checks_only_the_frontier() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let f = two_loops();
+        let lib = TechLibrary::asic_100mhz();
+        let cfg = ExploreConfig {
+            verify: VerifyLevel::Pareto,
+            ..ExploreConfig::default()
+        };
+        let checks = AtomicUsize::new(0);
+        let r = explore_with_check(&f, &cfg, &lib, &|_, _, _, _| {
+            checks.fetch_add(1, Ordering::Relaxed);
+            Err("always fails".into())
+        });
+        let frontier = r.pareto();
+        // One check per unique frontier job, never more than frontier
+        // points, and failures name exactly the frontier labels in order.
+        assert!(checks.load(Ordering::Relaxed) <= frontier.len());
+        assert!(checks.load(Ordering::Relaxed) >= 1);
+        let failed: Vec<&String> = r.verify_failures.iter().map(|(l, _)| l).collect();
+        let frontier_labels: Vec<&String> = frontier.iter().map(|p| &p.label).collect();
+        assert_eq!(failed, frontier_labels);
+    }
+
+    #[test]
+    fn serial_reference_flow_matches_the_fused_flow() {
+        let f = two_loops();
+        let lib = TechLibrary::asic_100mhz();
+        let cfg = ExploreConfig {
+            verify: VerifyLevel::All,
+            ..ExploreConfig::default()
+        };
+        let fused = explore_with_check(&f, &cfg, &lib, &|_, _, _, _| Ok(()));
+        let serial = explore_with_check_serial(&f, &cfg, &lib, &|_, _, _| Ok(()));
+        assert_eq!(fused.points.len(), serial.points.len());
+        for (a, b) in fused.points.iter().zip(&serial.points) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.latency_cycles, b.latency_cycles);
+            assert_eq!(a.area, b.area);
+        }
+        assert!(fused.verify_failures.is_empty());
+        assert!(serial.verify_failures.is_empty());
     }
 }

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod allocate;
+pub mod bound;
 pub mod dfg;
 mod directives;
 mod error;
@@ -39,18 +40,20 @@ mod tech;
 pub mod transform;
 
 pub use allocate::{allocate, Allocation, FuGroup};
+pub use bound::{lower_bound, DesignBound};
 pub use directives::{ArrayMapping, Directives, InterfaceKind, LoopDirective, MergePolicy, Unroll};
 pub use error::SynthesisError;
 pub use explore::{
-    explore, explore_serial, explore_with_check, DesignPoint, EquivChecker, ExploreConfig,
-    ExploreResult, VerifyLevel,
+    explore, explore_serial, explore_with_check, explore_with_check_serial, transform_signature,
+    DesignPoint, EquivChecker, ExploreBudget, ExploreConfig, ExploreResult, PointChecker,
+    PrunedCandidate, VerifyLevel,
 };
 pub use hls_ir::{Anchor, Diagnostic, Diagnostics, Severity};
 pub use lower::{lower, Lowered, Port, Segment};
 pub use metrics::{segment_cycles, DesignMetrics, SegmentCycles};
 pub use pipeline::{
-    synthesize_traced, synthesize_traced_with_transform, IrStats, Pass, PassHook, PassRecord,
-    PassTrace, Pipeline, PipelineConfig, PipelineRun, PipelineState,
+    synthesize_traced, synthesize_traced_with_transform, InvariantCheck, IrStats, Pass, PassHook,
+    PassRecord, PassTrace, Pipeline, PipelineConfig, PipelineRun, PipelineState,
 };
 pub use schedule::{recurrence_min_ii, schedule_dfg, Schedule};
 pub use synthesize::{synthesize, SynthesisResult};

@@ -19,7 +19,7 @@ use crate::dfg::{build_dfg, Dfg};
 use crate::directives::{Directives, InterfaceKind};
 
 /// One schedulable region.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Segment {
     /// Straight-line code: executes once.
     Straight {
@@ -83,7 +83,7 @@ pub struct Port {
 }
 
 /// The lowered design.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Lowered {
     /// The function after staging rewrites (what the segments reference).
     pub func: Function,

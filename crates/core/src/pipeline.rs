@@ -232,6 +232,16 @@ pub trait Pass {
         false
     }
 
+    /// Names of passes that must have run (and be enabled) earlier in the
+    /// sequence for this pass to be meaningful. The manager validates the
+    /// whole sequence against these before running anything and rejects
+    /// unsatisfiable configurations (e.g. schedule with lower disabled)
+    /// with an `invalid-pipeline-config` diagnostic instead of letting a
+    /// pass panic on an empty state slot.
+    fn requires(&self) -> &'static [&'static str] {
+        &[]
+    }
+
     /// Runs the pass. Warnings and notes go into `diags`; a returned
     /// error aborts the pipeline (the manager records it both as the
     /// typed error and as a stamped diagnostic).
@@ -253,8 +263,14 @@ pub trait PassHook {
 pub struct PipelineConfig {
     /// Re-run `hls_ir::validate` on the current function after every
     /// IR-mutating pass; a violation aborts with an `invalid-ir`
-    /// diagnostic naming the offending pass.
+    /// diagnostic naming the offending pass. Passes satisfied from a memo
+    /// cache are *not* re-walked (their result was validated when first
+    /// computed); the trace records them as [`InvariantCheck::Cached`].
     pub check_invariants: bool,
+    /// Pass names to skip. The manager validates that no *enabled* pass
+    /// [`requires`](Pass::requires) a disabled or missing one before the
+    /// run starts; violations abort with `invalid-pipeline-config`.
+    pub disabled_passes: Vec<String>,
 }
 
 impl PipelineConfig {
@@ -263,6 +279,56 @@ impl PipelineConfig {
     pub fn checked() -> Self {
         PipelineConfig {
             check_invariants: true,
+            ..PipelineConfig::default()
+        }
+    }
+
+    /// The front-end-only preset: validation, directive checking and loop
+    /// transforms run; lowering, scheduling, allocation and metrics are
+    /// disabled. Useful for inspecting the transformed IR (or timing the
+    /// transform prefix) without paying for the back end.
+    pub fn transform_only() -> Self {
+        PipelineConfig::default()
+            .without_pass("lower")
+            .without_pass("schedule")
+            .without_pass("allocate")
+            .without_pass("metrics")
+    }
+
+    /// Disables the named pass (builder style).
+    pub fn without_pass(mut self, name: &str) -> Self {
+        if !self.disabled_passes.iter().any(|p| p == name) {
+            self.disabled_passes.push(name.to_string());
+        }
+        self
+    }
+
+    /// Whether the named pass is enabled under this configuration.
+    pub fn is_enabled(&self, name: &str) -> bool {
+        !self.disabled_passes.iter().any(|p| p == name)
+    }
+}
+
+/// Whether (and how) post-pass invariant re-validation ran for one pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InvariantCheck {
+    /// Not checked (disabled, pass does not mutate IR, or the pass aborted).
+    #[default]
+    NotRun,
+    /// The IR was re-validated after the pass.
+    Checked,
+    /// The pass was a memo hit; its result was validated when first
+    /// computed, so the re-walk was skipped.
+    Cached,
+}
+
+impl InvariantCheck {
+    /// JSON value: `true`, `false`, or `"cached"`.
+    fn json_value(self) -> &'static str {
+        match self {
+            InvariantCheck::NotRun => "false",
+            InvariantCheck::Checked => "true",
+            InvariantCheck::Cached => "\"cached\"",
         }
     }
 }
@@ -284,8 +350,9 @@ pub struct PassRecord {
     pub after: IrStats,
     /// Diagnostics emitted during the pass (including by hooks).
     pub diagnostics: usize,
-    /// Whether post-pass invariant re-validation ran.
-    pub invariants_checked: bool,
+    /// Whether post-pass invariant re-validation ran (or was skipped
+    /// because the pass was satisfied from a validated memo entry).
+    pub invariants_checked: InvariantCheck,
     /// Whether the pass was satisfied from a memo cache (shared prefix).
     pub memo_hit: bool,
 }
@@ -321,7 +388,7 @@ impl PassTrace {
                 p.before.json_fields(),
                 p.after.json_fields(),
                 p.diagnostics,
-                p.invariants_checked,
+                p.invariants_checked.json_value(),
                 p.memo_hit,
             ));
         }
@@ -458,7 +525,46 @@ impl<'a> Pipeline<'a> {
             ..PipelineRun::default()
         };
         let total_start = Instant::now();
+
+        // Reject unsatisfiable configurations up front: every enabled
+        // pass's prerequisites must be enabled and sequenced earlier.
+        let mut problems = Vec::new();
+        let mut seen: Vec<&'static str> = Vec::new();
         for pass in &self.passes {
+            if !self.config.is_enabled(pass.name()) {
+                continue;
+            }
+            for req in pass.requires() {
+                if !seen.contains(req) {
+                    let why = if self.passes.iter().any(|p| p.name() == *req) {
+                        if self.config.is_enabled(req) {
+                            "sequenced after it"
+                        } else {
+                            "disabled"
+                        }
+                    } else {
+                        "missing from the pipeline"
+                    };
+                    problems.push(format!(
+                        "pass `{}` requires `{req}`, but it is {why}",
+                        pass.name()
+                    ));
+                }
+            }
+            seen.push(pass.name());
+        }
+        if !problems.is_empty() {
+            let e = SynthesisError::InvalidPipelineConfig { problems };
+            run.diagnostics.push(e.to_diagnostic());
+            run.error = Some(e);
+            run.trace.total_ns = total_start.elapsed().as_nanos() as u64;
+            return run;
+        }
+
+        for pass in &self.passes {
+            if !self.config.is_enabled(pass.name()) {
+                continue;
+            }
             let before = state.stats();
             let diags_before = run.diagnostics.len();
             let start = Instant::now();
@@ -479,10 +585,14 @@ impl<'a> Pipeline<'a> {
                 aborted = true;
             }
 
-            // Post-pass invariant re-validation.
-            let mut invariants_checked = false;
-            if !aborted && self.config.check_invariants && pass.mutates_ir() {
-                invariants_checked = true;
+            // Post-pass invariant re-validation. A memo hit reuses a
+            // result that was validated when first computed, so the
+            // re-walk is skipped and recorded as cached.
+            let mut invariants_checked = InvariantCheck::NotRun;
+            if !aborted && self.config.check_invariants && pass.mutates_ir() && memo_hit {
+                invariants_checked = InvariantCheck::Cached;
+            } else if !aborted && self.config.check_invariants && pass.mutates_ir() {
+                invariants_checked = InvariantCheck::Checked;
                 let problems = hls_ir::validate(state.current_func());
                 if !problems.is_empty() {
                     for p in &problems {
@@ -526,6 +636,18 @@ impl<'a> Pipeline<'a> {
         }
         run.trace.total_ns = total_start.elapsed().as_nanos() as u64;
         run
+    }
+}
+
+/// The typed error for a pass finding an upstream state slot empty —
+/// reachable only through a custom pass that claims a standard name
+/// without filling the standard slot (sequence validation catches
+/// everything else before the run starts).
+fn missing_slot(pass: &str, producer: &str) -> SynthesisError {
+    SynthesisError::InvalidPipelineConfig {
+        problems: vec![format!(
+            "pass `{pass}` needs the `{producer}` result, which is missing"
+        )],
     }
 }
 
@@ -686,6 +808,10 @@ impl Pass for SchedulePass {
         "schedule"
     }
 
+    fn requires(&self) -> &'static [&'static str] {
+        &["lower"]
+    }
+
     fn run(
         &self,
         state: &mut PipelineState,
@@ -694,7 +820,7 @@ impl Pass for SchedulePass {
         let lowered = state
             .lowered
             .as_ref()
-            .expect("invariant: lower runs before schedule");
+            .ok_or_else(|| missing_slot("schedule", "lower"))?;
         // Memory-mapped arrays and streamed array parameters (Section 2.1:
         // index accesses become accesses over time) compete for ports
         // instead of being freely parallel registers.
@@ -749,6 +875,10 @@ impl Pass for AllocatePass {
         "allocate"
     }
 
+    fn requires(&self) -> &'static [&'static str] {
+        &["lower", "schedule"]
+    }
+
     fn run(
         &self,
         state: &mut PipelineState,
@@ -757,11 +887,11 @@ impl Pass for AllocatePass {
         let lowered = state
             .lowered
             .as_ref()
-            .expect("invariant: lower runs before allocate");
+            .ok_or_else(|| missing_slot("allocate", "lower"))?;
         let schedules = state
             .schedules
             .as_ref()
-            .expect("invariant: schedule runs before allocate");
+            .ok_or_else(|| missing_slot("allocate", "schedule"))?;
         state.allocation = Some(allocate(
             &lowered.func,
             lowered,
@@ -781,6 +911,10 @@ impl Pass for MetricsPass {
         "metrics"
     }
 
+    fn requires(&self) -> &'static [&'static str] {
+        &["lower", "schedule", "allocate"]
+    }
+
     fn run(
         &self,
         state: &mut PipelineState,
@@ -789,15 +923,15 @@ impl Pass for MetricsPass {
         let lowered = state
             .lowered
             .as_ref()
-            .expect("invariant: lower runs before metrics");
+            .ok_or_else(|| missing_slot("metrics", "lower"))?;
         let schedules = state
             .schedules
             .as_ref()
-            .expect("invariant: schedule runs before metrics");
+            .ok_or_else(|| missing_slot("metrics", "schedule"))?;
         let allocation = state
             .allocation
             .as_ref()
-            .expect("invariant: allocate runs before metrics");
+            .ok_or_else(|| missing_slot("metrics", "allocate"))?;
         let segments: Vec<_> = lowered
             .segments
             .iter()
@@ -838,13 +972,25 @@ pub fn synthesize_traced(
     let pipeline = Pipeline::synthesis(config.clone());
     let mut state = PipelineState::new(func, directives, lib);
     let run = pipeline.run(&mut state);
-    let result = match &run.error {
+    (finish_run(&state, &run), run)
+}
+
+/// Extracts the [`SynthesisResult`] from a completed run, mapping an
+/// incomplete state (some passes disabled, e.g. under
+/// [`PipelineConfig::transform_only`]) to a typed error instead of
+/// panicking.
+fn finish_run(state: &PipelineState, run: &PipelineRun) -> Result<SynthesisResult, SynthesisError> {
+    match &run.error {
         Some(e) => Err(e.clone()),
-        None => Ok(state
+        None => state
             .to_result()
-            .expect("invariant: completed pipeline fills every state slot")),
-    };
-    (result, run)
+            .ok_or_else(|| SynthesisError::InvalidPipelineConfig {
+                problems: vec![
+                "pipeline completed without a full synthesis result (back-end passes disabled?)"
+                    .to_string(),
+            ],
+            }),
+    }
 }
 
 /// [`synthesize_traced`] reusing a precomputed transform prefix — the
@@ -860,13 +1006,7 @@ pub fn synthesize_traced_with_transform(
     let pipeline = Pipeline::synthesis_with_transform(config.clone(), transformed);
     let mut state = PipelineState::new(func, directives, lib);
     let run = pipeline.run(&mut state);
-    let result = match &run.error {
-        Some(e) => Err(e.clone()),
-        None => Ok(state
-            .to_result()
-            .expect("invariant: completed pipeline fills every state slot")),
-    };
-    (result, run)
+    (finish_run(&state, &run), run)
 }
 
 #[cfg(test)]
@@ -931,9 +1071,88 @@ mod tests {
         );
         assert!(r.is_ok());
         for p in &run.trace.passes {
-            let expect = matches!(p.pass.as_str(), "loop-transforms" | "lower");
+            let expect = if matches!(p.pass.as_str(), "loop-transforms" | "lower") {
+                InvariantCheck::Checked
+            } else {
+                InvariantCheck::NotRun
+            };
             assert_eq!(p.invariants_checked, expect, "pass {}", p.pass);
         }
+    }
+
+    #[test]
+    fn memo_hit_skips_invariant_revalidation_and_records_cached() {
+        let f = sum_loop();
+        let d = Directives::new(10.0).unroll("sum", Unroll::Factor(2));
+        let lib = TechLibrary::asic_100mhz();
+        let t = Arc::new(apply_loop_transforms(&f, &d));
+        let (r, run) =
+            synthesize_traced_with_transform(&f, &d, &lib, &PipelineConfig::checked(), t);
+        assert!(r.is_ok());
+        let tp = run
+            .trace
+            .passes
+            .iter()
+            .find(|p| p.pass == "loop-transforms")
+            .unwrap();
+        assert!(tp.memo_hit);
+        assert_eq!(tp.invariants_checked, InvariantCheck::Cached);
+        // The non-memoized mutating pass is still checked.
+        let lp = run.trace.passes.iter().find(|p| p.pass == "lower").unwrap();
+        assert_eq!(lp.invariants_checked, InvariantCheck::Checked);
+        // And the JSON carries the mixed-type value.
+        assert!(run
+            .trace
+            .to_json()
+            .contains("\"invariants_checked\":\"cached\""));
+    }
+
+    #[test]
+    fn transform_only_preset_runs_front_end_only() {
+        let f = sum_loop();
+        let d = Directives::new(10.0).unroll("sum", Unroll::Full);
+        let lib = TechLibrary::asic_100mhz();
+        let cfg = PipelineConfig::transform_only();
+        let mut state = PipelineState::new(&f, &d, &lib);
+        let run = Pipeline::synthesis(cfg.clone()).run(&mut state);
+        assert!(run.error.is_none(), "{:?}", run.error);
+        let names: Vec<&str> = run.trace.passes.iter().map(|p| p.pass.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["validate-ir", "check-directives", "loop-transforms"]
+        );
+        // The transform ran (loop fully unrolled), but nothing was lowered.
+        assert!(state.func.loops().is_empty());
+        assert!(state.lowered.is_none() && state.metrics.is_none());
+        // The traced entry point reports the incomplete result as a typed
+        // error, not a panic.
+        let (r, _) = synthesize_traced(&f, &d, &lib, &cfg);
+        assert!(matches!(
+            r,
+            Err(SynthesisError::InvalidPipelineConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn disabling_a_prerequisite_is_rejected_with_a_diagnostic() {
+        let f = sum_loop();
+        let d = Directives::new(10.0);
+        let lib = TechLibrary::asic_100mhz();
+        // schedule without lower: unsatisfiable.
+        let cfg = PipelineConfig::default().without_pass("lower");
+        let mut state = PipelineState::new(&f, &d, &lib);
+        let run = Pipeline::synthesis(cfg).run(&mut state);
+        assert!(matches!(
+            run.error,
+            Some(SynthesisError::InvalidPipelineConfig { .. })
+        ));
+        // Nothing ran.
+        assert!(run.trace.passes.is_empty());
+        let diag = run
+            .diagnostics
+            .find("invalid-pipeline-config")
+            .expect("diagnostic");
+        assert!(diag.message.contains("`schedule` requires `lower`"));
     }
 
     #[test]

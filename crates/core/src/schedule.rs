@@ -11,13 +11,13 @@ use std::collections::BTreeMap;
 
 use hls_ir::VarId;
 
-use crate::dfg::{Dfg, NodeId, NodeKind};
+use crate::dfg::{Dfg, FixedBitSet, NodeId, NodeKind};
 use crate::directives::Directives;
 use crate::error::SynthesisError;
 use crate::tech::{OpClass, TechLibrary};
 
 /// The cycle-by-cycle placement of one DFG.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
     /// Cycle of each node (indexed by [`NodeId::index`]).
     pub node_cycle: Vec<u32>,
@@ -109,16 +109,36 @@ pub fn schedule_dfg(
         }
     }
 
-    // Successor lists and priorities (longest path to a sink, in ns).
-    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (i, nd) in dfg.nodes().iter().enumerate() {
+    // Successor lists in CSR (flattened) form: one contiguous `u32` arena
+    // indexed by per-node offsets, replacing the `Vec<Vec<_>>` the hot loop
+    // used to chase. Node indices are topological by construction (the DFG
+    // builder appends operands before their consumers), so a single reverse
+    // sweep yields the longest-path-to-sink priorities.
+    let mut succ_off = vec![0u32; n + 1];
+    for nd in dfg.nodes() {
         for p in &nd.preds {
-            succs[p.index()].push(i);
+            succ_off[p.index() + 1] += 1;
         }
     }
+    for i in 0..n {
+        succ_off[i + 1] += succ_off[i];
+    }
+    let mut succ = vec![0u32; succ_off[n] as usize];
+    let mut fill = succ_off.clone();
+    for (i, nd) in dfg.nodes().iter().enumerate() {
+        for p in &nd.preds {
+            succ[fill[p.index()] as usize] = i as u32;
+            fill[p.index()] += 1;
+        }
+    }
+    let succs_of = |i: usize| &succ[succ_off[i] as usize..succ_off[i + 1] as usize];
+
     let mut priority = vec![0.0f64; n];
     for i in (0..n).rev() {
-        let down = succs[i].iter().map(|s| priority[*s]).fold(0.0, f64::max);
+        let down = succs_of(i)
+            .iter()
+            .map(|s| priority[*s as usize])
+            .fold(0.0, f64::max);
         priority[i] = delays[i] + down;
     }
 
@@ -127,8 +147,36 @@ pub fn schedule_dfg(
     let mut node_end = vec![0.0f64; n];
     let mut remaining = n;
     let mut cycle: u32 = 0;
-    // Per-cycle resource usage.
     let max_cycles = (n as u32 + 4) * 4 + 64;
+
+    // Readiness is tracked incrementally: a per-node count of unscheduled
+    // predecessors (duplicate operand edges are mirrored in the CSR arena,
+    // so the counts stay consistent), a bitset of the nodes placed in the
+    // cycle being filled (the chaining-start computation only needs "was
+    // this pred placed *this* cycle"), and explicit ready queues instead of
+    // per-iteration rescans of every node.
+    //
+    // Equivalence with the rescan formulation is exact: a ready node that
+    // fails placement in cycle `c` can never succeed later within `c` —
+    // its chaining start is fixed (all predecessors are already scheduled)
+    // and per-cycle resource usage only grows — so the original's repeated
+    // rescans only ever place *newly ready* nodes after their first
+    // attempt. Processing each newly-ready batch in (priority desc, index
+    // asc) order reproduces the stable-sorted rescan bit for bit, and
+    // failed nodes defer to the next cycle's queue.
+    let mut pending_preds: Vec<u32> = dfg.nodes().iter().map(|nd| nd.preds.len() as u32).collect();
+    let mut placed_in_cycle = FixedBitSet::new(n);
+    let mut ready: Vec<u32> = (0..n as u32)
+        .filter(|&i| pending_preds[i as usize] == 0)
+        .collect();
+    let by_priority = |priority: &[f64], batch: &mut Vec<u32>| {
+        batch.sort_unstable_by(|a, b| {
+            priority[*b as usize]
+                .partial_cmp(&priority[*a as usize])
+                .expect("finite priorities")
+                .then_with(|| a.cmp(b))
+        });
+    };
 
     while remaining > 0 {
         if cycle > max_cycles {
@@ -139,64 +187,62 @@ pub fn schedule_dfg(
         let mut fu_used: BTreeMap<OpClass, u32> = BTreeMap::new();
         let mut mem_reads: BTreeMap<VarId, u32> = BTreeMap::new();
         let mut mem_writes: BTreeMap<VarId, u32> = BTreeMap::new();
-        loop {
-            // Ready nodes: all preds scheduled in earlier cycles or already
-            // placed in this one.
-            let mut ready: Vec<usize> = (0..n)
-                .filter(|&i| {
-                    node_cycle[i] == u32::MAX
-                        && dfg.nodes()[i]
-                            .preds
-                            .iter()
-                            .all(|p| node_cycle[p.index()] <= cycle)
-                })
-                .collect();
-            ready.sort_by(|a, b| {
-                priority[*b]
-                    .partial_cmp(&priority[*a])
-                    .expect("finite priorities")
-            });
-            let mut placed_any = false;
-            for i in ready {
+        placed_in_cycle.clear();
+        let mut deferred: Vec<u32> = Vec::new();
+        let mut batch = std::mem::take(&mut ready);
+        while !batch.is_empty() {
+            by_priority(&priority, &mut batch);
+            let mut newly_ready: Vec<u32> = Vec::new();
+            for &iu in &batch {
+                let i = iu as usize;
                 let nd = &dfg.nodes()[i];
                 let start = nd
                     .preds
                     .iter()
                     .map(|p| {
-                        if node_cycle[p.index()] == cycle {
+                        if placed_in_cycle.contains(p.index()) {
                             node_end[p.index()]
                         } else {
                             0.0
                         }
                     })
                     .fold(0.0, f64::max);
-                if start + delays[i] > clock {
-                    continue; // must wait for the next cycle
-                }
                 let class = classes[i];
-                if let Some(limit) = directives.fu_limit(class) {
-                    if fu_used.get(&class).copied().unwrap_or(0) >= limit {
-                        continue;
-                    }
-                }
-                if let Some(arr) = nd.accessed_array() {
-                    if let Some((rp, wp)) = mem_ports(arr) {
-                        match class {
-                            OpClass::MemRead if mem_reads.get(&arr).copied().unwrap_or(0) >= rp => {
-                                continue;
-                            }
-                            OpClass::MemWrite
-                                if mem_writes.get(&arr).copied().unwrap_or(0) >= wp =>
-                            {
-                                continue;
-                            }
-                            _ => {}
+                let mut fits = start + delays[i] <= clock;
+                if fits {
+                    if let Some(limit) = directives.fu_limit(class) {
+                        if fu_used.get(&class).copied().unwrap_or(0) >= limit {
+                            fits = false;
                         }
                     }
+                }
+                if fits {
+                    if let Some(arr) = nd.accessed_array() {
+                        if let Some((rp, wp)) = mem_ports(arr) {
+                            match class {
+                                OpClass::MemRead
+                                    if mem_reads.get(&arr).copied().unwrap_or(0) >= rp =>
+                                {
+                                    fits = false;
+                                }
+                                OpClass::MemWrite
+                                    if mem_writes.get(&arr).copied().unwrap_or(0) >= wp =>
+                                {
+                                    fits = false;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                if !fits {
+                    deferred.push(iu); // must wait for the next cycle
+                    continue;
                 }
                 node_cycle[i] = cycle;
                 node_start[i] = start;
                 node_end[i] = start + delays[i];
+                placed_in_cycle.insert(i);
                 *fu_used.entry(class).or_insert(0) += 1;
                 if let Some(arr) = nd.accessed_array() {
                     if is_memory(arr) {
@@ -208,12 +254,16 @@ pub fn schedule_dfg(
                     }
                 }
                 remaining -= 1;
-                placed_any = true;
+                for &s in succs_of(i) {
+                    pending_preds[s as usize] -= 1;
+                    if pending_preds[s as usize] == 0 {
+                        newly_ready.push(s);
+                    }
+                }
             }
-            if !placed_any {
-                break;
-            }
+            batch = newly_ready;
         }
+        ready = deferred;
         if remaining > 0 {
             cycle += 1;
         }
@@ -235,46 +285,59 @@ pub fn schedule_dfg(
 }
 
 /// The minimum initiation interval forced by loop-carried recurrences.
+///
+/// One pass over the graph collects, per variable, the earliest read/load
+/// cycle and the latest write/store cycle; the per-variable span (when the
+/// write lands no earlier than the read) is the recurrence's minimum II.
 pub fn recurrence_min_ii(dfg: &Dfg, schedule: &Schedule) -> u32 {
+    let mut first_read: BTreeMap<VarId, u32> = BTreeMap::new();
+    let mut last_write: BTreeMap<VarId, u32> = BTreeMap::new();
+    let mut first_load: BTreeMap<VarId, u32> = BTreeMap::new();
+    let mut last_store: BTreeMap<VarId, u32> = BTreeMap::new();
+    for (id, n) in dfg.iter() {
+        let c = schedule.node_cycle[id.index()];
+        match n.kind {
+            NodeKind::VarRead(v) => {
+                let e = first_read.entry(v).or_insert(c);
+                *e = (*e).min(c);
+            }
+            NodeKind::VarWrite(v) => {
+                let e = last_write.entry(v).or_insert(c);
+                *e = (*e).max(c);
+            }
+            NodeKind::Load(a) => {
+                let e = first_load.entry(a).or_insert(c);
+                *e = (*e).min(c);
+            }
+            NodeKind::Store(a) | NodeKind::StoreCond(a) => {
+                let e = last_store.entry(a).or_insert(c);
+                *e = (*e).max(c);
+                // Stores also count as writes for scalar-style recurrences
+                // (matching the historical per-variable scan).
+                let w = last_write.entry(a).or_insert(c);
+                *w = (*w).max(c);
+            }
+            _ => {}
+        }
+    }
+
     let mut min_ii = 1u32;
+    // Scalar recurrence: write cycle - read cycle + 1.
     for var in &dfg.live_out {
         if !dfg.live_in.contains(var) {
             continue;
         }
-        // Scalar recurrence: write cycle - read cycle + 1.
-        let read_cycle = dfg
-            .iter()
-            .filter(|(_, n)| matches!(n.kind, NodeKind::VarRead(v) if v == *var))
-            .map(|(id, _)| schedule.node_cycle[id.index()])
-            .min();
-        let write_cycle = dfg
-            .iter()
-            .filter(|(_, n)| {
-                matches!(n.kind, NodeKind::VarWrite(v) if v == *var)
-                    || matches!(n.kind, NodeKind::Store(v) if v == *var)
-                    || matches!(n.kind, NodeKind::StoreCond(v) if v == *var)
-            })
-            .map(|(id, _)| schedule.node_cycle[id.index()])
-            .max();
-        if let (Some(r), Some(w)) = (read_cycle, write_cycle) {
+        if let (Some(&r), Some(&w)) = (first_read.get(var), last_write.get(var)) {
             if w >= r {
                 min_ii = min_ii.max(w - r + 1);
             }
         }
     }
     // Array recurrences (load and store of the same array in the body).
-    for (id, n) in dfg.iter() {
-        if let NodeKind::Store(arr) | NodeKind::StoreCond(arr) = n.kind {
-            let first_load = dfg
-                .iter()
-                .filter(|(_, m)| matches!(m.kind, NodeKind::Load(a) if a == arr))
-                .map(|(lid, _)| schedule.node_cycle[lid.index()])
-                .min();
-            if let Some(l) = first_load {
-                let w = schedule.node_cycle[id.index()];
-                if w >= l {
-                    min_ii = min_ii.max(w - l + 1);
-                }
+    for (arr, &w) in &last_store {
+        if let Some(&l) = first_load.get(arr) {
+            if w >= l {
+                min_ii = min_ii.max(w - l + 1);
             }
         }
     }

@@ -1,0 +1,210 @@
+//! Randomized soundness checks for budgeted design-space exploration:
+//! across a proptest-driven family of two-loop accumulator functions and
+//! randomized sweep configurations, (1) branch-and-bound pruning must
+//! return exactly the serial reference's Pareto frontier, fastest
+//! latency and smallest area, with every pruned candidate provably
+//! dominated, and (2) the admissible lower bounds the pruning relies on
+//! must never exceed what synthesis actually reports.
+
+use hls_core::{
+    apply_loop_transforms, explore, explore_serial, lower_bound, ExploreBudget, ExploreConfig,
+    MergePolicy, TechLibrary, VerifyLevel,
+};
+use hls_ir::{CmpOp, Expr, Function, FunctionBuilder, Ty};
+use proptest::prelude::*;
+
+/// Two accumulation loops with parametric trip counts and element widths
+/// feeding one output — the structural skeleton of the paper's decoder
+/// (independent FIR-style loops a sweep can unroll and merge).
+fn two_loops(trip1: usize, trip2: usize, w1: u32, w2: u32) -> Function {
+    let mut b = FunctionBuilder::new("t");
+    let x = b.param_array("x", Ty::fixed(w1, 0), trip1);
+    let y = b.param_array("y", Ty::fixed(w2, 0), trip2);
+    let out = b.param_scalar("out", Ty::fixed(24, 6));
+    let a1 = b.local("a1", Ty::fixed(24, 6));
+    let a2 = b.local("a2", Ty::fixed(24, 6));
+    b.assign(a1, Expr::int_const(0));
+    b.for_loop("l1", 0, CmpOp::Lt, trip1 as i64, 1, |b, k| {
+        b.assign(a1, Expr::add(Expr::var(a1), Expr::load(x, Expr::var(k))));
+    });
+    b.assign(a2, Expr::int_const(0));
+    b.for_loop("l2", 0, CmpOp::Lt, trip2 as i64, 1, |b, k| {
+        b.assign(a2, Expr::add(Expr::var(a2), Expr::load(y, Expr::var(k))));
+    });
+    b.assign(out, Expr::add(Expr::var(a1), Expr::var(a2)));
+    b.build()
+}
+
+fn config(clocks: Vec<f64>, unrolls: Vec<u32>, both_merges: bool) -> ExploreConfig {
+    ExploreConfig {
+        clock_period_ns: clocks[0],
+        clock_periods_ns: clocks,
+        unroll_factors: unrolls,
+        merge_policies: if both_merges {
+            vec![MergePolicy::Off, MergePolicy::AllowHazards]
+        } else {
+            vec![MergePolicy::Off]
+        },
+        per_loop_refinement: true,
+        verify: VerifyLevel::Off,
+        budget: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Budgeted (and parallel) exploration returns the serial reference's
+    /// exact Pareto set; pruned candidates are strictly dominated and
+    /// account, together with the evaluated points, for the whole sweep.
+    #[test]
+    fn budgeted_sweep_preserves_the_reference_frontier(
+        trip1 in 2usize..10,
+        trip2 in 2usize..12,
+        w1 in 6u32..12,
+        w2 in 6u32..12,
+        clock_picks in prop::sample::select(vec![
+            vec![10.0f64],
+            vec![5.0, 10.0],
+            vec![5.0, 10.0, 20.0],
+            vec![7.5, 20.0, 40.0],
+        ]),
+        unrolls in prop::sample::select(vec![
+            vec![1u32],
+            vec![1, 2],
+            vec![1, 2, 4],
+            vec![1, 4, 8],
+        ]),
+        both_merges in prop::bool::ANY,
+        floor in prop::sample::select(vec![0u64, 50_000]),
+    ) {
+        let f = two_loops(trip1, trip2, w1, w2);
+        let lib = TechLibrary::asic_100mhz();
+        let cfg = config(clock_picks, unrolls, both_merges);
+        let reference = explore_serial(&f, &cfg, &lib);
+        let budgeted_cfg = ExploreConfig {
+            budget: Some(ExploreBudget { min_prune_cost_ns: floor }),
+            ..cfg
+        };
+        let budgeted = explore(&f, &budgeted_cfg, &lib);
+
+        let frontier = |r: &hls_core::ExploreResult| -> Vec<(u64, u64)> {
+            r.pareto().iter().map(|p| (p.latency_cycles, p.area.to_bits())).collect()
+        };
+        prop_assert_eq!(frontier(&reference), frontier(&budgeted));
+        prop_assert_eq!(
+            reference.points.len(),
+            budgeted.points.len() + budgeted.pruned.len(),
+            "every candidate is either evaluated or pruned"
+        );
+        // Each pruned candidate's bound is strictly dominated by some
+        // evaluated point, so its actual design could not have reached
+        // the frontier.
+        for pr in &budgeted.pruned {
+            prop_assert!(
+                budgeted.points.iter().any(|p| {
+                    p.latency_cycles <= pr.latency_bound_cycles
+                        && p.area <= pr.area_bound
+                        && (p.latency_cycles < pr.latency_bound_cycles || p.area < pr.area_bound)
+                }),
+                "pruned candidate {} is not dominated",
+                pr.label
+            );
+        }
+        // Evaluated points carry identical metrics to the reference.
+        for p in &budgeted.points {
+            let r = reference.points.iter().find(|q| q.label == p.label);
+            let r = r.expect("every budgeted point exists in the reference");
+            prop_assert_eq!(r.latency_cycles, p.latency_cycles);
+            prop_assert_eq!(r.area.to_bits(), p.area.to_bits());
+        }
+    }
+
+    /// Admissibility: for every point a sweep evaluates, the pre-schedule
+    /// lower bound never exceeds the synthesized design's actual
+    /// latency/area — the property that makes pruning exact.
+    #[test]
+    fn lower_bounds_are_admissible_across_the_sweep(
+        trip1 in 2usize..10,
+        trip2 in 2usize..12,
+        w1 in 6u32..12,
+        w2 in 6u32..12,
+        clock in prop::sample::select(vec![5.0f64, 7.5, 10.0, 20.0]),
+    ) {
+        let f = two_loops(trip1, trip2, w1, w2);
+        let lib = TechLibrary::asic_100mhz();
+        let cfg = config(vec![clock], vec![1, 2, 4], true);
+        let r = explore_serial(&f, &cfg, &lib);
+        prop_assert!(!r.points.is_empty());
+        for p in &r.points {
+            let transformed = apply_loop_transforms(&f, &p.directives);
+            let b = lower_bound(&transformed.func, &p.directives, &lib);
+            prop_assert!(
+                b.latency_cycles <= p.latency_cycles,
+                "latency bound {} > actual {} for {}",
+                b.latency_cycles, p.latency_cycles, p.label
+            );
+            prop_assert!(
+                b.area <= p.area + 1e-9,
+                "area bound {} > actual {} for {}",
+                b.area, p.area, p.label
+            );
+        }
+    }
+}
+
+/// Non-proptest determinism check: the same budgeted sweep run twice
+/// (parallel worker pool and all) yields identical points, pruned lists
+/// and frontier — wave order and the cost model are deterministic.
+#[test]
+fn budgeted_sweep_is_deterministic() {
+    let f = two_loops(8, 16, 10, 10);
+    let lib = TechLibrary::asic_100mhz();
+    let cfg = ExploreConfig {
+        budget: Some(ExploreBudget {
+            min_prune_cost_ns: 0,
+        }),
+        ..config(vec![5.0, 10.0, 20.0], vec![1, 2, 4, 8], true)
+    };
+    let a = explore(&f, &cfg, &lib);
+    let b = explore(&f, &cfg, &lib);
+    let key = |r: &hls_core::ExploreResult| {
+        (
+            r.points
+                .iter()
+                .map(|p| (p.label.clone(), p.latency_cycles, p.area.to_bits()))
+                .collect::<Vec<_>>(),
+            r.pruned.iter().map(|p| p.label.clone()).collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(key(&a), key(&b));
+}
+
+/// The cost-model floor in its default configuration must never prune a
+/// candidate that the zero-floor configuration wouldn't: the floor only
+/// shrinks the pruned set (cheap candidates keep running).
+#[test]
+fn cost_floor_only_shrinks_the_pruned_set() {
+    let f = two_loops(8, 16, 10, 10);
+    let lib = TechLibrary::asic_100mhz();
+    let base = config(vec![5.0, 10.0, 20.0], vec![1, 2, 4, 8], true);
+    let zero = explore(
+        &f,
+        &ExploreConfig {
+            budget: Some(ExploreBudget {
+                min_prune_cost_ns: 0,
+            }),
+            ..base.clone()
+        },
+        &lib,
+    );
+    let defaulted = explore(&f, &base.budgeted(), &lib);
+    let zero_pruned: Vec<&str> = zero.pruned.iter().map(|p| p.label.as_str()).collect();
+    for p in &defaulted.pruned {
+        assert!(
+            zero_pruned.contains(&p.label.as_str()),
+            "floor pruned {} which zero-floor did not",
+            p.label
+        );
+    }
+}

@@ -10,7 +10,7 @@ use hls_core::{Lowered, Port, Schedule, Segment, SynthesisResult};
 use hls_ir::{CmpOp, Function, VarId};
 
 /// Control structure of one segment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Control {
     /// Straight-line: the segment's states execute once.
     Straight {
@@ -111,6 +111,26 @@ impl Fsmd {
     /// The function whose variables the datapath references.
     pub fn function(&self) -> &Function {
         &self.lowered.func
+    }
+
+    /// Structural identity up to the target clock: equal control, schedules,
+    /// ports and lowered design (which includes the staged function the
+    /// datapath references). Two FSMDs that agree here differ at most in
+    /// [`Fsmd::clock_ns`], which only annotates the emitted Verilog — the
+    /// controller and datapath behavior are identical, so any
+    /// cycle-accurate analysis (simulation, equivalence proof) of one
+    /// holds for the other. Clock twins in a design-space sweep — slow
+    /// enough clocks chain identically — are exactly this case.
+    ///
+    /// Field order is cheapest-first so unequal machines exit early:
+    /// non-twins usually diverge in `control`/`schedules` long before the
+    /// expensive `lowered` (full-function) comparison runs.
+    pub fn same_machine(&self, other: &Fsmd) -> bool {
+        self.control == other.control
+            && self.schedules == other.schedules
+            && self.ports == other.ports
+            && self.name == other.name
+            && self.lowered == other.lowered
     }
 
     /// Total FSM states (idle excluded).

@@ -29,6 +29,10 @@ impl Pass for FsmdPass {
         "build-fsmd"
     }
 
+    fn requires(&self) -> &'static [&'static str] {
+        &["lower", "schedule", "allocate", "metrics"]
+    }
+
     fn run(
         &self,
         state: &mut PipelineState,
@@ -36,7 +40,7 @@ impl Pass for FsmdPass {
     ) -> Result<(), SynthesisError> {
         let result = state
             .to_result()
-            .expect("invariant: synthesis passes run before build-fsmd");
+            .ok_or_else(|| missing_artifact("build-fsmd", "the synthesis result"))?;
         state.put_artifact(FSMD, Fsmd::from_synthesis(&result));
         Ok(())
     }
@@ -50,6 +54,10 @@ impl Pass for CompileSimPass {
         "compile-sim"
     }
 
+    fn requires(&self) -> &'static [&'static str] {
+        &["build-fsmd"]
+    }
+
     fn run(
         &self,
         state: &mut PipelineState,
@@ -57,7 +65,7 @@ impl Pass for CompileSimPass {
     ) -> Result<(), SynthesisError> {
         let fsmd: &Fsmd = state
             .artifact(FSMD)
-            .expect("invariant: build-fsmd runs before compile-sim");
+            .ok_or_else(|| missing_artifact("compile-sim", "the FSMD artifact"))?;
         let program = SimProgram::compile(fsmd);
         state.put_artifact(SIM_PROGRAM, program);
         Ok(())
@@ -72,6 +80,10 @@ impl Pass for VerilogPass {
         "emit-verilog"
     }
 
+    fn requires(&self) -> &'static [&'static str] {
+        &["build-fsmd"]
+    }
+
     fn run(
         &self,
         state: &mut PipelineState,
@@ -79,9 +91,19 @@ impl Pass for VerilogPass {
     ) -> Result<(), SynthesisError> {
         let fsmd: &Fsmd = state
             .artifact(FSMD)
-            .expect("invariant: build-fsmd runs before emit-verilog");
+            .ok_or_else(|| missing_artifact("emit-verilog", "the FSMD artifact"))?;
         state.put_artifact(VERILOG, emit_verilog(fsmd));
         Ok(())
+    }
+}
+
+/// The typed error for an RTL pass finding its upstream product absent —
+/// reachable only through a custom pass claiming a standard name without
+/// producing the standard artifact (sequence validation catches
+/// everything else before the run starts).
+fn missing_artifact(pass: &str, what: &str) -> SynthesisError {
+    SynthesisError::InvalidPipelineConfig {
+        problems: vec![format!("pass `{pass}` needs {what}, which is missing")],
     }
 }
 

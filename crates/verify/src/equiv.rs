@@ -118,78 +118,143 @@ pub fn prove_equiv(fsmd: &Fsmd) -> ProveVerdict {
 
 /// [`prove_equiv`] with explicit options.
 pub fn prove_equiv_with(fsmd: &Fsmd, opts: &ProveOptions) -> ProveVerdict {
-    let func = fsmd.function().clone();
-    let mut t = SymTable::new();
-    let mut names: HashMap<u32, String> = HashMap::new();
-    let nvars = func.iter_vars().count();
-    let mut ir_env: SymEnv = vec![None; nvars];
-    let mut rtl = FsmdState::new(fsmd);
+    prove_equiv_in(&IrContext::for_function(fsmd.function()), fsmd, opts)
+}
 
-    // Build the common symbolic start state.
-    for (id, v) in func.iter_vars() {
-        let rtl_fmt = v.ty.format().unwrap_or_else(bool_format);
-        let ir_zero_fmt = v.ty.format().unwrap_or_else(index_format);
-        let shared = matches!(v.kind, VarKind::Static)
-            || (v.kind == VarKind::Param && func.param_direction(id) != Direction::Out);
-        if shared {
-            // Inputs and persistent state: one arbitrary value seen by
-            // *both* machines (declared-format, i.e. post-coercion).
-            match v.len {
-                None => {
-                    let s = fresh_named(&mut t, &mut names, v.name.clone(), rtl_fmt);
-                    ir_env[id.index()] = Some(SymSlot::Scalar(s));
-                    rtl.regs[id.index()] = Some(s);
+/// The function-only half of a proof: the shared symbolic start state and
+/// the IR side's complete symbolic execution, over a private [`SymTable`].
+///
+/// Everything here depends only on the FSMD's (transformed, staged)
+/// function — not on the schedule, binding or clock — so architectures
+/// that share a loop-transform prefix (every clock twin of a design-space
+/// sweep, notably) can share one context: [`prove_equiv_in`] clones the
+/// table and runs only the FSMD side on top. Roughly half of a proof's
+/// wall time lives here.
+pub struct IrContext {
+    func: hls_ir::Function,
+    t: SymTable,
+    names: HashMap<u32, String>,
+    ir_env: SymEnv,
+    regs_init: Vec<Option<SymId>>,
+    arrays_init: Vec<Option<Vec<SymId>>>,
+    /// The IR side's failure, if it stepped outside the symbolic
+    /// fragment; every proof from this context reports it.
+    ir_error: Option<String>,
+}
+
+impl IrContext {
+    /// Builds the start state and symbolically executes the IR side of
+    /// `func` (an FSMD's function — already transformed and staged).
+    pub fn for_function(func: &hls_ir::Function) -> IrContext {
+        let func = func.clone();
+        let mut t = SymTable::new();
+        let mut names: HashMap<u32, String> = HashMap::new();
+        let nvars = func.iter_vars().count();
+        let mut ir_env: SymEnv = vec![None; nvars];
+        let mut regs_init: Vec<Option<SymId>> = vec![None; nvars];
+        let mut arrays_init: Vec<Option<Vec<SymId>>> = vec![None; nvars];
+
+        // Build the common symbolic start state.
+        for (id, v) in func.iter_vars() {
+            let rtl_fmt = v.ty.format().unwrap_or_else(bool_format);
+            let ir_zero_fmt = v.ty.format().unwrap_or_else(index_format);
+            let shared = matches!(v.kind, VarKind::Static)
+                || (v.kind == VarKind::Param && func.param_direction(id) != Direction::Out);
+            if shared {
+                // Inputs and persistent state: one arbitrary value seen by
+                // *both* machines (declared-format, i.e. post-coercion).
+                match v.len {
+                    None => {
+                        let s = fresh_named(&mut t, &mut names, v.name.clone(), rtl_fmt);
+                        ir_env[id.index()] = Some(SymSlot::Scalar(s));
+                        regs_init[id.index()] = Some(s);
+                    }
+                    Some(n) => {
+                        let elems: Vec<SymId> = (0..n)
+                            .map(|i| {
+                                fresh_named(&mut t, &mut names, format!("{}[{i}]", v.name), rtl_fmt)
+                            })
+                            .collect();
+                        ir_env[id.index()] = Some(SymSlot::Array(elems.clone()));
+                        arrays_init[id.index()] = Some(elems);
+                    }
                 }
-                Some(n) => {
-                    let elems: Vec<SymId> = (0..n)
-                        .map(|i| {
-                            fresh_named(&mut t, &mut names, format!("{}[{i}]", v.name), rtl_fmt)
-                        })
-                        .collect();
-                    ir_env[id.index()] = Some(SymSlot::Array(elems.clone()));
-                    rtl.arrays[id.index()] = Some(elems);
-                }
-            }
-        } else {
-            // IR side: out-params, locals and counters are zeroed per
-            // call by the interpreter.
-            let zero = t.constant(Fixed::from_int(0, ir_zero_fmt));
-            ir_env[id.index()] = Some(match v.len {
-                None => SymSlot::Scalar(zero),
-                Some(n) => SymSlot::Array(vec![zero; n]),
-            });
-            // RTL side: those registers persist across calls, so model
-            // them as arbitrary *unshared* stale values. If a stale value
-            // ever reaches an observable, the design genuinely disagrees
-            // with the per-call interpreter on some call sequence.
-            match v.len {
-                None => {
-                    let s = fresh_named(&mut t, &mut names, format!("stale {}", v.name), rtl_fmt);
-                    rtl.regs[id.index()] = Some(s);
-                }
-                Some(n) => {
-                    let elems: Vec<SymId> = (0..n)
-                        .map(|i| {
-                            fresh_named(
-                                &mut t,
-                                &mut names,
-                                format!("stale {}[{i}]", v.name),
-                                rtl_fmt,
-                            )
-                        })
-                        .collect();
-                    rtl.arrays[id.index()] = Some(elems);
+            } else {
+                // IR side: out-params, locals and counters are zeroed per
+                // call by the interpreter.
+                let zero = t.constant(Fixed::from_int(0, ir_zero_fmt));
+                ir_env[id.index()] = Some(match v.len {
+                    None => SymSlot::Scalar(zero),
+                    Some(n) => SymSlot::Array(vec![zero; n]),
+                });
+                // RTL side: those registers persist across calls, so model
+                // them as arbitrary *unshared* stale values. If a stale value
+                // ever reaches an observable, the design genuinely disagrees
+                // with the per-call interpreter on some call sequence.
+                match v.len {
+                    None => {
+                        let s =
+                            fresh_named(&mut t, &mut names, format!("stale {}", v.name), rtl_fmt);
+                        regs_init[id.index()] = Some(s);
+                    }
+                    Some(n) => {
+                        let elems: Vec<SymId> = (0..n)
+                            .map(|i| {
+                                fresh_named(
+                                    &mut t,
+                                    &mut names,
+                                    format!("stale {}[{i}]", v.name),
+                                    rtl_fmt,
+                                )
+                            })
+                            .collect();
+                        arrays_init[id.index()] = Some(elems);
+                    }
                 }
             }
         }
+
+        // Run the IR machine once; every proof over this context reuses
+        // its canonical nodes.
+        let ir_error = exec_function(&mut t, &func, &mut ir_env)
+            .err()
+            .map(|e| format!("IR side: {e}"));
+        IrContext {
+            func,
+            t,
+            names,
+            ir_env,
+            regs_init,
+            arrays_init,
+            ir_error,
+        }
     }
 
-    // Run both machines.
-    if let Err(e) = exec_function(&mut t, &func, &mut ir_env) {
-        return unknown_all(&func, format!("IR side: {e}"));
+    /// The function this context executed.
+    pub fn function(&self) -> &hls_ir::Function {
+        &self.func
     }
+}
+
+/// [`prove_equiv_with`] on a prebuilt [`IrContext`]: clones the context's
+/// symbolic table and runs only the FSMD side. `fsmd.function()` must be
+/// the function the context was built for (same transform prefix and
+/// staging) — callers sweeping a design space key their context cache
+/// accordingly.
+pub fn prove_equiv_in(ctx: &IrContext, fsmd: &Fsmd, opts: &ProveOptions) -> ProveVerdict {
+    let func = &ctx.func;
+    if let Some(e) = &ctx.ir_error {
+        return unknown_all(func, e.clone());
+    }
+    let mut t = ctx.t.clone();
+    let names = &ctx.names;
+    let ir_env = &ctx.ir_env;
+    let mut rtl = FsmdState::new(fsmd);
+    rtl.regs.clone_from(&ctx.regs_init);
+    rtl.arrays.clone_from(&ctx.arrays_init);
+
     if let Err(e) = exec_fsmd(&mut t, fsmd, &mut rtl) {
-        return unknown_all(&func, format!("FSMD side: {e}"));
+        return unknown_all(func, format!("FSMD side: {e}"));
     }
 
     // Collect obligations: every out/inout parameter and static element.
@@ -214,7 +279,7 @@ pub fn prove_equiv_with(fsmd: &Fsmd, opts: &ProveOptions) -> ProveVerdict {
                     obligations.push((format!("{}[{i}]", v.name), x, y));
                 }
             }
-            _ => return unknown_all(&func, format!("misshapen slot for {}", v.name)),
+            _ => return unknown_all(func, format!("misshapen slot for {}", v.name)),
         }
     }
 
@@ -236,7 +301,7 @@ pub fn prove_equiv_with(fsmd: &Fsmd, opts: &ProveOptions) -> ProveVerdict {
             unproved.push(format!("{name} (cone {bits} bits)"));
             continue;
         }
-        match bit_blast(&t, &mut ev, &name, a, b, &support, &names) {
+        match bit_blast(&t, &mut ev, &name, a, b, &support, names) {
             Ok(points) => proved.push(Obligation {
                 name,
                 method: ProofMethod::BitBlast { points },

@@ -31,10 +31,12 @@ pub mod state;
 pub mod sym;
 
 pub use equiv::{
-    prove_equiv, prove_equiv_with, Obligation, ProofCex, ProofMethod, ProveOptions, ProveVerdict,
+    prove_equiv, prove_equiv_in, prove_equiv_with, IrContext, Obligation, ProofCex, ProofMethod,
+    ProveOptions, ProveVerdict,
 };
 pub use fuzz::{fuzz_equiv, fuzz_equiv_with, Coverage, FuzzCex, FuzzConfig, FuzzReport, Stimulus};
 pub use mutate::{mutate_fsmd, mutations_for, Mutation};
 pub use pipeline::{
-    explore_verified, verify_equiv, verify_equiv_with, EquivGate, VerifyFinding, VerifyReport,
+    explore_verified, explore_verified_serial, verify_equiv, verify_equiv_with, EquivGate,
+    ExploreProver, ProverStats, VerifyFinding, VerifyReport,
 };

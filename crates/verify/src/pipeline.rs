@@ -13,14 +13,19 @@
 //! design the moment metrics land and vetoes the rest of the pipeline on
 //! a counterexample.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use hls_core::{
-    explore_with_check, synthesize, Diagnostic, Diagnostics, ExploreConfig, ExploreResult,
-    PassHook, PipelineState, TechLibrary,
+    explore_with_check, explore_with_check_serial, synthesize, Diagnostic, Diagnostics,
+    ExploreConfig, ExploreResult, PassHook, PipelineState, TechLibrary,
 };
 use hls_ir::Function;
 use rtl::Fsmd;
 
-use crate::equiv::{prove_equiv_with, ProofCex, ProofMethod, ProveOptions, ProveVerdict};
+use crate::equiv::{
+    prove_equiv_in, prove_equiv_with, IrContext, ProofCex, ProofMethod, ProveOptions, ProveVerdict,
+};
 use crate::fuzz::{fuzz_equiv_with, FuzzCex, FuzzConfig};
 
 /// How [`verify_equiv`] reached its conclusion.
@@ -111,7 +116,13 @@ pub fn verify_equiv(fsmd: &Fsmd) -> VerifyReport {
 
 /// [`verify_equiv`] with explicit prover and fuzzer configuration.
 pub fn verify_equiv_with(fsmd: &Fsmd, prove: &ProveOptions, fuzz: &FuzzConfig) -> VerifyReport {
-    let finding = match prove_equiv_with(fsmd, prove) {
+    settle(prove_equiv_with(fsmd, prove), fsmd, fuzz)
+}
+
+/// Turns a prover verdict into a [`VerifyReport`], falling back to the
+/// differential fuzzer when the prover gave up.
+fn settle(verdict: ProveVerdict, fsmd: &Fsmd, fuzz: &FuzzConfig) -> VerifyReport {
+    let finding = match verdict {
         ProveVerdict::Proved {
             obligations,
             sym_nodes,
@@ -138,6 +149,131 @@ pub fn verify_equiv_with(fsmd: &Fsmd, prove: &ProveOptions, fuzz: &FuzzConfig) -
         }
     };
     VerifyReport { finding }
+}
+
+/// A sweep-scoped verifier: [`verify_equiv`] with two memoization layers
+/// that exploit the structure of a design-space sweep.
+///
+/// 1. **IR-context sharing.** The IR side of a proof — symbolic start
+///    state plus the interpreter's complete symbolic execution — depends
+///    only on the FSMD's transformed function, not on its schedule,
+///    binding or clock. Points are grouped by
+///    `hls_core::transform_signature` (candidates sharing it share one
+///    transformed function) and each group builds one [`IrContext`];
+///    every proof in the group clones the symbolic table and runs only
+///    the FSMD side. Roughly half of each proof's wall time is shared
+///    this way. The group's function is still compared against each
+///    member ([`Fsmd::function`] vs the context's), so a signature
+///    collision across different source functions degrades to a private
+///    context, never to a wrong proof.
+/// 2. **Structural verdict memoization.** Clock twins — sweep points
+///    whose schedules chain identically under different target clocks —
+///    are [`Fsmd::same_machine`]: equal control, schedules, ports and
+///    lowered design. The first twin's verdict is replayed for the rest;
+///    the hit test is full structural equality, not a hash or heuristic.
+///
+/// Both layers are behind mutexes, so one prover can be shared by the
+/// explorer's worker pool (it is `Sync`); [`explore_verified`] does
+/// exactly that.
+pub struct ExploreProver {
+    prove: ProveOptions,
+    fuzz: FuzzConfig,
+    groups: Mutex<HashMap<String, Vec<Arc<ProofGroup>>>>,
+    counters: Mutex<ProverStats>,
+}
+
+/// One shared-function group: the prebuilt IR context plus the verdicts
+/// of every distinct machine proved so far.
+struct ProofGroup {
+    ctx: IrContext,
+    machines: Mutex<Vec<(Fsmd, VerifyReport)>>,
+}
+
+/// Cache effectiveness counters for an [`ExploreProver`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProverStats {
+    /// Distinct IR contexts built (one per distinct transformed function).
+    pub contexts: usize,
+    /// Proofs actually run (FSMD-side execution + obligations).
+    pub proofs: usize,
+    /// Verdicts replayed for structurally identical machines.
+    pub memo_hits: usize,
+}
+
+impl Default for ExploreProver {
+    fn default() -> ExploreProver {
+        ExploreProver::new()
+    }
+}
+
+impl ExploreProver {
+    /// A fresh prover with default prove/fuzz knobs.
+    pub fn new() -> ExploreProver {
+        ExploreProver::with_options(ProveOptions::default(), FuzzConfig::default())
+    }
+
+    /// A fresh prover with explicit knobs.
+    pub fn with_options(prove: ProveOptions, fuzz: FuzzConfig) -> ExploreProver {
+        ExploreProver {
+            prove,
+            fuzz,
+            groups: Mutex::new(HashMap::new()),
+            counters: Mutex::new(ProverStats::default()),
+        }
+    }
+
+    /// [`verify_equiv`] through both memo layers. `directives` must be
+    /// the directive set `fsmd` was synthesized under — its transform
+    /// signature locates the shared group (and the group's function is
+    /// verified against the FSMD's before anything is reused).
+    pub fn verify(&self, directives: &hls_core::Directives, fsmd: &Fsmd) -> VerifyReport {
+        let group = self.group_for(&hls_core::transform_signature(directives), fsmd);
+        if let Some(hit) = group
+            .machines
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|(m, _)| m.same_machine(fsmd))
+        {
+            self.counters.lock().unwrap().memo_hits += 1;
+            return hit.1.clone();
+        }
+        let report = settle(
+            prove_equiv_in(&group.ctx, fsmd, &self.prove),
+            fsmd,
+            &self.fuzz,
+        );
+        self.counters.lock().unwrap().proofs += 1;
+        group
+            .machines
+            .lock()
+            .unwrap()
+            .push((fsmd.clone(), report.clone()));
+        report
+    }
+
+    /// The group whose context executed exactly `fsmd.function()`,
+    /// building it on first sight. Signature collisions (same signature,
+    /// different function) get their own group.
+    fn group_for(&self, signature: &str, fsmd: &Fsmd) -> Arc<ProofGroup> {
+        let mut groups = self.groups.lock().unwrap();
+        let bucket = groups.entry(signature.to_string()).or_default();
+        if let Some(g) = bucket.iter().find(|g| g.ctx.function() == fsmd.function()) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(ProofGroup {
+            ctx: IrContext::for_function(fsmd.function()),
+            machines: Mutex::new(Vec::new()),
+        });
+        self.counters.lock().unwrap().contexts += 1;
+        bucket.push(Arc::clone(&g));
+        g
+    }
+
+    /// Cache effectiveness so far.
+    pub fn stats(&self) -> ProverStats {
+        *self.counters.lock().unwrap()
+    }
 }
 
 /// An equivalence gate for the synthesis pass manager.
@@ -170,15 +306,39 @@ impl PassHook for EquivGate {
 }
 
 /// Design-space exploration gated on equivalence: explores like
-/// `hls_core::explore`, then re-synthesizes and verifies the points
-/// selected by [`ExploreConfig::verify`], recording any failure in
+/// `hls_core::explore` and verifies the points selected by
+/// [`ExploreConfig::verify`] *inside* the explorer's worker pool, reusing
+/// each point's already-built synthesis result (no re-synthesis) and a
+/// shared [`ExploreProver`] (IR-context sharing + structural verdict
+/// memoization across the sweep). Any failure lands in
 /// `ExploreResult::verify_failures`.
 pub fn explore_verified(
     func: &Function,
     config: &ExploreConfig,
     lib: &TechLibrary,
 ) -> ExploreResult {
-    explore_with_check(func, config, lib, &|f, d, l| {
+    let prover = ExploreProver::new();
+    explore_with_check(func, config, lib, &|_, d, _, result| {
+        let fsmd = Fsmd::from_synthesis(result);
+        let report = prover.verify(d, &fsmd);
+        if report.passed() {
+            Ok(())
+        } else {
+            Err(report.describe())
+        }
+    })
+}
+
+/// The pre-fusion reference flow of [`explore_verified`]: explore
+/// serially, then re-synthesize and verify each selected point after the
+/// frontier is known. Kept so benchmarks can measure the fused flow
+/// against the historical serial-post-pass behavior.
+pub fn explore_verified_serial(
+    func: &Function,
+    config: &ExploreConfig,
+    lib: &TechLibrary,
+) -> ExploreResult {
+    explore_with_check_serial(func, config, lib, &|f, d, l| {
         let r = synthesize(f, d, l).map_err(|e| format!("re-synthesis failed: {e}"))?;
         let fsmd = Fsmd::from_synthesis(&r);
         let report = verify_equiv(&fsmd);

@@ -253,7 +253,7 @@ pub fn bool_format() -> Format {
 }
 
 /// A hash-consed arena of symbolic nodes with normalizing construction.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct SymTable {
     nodes: Vec<NodeData>,
     dedup: HashMap<Op, SymId>,

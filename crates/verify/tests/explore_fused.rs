@@ -1,0 +1,134 @@
+//! Fused synth+verify exploration against the serial reference on the
+//! paper's decoder: the budgeted, fused, worker-pool flow must return the
+//! exact Pareto frontier and per-point metrics of the historical
+//! explore-then-reverify flow across a sweep covering all four Table-1
+//! directive sets — and the sweep-scoped prover's memo layers must be
+//! both effective (clock twins share proofs) and sound (replayed
+//! verdicts match fresh ones).
+
+use hls_core::{synthesize, ExploreConfig, MergePolicy, VerifyLevel};
+use hls_verify::{explore_verified, explore_verified_serial, verify_equiv, ExploreProver};
+use qam_decoder::{build_qam_decoder_ir, table1_architectures, table1_library, DecoderParams};
+use rtl::Fsmd;
+
+/// The Table-1 knob space (uniform + per-loop unrolls 1/2/4, both merge
+/// policies) across a clock pair chosen so slow-clock twins exist.
+fn sweep() -> ExploreConfig {
+    ExploreConfig {
+        clock_period_ns: 10.0,
+        clock_periods_ns: vec![10.0, 20.0, 40.0],
+        unroll_factors: vec![1, 2, 4],
+        merge_policies: vec![MergePolicy::Off, MergePolicy::AllowHazards],
+        per_loop_refinement: true,
+        verify: VerifyLevel::All,
+        budget: None,
+    }
+}
+
+#[test]
+fn fused_budgeted_sweep_matches_the_serial_reference() {
+    let ir = build_qam_decoder_ir(&DecoderParams::default());
+    let lib = table1_library();
+    let config = sweep();
+
+    let reference = explore_verified_serial(&ir.func, &config, &lib);
+    let fused = explore_verified(&ir.func, &config, &lib);
+    let budgeted = explore_verified(&ir.func, &config.clone().budgeted(), &lib);
+
+    assert!(reference.verify_failures.is_empty(), "reference must prove");
+    for (name, r) in [("fused", &fused), ("budgeted", &budgeted)] {
+        assert!(r.verify_failures.is_empty(), "{name} flow must prove");
+        let key = |r: &hls_core::ExploreResult| -> Vec<(u64, u64)> {
+            r.pareto()
+                .iter()
+                .map(|p| (p.latency_cycles, p.area.to_bits()))
+                .collect()
+        };
+        assert_eq!(key(&reference), key(r), "{name} frontier differs");
+    }
+    // Fused evaluates the identical point list with identical metrics.
+    assert_eq!(reference.points.len(), fused.points.len());
+    for (a, b) in reference.points.iter().zip(&fused.points) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.latency_cycles, b.latency_cycles);
+        assert_eq!(a.area.to_bits(), b.area.to_bits());
+    }
+    // Budgeted may prune dominated interior points but must account for
+    // every reference point and agree on the ones it evaluated.
+    assert_eq!(
+        reference.points.len(),
+        budgeted.points.len() + budgeted.pruned.len()
+    );
+    for p in &budgeted.points {
+        let r = reference
+            .points
+            .iter()
+            .find(|q| q.label == p.label)
+            .expect("budgeted point exists in the reference");
+        assert_eq!(r.latency_cycles, p.latency_cycles);
+        assert_eq!(r.area.to_bits(), p.area.to_bits());
+    }
+}
+
+#[test]
+fn table1_architectures_verify_through_the_prover() {
+    let ir = build_qam_decoder_ir(&DecoderParams::default());
+    let lib = table1_library();
+    let fused = explore_verified(&ir.func, &sweep(), &lib);
+    let prover = ExploreProver::new();
+    for arch in table1_architectures() {
+        let r = synthesize(&ir.func, &arch.directives, &lib).expect("Table-1 synthesizes");
+        // Every Table-1 design point proves through the sweep-scoped
+        // prover with the same verdict the standalone pipeline reaches.
+        let fsmd = Fsmd::from_synthesis(&r);
+        let memoized = prover.verify(&arch.directives, &fsmd);
+        assert!(memoized.passed(), "{} must prove", arch.name);
+        assert_eq!(memoized.describe(), verify_equiv(&fsmd).describe());
+        // The uniform directive sets are sweep candidates and must land
+        // in the fused sweep with their exact synthesized metrics. The
+        // asymmetric multi-loop sets (merged-u2, merged-u4) are the
+        // paper's designer-guided refinements outside the sweep family.
+        if ["merged", "none"].contains(&arch.name) {
+            assert!(
+                fused.points.iter().any(|p| {
+                    p.latency_cycles == r.metrics.latency_cycles
+                        && p.area.to_bits() == r.metrics.area.to_bits()
+                }),
+                "sweep misses Table-1 architecture {} ({} cycles)",
+                arch.name,
+                r.metrics.latency_cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn prover_replays_clock_twin_verdicts_exactly() {
+    let ir = build_qam_decoder_ir(&DecoderParams::default());
+    let lib = table1_library();
+    // 20 ns and 40 ns chain identically for the merged decoder: same
+    // schedule, same machine, different clock annotation.
+    let d20 = hls_core::Directives::new(20.0);
+    let d40 = hls_core::Directives::new(40.0);
+    let f20 = Fsmd::from_synthesis(&synthesize(&ir.func, &d20, &lib).expect("ok"));
+    let f40 = Fsmd::from_synthesis(&synthesize(&ir.func, &d40, &lib).expect("ok"));
+    assert!(f20.same_machine(&f40), "20/40 ns must be clock twins");
+    assert!(
+        !f20.same_machine(&Fsmd::from_synthesis(
+            &synthesize(&ir.func, &hls_core::Directives::new(5.0), &lib).expect("ok")
+        )),
+        "5 ns schedules differently and must not be a twin"
+    );
+
+    let prover = ExploreProver::new();
+    let r20 = prover.verify(&d20, &f20);
+    let r40 = prover.verify(&d40, &f40);
+    let stats = prover.stats();
+    assert_eq!(stats.contexts, 1, "twins share one IR context");
+    assert_eq!(stats.proofs, 1, "second twin replays the verdict");
+    assert_eq!(stats.memo_hits, 1);
+    // The replayed verdict is the fresh one.
+    assert!(r20.passed() && r40.passed());
+    assert_eq!(r20.describe(), r40.describe());
+    assert_eq!(r40.describe(), verify_equiv(&f40).describe());
+}
