@@ -1,0 +1,184 @@
+//! Warm-cache serving benchmark: the Table-1 sweep through `hls-serve`.
+//!
+//! Runs the full Table-1 architecture sweep (with equivalence checking)
+//! through the batch service twice against a fresh artifact store: once
+//! cold (every request synthesizes, verifies and populates the store)
+//! and `REPEATS` times warm (every request must be served from disk).
+//! The binary *enforces* the serving contract and exits nonzero if it
+//! does not hold:
+//!
+//! - the warm pass serves every request as a cache hit with zero
+//!   pipeline invocations,
+//! - warm artifacts are byte-identical to cold ones (Verilog), with
+//!   equal metrics and verdicts,
+//! - the warm pass is at least `REQUIRED_SPEEDUP`x faster than cold.
+//!
+//! Results land in `BENCH_serve.json` at the repo root (schema
+//! documented in DESIGN.md under "Serving & artifact store").
+
+use std::time::Instant;
+
+use hls_serve::{
+    serve_batch, ArtifactStore, BatchReport, ServiceConfig, StoreConfig, SynthesisRequest,
+};
+use qam_decoder::{table1_architectures, table1_library, QAM_DECODER_SOURCE};
+
+const REPEATS: usize = 5;
+const REQUIRED_SPEEDUP: f64 = 5.0;
+
+fn main() {
+    // The Table-1 architecture sweep crossed with a small target-clock
+    // sweep — the batch a designer reruns after every directive tweak.
+    let clocks = [10.0, 7.5, 15.0];
+    let requests: Vec<SynthesisRequest> = table1_architectures()
+        .into_iter()
+        .flat_map(|arch| {
+            clocks.iter().map(move |&clk| {
+                let mut directives = arch.directives.clone();
+                directives.clock_period_ns = clk;
+                SynthesisRequest {
+                    design: format!("{}@{clk}ns", arch.name),
+                    source: QAM_DECODER_SOURCE.to_string(),
+                    directives,
+                    library: table1_library(),
+                    verify: true,
+                }
+            })
+        })
+        .collect();
+    let cfg = ServiceConfig::default();
+
+    // Cold: best of REPEATS, each against a fresh store. The last
+    // populated store feeds the warm passes.
+    let mut cold: Option<(f64, BatchReport)> = None;
+    let mut store = None;
+    for r in 0..REPEATS {
+        let root = std::env::temp_dir().join(format!("hls-serve-bench-{}-{r}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let s = ArtifactStore::open(&root, StoreConfig::default()).expect("store opens");
+        let t0 = Instant::now();
+        let report = serve_batch(&requests, &s, &cfg);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if cold.as_ref().is_none_or(|(b, _)| ms < *b) {
+            cold = Some((ms, report));
+        }
+        if r + 1 < REPEATS {
+            let _ = std::fs::remove_dir_all(&root);
+        } else {
+            store = Some((s, root));
+        }
+    }
+    let (cold_ms, cold) = cold.expect("at least one cold repeat");
+    let (store, root) = store.expect("last cold repeat keeps its store");
+
+    let mut warm: Option<(f64, BatchReport)> = None;
+    for _ in 0..REPEATS {
+        let t0 = Instant::now();
+        let r = serve_batch(&requests, &store, &cfg);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if warm.as_ref().is_none_or(|(b, _)| ms < *b) {
+            warm = Some((ms, r));
+        }
+    }
+    let (warm_ms, warm) = warm.expect("at least one warm repeat");
+
+    let mut failed = false;
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            eprintln!("FAIL: {what}");
+            failed = true;
+        }
+    };
+
+    let n = requests.len() as u64;
+    check(
+        cold.counters.misses == n,
+        "cold pass must miss every request",
+    );
+    check(
+        cold.counters.synthesized == n,
+        "cold pass must synthesize every request",
+    );
+    check(warm.counters.hits == n, "warm pass must hit every request");
+    check(
+        warm.counters.synthesized == 0,
+        "warm pass must never invoke the pipeline",
+    );
+    for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
+        let (Some(ca), Some(wa)) = (&c.artifact, &w.artifact) else {
+            check(false, &format!("{}: missing artifact", c.design));
+            continue;
+        };
+        check(
+            w.cache_hit,
+            &format!("{}: warm outcome not a cache hit", w.design),
+        );
+        check(
+            ca.verilog == wa.verilog,
+            &format!("{}: warm Verilog is not byte-identical", w.design),
+        );
+        check(
+            ca.metrics == wa.metrics,
+            &format!("{}: warm metrics differ", w.design),
+        );
+        check(
+            ca.verdict == wa.verdict,
+            &format!("{}: warm verdict differs", w.design),
+        );
+        check(
+            ca.verdict.as_ref().is_some_and(|v| v.passed),
+            &format!("{}: equivalence check failed", w.design),
+        );
+    }
+
+    let speedup = cold_ms / warm_ms;
+    check(
+        speedup >= REQUIRED_SPEEDUP,
+        &format!("warm speedup {speedup:.2}x below the required {REQUIRED_SPEEDUP:.1}x"),
+    );
+    let hit_rate = warm.counters.hits as f64 / n as f64;
+
+    println!(
+        "table1 sweep through hls-serve: {} architectures, verify on",
+        requests.len()
+    );
+    println!(
+        "  cold: {cold_ms:8.1} ms  ({} synthesized)",
+        cold.counters.synthesized
+    );
+    println!(
+        "  warm: {warm_ms:8.1} ms  ({} hits, best of {REPEATS})",
+        warm.counters.hits
+    );
+    println!("  speedup {speedup:.1}x, hit rate {:.0}%", hit_rate * 100.0);
+
+    let outcomes_json: Vec<String> = warm
+        .outcomes
+        .iter()
+        .map(|o| {
+            format!(
+                "{{\"design\":\"{}\",\"digest\":\"{}\",\"cache_hit\":{},\"latency_cycles\":{},\"area\":{:.1}}}",
+                o.design,
+                o.digest,
+                o.cache_hit,
+                o.artifact.as_ref().map_or(0, |a| a.metrics.latency_cycles),
+                o.artifact.as_ref().map_or(0.0, |a| a.metrics.area),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"repeats\":{REPEATS},\"required_speedup\":{REQUIRED_SPEEDUP:.1},\
+         \"cold_ms\":{cold_ms:.3},\"warm_ms\":{warm_ms:.3},\"speedup\":{speedup:.3},\
+         \"hit_rate\":{hit_rate:.3},\"bit_identical\":{},\"architectures\":[{}]}}\n",
+        !failed,
+        outcomes_json.join(","),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("writes BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+
+    let _ = std::fs::remove_dir_all(&root);
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -8,6 +8,8 @@
 
 use std::collections::BTreeMap;
 
+use hls_ir::Json;
+
 /// How a loop is unrolled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Unroll {
@@ -205,6 +207,164 @@ impl Directives {
     /// The FU limit for a class, if any.
     pub fn fu_limit(&self, class: crate::tech::OpClass) -> Option<u32> {
         self.fu_limits.get(&class.to_string()).copied()
+    }
+
+    /// Serializes the directive set to the JSON request schema used by
+    /// `hls-serve` (BTreeMap iteration keeps key order deterministic).
+    pub fn to_json(&self) -> Json {
+        let loops = self
+            .loops
+            .iter()
+            .map(|(label, d)| {
+                let unroll = match d.unroll {
+                    Unroll::None => Json::str("none"),
+                    Unroll::Full => Json::str("full"),
+                    Unroll::Factor(f) => Json::count(f as u64),
+                };
+                let ii = match d.pipeline_ii {
+                    Some(ii) => Json::count(ii as u64),
+                    None => Json::Null,
+                };
+                (
+                    label.clone(),
+                    Json::obj(vec![
+                        ("unroll", unroll),
+                        ("pipeline_ii", ii),
+                        ("no_merge", Json::Bool(d.no_merge)),
+                    ]),
+                )
+            })
+            .collect();
+        let arrays = self
+            .arrays
+            .iter()
+            .map(|(var, m)| {
+                let v = match m {
+                    ArrayMapping::Registers => Json::str("registers"),
+                    ArrayMapping::Memory {
+                        read_ports,
+                        write_ports,
+                    } => Json::obj(vec![
+                        ("read_ports", Json::count(*read_ports as u64)),
+                        ("write_ports", Json::count(*write_ports as u64)),
+                    ]),
+                };
+                (var.clone(), v)
+            })
+            .collect();
+        let interfaces = self
+            .interfaces
+            .iter()
+            .map(|(param, k)| {
+                let v = match k {
+                    InterfaceKind::Wire => "wire",
+                    InterfaceKind::RegisterHandshake => "register_handshake",
+                    InterfaceKind::Memory => "memory",
+                    InterfaceKind::Stream => "stream",
+                };
+                (param.clone(), Json::str(v))
+            })
+            .collect();
+        let fu_limits = self
+            .fu_limits
+            .iter()
+            .map(|(class, max)| (class.clone(), Json::count(*max as u64)))
+            .collect();
+        let policy = match self.merge_policy {
+            MergePolicy::AllowHazards => "allow_hazards",
+            MergePolicy::ExactOnly => "exact_only",
+            MergePolicy::Off => "off",
+        };
+        Json::obj(vec![
+            ("clock_period_ns", Json::Num(self.clock_period_ns)),
+            ("merge_policy", Json::str(policy)),
+            ("loops", Json::Obj(loops)),
+            ("arrays", Json::Obj(arrays)),
+            ("interfaces", Json::Obj(interfaces)),
+            ("fu_limits", Json::Obj(fu_limits)),
+        ])
+    }
+
+    /// Deserializes a directive set from the JSON request schema. Unknown
+    /// keys inside known maps are rejected so malformed requests fail loudly.
+    pub fn from_json(v: &Json) -> Result<Directives, String> {
+        let clock = v
+            .get("clock_period_ns")
+            .and_then(Json::as_f64)
+            .ok_or("directives: missing numeric clock_period_ns")?;
+        let mut d = Directives::new(clock);
+        d.merge_policy = match v.get("merge_policy").and_then(Json::as_str) {
+            None | Some("allow_hazards") => MergePolicy::AllowHazards,
+            Some("exact_only") => MergePolicy::ExactOnly,
+            Some("off") => MergePolicy::Off,
+            Some(other) => return Err(format!("directives: unknown merge_policy {other:?}")),
+        };
+        for (label, ld) in v.get("loops").and_then(Json::as_obj).unwrap_or(&[]) {
+            let unroll = match ld.get("unroll") {
+                None => Unroll::None,
+                Some(u) => match (u.as_str(), u.as_u64()) {
+                    (Some("none"), _) => Unroll::None,
+                    (Some("full"), _) => Unroll::Full,
+                    (_, Some(f)) => Unroll::Factor(f as u32),
+                    _ => return Err(format!("directives: bad unroll for loop {label:?}")),
+                },
+            };
+            let pipeline_ii = match ld.get("pipeline_ii") {
+                None | Some(Json::Null) => None,
+                Some(ii) => Some(
+                    ii.as_u64()
+                        .ok_or_else(|| format!("directives: bad pipeline_ii for loop {label:?}"))?
+                        as u32,
+                ),
+            };
+            let no_merge = ld.get("no_merge").and_then(Json::as_bool).unwrap_or(false);
+            d.loops.insert(
+                label.clone(),
+                LoopDirective {
+                    unroll,
+                    pipeline_ii,
+                    no_merge,
+                },
+            );
+        }
+        for (var, m) in v.get("arrays").and_then(Json::as_obj).unwrap_or(&[]) {
+            let mapping =
+                match m {
+                    Json::Str(s) if s == "registers" => ArrayMapping::Registers,
+                    Json::Obj(_) => {
+                        ArrayMapping::Memory {
+                            read_ports: m.get("read_ports").and_then(Json::as_u64).ok_or_else(
+                                || format!("directives: bad mapping for array {var:?}"),
+                            )? as u32,
+                            write_ports: m.get("write_ports").and_then(Json::as_u64).ok_or_else(
+                                || format!("directives: bad mapping for array {var:?}"),
+                            )? as u32,
+                        }
+                    }
+                    _ => return Err(format!("directives: bad mapping for array {var:?}")),
+                };
+            d.arrays.insert(var.clone(), mapping);
+        }
+        for (param, k) in v.get("interfaces").and_then(Json::as_obj).unwrap_or(&[]) {
+            let kind = match k.as_str() {
+                Some("wire") => InterfaceKind::Wire,
+                Some("register_handshake") => InterfaceKind::RegisterHandshake,
+                Some("memory") => InterfaceKind::Memory,
+                Some("stream") => InterfaceKind::Stream,
+                _ => return Err(format!("directives: bad interface for {param:?}")),
+            };
+            d.interfaces.insert(param.clone(), kind);
+        }
+        for (class, max) in v.get("fu_limits").and_then(Json::as_obj).unwrap_or(&[]) {
+            if crate::tech::OpClass::parse(class).is_none() {
+                return Err(format!("directives: unknown fu class {class:?}"));
+            }
+            let max = max
+                .as_u64()
+                .ok_or_else(|| format!("directives: bad fu limit for {class:?}"))?;
+            d.fu_limits.insert(class.clone(), max as u32);
+        }
+        Ok(d)
     }
 }
 

@@ -64,6 +64,12 @@ impl OpClass {
             OpClass::Add | OpClass::Mul | OpClass::Cmp | OpClass::Neg | OpClass::Cast
         )
     }
+
+    /// Parses a class back from its display name (the inverse of
+    /// [`fmt::Display`]), for deserialized reports and directives.
+    pub fn parse(name: &str) -> Option<OpClass> {
+        OpClass::ALL.into_iter().find(|c| c.to_string() == name)
+    }
 }
 
 impl fmt::Display for OpClass {
@@ -163,6 +169,37 @@ impl TechLibrary {
     /// The library's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Looks a built-in library up by name (for serialized requests).
+    pub fn by_name(name: &str) -> Option<TechLibrary> {
+        match name {
+            "asic_100mhz" => Some(TechLibrary::asic_100mhz()),
+            "fpga_slow" => Some(TechLibrary::fpga_slow()),
+            _ => None,
+        }
+    }
+
+    /// A stable fingerprint of every calibration constant in the model.
+    ///
+    /// Two libraries with the same fingerprint schedule and allocate
+    /// identically, so the fingerprint participates in content-addressed
+    /// artifact digests (`hls-serve`). Floats are rendered via their IEEE-754
+    /// bit patterns so the string is bit-exact across processes.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{};clk={:016x};base={:016x};addlog={:016x};mullin={:016x};reg={:016x};add={:016x};mul={:016x};mux={:016x};state={:016x}",
+            self.name,
+            self.nominal_clock_ns.to_bits(),
+            self.delay_base.to_bits(),
+            self.add_log_factor.to_bits(),
+            self.mul_linear_factor.to_bits(),
+            self.reg_bit_area.to_bits(),
+            self.add_bit_area.to_bits(),
+            self.mul_bit_area.to_bits(),
+            self.mux_bit_area.to_bits(),
+            self.state_area.to_bits(),
+        )
     }
 
     /// The clock period the library was characterized for.

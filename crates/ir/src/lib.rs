@@ -48,6 +48,7 @@ pub mod diag;
 mod expr;
 mod func;
 mod interp;
+pub mod json;
 mod parse;
 mod stmt;
 mod ty;
@@ -58,6 +59,7 @@ pub use diag::{Anchor, Diagnostic, Diagnostics, Severity};
 pub use expr::{BinOp, CmpOp, Expr, UnOp};
 pub use func::{Direction, Function, Var, VarId, VarKind};
 pub use interp::{EvalError, Interpreter, Slot, Value};
+pub use json::{stable_digest, Json, JsonError};
 pub use parse::{parse_function, ParseError};
 pub use stmt::{collect_loops, Loop, Stmt, MAX_TRIP_COUNT};
 pub use ty::Ty;

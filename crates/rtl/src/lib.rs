@@ -49,4 +49,4 @@ pub use passes::{compile, compile_traced, RtlArtifacts};
 pub use sim::{RtlSimulator, SimError};
 pub use testbench::{capture_vectors, emit_testbench, TestVector};
 pub use vcd::{VcdRecorder, WaveSource};
-pub use verilog::emit_verilog;
+pub use verilog::{emit_verilog, emit_verilog_with_diagnostics};

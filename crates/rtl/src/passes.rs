@@ -12,7 +12,7 @@ use hls_ir::{Diagnostics, Function};
 
 use crate::compile::SimProgram;
 use crate::fsmd::Fsmd;
-use crate::verilog::emit_verilog;
+use crate::verilog::emit_verilog_with_diagnostics;
 
 /// Artifact key of the FSMD built by [`FsmdPass`].
 pub const FSMD: &str = "fsmd";
@@ -87,12 +87,13 @@ impl Pass for VerilogPass {
     fn run(
         &self,
         state: &mut PipelineState,
-        _diags: &mut Diagnostics,
+        diags: &mut Diagnostics,
     ) -> Result<(), SynthesisError> {
         let fsmd: &Fsmd = state
             .artifact(FSMD)
             .ok_or_else(|| missing_artifact("emit-verilog", "the FSMD artifact"))?;
-        state.put_artifact(VERILOG, emit_verilog(fsmd));
+        let verilog = emit_verilog_with_diagnostics(fsmd, diags);
+        state.put_artifact(VERILOG, verilog);
         Ok(())
     }
 }

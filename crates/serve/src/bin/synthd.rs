@@ -1,0 +1,208 @@
+//! `synthd` — the batch-synthesis service CLI.
+//!
+//! Modes:
+//!
+//! - **One-shot** (default): read one JSON batch from stdin, serve it,
+//!   print the JSON report to stdout.
+//! - **Daemon** (`--daemon`): read NDJSON batches from stdin, answer one
+//!   JSON report line per input line, until EOF.
+//! - **Socket** (`--socket PATH`, Unix only): accept connections on a
+//!   Unix socket; each connection sends one batch line and receives one
+//!   report line.
+//!
+//! `--example` prints a ready-to-run sample batch; `--stats` prints the
+//! store's census and exits. The store root defaults to `.hls-serve`
+//! (override with `--store DIR`); `--max-bytes`, `--workers`,
+//! `--max-cost-ns` tune eviction, the worker pool and admission.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hls_serve::{parse_batch, serve_batch, ArtifactStore, ServiceConfig, StoreConfig};
+
+const EXAMPLE: &str = r#"{"requests": [
+  {"design": "sum8",
+   "source": "void sum(sc_fixed<10,2> x[8], sc_fixed<16,8> *out) { sc_fixed<16,8> acc = 0; sum_loop: for (int k = 0; k < 8; k++) { acc += x[k]; } *out = acc; }",
+   "directives": {"clock_period_ns": 10.0, "loops": {"sum_loop": {"unroll": 2}}},
+   "library": "asic_100mhz",
+   "verify": true},
+  {"design": "twice",
+   "source": "void twice(sc_fixed<8,4> x, sc_fixed<10,6> *y) { *y = x + x; }",
+   "library": "asic_100mhz",
+   "verify": false}
+]}"#;
+
+struct Options {
+    store_root: PathBuf,
+    store: StoreConfig,
+    service: ServiceConfig,
+    daemon: bool,
+    socket: Option<PathBuf>,
+    example: bool,
+    stats: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: synthd [--store DIR] [--max-bytes N] [--workers N] [--max-cost-ns N]\n\
+     \x20             [--daemon | --socket PATH | --example | --stats]\n\
+     Reads a JSON request batch on stdin and writes a JSON report to stdout."
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        store_root: PathBuf::from(".hls-serve"),
+        store: StoreConfig::default(),
+        service: ServiceConfig::default(),
+        daemon: false,
+        socket: None,
+        example: false,
+        stats: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--store" => opts.store_root = PathBuf::from(value("--store")?),
+            "--max-bytes" => {
+                opts.store.max_bytes = value("--max-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--max-bytes: {e}"))?
+            }
+            "--workers" => {
+                opts.service.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--max-cost-ns" => {
+                opts.service.max_cost_ns = Some(
+                    value("--max-cost-ns")?
+                        .parse()
+                        .map_err(|e| format!("--max-cost-ns: {e}"))?,
+                )
+            }
+            "--daemon" => opts.daemon = true,
+            "--socket" => opts.socket = Some(PathBuf::from(value("--socket")?)),
+            "--example" => opts.example = true,
+            "--stats" => opts.stats = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn serve_text(text: &str, store: &ArtifactStore, cfg: &ServiceConfig) -> String {
+    match parse_batch(text) {
+        Ok(requests) => serve_batch(&requests, store, cfg).to_json(store).write(),
+        Err(e) => format!("{{\"error\":{}}}", hls_ir::Json::str(e).write()),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.example {
+        println!("{EXAMPLE}");
+        return ExitCode::SUCCESS;
+    }
+    let store = match ArtifactStore::open(&opts.store_root, opts.store) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "synthd: cannot open store at {}: {e}",
+                opts.store_root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.stats {
+        println!("{}", store.stats().to_json().write());
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &opts.socket {
+        return serve_socket(path, &store, &opts.service);
+    }
+
+    if opts.daemon {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("synthd: stdin: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            println!("{}", serve_text(&line, &store, &opts.service));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut text = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        eprintln!("synthd: stdin: {e}");
+        return ExitCode::FAILURE;
+    }
+    let report = serve_text(&text, &store, &opts.service);
+    println!("{report}");
+    if report.starts_with("{\"error\"") {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(unix)]
+fn serve_socket(path: &std::path::Path, store: &ArtifactStore, cfg: &ServiceConfig) -> ExitCode {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path);
+    let listener = match UnixListener::bind(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("synthd: cannot bind {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("synthd: listening on {}", path.display());
+    for conn in listener.incoming() {
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("synthd: accept: {e}");
+                continue;
+            }
+        };
+        let mut reader = BufReader::new(&stream);
+        let mut line = String::new();
+        if reader.read_line(&mut line).is_err() || line.trim().is_empty() {
+            continue;
+        }
+        let reply = serve_text(&line, store, cfg);
+        let mut writer = &stream;
+        let _ = writer.write_all(reply.as_bytes());
+        let _ = writer.write_all(b"\n");
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(not(unix))]
+fn serve_socket(path: &std::path::Path, _store: &ArtifactStore, _cfg: &ServiceConfig) -> ExitCode {
+    eprintln!(
+        "synthd: --socket {} is only supported on Unix",
+        path.display()
+    );
+    ExitCode::FAILURE
+}

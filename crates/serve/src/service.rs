@@ -1,0 +1,535 @@
+//! The concurrent batch-synthesis engine.
+//!
+//! [`serve_batch`] takes a batch of parsed requests and drives them
+//! through lookup → synthesis → verification → insert on a scoped-thread
+//! worker pool:
+//!
+//! - **In-flight dedup**: requests with the same content address are
+//!   collapsed to one job; duplicates share the executor's result and
+//!   are counted in [`CountersSnapshot::deduped`].
+//! - **Cost-ordered scheduling**: each unique job gets admissible
+//!   lower bounds ([`lower_bound`]), and the queue runs cheapest-first
+//!   by bounded operation count — the same size signal PR 4's explorer
+//!   feeds its [`ExploreBudget`] cost model. Completed syntheses train
+//!   an observed ns-per-bounded-op model.
+//! - **Admission control**: with [`ServiceConfig::max_cost_ns`] set, a
+//!   job whose modeled cost reaches the ceiling is rejected up front —
+//!   unless it is cheaper than the budget's `min_prune_cost_ns`, which
+//!   (as in the explorer) always runs, keeping the model fed.
+//! - **Observability**: hit/miss/dedup/error counters, the queue's peak
+//!   depth, and power-of-two latency histograms per stage.
+//!
+//! Cache hits bypass the pipeline entirely and return the stored
+//! artifact byte-identically.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hls_core::{lower_bound, ExploreBudget, PipelineConfig};
+use hls_ir::{parse_function, Function, Json};
+use hls_verify::verify_equiv;
+use rtl::compile_traced;
+
+use crate::digest::RequestKey;
+use crate::request::SynthesisRequest;
+use crate::store::{ArtifactStore, CachedArtifact, Verdict};
+
+/// Service tuning.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads for the batch pool.
+    pub workers: usize,
+    /// The explorer's cost-model knobs, reused for admission: jobs
+    /// modeled cheaper than `budget.min_prune_cost_ns` are always
+    /// admitted.
+    pub budget: ExploreBudget,
+    /// Reject jobs whose modeled back-end cost reaches this many
+    /// nanoseconds (`None` admits everything).
+    pub max_cost_ns: Option<u64>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: thread::available_parallelism()
+                .map(|n| n.get().min(4))
+                .unwrap_or(1),
+            budget: ExploreBudget::default(),
+            max_cost_ns: None,
+        }
+    }
+}
+
+const HIST_BUCKETS: usize = 24;
+
+/// A lock-free power-of-two latency histogram (microsecond buckets:
+/// bucket 0 holds sub-microsecond samples, bucket *i* holds
+/// `[2^(i-1), 2^i)` µs, the last bucket everything beyond).
+#[derive(Debug, Default)]
+struct LatencyHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    fn record(&self, d: Duration) {
+        let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let idx = if us == 0 {
+            0
+        } else {
+            ((64 - us.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            total_us: self.total_us.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A latency histogram frozen for reporting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, in microseconds.
+    pub total_us: u64,
+    /// Power-of-two bucket counts (trailing zero buckets trimmed).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Serializes the histogram.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::count(self.count)),
+            ("total_us", Json::count(self.total_us)),
+            (
+                "buckets",
+                Json::Arr(self.buckets.iter().map(|&b| Json::count(b)).collect()),
+            ),
+        ])
+    }
+}
+
+/// Per-batch observability counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    /// Jobs served from the store.
+    pub hits: u64,
+    /// Jobs that had to synthesize.
+    pub misses: u64,
+    /// Jobs that ran the full pipeline successfully.
+    pub synthesized: u64,
+    /// Requests collapsed onto an identical in-flight request.
+    pub deduped: u64,
+    /// Jobs rejected by admission control.
+    pub rejected: u64,
+    /// Jobs that failed (parse, synthesis or store errors).
+    pub errors: u64,
+    /// Unique jobs enqueued (the queue's peak depth).
+    pub queue_peak: u64,
+    /// Store-lookup latency per job.
+    pub lookup_us: HistogramSnapshot,
+    /// Synthesis-pipeline latency per miss.
+    pub synth_us: HistogramSnapshot,
+    /// Equivalence-check latency per verified miss.
+    pub verify_us: HistogramSnapshot,
+    /// Store-insert latency per miss.
+    pub insert_us: HistogramSnapshot,
+}
+
+impl CountersSnapshot {
+    /// Serializes the counters.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("hits", Json::count(self.hits)),
+            ("misses", Json::count(self.misses)),
+            ("synthesized", Json::count(self.synthesized)),
+            ("deduped", Json::count(self.deduped)),
+            ("rejected", Json::count(self.rejected)),
+            ("errors", Json::count(self.errors)),
+            ("queue_peak", Json::count(self.queue_peak)),
+            ("lookup_us", self.lookup_us.to_json()),
+            ("synth_us", self.synth_us.to_json()),
+            ("verify_us", self.verify_us.to_json()),
+            ("insert_us", self.insert_us.to_json()),
+        ])
+    }
+}
+
+/// The outcome of one request in a batch, in request order.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// The request's label.
+    pub design: String,
+    /// The request's content address (empty if the source failed to parse).
+    pub digest: String,
+    /// Whether the artifact came from the store.
+    pub cache_hit: bool,
+    /// Whether this request shared an identical in-flight request's work.
+    pub deduped: bool,
+    /// Whether admission control rejected the job.
+    pub rejected: bool,
+    /// The job's modeled back-end cost when a model existed.
+    pub modeled_cost_ns: Option<u64>,
+    /// The served artifact (absent on error or rejection).
+    pub artifact: Option<CachedArtifact>,
+    /// What went wrong, when something did.
+    pub error: Option<String>,
+}
+
+impl RequestOutcome {
+    fn failed(design: &str, digest: &str, error: String) -> RequestOutcome {
+        RequestOutcome {
+            design: design.to_string(),
+            digest: digest.to_string(),
+            cache_hit: false,
+            deduped: false,
+            rejected: false,
+            modeled_cost_ns: None,
+            artifact: None,
+            error: Some(error),
+        }
+    }
+
+    /// Serializes the outcome as a response envelope.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("design", Json::str(self.design.clone())),
+            ("digest", Json::str(self.digest.clone())),
+            ("cache_hit", Json::Bool(self.cache_hit)),
+            ("deduped", Json::Bool(self.deduped)),
+        ];
+        if self.rejected {
+            fields.push(("rejected", Json::Bool(true)));
+        }
+        if let Some(cost) = self.modeled_cost_ns {
+            fields.push(("modeled_cost_ns", Json::count(cost)));
+        }
+        if let Some(a) = &self.artifact {
+            let verdict = match &a.verdict {
+                None => Json::Null,
+                Some(v) => Json::obj(vec![
+                    ("passed", Json::Bool(v.passed)),
+                    ("detail", Json::str(v.detail.clone())),
+                ]),
+            };
+            fields.push(("verilog", Json::str(a.verilog.clone())));
+            fields.push(("metrics", a.metrics.to_json()));
+            fields.push(("verdict", verdict));
+            fields.push(("diagnostics", a.diagnostics.clone()));
+            fields.push(("trace", a.trace.clone()));
+        }
+        if let Some(e) = &self.error {
+            fields.push(("error", Json::str(e.clone())));
+        }
+        Json::obj(fields)
+    }
+}
+
+/// Everything [`serve_batch`] returns.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-request outcomes, in request order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Service counters for this batch.
+    pub counters: CountersSnapshot,
+}
+
+impl BatchReport {
+    /// Serializes the whole report (plus the store's census).
+    pub fn to_json(&self, store: &ArtifactStore) -> Json {
+        Json::obj(vec![
+            (
+                "outcomes",
+                Json::Arr(self.outcomes.iter().map(RequestOutcome::to_json).collect()),
+            ),
+            ("counters", self.counters.to_json()),
+            ("store", store.stats().to_json()),
+        ])
+    }
+}
+
+/// Observed mean synthesis cost per bounded operation — the serving-side
+/// twin of the explorer's per-pass cost model.
+#[derive(Debug, Default)]
+struct CostModel {
+    total_ns: AtomicU64,
+    total_ops: AtomicU64,
+}
+
+impl CostModel {
+    fn observe(&self, ops: usize, elapsed: Duration) {
+        self.total_ns.fetch_add(
+            u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        self.total_ops.fetch_add(ops as u64, Ordering::Relaxed);
+    }
+
+    fn modeled_ns(&self, ops: usize) -> Option<u64> {
+        let total_ops = self.total_ops.load(Ordering::Relaxed);
+        if total_ops == 0 {
+            return None;
+        }
+        let per_op = self.total_ns.load(Ordering::Relaxed) as f64 / total_ops as f64;
+        Some((per_op * ops as f64) as u64)
+    }
+}
+
+struct Job {
+    index: usize,
+    func: Function,
+    key: RequestKey,
+    ops: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    synthesized: AtomicU64,
+    rejected: AtomicU64,
+    errors: AtomicU64,
+    lookup: LatencyHistogram,
+    synth: LatencyHistogram,
+    verify: LatencyHistogram,
+    insert: LatencyHistogram,
+}
+
+/// Runs a batch of requests against `store`, returning per-request
+/// outcomes in request order.
+pub fn serve_batch(
+    requests: &[SynthesisRequest],
+    store: &ArtifactStore,
+    cfg: &ServiceConfig,
+) -> BatchReport {
+    // Parse (and canonically render) each unique source text once —
+    // sweeps reuse one design under many directive sets, and the front
+    // end is pure in the source.
+    let mut parsed: HashMap<&str, Result<(Function, String), String>> = HashMap::new();
+    let prepared: Vec<Result<(Function, RequestKey), String>> = requests
+        .iter()
+        .map(|r| {
+            let (func, text) = parsed
+                .entry(r.source.as_str())
+                .or_insert_with(|| {
+                    parse_function(&r.source)
+                        .map(|f| {
+                            let text = f.to_string();
+                            (f, text)
+                        })
+                        .map_err(|e| format!("request source does not parse: {e}"))
+                })
+                .as_ref()
+                .map_err(Clone::clone)?;
+            let key =
+                crate::digest::request_key_for_text(text, &r.directives, &r.library, r.verify);
+            Ok((func.clone(), key))
+        })
+        .collect();
+
+    // Collapse identical content addresses onto one job each.
+    let mut executor: HashMap<&str, usize> = HashMap::new();
+    let mut deduped = 0u64;
+    let mut jobs: Vec<Job> = Vec::new();
+    for (i, p) in prepared.iter().enumerate() {
+        let Ok((func, key)) = p else { continue };
+        if executor.contains_key(key.digest.as_str()) {
+            deduped += 1;
+            continue;
+        }
+        executor.insert(&key.digest, i);
+        let ops = lower_bound(func, &requests[i].directives, &requests[i].library).ops;
+        jobs.push(Job {
+            index: i,
+            func: func.clone(),
+            key: key.clone(),
+            ops,
+        });
+    }
+    let queue_peak = jobs.len() as u64;
+    // Cheapest-first: workers pop from the back.
+    jobs.sort_by(|a, b| (b.ops, &b.key.digest).cmp(&(a.ops, &a.key.digest)));
+
+    let counters = Counters::default();
+    let model = CostModel::default();
+    let queue = Mutex::new(jobs);
+    let results: Mutex<HashMap<String, RequestOutcome>> = Mutex::new(HashMap::new());
+
+    thread::scope(|s| {
+        for _ in 0..cfg.workers.max(1) {
+            s.spawn(|| loop {
+                let job = queue.lock().expect("queue lock").pop();
+                let Some(job) = job else { break };
+                let outcome = run_job(&job, requests, store, cfg, &model, &counters);
+                results
+                    .lock()
+                    .expect("results lock")
+                    .insert(job.key.digest.clone(), outcome);
+            });
+        }
+    });
+
+    let results = results.into_inner().expect("results lock");
+    let outcomes = prepared
+        .iter()
+        .enumerate()
+        .map(|(i, p)| match p {
+            Err(e) => {
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+                RequestOutcome::failed(&requests[i].design, "", e.clone())
+            }
+            Ok((_, key)) => {
+                let mut o = results
+                    .get(&key.digest)
+                    .expect("every unique digest ran")
+                    .clone();
+                o.deduped = executor.get(key.digest.as_str()) != Some(&i);
+                o
+            }
+        })
+        .collect();
+
+    BatchReport {
+        outcomes,
+        counters: CountersSnapshot {
+            hits: counters.hits.load(Ordering::Relaxed),
+            misses: counters.misses.load(Ordering::Relaxed),
+            synthesized: counters.synthesized.load(Ordering::Relaxed),
+            deduped,
+            rejected: counters.rejected.load(Ordering::Relaxed),
+            errors: counters.errors.load(Ordering::Relaxed),
+            queue_peak,
+            lookup_us: counters.lookup.snapshot(),
+            synth_us: counters.synth.snapshot(),
+            verify_us: counters.verify.snapshot(),
+            insert_us: counters.insert.snapshot(),
+        },
+    }
+}
+
+fn run_job(
+    job: &Job,
+    requests: &[SynthesisRequest],
+    store: &ArtifactStore,
+    cfg: &ServiceConfig,
+    model: &CostModel,
+    counters: &Counters,
+) -> RequestOutcome {
+    let req = &requests[job.index];
+    let design = req.label(&job.func).to_string();
+    let modeled_cost_ns = model.modeled_ns(job.ops);
+
+    // Admission: reject jobs modeled at/over the ceiling — unless they
+    // are cheaper than the budget's always-run threshold.
+    if let (Some(max), Some(cost)) = (cfg.max_cost_ns, modeled_cost_ns) {
+        if cost >= max && cost >= cfg.budget.min_prune_cost_ns {
+            counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return RequestOutcome {
+                design,
+                digest: job.key.digest.clone(),
+                cache_hit: false,
+                deduped: false,
+                rejected: true,
+                modeled_cost_ns,
+                artifact: None,
+                error: Some(format!(
+                    "admission: modeled cost {cost} ns reaches the {max} ns ceiling"
+                )),
+            };
+        }
+    }
+
+    let t = Instant::now();
+    let cached = store.lookup(&job.key);
+    counters.lookup.record(t.elapsed());
+    if let Some(artifact) = cached {
+        counters.hits.fetch_add(1, Ordering::Relaxed);
+        return RequestOutcome {
+            design,
+            digest: job.key.digest.clone(),
+            cache_hit: true,
+            deduped: false,
+            rejected: false,
+            modeled_cost_ns,
+            artifact: Some(artifact),
+            error: None,
+        };
+    }
+    counters.misses.fetch_add(1, Ordering::Relaxed);
+
+    let t = Instant::now();
+    let (result, run) = compile_traced(
+        &job.func,
+        &req.directives,
+        &req.library,
+        &PipelineConfig::default(),
+    );
+    let synth_time = t.elapsed();
+    counters.synth.record(synth_time);
+    model.observe(job.ops, synth_time);
+
+    let artifacts = match result {
+        Ok(a) => a,
+        Err(e) => {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+            return RequestOutcome::failed(&design, &job.key.digest, format!("synthesis: {e}"));
+        }
+    };
+    let verdict = if req.verify {
+        let t = Instant::now();
+        let report = verify_equiv(&artifacts.fsmd);
+        counters.verify.record(t.elapsed());
+        Some(Verdict {
+            passed: report.passed(),
+            detail: report.describe(),
+        })
+    } else {
+        None
+    };
+    let artifact = CachedArtifact {
+        design: design.clone(),
+        verilog: artifacts.verilog,
+        metrics: artifacts.synthesis.metrics,
+        trace: Json::parse(&run.trace.to_json()).unwrap_or(Json::Null),
+        verdict,
+        diagnostics: Json::parse(&run.diagnostics.to_json()).unwrap_or(Json::Arr(Vec::new())),
+    };
+    let t = Instant::now();
+    let insert = store.insert(&job.key, &artifact);
+    counters.insert.record(t.elapsed());
+    counters.synthesized.fetch_add(1, Ordering::Relaxed);
+    let error = insert
+        .err()
+        .map(|e| format!("artifact served but not cached: {e}"));
+    RequestOutcome {
+        design,
+        digest: job.key.digest.clone(),
+        cache_hit: false,
+        deduped: false,
+        rejected: false,
+        modeled_cost_ns,
+        artifact: Some(artifact),
+        error,
+    }
+}

@@ -1,0 +1,431 @@
+//! The content-addressed artifact store.
+//!
+//! On-disk layout under the store root:
+//!
+//! ```text
+//! root/
+//!   objects/<2-hex-prefix>/<digest>.json   one entry per request digest
+//!   tmp/                                   staging for atomic writes
+//!   quarantine/                            entries that failed integrity
+//!   locks/                                 advisory writer/evictor locks
+//! ```
+//!
+//! Every entry is a single JSON document carrying the canonical request
+//! preimage, the artifact body (Verilog, metrics, pass trace, verify
+//! verdict, diagnostics) and a digest of the body. Loads re-verify both
+//! digests — the filename against the preimage and the body digest
+//! against the body — and move anything inconsistent to `quarantine/`,
+//! reporting a miss so the caller simply re-synthesizes. Writes stage
+//! into `tmp/` and `rename(2)` into place, so readers never observe a
+//! torn entry and concurrent writers of the same digest are harmless
+//! (they produce identical bytes). Advisory locks in `locks/` keep
+//! concurrent writers and the evictor from duplicating work; a lock
+//! older than [`STALE_LOCK`] is presumed abandoned and stolen.
+//!
+//! Reads refresh the entry's modification time, so eviction — which
+//! removes entries in `(mtime, digest)` order until the store fits
+//! [`StoreConfig::max_bytes`] — approximates least-recently-used and is
+//! deterministic given the timestamps.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
+
+use hls_core::DesignMetrics;
+use hls_ir::{stable_digest, Json};
+
+use crate::digest::RequestKey;
+
+/// Schema tag of one store entry (bump on layout changes).
+pub const ENTRY_SCHEMA: &str = "hls-serve-artifact/v1";
+
+/// Age past which a writer/evictor lock is presumed abandoned.
+pub const STALE_LOCK: Duration = Duration::from_secs(30);
+
+/// Store tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Eviction threshold: total size of `objects/` the store trims down
+    /// to after every insert. The default is generous (256 MiB).
+    pub max_bytes: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            max_bytes: 256 * 1024 * 1024,
+        }
+    }
+}
+
+/// A verification verdict carried by a cached artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// Whether the equivalence check passed.
+    pub passed: bool,
+    /// Human-readable summary of the finding.
+    pub detail: String,
+}
+
+/// One artifact as stored and served: everything the pipeline produced
+/// for a request, minus the request itself (the digest identifies it).
+#[derive(Debug, Clone)]
+pub struct CachedArtifact {
+    /// Design (module) name.
+    pub design: String,
+    /// The emitted Verilog source, byte-exact.
+    pub verilog: String,
+    /// Headline synthesis metrics.
+    pub metrics: DesignMetrics,
+    /// The full per-pass trace, as structured JSON.
+    pub trace: Json,
+    /// Equivalence-check verdict, when the request asked for one.
+    pub verdict: Option<Verdict>,
+    /// Pipeline diagnostics (including the Verilog emitter's lints).
+    pub diagnostics: Json,
+}
+
+impl CachedArtifact {
+    fn to_json(&self) -> Json {
+        let verdict = match &self.verdict {
+            None => Json::Null,
+            Some(v) => Json::obj(vec![
+                ("passed", Json::Bool(v.passed)),
+                ("detail", Json::str(v.detail.clone())),
+            ]),
+        };
+        Json::obj(vec![
+            ("design", Json::str(self.design.clone())),
+            ("verilog", Json::str(self.verilog.clone())),
+            ("metrics", self.metrics.to_json()),
+            ("trace", self.trace.clone()),
+            ("verdict", verdict),
+            ("diagnostics", self.diagnostics.clone()),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<CachedArtifact, String> {
+        let verdict = match v.get("verdict") {
+            None | Some(Json::Null) => None,
+            Some(w) => Some(Verdict {
+                passed: w
+                    .get("passed")
+                    .and_then(Json::as_bool)
+                    .ok_or("entry: verdict missing passed")?,
+                detail: w
+                    .get("detail")
+                    .and_then(Json::as_str)
+                    .ok_or("entry: verdict missing detail")?
+                    .to_string(),
+            }),
+        };
+        Ok(CachedArtifact {
+            design: v
+                .get("design")
+                .and_then(Json::as_str)
+                .ok_or("entry: missing design")?
+                .to_string(),
+            verilog: v
+                .get("verilog")
+                .and_then(Json::as_str)
+                .ok_or("entry: missing verilog")?
+                .to_string(),
+            metrics: DesignMetrics::from_json(v.get("metrics").ok_or("entry: missing metrics")?)?,
+            trace: v.get("trace").cloned().unwrap_or(Json::Null),
+            verdict,
+            diagnostics: v
+                .get("diagnostics")
+                .cloned()
+                .unwrap_or(Json::Arr(Vec::new())),
+        })
+    }
+}
+
+/// Monotonic counters exposed by [`ArtifactStore::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Entries currently on disk.
+    pub entries: u64,
+    /// Total bytes under `objects/`.
+    pub bytes: u64,
+    /// Lookups that returned a verified entry.
+    pub hits: u64,
+    /// Lookups that found nothing servable.
+    pub misses: u64,
+    /// Entries written by this handle.
+    pub inserts: u64,
+    /// Entries removed by LRU eviction.
+    pub evictions: u64,
+    /// Entries moved to `quarantine/` after failing integrity.
+    pub quarantined: u64,
+}
+
+impl StoreStats {
+    /// Serializes the counters for service reports.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("entries", Json::count(self.entries)),
+            ("bytes", Json::count(self.bytes)),
+            ("hits", Json::count(self.hits)),
+            ("misses", Json::count(self.misses)),
+            ("inserts", Json::count(self.inserts)),
+            ("evictions", Json::count(self.evictions)),
+            ("quarantined", Json::count(self.quarantined)),
+        ])
+    }
+}
+
+/// A handle on one on-disk store. Cheap to open; safe to share across
+/// threads and processes (all mutation is atomic-rename or lock-guarded).
+#[derive(Debug)]
+pub struct ArtifactStore {
+    root: PathBuf,
+    max_bytes: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    quarantined: AtomicU64,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) the store rooted at `root`.
+    pub fn open(root: &Path, config: StoreConfig) -> io::Result<ArtifactStore> {
+        for sub in ["objects", "tmp", "quarantine", "locks"] {
+            fs::create_dir_all(root.join(sub))?;
+        }
+        Ok(ArtifactStore {
+            root: root.to_path_buf(),
+            max_bytes: config.max_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, digest: &str) -> PathBuf {
+        self.root
+            .join("objects")
+            .join(&digest[..2])
+            .join(format!("{digest}.json"))
+    }
+
+    /// Looks an entry up, verifying integrity. A hit refreshes the
+    /// entry's modification time (the LRU signal). Corrupt entries are
+    /// quarantined and reported as misses.
+    pub fn lookup(&self, key: &RequestKey) -> Option<CachedArtifact> {
+        let path = self.entry_path(&key.digest);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match parse_entry(&text, &key.digest) {
+            Some(artifact) => {
+                // LRU touch; failure to touch only ages the entry early.
+                if let Ok(f) = fs::File::options().write(true).open(&path) {
+                    let _ = f.set_modified(SystemTime::now());
+                }
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(artifact)
+            }
+            None => {
+                self.quarantine(&path, &key.digest);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn quarantine(&self, path: &Path, digest: &str) {
+        let dest = self.root.join("quarantine").join(format!("{digest}.json"));
+        if fs::rename(path, &dest).is_ok() {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // Another handle got there first (or the file vanished);
+            // either way the bad entry is out of the serving path.
+            let _ = fs::remove_file(path);
+        }
+    }
+
+    /// Inserts an artifact under `key`, atomically, then trims the store
+    /// to its size budget. Inserting an already-present digest is a
+    /// no-op (content addressing makes the bytes identical).
+    pub fn insert(&self, key: &RequestKey, artifact: &CachedArtifact) -> io::Result<()> {
+        let path = self.entry_path(&key.digest);
+        if path.exists() {
+            return Ok(());
+        }
+        let _guard = LockGuard::acquire(&self.root, &key.digest)?;
+        if path.exists() {
+            return Ok(()); // lost the race; the winner wrote our bytes
+        }
+        let body = artifact.to_json();
+        let body_text = body.write();
+        let entry = Json::obj(vec![
+            ("schema", Json::str(ENTRY_SCHEMA)),
+            ("preimage", Json::str(key.preimage.clone())),
+            (
+                "body_digest",
+                Json::str(stable_digest(body_text.as_bytes())),
+            ),
+            ("body", body),
+        ]);
+        fs::create_dir_all(path.parent().expect("entry path has a shard dir"))?;
+        let tmp = self
+            .root
+            .join("tmp")
+            .join(format!("{}.{}.tmp", key.digest, std::process::id()));
+        fs::write(&tmp, entry.write())?;
+        fs::rename(&tmp, &path)?;
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.enforce_budget()?;
+        Ok(())
+    }
+
+    /// Walks `objects/` and returns `(path, digest, mtime, size)` per
+    /// entry, sorted by `(mtime, digest)` ascending — eviction order.
+    fn scan(&self) -> Vec<(PathBuf, String, SystemTime, u64)> {
+        let mut entries = Vec::new();
+        let Ok(shards) = fs::read_dir(self.root.join("objects")) else {
+            return entries;
+        };
+        for shard in shards.flatten() {
+            let Ok(files) = fs::read_dir(shard.path()) else {
+                continue;
+            };
+            for file in files.flatten() {
+                let path = file.path();
+                let Some(stem) = path.file_stem().and_then(|s| s.to_str()).map(String::from) else {
+                    continue;
+                };
+                let Ok(meta) = file.metadata() else {
+                    continue;
+                };
+                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                entries.push((path, stem, mtime, meta.len()));
+            }
+        }
+        entries.sort_by(|a, b| (a.2, &a.1).cmp(&(b.2, &b.1)));
+        entries
+    }
+
+    /// Evicts least-recently-used entries until the store fits its size
+    /// budget. Returns the evicted digests in eviction order. Runs under
+    /// the store-wide eviction lock, so concurrent writers trim once.
+    pub fn enforce_budget(&self) -> io::Result<Vec<String>> {
+        let entries = self.scan();
+        let mut total: u64 = entries.iter().map(|e| e.3).sum();
+        if total <= self.max_bytes {
+            return Ok(Vec::new());
+        }
+        let _guard = LockGuard::acquire(&self.root, "evict")?;
+        let mut evicted = Vec::new();
+        for (path, digest, _mtime, size) in entries {
+            if total <= self.max_bytes {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total -= size;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                evicted.push(digest);
+            }
+        }
+        Ok(evicted)
+    }
+
+    /// Current counters plus an on-disk census.
+    pub fn stats(&self) -> StoreStats {
+        let entries = self.scan();
+        StoreStats {
+            entries: entries.len() as u64,
+            bytes: entries.iter().map(|e| e.3).sum(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Parses and integrity-checks one entry. `None` means quarantine.
+fn parse_entry(text: &str, digest: &str) -> Option<CachedArtifact> {
+    // `body` is the entry's last field and the writer is deterministic,
+    // so the body's digest can be checked against its exact byte range —
+    // no re-serialization on the hot path. The marker cannot occur
+    // earlier: inside JSON strings its quotes would be escaped.
+    const MARKER: &str = ",\"body\":";
+    let body_start = text.find(MARKER)? + MARKER.len();
+    let body_text = text.get(body_start..text.len().checked_sub(1)?)?;
+    let v = Json::parse(text).ok()?;
+    if v.get("schema")?.as_str()? != ENTRY_SCHEMA {
+        return None;
+    }
+    let preimage = v.get("preimage")?.as_str()?;
+    if stable_digest(preimage.as_bytes()) != digest {
+        return None; // filename does not match the preimage: corrupt or misplaced
+    }
+    if stable_digest(body_text.as_bytes()) != v.get("body_digest")?.as_str()? {
+        return None; // body tampered or torn
+    }
+    CachedArtifact::from_json(v.get("body")?).ok()
+}
+
+/// An advisory lock file in `locks/`, deleted on drop. Acquisition spins
+/// briefly; locks older than [`STALE_LOCK`] are presumed abandoned by a
+/// crashed process and stolen.
+struct LockGuard {
+    path: PathBuf,
+}
+
+impl LockGuard {
+    fn acquire(root: &Path, name: &str) -> io::Result<LockGuard> {
+        let path = root.join("locks").join(format!("{name}.lock"));
+        for attempt in 0..400u32 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(_) => return Ok(LockGuard { path }),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let stale = fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|t| t.elapsed().ok())
+                        .is_some_and(|age| age > STALE_LOCK);
+                    if stale || attempt == 399 {
+                        let _ = fs::remove_file(&path);
+                    } else {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Fall through after stealing: one final attempt.
+        fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map(|_| LockGuard { path })
+    }
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}

@@ -1,0 +1,130 @@
+//! Batch-service behavior: in-flight dedup, admission control, and the
+//! acceptance criterion — a warm-cache Table-1 sweep returning
+//! bit-identical artifacts without touching the pipeline.
+
+use std::fs;
+use std::path::PathBuf;
+
+use hls_core::ExploreBudget;
+use hls_serve::{serve_batch, ArtifactStore, ServiceConfig, StoreConfig, SynthesisRequest};
+use qam_decoder::{table1_architectures, table1_library, QAM_DECODER_SOURCE};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hls-service-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+const TWICE: &str = "void twice(sc_fixed<8,4> x, sc_fixed<10,6> *y) { *y = x + x; }";
+const SUM: &str = "void sum(sc_fixed<10,2> x[8], sc_fixed<16,8> *out) { sc_fixed<16,8> acc = 0; \
+                   sum_loop: for (int k = 0; k < 8; k++) { acc += x[k]; } *out = acc; }";
+
+#[test]
+fn identical_in_flight_requests_are_deduped_observably() {
+    let root = scratch("dedup");
+    let store = ArtifactStore::open(&root, StoreConfig::default()).unwrap();
+    let twice = SynthesisRequest::new(TWICE);
+    let sum = SynthesisRequest::new(SUM);
+    let batch = vec![twice.clone(), twice.clone(), sum, twice];
+
+    let report = serve_batch(&batch, &store, &ServiceConfig::default());
+    assert_eq!(
+        report.counters.deduped, 2,
+        "three identical requests, one job"
+    );
+    assert_eq!(report.counters.synthesized, 2);
+    assert_eq!(report.counters.misses, 2);
+    assert_eq!(report.counters.hits, 0);
+    assert_eq!(report.counters.queue_peak, 2);
+    assert_eq!(report.outcomes.len(), 4);
+    let deduped: Vec<bool> = report.outcomes.iter().map(|o| o.deduped).collect();
+    assert_eq!(deduped, vec![false, true, false, true]);
+    // Duplicates carry the executor's artifact verbatim.
+    let v0 = &report.outcomes[0].artifact.as_ref().unwrap().verilog;
+    let v3 = &report.outcomes[3].artifact.as_ref().unwrap().verilog;
+    assert_eq!(v0, v3);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn admission_rejects_modeled_over_budget_jobs() {
+    let root = scratch("admission");
+    let store = ArtifactStore::open(&root, StoreConfig::default()).unwrap();
+    let cfg = ServiceConfig {
+        workers: 1,
+        budget: ExploreBudget {
+            min_prune_cost_ns: 0,
+        },
+        max_cost_ns: Some(1),
+    };
+    // Cheapest-first ordering: `twice` runs unmodeled (always admitted)
+    // and trains the cost model; `sum` is then modeled over the 1 ns
+    // ceiling and rejected.
+    let batch = vec![SynthesisRequest::new(TWICE), SynthesisRequest::new(SUM)];
+    let report = serve_batch(&batch, &store, &cfg);
+    assert_eq!(report.counters.rejected, 1);
+    assert_eq!(report.counters.synthesized, 1);
+    let rejected = report.outcomes.iter().find(|o| o.rejected).unwrap();
+    assert!(rejected.artifact.is_none());
+    assert!(rejected.error.as_ref().unwrap().contains("admission"));
+    assert!(rejected.modeled_cost_ns.unwrap() >= 1);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn warm_table1_sweep_returns_bit_identical_artifacts() {
+    let root = scratch("table1");
+    let store = ArtifactStore::open(&root, StoreConfig::default()).unwrap();
+    let lib = table1_library();
+    let requests: Vec<SynthesisRequest> = table1_architectures()
+        .into_iter()
+        .map(|arch| SynthesisRequest {
+            design: arch.name.to_string(),
+            source: QAM_DECODER_SOURCE.to_string(),
+            directives: arch.directives,
+            library: lib.clone(),
+            verify: true,
+        })
+        .collect();
+    let cfg = ServiceConfig::default();
+
+    let cold = serve_batch(&requests, &store, &cfg);
+    assert_eq!(cold.counters.misses, requests.len() as u64);
+    assert_eq!(cold.counters.synthesized, requests.len() as u64);
+    for o in &cold.outcomes {
+        let a = o.artifact.as_ref().unwrap_or_else(|| {
+            panic!("{} failed: {:?}", o.design, o.error);
+        });
+        assert!(
+            a.verdict.as_ref().unwrap().passed,
+            "{} must verify",
+            o.design
+        );
+    }
+
+    let warm = serve_batch(&requests, &store, &cfg);
+    assert_eq!(warm.counters.hits, requests.len() as u64);
+    assert_eq!(warm.counters.misses, 0);
+    assert_eq!(warm.counters.synthesized, 0);
+    for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
+        assert!(w.cache_hit, "{} must be served from the store", w.design);
+        let ca = c.artifact.as_ref().unwrap();
+        let wa = w.artifact.as_ref().unwrap();
+        assert_eq!(
+            ca.verilog, wa.verilog,
+            "{}: Verilog must be byte-identical",
+            w.design
+        );
+        assert_eq!(
+            ca.metrics, wa.metrics,
+            "{}: metrics must round-trip exactly",
+            w.design
+        );
+        assert_eq!(
+            ca.verdict, wa.verdict,
+            "{}: verdict must be preserved",
+            w.design
+        );
+    }
+    let _ = fs::remove_dir_all(&root);
+}

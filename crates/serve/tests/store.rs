@@ -1,0 +1,254 @@
+//! Artifact-store integrity under concurrency, corruption and pressure:
+//! the ISSUE's acceptance gauntlet for the content-addressed store.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::thread;
+use std::time::{Duration, SystemTime};
+
+use hls_core::{synthesize, DesignMetrics, Directives, TechLibrary};
+use hls_ir::{parse_function, stable_digest, Json};
+use hls_serve::{ArtifactStore, CachedArtifact, RequestKey, StoreConfig, Verdict};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hls-store-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A fabricated but well-formed key: digest always matches the preimage,
+/// as the store requires.
+fn key(tag: &str) -> RequestKey {
+    let preimage = format!("store-test-preimage/{tag}");
+    RequestKey {
+        digest: stable_digest(preimage.as_bytes()),
+        preimage,
+    }
+}
+
+fn metrics() -> DesignMetrics {
+    static ONCE: OnceLock<DesignMetrics> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        let f = parse_function("void t(sc_fixed<8,4> x, sc_fixed<10,6> *y) { *y = x + x; }")
+            .expect("parses");
+        synthesize(&f, &Directives::new(10.0), &TechLibrary::asic_100mhz())
+            .expect("synthesizes")
+            .metrics
+    })
+    .clone()
+}
+
+fn artifact(tag: &str) -> CachedArtifact {
+    CachedArtifact {
+        design: tag.to_string(),
+        verilog: format!("module {tag}();\nendmodule\n"),
+        metrics: metrics(),
+        trace: Json::Null,
+        verdict: Some(Verdict {
+            passed: true,
+            detail: "proved".into(),
+        }),
+        diagnostics: Json::Arr(Vec::new()),
+    }
+}
+
+#[test]
+fn eight_writers_eight_readers_stress() {
+    let root = scratch("stress");
+    let store = ArtifactStore::open(&root, StoreConfig::default()).unwrap();
+    const WRITERS: usize = 8;
+    const READERS: usize = 8;
+    const PER_WRITER: usize = 24;
+    let done = AtomicBool::new(false);
+
+    thread::scope(|s| {
+        for w in 0..WRITERS {
+            let store = &store;
+            s.spawn(move || {
+                for i in 0..PER_WRITER {
+                    // Writers collide on half the key space on purpose.
+                    let tag = format!("{}-{i}", w % 2);
+                    store.insert(&key(&tag), &artifact(&tag)).expect("insert");
+                }
+            });
+        }
+        for _ in 0..READERS {
+            let store = &store;
+            let done = &done;
+            s.spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    for w in 0..2 {
+                        for i in 0..PER_WRITER {
+                            let tag = format!("{w}-{i}");
+                            if let Some(a) = store.lookup(&key(&tag)) {
+                                // A served entry is never torn.
+                                assert_eq!(a.design, tag);
+                                assert!(a.verilog.contains(&format!("module {tag}")));
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        // Writers are the first WRITERS handles; scope drops in reverse
+        // order of spawn, so signal readers once everything is inserted.
+        s.spawn(|| {
+            // Poll until the full key space is present, then stop readers.
+            loop {
+                let all = (0..2).all(|w| {
+                    (0..PER_WRITER).all(|i| store.lookup(&key(&format!("{w}-{i}"))).is_some())
+                });
+                if all {
+                    done.store(true, Ordering::Relaxed);
+                    break;
+                }
+                thread::sleep(Duration::from_millis(1));
+            }
+        });
+    });
+
+    let stats = store.stats();
+    assert_eq!(stats.entries, 2 * PER_WRITER as u64);
+    assert_eq!(stats.quarantined, 0, "no reader ever saw a torn entry");
+    assert_eq!(stats.evictions, 0);
+    // Every key is servable after the dust settles.
+    for w in 0..2 {
+        for i in 0..PER_WRITER {
+            assert!(store.lookup(&key(&format!("{w}-{i}"))).is_some());
+        }
+    }
+    // No stale locks or temp files left behind.
+    assert_eq!(fs::read_dir(root.join("locks")).unwrap().count(), 0);
+    assert_eq!(fs::read_dir(root.join("tmp")).unwrap().count(), 0);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn truncated_entry_is_quarantined_and_recoverable() {
+    let root = scratch("quarantine");
+    let store = ArtifactStore::open(&root, StoreConfig::default()).unwrap();
+    let k = key("victim");
+    store.insert(&k, &artifact("victim")).unwrap();
+
+    // Truncate the entry mid-document, as a crash or disk fault would.
+    let path = root
+        .join("objects")
+        .join(&k.digest[..2])
+        .join(format!("{}.json", k.digest));
+    let text = fs::read_to_string(&path).unwrap();
+    fs::write(&path, &text[..text.len() / 2]).unwrap();
+
+    // The load integrity-checks, quarantines, and reports a miss.
+    assert!(store.lookup(&k).is_none());
+    assert!(!path.exists(), "corrupt entry left the serving path");
+    assert!(root
+        .join("quarantine")
+        .join(format!("{}.json", k.digest))
+        .exists());
+    let stats = store.stats();
+    assert_eq!(stats.quarantined, 1);
+    assert_eq!(stats.misses, 1);
+
+    // Re-synthesis (a fresh insert) repopulates the same digest.
+    store.insert(&k, &artifact("victim")).unwrap();
+    let back = store.lookup(&k).expect("repopulated");
+    assert_eq!(back.verilog, artifact("victim").verilog);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn tampered_body_fails_the_body_digest() {
+    let root = scratch("tamper");
+    let store = ArtifactStore::open(&root, StoreConfig::default()).unwrap();
+    let k = key("tamper");
+    store.insert(&k, &artifact("tamper")).unwrap();
+    let path = root
+        .join("objects")
+        .join(&k.digest[..2])
+        .join(format!("{}.json", k.digest));
+    // Flip the Verilog inside an otherwise well-formed document.
+    let text = fs::read_to_string(&path).unwrap();
+    fs::write(&path, text.replace("module tamper", "module mallory")).unwrap();
+    assert!(
+        store.lookup(&k).is_none(),
+        "body digest must catch tampering"
+    );
+    assert_eq!(store.stats().quarantined, 1);
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// Builds a store with `n` entries whose modification times are pinned to
+/// a deterministic ladder (entry `i` at epoch + `i` seconds).
+fn pinned_store(root: &Path, n: usize, max_bytes: u64) -> ArtifactStore {
+    let store = ArtifactStore::open(root, StoreConfig { max_bytes }).unwrap();
+    for i in 0..n {
+        let tag = format!("evict-{i}");
+        store.insert(&key(&tag), &artifact(&tag)).unwrap();
+        let k = key(&tag);
+        let path = root
+            .join("objects")
+            .join(&k.digest[..2])
+            .join(format!("{}.json", k.digest));
+        let f = fs::File::options().write(true).open(&path).unwrap();
+        f.set_modified(SystemTime::UNIX_EPOCH + Duration::from_secs(1_000_000 + i as u64))
+            .unwrap();
+    }
+    store
+}
+
+#[test]
+fn eviction_is_lru_and_deterministic() {
+    // Two stores built identically evict identically.
+    let size = {
+        let root = scratch("evict-probe");
+        let store = pinned_store(&root, 1, u64::MAX);
+        let bytes = store.stats().bytes;
+        let _ = fs::remove_dir_all(&root);
+        bytes
+    };
+    let budget = size * 4 + size / 2; // room for 4 of the 10 entries
+    let mut evicted_runs = Vec::new();
+    for run in 0..2 {
+        let root = scratch(&format!("evict-{run}"));
+        // Populate (and pin mtimes) without pressure, then open a
+        // size-bounded handle and trim once.
+        pinned_store(&root, 10, u64::MAX);
+        let store = ArtifactStore::open(&root, StoreConfig { max_bytes: budget }).unwrap();
+        let evicted = store.enforce_budget().unwrap();
+        // Survivors are exactly the most recently used entries.
+        for i in 0..10 {
+            let tag = format!("evict-{i}");
+            let present = store.lookup(&key(&tag)).is_some();
+            assert_eq!(present, i >= 6, "entry {i} survival under LRU");
+        }
+        assert!(store.stats().bytes <= budget);
+        evicted_runs.push(evicted);
+        let _ = fs::remove_dir_all(&root);
+    }
+    assert_eq!(
+        evicted_runs[0], evicted_runs[1],
+        "eviction order is deterministic"
+    );
+    assert_eq!(evicted_runs[0].len(), 6);
+}
+
+#[test]
+fn request_digest_is_stable_across_processes() {
+    // Golden constant: computed once in a separate process. If this test
+    // fails, the canonical preimage changed — bump REQUEST_SCHEMA and
+    // update the constant, because every existing store entry is invalid.
+    let f = parse_function(
+        "void sum(sc_fixed<10,2> x[8], sc_fixed<16,8> *out) { sc_fixed<16,8> acc = 0; \
+         sum_loop: for (int k = 0; k < 8; k++) { acc += x[k]; } *out = acc; }",
+    )
+    .unwrap();
+    let k = hls_serve::request_key(
+        &f,
+        &Directives::new(10.0),
+        &TechLibrary::asic_100mhz(),
+        true,
+    );
+    assert_eq!(k.digest, "85da05dbcb2cc2e5847aa9438d642b69");
+}

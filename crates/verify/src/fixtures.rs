@@ -1,0 +1,284 @@
+//! Persisted counterexample fixtures: fuzzer-shrunk stimuli saved to disk
+//! and replayed as regression checks.
+//!
+//! When [`crate::verify_equiv`] falls back to fuzzing and the fuzzer finds
+//! (and shrinks) a mismatch, the minimal stimulus is the most valuable
+//! artifact of the whole run — it reproduces the bug in microseconds,
+//! forever. [`save_counterexample`] writes it in the same content-addressed
+//! directory layout the `hls-serve` artifact store uses
+//! (`objects/<2-hex-prefix>/<digest>.json`, written atomically via a temp
+//! file + rename), and [`load_counterexamples`] reads every fixture back
+//! for replay through [`crate::fuzz::replay_stimulus`].
+//!
+//! A fixture is self-describing JSON: every [`Fixed`] travels as its raw
+//! mantissa (a string — mantissas exceed `f64` precision) plus its full
+//! format, so replay is bit-exact across processes.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use fixpt::{Fixed, Format, Signedness};
+use hls_ir::{json::stable_digest, Json, Slot, VarId};
+
+use crate::fuzz::{FuzzCex, Stimulus};
+
+/// Schema tag written into every fixture (bump on layout changes).
+pub const CEX_SCHEMA: &str = "hls-verify-cex/v1";
+
+/// A counterexample fixture loaded from disk.
+#[derive(Debug, Clone)]
+pub struct CexFixture {
+    /// Name of the design (FSMD module name) the stimulus was shrunk on.
+    pub design: String,
+    /// Which call of the stimulus first diverged when it was recorded.
+    pub failing_call: usize,
+    /// The recorded mismatch description.
+    pub message: String,
+    /// The minimal failing stimulus.
+    pub stimulus: Stimulus,
+    /// Content digest (the fixture's on-disk identity).
+    pub digest: String,
+}
+
+fn fixed_to_json(x: &Fixed) -> Json {
+    let f = x.format();
+    Json::obj(vec![
+        ("raw", Json::str(x.raw().to_string())),
+        ("width", Json::count(f.width() as u64)),
+        ("int_bits", Json::Num(f.int_bits() as f64)),
+        ("signed", Json::Bool(f.is_signed())),
+    ])
+}
+
+fn fixed_from_json(v: &Json) -> Result<Fixed, String> {
+    let raw: i128 = v
+        .get("raw")
+        .and_then(Json::as_str)
+        .ok_or("fixture: missing raw")?
+        .parse()
+        .map_err(|e| format!("fixture: bad raw mantissa: {e}"))?;
+    let width = v
+        .get("width")
+        .and_then(Json::as_u64)
+        .ok_or("fixture: missing width")? as u32;
+    let int_bits = v
+        .get("int_bits")
+        .and_then(Json::as_i64)
+        .ok_or("fixture: missing int_bits")? as i32;
+    let signedness = if v
+        .get("signed")
+        .and_then(Json::as_bool)
+        .ok_or("fixture: missing signed")?
+    {
+        Signedness::Signed
+    } else {
+        Signedness::Unsigned
+    };
+    let format = Format::new(width, int_bits, signedness)
+        .map_err(|e| format!("fixture: bad format: {e:?}"))?;
+    Fixed::from_raw(raw, format).map_err(|_| "fixture: raw out of format range".to_string())
+}
+
+fn slot_to_json(slot: &Slot) -> Json {
+    match slot {
+        Slot::Scalar(x) => Json::obj(vec![("scalar", fixed_to_json(x))]),
+        Slot::Array(xs) => Json::obj(vec![(
+            "array",
+            Json::Arr(xs.iter().map(fixed_to_json).collect()),
+        )]),
+    }
+}
+
+fn slot_from_json(v: &Json) -> Result<Slot, String> {
+    if let Some(x) = v.get("scalar") {
+        return Ok(Slot::Scalar(fixed_from_json(x)?));
+    }
+    if let Some(xs) = v.get("array").and_then(Json::as_arr) {
+        return Ok(Slot::Array(
+            xs.iter().map(fixed_from_json).collect::<Result<_, _>>()?,
+        ));
+    }
+    Err("fixture: slot is neither scalar nor array".to_string())
+}
+
+/// Serializes a stimulus (shared with `hls-serve` response envelopes).
+pub fn stimulus_to_json(stim: &Stimulus) -> Json {
+    Json::Arr(
+        stim.iter()
+            .map(|call| {
+                Json::Arr(
+                    call.iter()
+                        .map(|(var, slot)| {
+                            Json::obj(vec![
+                                ("var", Json::size(var.index())),
+                                ("slot", slot_to_json(slot)),
+                            ])
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Deserializes a stimulus written by [`stimulus_to_json`].
+pub fn stimulus_from_json(v: &Json) -> Result<Stimulus, String> {
+    v.as_arr()
+        .ok_or("fixture: stimulus is not an array")?
+        .iter()
+        .map(|call| {
+            call.as_arr()
+                .ok_or("fixture: call is not an array")?
+                .iter()
+                .map(|binding| {
+                    let var = binding
+                        .get("var")
+                        .and_then(Json::as_u64)
+                        .ok_or("fixture: missing var")?;
+                    let slot = slot_from_json(binding.get("slot").ok_or("fixture: missing slot")?)?;
+                    Ok((VarId::from_raw(var as u32), slot))
+                })
+                .collect::<Result<Vec<_>, String>>()
+        })
+        .collect()
+}
+
+fn fixture_body(design: &str, cex: &FuzzCex) -> Json {
+    Json::obj(vec![
+        ("schema", Json::str(CEX_SCHEMA)),
+        ("design", Json::str(design)),
+        ("failing_call", Json::size(cex.failing_call)),
+        ("message", Json::str(cex.message.clone())),
+        ("stimulus", stimulus_to_json(&cex.stimulus)),
+    ])
+}
+
+/// Persists a shrunk counterexample under `root` in the content-addressed
+/// store layout, returning the fixture's digest. Writing is atomic (temp
+/// file in `root/tmp`, then rename), so concurrent writers and readers
+/// never observe a torn fixture; saving the same counterexample twice is
+/// idempotent.
+pub fn save_counterexample(root: &Path, design: &str, cex: &FuzzCex) -> io::Result<String> {
+    let text = fixture_body(design, cex).write();
+    let digest = stable_digest(text.as_bytes());
+    let dir = root.join("objects").join(&digest[..2]);
+    fs::create_dir_all(&dir)?;
+    let tmp_dir = root.join("tmp");
+    fs::create_dir_all(&tmp_dir)?;
+    let final_path = dir.join(format!("{digest}.json"));
+    if final_path.exists() {
+        return Ok(digest);
+    }
+    let tmp_path = tmp_dir.join(format!("{digest}.{}.tmp", std::process::id()));
+    fs::write(&tmp_path, &text)?;
+    fs::rename(&tmp_path, &final_path)?;
+    Ok(digest)
+}
+
+/// Loads every fixture under `root`, skipping unreadable or corrupt files
+/// (a regression suite should replay what it can, not die on one bad
+/// entry). Results are sorted by digest for deterministic replay order.
+pub fn load_counterexamples(root: &Path) -> Vec<CexFixture> {
+    let mut out = Vec::new();
+    let objects = root.join("objects");
+    let mut files: Vec<PathBuf> = Vec::new();
+    if let Ok(shards) = fs::read_dir(&objects) {
+        for shard in shards.flatten() {
+            if let Ok(entries) = fs::read_dir(shard.path()) {
+                files.extend(entries.flatten().map(|e| e.path()));
+            }
+        }
+    }
+    files.sort();
+    for path in files {
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let Some(fixture) = parse_fixture(&text) else {
+            continue;
+        };
+        out.push(fixture);
+    }
+    out
+}
+
+fn parse_fixture(text: &str) -> Option<CexFixture> {
+    let v = Json::parse(text).ok()?;
+    if v.get("schema")?.as_str()? != CEX_SCHEMA {
+        return None;
+    }
+    Some(CexFixture {
+        design: v.get("design")?.as_str()?.to_string(),
+        failing_call: v.get("failing_call")?.as_u64()? as usize,
+        message: v.get("message")?.as_str()?.to_string(),
+        stimulus: stimulus_from_json(v.get("stimulus")?).ok()?,
+        digest: stable_digest(text.as_bytes()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cex() -> FuzzCex {
+        let fmt = Format::signed(10, 2);
+        FuzzCex {
+            stimulus: vec![vec![
+                (
+                    VarId::from_raw(0),
+                    Slot::Array(vec![Fixed::from_raw(-137, fmt).unwrap(); 2]),
+                ),
+                (
+                    VarId::from_raw(1),
+                    Slot::Scalar(Fixed::from_raw(255, fmt).unwrap()),
+                ),
+            ]],
+            failing_call: 0,
+            message: "data differs".into(),
+        }
+    }
+
+    #[test]
+    fn stimulus_round_trips_bit_exact() {
+        let cex = sample_cex();
+        let json = stimulus_to_json(&cex.stimulus);
+        let back = stimulus_from_json(&Json::parse(&json.write()).unwrap()).unwrap();
+        assert_eq!(back, cex.stimulus);
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("hls-cex-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cex = sample_cex();
+        let digest = save_counterexample(&dir, "qam_decoder", &cex).unwrap();
+        // Idempotent second save.
+        assert_eq!(
+            save_counterexample(&dir, "qam_decoder", &cex).unwrap(),
+            digest
+        );
+        let loaded = load_counterexamples(&dir);
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].design, "qam_decoder");
+        assert_eq!(loaded[0].stimulus, cex.stimulus);
+        assert_eq!(loaded[0].digest, digest);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_fixture_is_skipped() {
+        let dir = std::env::temp_dir().join(format!("hls-cex-bad-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        save_counterexample(&dir, "d", &sample_cex()).unwrap();
+        fs::write(dir.join("objects").join("zz.json.broken"), "{").ok();
+        let shard = fs::read_dir(dir.join("objects"))
+            .unwrap()
+            .flatten()
+            .find(|e| e.path().is_dir())
+            .unwrap();
+        fs::write(shard.path().join("corrupt.json"), "{\"schema\": \"other\"}").unwrap();
+        assert_eq!(load_counterexamples(&dir).len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

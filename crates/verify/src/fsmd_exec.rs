@@ -46,13 +46,19 @@ impl FsmdState {
 /// (dynamic shift amounts, unprovable array indices); the caller falls
 /// back to fuzzing.
 pub fn exec_fsmd(t: &mut SymTable, fsmd: &Fsmd, st: &mut FsmdState) -> ExecResult<()> {
-    let func = fsmd.function().clone();
+    // Borrow the function rather than cloning it: a clone copies every
+    // statement tree and variable table per transaction, which dominated
+    // the fused-explore per-machine floor.
+    let func = fsmd.function();
+    // One node-value scratch buffer reused across all body runs (a 16-trip
+    // loop previously allocated 16 of these).
+    let mut values: Vec<Option<SymId>> = Vec::new();
     for (si, ctl) in fsmd.control.iter().enumerate() {
         let dfg = fsmd.lowered.segments[si].dfg();
         let sched = &fsmd.schedules[si];
         match ctl {
             Control::Straight { depth } => {
-                run_body(t, &func, dfg, sched, *depth, st)?;
+                run_body(t, func, dfg, sched, *depth, st, &mut values)?;
             }
             Control::Loop {
                 depth,
@@ -69,7 +75,7 @@ pub fn exec_fsmd(t: &mut SymTable, fsmd: &Fsmd, st: &mut FsmdState) -> ExecResul
                     .unwrap_or_else(crate::sym::bool_format);
                 st.regs[counter.index()] = Some(t.constant(Fixed::from_int(*start, cfmt)));
                 for _ in 0..*trip {
-                    run_body(t, &func, dfg, sched, *depth, st)?;
+                    run_body(t, func, dfg, sched, *depth, st, &mut values)?;
                     // The counter register steps concretely between body
                     // runs (its value is data-independent).
                     let k = st.regs[counter.index()].expect("counter initialized");
@@ -85,6 +91,7 @@ pub fn exec_fsmd(t: &mut SymTable, fsmd: &Fsmd, st: &mut FsmdState) -> ExecResul
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_body(
     t: &mut SymTable,
     func: &hls_ir::Function,
@@ -92,11 +99,13 @@ fn run_body(
     sched: &Schedule,
     depth: u32,
     st: &mut FsmdState,
+    values: &mut Vec<Option<SymId>>,
 ) -> ExecResult<()> {
-    let mut values: Vec<Option<SymId>> = vec![None; dfg.len()];
+    values.clear();
+    values.resize(dfg.len(), None);
     for cycle in 0..depth.max(1) {
         for id in sched.nodes_in_cycle(cycle) {
-            let v = eval_node(t, func, dfg, id, &values, st)?;
+            let v = eval_node(t, func, dfg, id, values, st)?;
             values[id.index()] = Some(v);
         }
     }
@@ -186,14 +195,18 @@ fn eval_node(
         NodeKind::Cast(q, o) => t.intern(Op::Cast(val(node.preds[0]), node.format, *q, *o)),
         NodeKind::Load(arr) => {
             let idx = val(node.preds[0]);
-            let elems = st.arrays[arr.index()].clone().expect("array initialized");
+            // Borrow the element vector in place; the old per-load clone of
+            // the whole symbolic array was the hottest allocation in the
+            // fused verify fan-out. `st` and `t` are distinct bindings, so
+            // the immutable borrow coexists with interning into `t`.
+            let elems = st.arrays[arr.index()].as_ref().expect("array initialized");
             if let Some(c) = t.const_value(idx) {
                 // Speculative out-of-range reads clamp, like the
                 // simulator (only reachable under a false predicate).
                 let i = c.to_i64().clamp(0, elems.len() as i64 - 1) as usize;
                 elems[i]
             } else if index_in_bounds(t, idx, elems.len()) {
-                select_element(t, idx, &elems)
+                select_element(t, idx, elems)
             } else {
                 return Err(Unsupported(format!(
                     "load index into {} not provably in bounds",

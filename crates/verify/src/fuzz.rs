@@ -323,6 +323,17 @@ fn mutate_stimulus(
     stim
 }
 
+/// Replays a stimulus through the differential oracle: both machines run
+/// from reset, and the result is `Some((call, message))` at the first
+/// diverging call, `None` when the machines agree on every observable.
+///
+/// This is the exact oracle the fuzzer and shrinker use internally; it is
+/// public so persisted counterexamples ([`crate::fixtures`]) can be
+/// replayed as regression checks.
+pub fn replay_stimulus(fsmd: &Fsmd, stim: &Stimulus) -> Option<(usize, String)> {
+    run_diff(fsmd, stim)
+}
+
 /// Runs the stimulus on both machines from reset; `Some((call, message))`
 /// at the first diverging call.
 fn run_diff(fsmd: &Fsmd, stim: &Stimulus) -> Option<(usize, String)> {

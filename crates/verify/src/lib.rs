@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod equiv;
+pub mod fixtures;
 pub mod fsmd_exec;
 pub mod fuzz;
 pub mod ir_exec;
@@ -34,9 +35,15 @@ pub use equiv::{
     prove_equiv, prove_equiv_in, prove_equiv_with, IrContext, Obligation, ProofCex, ProofMethod,
     ProveOptions, ProveVerdict,
 };
-pub use fuzz::{fuzz_equiv, fuzz_equiv_with, Coverage, FuzzCex, FuzzConfig, FuzzReport, Stimulus};
+pub use fixtures::{
+    load_counterexamples, save_counterexample, stimulus_from_json, stimulus_to_json, CexFixture,
+};
+pub use fuzz::{
+    fuzz_equiv, fuzz_equiv_with, replay_stimulus, Coverage, FuzzCex, FuzzConfig, FuzzReport,
+    Stimulus,
+};
 pub use mutate::{mutate_fsmd, mutations_for, Mutation};
 pub use pipeline::{
-    explore_verified, explore_verified_serial, verify_equiv, verify_equiv_with, EquivGate,
-    ExploreProver, ProverStats, VerifyFinding, VerifyReport,
+    explore_verified, explore_verified_serial, verify_equiv, verify_equiv_persist,
+    verify_equiv_with, EquivGate, ExploreProver, ProverStats, VerifyFinding, VerifyReport,
 };

@@ -119,6 +119,25 @@ pub fn verify_equiv_with(fsmd: &Fsmd, prove: &ProveOptions, fuzz: &FuzzConfig) -
     settle(prove_equiv_with(fsmd, prove), fsmd, fuzz)
 }
 
+/// [`verify_equiv`], persisting any fuzzer-shrunk counterexample as an
+/// on-disk regression fixture under `fixture_root` (see [`crate::fixtures`]
+/// for the layout). A failed write never masks the verification verdict —
+/// the report is returned either way, with the fixture digest alongside
+/// when one was saved.
+pub fn verify_equiv_persist(
+    fsmd: &Fsmd,
+    fixture_root: &std::path::Path,
+) -> (VerifyReport, Option<String>) {
+    let report = verify_equiv(fsmd);
+    let digest = match &report.finding {
+        VerifyFinding::FuzzCounterexample(cex) => {
+            crate::fixtures::save_counterexample(fixture_root, &fsmd.name, cex).ok()
+        }
+        _ => None,
+    };
+    (report, digest)
+}
+
 /// Turns a prover verdict into a [`VerifyReport`], falling back to the
 /// differential fuzzer when the prover gave up.
 fn settle(verdict: ProveVerdict, fsmd: &Fsmd, fuzz: &FuzzConfig) -> VerifyReport {

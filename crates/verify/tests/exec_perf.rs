@@ -1,0 +1,78 @@
+//! Timing harness for the per-machine verification floor.
+//!
+//! Ignored by default (it is a measurement, not an assertion); run with
+//!
+//! ```sh
+//! cargo test --release -p hls-verify --test exec_perf -- --ignored --nocapture
+//! ```
+//!
+//! and compare the printed per-machine times against the numbers recorded
+//! in EXPERIMENTS.md ("Shrinking the exec_fsmd floor").
+
+use std::time::Instant;
+
+use hls_verify::{prove_equiv_in, verify_equiv, IrContext, ProveOptions};
+use qam_decoder::{build_qam_decoder_ir, table1_architectures, table1_library};
+use rtl::Fsmd;
+
+#[test]
+#[ignore = "measurement harness; run with --ignored --nocapture"]
+fn time_verify_floor_per_machine() {
+    let ir = build_qam_decoder_ir(&Default::default());
+    let lib = table1_library();
+    let machines: Vec<(&str, Fsmd)> = table1_architectures()
+        .into_iter()
+        .map(|arch| {
+            let r = hls_core::synthesize(&ir.func, &arch.directives, &lib).expect("synthesizes");
+            (arch.name, Fsmd::from_synthesis(&r))
+        })
+        .collect();
+
+    const REPEATS: usize = 5;
+    let mut total_best = 0.0_f64;
+    for (name, fsmd) in &machines {
+        let mut best = f64::INFINITY;
+        for _ in 0..REPEATS {
+            let t0 = Instant::now();
+            let report = verify_equiv(fsmd);
+            let dt = t0.elapsed().as_secs_f64() * 1e3;
+            assert!(report.passed(), "{name}: {}", report.describe());
+            best = best.min(dt);
+        }
+        println!("{name:<12} verify_equiv best-of-{REPEATS}: {best:.3} ms");
+        total_best += best;
+    }
+    println!("total        {total_best:.3} ms");
+}
+
+/// The shared-context path the fused explore fan-out takes: the IR side is
+/// executed once, and only the FSMD side (`exec_fsmd` + obligations) runs
+/// per machine. This is the floor the ROADMAP asks to shrink.
+#[test]
+#[ignore = "measurement harness; run with --ignored --nocapture"]
+fn time_shared_context_fsmd_side() {
+    let ir = build_qam_decoder_ir(&Default::default());
+    let lib = table1_library();
+    let opts = ProveOptions::default();
+    const REPEATS: usize = 20;
+    let mut total_best = 0.0_f64;
+    for arch in table1_architectures() {
+        let r = hls_core::synthesize(&ir.func, &arch.directives, &lib).expect("synthesizes");
+        let fsmd = Fsmd::from_synthesis(&r);
+        let ctx = IrContext::for_function(fsmd.function());
+        let mut best = f64::INFINITY;
+        for _ in 0..REPEATS {
+            let t0 = Instant::now();
+            let verdict = prove_equiv_in(&ctx, &fsmd, &opts);
+            let dt = t0.elapsed().as_secs_f64() * 1e3;
+            assert!(verdict.is_proved(), "{}", arch.name);
+            best = best.min(dt);
+        }
+        println!(
+            "{:<12} fsmd-side best-of-{REPEATS}: {best:.3} ms",
+            arch.name
+        );
+        total_best += best;
+    }
+    println!("total        {total_best:.3} ms");
+}
