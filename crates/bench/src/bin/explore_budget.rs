@@ -24,13 +24,18 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use hls_core::{ExploreConfig, ExploreResult, MergePolicy, TechLibrary, VerifyLevel};
+use hls_core::{
+    explore, ExploreConfig, ExploreResult, LoopGrid, MergePolicy, TechLibrary, VerifyLevel,
+};
 use hls_ir::Function;
 use hls_verify::{explore_verified, explore_verified_serial};
 use qam_decoder::{build_qam_decoder_ir, table1_library, DecoderParams};
 
 const REPEATS: usize = 3;
 const REQUIRED_SPEEDUP: f64 = 2.0;
+/// The dense grid sweep must discard at least this fraction of its
+/// candidates by bound alone.
+const REQUIRED_PRUNE_RATE: f64 = 0.5;
 
 /// The Table-1 knob sweep (uniform + per-loop unrolling, both merge
 /// policies) crossed with a realistic target-clock sweep, 5 ns (200 MHz)
@@ -46,6 +51,39 @@ fn sweep_config() -> ExploreConfig {
         per_loop_refinement: true,
         verify: VerifyLevel::All,
         budget: None,
+        loop_grids: None,
+    }
+}
+
+/// The dense per-loop design space: every decoder loop swept over its own
+/// unroll axis, crossed with seven clocks and both merge policies —
+/// 3⁶ × 7 × 2 = 10,206 candidates. Equivalence checking is off here: the
+/// grid exists to measure pruning at scale, and the budgeted sweep is
+/// validated against the unbudgeted reference frontier instead.
+fn grid_config() -> ExploreConfig {
+    let loops = [
+        "ffe",
+        "dfe",
+        "ffe_adapt",
+        "dfe_adapt",
+        "ffe_shift",
+        "dfe_shift",
+    ];
+    ExploreConfig {
+        clock_period_ns: 10.0,
+        clock_periods_ns: vec![5.0, 7.5, 10.0, 15.0, 20.0, 30.0, 40.0],
+        unroll_factors: Vec::new(),
+        merge_policies: vec![MergePolicy::Off, MergePolicy::AllowHazards],
+        per_loop_refinement: false,
+        verify: VerifyLevel::Off,
+        budget: None,
+        loop_grids: Some(LoopGrid {
+            unroll: loops
+                .iter()
+                .map(|l| (l.to_string(), vec![1, 2, 4]))
+                .collect(),
+            pipeline: Vec::new(),
+        }),
     }
 }
 
@@ -143,6 +181,17 @@ fn main() {
         );
     }
 
+    check(
+        !budgeted.result.pruned.is_empty(),
+        "budgeted flow pruned nothing on the Table-1 sweep",
+    );
+    for p in &budgeted.result.pruned {
+        check(
+            !p.corners.is_empty() && !p.dominated_by.is_empty(),
+            &format!("pruned candidate {} carries no bound evidence", p.label),
+        );
+    }
+
     let speedup_fused = serial.ms / fused.ms;
     let speedup_budgeted = serial.ms / budgeted.ms;
     check(
@@ -150,6 +199,36 @@ fn main() {
         &format!(
             "budgeted+fused speedup {speedup_budgeted:.2}x below the required {REQUIRED_SPEEDUP:.1}x"
         ),
+    );
+
+    // Dense 10k-point grid: the budgeted sweep must discard at least half
+    // the space by bound alone and still reproduce the unbudgeted
+    // frontier bit for bit.
+    let grid_cfg = grid_config();
+    let t0 = Instant::now();
+    let grid_ref = explore(&ir.func, &grid_cfg, &lib);
+    let grid_ref_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let grid_budgeted = explore(&ir.func, &grid_cfg.clone().budgeted(), &lib);
+    let grid_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let grid_candidates = grid_ref.points.len() + grid_ref.failures.len();
+    check(
+        grid_candidates >= 10_000,
+        &format!("grid sweep visited only {grid_candidates} candidates"),
+    );
+    let grid_frontier_ok = frontier(&grid_budgeted) == frontier(&grid_ref);
+    check(grid_frontier_ok, "grid frontier differs from the reference");
+    check(
+        grid_ref.points.len() + grid_ref.failures.len()
+            == grid_budgeted.points.len()
+                + grid_budgeted.pruned.len()
+                + grid_budgeted.failures.len(),
+        "grid sweep must account for every candidate (kept, pruned or failed)",
+    );
+    let prune_rate = grid_budgeted.prune_rate();
+    check(
+        prune_rate >= REQUIRED_PRUNE_RATE,
+        &format!("grid prune rate {prune_rate:.3} below the required {REQUIRED_PRUNE_RATE:.2}"),
     );
 
     println!(
@@ -169,18 +248,33 @@ fn main() {
         );
     }
     println!("speedup: fused {speedup_fused:.2}x, budgeted+fused {speedup_budgeted:.2}x");
+    println!(
+        "grid: {} candidates, {} kept, {} pruned ({:.1}%), {} failed, \
+         {} waves, frontier {} in {:.0} ms (reference {:.0} ms)",
+        grid_candidates,
+        grid_budgeted.points.len(),
+        grid_budgeted.pruned.len(),
+        prune_rate * 100.0,
+        grid_budgeted.failures.len(),
+        grid_budgeted.wave_stats.len(),
+        grid_budgeted.pareto().len(),
+        grid_ms,
+        grid_ref_ms,
+    );
 
     let flows_json: Vec<String> = [&serial, &fused, &budgeted]
         .iter()
         .map(|f| {
             format!(
-                "{{\"name\":\"{}\",\"ms\":{:.3},\"points\":{},\"pruned\":{},\"evaluations\":{},\"verify_failures\":{}}}",
+                "{{\"name\":\"{}\",\"ms\":{:.3},\"points\":{},\"pruned\":{},\"evaluations\":{},\"verify_failures\":{},\"prune_rate\":{:.4},\"waves\":{}}}",
                 f.name,
                 f.ms,
                 f.result.points.len(),
                 f.result.pruned.len(),
                 f.result.evaluations,
-                f.result.verify_failures.len()
+                f.result.verify_failures.len(),
+                f.result.prune_rate(),
+                f.result.wave_stats.len(),
             )
         })
         .collect();
@@ -190,13 +284,38 @@ fn main() {
             format!("{{\"label\":\"{label}\",\"latency_cycles\":{lat},\"area\":{area:.1}}}")
         })
         .collect();
+    let grid_frontier_json: Vec<String> = frontier(&grid_budgeted)
+        .iter()
+        .map(|(label, lat, area)| {
+            format!("{{\"label\":\"{label}\",\"latency_cycles\":{lat},\"area\":{area:.1}}}")
+        })
+        .collect();
+    let grid_json = format!(
+        "{{\"candidates\":{},\"points\":{},\"pruned\":{},\"failures\":{},\
+         \"prune_rate\":{:.4},\"required_prune_rate\":{:.2},\"waves\":{},\
+         \"frontier_size\":{},\"frontier_identical\":{},\
+         \"ms_budgeted\":{:.1},\"ms_reference\":{:.1},\"frontier\":[{}]}}",
+        grid_candidates,
+        grid_budgeted.points.len(),
+        grid_budgeted.pruned.len(),
+        grid_budgeted.failures.len(),
+        prune_rate,
+        REQUIRED_PRUNE_RATE,
+        grid_budgeted.wave_stats.len(),
+        grid_budgeted.pareto().len(),
+        grid_frontier_ok,
+        grid_ms,
+        grid_ref_ms,
+        grid_frontier_json.join(","),
+    );
     let json = format!(
         "{{\"repeats\":{REPEATS},\"required_speedup\":{REQUIRED_SPEEDUP:.1},\
          \"speedup_fused\":{speedup_fused:.3},\"speedup_budgeted\":{speedup_budgeted:.3},\
-         \"frontier_identical\":{},\"flows\":[{}],\"frontier\":[{}]}}\n",
+         \"frontier_identical\":{},\"flows\":[{}],\"frontier\":[{}],\"grid\":{}}}\n",
         !failed,
         flows_json.join(","),
-        frontier_json.join(",")
+        frontier_json.join(","),
+        grid_json
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
     std::fs::write(path, &json).expect("writes BENCH_explore.json");

@@ -304,8 +304,10 @@ pub fn allocate(
     }
 }
 
-/// Classes that consume datapath logic worth allocating.
-fn counts_as_datapath(class: OpClass) -> bool {
+/// Classes that consume datapath logic worth allocating. Shared with the
+/// explorer's lower bound (`crate::bound`), which must price exactly the
+/// classes the allocator does.
+pub(crate) fn counts_as_datapath(class: OpClass) -> bool {
     matches!(
         class,
         OpClass::Add

@@ -1,4 +1,4 @@
-//! Admissible lower bounds on latency and area from unscheduled IR.
+//! Admissible lower bounds on latency and area from unscheduled designs.
 //!
 //! The explorer's branch-and-bound pruning needs, for a transformed but
 //! not-yet-scheduled candidate, numbers that are *guaranteed* not to
@@ -7,148 +7,634 @@
 //! design point can skip the back end entirely without changing the
 //! frontier.
 //!
-//! Both bounds mirror the real passes' accounting rather than inventing
-//! their own model:
+//! A single (latency, area) pair is too weak to prune real designs: a
+//! deep schedule is slow but shares functional units, a shallow one is
+//! fast but replicates them, and the minimum of each axis taken
+//! independently describes a design that cannot exist. The bound here is
+//! a **resource-relaxation envelope**: for every segment of the real
+//! lowered design (the same [`crate::lower::Lowered`] the scheduler
+//! consumes) and every feasible schedule depth `D`, it prices
 //!
-//! - **latency** — each top-level loop contributes `trip × depth_bound`
-//!   cycles (pipelined: `depth_bound + (trip−1)·II`), where `depth_bound`
-//!   is the longest per-statement dependence-chain delay divided by the
-//!   clock, rounded up. The chain delays reuse the scheduler's own
-//!   operator classes, characterization widths and [`TechLibrary`]
-//!   delays, and chaining covers at most one clock period per cycle, so
-//!   the real schedule can never be shallower. Straight-line statements
-//!   add one region of at least their own chain bound.
-//! - **area** — every operator class the statement walk proves present
-//!   costs at least one functional unit at the widest width observed
-//!   (the allocator shares units, but keeps ≥ 1 per used class at the
-//!   class's maximum width), registers cost at least the architectural
-//!   state bits (statics, non-memory parameters, counters), and the
-//!   controller at least one state per predicted cycle of segment depth.
-//!   Sharing muxes, temporaries, predication muxes and locals are all
-//!   priced at zero — under-approximations, never over.
+//! - **latency** exactly as [`crate::metrics::segment_cycles`] would
+//!   (`D` for straight code, `trip·D` for loops, `D + (trip−1)·II`
+//!   pipelined), with `D` floored by replaying the scheduler's own
+//!   chaining recurrence over the segment DFG (delays cannot split
+//!   across cycle boundaries, so this is tighter than `⌈chain/clock⌉`),
+//!   by per-array memory-port counts and by per-class FU limits — none
+//!   of which any legal schedule can beat;
+//! - **area** by the pigeonhole relaxation of the allocator's peak
+//!   per-cycle demand: a segment that executes `N` operations of a class
+//!   in `D` cycles needs at least `⌈N / D⌉` concurrent units, each at
+//!   the class's global characterization width (the allocator's own
+//!   width rule, shared with the scheduler), plus the controller's
+//!   `D` states and the architectural registers the allocator always
+//!   counts.
 //!
-//! Anything uncertain is resolved downward: variable reads are free,
-//! if-conversion overhead is ignored, nested loops count as one
-//! iteration. The accompanying proptest (`tests/explore_budget.rs`)
-//! checks `bound ≤ actual` across randomized directive sweeps.
-
-use fixpt::{Format, Signedness};
-use hls_ir::{BinOp, Direction, Expr, Function, Stmt, UnOp, VarId};
+//! When a segment is free of memory ports and FU limits the list
+//! scheduler is a pure chaining recurrence — deterministic and
+//! priority-independent — so the replay does not merely floor the
+//! depth, it reproduces every node's *exact* cycle. A design whose
+//! segments are all unconstrained therefore gets a **single tight
+//! corner**: exact latency, exact controller states, exact per-class FU
+//! peaks (and with them the allocator's own sharing-mux prices) and
+//! exact architectural registers — only the intermediate (temp)
+//! registers, which need live ranges, are still resolved down to zero,
+//! keeping the corner admissible. That corner is what lets pruning fire
+//! on real sweeps — the speculative deep-depth corners of the general
+//! envelope describe schedules the ASAP scheduler never builds.
+//!
+//! Constrained segments keep the conservative envelope: each class is
+//! attributed to the segment with the most operations of it (a further
+//! relaxation that keeps the bound separable), the per-segment
+//! `(latency, area)` curves are Pareto-folded across segments (a
+//! Minkowski sum), and the result is a small *corner set*: every
+//! schedulable design lies component-wise above at least one corner. A
+//! candidate is prunable exactly when **every** corner is strictly
+//! dominated by an already-completed point. Anything uncertain is
+//! resolved downward — sharing muxes and temporaries are priced at
+//! zero. The accompanying proptests (`tests/explore_budget.rs`) check
+//! admissibility across randomized per-loop unroll grids, clocks and
+//! pipeline-II directives.
 
 use std::collections::BTreeMap;
 
-use crate::dfg::common_format;
+use hls_ir::Function;
+
+use crate::allocate::counts_as_datapath;
 use crate::directives::{ArrayMapping, Directives, InterfaceKind};
+use crate::lower::{lower, Lowered, Segment};
+use crate::schedule::node_resources;
 use crate::tech::{OpClass, TechLibrary};
 
+/// How many corners the folded envelope keeps. Coarsening replaces the
+/// adjacent pair with the smallest area gap by its component-wise
+/// minimum, so the cap trades bound tightness for fold cost but never
+/// admissibility.
+const MAX_CORNERS: usize = 24;
+
 /// Admissible lower bounds for one transformed candidate.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignBound {
-    /// Latency in cycles: the real design needs at least this many.
+    /// Latency in cycles: the real design needs at least this many
+    /// (the fastest corner of the envelope).
     pub latency_cycles: u64,
-    /// Area in abstract units: the real design costs at least this much.
+    /// Area in abstract units: the real design costs at least this much
+    /// (the smallest corner of the envelope).
     pub area: f64,
     /// Operations visited while deriving the bound — the size input to
     /// the explorer's per-pass cost model.
     pub ops: usize,
+    /// The latency/area trade-off envelope: corners sorted by ascending
+    /// latency and descending area. Every schedulable design lies
+    /// component-wise on or above at least one corner, so a candidate is
+    /// provably dominated only when *every* corner is.
+    pub corners: Vec<(u64, f64)>,
 }
 
-/// Computes admissible latency/area lower bounds for a transformed (but
-/// unscheduled) function under `directives`.
-pub fn lower_bound(func: &Function, directives: &Directives, lib: &TechLibrary) -> DesignBound {
-    let mut b = Bounder {
-        func,
-        directives,
-        lib,
-        class_widths: BTreeMap::new(),
-        ops: 0,
-    };
-    let clock = directives.clock_period_ns;
+impl DesignBound {
+    /// `true` when every corner of the envelope is strictly dominated by
+    /// `(latency, area)` — the pruning test: no schedule of this
+    /// candidate can escape domination.
+    pub fn dominated_by(&self, latency: u64, area: f64) -> bool {
+        self.corners
+            .iter()
+            .all(|&(l, a)| latency <= l && area <= a && (latency < l || area < a))
+    }
+}
 
-    let mut latency: u64 = 0;
-    let mut fsm_states: u64 = 0;
-    let mut loops = 0usize;
-    let mut straight_chain = 0.0f64;
-    let mut any_straight = false;
-    for s in &func.body {
-        match s {
-            Stmt::For(l) => {
-                loops += 1;
-                let mut chain = 0.0f64;
-                for bs in &l.body {
-                    chain = chain.max(b.stmt_chain(bs));
-                }
-                // The body schedule is at least this deep; `segment_cycles`
-                // floors loop depth at 1 even for empty bodies.
-                let depth_bound = chain_cycles(chain, clock).max(1);
-                let trip = l.trip_count() as u64;
-                let cycles = match directives.loop_directive(&l.label).pipeline_ii {
-                    Some(ii) if trip > 0 => depth_bound + (trip - 1) * ii as u64,
-                    _ => trip * depth_bound,
-                };
-                latency += cycles;
-                fsm_states += depth_bound;
+/// The clock-independent part of a candidate's lower bound: exact
+/// per-segment operation counts, dependence-chain delays and width-priced
+/// unit costs extracted from the real lowered design. One profile serves
+/// every clock in a sweep (candidates sharing a transform prefix share
+/// their profile); [`bound_from_profile`] specializes it per clock.
+#[derive(Debug, Clone)]
+pub struct BoundProfile {
+    segments: Vec<SegmentProfile>,
+    /// Architectural register + loop-control area every schedule pays
+    /// (the envelope path folds this into every corner).
+    const_area: f64,
+    /// Register area alone (statics, params, counters, cross-segment
+    /// locals) — the allocator's `reg_area` with temps priced at zero.
+    reg_area: f64,
+    /// Controller area per FSM state.
+    state_area: f64,
+    /// Global datapath class table at the allocator's characterization
+    /// widths (including the width-8 floors loop control imposes).
+    classes: Vec<ClassInfo>,
+    /// Whether any loop segment exists (counter adder + comparator).
+    any_loop: bool,
+    /// Total DFG nodes — the explorer's cost-model size input.
+    ops: usize,
+}
+
+/// One datapath class priced at its global characterization width.
+#[derive(Debug, Clone)]
+struct ClassInfo {
+    class: OpClass,
+    /// Area of one unit.
+    unit_area: f64,
+    /// Area of one 2:1 sharing-mux slice (`mux_tree_area(2, width)`);
+    /// a `k`-way tree costs `(k − 1)` slices.
+    mux_unit: f64,
+    /// Total operations of this class across all segments (the
+    /// allocator's `bound_ops`).
+    total: u32,
+}
+
+#[derive(Debug, Clone)]
+struct SegmentProfile {
+    latency: SegmentShape,
+    /// `(delay ns, predecessor indices)` per DFG node in topological
+    /// order — enough to replay the scheduler's chaining recurrence.
+    chain: Vec<(f64, Vec<u32>)>,
+    /// Class-table index per node (`u32::MAX` for non-datapath nodes),
+    /// parallel to `chain` — the exact path counts per-cycle usage.
+    class_idx: Vec<u32>,
+    /// Depth floor independent of the clock: memory-port serialization,
+    /// FU-limit serialization, and 1 for any non-empty DFG.
+    fixed_depth_floor: u32,
+    /// Whether memory ports or FU limits can defer nodes beyond the
+    /// chaining recurrence. When `false` the replayed placement *is*
+    /// the schedule the scheduler will produce, exactly.
+    constrained: bool,
+    /// `(area of one unit at the class's global width, op count)` for
+    /// every datapath class attributed to this segment (envelope path).
+    priced: Vec<(f64, u32)>,
+}
+
+#[derive(Debug, Clone)]
+enum SegmentShape {
+    Straight,
+    Loop { trip: u64, ii: Option<u32> },
+}
+
+impl SegmentProfile {
+    /// Replays the scheduler's chaining recurrence: each node lands in
+    /// the latest predecessor cycle when the accumulated delay fits the
+    /// clock, else the next cycle with a fresh chain. Without resource
+    /// constraints list scheduling is exactly this recurrence (readiness
+    /// order cannot change it), so the returned per-node cycles are the
+    /// scheduler's own; with constraints nodes are only ever deferred
+    /// further, so the depth is an admissible floor.
+    fn place(&self, clock: f64) -> (u32, Vec<u32>) {
+        let n = self.chain.len();
+        if n == 0 {
+            return (0, Vec::new());
+        }
+        let mut cyc = vec![0u32; n];
+        let mut end = vec![0.0f64; n];
+        let mut depth = 1u32;
+        for (i, (delay, preds)) in self.chain.iter().enumerate() {
+            let c = preds.iter().map(|&p| cyc[p as usize]).max().unwrap_or(0);
+            let start = preds
+                .iter()
+                .filter(|&&p| cyc[p as usize] == c)
+                .map(|&p| end[p as usize])
+                .fold(0.0, f64::max);
+            if start + delay <= clock {
+                cyc[i] = c;
+                end[i] = start + delay;
+            } else {
+                cyc[i] = c + 1;
+                end[i] = *delay;
             }
-            other => {
-                any_straight = true;
-                straight_chain = straight_chain.max(b.stmt_chain(other));
+            depth = depth.max(cyc[i] + 1);
+        }
+        (depth, cyc)
+    }
+
+    /// The replayed depth alone (the envelope path's clock floor).
+    fn packed_depth(&self, clock: f64) -> u32 {
+        self.place(clock).0
+    }
+
+    /// Latency contribution at schedule depth `depth`, mirroring
+    /// [`crate::metrics::segment_cycles`].
+    fn cycles(&self, depth: u32) -> u64 {
+        match &self.latency {
+            SegmentShape::Straight => depth as u64,
+            SegmentShape::Loop { trip, ii } => {
+                let d = depth.max(1) as u64;
+                match ii {
+                    Some(ii) if *trip > 0 => d + (trip - 1) * *ii as u64,
+                    _ => trip * d,
+                }
             }
         }
     }
-    // Handshake out-parameters are committed from staging registers in a
-    // dedicated trailing straight region even when the body has no other
-    // top-level straight statement.
-    let staged_outputs = func.params.iter().any(|p| {
-        let v = func.var(*p);
-        !v.is_array()
-            && func.param_direction(*p) == Direction::Out
-            && directives.interface_kind(&v.name) == InterfaceKind::RegisterHandshake
-    });
-    if any_straight || staged_outputs {
-        let depth = chain_cycles(straight_chain, clock).max(1);
-        latency += depth;
-        fsm_states += depth;
+
+    /// Area contribution at schedule depth `depth`: pigeonholed FU
+    /// demand plus the controller states this segment adds.
+    fn area(&self, depth: u32, state_area: f64) -> f64 {
+        let d = depth.max(1);
+        let mut a = state_area * d as f64;
+        for (unit_area, count) in &self.priced {
+            a += unit_area * count.div_ceil(d) as f64;
+        }
+        a
     }
 
-    // Loop control: the allocator adds a counter incrementer to the adder
-    // peak and guarantees a comparator whenever loop segments exist.
-    if loops > 0 {
-        let w = b.class_widths.entry(OpClass::Add).or_insert(0);
-        *w = (*w).max(8);
-        b.class_widths.entry(OpClass::Cmp).or_insert(8);
-    }
-
-    let mut area = 0.0;
-    for (class, width) in &b.class_widths {
-        area += lib.area(*class, (*width).max(1));
-    }
-    area += lib.register_area(state_bits_bound(func, directives));
-    area += lib.controller_area(fsm_states as usize);
-
-    DesignBound {
-        latency_cycles: latency,
-        area,
-        ops: b.ops,
+    /// The segment's own Pareto corner set over feasible depths: a
+    /// single exact-depth corner when unconstrained, the conservative
+    /// depth staircase otherwise.
+    fn corners(&self, clock: f64, state_area: f64) -> Vec<(u64, f64)> {
+        let packed = self.packed_depth(clock);
+        if !self.constrained {
+            return vec![(self.cycles(packed), self.area(packed, state_area))];
+        }
+        let lb = packed.max(self.fixed_depth_floor);
+        // Beyond the largest attributed op count every ⌈N/D⌉ term is
+        // already 1, so deeper schedules only cost more on both axes and
+        // the corner at `cap` covers them all.
+        let cap = self
+            .priced
+            .iter()
+            .map(|(_, n)| *n)
+            .max()
+            .unwrap_or(1)
+            .max(lb)
+            .max(1);
+        let pts: Vec<(u64, f64)> = (lb.max(1)..=cap)
+            .map(|d| (self.cycles(d), self.area(d, state_area)))
+            .collect();
+        pareto_floor(pts)
     }
 }
 
-/// Cycles needed to cover `chain` ns of dependence-chain delay when each
-/// cycle chains at most `clock` ns. The epsilon forgives float-summation
-/// noise in the admissible direction (rounding the bound *down*).
-fn chain_cycles(chain: f64, clock: f64) -> u64 {
-    if chain <= 0.0 || clock <= 0.0 {
-        return 0;
+/// Keeps the Pareto floor of a point set: corners sorted by ascending
+/// latency with strictly descending area.
+fn pareto_floor(mut pts: Vec<(u64, f64)>) -> Vec<(u64, f64)> {
+    pts.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut out: Vec<(u64, f64)> = Vec::new();
+    for (l, a) in pts {
+        if out.last().is_none_or(|&(_, pa)| a < pa) {
+            out.push((l, a));
+        }
     }
-    (chain / clock - 1e-9).ceil().max(0.0) as u64
+    out
+}
+
+/// Folds one segment's corner set into the running envelope (a Minkowski
+/// sum), then Pareto-filters and coarsens. Coarsening merges the
+/// adjacent pair with the smallest area gap into its component-wise
+/// minimum — a weaker corner, never an inadmissible one.
+fn fold(total: Vec<(u64, f64)>, seg: &[(u64, f64)]) -> Vec<(u64, f64)> {
+    let mut sum = Vec::with_capacity(total.len() * seg.len());
+    for &(l1, a1) in &total {
+        for &(l2, a2) in seg {
+            sum.push((l1 + l2, a1 + a2));
+        }
+    }
+    let mut out = pareto_floor(sum);
+    while out.len() > MAX_CORNERS {
+        let mut best = 0;
+        let mut best_gap = f64::INFINITY;
+        for i in 0..out.len() - 1 {
+            let gap = out[i].1 - out[i + 1].1;
+            if gap < best_gap {
+                best_gap = gap;
+                best = i;
+            }
+        }
+        out[best].1 = out[best + 1].1;
+        out.remove(best + 1);
+    }
+    out
+}
+
+/// Builds the clock-independent bound profile of a lowered design.
+///
+/// `directives` must carry the same array mappings, interfaces and FU
+/// limits the design will be scheduled under (the explorer holds those
+/// fixed across a sweep); the clock period is deliberately unused here.
+pub fn bound_profile(
+    lowered: &Lowered,
+    directives: &Directives,
+    lib: &TechLibrary,
+) -> BoundProfile {
+    let func = &lowered.func;
+    let mem_ports = |v: hls_ir::VarId| -> Option<(u32, u32)> {
+        let name = &func.var(v).name;
+        if let ArrayMapping::Memory {
+            read_ports,
+            write_ports,
+        } = directives.array_mapping(name)
+        {
+            return Some((read_ports, write_ports));
+        }
+        if directives.interface_kind(name) == InterfaceKind::Stream {
+            return Some((1, 1)); // one element per cycle, over time
+        }
+        None
+    };
+    let is_memory = |v: hls_ir::VarId| mem_ports(v).is_some();
+
+    // Per-segment raw facts; widths are global (the allocator's rule).
+    let mut widths: BTreeMap<OpClass, u32> = BTreeMap::new();
+    let mut ops = 0usize;
+    struct Raw {
+        shape: SegmentShape,
+        chain: Vec<(f64, Vec<u32>)>,
+        node_class: Vec<OpClass>,
+        fixed_depth_floor: u32,
+        constrained: bool,
+        counts: BTreeMap<OpClass, u32>,
+    }
+    let mut raws: Vec<Raw> = Vec::new();
+    for seg in &lowered.segments {
+        let dfg = seg.dfg();
+        let (classes, char_widths) = node_resources(dfg, &is_memory);
+        ops += dfg.len();
+
+        let mut counts: BTreeMap<OpClass, u32> = BTreeMap::new();
+        let mut all_counts: BTreeMap<OpClass, u32> = BTreeMap::new();
+        let mut mem_reads: BTreeMap<hls_ir::VarId, u32> = BTreeMap::new();
+        let mut mem_writes: BTreeMap<hls_ir::VarId, u32> = BTreeMap::new();
+        // Per-node delay and predecessor structure: node indices are
+        // topological by construction, so the chaining recurrence can be
+        // replayed with one forward sweep per clock.
+        let mut chain: Vec<(f64, Vec<u32>)> = Vec::with_capacity(dfg.len());
+        let mut node_class: Vec<OpClass> = Vec::with_capacity(dfg.len());
+        for (i, node) in dfg.nodes().iter().enumerate() {
+            let class = classes[i];
+            node_class.push(class);
+            *all_counts.entry(class).or_insert(0) += 1;
+            if counts_as_datapath(class) {
+                *counts.entry(class).or_insert(0) += 1;
+                let w = widths.entry(class).or_insert(0);
+                *w = (*w).max(char_widths[i]);
+            }
+            if let Some(arr) = node.accessed_array() {
+                if is_memory(arr) {
+                    match class {
+                        OpClass::MemRead => *mem_reads.entry(arr).or_insert(0) += 1,
+                        OpClass::MemWrite => *mem_writes.entry(arr).or_insert(0) += 1,
+                        _ => {}
+                    }
+                }
+            }
+            chain.push((
+                lib.delay(class, char_widths[i]),
+                node.preds.iter().map(|p| p.index() as u32).collect(),
+            ));
+        }
+
+        // Clock-independent serialization floors: memory ports and
+        // per-class FU limits cap how much one cycle can execute.
+        let mut floor: u32 = u32::from(!dfg.is_empty());
+        for (arr, n) in &mem_reads {
+            if let Some((rp, _)) = mem_ports(*arr) {
+                floor = floor.max(n.div_ceil(rp.max(1)));
+            }
+        }
+        for (arr, n) in &mem_writes {
+            if let Some((_, wp)) = mem_ports(*arr) {
+                floor = floor.max(n.div_ceil(wp.max(1)));
+            }
+        }
+        let mut limited = false;
+        for (class, n) in &all_counts {
+            if let Some(limit) = directives.fu_limit(*class) {
+                limited = true;
+                floor = floor.max(n.div_ceil(limit.max(1)));
+            }
+        }
+
+        let shape = match seg {
+            Segment::Straight { .. } => SegmentShape::Straight,
+            Segment::Loop {
+                trip, pipeline_ii, ..
+            } => SegmentShape::Loop {
+                trip: *trip as u64,
+                ii: *pipeline_ii,
+            },
+        };
+        raws.push(Raw {
+            shape,
+            chain,
+            node_class,
+            fixed_depth_floor: floor,
+            constrained: limited || !mem_reads.is_empty() || !mem_writes.is_empty(),
+            counts,
+        });
+    }
+
+    // The global class table at the allocator's own widths: loop control
+    // widens the adder to at least 8 bits and falls back to an 8-bit
+    // comparator entry when no datapath compare fixes the width — the
+    // exact adjustments `allocate` applies before pricing.
+    let any_loop = lowered
+        .segments
+        .iter()
+        .any(|s| matches!(s, Segment::Loop { .. }));
+    let mut class_widths = widths.clone();
+    if any_loop {
+        let w = class_widths.entry(OpClass::Add).or_insert(0);
+        *w = (*w).max(8);
+        class_widths.entry(OpClass::Cmp).or_insert(8);
+    }
+    let mut totals: BTreeMap<OpClass, u32> = BTreeMap::new();
+    for raw in &raws {
+        for (class, n) in &raw.counts {
+            *totals.entry(*class).or_insert(0) += n;
+        }
+    }
+    let classes: Vec<ClassInfo> = class_widths
+        .iter()
+        .map(|(class, w)| ClassInfo {
+            class: *class,
+            unit_area: lib.area(*class, *w),
+            mux_unit: lib.mux_tree_area(2, *w),
+            total: totals.get(class).copied().unwrap_or(0),
+        })
+        .collect();
+    let table_idx: BTreeMap<OpClass, u32> = classes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.class, i as u32))
+        .collect();
+
+    // Attribute each class to the segment with the most operations of it
+    // (ties to the earliest segment): the bound stays separable and
+    // ⌈N/D⌉ at the argmax segment still lower-bounds the global peak.
+    let mut argmax: BTreeMap<OpClass, usize> = BTreeMap::new();
+    for (i, raw) in raws.iter().enumerate() {
+        for (class, n) in &raw.counts {
+            match argmax.get(class) {
+                Some(&j) if raws[j].counts[class] >= *n => {}
+                _ => {
+                    argmax.insert(*class, i);
+                }
+            }
+        }
+    }
+    let segments: Vec<SegmentProfile> = raws
+        .iter()
+        .enumerate()
+        .map(|(i, raw)| SegmentProfile {
+            latency: raw.shape.clone(),
+            chain: raw.chain.clone(),
+            class_idx: raw
+                .node_class
+                .iter()
+                .map(|c| {
+                    if counts_as_datapath(*c) {
+                        table_idx[c]
+                    } else {
+                        u32::MAX
+                    }
+                })
+                .collect(),
+            fixed_depth_floor: raw.fixed_depth_floor,
+            constrained: raw.constrained,
+            priced: raw
+                .counts
+                .iter()
+                .filter(|(class, n)| argmax.get(*class) == Some(&i) && **n > 0)
+                .map(|(class, n)| {
+                    let w = widths.get(class).copied().unwrap_or(1).max(1);
+                    (lib.area(*class, w), *n)
+                })
+                .collect(),
+        })
+        .collect();
+
+    // Registers every schedule pays: the allocator's architectural
+    // state, with only the live-range temporaries resolved to zero.
+    let reg_area = lib.register_area(state_bits_bound(func, lowered, directives));
+    // Area the envelope folds into every corner regardless of depth:
+    // those registers plus the allocator's loop-control units.
+    let mut const_area = reg_area;
+    if any_loop {
+        // The allocator adds one counter incrementer *on top of* the
+        // datapath adder peak (width floored at 8)…
+        let w_add = widths.get(&OpClass::Add).copied().unwrap_or(0).max(8);
+        const_area += lib.area(OpClass::Add, w_add);
+        // …and guarantees one comparator; when datapath compares exist
+        // the ⌈N/D⌉ term already covers it.
+        if !widths.contains_key(&OpClass::Cmp) {
+            const_area += lib.area(OpClass::Cmp, 8);
+        }
+    }
+
+    BoundProfile {
+        segments,
+        const_area,
+        reg_area,
+        state_area: lib.controller_area(1),
+        classes,
+        any_loop,
+        ops,
+    }
+}
+
+/// Specializes a [`BoundProfile`] to the clock period in `directives`,
+/// producing the candidate's admissible envelope.
+pub fn bound_from_profile(profile: &BoundProfile, directives: &Directives) -> DesignBound {
+    let clock = directives.clock_period_ns;
+    if profile.segments.iter().all(|s| !s.constrained) {
+        // Every segment schedules to exactly the replayed placement, so
+        // the bound is one tight corner that reruns the allocator's own
+        // arithmetic: exact latency and controller states, per-class FU
+        // peaks read off the replayed cycles, the sharing-mux trees
+        // those peaks imply, and the architectural registers — only the
+        // live-range temporaries are resolved down to zero.
+        let nc = profile.classes.len();
+        let mut latency = 0u64;
+        let mut states = 0u64;
+        let mut peak = vec![0u32; nc];
+        for seg in &profile.segments {
+            let (d, cyc) = seg.place(clock);
+            latency += seg.cycles(d);
+            states += d.max(1) as u64;
+            if d > 0 {
+                let mut used = vec![0u32; d as usize * nc];
+                for (i, &ci) in seg.class_idx.iter().enumerate() {
+                    if ci != u32::MAX {
+                        used[cyc[i] as usize * nc + ci as usize] += 1;
+                    }
+                }
+                for (c, p) in peak.iter_mut().enumerate() {
+                    for row in 0..d as usize {
+                        *p = (*p).max(used[row * nc + c]);
+                    }
+                }
+            }
+        }
+        // Loop control rides on top of the datapath peaks: one counter
+        // incrementer beyond the adder demand, at least one comparator.
+        if profile.any_loop {
+            for (c, info) in profile.classes.iter().enumerate() {
+                match info.class {
+                    OpClass::Add => peak[c] += 1,
+                    OpClass::Cmp => peak[c] = peak[c].max(1),
+                    _ => {}
+                }
+            }
+        }
+        // Accumulate in the allocator's own class order and sum order so
+        // equal designs price identically (ties never prune: domination
+        // must be strict).
+        let mut fu = 0.0f64;
+        let mut mux = 0.0f64;
+        for (c, info) in profile.classes.iter().enumerate() {
+            let k = peak[c];
+            if k == 0 {
+                continue;
+            }
+            fu += info.unit_area * f64::from(k);
+            let per_fu = info.total.div_ceil(k);
+            if per_fu > 1 {
+                mux += info.mux_unit * f64::from(per_fu - 1) * 2.0 * f64::from(k);
+            }
+        }
+        let ctrl = profile.state_area * states as f64;
+        let area = fu + mux + profile.reg_area + ctrl;
+        return DesignBound {
+            latency_cycles: latency,
+            area,
+            ops: profile.ops,
+            corners: vec![(latency, area)],
+        };
+    }
+    let mut corners: Vec<(u64, f64)> = vec![(0, 0.0)];
+    for seg in &profile.segments {
+        let seg_corners = seg.corners(clock, profile.state_area);
+        if !seg_corners.is_empty() {
+            corners = fold(corners, &seg_corners);
+        }
+    }
+    for c in &mut corners {
+        c.1 += profile.const_area;
+    }
+    let latency_cycles = corners.first().map(|c| c.0).unwrap_or(0);
+    let area = corners.last().map(|c| c.1).unwrap_or(0.0);
+    DesignBound {
+        latency_cycles,
+        area,
+        ops: profile.ops,
+        corners,
+    }
+}
+
+/// Computes admissible latency/area lower bounds for a transformed (but
+/// unscheduled) function under `directives`: lowers the function exactly
+/// as synthesis would, profiles it, and specializes to the clock.
+pub fn lower_bound(func: &Function, directives: &Directives, lib: &TechLibrary) -> DesignBound {
+    let lowered = lower(func, directives);
+    let profile = bound_profile(&lowered, directives, lib);
+    bound_from_profile(&profile, directives)
 }
 
 /// Architectural register bits the allocator is guaranteed to count:
 /// statics and non-memory-mapped parameters at full width, one narrowed
-/// 8-bit register per counter. Locals (counted only when they cross
-/// segments) are priced at zero.
-fn state_bits_bound(func: &Function, directives: &Directives) -> u64 {
+/// 8-bit register per counter, and locals whose values cross segment
+/// boundaries (live-in of any segment DFG) — the allocator's own
+/// `state_bits`, exactly; only the live-range temporaries are left out.
+fn state_bits_bound(func: &Function, lowered: &Lowered, directives: &Directives) -> u64 {
     let mut bits = 0u64;
     for (_, v) in func.iter_vars() {
+        let width = v.ty.width() as u64 * v.len.unwrap_or(1) as u64;
         let is_mem = matches!(
             directives.array_mapping(&v.name),
             ArrayMapping::Memory { .. }
@@ -156,217 +642,24 @@ fn state_bits_bound(func: &Function, directives: &Directives) -> u64 {
         match v.kind {
             hls_ir::VarKind::Static | hls_ir::VarKind::Param => {
                 if !is_mem {
-                    bits += v.ty.width() as u64 * v.len.unwrap_or(1) as u64;
+                    bits += width;
                 }
             }
             hls_ir::VarKind::Counter => bits += 8,
-            hls_ir::VarKind::Local => {}
+            hls_ir::VarKind::Local => {
+                let crosses = lowered.segments.iter().any(|s| {
+                    s.dfg()
+                        .live_in
+                        .iter()
+                        .any(|id| func.var(*id).name == v.name)
+                });
+                if crosses {
+                    bits += width;
+                }
+            }
         }
     }
     bits
-}
-
-struct Bounder<'a> {
-    func: &'a Function,
-    directives: &'a Directives,
-    lib: &'a TechLibrary,
-    /// Maximum characterization width seen per definitely-present class.
-    class_widths: BTreeMap<OpClass, u32>,
-    ops: usize,
-}
-
-impl Bounder<'_> {
-    fn bool_format() -> Format {
-        Format::integer(1, Signedness::Unsigned)
-    }
-
-    fn var_format(&self, v: VarId) -> Format {
-        self.func
-            .var(v)
-            .ty
-            .format()
-            .unwrap_or_else(Self::bool_format)
-    }
-
-    /// Mirrors the scheduler's memory test: memory-mapped arrays and
-    /// streamed parameters access elements over time.
-    fn is_mem(&self, v: VarId) -> bool {
-        let name = &self.func.var(v).name;
-        matches!(
-            self.directives.array_mapping(name),
-            ArrayMapping::Memory { .. }
-        ) || self.directives.interface_kind(name) == InterfaceKind::Stream
-    }
-
-    fn note(&mut self, class: OpClass, width: u32) {
-        let e = self.class_widths.entry(class).or_insert(0);
-        *e = (*e).max(width);
-    }
-
-    /// Output format and chain delay (ns) of `e`, mirroring the DFG
-    /// builder's format inference and the scheduler's per-class delays.
-    /// Variable reads are free (their producer may be anywhere), which
-    /// only lowers the bound.
-    fn expr(&mut self, e: &Expr) -> (Format, f64) {
-        match e {
-            Expr::Const(c) => (c.format(), 0.0),
-            Expr::ConstBool(_) => (Self::bool_format(), 0.0),
-            Expr::Var(v) => (self.var_format(*v), 0.0),
-            Expr::Load { array, index } => {
-                self.ops += 1;
-                let (_, ci) = self.expr(index);
-                let fmt = self.var_format(*array);
-                let class = if self.is_mem(*array) {
-                    OpClass::MemRead
-                } else {
-                    OpClass::RegRead
-                };
-                (fmt, ci + self.lib.delay(class, fmt.width()))
-            }
-            Expr::Unary { op, arg } => {
-                self.ops += 1;
-                let (af, ca) = self.expr(arg);
-                match op {
-                    UnOp::Neg => {
-                        let fmt = af.neg_format();
-                        self.note(OpClass::Neg, fmt.width());
-                        (fmt, ca + self.lib.delay(OpClass::Neg, fmt.width()))
-                    }
-                    UnOp::Signum => {
-                        let fmt = Format::signed(2, 2);
-                        self.note(OpClass::Sign, fmt.width());
-                        (fmt, ca + self.lib.delay(OpClass::Sign, fmt.width()))
-                    }
-                    UnOp::Not => (Self::bool_format(), ca), // wiring
-                }
-            }
-            Expr::Binary { op, lhs, rhs } => {
-                self.ops += 1;
-                let (fa, ca) = self.expr(lhs);
-                let (fb, cb) = self.expr(rhs);
-                let chain = ca.max(cb);
-                match op {
-                    BinOp::Add | BinOp::Sub => {
-                        let fmt = if *op == BinOp::Add {
-                            fa.add_format(&fb)
-                        } else {
-                            fa.sub_format(&fb)
-                        };
-                        self.note(OpClass::Add, fmt.width());
-                        (fmt, chain + self.lib.delay(OpClass::Add, fmt.width()))
-                    }
-                    BinOp::Mul => {
-                        let fmt = fa.mul_format(&fb);
-                        if is_pow2_const(lhs) || is_pow2_const(rhs) {
-                            (fmt, chain) // a fixed shift: wiring
-                        } else {
-                            // Multiplier characterization width is the
-                            // widest operand, as in the scheduler.
-                            let w = fa.width().max(fb.width());
-                            self.note(OpClass::Mul, w);
-                            (fmt, chain + self.lib.delay(OpClass::Mul, w))
-                        }
-                    }
-                    BinOp::Shl | BinOp::Shr => (fa, chain),
-                    BinOp::And | BinOp::Or => (Self::bool_format(), chain),
-                }
-            }
-            Expr::Compare { lhs, rhs, .. } => {
-                self.ops += 1;
-                let (_, ca) = self.expr(lhs);
-                let (_, cb) = self.expr(rhs);
-                let fmt = Self::bool_format();
-                self.note(OpClass::Cmp, fmt.width());
-                (fmt, ca.max(cb) + self.lib.delay(OpClass::Cmp, fmt.width()))
-            }
-            Expr::Select { cond, then_, else_ } => {
-                self.ops += 1;
-                let (_, cc) = self.expr(cond);
-                let (ft, ct) = self.expr(then_);
-                let (fe, ce) = self.expr(else_);
-                let fmt = common_format(ft, fe);
-                self.note(OpClass::Mux, fmt.width());
-                let chain = cc.max(ct).max(ce);
-                (fmt, chain + self.lib.delay(OpClass::Mux, fmt.width()))
-            }
-            Expr::Cast { ty, arg, .. } => {
-                self.ops += 1;
-                let (_, ca) = self.expr(arg);
-                let fmt = ty.format().unwrap_or_else(Self::bool_format);
-                self.note(OpClass::Cast, fmt.width());
-                (fmt, ca + self.lib.delay(OpClass::Cast, fmt.width()))
-            }
-        }
-    }
-
-    /// Value chain of an assignment right-hand side including the
-    /// declared-format cast the DFG builder inserts when formats differ.
-    fn value_chain(&mut self, value: &Expr, decl: Format) -> f64 {
-        let (vf, cv) = self.expr(value);
-        if vf != decl {
-            self.note(OpClass::Cast, decl.width());
-            cv + self.lib.delay(OpClass::Cast, decl.width())
-        } else {
-            cv
-        }
-    }
-
-    /// The longest dependence chain any single statement forces. Nested
-    /// loops count as one iteration and predication logic is free — both
-    /// only lower the bound.
-    fn stmt_chain(&mut self, s: &Stmt) -> f64 {
-        match s {
-            Stmt::Assign { var, value } => {
-                self.ops += 1; // the register write itself
-                let decl = self.var_format(*var);
-                self.value_chain(value, decl) // RegWrite adds no delay
-            }
-            Stmt::Store {
-                array,
-                index,
-                value,
-            } => {
-                self.ops += 1;
-                let (_, ci) = self.expr(index);
-                let decl = self.var_format(*array);
-                let cv = self.value_chain(value, decl);
-                let class = if self.is_mem(*array) {
-                    OpClass::MemWrite
-                } else {
-                    OpClass::RegWrite
-                };
-                ci.max(cv) + self.lib.delay(class, decl.width())
-            }
-            Stmt::If { cond, then_, else_ } => {
-                let (_, cc) = self.expr(cond);
-                let mut chain = cc;
-                for s in then_.iter().chain(else_) {
-                    chain = chain.max(self.stmt_chain(s));
-                }
-                chain
-            }
-            Stmt::For(l) => {
-                let mut chain = 0.0f64;
-                for s in &l.body {
-                    chain = chain.max(self.stmt_chain(s));
-                }
-                chain
-            }
-        }
-    }
-}
-
-/// Mirrors the DFG builder's power-of-two-constant test: such a multiply
-/// operand turns the multiply into wiring.
-fn is_pow2_const(e: &Expr) -> bool {
-    match e {
-        Expr::Const(c) => {
-            let m = c.raw().unsigned_abs();
-            m != 0 && m.is_power_of_two()
-        }
-        Expr::ConstBool(v) => *v, // raw mantissa 1
-        _ => false,
-    }
 }
 
 #[cfg(test)]
@@ -375,7 +668,7 @@ mod tests {
     use crate::directives::Unroll;
     use crate::synthesize::synthesize;
     use crate::transform::apply_loop_transforms;
-    use hls_ir::{CmpOp, FunctionBuilder, Ty};
+    use hls_ir::{CmpOp, Expr, FunctionBuilder, Ty};
 
     fn mac_loop() -> Function {
         let mut b = FunctionBuilder::new("fir");
@@ -412,6 +705,17 @@ mod tests {
             bound.area <= actual.metrics.area + 1e-9,
             "area bound {} exceeds actual {} for {d:?}",
             bound.area,
+            actual.metrics.area
+        );
+        // Envelope admissibility: the synthesized design must lie on or
+        // above at least one corner — the property corner pruning needs.
+        assert!(
+            bound.corners.iter().any(
+                |&(l, a)| l <= actual.metrics.latency_cycles && a <= actual.metrics.area + 1e-9
+            ),
+            "no corner of {:?} admits actual ({}, {}) for {d:?}",
+            bound.corners,
+            actual.metrics.latency_cycles,
             actual.metrics.area
         );
     }
@@ -460,6 +764,7 @@ mod tests {
         // Registers for the two 160-bit arrays alone dwarf zero.
         assert!(b.area > 0.0);
         assert!(b.ops > 0);
+        assert!(!b.corners.is_empty());
     }
 
     #[test]
@@ -476,5 +781,67 @@ mod tests {
         );
         assert!(b.latency_cycles <= rolled.latency_cycles);
         assert_admissible(&f, &d);
+    }
+
+    #[test]
+    fn unrolling_tightens_the_area_floor() {
+        // The resource relaxation must see that an unrolled body demands
+        // more concurrent units at equal latency: the area of the
+        // fastest corner grows with the unroll factor.
+        let f = mac_loop();
+        let lib = TechLibrary::asic_100mhz();
+        let fastest_area = |u: u32| -> f64 {
+            let d = if u == 1 {
+                Directives::new(10.0)
+            } else {
+                Directives::new(10.0).unroll("mac", Unroll::Factor(u))
+            };
+            let t = apply_loop_transforms(&f, &d);
+            let b = lower_bound(&t.func, &d, &lib);
+            b.corners.first().expect("corners").1
+        };
+        assert!(
+            fastest_area(8) > fastest_area(1),
+            "u8 fastest corner {} must out-price u1 {}",
+            fastest_area(8),
+            fastest_area(1)
+        );
+    }
+
+    #[test]
+    fn envelope_corners_are_a_pareto_staircase() {
+        let f = mac_loop();
+        let lib = TechLibrary::asic_100mhz();
+        let d = Directives::new(10.0).unroll("mac", Unroll::Factor(4));
+        let t = apply_loop_transforms(&f, &d);
+        let b = lower_bound(&t.func, &d, &lib);
+        assert!(b.corners.len() <= MAX_CORNERS);
+        for w in b.corners.windows(2) {
+            assert!(w[0].0 < w[1].0, "latencies ascend: {:?}", b.corners);
+            assert!(w[0].1 > w[1].1, "areas descend: {:?}", b.corners);
+        }
+        assert_eq!(b.latency_cycles, b.corners.first().unwrap().0);
+        assert_eq!(b.area.to_bits(), b.corners.last().unwrap().1.to_bits());
+    }
+
+    #[test]
+    fn profile_reuse_matches_direct_bound() {
+        // The two-level API (profile once per transform prefix, then
+        // specialize per clock) must agree exactly with the one-shot
+        // path the service uses.
+        let f = mac_loop();
+        let lib = TechLibrary::asic_100mhz();
+        let d10 = Directives::new(10.0).unroll("mac", Unroll::Factor(2));
+        let t = apply_loop_transforms(&f, &d10);
+        let lowered = lower(&t.func, &d10);
+        let profile = bound_profile(&lowered, &d10, &lib);
+        for clk in [5.0, 10.0, 20.0] {
+            let d = Directives::new(clk).unroll("mac", Unroll::Factor(2));
+            let direct = lower_bound(&t.func, &d, &lib);
+            let via_profile = bound_from_profile(&profile, &d);
+            assert_eq!(direct.latency_cycles, via_profile.latency_cycles);
+            assert_eq!(direct.area.to_bits(), via_profile.area.to_bits());
+            assert_eq!(direct.corners, via_profile.corners);
+        }
     }
 }

@@ -165,6 +165,26 @@ impl Directives {
         self
     }
 
+    /// Applies one point of a per-loop grid sweep: an unroll factor and a
+    /// pipeline-II choice for every swept loop, in one call. Factor 1 and
+    /// `None` are the defaults and create **no** per-loop entry, so a grid
+    /// point that happens to match the tool defaults canonicalizes (and
+    /// memoizes) identically to a directive set that never mentioned the
+    /// loop.
+    pub fn grid_point(mut self, unroll: &[(&str, u32)], pipeline: &[(&str, Option<u32>)]) -> Self {
+        for &(label, f) in unroll {
+            if f > 1 {
+                self.loops.entry(label.to_string()).or_default().unroll = Unroll::Factor(f);
+            }
+        }
+        for &(label, ii) in pipeline {
+            if let Some(ii) = ii {
+                self.loops.entry(label.to_string()).or_default().pipeline_ii = Some(ii);
+            }
+        }
+        self
+    }
+
     /// Excludes one loop from merging.
     pub fn no_merge(mut self, label: &str) -> Self {
         self.loops.entry(label.to_string()).or_default().no_merge = true;
@@ -390,6 +410,22 @@ mod tests {
         assert_eq!(Unroll::Factor(32).factor(16), 16); // clamped to trip
         assert_eq!(Unroll::Full.factor(16), 16);
         assert_eq!(Unroll::Factor(0).factor(16), 1); // degenerate
+    }
+
+    #[test]
+    fn grid_point_defaults_leave_no_trace() {
+        // A grid point at the defaults must canonicalize exactly like a
+        // directive set that never mentioned the loops — otherwise the
+        // explorer's memo cache would miss on U1/unpipelined aliases.
+        let plain = Directives::new(10.0);
+        let gridded = Directives::new(10.0)
+            .grid_point(&[("ffe", 1), ("dfe", 1)], &[("ffe", None), ("dfe", None)]);
+        assert_eq!(plain, gridded);
+        let d = Directives::new(10.0).grid_point(&[("ffe", 4), ("dfe", 1)], &[("dfe", Some(2))]);
+        assert_eq!(d.loop_directive("ffe").unroll, Unroll::Factor(4));
+        assert_eq!(d.loop_directive("ffe").pipeline_ii, None);
+        assert_eq!(d.loop_directive("dfe").unroll, Unroll::None);
+        assert_eq!(d.loop_directive("dfe").pipeline_ii, Some(2));
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //! merge policy) over every loop, synthesize each point, and keep the
 //! latency/area Pareto frontier.
 //!
+//! Sweeps come in two shapes: the classic uniform sweep (one unroll
+//! factor applied to every loop, plus single-loop refinements) and the
+//! combinatorial per-loop grid ([`LoopGrid`]) that crosses each loop's own
+//! unroll factors and pipeline-II choices with the clock grid — the shape
+//! that reaches 10k+ points on the paper's decoder.
+//!
 //! Five throughput levers keep large sweeps rapid:
 //!
 //! - **Memoization** — candidates are keyed by their canonicalized
@@ -13,27 +19,35 @@
 //!   refinement overlaps the uniform sweep) synthesize once.
 //! - **Prefix memoization** — the loop-transform prefix of the pipeline
 //!   depends only on the merge policy and loop directives, not on the
-//!   clock, mappings or FU limits. Candidates sharing that prefix (every
-//!   point of a clock sweep, notably) transform once and reuse the result
-//!   through the pass manager's seeded transform pass.
+//!   clock, mappings or FU limits — and the lowering right after it is
+//!   equally clock-independent. Candidates sharing that prefix (every
+//!   point of a clock sweep, notably) transform *and lower* once, reusing
+//!   both through the pass manager's seeded prefix passes; a clock-only
+//!   twin re-runs nothing upstream of the scheduler.
 //! - **Parallel evaluation** — with the `parallel` feature (on by
 //!   default), unique candidates are synthesized across all available
 //!   cores via scoped threads. Results are keyed by candidate index, so
 //!   point order, failure order and the Pareto frontier are identical to
 //!   the serial path ([`explore_serial`]) regardless of thread timing.
 //! - **Branch-and-bound pruning** — with an [`ExploreBudget`], each
-//!   candidate's transformed-but-unscheduled IR yields admissible
-//!   latency/area lower bounds ([`crate::bound::lower_bound`]); a
-//!   candidate whose *bounds* are already strictly dominated by a
-//!   completed design point cannot reach the frontier (its actual point
-//!   is no better than its bounds), so its back end is skipped entirely.
-//!   Candidates run in deterministic waves and pruning only consults
-//!   points completed in *earlier* waves, so which candidates get pruned
-//!   never depends on thread timing; a per-pass cost model fitted from
-//!   the pass traces of already-run candidates additionally refuses to
-//!   prune candidates whose modeled back-end cost is below
+//!   transform prefix yields one resource-aware [`BoundProfile`]
+//!   ([`crate::bound::bound_profile`]), specialized per clock into an
+//!   admissible envelope of latency/area corners tracing the candidate's
+//!   feasible schedule-depth trade-off. A candidate is pruned when
+//!   *every* corner is strictly dominated by a completed design point:
+//!   admissibility puts some corner componentwise below the candidate's
+//!   actual point, so that corner's dominator strictly dominates the
+//!   actual too and the Pareto frontier never loses a member. Candidates
+//!   run in deterministic waves (geometrically growing, so early points
+//!   start pruning while late waves amortize), pruning only consults
+//!   points completed in *earlier* waves, and a per-pass cost model
+//!   fitted from already-run candidates refuses to prune candidates
+//!   whose modeled back-end cost is below
 //!   [`ExploreBudget::min_prune_cost_ns`] (pruning something cheaper than
-//!   the bound computation is a loss).
+//!   the bound computation is a loss). Every pruned candidate records its
+//!   corners and the completed points that dominated them
+//!   ([`PrunedCandidate`]), and per-wave efficacy lands in
+//!   [`ExploreResult::wave_stats`].
 //! - **Fused synthesize + verify** — [`explore_with_check`] runs the
 //!   equivalence checker *inside* the synthesis worker pool, reusing each
 //!   candidate's just-built [`SynthesisResult`] instead of re-synthesizing
@@ -45,10 +59,14 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use crate::bound::{lower_bound, DesignBound};
+use crate::bound::{bound_from_profile, bound_profile, BoundProfile, DesignBound};
 use crate::directives::{Directives, MergePolicy, Unroll};
 use crate::error::SynthesisError;
-use crate::pipeline::{synthesize_traced, synthesize_traced_with_transform, PipelineConfig};
+use crate::lower::{lower, Lowered};
+use crate::pipeline::{
+    synthesize_traced, synthesize_traced_with_prefix, synthesize_traced_with_transform,
+    PipelineConfig,
+};
 use crate::synthesize::SynthesisResult;
 use crate::tech::TechLibrary;
 use crate::transform::{apply_loop_transforms, TransformResult};
@@ -116,6 +134,45 @@ impl Default for ExploreBudget {
     }
 }
 
+/// A per-loop grid sweep: each listed loop sweeps its *own* unroll
+/// factors and pipeline-II choices, and the candidate set is the full
+/// cross product of every axis (× the clock grid × the merge policies).
+/// This is the combinatorial alternative to [`ExploreConfig::unroll_factors`]'
+/// uniform sweep — six loops with three factors each already give 729
+/// unroll assignments before clocks and policies multiply in.
+///
+/// Axes with an empty choice list are ignored; factor `1` and II `None`
+/// are the defaults, so including them in an axis is how a grid also
+/// covers the rolled/unpipelined corner.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoopGrid {
+    /// Unroll factors per loop, as `(label, factors)`.
+    pub unroll: Vec<(String, Vec<u32>)>,
+    /// Pipeline-II choices per loop, as `(label, choices)`; `None` leaves
+    /// the loop unpipelined.
+    pub pipeline: Vec<(String, Vec<Option<u32>>)>,
+}
+
+impl LoopGrid {
+    /// The number of candidates this grid contributes per (clock, policy)
+    /// pair — the product of every non-empty axis.
+    pub fn points_per_clock(&self) -> usize {
+        let u: usize = self
+            .unroll
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(_, v)| v.len())
+            .product();
+        let p: usize = self
+            .pipeline
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(_, v)| v.len())
+            .product();
+        u * p
+    }
+}
+
 /// Exploration configuration.
 #[derive(Debug, Clone)]
 pub struct ExploreConfig {
@@ -136,6 +193,12 @@ pub struct ExploreConfig {
     /// uniform sweep) — finds asymmetric winners like the paper's fourth
     /// architecture.
     pub per_loop_refinement: bool,
+    /// A combinatorial per-loop grid. `None` (the default) runs the
+    /// uniform sweep above; `Some` **replaces** it — candidates become the
+    /// cross product of the grid's axes with the clock grid and the merge
+    /// policies, and [`ExploreConfig::unroll_factors`]/
+    /// [`ExploreConfig::per_loop_refinement`] are ignored.
+    pub loop_grids: Option<LoopGrid>,
     /// Which explored points [`explore_with_check`] equivalence-checks.
     /// Plain [`explore`]/[`explore_serial`] ignore this (they have no
     /// checker to run).
@@ -158,6 +221,7 @@ impl Default for ExploreConfig {
             unroll_factors: vec![1, 2, 4],
             merge_policies: vec![MergePolicy::Off, MergePolicy::AllowHazards],
             per_loop_refinement: true,
+            loop_grids: None,
             verify: VerifyLevel::Off,
             budget: None,
         }
@@ -187,6 +251,24 @@ pub struct PrunedCandidate {
     pub latency_bound_cycles: u64,
     /// The candidate's admissible area lower bound.
     pub area_bound: f64,
+    /// The candidate's full bound envelope — admissible `(latency, area)`
+    /// corners tracing its feasible schedule-depth trade-off. Every corner
+    /// was strictly dominated by a completed point, which is exactly why
+    /// the candidate was pruned.
+    pub corners: Vec<(u64, f64)>,
+    /// The labels of the completed design points that dominated the
+    /// corners (deduplicated, in corner order) — enough to diagnose any
+    /// prune decision from a serialized result alone.
+    pub dominated_by: Vec<String>,
+}
+
+/// Pruning efficacy of one evaluation wave.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaveStats {
+    /// Unique jobs whose back end ran in this wave.
+    pub evaluated: usize,
+    /// Unique jobs pruned at this wave's admission check.
+    pub pruned: usize,
 }
 
 /// The exploration outcome.
@@ -212,6 +294,9 @@ pub struct ExploreResult {
     /// candidate-generation order. Always empty without
     /// [`ExploreConfig::budget`].
     pub pruned: Vec<PrunedCandidate>,
+    /// Per-wave pruning efficacy, in wave order (unique jobs, not
+    /// candidate aliases). Empty without [`ExploreConfig::budget`].
+    pub wave_stats: Vec<WaveStats>,
 }
 
 impl ExploreResult {
@@ -237,6 +322,18 @@ impl ExploreResult {
         self.points
             .iter()
             .min_by(|a, b| a.area.partial_cmp(&b.area).expect("finite areas"))
+    }
+
+    /// The fraction of wave-scheduled unique jobs that pruning skipped
+    /// (`0.0` when no budget ran).
+    pub fn prune_rate(&self) -> f64 {
+        let evaluated: usize = self.wave_stats.iter().map(|w| w.evaluated).sum();
+        let pruned: usize = self.wave_stats.iter().map(|w| w.pruned).sum();
+        if evaluated + pruned == 0 {
+            0.0
+        } else {
+            pruned as f64 / (evaluated + pruned) as f64
+        }
     }
 }
 
@@ -269,10 +366,13 @@ pub fn transform_signature(d: &Directives) -> String {
 type JobOutcome = Result<(u64, f64), SynthesisError>;
 
 /// One unique directive set to synthesize, with its (optionally) shared
-/// precomputed transform prefix.
+/// precomputed prefix: the transform result and the lowering, both
+/// clock-independent and shared across every job of one transform
+/// signature.
 struct Job<'a> {
     directives: &'a Directives,
     transformed: Option<Arc<TransformResult>>,
+    lowered: Option<Arc<Lowered>>,
 }
 
 /// An equivalence checker for one design point: `Ok(())` if the
@@ -328,15 +428,23 @@ struct JobResult {
 const TAIL_PASSES: [&str; 4] = ["lower", "schedule", "allocate", "metrics"];
 
 fn run_job(func: &Function, job: &Job<'_>, lib: &TechLibrary, check: CheckOp<'_, '_>) -> JobResult {
-    let (result, run) = match &job.transformed {
-        Some(t) => synthesize_traced_with_transform(
+    let (result, run) = match (&job.transformed, &job.lowered) {
+        (Some(t), Some(l)) => synthesize_traced_with_prefix(
+            func,
+            job.directives,
+            lib,
+            &PipelineConfig::default(),
+            Arc::clone(t),
+            Arc::clone(l),
+        ),
+        (Some(t), None) => synthesize_traced_with_transform(
             func,
             job.directives,
             lib,
             &PipelineConfig::default(),
             Arc::clone(t),
         ),
-        None => synthesize_traced(func, job.directives, lib, &PipelineConfig::default()),
+        _ => synthesize_traced(func, job.directives, lib, &PipelineConfig::default()),
     };
     let tail_ns = run
         .trace
@@ -417,7 +525,105 @@ where
     (0..n).map(f).collect()
 }
 
+/// Every assignment of one choice index per axis, in odometer order (last
+/// axis fastest). `lens` must be all non-zero; an empty `lens` yields the
+/// single empty assignment.
+fn cross(lens: &[usize]) -> Vec<Vec<usize>> {
+    let total: usize = lens.iter().product();
+    let mut combos = Vec::with_capacity(total);
+    let mut idx = vec![0usize; lens.len()];
+    loop {
+        combos.push(idx.clone());
+        let mut k = lens.len();
+        loop {
+            if k == 0 {
+                return combos;
+            }
+            k -= 1;
+            idx[k] += 1;
+            if idx[k] < lens[k] {
+                break;
+            }
+            idx[k] = 0;
+        }
+    }
+}
+
+/// Enumerates the per-loop grid sweep: clock × merge policy × the cross
+/// product of every loop's unroll factors × every loop's pipeline-II
+/// choices, in deterministic order with self-describing labels.
+fn grid_candidates(config: &ExploreConfig, grid: &LoopGrid) -> Vec<(String, Directives)> {
+    let clocks: Vec<f64> = if config.clock_periods_ns.is_empty() {
+        vec![config.clock_period_ns]
+    } else {
+        config.clock_periods_ns.clone()
+    };
+    let sweep = clocks.len() > 1;
+    let u_axes: Vec<(&str, &[u32])> = grid
+        .unroll
+        .iter()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(l, v)| (l.as_str(), v.as_slice()))
+        .collect();
+    let ii_axes: Vec<(&str, &[Option<u32>])> = grid
+        .pipeline
+        .iter()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(l, v)| (l.as_str(), v.as_slice()))
+        .collect();
+    let u_lens: Vec<usize> = u_axes.iter().map(|(_, v)| v.len()).collect();
+    let ii_lens: Vec<usize> = ii_axes.iter().map(|(_, v)| v.len()).collect();
+    let u_combos = cross(&u_lens);
+    let ii_combos = cross(&ii_lens);
+
+    let mut candidates = Vec::new();
+    for &clk in &clocks {
+        let suffix = if sweep {
+            format!(" @{clk}ns")
+        } else {
+            String::new()
+        };
+        for &policy in &config.merge_policies {
+            for ui in &u_combos {
+                let unroll: Vec<(&str, u32)> = u_axes
+                    .iter()
+                    .zip(ui)
+                    .map(|(&(l, fs), &i)| (l, fs[i]))
+                    .collect();
+                let u_label: Vec<String> = unroll.iter().map(|(l, f)| format!("{l}={f}")).collect();
+                for pi in &ii_combos {
+                    let pipeline: Vec<(&str, Option<u32>)> = ii_axes
+                        .iter()
+                        .zip(pi)
+                        .map(|(&(l, iis), &i)| (l, iis[i]))
+                        .collect();
+                    let d = Directives::new(clk)
+                        .merge_policy(policy)
+                        .grid_point(&unroll, &pipeline);
+                    let mut label = format!("{policy:?} U[{}]", u_label.join(","));
+                    if !pipeline.is_empty() {
+                        let ii_label: Vec<String> = pipeline
+                            .iter()
+                            .map(|(l, ii)| match ii {
+                                Some(ii) => format!("{l}={ii}"),
+                                None => format!("{l}=-"),
+                            })
+                            .collect();
+                        label.push_str(&format!(" II[{}]", ii_label.join(",")));
+                    }
+                    label.push_str(&suffix);
+                    candidates.push((label, d));
+                }
+            }
+        }
+    }
+    candidates
+}
+
 fn candidates_for(func: &Function, config: &ExploreConfig) -> Vec<(String, Directives)> {
+    if let Some(grid) = &config.loop_grids {
+        return grid_candidates(config, grid);
+    }
     let labels = func.loop_labels();
     let clocks: Vec<f64> = if config.clock_periods_ns.is_empty() {
         vec![config.clock_period_ns]
@@ -456,49 +662,91 @@ fn candidates_for(func: &Function, config: &ExploreConfig) -> Vec<(String, Direc
     candidates
 }
 
-/// How many candidates each pruning wave evaluates. Small enough that the
-/// first completed points start pruning early, large enough to keep every
-/// worker of the pool busy per wave.
+/// How many candidates the first pruning wave evaluates. Small enough
+/// that the first completed points start pruning early; later waves grow
+/// geometrically (×2 up to [`MAX_PRUNE_WAVE`]) so a 10k-point sweep is
+/// not serialized into thousands of tiny barriers.
 const PRUNE_WAVE: usize = 8;
 
-/// `true` when a completed `(latency, area)` point strictly dominates the
-/// candidate's *bounds* — and therefore strictly dominates its actual
-/// point, wherever it lands: the actual is no better than the bounds on
-/// either axis, so `p ≤ bound ≤ actual` with strictness surviving on the
-/// strict axis. Anything the pruned point could have dominated, `p`
-/// dominates too (transitivity through the bound), so the frontier is
-/// unchanged.
-fn bound_dominated(completed: &[(u64, f64)], b: &DesignBound) -> bool {
-    completed.iter().any(|&(lat, area)| {
-        lat <= b.latency_cycles && area <= b.area && (lat < b.latency_cycles || area < b.area)
-    })
+/// The geometric wave-growth cap: large enough to keep every worker of
+/// the pool saturated, small enough that fresh frontier points keep
+/// feeding the prune check across a dense sweep.
+const MAX_PRUNE_WAVE: usize = 512;
+
+/// If every corner of the candidate's bound envelope is strictly
+/// dominated by some completed frontier point, returns the dominating
+/// jobs (deduplicated, in corner order); otherwise `None`.
+///
+/// Per-corner witnesses may differ. This is still sound: admissibility
+/// guarantees some corner sits componentwise at-or-below the candidate's
+/// actual point, so that corner's dominator `p` satisfies
+/// `p ≤ corner ≤ actual` with strictness surviving on the strict axis —
+/// `p` strictly dominates the actual point wherever it lands, and
+/// anything the pruned point could have dominated, `p` dominates too
+/// (transitivity through the corner). The frontier is unchanged.
+fn dominating_witnesses(frontier: &[(u64, f64, usize)], b: &DesignBound) -> Option<Vec<usize>> {
+    let mut witnesses: Vec<usize> = Vec::new();
+    for &(cl, ca) in &b.corners {
+        let &(_, _, job) = frontier
+            .iter()
+            .find(|&&(lat, area, _)| lat <= cl && area <= ca && (lat < cl || area < ca))?;
+        if !witnesses.contains(&job) {
+            witnesses.push(job);
+        }
+    }
+    Some(witnesses)
 }
 
-/// The deterministic evaluation order under pruning: the candidate with
-/// the smallest latency bound first, then the one with the smallest area
-/// bound (the two likeliest extremal frontier anchors — completing them
-/// early maximizes what later waves can prune against), then everything
-/// else in index order. Ties break on the lower index.
+/// Folds a completed point into the running frontier of completed points
+/// — the only points the prune check needs to consult: any point they
+/// weakly dominate can only strictly dominate a corner they also strictly
+/// dominate. Keeping the scan list Pareto-minimal is what keeps the
+/// per-corner witness search cheap across 10k-point sweeps.
+fn push_frontier(frontier: &mut Vec<(u64, f64, usize)>, lat: u64, area: f64, job: usize) {
+    if frontier.iter().any(|&(l, a, _)| l <= lat && a <= area) {
+        return; // weakly dominated (or duplicate): adds no pruning power
+    }
+    frontier.retain(|&(l, a, _)| !(lat <= l && area <= a));
+    frontier.push((lat, area, job));
+}
+
+/// The deterministic evaluation order under pruning: the latency-sorted
+/// and area-sorted rankings of the bound minima, interleaved. Both ends
+/// of the eventual frontier complete in the earliest waves, so the prune
+/// check has extremal points to consult across the whole latency/area
+/// span — not just one corner of it. Ties break on the lower index;
+/// unbounded jobs (no transform prefix) run last in index order.
 fn eval_order(bounds: &[Option<DesignBound>]) -> Vec<usize> {
     let n = bounds.len();
-    let a_lat = (0..n)
-        .filter(|&i| bounds[i].is_some())
-        .min_by_key(|&i| (bounds[i].expect("filtered").latency_cycles, i));
-    let a_area = (0..n)
-        .filter(|&i| bounds[i].is_some() && Some(i) != a_lat)
-        .min_by(|&i, &j| {
-            let (bi, bj) = (bounds[i].expect("filtered"), bounds[j].expect("filtered"));
-            bi.area.total_cmp(&bj.area).then(i.cmp(&j))
-        });
-    let anchors: Vec<usize> = [a_lat, a_area].into_iter().flatten().collect();
-    let mut order = anchors.clone();
-    order.extend((0..n).filter(|i| !anchors.contains(i)));
+    let bounded: Vec<usize> = (0..n).filter(|&i| bounds[i].is_some()).collect();
+    let mut by_lat = bounded.clone();
+    by_lat.sort_by_key(|&i| (bounds[i].as_ref().expect("bounded").latency_cycles, i));
+    let mut by_area = bounded;
+    by_area.sort_by(|&i, &j| {
+        let (bi, bj) = (
+            bounds[i].as_ref().expect("bounded"),
+            bounds[j].as_ref().expect("bounded"),
+        );
+        bi.area.total_cmp(&bj.area).then(i.cmp(&j))
+    });
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    for k in 0..by_lat.len() {
+        for &i in &[by_lat[k], by_area[k]] {
+            if !used[i] {
+                used[i] = true;
+                order.push(i);
+            }
+        }
+    }
+    order.extend((0..n).filter(|&i| !used[i]));
     order
 }
 
-/// The resolution of one unique job after the wave loop.
+/// The resolution of one unique job after the wave loop: pruned (with the
+/// bound envelope and the dominating jobs) or done.
 enum Slot {
-    Pruned(DesignBound),
+    Pruned(DesignBound, Vec<usize>),
     Done(Box<JobResult>),
 }
 
@@ -541,11 +789,38 @@ fn explore_impl(
     }
     let transform_evaluations = transforms.len();
 
+    // One lowering per transform prefix: lowering depends on the
+    // transformed function and the lowering-relevant directives — the
+    // per-loop pipeline IIs, which are part of the signature; the
+    // explorer never varies interface or array mappings — but not on the
+    // clock, so every clock twin shares it. Under a budget, the bound
+    // profile rides along: one resource-aware profile per prefix,
+    // specialized per clock below.
+    let mut lowerings: BTreeMap<String, Arc<Lowered>> = BTreeMap::new();
+    let mut profiles: BTreeMap<String, BoundProfile> = BTreeMap::new();
+    for d in &uniques {
+        let sig = transform_signature(d);
+        let Some(t) = transforms.get(&sig) else {
+            continue;
+        };
+        let low = lowerings
+            .entry(sig.clone())
+            .or_insert_with(|| Arc::new(lower(&t.func, d)));
+        if config.budget.is_some() && !profiles.contains_key(&sig) {
+            let p = bound_profile(low, d, lib);
+            profiles.insert(sig, p);
+        }
+    }
+
     let jobs: Vec<Job<'_>> = uniques
         .iter()
-        .map(|d| Job {
-            directives: d,
-            transformed: transforms.get(&transform_signature(d)).map(Arc::clone),
+        .map(|d| {
+            let sig = transform_signature(d);
+            Job {
+                directives: d,
+                transformed: transforms.get(&sig).map(Arc::clone),
+                lowered: lowerings.get(&sig).map(Arc::clone),
+            }
         })
         .collect();
 
@@ -558,25 +833,36 @@ fn explore_impl(
     // Bounds exist only under a budget and only for candidates whose
     // transform prefix ran (an invalid-IR run has nothing to bound — and
     // nothing to prune, since every job just reports the validation
-    // error).
+    // error). Each is a cheap per-clock specialization of its prefix's
+    // shared profile.
     let bounds: Vec<Option<DesignBound>> = if config.budget.is_some() {
         jobs.iter()
             .map(|j| {
-                j.transformed
-                    .as_ref()
-                    .map(|t| lower_bound(&t.func, j.directives, lib))
+                profiles
+                    .get(&transform_signature(j.directives))
+                    .map(|p| bound_from_profile(p, j.directives))
             })
             .collect()
     } else {
         vec![None; jobs.len()]
     };
 
+    // A representative label per unique job (the first candidate that
+    // mapped to it) — the name pruning reports as a dominating witness.
+    let mut job_label: Vec<&str> = vec![""; jobs.len()];
+    for ((label, _), &job) in candidates.iter().zip(&job_of_candidate) {
+        if job_label[job].is_empty() {
+            job_label[job] = label.as_str();
+        }
+    }
+
     // The wave loop. Without a budget there is a single wave holding every
     // job — exactly the old fan-out. With one, candidates run in
-    // deterministic waves; before each wave, candidates whose bounds are
-    // strictly dominated by a point completed in an *earlier* wave (and
-    // whose modeled back-end cost clears the budget's floor) are pruned.
-    // Consulting only earlier waves keeps the prune set — and with
+    // deterministic waves of geometrically growing size; before each wave,
+    // candidates whose bound envelope is corner-for-corner strictly
+    // dominated by points completed in *earlier* waves (and whose modeled
+    // back-end cost clears the budget's floor) are pruned. Consulting only
+    // earlier waves keeps the prune set — and with
     // `min_prune_cost_ns == 0` even its exact membership — independent of
     // thread timing; a nonzero floor lets wall-clock noise shift which
     // *dominated* candidates are skipped, but dominated candidates are
@@ -586,46 +872,63 @@ fn explore_impl(
     } else {
         (0..jobs.len()).collect()
     };
-    let wave_size = if config.budget.is_some() {
+
+    let mut slots: Vec<Option<Slot>> = (0..jobs.len()).map(|_| None).collect();
+    let mut frontier: Vec<(u64, f64, usize)> = Vec::new();
+    let mut wave_stats: Vec<WaveStats> = Vec::new();
+    let mut tail_ns_sum: u64 = 0;
+    let mut ops_sum: u64 = 0;
+    let mut start = 0usize;
+    let mut wave_len = if config.budget.is_some() {
         PRUNE_WAVE
     } else {
         order.len().max(1)
     };
-
-    let mut slots: Vec<Option<Slot>> = (0..jobs.len()).map(|_| None).collect();
-    let mut completed: Vec<(u64, f64)> = Vec::new();
-    let mut tail_ns_sum: u64 = 0;
-    let mut ops_sum: u64 = 0;
-    for wave in order.chunks(wave_size.max(1)) {
+    while start < order.len() {
+        let wave = &order[start..order.len().min(start + wave_len)];
+        start += wave.len();
+        wave_len = (wave_len * 2).clamp(1, MAX_PRUNE_WAVE);
         let mut to_run: Vec<usize> = Vec::new();
         for &i in wave {
-            let prune = match (&config.budget, &bounds[i]) {
+            let witnesses = match (&config.budget, &bounds[i]) {
                 (Some(budget), Some(b)) => {
                     let modeled_ns = if ops_sum > 0 {
                         tail_ns_sum as f64 / ops_sum as f64 * b.ops as f64
                     } else {
                         0.0
                     };
-                    modeled_ns >= budget.min_prune_cost_ns as f64 && bound_dominated(&completed, b)
+                    if modeled_ns >= budget.min_prune_cost_ns as f64 {
+                        dominating_witnesses(&frontier, b)
+                    } else {
+                        None
+                    }
                 }
-                _ => false,
+                _ => None,
             };
-            if prune {
-                slots[i] = Some(Slot::Pruned(bounds[i].expect("pruned jobs have bounds")));
-            } else {
-                to_run.push(i);
+            match witnesses {
+                Some(w) => {
+                    let b = bounds[i].clone().expect("pruned jobs have bounds");
+                    slots[i] = Some(Slot::Pruned(b, w));
+                }
+                None => to_run.push(i),
             }
+        }
+        if config.budget.is_some() {
+            wave_stats.push(WaveStats {
+                evaluated: to_run.len(),
+                pruned: wave.len() - to_run.len(),
+            });
         }
         let results = par_map(parallel, to_run.len(), |k| {
             run_job(func, &jobs[to_run[k]], lib, check_op)
         });
         for (&i, r) in to_run.iter().zip(results) {
-            if let (Ok(point), Some(b)) = (&r.outcome, &bounds[i]) {
-                completed.push(*point);
-                tail_ns_sum += r.tail_ns;
-                ops_sum += b.ops as u64;
-            } else if let Ok(point) = &r.outcome {
-                completed.push(*point);
+            if let Ok((lat, area)) = &r.outcome {
+                push_frontier(&mut frontier, *lat, *area, i);
+                if let Some(b) = &bounds[i] {
+                    tail_ns_sum += r.tail_ns;
+                    ops_sum += b.ops as u64;
+                }
             }
             slots[i] = Some(Slot::Done(Box::new(r)));
         }
@@ -642,10 +945,15 @@ fn explore_impl(
     let mut pruned = Vec::new();
     for ((label, d), &job) in candidates.iter().zip(&job_of_candidate) {
         match slots[job].as_ref().expect("every job resolved") {
-            Slot::Pruned(b) => pruned.push(PrunedCandidate {
+            Slot::Pruned(b, witnesses) => pruned.push(PrunedCandidate {
                 label: label.clone(),
                 latency_bound_cycles: b.latency_cycles,
                 area_bound: b.area,
+                corners: b.corners.clone(),
+                dominated_by: witnesses
+                    .iter()
+                    .map(|&j| job_label[j].to_string())
+                    .collect(),
             }),
             Slot::Done(r) => match &r.outcome {
                 Ok((latency_cycles, area)) => {
@@ -714,6 +1022,7 @@ fn explore_impl(
         transform_evaluations,
         verify_failures,
         pruned,
+        wave_stats,
     }
 }
 
@@ -1110,25 +1419,148 @@ mod tests {
             ..swept_config()
         };
         let r = explore(&f, &cfg, &lib);
-        // Soundness: each pruned candidate's *bounds* are strictly
-        // dominated by some completed point, so its actual point could not
-        // have reached the frontier.
+        // Soundness: every corner of each pruned candidate's envelope is
+        // strictly dominated by some completed point (possibly different
+        // per corner), so its actual point — componentwise at-or-above
+        // some corner — could not have reached the frontier.
         for pc in &r.pruned {
             assert!(
-                r.points.iter().any(|p| {
-                    p.latency_cycles <= pc.latency_bound_cycles
-                        && p.area <= pc.area_bound
-                        && (p.latency_cycles < pc.latency_bound_cycles || p.area < pc.area_bound)
-                }),
-                "pruned `{}` (bounds ≥{} cycles, ≥{:.1} area) is not dominated",
-                pc.label,
-                pc.latency_bound_cycles,
-                pc.area_bound
+                !pc.corners.is_empty(),
+                "pruned `{}` has no corners",
+                pc.label
             );
+            for &(cl, ca) in &pc.corners {
+                assert!(
+                    r.points.iter().any(|p| {
+                        p.latency_cycles <= cl
+                            && p.area <= ca
+                            && (p.latency_cycles < cl || p.area < ca)
+                    }),
+                    "pruned `{}` corner ({cl} cycles, {ca:.1} area) is not dominated",
+                    pc.label,
+                );
+            }
+            // The recorded witnesses name real completed points that do
+            // the dominating.
+            assert!(
+                !pc.dominated_by.is_empty(),
+                "`{}` has no witnesses",
+                pc.label
+            );
+            for w in &pc.dominated_by {
+                let witness =
+                    r.points.iter().find(|p| &p.label == w).unwrap_or_else(|| {
+                        panic!("witness `{w}` of `{}` is not a point", pc.label)
+                    });
+                assert!(pc.corners.iter().any(|&(cl, ca)| {
+                    witness.latency_cycles <= cl
+                        && witness.area <= ca
+                        && (witness.latency_cycles < cl || witness.area < ca)
+                }));
+            }
         }
-        // Evaluations count only the jobs that actually ran.
+        // Evaluations count only the jobs that actually ran, and the wave
+        // stats account for every unique job exactly once.
         let unbudgeted = explore(&f, &swept_config(), &lib);
         assert!(r.evaluations <= unbudgeted.evaluations);
+        let evaluated: usize = r.wave_stats.iter().map(|w| w.evaluated).sum();
+        let wave_pruned: usize = r.wave_stats.iter().map(|w| w.pruned).sum();
+        assert_eq!(evaluated, r.evaluations);
+        assert_eq!(evaluated + wave_pruned, unbudgeted.evaluations);
+        assert!((0.0..=1.0).contains(&r.prune_rate()));
+    }
+
+    #[test]
+    fn per_loop_grid_reaches_the_combinatorial_count() {
+        let f = two_loops();
+        let lib = TechLibrary::asic_100mhz();
+        let grid = LoopGrid {
+            unroll: vec![("l1".into(), vec![1, 2, 4]), ("l2".into(), vec![1, 2, 4])],
+            pipeline: Vec::new(),
+        };
+        assert_eq!(grid.points_per_clock(), 9);
+        let cfg = ExploreConfig {
+            loop_grids: Some(grid),
+            merge_policies: vec![MergePolicy::Off],
+            ..ExploreConfig::default()
+        };
+        let r = explore(&f, &cfg, &lib);
+        // 3 × 3 per-loop factors, one clock, one policy: every candidate
+        // is a unique directive set and every label is distinct.
+        assert_eq!(r.points.len() + r.failures.len(), 9);
+        assert_eq!(r.evaluations, 9);
+        let mut labels: Vec<&String> = r.points.iter().map(|p| &p.label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), r.points.len(), "grid labels are unique");
+        // The asymmetric assignments the uniform sweep cannot reach exist.
+        assert!(r.points.iter().any(|p| p.label.contains("U[l1=2,l2=4]")));
+        // A grid point at the defaults memo-aliases the plain rolled
+        // design: same metrics as the uniform sweep's U1 point.
+        let uniform = explore(
+            &f,
+            &ExploreConfig {
+                unroll_factors: vec![1],
+                merge_policies: vec![MergePolicy::Off],
+                per_loop_refinement: false,
+                ..ExploreConfig::default()
+            },
+            &lib,
+        );
+        let rolled_grid = r
+            .points
+            .iter()
+            .find(|p| p.label.contains("U[l1=1,l2=1]"))
+            .expect("rolled grid point");
+        let rolled_uniform = &uniform.points[0];
+        assert_eq!(rolled_grid.latency_cycles, rolled_uniform.latency_cycles);
+        assert_eq!(rolled_grid.area, rolled_uniform.area);
+    }
+
+    #[test]
+    fn budgeted_grid_sweep_preserves_the_frontier() {
+        let f = two_loops();
+        let lib = TechLibrary::asic_100mhz();
+        let cfg = ExploreConfig {
+            clock_periods_ns: vec![5.0, 10.0, 20.0],
+            loop_grids: Some(LoopGrid {
+                unroll: vec![
+                    ("l1".into(), vec![1, 2, 4, 8]),
+                    ("l2".into(), vec![1, 2, 4, 8]),
+                ],
+                pipeline: vec![("l2".into(), vec![None, Some(2)])],
+            }),
+            ..ExploreConfig::default()
+        };
+        let reference = explore_serial(&f, &cfg, &lib);
+        let budgeted = explore(
+            &f,
+            &ExploreConfig {
+                budget: Some(ExploreBudget {
+                    min_prune_cost_ns: 0,
+                }),
+                ..cfg.clone()
+            },
+            &lib,
+        );
+        let rf: Vec<_> = reference
+            .pareto()
+            .iter()
+            .map(|p| (p.latency_cycles, p.area))
+            .collect();
+        let bf: Vec<_> = budgeted
+            .pareto()
+            .iter()
+            .map(|p| (p.latency_cycles, p.area))
+            .collect();
+        assert_eq!(rf, bf, "budgeted grid sweep moved the frontier");
+        // Pruning fires on a grid this dense, and every candidate is
+        // accounted for: a point, a failure, or a pruned record.
+        assert!(!budgeted.pruned.is_empty(), "no pruning on a dense grid");
+        assert_eq!(
+            budgeted.points.len() + budgeted.pruned.len() + budgeted.failures.len(),
+            reference.points.len() + reference.failures.len()
+        );
     }
 
     #[test]

@@ -40,20 +40,21 @@ mod tech;
 pub mod transform;
 
 pub use allocate::{allocate, Allocation, FuGroup};
-pub use bound::{lower_bound, DesignBound};
+pub use bound::{bound_from_profile, bound_profile, lower_bound, BoundProfile, DesignBound};
 pub use directives::{ArrayMapping, Directives, InterfaceKind, LoopDirective, MergePolicy, Unroll};
 pub use error::SynthesisError;
 pub use explore::{
     explore, explore_serial, explore_with_check, explore_with_check_serial, transform_signature,
-    DesignPoint, EquivChecker, ExploreBudget, ExploreConfig, ExploreResult, PointChecker,
-    PrunedCandidate, VerifyLevel,
+    DesignPoint, EquivChecker, ExploreBudget, ExploreConfig, ExploreResult, LoopGrid, PointChecker,
+    PrunedCandidate, VerifyLevel, WaveStats,
 };
 pub use hls_ir::{Anchor, Diagnostic, Diagnostics, Severity};
 pub use lower::{lower, Lowered, Port, Segment};
 pub use metrics::{segment_cycles, DesignMetrics, SegmentCycles};
 pub use pipeline::{
-    synthesize_traced, synthesize_traced_with_transform, InvariantCheck, IrStats, Pass, PassHook,
-    PassRecord, PassTrace, Pipeline, PipelineConfig, PipelineRun, PipelineState,
+    synthesize_traced, synthesize_traced_with_prefix, synthesize_traced_with_transform,
+    InvariantCheck, IrStats, Pass, PassHook, PassRecord, PassTrace, Pipeline, PipelineConfig,
+    PipelineRun, PipelineState,
 };
 pub use schedule::{recurrence_min_ii, schedule_dfg, Schedule};
 pub use synthesize::{synthesize, SynthesisResult};

@@ -476,7 +476,7 @@ impl<'a> Pipeline<'a> {
             .with_pass(ValidateIrPass)
             .with_pass(CheckDirectivesPass)
             .with_pass(LoopTransformsPass { seeded: None })
-            .with_pass(LowerPass)
+            .with_pass(LowerPass { seeded: None })
             .with_pass(SchedulePass)
             .with_pass(AllocatePass)
             .with_pass(MetricsPass)
@@ -495,7 +495,30 @@ impl<'a> Pipeline<'a> {
             .with_pass(LoopTransformsPass {
                 seeded: Some(transformed),
             })
-            .with_pass(LowerPass)
+            .with_pass(LowerPass { seeded: None })
+            .with_pass(SchedulePass)
+            .with_pass(AllocatePass)
+            .with_pass(MetricsPass)
+    }
+
+    /// Like [`Pipeline::synthesis_with_transform`], but the lower pass
+    /// *also* reuses a precomputed result — the full shared prefix of a
+    /// clock sweep (transform + lowering are both clock-independent), so a
+    /// clock-only twin re-runs nothing upstream of the scheduler.
+    pub fn synthesis_with_prefix(
+        config: PipelineConfig,
+        transformed: Arc<TransformResult>,
+        lowered: Arc<Lowered>,
+    ) -> Self {
+        Pipeline::new(config)
+            .with_pass(ValidateIrPass)
+            .with_pass(CheckDirectivesPass)
+            .with_pass(LoopTransformsPass {
+                seeded: Some(transformed),
+            })
+            .with_pass(LowerPass {
+                seeded: Some(lowered),
+            })
             .with_pass(SchedulePass)
             .with_pass(AllocatePass)
             .with_pass(MetricsPass)
@@ -778,7 +801,16 @@ impl Pass for LoopTransformsPass {
 
 /// Lowers the transformed IR: hoisting, output staging, segmentation and
 /// interface synthesis.
-pub struct LowerPass;
+pub struct LowerPass {
+    /// A precomputed lowering to reuse (shared-prefix memo). Lowering
+    /// depends on the transformed function, the per-loop pipeline IIs and
+    /// the interface mappings — but *not* the clock — so every point of a
+    /// clock sweep can share one lowering. Seeding with a result computed
+    /// under different lowering-relevant directives is unsound; the
+    /// explorer only seeds within one transform signature with identical
+    /// interface directives.
+    pub seeded: Option<Arc<Lowered>>,
+}
 
 impl Pass for LowerPass {
     fn name(&self) -> &'static str {
@@ -792,9 +824,18 @@ impl Pass for LowerPass {
     fn run(
         &self,
         state: &mut PipelineState,
-        _diags: &mut Diagnostics,
+        diags: &mut Diagnostics,
     ) -> Result<(), SynthesisError> {
-        state.lowered = Some(lower(&state.func, &state.directives));
+        state.lowered = Some(match &self.seeded {
+            Some(l) => {
+                diags.push(Diagnostic::note(
+                    "memo-hit",
+                    "lowered prefix reused from memo cache",
+                ));
+                (**l).clone()
+            }
+            None => lower(&state.func, &state.directives),
+        });
         Ok(())
     }
 }
@@ -1004,6 +1045,24 @@ pub fn synthesize_traced_with_transform(
     transformed: Arc<TransformResult>,
 ) -> (Result<SynthesisResult, SynthesisError>, PipelineRun) {
     let pipeline = Pipeline::synthesis_with_transform(config.clone(), transformed);
+    let mut state = PipelineState::new(func, directives, lib);
+    let run = pipeline.run(&mut state);
+    (finish_run(&state, &run), run)
+}
+
+/// [`synthesize_traced`] reusing both halves of a precomputed clock-
+/// independent prefix — the transform result *and* the lowering. This is
+/// what makes clock-only twins in a dense sweep nearly free: only
+/// schedule/allocate/metrics re-run per clock.
+pub fn synthesize_traced_with_prefix(
+    func: &Function,
+    directives: &Directives,
+    lib: &TechLibrary,
+    config: &PipelineConfig,
+    transformed: Arc<TransformResult>,
+    lowered: Arc<Lowered>,
+) -> (Result<SynthesisResult, SynthesisError>, PipelineRun) {
+    let pipeline = Pipeline::synthesis_with_prefix(config.clone(), transformed, lowered);
     let mut state = PipelineState::new(func, directives, lib);
     let run = pipeline.run(&mut state);
     (finish_run(&state, &run), run)

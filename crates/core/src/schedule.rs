@@ -70,25 +70,7 @@ pub fn schedule_dfg(
     let is_memory = |v: VarId| mem_ports(v).is_some();
     let clock = directives.clock_period_ns;
     let n = dfg.len();
-    let classes: Vec<OpClass> = dfg
-        .nodes()
-        .iter()
-        .map(|nd| nd.op_class(&is_memory))
-        .collect();
-    let char_widths: Vec<u32> = dfg
-        .nodes()
-        .iter()
-        .map(|nd| match &nd.kind {
-            NodeKind::Bin(hls_ir::BinOp::Mul) => nd
-                .preds
-                .iter()
-                .take(2)
-                .map(|p| dfg.node(*p).format.width())
-                .max()
-                .unwrap_or(nd.format.width()),
-            _ => nd.format.width(),
-        })
-        .collect();
+    let (classes, char_widths) = node_resources(dfg, &is_memory);
     let delays: Vec<f64> = classes
         .iter()
         .zip(&char_widths)
@@ -282,6 +264,37 @@ pub fn schedule_dfg(
         node_class: classes,
         node_width: char_widths,
     })
+}
+
+/// Per-node operator classes and characterization widths — the one
+/// resource model the scheduler, the allocator (via [`Schedule`]'s
+/// `node_class`/`node_width`) and the explorer's lower bound
+/// (`crate::bound`) all price against. Multipliers characterize at the
+/// wider *operand* width; everything else at its output width.
+pub(crate) fn node_resources(
+    dfg: &Dfg,
+    is_memory: &dyn Fn(VarId) -> bool,
+) -> (Vec<OpClass>, Vec<u32>) {
+    let classes: Vec<OpClass> = dfg
+        .nodes()
+        .iter()
+        .map(|nd| nd.op_class(is_memory))
+        .collect();
+    let char_widths: Vec<u32> = dfg
+        .nodes()
+        .iter()
+        .map(|nd| match &nd.kind {
+            NodeKind::Bin(hls_ir::BinOp::Mul) => nd
+                .preds
+                .iter()
+                .take(2)
+                .map(|p| dfg.node(*p).format.width())
+                .max()
+                .unwrap_or(nd.format.width()),
+            _ => nd.format.width(),
+        })
+        .collect();
+    (classes, char_widths)
 }
 
 /// The minimum initiation interval forced by loop-carried recurrences.

@@ -3,12 +3,14 @@
 //! randomized sweep configurations, (1) branch-and-bound pruning must
 //! return exactly the serial reference's Pareto frontier, fastest
 //! latency and smallest area, with every pruned candidate provably
-//! dominated, and (2) the admissible lower bounds the pruning relies on
-//! must never exceed what synthesis actually reports.
+//! dominated corner-for-corner, and (2) the admissible resource-aware
+//! bounds the pruning relies on must never exceed what synthesis
+//! actually reports — including across per-loop unroll grids, clocks and
+//! pipeline-II directives.
 
 use hls_core::{
-    apply_loop_transforms, explore, explore_serial, lower_bound, ExploreBudget, ExploreConfig,
-    MergePolicy, TechLibrary, VerifyLevel,
+    apply_loop_transforms, explore, explore_serial, lower_bound, Directives, ExploreBudget,
+    ExploreConfig, LoopGrid, MergePolicy, TechLibrary, VerifyLevel,
 };
 use hls_ir::{CmpOp, Expr, Function, FunctionBuilder, Ty};
 use proptest::prelude::*;
@@ -46,8 +48,61 @@ fn config(clocks: Vec<f64>, unrolls: Vec<u32>, both_merges: bool) -> ExploreConf
             vec![MergePolicy::Off]
         },
         per_loop_refinement: true,
+        loop_grids: None,
         verify: VerifyLevel::Off,
         budget: None,
+    }
+}
+
+/// Pruning exactness shared by the uniform-sweep and grid-sweep
+/// proptests: identical frontier, full accounting (a candidate is a
+/// point, a failure or a pruned record), corner-for-corner dominance of
+/// everything pruned, and bit-identical metrics for everything kept.
+fn assert_budgeted_matches_reference(
+    reference: &hls_core::ExploreResult,
+    budgeted: &hls_core::ExploreResult,
+) {
+    let frontier = |r: &hls_core::ExploreResult| -> Vec<(u64, u64)> {
+        r.pareto()
+            .iter()
+            .map(|p| (p.latency_cycles, p.area.to_bits()))
+            .collect()
+    };
+    assert_eq!(frontier(reference), frontier(budgeted));
+    // Tight bounds may prune candidates that would have *failed* (e.g. an
+    // infeasible initiation interval), so failures sit on both sides of
+    // the accounting.
+    assert_eq!(
+        reference.points.len() + reference.failures.len(),
+        budgeted.points.len() + budgeted.pruned.len() + budgeted.failures.len(),
+        "every candidate is evaluated, failed or pruned"
+    );
+    // Every corner of each pruned candidate's envelope is strictly
+    // dominated by some evaluated point (witnesses may differ per
+    // corner), so its actual design could not have reached the frontier.
+    for pr in &budgeted.pruned {
+        assert!(!pr.corners.is_empty(), "{} has no corners", pr.label);
+        for &(cl, ca) in &pr.corners {
+            assert!(
+                budgeted.points.iter().any(|p| {
+                    p.latency_cycles <= cl && p.area <= ca && (p.latency_cycles < cl || p.area < ca)
+                }),
+                "pruned candidate {} corner ({cl}, {ca}) is not dominated",
+                pr.label
+            );
+        }
+        assert!(
+            !pr.dominated_by.is_empty(),
+            "pruned candidate {} names no witnesses",
+            pr.label
+        );
+    }
+    // Evaluated points carry identical metrics to the reference.
+    for p in &budgeted.points {
+        let r = reference.points.iter().find(|q| q.label == p.label);
+        let r = r.expect("every budgeted point exists in the reference");
+        assert_eq!(r.latency_cycles, p.latency_cycles);
+        assert_eq!(r.area.to_bits(), p.area.to_bits());
     }
 }
 
@@ -56,7 +111,8 @@ proptest! {
 
     /// Budgeted (and parallel) exploration returns the serial reference's
     /// exact Pareto set; pruned candidates are strictly dominated and
-    /// account, together with the evaluated points, for the whole sweep.
+    /// account, together with the evaluated points and failures, for the
+    /// whole sweep.
     #[test]
     fn budgeted_sweep_preserves_the_reference_frontier(
         trip1 in 2usize..10,
@@ -87,37 +143,46 @@ proptest! {
             ..cfg
         };
         let budgeted = explore(&f, &budgeted_cfg, &lib);
+        assert_budgeted_matches_reference(&reference, &budgeted);
+    }
 
-        let frontier = |r: &hls_core::ExploreResult| -> Vec<(u64, u64)> {
-            r.pareto().iter().map(|p| (p.latency_cycles, p.area.to_bits())).collect()
+    /// The widened sweep: the same exactness holds when candidates come
+    /// from a combinatorial per-loop grid (independent unroll factors per
+    /// loop crossed with pipeline-II choices and the clock grid).
+    #[test]
+    fn budgeted_grid_sweep_preserves_the_reference_frontier(
+        trip1 in 2usize..8,
+        trip2 in 2usize..10,
+        w in 6u32..12,
+        iis in prop::sample::select(vec![
+            vec![None],
+            vec![None, Some(1u32)],
+            vec![None, Some(2)],
+        ]),
+        floor in prop::sample::select(vec![0u64, 50_000]),
+    ) {
+        let f = two_loops(trip1, trip2, w, w);
+        let lib = TechLibrary::asic_100mhz();
+        let cfg = ExploreConfig {
+            loop_grids: Some(LoopGrid {
+                unroll: vec![
+                    ("l1".to_string(), vec![1, 2, 4]),
+                    ("l2".to_string(), vec![1, 2, 4]),
+                ],
+                pipeline: vec![("l2".to_string(), iis)],
+            }),
+            ..config(vec![5.0, 10.0, 20.0], vec![1], false)
         };
-        prop_assert_eq!(frontier(&reference), frontier(&budgeted));
-        prop_assert_eq!(
-            reference.points.len(),
-            budgeted.points.len() + budgeted.pruned.len(),
-            "every candidate is either evaluated or pruned"
+        let reference = explore_serial(&f, &cfg, &lib);
+        let budgeted = explore(
+            &f,
+            &ExploreConfig {
+                budget: Some(ExploreBudget { min_prune_cost_ns: floor }),
+                ..cfg
+            },
+            &lib,
         );
-        // Each pruned candidate's bound is strictly dominated by some
-        // evaluated point, so its actual design could not have reached
-        // the frontier.
-        for pr in &budgeted.pruned {
-            prop_assert!(
-                budgeted.points.iter().any(|p| {
-                    p.latency_cycles <= pr.latency_bound_cycles
-                        && p.area <= pr.area_bound
-                        && (p.latency_cycles < pr.latency_bound_cycles || p.area < pr.area_bound)
-                }),
-                "pruned candidate {} is not dominated",
-                pr.label
-            );
-        }
-        // Evaluated points carry identical metrics to the reference.
-        for p in &budgeted.points {
-            let r = reference.points.iter().find(|q| q.label == p.label);
-            let r = r.expect("every budgeted point exists in the reference");
-            prop_assert_eq!(r.latency_cycles, p.latency_cycles);
-            prop_assert_eq!(r.area.to_bits(), p.area.to_bits());
-        }
+        assert_budgeted_matches_reference(&reference, &budgeted);
     }
 
     /// Admissibility: for every point a sweep evaluates, the pre-schedule
@@ -151,6 +216,51 @@ proptest! {
             );
         }
     }
+
+    /// FU-concurrency bound admissibility across randomized per-loop
+    /// unroll grids × clocks × pipeline-II: the resource-aware bound sits
+    /// at or below the synthesized design on both axes, and some corner
+    /// of its envelope sits componentwise at-or-below the actual point
+    /// (the property corner-wise pruning relies on).
+    #[test]
+    fn grid_bounds_are_admissible(
+        trip1 in 2usize..10,
+        trip2 in 2usize..12,
+        u1 in prop::sample::select(vec![1u32, 2, 4, 8]),
+        u2 in prop::sample::select(vec![1u32, 2, 4, 8]),
+        ii in prop::sample::select(vec![None, Some(1u32), Some(2), Some(4)]),
+        clock in prop::sample::select(vec![5.0f64, 7.5, 10.0, 20.0]),
+    ) {
+        let f = two_loops(trip1, trip2, 10, 10);
+        let lib = TechLibrary::asic_100mhz();
+        let d = Directives::new(clock)
+            .merge_policy(MergePolicy::Off)
+            .grid_point(&[("l1", u1), ("l2", u2)], &[("l2", ii)]);
+        let transformed = apply_loop_transforms(&f, &d);
+        let b = lower_bound(&transformed.func, &d, &lib);
+        // Infeasible points (e.g. II below the recurrence minimum) have
+        // nothing to be admissible against; the explorer records them as
+        // failures either way.
+        if let Ok(r) = hls_core::synthesize(&f, &d, &lib) {
+            prop_assert!(
+                b.latency_cycles <= r.metrics.latency_cycles,
+                "latency bound {} > actual {} (U{u1}/U{u2}, II {ii:?}, {clock} ns)",
+                b.latency_cycles, r.metrics.latency_cycles
+            );
+            prop_assert!(
+                b.area <= r.metrics.area + 1e-9,
+                "area bound {} > actual {} (U{u1}/U{u2}, II {ii:?}, {clock} ns)",
+                b.area, r.metrics.area
+            );
+            prop_assert!(
+                b.corners.iter().any(|&(cl, ca)| {
+                    cl <= r.metrics.latency_cycles && ca <= r.metrics.area + 1e-9
+                }),
+                "no envelope corner sits below the actual point \
+                 (U{u1}/U{u2}, II {ii:?}, {clock} ns)"
+            );
+        }
+    }
 }
 
 /// Non-proptest determinism check: the same budgeted sweep run twice
@@ -175,6 +285,7 @@ fn budgeted_sweep_is_deterministic() {
                 .map(|p| (p.label.clone(), p.latency_cycles, p.area.to_bits()))
                 .collect::<Vec<_>>(),
             r.pruned.iter().map(|p| p.label.clone()).collect::<Vec<_>>(),
+            r.wave_stats.clone(),
         )
     };
     assert_eq!(key(&a), key(&b));

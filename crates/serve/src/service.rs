@@ -7,15 +7,19 @@
 //! - **In-flight dedup**: requests with the same content address are
 //!   collapsed to one job; duplicates share the executor's result and
 //!   are counted in [`CountersSnapshot::deduped`].
-//! - **Cost-ordered scheduling**: each unique job gets admissible
-//!   lower bounds ([`lower_bound`]), and the queue runs cheapest-first
-//!   by bounded operation count — the same size signal PR 4's explorer
-//!   feeds its [`ExploreBudget`] cost model. Completed syntheses train
-//!   an observed ns-per-bounded-op model.
+//! - **Cost-ordered scheduling**: each unique job gets the explorer's
+//!   resource-aware admissible bound ([`lower_bound`], computed on the
+//!   loop-transformed design exactly as the sweep computes it), and the
+//!   queue runs cheapest-first by bounded operation count — the same
+//!   size signal the explorer feeds its [`ExploreBudget`] cost model.
+//!   Completed syntheses train an observed ns-per-bounded-op model.
 //! - **Admission control**: with [`ServiceConfig::max_cost_ns`] set, a
 //!   job whose modeled cost reaches the ceiling is rejected up front —
 //!   unless it is cheaper than the budget's `min_prune_cost_ns`, which
-//!   (as in the explorer) always runs, keeping the model fed.
+//!   (as in the explorer) always runs, keeping the model fed. A
+//!   rejection carries a structured [`Diagnostic`] with the candidate's
+//!   bounded latency, area and operation count, so callers can tell a
+//!   design that was *too big* from one that merely arrived late.
 //! - **Observability**: hit/miss/dedup/error counters, the queue's peak
 //!   depth, and power-of-two latency histograms per stage.
 //!
@@ -28,7 +32,10 @@ use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use hls_core::{lower_bound, ExploreBudget, PipelineConfig};
+use hls_core::{
+    apply_loop_transforms, lower_bound, DesignBound, Diagnostic, Diagnostics, ExploreBudget,
+    PipelineConfig,
+};
 use hls_ir::{parse_function, Function, Json};
 use hls_verify::verify_equiv;
 use rtl::compile_traced;
@@ -191,6 +198,10 @@ pub struct RequestOutcome {
     pub rejected: bool,
     /// The job's modeled back-end cost when a model existed.
     pub modeled_cost_ns: Option<u64>,
+    /// Structured diagnostics for requests that never reached the
+    /// pipeline (admission rejections carry the candidate's admissible
+    /// latency/area bounds here).
+    pub diagnostics: Option<Diagnostics>,
     /// The served artifact (absent on error or rejection).
     pub artifact: Option<CachedArtifact>,
     /// What went wrong, when something did.
@@ -206,6 +217,7 @@ impl RequestOutcome {
             deduped: false,
             rejected: false,
             modeled_cost_ns: None,
+            diagnostics: None,
             artifact: None,
             error: Some(error),
         }
@@ -224,6 +236,12 @@ impl RequestOutcome {
         }
         if let Some(cost) = self.modeled_cost_ns {
             fields.push(("modeled_cost_ns", Json::count(cost)));
+        }
+        if let Some(d) = &self.diagnostics {
+            fields.push((
+                "diagnostics",
+                Json::parse(&d.to_json()).unwrap_or(Json::Arr(Vec::new())),
+            ));
         }
         if let Some(a) = &self.artifact {
             let verdict = match &a.verdict {
@@ -300,7 +318,10 @@ struct Job {
     index: usize,
     func: Function,
     key: RequestKey,
-    ops: usize,
+    /// The explorer's admissible bound for this candidate, computed on
+    /// the loop-transformed design — sizes the queue and prices
+    /// admission, and is reported verbatim on rejection.
+    bound: DesignBound,
 }
 
 #[derive(Default)]
@@ -359,17 +380,25 @@ pub fn serve_batch(
             continue;
         }
         executor.insert(&key.digest, i);
-        let ops = lower_bound(func, &requests[i].directives, &requests[i].library).ops;
+        // Bound the transformed design, exactly as the explorer bounds
+        // sweep candidates: unrolling changes the operation count the
+        // cost model sizes against.
+        let transformed = apply_loop_transforms(func, &requests[i].directives);
+        let bound = lower_bound(
+            &transformed.func,
+            &requests[i].directives,
+            &requests[i].library,
+        );
         jobs.push(Job {
             index: i,
             func: func.clone(),
             key: key.clone(),
-            ops,
+            bound,
         });
     }
     let queue_peak = jobs.len() as u64;
     // Cheapest-first: workers pop from the back.
-    jobs.sort_by(|a, b| (b.ops, &b.key.digest).cmp(&(a.ops, &a.key.digest)));
+    jobs.sort_by(|a, b| (b.bound.ops, &b.key.digest).cmp(&(a.bound.ops, &a.key.digest)));
 
     let counters = Counters::default();
     let model = CostModel::default();
@@ -438,13 +467,25 @@ fn run_job(
 ) -> RequestOutcome {
     let req = &requests[job.index];
     let design = req.label(&job.func).to_string();
-    let modeled_cost_ns = model.modeled_ns(job.ops);
+    let modeled_cost_ns = model.modeled_ns(job.bound.ops);
 
     // Admission: reject jobs modeled at/over the ceiling — unless they
-    // are cheaper than the budget's always-run threshold.
+    // are cheaper than the budget's always-run threshold. The rejection
+    // reports the bound that sized the job, so the caller sees exactly
+    // what the admission decision was based on.
     if let (Some(max), Some(cost)) = (cfg.max_cost_ns, modeled_cost_ns) {
         if cost >= max && cost >= cfg.budget.min_prune_cost_ns {
             counters.rejected.fetch_add(1, Ordering::Relaxed);
+            let diag = Diagnostic::error(
+                "admission-rejected",
+                format!("modeled cost {cost} ns reaches the {max} ns ceiling"),
+            )
+            .in_pass("admission")
+            .with_note(format!(
+                "admissible bound: latency >= {} cycles, area >= {:.1}",
+                job.bound.latency_cycles, job.bound.area
+            ))
+            .with_note(format!("bounded operations: {}", job.bound.ops));
             return RequestOutcome {
                 design,
                 digest: job.key.digest.clone(),
@@ -452,6 +493,7 @@ fn run_job(
                 deduped: false,
                 rejected: true,
                 modeled_cost_ns,
+                diagnostics: Some(Diagnostics::from(diag)),
                 artifact: None,
                 error: Some(format!(
                     "admission: modeled cost {cost} ns reaches the {max} ns ceiling"
@@ -472,6 +514,7 @@ fn run_job(
             deduped: false,
             rejected: false,
             modeled_cost_ns,
+            diagnostics: None,
             artifact: Some(artifact),
             error: None,
         };
@@ -487,7 +530,7 @@ fn run_job(
     );
     let synth_time = t.elapsed();
     counters.synth.record(synth_time);
-    model.observe(job.ops, synth_time);
+    model.observe(job.bound.ops, synth_time);
 
     let artifacts = match result {
         Ok(a) => a,
@@ -529,6 +572,7 @@ fn run_job(
         deduped: false,
         rejected: false,
         modeled_cost_ns,
+        diagnostics: None,
         artifact: Some(artifact),
         error,
     }

@@ -68,6 +68,38 @@ fn admission_rejects_modeled_over_budget_jobs() {
     assert!(rejected.artifact.is_none());
     assert!(rejected.error.as_ref().unwrap().contains("admission"));
     assert!(rejected.modeled_cost_ns.unwrap() >= 1);
+    // The rejection carries the resource-aware bound that sized the job:
+    // a structured diagnostic with the admissible latency/area floor.
+    let diag = rejected
+        .diagnostics
+        .as_ref()
+        .expect("rejection carries diagnostics")
+        .find("admission-rejected")
+        .expect("admission diagnostic present");
+    assert_eq!(diag.pass, "admission");
+    let library = hls_core::TechLibrary::asic_100mhz();
+    let bound = hls_core::lower_bound(
+        &hls_ir::parse_function(SUM).unwrap(),
+        &hls_core::Directives::new(library.nominal_clock_ns()),
+        &library,
+    );
+    let note = diag.notes.join("\n");
+    assert!(
+        note.contains(&format!("latency >= {} cycles", bound.latency_cycles)),
+        "diagnostic must carry the latency bound: {note}"
+    );
+    assert!(
+        note.contains("area >="),
+        "diagnostic must carry the area bound: {note}"
+    );
+    assert!(
+        note.contains(&format!("bounded operations: {}", bound.ops)),
+        "diagnostic must carry the bounded op count: {note}"
+    );
+    // Serialized outcomes expose the same diagnostic to HTTP clients.
+    let json = rejected.to_json();
+    let diags = json.get("diagnostics").expect("diagnostics serialized");
+    assert!(matches!(diags, hls_ir::Json::Arr(v) if !v.is_empty()));
     let _ = fs::remove_dir_all(&root);
 }
 
