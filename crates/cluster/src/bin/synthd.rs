@@ -6,19 +6,35 @@
 //!   print the JSON report to stdout.
 //! - **Daemon** (`--daemon`): read NDJSON batches from stdin, answer one
 //!   JSON report line per input line, until EOF.
-//! - **Socket** (`--socket PATH`, Unix only): accept connections on a
-//!   Unix socket; each connection sends one batch line and receives one
-//!   report line.
+//! - **Server** (`--listen ADDR` or the legacy `--socket PATH`): accept
+//!   connections on a Unix socket or TCP port. Connections may speak
+//!   the versioned `hls-cluster/v1` frame protocol (many frames per
+//!   connection) or the legacy plain-batch protocol (one JSON batch
+//!   line, one report line) — the server answers whichever arrives.
+//! - **Cluster** (`--cluster --peers A,B,C --self-index N`): the same
+//!   server, but requests are routed across the member shards by
+//!   content digest: misses forward to their owning shard, identical
+//!   in-flight requests collapse cluster-wide, fresh entries (and
+//!   fresh negative-cache failures) replicate to `--replicas` holders.
+//!
+//! A socket path that already exists is probed before binding: a dead
+//! leftover is reclaimed, a live server is refused with a structured
+//! diagnostic — never unlinked out from under its owner.
 //!
 //! `--example` prints a ready-to-run sample batch; `--stats` prints the
 //! store's census and exits. The store root defaults to `.hls-serve`
 //! (override with `--store DIR`); `--max-bytes`, `--workers`,
-//! `--max-cost-ns` tune eviction, the worker pool and admission.
+//! `--max-cost-ns` tune eviction, the worker pool and admission;
+//! `--synth-delay-ms` injects per-synthesis latency modeling an
+//! external backend tool (used by the cluster benchmarks).
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, Read};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
+use hls_cluster::{serve, Addr, ClusterConfig, ClusterNode, Listener, DEFAULT_VNODES};
 use hls_serve::{parse_batch, serve_batch, ArtifactStore, ServiceConfig, StoreConfig};
 
 const EXAMPLE: &str = r#"{"requests": [
@@ -38,14 +54,24 @@ struct Options {
     store: StoreConfig,
     service: ServiceConfig,
     daemon: bool,
-    socket: Option<PathBuf>,
+    listen: Option<Addr>,
+    cluster: bool,
+    peers: Vec<Addr>,
+    self_index: usize,
+    replicas: usize,
+    vnodes: usize,
     example: bool,
     stats: bool,
 }
 
 fn usage() -> &'static str {
     "usage: synthd [--store DIR] [--max-bytes N] [--workers N] [--max-cost-ns N]\n\
-     \x20             [--daemon | --socket PATH | --example | --stats]\n\
+     \x20             [--synth-delay-ms N]\n\
+     \x20             [--daemon | --listen ADDR | --socket PATH | --example | --stats]\n\
+     \x20             [--cluster --peers A,B,C --self-index N [--replicas N] [--vnodes N]]\n\
+     Addresses are `unix:PATH` or `tcp:HOST:PORT`. In cluster mode the\n\
+     peer list must be identical (and identically ordered) on every\n\
+     member; --listen defaults to the member's own peer entry.\n\
      Reads a JSON request batch on stdin and writes a JSON report to stdout."
 }
 
@@ -55,7 +81,12 @@ fn parse_args() -> Result<Options, String> {
         store: StoreConfig::default(),
         service: ServiceConfig::default(),
         daemon: false,
-        socket: None,
+        listen: None,
+        cluster: false,
+        peers: Vec::new(),
+        self_index: 0,
+        replicas: 2,
+        vnodes: DEFAULT_VNODES,
         example: false,
         stats: false,
     };
@@ -84,12 +115,52 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("--max-cost-ns: {e}"))?,
                 )
             }
+            "--synth-delay-ms" => {
+                opts.service.synth_delay = Duration::from_millis(
+                    value("--synth-delay-ms")?
+                        .parse()
+                        .map_err(|e| format!("--synth-delay-ms: {e}"))?,
+                )
+            }
             "--daemon" => opts.daemon = true,
-            "--socket" => opts.socket = Some(PathBuf::from(value("--socket")?)),
+            "--listen" => opts.listen = Some(Addr::parse(&value("--listen")?)?),
+            "--socket" => opts.listen = Some(Addr::Unix(PathBuf::from(value("--socket")?))),
+            "--cluster" => opts.cluster = true,
+            "--peers" => opts.peers = Addr::parse_list(&value("--peers")?)?,
+            "--self-index" => {
+                opts.self_index = value("--self-index")?
+                    .parse()
+                    .map_err(|e| format!("--self-index: {e}"))?
+            }
+            "--replicas" => {
+                opts.replicas = value("--replicas")?
+                    .parse()
+                    .map_err(|e| format!("--replicas: {e}"))?
+            }
+            "--vnodes" => {
+                opts.vnodes = value("--vnodes")?
+                    .parse()
+                    .map_err(|e| format!("--vnodes: {e}"))?
+            }
             "--example" => opts.example = true,
             "--stats" => opts.stats = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if opts.cluster {
+        if opts.peers.is_empty() {
+            return Err(format!("--cluster needs --peers\n{}", usage()));
+        }
+        if opts.self_index >= opts.peers.len() {
+            return Err(format!(
+                "--self-index {} is out of range for {} peers",
+                opts.self_index,
+                opts.peers.len()
+            ));
+        }
+        if opts.listen.is_none() {
+            opts.listen = Some(opts.peers[opts.self_index].clone());
         }
     }
     Ok(opts)
@@ -129,8 +200,35 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    if let Some(path) = &opts.socket {
-        return serve_socket(path, &store, &opts.service);
+    if let Some(addr) = &opts.listen {
+        let cfg = if opts.cluster {
+            ClusterConfig {
+                self_index: opts.self_index,
+                members: opts.peers.clone(),
+                replicas: opts.replicas,
+                vnodes: opts.vnodes,
+                service: opts.service.clone(),
+            }
+        } else {
+            ClusterConfig::single(opts.service.clone())
+        };
+        let node = match ClusterNode::new(cfg, store) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("synthd: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let listener = match Listener::bind(addr) {
+            Ok(l) => l,
+            Err(diag) => {
+                eprintln!("synthd: {}", diag.to_json());
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!("synthd: listening on {addr}");
+        serve(Arc::new(node), listener);
+        return ExitCode::SUCCESS;
     }
 
     if opts.daemon {
@@ -163,46 +261,4 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
-}
-
-#[cfg(unix)]
-fn serve_socket(path: &std::path::Path, store: &ArtifactStore, cfg: &ServiceConfig) -> ExitCode {
-    use std::os::unix::net::UnixListener;
-    let _ = std::fs::remove_file(path);
-    let listener = match UnixListener::bind(path) {
-        Ok(l) => l,
-        Err(e) => {
-            eprintln!("synthd: cannot bind {}: {e}", path.display());
-            return ExitCode::FAILURE;
-        }
-    };
-    eprintln!("synthd: listening on {}", path.display());
-    for conn in listener.incoming() {
-        let stream = match conn {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("synthd: accept: {e}");
-                continue;
-            }
-        };
-        let mut reader = BufReader::new(&stream);
-        let mut line = String::new();
-        if reader.read_line(&mut line).is_err() || line.trim().is_empty() {
-            continue;
-        }
-        let reply = serve_text(&line, store, cfg);
-        let mut writer = &stream;
-        let _ = writer.write_all(reply.as_bytes());
-        let _ = writer.write_all(b"\n");
-    }
-    ExitCode::SUCCESS
-}
-
-#[cfg(not(unix))]
-fn serve_socket(path: &std::path::Path, _store: &ArtifactStore, _cfg: &ServiceConfig) -> ExitCode {
-    eprintln!(
-        "synthd: --socket {} is only supported on Unix",
-        path.display()
-    );
-    ExitCode::FAILURE
 }

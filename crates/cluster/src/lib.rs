@@ -1,0 +1,52 @@
+//! # hls-cluster
+//!
+//! Sharded, replicated synthesis serving on top of [`hls_serve`].
+//!
+//! One `synthd` process is a cache in front of a deterministic
+//! pipeline; this crate makes N of them a *cluster* that behaves like
+//! one big cache:
+//!
+//! - [`wire`] — the versioned NDJSON frame protocol (`hls-cluster/v1`)
+//!   spoken over Unix sockets and TCP, with a legacy fallback for the
+//!   pre-cluster plain-batch lines.
+//! - [`ring`] — a deterministic consistent-hash ring mapping the 256
+//!   digest prefixes (the store's `objects/<2-hex>/` fan-out) onto
+//!   shard owners and replica sets.
+//! - [`peer`] — member addressing (`unix:PATH` / `tcp:HOST:PORT`) and
+//!   the one-shot frame client.
+//! - [`listen`] — unified Unix/TCP listeners, including stale-socket
+//!   recovery: a dead socket file is probed and reclaimed, a live one
+//!   is refused with a structured diagnostic instead of being yanked
+//!   from under its owner.
+//! - [`router`] — the [`ClusterNode`]: partitions client batches by
+//!   digest owner, forwards misses (loop-free: forwarded sub-batches
+//!   are never re-forwarded), collapses concurrent identical requests
+//!   across connections onto one synthesis, and falls back to local
+//!   serving when a peer is down.
+//! - [`replicate`] — synchronous push of fresh entries (positive
+//!   artifacts *and* negative-cache failures) to the next `replicas-1`
+//!   ring members as raw documents, so every holder's copy is
+//!   byte-identical and warm reads survive a shard loss.
+//!
+//! The `synthd` binary (moved here from `hls-serve`, same name and
+//! legacy modes) gains `--cluster`: `--listen ADDR --peers A,B,C
+//! --self-index N --replicas N` turn a set of stores into a shared
+//! synthesis fabric.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod listen;
+pub mod peer;
+pub mod replicate;
+pub mod ring;
+pub mod router;
+pub mod wire;
+
+pub use listen::{Connection, Listener};
+pub use peer::{Addr, PeerClient, CALL_TIMEOUT};
+pub use ring::{HashRing, DEFAULT_VNODES};
+pub use router::{
+    handle_connection, serve, ClusterConfig, ClusterNode, NodeCounters, INFLIGHT_WAIT,
+};
+pub use wire::{read_frame, Frame, Incoming, PutEntry, PROTO};

@@ -1,0 +1,204 @@
+//! Peer addressing and the one-shot frame client.
+//!
+//! A cluster member is named by an [`Addr`]: `unix:/path/to.sock` or
+//! `tcp:host:port` (a bare path with a `/` also reads as a Unix
+//! socket, a bare `host:port` as TCP, so hand-typed `--peers` lists
+//! stay short). The textual form is the member's identity everywhere —
+//! it feeds the hash ring, so it must be written identically in every
+//! shard's `--peers` list.
+//!
+//! [`PeerClient`] is deliberately minimal: one connection per call,
+//! write one frame, read one reply. Synthesis calls can legitimately
+//! take a long time (each miss runs the full pipeline, and the service
+//! may be modeling a slow external backend), so the read timeout is
+//! generous; connect failures come back quickly and the router treats
+//! them as "peer down, fall back to local".
+
+use std::fmt;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crate::wire::{read_frame, Frame, Incoming};
+
+/// How long a call waits for the peer's reply line. Misses run the
+/// whole synthesis pipeline on the peer, so this is minutes, not
+/// milliseconds.
+pub const CALL_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// A member address: where a shard listens and what it is called.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Addr {
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+    /// A TCP `host:port` endpoint.
+    Tcp(String),
+}
+
+impl Addr {
+    /// Parses an address. Accepts explicit `unix:PATH` / `tcp:HOST:PORT`
+    /// schemes; without a scheme, anything containing `/` is a socket
+    /// path and anything containing `:` is a TCP endpoint.
+    pub fn parse(text: &str) -> Result<Addr, String> {
+        let text = text.trim();
+        if text.is_empty() {
+            return Err("address: empty".into());
+        }
+        if let Some(path) = text.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("address: `unix:` needs a path".into());
+            }
+            return Ok(Addr::Unix(PathBuf::from(path)));
+        }
+        if let Some(ep) = text.strip_prefix("tcp:") {
+            if !ep.contains(':') {
+                return Err(format!("address: `tcp:{ep}` needs host:port"));
+            }
+            return Ok(Addr::Tcp(ep.to_string()));
+        }
+        if text.contains('/') {
+            return Ok(Addr::Unix(PathBuf::from(text)));
+        }
+        if text.contains(':') {
+            return Ok(Addr::Tcp(text.to_string()));
+        }
+        Err(format!(
+            "address: `{text}` is neither `unix:PATH`, `tcp:HOST:PORT`, a path, nor host:port"
+        ))
+    }
+
+    /// Parses a comma-separated member list (the `--peers` argument).
+    pub fn parse_list(text: &str) -> Result<Vec<Addr>, String> {
+        let addrs = text
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(Addr::parse)
+            .collect::<Result<Vec<_>, _>>()?;
+        if addrs.is_empty() {
+            return Err("address list: empty".into());
+        }
+        Ok(addrs)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Addr::Unix(p) => write!(f, "unix:{}", p.display()),
+            Addr::Tcp(ep) => write!(f, "tcp:{ep}"),
+        }
+    }
+}
+
+/// Either kind of connected stream, unified for call I/O.
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+/// A one-connection-per-call client for a single peer.
+#[derive(Debug, Clone)]
+pub struct PeerClient {
+    addr: Addr,
+}
+
+impl PeerClient {
+    /// A client for `addr`. No connection is made until [`call`].
+    ///
+    /// [`call`]: PeerClient::call
+    pub fn new(addr: Addr) -> PeerClient {
+        PeerClient { addr }
+    }
+
+    /// The peer this client targets.
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// Connects, sends one frame, and waits for the single reply frame.
+    /// Every failure — connect refusal, timeout, a `Malformed` or
+    /// legacy line where a frame was expected — comes back as `Err`
+    /// with the peer named, so the router can log it and fall back.
+    pub fn call(&self, frame: &Frame) -> Result<Frame, String> {
+        let fail = |stage: &str, e: &dyn fmt::Display| format!("peer {}: {stage}: {e}", self.addr);
+        let mut stream = match &self.addr {
+            Addr::Unix(path) => {
+                let s = UnixStream::connect(path).map_err(|e| fail("connect", &e))?;
+                s.set_read_timeout(Some(CALL_TIMEOUT))
+                    .map_err(|e| fail("configure", &e))?;
+                Stream::Unix(s)
+            }
+            Addr::Tcp(ep) => {
+                let s = TcpStream::connect(ep).map_err(|e| fail("connect", &e))?;
+                s.set_read_timeout(Some(CALL_TIMEOUT))
+                    .map_err(|e| fail("configure", &e))?;
+                Stream::Tcp(s)
+            }
+        };
+        match &mut stream {
+            Stream::Unix(s) => frame.write_line(s),
+            Stream::Tcp(s) => frame.write_line(s),
+        }
+        .map_err(|e| fail("send", &e))?;
+        let incoming = match &mut stream {
+            Stream::Unix(s) => read_reply(s),
+            Stream::Tcp(s) => read_reply(s),
+        }
+        .map_err(|e| fail("receive", &e))?;
+        match incoming {
+            Some(Incoming::Frame(reply)) => Ok(reply),
+            Some(Incoming::Legacy(_)) => {
+                Err(fail("receive", &"peer replied with a non-frame line"))
+            }
+            Some(Incoming::Malformed(e)) => Err(fail("receive", &e)),
+            None => Err(fail("receive", &"connection closed before a reply")),
+        }
+    }
+}
+
+fn read_reply<S: std::io::Read>(stream: S) -> std::io::Result<Option<Incoming>> {
+    read_frame(&mut BufReader::new(stream))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_parse_and_round_trip() {
+        let cases = [
+            ("unix:/tmp/a.sock", Addr::Unix(PathBuf::from("/tmp/a.sock"))),
+            ("/tmp/b.sock", Addr::Unix(PathBuf::from("/tmp/b.sock"))),
+            ("tcp:127.0.0.1:7101", Addr::Tcp("127.0.0.1:7101".into())),
+            ("127.0.0.1:7102", Addr::Tcp("127.0.0.1:7102".into())),
+        ];
+        for (text, want) in cases {
+            let got = Addr::parse(text).unwrap();
+            assert_eq!(got, want, "{text}");
+            // Display form re-parses to the same address.
+            assert_eq!(Addr::parse(&got.to_string()).unwrap(), got);
+        }
+        assert!(Addr::parse("").is_err());
+        assert!(Addr::parse("unix:").is_err());
+        assert!(Addr::parse("tcp:nohost").is_err());
+        assert!(Addr::parse("bare-word").is_err());
+    }
+
+    #[test]
+    fn peer_lists_parse() {
+        let list = Addr::parse_list("unix:/tmp/a.sock, 127.0.0.1:7101 ,/tmp/c.sock").unwrap();
+        assert_eq!(list.len(), 3);
+        assert!(Addr::parse_list(" , ").is_err());
+        assert!(Addr::parse_list("unix:/ok.sock,???").is_err());
+    }
+
+    #[test]
+    fn calling_a_dead_peer_names_the_peer() {
+        let client = PeerClient::new(Addr::Unix(PathBuf::from("/nonexistent/dead.sock")));
+        let err = client.call(&Frame::Ping).unwrap_err();
+        assert!(err.contains("dead.sock"), "{err}");
+        assert!(err.contains("connect"), "{err}");
+    }
+}

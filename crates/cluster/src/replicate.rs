@@ -1,0 +1,75 @@
+//! Synchronous replication of fresh store entries to peer shards.
+//!
+//! After a shard synthesizes something new — a positive artifact or a
+//! fresh negative-cache entry — the exact on-disk document is pushed
+//! to the next `replicas - 1` distinct ring members in `put` frames.
+//! Shipping the raw document (rather than re-serializing) is what
+//! makes replicas byte-identical: the receiver re-verifies the full
+//! integrity chain (schema, preimage, body digest) and then lands the
+//! same bytes, so a warm `get`/hit is bit-for-bit the same no matter
+//! which holder answers it.
+//!
+//! Replication is synchronous — the batch reply does not return until
+//! the push attempts finish — so a test or bench that kills the owner
+//! immediately after a reply can already read the copy from a
+//! survivor. Push failures are counted (`remote_errors`) and dropped:
+//! replication is an availability optimization, not a durability
+//! guarantee, and the owner still holds the entry.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::thread;
+
+use hls_serve::EntryKind;
+
+use crate::peer::PeerClient;
+use crate::router::ClusterNode;
+use crate::wire::{Frame, PutEntry};
+
+/// Pushes the given fresh entries to their replica holders. `fresh`
+/// pairs each content digest with the store side it lives on.
+pub(crate) fn replicate_entries(node: &ClusterNode, fresh: &[(String, EntryKind)]) {
+    if fresh.is_empty() || node.cfg.replicas <= 1 || node.cfg.members.len() <= 1 {
+        return;
+    }
+    // Group entries by destination member so each peer gets one `put`.
+    let mut by_dest: HashMap<usize, Vec<PutEntry>> = HashMap::new();
+    for (digest, kind) in fresh {
+        let Some(text) = node.store.read_raw(*kind, digest) else {
+            // Evicted (or never landed) between synthesis and now;
+            // nothing to ship.
+            continue;
+        };
+        let prefix = u8::from_str_radix(digest.get(..2).unwrap_or("00"), 16).unwrap_or(0);
+        for member in node.ring.replicas(prefix, node.cfg.replicas) {
+            if member == node.cfg.self_index {
+                continue;
+            }
+            by_dest.entry(member).or_default().push(PutEntry {
+                digest: digest.clone(),
+                kind: *kind,
+                entry: text.clone(),
+            });
+        }
+    }
+    if by_dest.is_empty() {
+        return;
+    }
+
+    // One push thread per destination; wait for all of them so the
+    // caller's reply implies the copies exist.
+    thread::scope(|s| {
+        for (member, entries) in by_dest {
+            let client = PeerClient::new(node.cfg.members[member].clone());
+            let counters = &node.counters;
+            s.spawn(move || match client.call(&Frame::Put { entries }) {
+                Ok(Frame::Stored { stored }) => {
+                    counters.replicated_out.fetch_add(stored, Ordering::Relaxed);
+                }
+                Ok(_) | Err(_) => {
+                    counters.remote_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+}

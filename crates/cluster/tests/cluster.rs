@@ -1,0 +1,405 @@
+//! Three-shard cluster integration: routing, synthesize-once dedup,
+//! replication, shard-loss survival, negative caching, and protocol
+//! compatibility — all in-process over real Unix sockets.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use hls_cluster::{
+    serve, Addr, ClusterConfig, ClusterNode, Frame, HashRing, Listener, PeerClient, DEFAULT_VNODES,
+};
+use hls_ir::Json;
+use hls_serve::{EntryKind, ServiceConfig, SynthesisRequest};
+use qam_decoder::{table1_library, QAM_DECODER_SOURCE};
+
+const SRC: &str = "void twice(sc_fixed<8,4> x, sc_fixed<10,6> *y) { *y = x + x; }";
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hls-cluster-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sock(tag: &str, i: usize) -> PathBuf {
+    std::env::temp_dir().join(format!("hls-cluster-{tag}-{i}-{}.sock", std::process::id()))
+}
+
+/// A request for the shared tiny design at one target clock — each
+/// clock is a distinct content digest spread across the ring.
+fn req(clock: f64) -> SynthesisRequest {
+    let mut r = SynthesisRequest::new(SRC);
+    r.design = format!("twice@{clock}ns");
+    r.directives.clock_period_ns = clock;
+    r
+}
+
+fn grid(n: usize) -> Vec<SynthesisRequest> {
+    (0..n).map(|i| req(4.0 + i as f64)).collect()
+}
+
+/// Boots a cluster: one node + listener thread per member. Returns the
+/// node handles (for store/counter assertions) and the member list.
+fn boot(tag: &str, n: usize, service: ServiceConfig) -> (Vec<Arc<ClusterNode>>, Vec<Addr>) {
+    let members: Vec<Addr> = (0..n).map(|i| Addr::Unix(sock(tag, i))).collect();
+    let nodes: Vec<Arc<ClusterNode>> = (0..n)
+        .map(|i| {
+            let store = hls_serve::ArtifactStore::open(
+                &scratch(&format!("{tag}-store{i}")),
+                hls_serve::StoreConfig::default(),
+            )
+            .expect("store opens");
+            let cfg = ClusterConfig {
+                self_index: i,
+                members: members.clone(),
+                replicas: 2,
+                vnodes: DEFAULT_VNODES,
+                service: service.clone(),
+            };
+            Arc::new(ClusterNode::new(cfg, store).expect("node builds"))
+        })
+        .collect();
+    for (i, node) in nodes.iter().enumerate() {
+        let listener = Listener::bind(&members[i]).expect("binds");
+        let node = Arc::clone(node);
+        thread::spawn(move || serve(node, listener));
+    }
+    // Every member answers pings before the test proceeds.
+    for (i, m) in members.iter().enumerate() {
+        let client = PeerClient::new(m.clone());
+        for attempt in 0..100 {
+            match client.call(&Frame::Ping) {
+                Ok(Frame::Pong { shard }) => {
+                    assert_eq!(shard, i as u64);
+                    break;
+                }
+                _ if attempt < 99 => thread::sleep(Duration::from_millis(10)),
+                other => panic!("shard {i} never came up: {other:?}"),
+            }
+        }
+    }
+    (nodes, members)
+}
+
+fn batch_frame(requests: &[SynthesisRequest]) -> Frame {
+    Frame::Batch {
+        requests: hls_serve::batch_to_json(requests),
+    }
+}
+
+fn report(addr: &Addr, requests: &[SynthesisRequest]) -> Json {
+    match PeerClient::new(addr.clone()).call(&batch_frame(requests)) {
+        Ok(Frame::Report(r)) => r,
+        other => panic!("expected a report, got {other:?}"),
+    }
+}
+
+fn outcomes(report: &Json) -> &[Json] {
+    report
+        .get("outcomes")
+        .and_then(Json::as_arr)
+        .expect("outcomes")
+}
+
+fn verilog(outcome: &Json) -> &str {
+    outcome
+        .get("verilog")
+        .and_then(Json::as_str)
+        .expect("verilog")
+}
+
+#[test]
+fn three_shards_route_replicate_and_serve_bit_identical_hits() {
+    let n = 12;
+    let (nodes, members) = boot("route", 3, ServiceConfig::default());
+    let requests = grid(n);
+
+    // Cold: every request synthesizes somewhere in the cluster.
+    let cold = report(&members[0], &requests);
+    let cold_outcomes = outcomes(&cold);
+    assert_eq!(cold_outcomes.len(), n);
+    let cold_verilog: Vec<String> = cold_outcomes
+        .iter()
+        .map(|o| {
+            assert!(o.get("error").is_none(), "cold outcome errored: {o:?}");
+            verilog(o).to_string()
+        })
+        .collect();
+    // The grid must actually exercise routing (deterministic digests).
+    let forwarded = cold
+        .get("routing")
+        .and_then(|r| r.get("forwarded"))
+        .and_then(Json::as_u64)
+        .expect("routing.forwarded");
+    assert!(forwarded > 0, "grid never left shard 0");
+
+    // Every digest must live on >= 2 stores, byte-identically.
+    for o in cold_outcomes {
+        let digest = o.get("digest").and_then(Json::as_str).expect("digest");
+        let copies: Vec<String> = nodes
+            .iter()
+            .filter_map(|node| node.store().read_raw(EntryKind::Positive, digest))
+            .collect();
+        assert!(
+            copies.len() >= 2,
+            "digest {digest} has {} copies, wanted >= 2",
+            copies.len()
+        );
+        assert!(
+            copies.windows(2).all(|w| w[0] == w[1]),
+            "replicas of {digest} differ"
+        );
+    }
+
+    // Warm from *every* shard: all hits, Verilog byte-identical to cold.
+    for m in &members {
+        let warm = report(m, &requests);
+        for (i, o) in outcomes(&warm).iter().enumerate() {
+            assert_eq!(
+                o.get("cache_hit").and_then(Json::as_bool),
+                Some(true),
+                "warm outcome {i} via {m} was not a hit: {o:?}"
+            );
+            assert_eq!(
+                verilog(o),
+                cold_verilog[i],
+                "warm Verilog {i} via {m} differs from cold"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_identical_requests_synthesize_once_across_connections() {
+    let service = ServiceConfig {
+        synth_delay: Duration::from_millis(400),
+        ..ServiceConfig::default()
+    };
+    let (nodes, members) = boot("dedup", 1, service);
+    let one = vec![req(6.0)];
+
+    let (first, second) = thread::scope(|s| {
+        let a = s.spawn(|| report(&members[0], &one));
+        thread::sleep(Duration::from_millis(100));
+        let b = s.spawn(|| report(&members[0], &one));
+        (a.join().expect("first"), b.join().expect("second"))
+    });
+
+    let synthesized = |r: &Json| {
+        r.get("counters")
+            .and_then(|c| c.get("synthesized"))
+            .and_then(Json::as_u64)
+            .expect("counters.synthesized")
+    };
+    assert_eq!(
+        synthesized(&first) + synthesized(&second),
+        1,
+        "the pipeline must run exactly once for identical concurrent requests"
+    );
+    for r in [&first, &second] {
+        let o = &outcomes(r)[0];
+        assert!(o.get("error").is_none(), "outcome errored: {o:?}");
+        assert!(!verilog(o).is_empty());
+    }
+    // The follower either joined the in-flight run or (if it arrived
+    // after publication) hit the store; both mean no second synthesis.
+    let deduped = nodes[0]
+        .counters()
+        .inflight_deduped
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let second_hit = outcomes(&second)[0]
+        .get("cache_hit")
+        .and_then(Json::as_bool)
+        == Some(true);
+    let first_hit = outcomes(&first)[0].get("cache_hit").and_then(Json::as_bool) == Some(true);
+    assert!(
+        deduped >= 1 || second_hit || first_hit,
+        "follower neither deduped nor hit"
+    );
+}
+
+#[test]
+fn owner_loss_is_survived_by_replica_holders() {
+    let n = 12;
+    let (_nodes, members) = boot("loss", 3, ServiceConfig::default());
+    let requests = grid(n);
+
+    // Cold populate + synchronous replication.
+    let cold = report(&members[0], &requests);
+    let cold_outcomes = outcomes(&cold);
+
+    // Find a request owned by shard 2 and the surviving shard that
+    // holds its replica; the ring is deterministic, so recompute it.
+    let names: Vec<String> = members.iter().map(|m| m.to_string()).collect();
+    let ring = HashRing::new(&names, DEFAULT_VNODES);
+    let mut probe = None;
+    for (i, o) in cold_outcomes.iter().enumerate() {
+        let digest = o.get("digest").and_then(Json::as_str).expect("digest");
+        let prefix = u8::from_str_radix(&digest[..2], 16).expect("hex prefix");
+        let replicas = ring.replicas(prefix, 2);
+        if replicas[0] == 2 {
+            probe = Some((i, replicas[1]));
+            break;
+        }
+    }
+    let Some((victim_req, survivor)) = probe else {
+        // Deterministic grid: if this trips, widen the grid above.
+        panic!("no request in the grid is owned by shard 2");
+    };
+
+    // Kill shard 2 the Unix way: unlink its socket so connects fail.
+    let Addr::Unix(path) = &members[2] else {
+        unreachable!()
+    };
+    fs::remove_file(path).expect("unlink shard 2's socket");
+
+    // The survivor that holds the replica serves the hit locally after
+    // the forward fails.
+    let warm = report(&members[survivor], &requests);
+    let o = &outcomes(&warm)[victim_req];
+    assert_eq!(
+        o.get("cache_hit").and_then(Json::as_bool),
+        Some(true),
+        "replica holder must serve the dead owner's entry as a hit: {o:?}"
+    );
+    assert_eq!(verilog(o), verilog(&cold_outcomes[victim_req]));
+    let fallback = warm
+        .get("routing")
+        .and_then(|r| r.get("fallback_local"))
+        .and_then(Json::as_u64)
+        .expect("routing.fallback_local");
+    assert!(fallback > 0, "dead owner must force local fallback");
+
+    // Every other request still gets a full answer.
+    for o in outcomes(&warm) {
+        assert!(
+            o.get("verilog").is_some(),
+            "request lost to the dead shard: {o:?}"
+        );
+    }
+}
+
+#[test]
+fn deterministic_failures_are_negative_cached_and_replicated() {
+    let (nodes, members) = boot("neg", 3, ServiceConfig::default());
+    // An infeasible target clock: the schedule stage can never fit a
+    // multiply in 0.5 ns, deterministically, on any shard.
+    let mut bad = SynthesisRequest::new(QAM_DECODER_SOURCE);
+    bad.design = "qam@0.5ns".into();
+    bad.library = table1_library();
+    bad.directives = hls_core::Directives::new(0.5);
+    let batch = vec![bad];
+
+    let first = report(&members[0], &batch);
+    let o = &outcomes(&first)[0];
+    assert_eq!(
+        o.get("failure_code").and_then(Json::as_str),
+        Some("infeasible-clock"),
+        "first attempt must fail the schedule: {o:?}"
+    );
+    assert_ne!(o.get("negative_hit").and_then(Json::as_bool), Some(true));
+    let digest = o
+        .get("digest")
+        .and_then(Json::as_str)
+        .expect("digest")
+        .to_string();
+
+    // The failure document replicated like any other entry.
+    let copies = nodes
+        .iter()
+        .filter(|node| {
+            node.store()
+                .read_raw(EntryKind::Negative, &digest)
+                .is_some()
+        })
+        .count();
+    assert!(
+        copies >= 2,
+        "negative entry has {copies} copies, wanted >= 2"
+    );
+
+    // Retry from a *different* shard: same failure, no pipeline re-run.
+    let second = report(&members[1], &batch);
+    let o = &outcomes(&second)[0];
+    assert_eq!(
+        o.get("negative_hit").and_then(Json::as_bool),
+        Some(true),
+        "retry must be served from the negative cache: {o:?}"
+    );
+    assert_eq!(
+        o.get("failure_code").and_then(Json::as_str),
+        Some("infeasible-clock")
+    );
+    assert_eq!(
+        second
+            .get("counters")
+            .and_then(|c| c.get("synthesized"))
+            .and_then(Json::as_u64),
+        Some(0),
+        "negative hit must not re-run the pipeline"
+    );
+}
+
+#[test]
+fn legacy_plain_batch_lines_and_bad_frames_are_answered() {
+    let (_nodes, members) = boot("legacy", 1, ServiceConfig::default());
+    let Addr::Unix(path) = &members[0] else {
+        unreachable!()
+    };
+    let mut stream = UnixStream::connect(path).expect("connects");
+
+    // Legacy: a bare batch line gets a bare report line (no proto tag).
+    let batch = hls_serve::batch_to_json(&[req(5.0)]).write();
+    stream.write_all(batch.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let reply = Json::parse(&line).expect("legacy reply is JSON");
+    assert!(
+        reply.get("proto").is_none(),
+        "legacy reply must not be a frame"
+    );
+    assert_eq!(outcomes(&reply).len(), 1);
+    assert!(outcomes(&reply)[0].get("verilog").is_some());
+
+    // A version-mismatched frame on the same connection errors loudly.
+    stream
+        .write_all(b"{\"proto\":\"hls-cluster/v0\",\"op\":\"ping\"}\n")
+        .unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let reply = Json::parse(&line).expect("error reply is JSON");
+    let message = reply
+        .get("error")
+        .and_then(Json::as_str)
+        .expect("error frame");
+    assert!(message.contains("version mismatch"), "{message}");
+}
+
+#[test]
+fn stats_frame_reports_membership_and_store_census() {
+    let (_nodes, members) = boot("stats", 3, ServiceConfig::default());
+    let _ = report(&members[0], &grid(3));
+    let stats = match PeerClient::new(members[0].clone()).call(&Frame::Stats) {
+        Ok(Frame::Report(r)) => r,
+        other => panic!("expected a stats report, got {other:?}"),
+    };
+    assert_eq!(stats.get("self").and_then(Json::as_u64), Some(0));
+    assert_eq!(
+        stats
+            .get("members")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(3)
+    );
+    assert!(stats
+        .get("cluster")
+        .and_then(|c| c.get("forwarded"))
+        .is_some());
+    assert!(stats.get("store").and_then(|s| s.get("entries")).is_some());
+}

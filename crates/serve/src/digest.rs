@@ -34,6 +34,15 @@ pub struct RequestKey {
     pub preimage: String,
 }
 
+impl RequestKey {
+    /// The digest's leading byte — the store's `objects/<2-hex-prefix>/`
+    /// shard directory, and the cluster's unit of shard ownership (the
+    /// hash ring maps the 256 prefixes onto shards).
+    pub fn shard_prefix(&self) -> u8 {
+        u8::from_str_radix(self.digest.get(..2).unwrap_or("00"), 16).unwrap_or(0)
+    }
+}
+
 /// Builds the canonical content address for one synthesis request.
 pub fn request_key(
     func: &Function,

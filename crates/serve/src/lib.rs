@@ -54,15 +54,18 @@
 #![warn(missing_docs)]
 
 pub mod digest;
+pub mod negative;
 pub mod request;
 pub mod service;
 pub mod store;
 
 pub use digest::{request_key, request_key_for_text, RequestKey, REQUEST_SCHEMA};
-pub use request::{parse_batch, SynthesisRequest};
+pub use negative::{NegativeEntry, NEGATIVE_SCHEMA};
+pub use request::{batch_from_json, batch_to_json, parse_batch, SynthesisRequest};
 pub use service::{
     serve_batch, BatchReport, CountersSnapshot, HistogramSnapshot, RequestOutcome, ServiceConfig,
 };
 pub use store::{
-    ArtifactStore, CachedArtifact, StoreConfig, StoreStats, Verdict, ENTRY_SCHEMA, STALE_LOCK,
+    ArtifactStore, CachedArtifact, EntryKind, StoreConfig, StoreStats, Verdict, ENTRY_SCHEMA,
+    STALE_LOCK,
 };

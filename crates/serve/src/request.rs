@@ -115,10 +115,26 @@ impl SynthesisRequest {
     }
 }
 
+/// Serializes requests as a `{"requests": [...]}` batch — the wire form
+/// [`parse_batch`] accepts, used when a cluster shard forwards a
+/// sub-batch to the digest's owner.
+pub fn batch_to_json(requests: &[SynthesisRequest]) -> Json {
+    Json::obj(vec![(
+        "requests",
+        Json::Arr(requests.iter().map(SynthesisRequest::to_json).collect()),
+    )])
+}
+
 /// Parses a batch: `{"requests": [...]}`, a bare array, or one object.
 pub fn parse_batch(text: &str) -> Result<Vec<SynthesisRequest>, String> {
     let v = Json::parse(text).map_err(|e| format!("batch is not valid JSON: {e}"))?;
-    let list: Vec<&Json> = match &v {
+    batch_from_json(&v)
+}
+
+/// [`parse_batch`] for an already-parsed JSON value (the cluster wire
+/// protocol embeds batches inside frames).
+pub fn batch_from_json(v: &Json) -> Result<Vec<SynthesisRequest>, String> {
+    let list: Vec<&Json> = match v {
         Json::Obj(_) if v.get("requests").is_some() => v
             .get("requests")
             .and_then(Json::as_arr)

@@ -20,11 +20,24 @@
 //!   rejection carries a structured [`Diagnostic`] with the candidate's
 //!   bounded latency, area and operation count, so callers can tell a
 //!   design that was *too big* from one that merely arrived late.
-//! - **Observability**: hit/miss/dedup/error counters, the queue's peak
-//!   depth, and power-of-two latency histograms per stage.
+//! - **Negative caching**: a miss first probes the store's negative
+//!   side — if this exact request already *failed* the pipeline, the
+//!   stored [`NegativeEntry`] (error + structured diagnostics) is
+//!   served for a store read instead of a pipeline re-run, and fresh
+//!   deterministic failures are persisted the same way. Only
+//!   content-addressed failures are cached: parse errors never reach a
+//!   digest and admission rejections depend on the dynamic cost model,
+//!   so neither is persisted.
+//! - **Observability**: hit/miss/dedup/error counters plus negative-hit
+//!   and negative-insert counters, the queue's peak depth, and
+//!   power-of-two latency histograms per stage.
 //!
 //! Cache hits bypass the pipeline entirely and return the stored
-//! artifact byte-identically.
+//! artifact byte-identically. [`ServiceConfig::synth_delay`] injects a
+//! fixed latency into every pipeline invocation (success or failure) to
+//! model an external backend tool — commercial HLS runs take seconds to
+//! minutes, not the milliseconds of this in-process pipeline — which is
+//! what the cluster fabric benchmarks scale against.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,6 +54,7 @@ use hls_verify::verify_equiv;
 use rtl::compile_traced;
 
 use crate::digest::RequestKey;
+use crate::negative::NegativeEntry;
 use crate::request::SynthesisRequest;
 use crate::store::{ArtifactStore, CachedArtifact, Verdict};
 
@@ -56,6 +70,11 @@ pub struct ServiceConfig {
     /// Reject jobs whose modeled back-end cost reaches this many
     /// nanoseconds (`None` admits everything).
     pub max_cost_ns: Option<u64>,
+    /// Extra latency injected into every pipeline invocation (success
+    /// or failure), modeling an external backend tool. Zero by default;
+    /// the cluster benchmarks use it to measure fabric scaling
+    /// independently of this machine's core count.
+    pub synth_delay: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -66,6 +85,7 @@ impl Default for ServiceConfig {
                 .unwrap_or(1),
             budget: ExploreBudget::default(),
             max_cost_ns: None,
+            synth_delay: Duration::ZERO,
         }
     }
 }
@@ -152,6 +172,10 @@ pub struct CountersSnapshot {
     pub rejected: u64,
     /// Jobs that failed (parse, synthesis or store errors).
     pub errors: u64,
+    /// Failures served from the negative cache (no pipeline run).
+    pub neg_hits: u64,
+    /// Fresh deterministic failures persisted to the negative cache.
+    pub neg_inserts: u64,
     /// Unique jobs enqueued (the queue's peak depth).
     pub queue_peak: u64,
     /// Store-lookup latency per job.
@@ -174,6 +198,8 @@ impl CountersSnapshot {
             ("deduped", Json::count(self.deduped)),
             ("rejected", Json::count(self.rejected)),
             ("errors", Json::count(self.errors)),
+            ("neg_hits", Json::count(self.neg_hits)),
+            ("neg_inserts", Json::count(self.neg_inserts)),
             ("queue_peak", Json::count(self.queue_peak)),
             ("lookup_us", self.lookup_us.to_json()),
             ("synth_us", self.synth_us.to_json()),
@@ -196,6 +222,12 @@ pub struct RequestOutcome {
     pub deduped: bool,
     /// Whether admission control rejected the job.
     pub rejected: bool,
+    /// Whether the failure was served from the negative cache (the
+    /// pipeline was *not* re-run).
+    pub negative_hit: bool,
+    /// The structured failure, for requests that failed the pipeline —
+    /// fresh or replayed from the negative cache.
+    pub failure: Option<NegativeEntry>,
     /// The job's modeled back-end cost when a model existed.
     pub modeled_cost_ns: Option<u64>,
     /// Structured diagnostics for requests that never reached the
@@ -216,6 +248,8 @@ impl RequestOutcome {
             cache_hit: false,
             deduped: false,
             rejected: false,
+            negative_hit: false,
+            failure: None,
             modeled_cost_ns: None,
             diagnostics: None,
             artifact: None,
@@ -233,6 +267,13 @@ impl RequestOutcome {
         ];
         if self.rejected {
             fields.push(("rejected", Json::Bool(true)));
+        }
+        if self.negative_hit {
+            fields.push(("negative_hit", Json::Bool(true)));
+        }
+        if let Some(f) = &self.failure {
+            fields.push(("failure_code", Json::str(f.code.clone())));
+            fields.push(("diagnostics", f.diagnostics.clone()));
         }
         if let Some(cost) = self.modeled_cost_ns {
             fields.push(("modeled_cost_ns", Json::count(cost)));
@@ -331,6 +372,8 @@ struct Counters {
     synthesized: AtomicU64,
     rejected: AtomicU64,
     errors: AtomicU64,
+    neg_hits: AtomicU64,
+    neg_inserts: AtomicU64,
     lookup: LatencyHistogram,
     synth: LatencyHistogram,
     verify: LatencyHistogram,
@@ -407,19 +450,22 @@ pub fn serve_batch(
 
     thread::scope(|s| {
         for _ in 0..cfg.workers.max(1) {
+            // A panicking worker poisons these locks while the job that
+            // panicked is simply absent from `results`; the survivors
+            // keep draining the queue, so recover the guard.
             s.spawn(|| loop {
-                let job = queue.lock().expect("queue lock").pop();
+                let job = queue.lock().unwrap_or_else(|e| e.into_inner()).pop();
                 let Some(job) = job else { break };
                 let outcome = run_job(&job, requests, store, cfg, &model, &counters);
                 results
                     .lock()
-                    .expect("results lock")
+                    .unwrap_or_else(|e| e.into_inner())
                     .insert(job.key.digest.clone(), outcome);
             });
         }
     });
 
-    let results = results.into_inner().expect("results lock");
+    let results = results.into_inner().unwrap_or_else(|e| e.into_inner());
     let outcomes = prepared
         .iter()
         .enumerate()
@@ -428,14 +474,24 @@ pub fn serve_batch(
                 counters.errors.fetch_add(1, Ordering::Relaxed);
                 RequestOutcome::failed(&requests[i].design, "", e.clone())
             }
-            Ok((_, key)) => {
-                let mut o = results
-                    .get(&key.digest)
-                    .expect("every unique digest ran")
-                    .clone();
-                o.deduped = executor.get(key.digest.as_str()) != Some(&i);
-                o
-            }
+            Ok((_, key)) => match results.get(&key.digest) {
+                Some(done) => {
+                    let mut o = done.clone();
+                    o.deduped = executor.get(key.digest.as_str()) != Some(&i);
+                    o
+                }
+                // Reachable only if the executing worker panicked
+                // mid-job; report it as this request's failure instead
+                // of tearing down the whole batch.
+                None => {
+                    counters.errors.fetch_add(1, Ordering::Relaxed);
+                    RequestOutcome::failed(
+                        &requests[i].design,
+                        &key.digest,
+                        "internal: worker died before recording an outcome".to_string(),
+                    )
+                }
+            },
         })
         .collect();
 
@@ -448,6 +504,8 @@ pub fn serve_batch(
             deduped,
             rejected: counters.rejected.load(Ordering::Relaxed),
             errors: counters.errors.load(Ordering::Relaxed),
+            neg_hits: counters.neg_hits.load(Ordering::Relaxed),
+            neg_inserts: counters.neg_inserts.load(Ordering::Relaxed),
             queue_peak,
             lookup_us: counters.lookup.snapshot(),
             synth_us: counters.synth.snapshot(),
@@ -492,6 +550,8 @@ fn run_job(
                 cache_hit: false,
                 deduped: false,
                 rejected: true,
+                negative_hit: false,
+                failure: None,
                 modeled_cost_ns,
                 diagnostics: Some(Diagnostics::from(diag)),
                 artifact: None,
@@ -513,10 +573,33 @@ fn run_job(
             cache_hit: true,
             deduped: false,
             rejected: false,
+            negative_hit: false,
+            failure: None,
             modeled_cost_ns,
             diagnostics: None,
             artifact: Some(artifact),
             error: None,
+        };
+    }
+
+    // A positive miss may still be a *negative* hit: this exact request
+    // already failed the pipeline deterministically, so replay the
+    // stored failure instead of re-running.
+    if let Some(failure) = store.lookup_negative(&job.key) {
+        counters.neg_hits.fetch_add(1, Ordering::Relaxed);
+        counters.errors.fetch_add(1, Ordering::Relaxed);
+        return RequestOutcome {
+            design,
+            digest: job.key.digest.clone(),
+            cache_hit: false,
+            deduped: false,
+            rejected: false,
+            negative_hit: true,
+            modeled_cost_ns,
+            diagnostics: None,
+            artifact: None,
+            error: Some(format!("synthesis: {}", failure.error)),
+            failure: Some(failure),
         };
     }
     counters.misses.fetch_add(1, Ordering::Relaxed);
@@ -528,6 +611,12 @@ fn run_job(
         &req.library,
         &PipelineConfig::default(),
     );
+    if !cfg.synth_delay.is_zero() {
+        // Models the external backend tool's wall time (applies to
+        // failed runs too: a real tool burns its runtime before
+        // reporting infeasibility).
+        thread::sleep(cfg.synth_delay);
+    }
     let synth_time = t.elapsed();
     counters.synth.record(synth_time);
     model.observe(job.bound.ops, synth_time);
@@ -536,7 +625,28 @@ fn run_job(
         Ok(a) => a,
         Err(e) => {
             counters.errors.fetch_add(1, Ordering::Relaxed);
-            return RequestOutcome::failed(&design, &job.key.digest, format!("synthesis: {e}"));
+            let failure = NegativeEntry {
+                design: design.clone(),
+                code: e.code().to_string(),
+                error: e.to_string(),
+                diagnostics: Json::parse(&run.diagnostics.to_json())
+                    .unwrap_or(Json::Arr(Vec::new())),
+            };
+            let mut outcome =
+                RequestOutcome::failed(&design, &job.key.digest, format!("synthesis: {e}"));
+            outcome.modeled_cost_ns = modeled_cost_ns;
+            // Persist the deterministic failure so retries are store
+            // reads; a store error only costs the cache, not the reply.
+            match store.insert_negative(&job.key, &failure) {
+                Ok(()) => {
+                    counters.neg_inserts.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(io) => {
+                    outcome.error = Some(format!("synthesis: {e} (failure not cached: {io})"));
+                }
+            }
+            outcome.failure = Some(failure);
+            return outcome;
         }
     };
     let verdict = if req.verify {
@@ -571,6 +681,8 @@ fn run_job(
         cache_hit: false,
         deduped: false,
         rejected: false,
+        negative_hit: false,
+        failure: None,
         modeled_cost_ns,
         diagnostics: None,
         artifact: Some(artifact),

@@ -4,15 +4,20 @@
 //!
 //! ```text
 //! root/
-//!   objects/<2-hex-prefix>/<digest>.json   one entry per request digest
-//!   tmp/                                   staging for atomic writes
-//!   quarantine/                            entries that failed integrity
-//!   locks/                                 advisory writer/evictor locks
+//!   objects/<2-hex-prefix>/<digest>.json    one entry per request digest
+//!   negative/<2-hex-prefix>/<digest>.json   cached synthesis failures
+//!   tmp/                                    staging for atomic writes
+//!   quarantine/                             entries that failed integrity
+//!   locks/                                  advisory writer/evictor locks
 //! ```
 //!
 //! Every entry is a single JSON document carrying the canonical request
-//! preimage, the artifact body (Verilog, metrics, pass trace, verify
-//! verdict, diagnostics) and a digest of the body. Loads re-verify both
+//! preimage, a body and a digest of the body. Positive entries (under
+//! `objects/`) carry the artifact body (Verilog, metrics, pass trace,
+//! verify verdict, diagnostics); negative entries (under `negative/`)
+//! carry a [`NegativeEntry`] — the structured failure of a
+//! deterministic pipeline error, so retries of a bad request cost a
+//! store read instead of a pipeline re-run. Loads re-verify both
 //! digests — the filename against the preimage and the body digest
 //! against the body — and move anything inconsistent to `quarantine/`,
 //! reporting a miss so the caller simply re-synthesizes. Writes stage
@@ -20,12 +25,22 @@
 //! torn entry and concurrent writers of the same digest are harmless
 //! (they produce identical bytes). Advisory locks in `locks/` keep
 //! concurrent writers and the evictor from duplicating work; a lock
-//! older than [`STALE_LOCK`] is presumed abandoned and stolen.
+//! older than [`STALE_LOCK`] is presumed abandoned and stolen. Opening
+//! a store sweeps `tmp/` of staging files older than [`STALE_LOCK`] —
+//! the residue of a writer that died between write and rename.
+//!
+//! Entries also move *between* stores: [`ArtifactStore::read_raw`]
+//! returns the exact on-disk document and
+//! [`ArtifactStore::insert_raw`] re-verifies the full integrity chain
+//! (schema, preimage→digest, body digest) before admitting foreign
+//! bytes. Replication in `hls-cluster` is built on this pair, which is
+//! what makes replicated reads byte-identical to the owner's.
 //!
 //! Reads refresh the entry's modification time, so eviction — which
 //! removes entries in `(mtime, digest)` order until the store fits
 //! [`StoreConfig::max_bytes`] — approximates least-recently-used and is
-//! deterministic given the timestamps.
+//! deterministic given the timestamps. Negative entries share the same
+//! budget and eviction order.
 
 use std::fs;
 use std::io;
@@ -37,18 +52,62 @@ use hls_core::DesignMetrics;
 use hls_ir::{stable_digest, Json};
 
 use crate::digest::RequestKey;
+use crate::negative::{NegativeEntry, NEGATIVE_SCHEMA};
 
-/// Schema tag of one store entry (bump on layout changes).
+/// Schema tag of one positive store entry (bump on layout changes).
 pub const ENTRY_SCHEMA: &str = "hls-serve-artifact/v1";
 
 /// Age past which a writer/evictor lock is presumed abandoned.
 pub const STALE_LOCK: Duration = Duration::from_secs(30);
 
+/// Which side of the store an entry lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// A synthesized artifact under `objects/`.
+    Positive,
+    /// A cached deterministic failure under `negative/`.
+    Negative,
+}
+
+impl EntryKind {
+    fn dir(self) -> &'static str {
+        match self {
+            EntryKind::Positive => "objects",
+            EntryKind::Negative => "negative",
+        }
+    }
+
+    fn schema(self) -> &'static str {
+        match self {
+            EntryKind::Positive => ENTRY_SCHEMA,
+            EntryKind::Negative => NEGATIVE_SCHEMA,
+        }
+    }
+
+    /// The kind's wire name (used by the cluster protocol).
+    pub fn name(self) -> &'static str {
+        match self {
+            EntryKind::Positive => "positive",
+            EntryKind::Negative => "negative",
+        }
+    }
+
+    /// Parses a wire name back into a kind.
+    pub fn by_name(name: &str) -> Option<EntryKind> {
+        match name {
+            "positive" => Some(EntryKind::Positive),
+            "negative" => Some(EntryKind::Negative),
+            _ => None,
+        }
+    }
+}
+
 /// Store tuning.
 #[derive(Debug, Clone, Copy)]
 pub struct StoreConfig {
-    /// Eviction threshold: total size of `objects/` the store trims down
-    /// to after every insert. The default is generous (256 MiB).
+    /// Eviction threshold: total size of `objects/` plus `negative/`
+    /// the store trims down to after every insert. The default is
+    /// generous (256 MiB).
     pub max_bytes: u64,
 }
 
@@ -146,16 +205,24 @@ impl CachedArtifact {
 /// Monotonic counters exposed by [`ArtifactStore::stats`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Entries currently on disk.
+    /// Positive entries currently on disk.
     pub entries: u64,
     /// Total bytes under `objects/`.
     pub bytes: u64,
+    /// Negative (failure) entries currently on disk.
+    pub neg_entries: u64,
+    /// Total bytes under `negative/`.
+    pub neg_bytes: u64,
     /// Lookups that returned a verified entry.
     pub hits: u64,
     /// Lookups that found nothing servable.
     pub misses: u64,
+    /// Negative lookups that returned a cached failure.
+    pub neg_hits: u64,
     /// Entries written by this handle.
     pub inserts: u64,
+    /// Negative entries written by this handle.
+    pub neg_inserts: u64,
     /// Entries removed by LRU eviction.
     pub evictions: u64,
     /// Entries moved to `quarantine/` after failing integrity.
@@ -168,9 +235,13 @@ impl StoreStats {
         Json::obj(vec![
             ("entries", Json::count(self.entries)),
             ("bytes", Json::count(self.bytes)),
+            ("neg_entries", Json::count(self.neg_entries)),
+            ("neg_bytes", Json::count(self.neg_bytes)),
             ("hits", Json::count(self.hits)),
             ("misses", Json::count(self.misses)),
+            ("neg_hits", Json::count(self.neg_hits)),
             ("inserts", Json::count(self.inserts)),
+            ("neg_inserts", Json::count(self.neg_inserts)),
             ("evictions", Json::count(self.evictions)),
             ("quarantined", Json::count(self.quarantined)),
         ])
@@ -185,23 +256,48 @@ pub struct ArtifactStore {
     max_bytes: u64,
     hits: AtomicU64,
     misses: AtomicU64,
+    neg_hits: AtomicU64,
     inserts: AtomicU64,
+    neg_inserts: AtomicU64,
     evictions: AtomicU64,
     quarantined: AtomicU64,
 }
 
 impl ArtifactStore {
-    /// Opens (creating if needed) the store rooted at `root`.
+    /// Opens (creating if needed) the store rooted at `root`, sweeping
+    /// staging files abandoned by a crashed writer (older than
+    /// [`STALE_LOCK`]) out of `tmp/`.
     pub fn open(root: &Path, config: StoreConfig) -> io::Result<ArtifactStore> {
-        for sub in ["objects", "tmp", "quarantine", "locks"] {
+        for sub in ["objects", "negative", "tmp", "quarantine", "locks"] {
             fs::create_dir_all(root.join(sub))?;
+        }
+        // A writer that died between `fs::write` and `fs::rename` leaves
+        // its staging file behind forever (the rename never happened).
+        // Entries are never served from tmp/, so this is purely space
+        // hygiene — but a crash-looping writer would otherwise grow it
+        // without bound. Young files may belong to a live writer; only
+        // stale ones go.
+        if let Ok(staged) = fs::read_dir(root.join("tmp")) {
+            for file in staged.flatten() {
+                let stale = file
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.elapsed().ok())
+                    .is_some_and(|age| age > STALE_LOCK);
+                if stale {
+                    let _ = fs::remove_file(file.path());
+                }
+            }
         }
         Ok(ArtifactStore {
             root: root.to_path_buf(),
             max_bytes: config.max_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            neg_hits: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
+            neg_inserts: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
         })
@@ -212,50 +308,101 @@ impl ArtifactStore {
         &self.root
     }
 
-    fn entry_path(&self, digest: &str) -> PathBuf {
+    fn shard_dir(&self, kind: EntryKind, digest: &str) -> PathBuf {
         self.root
-            .join("objects")
-            .join(&digest[..2])
-            .join(format!("{digest}.json"))
+            .join(kind.dir())
+            .join(digest.get(..2).unwrap_or("xx"))
+    }
+
+    fn entry_path(&self, kind: EntryKind, digest: &str) -> PathBuf {
+        self.shard_dir(kind, digest).join(format!("{digest}.json"))
     }
 
     /// Looks an entry up, verifying integrity. A hit refreshes the
     /// entry's modification time (the LRU signal). Corrupt entries are
     /// quarantined and reported as misses.
     pub fn lookup(&self, key: &RequestKey) -> Option<CachedArtifact> {
-        let path = self.entry_path(&key.digest);
-        let text = match fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(_) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                return None;
-            }
-        };
-        match parse_entry(&text, &key.digest) {
-            Some(artifact) => {
-                // LRU touch; failure to touch only ages the entry early.
-                if let Ok(f) = fs::File::options().write(true).open(&path) {
-                    let _ = f.set_modified(SystemTime::now());
-                }
+        let body = self.load_checked(EntryKind::Positive, &key.digest)?;
+        match CachedArtifact::from_json(&body) {
+            Ok(artifact) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(artifact)
             }
-            None => {
-                self.quarantine(&path, &key.digest);
+            Err(_) => {
+                self.quarantine(EntryKind::Positive, &key.digest);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    fn quarantine(&self, path: &Path, digest: &str) {
-        let dest = self.root.join("quarantine").join(format!("{digest}.json"));
-        if fs::rename(path, &dest).is_ok() {
+    /// Looks up a cached failure for `key`. A hit means the identical
+    /// request already failed the pipeline deterministically; the
+    /// caller serves the stored diagnostics instead of re-running.
+    pub fn lookup_negative(&self, key: &RequestKey) -> Option<NegativeEntry> {
+        let body = self.load_checked(EntryKind::Negative, &key.digest)?;
+        match NegativeEntry::from_json(&body) {
+            Ok(entry) => {
+                self.neg_hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            Err(_) => {
+                self.quarantine(EntryKind::Negative, &key.digest);
+                None
+            }
+        }
+    }
+
+    /// Loads, integrity-checks and LRU-touches one entry, returning its
+    /// body. Corrupt documents are quarantined. Positive misses count
+    /// toward `misses`; negative probes are silent (every cold request
+    /// probes the negative side).
+    fn load_checked(&self, kind: EntryKind, digest: &str) -> Option<Json> {
+        let path = self.entry_path(kind, digest);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => {
+                if kind == EntryKind::Positive {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                return None;
+            }
+        };
+        match check_entry(&text, digest, kind.schema()) {
+            Some(doc) => {
+                // LRU touch; failure to touch only ages the entry early.
+                if let Ok(f) = fs::File::options().write(true).open(&path) {
+                    let _ = f.set_modified(SystemTime::now());
+                }
+                // Move the body out of the verified document — cloning
+                // a multi-thousand-node parse tree per hit would double
+                // the warm-serve floor.
+                let Json::Obj(pairs) = doc else { return None };
+                pairs.into_iter().find(|(k, _)| k == "body").map(|(_, v)| v)
+            }
+            None => {
+                self.quarantine(kind, digest);
+                if kind == EntryKind::Positive {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                None
+            }
+        }
+    }
+
+    fn quarantine(&self, kind: EntryKind, digest: &str) {
+        let path = self.entry_path(kind, digest);
+        let name = match kind {
+            EntryKind::Positive => format!("{digest}.json"),
+            EntryKind::Negative => format!("{digest}.neg.json"),
+        };
+        let dest = self.root.join("quarantine").join(name);
+        if fs::rename(&path, &dest).is_ok() {
             self.quarantined.fetch_add(1, Ordering::Relaxed);
         } else {
             // Another handle got there first (or the file vanished);
             // either way the bad entry is out of the serving path.
-            let _ = fs::remove_file(path);
+            let _ = fs::remove_file(&path);
         }
     }
 
@@ -263,7 +410,17 @@ impl ArtifactStore {
     /// to its size budget. Inserting an already-present digest is a
     /// no-op (content addressing makes the bytes identical).
     pub fn insert(&self, key: &RequestKey, artifact: &CachedArtifact) -> io::Result<()> {
-        let path = self.entry_path(&key.digest);
+        self.write_document(EntryKind::Positive, key, artifact.to_json())
+    }
+
+    /// Persists a deterministic synthesis failure under `key` so
+    /// identical retries are served from disk.
+    pub fn insert_negative(&self, key: &RequestKey, entry: &NegativeEntry) -> io::Result<()> {
+        self.write_document(EntryKind::Negative, key, entry.to_json())
+    }
+
+    fn write_document(&self, kind: EntryKind, key: &RequestKey, body: Json) -> io::Result<()> {
+        let path = self.entry_path(kind, &key.digest);
         if path.exists() {
             return Ok(());
         }
@@ -271,10 +428,9 @@ impl ArtifactStore {
         if path.exists() {
             return Ok(()); // lost the race; the winner wrote our bytes
         }
-        let body = artifact.to_json();
         let body_text = body.write();
         let entry = Json::obj(vec![
-            ("schema", Json::str(ENTRY_SCHEMA)),
+            ("schema", Json::str(kind.schema())),
             ("preimage", Json::str(key.preimage.clone())),
             (
                 "body_digest",
@@ -282,23 +438,71 @@ impl ArtifactStore {
             ),
             ("body", body),
         ]);
-        fs::create_dir_all(path.parent().expect("entry path has a shard dir"))?;
-        let tmp = self
-            .root
-            .join("tmp")
-            .join(format!("{}.{}.tmp", key.digest, std::process::id()));
-        fs::write(&tmp, entry.write())?;
-        fs::rename(&tmp, &path)?;
-        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.stage_and_rename(kind, &key.digest, &entry.write())?;
+        self.count_insert(kind);
         self.enforce_budget()?;
         Ok(())
     }
 
-    /// Walks `objects/` and returns `(path, digest, mtime, size)` per
-    /// entry, sorted by `(mtime, digest)` ascending — eviction order.
-    fn scan(&self) -> Vec<(PathBuf, String, SystemTime, u64)> {
+    fn stage_and_rename(&self, kind: EntryKind, digest: &str, text: &str) -> io::Result<()> {
+        fs::create_dir_all(self.shard_dir(kind, digest))?;
+        let tmp = self.root.join("tmp").join(format!(
+            "{digest}.{}.{}.tmp",
+            kind.name(),
+            std::process::id()
+        ));
+        fs::write(&tmp, text)?;
+        fs::rename(&tmp, self.entry_path(kind, digest))
+    }
+
+    fn count_insert(&self, kind: EntryKind) {
+        match kind {
+            EntryKind::Positive => self.inserts.fetch_add(1, Ordering::Relaxed),
+            EntryKind::Negative => self.neg_inserts.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Returns the exact on-disk document for `digest` (after an
+    /// integrity check), or `None` when absent or corrupt. This is the
+    /// replication read path: the raw bytes round-trip to a peer store
+    /// unchanged, so a replica serves byte-identical artifacts.
+    pub fn read_raw(&self, kind: EntryKind, digest: &str) -> Option<String> {
+        let text = fs::read_to_string(self.entry_path(kind, digest)).ok()?;
+        if check_entry(&text, digest, kind.schema()).is_none() {
+            self.quarantine(kind, digest);
+            return None;
+        }
+        Some(text)
+    }
+
+    /// Admits a raw entry document produced by another store handle
+    /// (typically a cluster peer). The full integrity chain — schema
+    /// tag, preimage against `digest`, body digest against the body's
+    /// byte range — is re-verified before the bytes land; invalid
+    /// documents are refused with `Ok(false)`. Admitted entries are
+    /// written with the same atomic staging as local inserts.
+    pub fn insert_raw(&self, kind: EntryKind, digest: &str, text: &str) -> io::Result<bool> {
+        if check_entry(text, digest, kind.schema()).is_none() {
+            return Ok(false);
+        }
+        let path = self.entry_path(kind, digest);
+        if path.exists() {
+            return Ok(true);
+        }
+        let _guard = LockGuard::acquire(&self.root, digest)?;
+        if !path.exists() {
+            self.stage_and_rename(kind, digest, text)?;
+            self.count_insert(kind);
+            self.enforce_budget()?;
+        }
+        Ok(true)
+    }
+
+    /// Walks one side of the store and returns `(path, digest, mtime,
+    /// size)` per entry, sorted by `(mtime, digest)` ascending.
+    fn scan(&self, kind: EntryKind) -> Vec<(PathBuf, String, SystemTime, u64)> {
         let mut entries = Vec::new();
-        let Ok(shards) = fs::read_dir(self.root.join("objects")) else {
+        let Ok(shards) = fs::read_dir(self.root.join(kind.dir())) else {
             return entries;
         };
         for shard in shards.flatten() {
@@ -321,11 +525,15 @@ impl ArtifactStore {
         entries
     }
 
-    /// Evicts least-recently-used entries until the store fits its size
-    /// budget. Returns the evicted digests in eviction order. Runs under
-    /// the store-wide eviction lock, so concurrent writers trim once.
+    /// Evicts least-recently-used entries (positive and negative share
+    /// one budget and one `(mtime, digest)` order) until the store fits
+    /// its size budget. Returns the evicted digests in eviction order.
+    /// Runs under the store-wide eviction lock, so concurrent writers
+    /// trim once.
     pub fn enforce_budget(&self) -> io::Result<Vec<String>> {
-        let entries = self.scan();
+        let mut entries = self.scan(EntryKind::Positive);
+        entries.extend(self.scan(EntryKind::Negative));
+        entries.sort_by(|a, b| (a.2, &a.1).cmp(&(b.2, &b.1)));
         let mut total: u64 = entries.iter().map(|e| e.3).sum();
         if total <= self.max_bytes {
             return Ok(Vec::new());
@@ -347,21 +555,27 @@ impl ArtifactStore {
 
     /// Current counters plus an on-disk census.
     pub fn stats(&self) -> StoreStats {
-        let entries = self.scan();
+        let entries = self.scan(EntryKind::Positive);
+        let negative = self.scan(EntryKind::Negative);
         StoreStats {
             entries: entries.len() as u64,
             bytes: entries.iter().map(|e| e.3).sum(),
+            neg_entries: negative.len() as u64,
+            neg_bytes: negative.iter().map(|e| e.3).sum(),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            neg_hits: self.neg_hits.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
+            neg_inserts: self.neg_inserts.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 }
 
-/// Parses and integrity-checks one entry. `None` means quarantine.
-fn parse_entry(text: &str, digest: &str) -> Option<CachedArtifact> {
+/// Parses and integrity-checks one entry document, returning the parsed
+/// document. `None` means the entry must not be served (quarantine it).
+fn check_entry(text: &str, digest: &str, schema: &str) -> Option<Json> {
     // `body` is the entry's last field and the writer is deterministic,
     // so the body's digest can be checked against its exact byte range —
     // no re-serialization on the hot path. The marker cannot occur
@@ -370,7 +584,7 @@ fn parse_entry(text: &str, digest: &str) -> Option<CachedArtifact> {
     let body_start = text.find(MARKER)? + MARKER.len();
     let body_text = text.get(body_start..text.len().checked_sub(1)?)?;
     let v = Json::parse(text).ok()?;
-    if v.get("schema")?.as_str()? != ENTRY_SCHEMA {
+    if v.get("schema")?.as_str()? != schema {
         return None;
     }
     let preimage = v.get("preimage")?.as_str()?;
@@ -380,7 +594,8 @@ fn parse_entry(text: &str, digest: &str) -> Option<CachedArtifact> {
     if stable_digest(body_text.as_bytes()) != v.get("body_digest")?.as_str()? {
         return None; // body tampered or torn
     }
-    CachedArtifact::from_json(v.get("body")?).ok()
+    v.get("body")?;
+    Some(v)
 }
 
 /// An advisory lock file in `locks/`, deleted on drop. Acquisition spins

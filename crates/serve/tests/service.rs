@@ -56,6 +56,7 @@ fn admission_rejects_modeled_over_budget_jobs() {
             min_prune_cost_ns: 0,
         },
         max_cost_ns: Some(1),
+        ..ServiceConfig::default()
     };
     // Cheapest-first ordering: `twice` runs unmodeled (always admitted)
     // and trains the cost model; `sum` is then modeled over the 1 ns
@@ -158,5 +159,62 @@ fn warm_table1_sweep_returns_bit_identical_artifacts() {
             w.design
         );
     }
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn deterministic_failures_are_negative_cached() {
+    let root = scratch("negative");
+    let store = ArtifactStore::open(&root, StoreConfig::default()).unwrap();
+    // 0.05 ns cannot fit any operation in the library: the schedule
+    // fails deterministically, every time, on every machine.
+    let mut bad = SynthesisRequest::new(TWICE);
+    bad.design = "twice@0.05ns".into();
+    bad.directives.clock_period_ns = 0.05;
+    let batch = vec![bad];
+    let cfg = ServiceConfig::default();
+
+    let cold = serve_batch(&batch, &store, &cfg);
+    let o = &cold.outcomes[0];
+    assert!(!o.negative_hit, "first failure runs the pipeline");
+    let failure = o.failure.as_ref().expect("structured failure recorded");
+    assert_eq!(failure.code, "infeasible-clock");
+    assert!(o.error.as_ref().unwrap().contains("synthesis:"));
+    assert_eq!(cold.counters.neg_inserts, 1);
+    assert_eq!(cold.counters.errors, 1);
+    assert_eq!(cold.counters.synthesized, 0);
+
+    // The retry is a store read: no pipeline run, same failure, and the
+    // positive miss counter stays untouched (the probe is silent).
+    let warm = serve_batch(&batch, &store, &cfg);
+    let o = &warm.outcomes[0];
+    assert!(o.negative_hit, "retry must replay the cached failure");
+    assert_eq!(o.failure.as_ref().unwrap().code, "infeasible-clock");
+    assert_eq!(
+        o.failure.as_ref().unwrap().error,
+        failure.error,
+        "replayed failure must match the original"
+    );
+    assert_eq!(warm.counters.neg_hits, 1);
+    assert_eq!(warm.counters.misses, 0);
+    assert_eq!(warm.counters.synthesized, 0);
+    assert_eq!(warm.counters.neg_inserts, 0);
+
+    // The serialized outcome carries the failure for wire clients.
+    let json = o.to_json();
+    assert_eq!(
+        json.get("failure_code").and_then(hls_ir::Json::as_str),
+        Some("infeasible-clock")
+    );
+    assert_eq!(
+        json.get("negative_hit").and_then(hls_ir::Json::as_bool),
+        Some(true)
+    );
+
+    // A negative entry never shadows a fixable request: the same design
+    // at a feasible clock synthesizes normally.
+    let ok = serve_batch(&[SynthesisRequest::new(TWICE)], &store, &cfg);
+    assert!(ok.outcomes[0].artifact.is_some());
+    assert!(!ok.outcomes[0].negative_hit);
     let _ = fs::remove_dir_all(&root);
 }

@@ -10,7 +10,9 @@ use std::time::{Duration, SystemTime};
 
 use hls_core::{synthesize, DesignMetrics, Directives, TechLibrary};
 use hls_ir::{parse_function, stable_digest, Json};
-use hls_serve::{ArtifactStore, CachedArtifact, RequestKey, StoreConfig, Verdict};
+use hls_serve::{
+    ArtifactStore, CachedArtifact, NegativeEntry, RequestKey, StoreConfig, Verdict, STALE_LOCK,
+};
 
 fn scratch(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("hls-store-{tag}-{}", std::process::id()));
@@ -251,4 +253,116 @@ fn request_digest_is_stable_across_processes() {
         true,
     );
     assert_eq!(k.digest, "85da05dbcb2cc2e5847aa9438d642b69");
+}
+
+#[test]
+fn abandoned_staging_files_are_swept_on_reopen() {
+    let root = scratch("sweep");
+    let store = ArtifactStore::open(&root, StoreConfig::default()).unwrap();
+    let k = key("sweep");
+    store.insert(&k, &artifact("sweep")).unwrap();
+
+    // Simulate a writer that died between `write` and `rename`: its
+    // staging file exists, the rename never happened.
+    let stale = root
+        .join("tmp")
+        .join(format!("{}.positive.99999.tmp", k.digest));
+    fs::write(&stale, "{\"half\":\"written").unwrap();
+    let young = root.join("tmp").join("deadbeef.positive.99998.tmp");
+    fs::write(&young, "{\"live\":\"writer").unwrap();
+    // Age only the dead writer's file past the staleness horizon.
+    fs::File::options()
+        .write(true)
+        .open(&stale)
+        .unwrap()
+        .set_modified(SystemTime::now() - STALE_LOCK - Duration::from_secs(60))
+        .unwrap();
+
+    drop(store);
+    let store = ArtifactStore::open(&root, StoreConfig::default()).unwrap();
+    assert!(!stale.exists(), "stale staging file must be swept");
+    assert!(
+        young.exists(),
+        "young staging file may belong to a live writer"
+    );
+    // The committed entry is untouched by recovery.
+    let back = store.lookup(&k).expect("committed entry still serves");
+    assert_eq!(back.verilog, artifact("sweep").verilog);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn negative_entries_round_trip_and_torn_ones_are_rejected() {
+    let root = scratch("negative");
+    let store = ArtifactStore::open(&root, StoreConfig::default()).unwrap();
+    let k = key("negative");
+    let failure = NegativeEntry {
+        design: "bad".into(),
+        code: "infeasible-clock".into(),
+        error: "operation cannot fit the clock".into(),
+        diagnostics: Json::Arr(Vec::new()),
+    };
+    store.insert_negative(&k, &failure).unwrap();
+    let back = store.lookup_negative(&k).expect("round-trips");
+    assert_eq!(back.code, "infeasible-clock");
+    assert_eq!(back.error, failure.error);
+    assert_eq!(store.stats().neg_entries, 1);
+
+    // Tear the body: the digest check must refuse and quarantine it.
+    let path = root
+        .join("negative")
+        .join(&k.digest[..2])
+        .join(format!("{}.json", k.digest));
+    let text = fs::read_to_string(&path).unwrap();
+    fs::write(&path, &text[..text.len() - 8]).unwrap();
+    assert!(
+        store.lookup_negative(&k).is_none(),
+        "torn entry must not serve"
+    );
+    assert!(!path.exists(), "torn entry left the serving path");
+    assert_eq!(store.stats().quarantined, 1);
+
+    // Repopulation leaves a consistent store.
+    store.insert_negative(&k, &failure).unwrap();
+    assert!(store.lookup_negative(&k).is_some());
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn foreign_raw_documents_are_reverified_before_admission() {
+    use hls_serve::EntryKind;
+    let a_root = scratch("raw-a");
+    let b_root = scratch("raw-b");
+    let a = ArtifactStore::open(&a_root, StoreConfig::default()).unwrap();
+    let b = ArtifactStore::open(&b_root, StoreConfig::default()).unwrap();
+    let k = key("raw");
+    a.insert(&k, &artifact("raw")).unwrap();
+    let text = a
+        .read_raw(EntryKind::Positive, &k.digest)
+        .expect("raw read");
+
+    // The genuine document is admitted and serves byte-identically.
+    assert!(b.insert_raw(EntryKind::Positive, &k.digest, &text).unwrap());
+    assert_eq!(
+        b.read_raw(EntryKind::Positive, &k.digest).as_deref(),
+        Some(text.as_str()),
+        "admitted replica must be byte-identical"
+    );
+    assert_eq!(b.lookup(&k).unwrap().verilog, artifact("raw").verilog);
+
+    // A tampered body is refused without error.
+    let c_root = scratch("raw-c");
+    let c = ArtifactStore::open(&c_root, StoreConfig::default()).unwrap();
+    let tampered = text.replace("module raw", "module owned");
+    assert!(!c
+        .insert_raw(EntryKind::Positive, &k.digest, &tampered)
+        .unwrap());
+    assert!(c.lookup(&k).is_none());
+    // A positive document cannot land on the negative side (schema).
+    assert!(!c.insert_raw(EntryKind::Negative, &k.digest, &text).unwrap());
+    assert_eq!(c.stats().neg_entries, 0);
+
+    for root in [&a_root, &b_root, &c_root] {
+        let _ = fs::remove_dir_all(root);
+    }
 }
