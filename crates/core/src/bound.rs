@@ -621,7 +621,11 @@ pub fn bound_from_profile(profile: &BoundProfile, directives: &Directives) -> De
 /// unscheduled) function under `directives`: lowers the function exactly
 /// as synthesis would, profiles it, and specializes to the clock.
 pub fn lower_bound(func: &Function, directives: &Directives, lib: &TechLibrary) -> DesignBound {
-    let lowered = lower(func, directives);
+    let mut lowered = lower(func, directives);
+    // Profile the netlist synthesis will actually schedule: default-on
+    // netlist optimization shrinks the design, and a bound computed from
+    // the unoptimized lowering would not be admissible against it.
+    crate::netlist::optimize_lowered(&mut lowered, &directives.netlist_opt, lib);
     let profile = bound_profile(&lowered, directives, lib);
     bound_from_profile(&profile, directives)
 }
@@ -833,7 +837,8 @@ mod tests {
         let lib = TechLibrary::asic_100mhz();
         let d10 = Directives::new(10.0).unroll("mac", Unroll::Factor(2));
         let t = apply_loop_transforms(&f, &d10);
-        let lowered = lower(&t.func, &d10);
+        let mut lowered = lower(&t.func, &d10);
+        crate::netlist::optimize_lowered(&mut lowered, &d10.netlist_opt, &lib);
         let profile = bound_profile(&lowered, &d10, &lib);
         for clk in [5.0, 10.0, 20.0] {
             let d = Directives::new(clk).unroll("mac", Unroll::Factor(2));

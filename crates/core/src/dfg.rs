@@ -160,7 +160,9 @@ impl Dfg {
         &self.nodes[id.index()]
     }
 
-    fn push(&mut self, kind: NodeKind, preds: Vec<NodeId>, format: Format) -> NodeId {
+    /// Appends a node (crate-internal: the builder and the netlist
+    /// rewriter construct graphs; everyone else consumes them).
+    pub(crate) fn push(&mut self, kind: NodeKind, preds: Vec<NodeId>, format: Format) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node {
             kind,

@@ -10,6 +10,8 @@ use std::collections::BTreeMap;
 
 use hls_ir::Json;
 
+use crate::netlist::{NetlistOptConfig, OptLevel};
+
 /// How a loop is unrolled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Unroll {
@@ -124,6 +126,9 @@ pub struct Directives {
     /// Optional cap on functional units per class (scheduling resource
     /// constraint); keys are `OpClass` display names.
     pub fu_limits: BTreeMap<String, u32>,
+    /// Netlist optimization between lowering and scheduling (default on
+    /// at [`OptLevel::Full`]; part of the canonical request digest).
+    pub netlist_opt: NetlistOptConfig,
 }
 
 impl Directives {
@@ -138,7 +143,14 @@ impl Directives {
             arrays: BTreeMap::new(),
             interfaces: BTreeMap::new(),
             fu_limits: BTreeMap::new(),
+            netlist_opt: NetlistOptConfig::default(),
         }
+    }
+
+    /// Sets the netlist optimization level.
+    pub fn netlist_opt_level(mut self, level: OptLevel) -> Self {
+        self.netlist_opt.level = level;
+        self
     }
 
     /// Disables loop merging (the paper's second architecture: "none").
@@ -302,6 +314,7 @@ impl Directives {
             ("arrays", Json::Obj(arrays)),
             ("interfaces", Json::Obj(interfaces)),
             ("fu_limits", Json::Obj(fu_limits)),
+            ("netlist_opt", self.netlist_opt.to_json()),
         ])
     }
 
@@ -383,6 +396,11 @@ impl Directives {
                 .as_u64()
                 .ok_or_else(|| format!("directives: bad fu limit for {class:?}"))?;
             d.fu_limits.insert(class.clone(), max as u32);
+        }
+        if let Some(n) = v.get("netlist_opt") {
+            // Absent key => the default (older serialized forms).
+            d.netlist_opt =
+                NetlistOptConfig::from_json(n).map_err(|e| format!("directives: {e}"))?;
         }
         Ok(d)
     }

@@ -807,7 +807,14 @@ fn explore_impl(
             .entry(sig.clone())
             .or_insert_with(|| Arc::new(lower(&t.func, d)));
         if config.budget.is_some() && !profiles.contains_key(&sig) {
-            let p = bound_profile(low, d, lib);
+            // Profile the netlist synthesis will actually schedule: the
+            // pipeline's netlist-opt pass shrinks the seeded lowering, so
+            // an unoptimized profile would overestimate the lower bound
+            // and wrongly prune feasible points. The grid never varies
+            // the opt level, so one optimized profile per prefix is safe.
+            let mut opt = (**low).clone();
+            crate::netlist::optimize_lowered(&mut opt, &d.netlist_opt, lib);
+            let p = bound_profile(&opt, d, lib);
             profiles.insert(sig, p);
         }
     }

@@ -32,6 +32,7 @@ mod error;
 pub mod explore;
 mod lower;
 mod metrics;
+pub mod netlist;
 pub mod pipeline;
 pub mod report;
 mod schedule;
@@ -51,6 +52,10 @@ pub use explore::{
 pub use hls_ir::{Anchor, Diagnostic, Diagnostics, Severity};
 pub use lower::{lower, Lowered, Port, Segment};
 pub use metrics::{segment_cycles, DesignMetrics, SegmentCycles};
+pub use netlist::{
+    apply_unsound_rewrite_for_selftest, optimize_lowered, NetlistObligation, NetlistOptConfig,
+    NetlistOutcome, NetlistReport, OptLevel, PassDelta,
+};
 pub use pipeline::{
     synthesize_traced, synthesize_traced_with_prefix, synthesize_traced_with_transform,
     InvariantCheck, IrStats, Pass, PassHook, PassRecord, PassTrace, Pipeline, PipelineConfig,

@@ -30,6 +30,7 @@ use crate::directives::Directives;
 use crate::error::SynthesisError;
 use crate::lower::{lower, Lowered, Segment};
 use crate::metrics::{segment_cycles, DesignMetrics};
+use crate::netlist::optimize_lowered;
 use crate::schedule::{recurrence_min_ii, schedule_dfg, Schedule};
 use crate::synthesize::SynthesisResult;
 use crate::tech::TechLibrary;
@@ -135,6 +136,11 @@ impl PipelineState {
             ops,
             loops: func.loops().len(),
             segments: self.lowered.as_ref().map(|l| l.segments.len()).unwrap_or(0),
+            cells: self
+                .lowered
+                .as_ref()
+                .map(|l| l.segments.iter().map(|s| s.dfg().len()).sum())
+                .unwrap_or(0),
             fus: self
                 .allocation
                 .as_ref()
@@ -203,6 +209,8 @@ pub struct IrStats {
     pub loops: usize,
     /// Lowered segments (0 before lowering).
     pub segments: usize,
+    /// Netlist cells across all lowered segment DFGs (0 before lowering).
+    pub cells: usize,
     /// Allocated functional-unit instances (0 before allocation).
     pub fus: u32,
 }
@@ -210,8 +218,8 @@ pub struct IrStats {
 impl IrStats {
     fn json_fields(&self) -> String {
         format!(
-            "\"ops\":{},\"loops\":{},\"segments\":{},\"fus\":{}",
-            self.ops, self.loops, self.segments, self.fus
+            "\"ops\":{},\"loops\":{},\"segments\":{},\"cells\":{},\"fus\":{}",
+            self.ops, self.loops, self.segments, self.cells, self.fus
         )
     }
 }
@@ -290,6 +298,7 @@ impl PipelineConfig {
     pub fn transform_only() -> Self {
         PipelineConfig::default()
             .without_pass("lower")
+            .without_pass("netlist-opt")
             .without_pass("schedule")
             .without_pass("allocate")
             .without_pass("metrics")
@@ -409,8 +418,8 @@ impl PassTrace {
         );
         let _ = writeln!(
             out,
-            "{:<16} {:>9} {:>7} {:>6} {:>5} {:>4} {:>6} {:>5}",
-            "pass", "time(us)", "ops", "loops", "segs", "FUs", "diags", "memo"
+            "{:<16} {:>9} {:>7} {:>6} {:>5} {:>8} {:>4} {:>6} {:>5}",
+            "pass", "time(us)", "ops", "loops", "segs", "cells", "FUs", "diags", "memo"
         );
         for p in &self.passes {
             let delta = |b: i64, a: i64| -> String {
@@ -422,12 +431,13 @@ impl PassTrace {
             };
             let _ = writeln!(
                 out,
-                "{:<16} {:>9.1} {:>7} {:>6} {:>5} {:>4} {:>6} {:>5}",
+                "{:<16} {:>9.1} {:>7} {:>6} {:>5} {:>8} {:>4} {:>6} {:>5}",
                 p.pass,
                 p.wall_ns as f64 / 1e3,
                 delta(p.before.ops as i64, p.after.ops as i64),
                 delta(p.before.loops as i64, p.after.loops as i64),
                 delta(p.before.segments as i64, p.after.segments as i64),
+                delta(p.before.cells as i64, p.after.cells as i64),
                 delta(p.before.fus as i64, p.after.fus as i64),
                 p.diagnostics,
                 if p.memo_hit { "hit" } else { "-" },
@@ -470,13 +480,15 @@ impl<'a> Pipeline<'a> {
     }
 
     /// The standard synthesis pipeline: validate → check-directives →
-    /// loop-transforms → lower → schedule → allocate → metrics.
+    /// loop-transforms → lower → netlist-opt → schedule → allocate →
+    /// metrics.
     pub fn synthesis(config: PipelineConfig) -> Self {
         Pipeline::new(config)
             .with_pass(ValidateIrPass)
             .with_pass(CheckDirectivesPass)
             .with_pass(LoopTransformsPass { seeded: None })
             .with_pass(LowerPass { seeded: None })
+            .with_pass(NetlistOptPass)
             .with_pass(SchedulePass)
             .with_pass(AllocatePass)
             .with_pass(MetricsPass)
@@ -496,6 +508,7 @@ impl<'a> Pipeline<'a> {
                 seeded: Some(transformed),
             })
             .with_pass(LowerPass { seeded: None })
+            .with_pass(NetlistOptPass)
             .with_pass(SchedulePass)
             .with_pass(AllocatePass)
             .with_pass(MetricsPass)
@@ -519,6 +532,7 @@ impl<'a> Pipeline<'a> {
             .with_pass(LowerPass {
                 seeded: Some(lowered),
             })
+            .with_pass(NetlistOptPass)
             .with_pass(SchedulePass)
             .with_pass(AllocatePass)
             .with_pass(MetricsPass)
@@ -840,6 +854,46 @@ impl Pass for LowerPass {
     }
 }
 
+/// Optimizes the lowered netlist in place: constant folding, cross-state
+/// constant propagation, common-subexpression sharing and delay-aware
+/// chain rebalancing, as selected by
+/// [`Directives::netlist_opt`](crate::Directives). Every pass that
+/// changed a segment leaves a [`NetlistObligation`](crate::netlist)
+/// under the `netlist-obligations` artifact key for the `hls-verify`
+/// gate to discharge, and the per-pass measurements land under
+/// `netlist-report`.
+pub struct NetlistOptPass;
+
+impl Pass for NetlistOptPass {
+    fn name(&self) -> &'static str {
+        "netlist-opt"
+    }
+
+    fn requires(&self) -> &'static [&'static str] {
+        &["lower"]
+    }
+
+    fn run(
+        &self,
+        state: &mut PipelineState,
+        diags: &mut Diagnostics,
+    ) -> Result<(), SynthesisError> {
+        let cfg = state.directives.netlist_opt;
+        let lib = state.lib.clone();
+        let lowered = state
+            .lowered
+            .as_mut()
+            .ok_or_else(|| missing_slot("netlist-opt", "lower"))?;
+        let outcome = optimize_lowered(lowered, &cfg, &lib);
+        if cfg.is_enabled() {
+            diags.push(Diagnostic::note("netlist-opt", outcome.report.describe()));
+        }
+        state.put_artifact("netlist-report", outcome.report);
+        state.put_artifact("netlist-obligations", outcome.obligations);
+        Ok(())
+    }
+}
+
 /// Schedules every segment and checks pipelined loops against their
 /// recurrence-minimum initiation interval.
 pub struct SchedulePass;
@@ -1105,6 +1159,7 @@ mod tests {
                 "check-directives",
                 "loop-transforms",
                 "lower",
+                "netlist-opt",
                 "schedule",
                 "allocate",
                 "metrics"
@@ -1114,7 +1169,7 @@ mod tests {
         let lower = &run.trace.passes[3];
         assert_eq!(lower.before.segments, 0);
         assert!(lower.after.segments >= 3);
-        let alloc = &run.trace.passes[5];
+        let alloc = &run.trace.passes[6];
         assert_eq!(alloc.before.fus, 0);
         assert!(alloc.after.fus > 0);
     }
@@ -1270,7 +1325,7 @@ mod tests {
             .with_hook(&rec)
             .run(&mut state);
         assert!(run.error.is_none());
-        assert_eq!(rec.0.borrow().len(), 7);
+        assert_eq!(rec.0.borrow().len(), 8);
 
         struct Gate;
         impl PassHook for Gate {

@@ -1,6 +1,6 @@
 //! The four architectures of the paper's Table 1.
 
-use hls_core::{Directives, TechLibrary, Unroll};
+use hls_core::{Directives, OptLevel, TechLibrary, Unroll};
 
 /// What the paper reports for one Table-1 row.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,12 +33,19 @@ pub const CLOCK_NS: f64 = 10.0;
 pub const BITS_PER_CALL: u32 = 6;
 
 /// The four rows of Table 1, in the paper's order.
+///
+/// Netlist optimization is pinned to [`OptLevel::Off`] on every row: the
+/// paper's cycle counts (and the Figure-4 golden RTL) describe the
+/// unoptimized datapath, and these rows are the reproduction baseline.
+/// Callers wanting the optimized variants re-enable it per row with
+/// `.netlist_opt_level(OptLevel::Full)` (see `hls-bench`'s
+/// `netlist_opt`).
 pub fn table1_architectures() -> Vec<Architecture> {
     vec![
         Architecture {
             name: "merged",
             constraints: "M M M M M M",
-            directives: Directives::new(CLOCK_NS),
+            directives: Directives::new(CLOCK_NS).netlist_opt_level(OptLevel::Off),
             paper: PaperRow {
                 latency_ns: 350.0,
                 data_rate_mbps: 17.1,
@@ -48,7 +55,9 @@ pub fn table1_architectures() -> Vec<Architecture> {
         Architecture {
             name: "none",
             constraints: "none none none none none none",
-            directives: Directives::new(CLOCK_NS).no_merging(),
+            directives: Directives::new(CLOCK_NS)
+                .no_merging()
+                .netlist_opt_level(OptLevel::Off),
             paper: PaperRow {
                 latency_ns: 690.0,
                 data_rate_mbps: 8.6,
@@ -61,7 +70,8 @@ pub fn table1_architectures() -> Vec<Architecture> {
             directives: Directives::new(CLOCK_NS)
                 .unroll("dfe", Unroll::Factor(2))
                 .unroll("dfe_adapt", Unroll::Factor(2))
-                .unroll("dfe_shift", Unroll::Factor(2)),
+                .unroll("dfe_shift", Unroll::Factor(2))
+                .netlist_opt_level(OptLevel::Off),
             paper: PaperRow {
                 latency_ns: 190.0,
                 data_rate_mbps: 31.5,
@@ -75,7 +85,8 @@ pub fn table1_architectures() -> Vec<Architecture> {
                 .unroll("dfe", Unroll::Factor(2))
                 .unroll("ffe_adapt", Unroll::Factor(2))
                 .unroll("dfe_adapt", Unroll::Factor(4))
-                .unroll("dfe_shift", Unroll::Factor(4)),
+                .unroll("dfe_shift", Unroll::Factor(4))
+                .netlist_opt_level(OptLevel::Off),
             paper: PaperRow {
                 latency_ns: 150.0,
                 data_rate_mbps: 40.0,

@@ -140,22 +140,27 @@ pub fn compile_traced(
     let pipeline = rtl_pipeline(config.clone());
     let mut state = PipelineState::new(func, directives, lib);
     let run = pipeline.run(&mut state);
+    // A clean run normally fills every slot, but a custom pass claiming a
+    // standard name may not — surface that as the typed config error
+    // rather than panicking on the caller's thread.
     let result = match &run.error {
         Some(e) => Err(e.clone()),
-        None => Ok(RtlArtifacts {
-            synthesis: state
-                .to_result()
-                .expect("invariant: completed pipeline fills every state slot"),
-            fsmd: state
-                .take_artifact(FSMD)
-                .expect("invariant: build-fsmd ran"),
-            program: state
-                .take_artifact(SIM_PROGRAM)
-                .expect("invariant: compile-sim ran"),
-            verilog: state
-                .take_artifact(VERILOG)
-                .expect("invariant: emit-verilog ran"),
-        }),
+        None => (|| {
+            Ok(RtlArtifacts {
+                synthesis: state
+                    .to_result()
+                    .ok_or_else(|| missing_artifact("metrics", "a completed synthesis state"))?,
+                fsmd: state
+                    .take_artifact(FSMD)
+                    .ok_or_else(|| missing_artifact("build-fsmd", "the FSMD artifact"))?,
+                program: state
+                    .take_artifact(SIM_PROGRAM)
+                    .ok_or_else(|| missing_artifact("compile-sim", "the simulation program"))?,
+                verilog: state
+                    .take_artifact(VERILOG)
+                    .ok_or_else(|| missing_artifact("emit-verilog", "the Verilog source"))?,
+            })
+        })(),
     };
     (result, run)
 }
@@ -210,7 +215,9 @@ mod tests {
             &names[names.len() - 3..],
             &["build-fsmd", "compile-sim", "emit-verilog"]
         );
-        assert_eq!(names.len(), 10);
+        // 8 synthesis passes (netlist-opt included) + the 3 RTL stages.
+        assert_eq!(names.len(), 11);
+        assert!(names.contains(&"netlist-opt"));
     }
 
     #[test]

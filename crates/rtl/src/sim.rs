@@ -39,6 +39,12 @@ pub enum SimError {
         /// Parameter name.
         param: String,
     },
+    /// A node was evaluated before its predecessor — a malformed schedule
+    /// (reachable only through a custom pass replacing the scheduler).
+    UnscheduledPredecessor {
+        /// DFG index of the unevaluated predecessor.
+        node: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -50,6 +56,9 @@ impl fmt::Display for SimError {
             SimError::MissingInput { param } => write!(f, "missing input for port {param}"),
             SimError::BadArgument { param } => {
                 write!(f, "argument for {param} has the wrong shape")
+            }
+            SimError::UnscheduledPredecessor { node } => {
+                write!(f, "node {node} read before it was scheduled")
             }
         }
     }
@@ -248,18 +257,22 @@ impl RtlSimulator {
         values: &[Option<Fixed>],
     ) -> Result<Fixed, SimError> {
         let node = dfg.node(id);
-        let val = |p: NodeId| values[p.index()].expect("predecessor evaluated (schedule order)");
+        // A missing predecessor value means the schedule is malformed
+        // (only reachable through a custom pass); report it, don't panic.
+        let val = |p: NodeId| {
+            values[p.index()].ok_or(SimError::UnscheduledPredecessor { node: p.index() })
+        };
         Ok(match &node.kind {
             NodeKind::Const(c) => *c,
             NodeKind::VarRead(v) => self.regs[v],
             NodeKind::VarWrite(v) => {
-                let x = val(node.preds[0]).cast(node.format);
+                let x = val(node.preds[0])?.cast(node.format);
                 self.regs.insert(*v, x);
                 x
             }
             NodeKind::Bin(op) => {
-                let a = val(node.preds[0]);
-                let b = val(node.preds[1]);
+                let a = val(node.preds[0])?;
+                let b = val(node.preds[1])?;
                 match op {
                     BinOp::Add => a.exact_add(&b),
                     BinOp::Sub => a.exact_sub(&b),
@@ -270,9 +283,9 @@ impl RtlSimulator {
                     BinOp::Or => bool_fixed(!a.is_zero() || !b.is_zero()),
                 }
             }
-            NodeKind::MulPow2 => val(node.preds[0]).exact_mul(&val(node.preds[1])),
+            NodeKind::MulPow2 => val(node.preds[0])?.exact_mul(&val(node.preds[1])?),
             NodeKind::Un(op) => {
-                let a = val(node.preds[0]);
+                let a = val(node.preds[0])?;
                 match op {
                     UnOp::Neg => a.negate(),
                     UnOp::Signum => Fixed::from_int(a.signum() as i64, Format::signed(2, 2)),
@@ -280,27 +293,27 @@ impl RtlSimulator {
                 }
             }
             NodeKind::Cmp(op) => {
-                let a = val(node.preds[0]);
-                let b = val(node.preds[1]);
+                let a = val(node.preds[0])?;
+                let b = val(node.preds[1])?;
                 bool_fixed(op.eval(a.cmp(&b)))
             }
             NodeKind::Mux | NodeKind::EnableMux => {
                 // Both arms share the mux's bus format (a lossless union of
                 // the arm formats), so the alignment cast never loses bits.
-                let c = val(node.preds[0]);
+                let c = val(node.preds[0])?;
                 let arm = if !c.is_zero() {
-                    val(node.preds[1])
+                    val(node.preds[1])?
                 } else {
-                    val(node.preds[2])
+                    val(node.preds[2])?
                 };
                 arm.cast(node.format)
             }
-            NodeKind::Cast(q, o) => val(node.preds[0]).cast_with(node.format, *q, *o),
+            NodeKind::Cast(q, o) => val(node.preds[0])?.cast_with(node.format, *q, *o),
             NodeKind::Load(arr) => {
                 // A register-array read of an out-of-range address (only
                 // reachable under a false predicate, whose consumers
                 // discard the value) returns an arbitrary element; clamp.
-                let idx = val(node.preds[0]).to_i64();
+                let idx = val(node.preds[0])?.to_i64();
                 let a = &self.arrays[arr];
                 let idx = idx.clamp(0, a.len() as i64 - 1) as usize;
                 a[idx]
@@ -309,13 +322,20 @@ impl RtlSimulator {
                 if let NodeKind::StoreCond(_) = node.kind {
                     // Gated write enable: no write when the predicate is
                     // false (the address may be out of range then).
-                    if val(node.preds[2]).is_zero() {
-                        return Ok(val(node.preds[1]));
+                    if val(node.preds[2])?.is_zero() {
+                        return val(node.preds[1]);
                     }
                 }
-                let idx = val(node.preds[0]).to_i64();
-                let v = val(node.preds[1]);
-                let a = self.arrays.get_mut(arr).expect("array exists");
+                let idx = val(node.preds[0])?.to_i64();
+                let v = val(node.preds[1])?;
+                let a = match self.arrays.get_mut(arr) {
+                    Some(a) => a,
+                    None => {
+                        return Err(SimError::BadArgument {
+                            param: self.design.function().var(*arr).name.clone(),
+                        })
+                    }
+                };
                 if idx < 0 || idx as usize >= a.len() {
                     let len = a.len();
                     return Err(SimError::IndexOutOfBounds {

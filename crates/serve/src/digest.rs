@@ -22,7 +22,7 @@ use hls_core::{Directives, TechLibrary};
 use hls_ir::{stable_digest, Function};
 
 /// Schema tag mixed into every preimage (bump to invalidate all entries).
-pub const REQUEST_SCHEMA: &str = "hls-serve-request/v1";
+pub const REQUEST_SCHEMA: &str = "hls-serve-request/v2";
 
 /// A request's content address: the digest plus the preimage it was
 /// computed from (stored with the entry so integrity is checkable).

@@ -8,7 +8,7 @@ use std::sync::OnceLock;
 use std::thread;
 use std::time::{Duration, SystemTime};
 
-use hls_core::{synthesize, DesignMetrics, Directives, TechLibrary};
+use hls_core::{synthesize, DesignMetrics, Directives, OptLevel, TechLibrary};
 use hls_ir::{parse_function, stable_digest, Json};
 use hls_serve::{
     ArtifactStore, CachedArtifact, NegativeEntry, RequestKey, StoreConfig, Verdict, STALE_LOCK,
@@ -252,7 +252,35 @@ fn request_digest_is_stable_across_processes() {
         &TechLibrary::asic_100mhz(),
         true,
     );
-    assert_eq!(k.digest, "85da05dbcb2cc2e5847aa9438d642b69");
+    assert_eq!(k.digest, "c5014ce6fed323b4fc4f8dcac35dc7c7");
+}
+
+#[test]
+fn netlist_opt_levels_never_alias_in_the_digest() {
+    // Opt-on and opt-off artifacts are different designs; their request
+    // keys must be distinct or the cache would serve one for the other.
+    let f = parse_function(
+        "void sum(sc_fixed<10,2> x[8], sc_fixed<16,8> *out) { sc_fixed<16,8> acc = 0; \
+         sum_loop: for (int k = 0; k < 8; k++) { acc += x[k]; } *out = acc; }",
+    )
+    .unwrap();
+    let lib = TechLibrary::asic_100mhz();
+    let digest_at = |level: OptLevel| {
+        let d = Directives::new(10.0).netlist_opt_level(level);
+        hls_serve::request_key(&f, &d, &lib, true)
+    };
+    let on = digest_at(OptLevel::Full);
+    let basic = digest_at(OptLevel::Basic);
+    let off = digest_at(OptLevel::Off);
+    assert_ne!(on.digest, off.digest);
+    assert_ne!(on.digest, basic.digest);
+    assert_ne!(basic.digest, off.digest);
+    // The preimage names the level, so a cache miss is explainable.
+    assert!(on.preimage.contains("\"netlist_opt\":{\"level\":\"full\"}"));
+    assert!(off.preimage.contains("\"netlist_opt\":{\"level\":\"off\"}"));
+    // Default directives are opt-on at Full: same key as the explicit one.
+    let default = hls_serve::request_key(&f, &Directives::new(10.0), &lib, true);
+    assert_eq!(default.digest, on.digest);
 }
 
 #[test]

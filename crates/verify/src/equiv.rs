@@ -351,7 +351,7 @@ fn unknown_all(func: &hls_ir::Function, reason: String) -> ProveVerdict {
 
 /// Exhaustively enumerates the joint input cone of `(a, b)`; `Ok(points)`
 /// if they agree everywhere, `Err` with the first disagreeing valuation.
-fn bit_blast(
+pub(crate) fn bit_blast(
     t: &SymTable,
     ev: &mut Evaluator,
     observable: &str,

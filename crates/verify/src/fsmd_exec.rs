@@ -112,7 +112,7 @@ fn run_body(
     Ok(())
 }
 
-fn eval_node(
+pub(crate) fn eval_node(
     t: &mut SymTable,
     func: &hls_ir::Function,
     dfg: &Dfg,

@@ -27,6 +27,7 @@ pub mod fsmd_exec;
 pub mod fuzz;
 pub mod ir_exec;
 pub mod mutate;
+pub mod netlist;
 pub mod pipeline;
 pub mod state;
 pub mod sym;
@@ -43,6 +44,7 @@ pub use fuzz::{
     Stimulus,
 };
 pub use mutate::{mutate_fsmd, mutations_for, Mutation};
+pub use netlist::{check_netlist_obligation, check_netlist_obligations, exec_lowered};
 pub use pipeline::{
     explore_verified, explore_verified_serial, verify_equiv, verify_equiv_persist,
     verify_equiv_with, EquivGate, ExploreProver, ProverStats, VerifyFinding, VerifyReport,

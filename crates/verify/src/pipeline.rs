@@ -297,17 +297,72 @@ impl ExploreProver {
 
 /// An equivalence gate for the synthesis pass manager.
 ///
-/// Registered via `Pipeline::with_hook`, it waits for the `metrics` pass
-/// (the last synthesis stage), builds the FSMD, and runs [`verify_equiv`]
-/// on it. A counterexample becomes an `equiv-failed` error diagnostic —
-/// aborting the remaining passes (RTL emission never sees an unproven
-/// design) — and a clean result becomes an `equiv-ok` note, so the pass
-/// trace records that verification ran.
+/// Registered via `Pipeline::with_hook`, it fires twice:
+///
+/// - after `netlist-opt`, it discharges the optimizer's per-pass rewrite
+///   obligations through [`crate::check_netlist_obligations`] — a refuted
+///   rewrite becomes a `netlist-equiv-failed` error (aborting synthesis
+///   with the offending pass named), an undecidable one a warning, and a
+///   fully proved set a `netlist-equiv-ok` note;
+/// - after `metrics` (the last synthesis stage), it builds the FSMD and
+///   runs [`verify_equiv`] on it — end to end, against the *optimized*
+///   design, so netlist `Unknown`s cost attribution but never soundness.
+///   A counterexample becomes an `equiv-failed` error diagnostic —
+///   aborting the remaining passes (RTL emission never sees an unproven
+///   design) — and a clean result becomes an `equiv-ok` note, so the
+///   pass trace records that verification ran.
 #[derive(Debug, Clone, Default)]
 pub struct EquivGate;
 
 impl PassHook for EquivGate {
     fn after_pass(&self, pass: &str, state: &PipelineState, diags: &mut Diagnostics) {
+        if pass == "netlist-opt" {
+            let obligations = state
+                .artifact::<Vec<hls_core::NetlistObligation>>("netlist-obligations")
+                .map(Vec::as_slice)
+                .unwrap_or_default();
+            if obligations.is_empty() {
+                return;
+            }
+            let opts = ProveOptions::default();
+            let mut proved = 0usize;
+            let mut unknown: Vec<String> = Vec::new();
+            for (ob, verdict) in obligations
+                .iter()
+                .zip(crate::check_netlist_obligations(obligations, &opts))
+            {
+                match verdict {
+                    ProveVerdict::Proved { .. } => proved += 1,
+                    ProveVerdict::Disproved(cex) => {
+                        diags.push(Diagnostic::error(
+                            "netlist-equiv-failed",
+                            format!(
+                                "pass {} broke observable {} (ir={}, rtl={})",
+                                ob.pass, cex.observable, cex.ir_value, cex.rtl_value
+                            ),
+                        ));
+                        return;
+                    }
+                    ProveVerdict::Unknown { reason, .. } => unknown.push(reason),
+                }
+            }
+            if unknown.is_empty() {
+                diags.push(Diagnostic::note(
+                    "netlist-equiv-ok",
+                    format!("{proved} netlist rewrite obligation(s) proved"),
+                ));
+            } else {
+                diags.push(Diagnostic::warning(
+                    "netlist-equiv-unknown",
+                    format!(
+                        "{proved} proved, {} undecided ({}); end-to-end gate still applies",
+                        unknown.len(),
+                        unknown.join("; ")
+                    ),
+                ));
+            }
+            return;
+        }
         if pass != "metrics" {
             return;
         }

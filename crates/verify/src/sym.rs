@@ -21,7 +21,7 @@
 //! preserving rewrites on the operand can never change what a shift
 //! computes.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use fixpt::{Fixed, Format, Overflow, Quantization, Signedness};
 use hls_ir::CmpOp;
@@ -252,6 +252,34 @@ pub fn bool_format() -> Format {
     Format::integer(1, Signedness::Unsigned)
 }
 
+/// [`Format::add_format`] without the width panic: `None` when the exact
+/// sum format would exceed the representable width, so canonicalizing
+/// rewrites can bail instead of crashing mid-proof.
+fn checked_add_format(a: Format, b: Format) -> Option<Format> {
+    let signed = a.is_signed() || b.is_signed();
+    let eff = |f: &Format| {
+        if signed && !f.is_signed() {
+            f.int_bits() + 1
+        } else {
+            f.int_bits()
+        }
+    };
+    let int = eff(&a).max(eff(&b)) + 1;
+    let frac = a.frac_bits().max(b.frac_bits());
+    let width = u32::try_from((int + frac).max(1)).ok()?;
+    let s = if signed {
+        Signedness::Signed
+    } else {
+        Signedness::Unsigned
+    };
+    Format::new(width, int, s).ok()
+}
+
+/// [`Format::neg_format`] without the width panic.
+fn checked_neg_format(f: Format) -> Option<Format> {
+    Format::new(f.width() + 1, f.int_bits() + 1, Signedness::Signed).ok()
+}
+
 /// A hash-consed arena of symbolic nodes with normalizing construction.
 #[derive(Debug, Default, Clone)]
 pub struct SymTable {
@@ -327,10 +355,17 @@ impl SymTable {
     /// Interns `op`, first applying the normalizing rewrites. The returned
     /// id denotes a node whose value equals `op`'s for every input.
     pub fn intern(&mut self, op: Op) -> SymId {
-        let op = match self.rewrite(op) {
-            Ok(id) => return id,
-            Err(op) => op,
-        };
+        match self.rewrite(op) {
+            Ok(id) => id,
+            Err(op) => self.intern_raw(op),
+        }
+    }
+
+    /// Interns an op as-is, bypassing the rewrites — used on ops the
+    /// rewriter just returned (already canonical) and by the chain
+    /// canonicalizers when rebuilding a flattened sum (each spine node is
+    /// canonical by construction, so re-rewriting would only recurse).
+    fn intern_raw(&mut self, op: Op) -> SymId {
         if let Some(&id) = self.dedup.get(&op) {
             return id;
         }
@@ -344,6 +379,116 @@ impl SymTable {
         });
         self.dedup.insert(op, id);
         id
+    }
+
+    /// Leaves of the maximal `Add` chain rooted at `root`, left to right
+    /// (iterative: unrolled accumulation chains can be deep).
+    fn add_leaves(&self, root: SymId, out: &mut Vec<SymId>) {
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            match *self.op_of(id) {
+                Op::Add(a, b) => {
+                    stack.push(b);
+                    stack.push(a);
+                }
+                _ => out.push(id),
+            }
+        }
+    }
+
+    /// Flattens an additive chain into the canonical form: constants
+    /// folded into one leaf, `x + (−x)` pairs cancelled, the remaining
+    /// leaves sorted by id and rebuilt as a left-deep spine. Two sums
+    /// built in any association order (a rebalanced adder tree vs. the
+    /// original chain, notably) intern to the same node this way.
+    ///
+    /// `Err(Op::Add(a, b))` means "intern as given": either the chain is
+    /// already canonical, or a leaf's format is unknown / an intermediate
+    /// exact format would exceed the 64-bit limit — rebuilding in a
+    /// different order could then panic inside the exact arithmetic, so
+    /// the rewrite conservatively bails (costing only canonicality, never
+    /// soundness).
+    fn canonicalize_add(&mut self, a: SymId, b: SymId) -> Result<SymId, Op> {
+        let mut leaves = Vec::new();
+        self.add_leaves(a, &mut leaves);
+        self.add_leaves(b, &mut leaves);
+
+        // Fold every constant leaf into one exact accumulator.
+        let mut acc: Option<Fixed> = None;
+        let mut counts: BTreeMap<SymId, usize> = BTreeMap::new();
+        for &l in &leaves {
+            match self.const_value(l) {
+                Some(c) => {
+                    acc = Some(match acc {
+                        Some(p) => match checked_add_format(p.format(), c.format()) {
+                            Some(_) => p.exact_add(&c),
+                            None => return Err(Op::Add(a, b)),
+                        },
+                        None => c,
+                    })
+                }
+                None => *counts.entry(l).or_insert(0) += 1,
+            }
+        }
+        // Cancel `x` against `Neg(x)`: exact negation, so every such pair
+        // contributes zero on all inputs.
+        let ids: Vec<SymId> = counts.keys().copied().collect();
+        for l in ids {
+            if let Op::Neg(x) = *self.op_of(l) {
+                let k = counts
+                    .get(&l)
+                    .copied()
+                    .unwrap_or(0)
+                    .min(counts.get(&x).copied().unwrap_or(0));
+                if k > 0 {
+                    *counts.get_mut(&l).expect("counted") -= k;
+                    *counts.get_mut(&x).expect("counted") -= k;
+                }
+            }
+        }
+        let mut canon: Vec<SymId> = Vec::new();
+        for (&l, &n) in &counts {
+            canon.extend(std::iter::repeat_n(l, n));
+        }
+        // A zero constant vanishes; a non-zero one joins the sorted leaves.
+        if let Some(c) = acc {
+            if !c.is_zero() || canon.is_empty() {
+                let cid = self.constant(c);
+                let at = canon.partition_point(|&l| l < cid);
+                canon.insert(at, cid);
+            }
+        }
+        match canon.len() {
+            0 => return Ok(self.constant(Fixed::from_int(0, bool_format()))),
+            1 => return Ok(canon[0]),
+            _ => {}
+        }
+        // Already canonical? (Sorted leaf sequence and left-deep shape:
+        // `b` a leaf, `a` canonical-by-induction.) Intern as given.
+        if canon == leaves && !matches!(self.op_of(b), Op::Add(..)) {
+            return Err(Op::Add(a, b));
+        }
+        // Format guard: rebuilding in a different association order must
+        // not push an exact intermediate format past the width limit.
+        let mut fmt = match self.format_of(canon[0]) {
+            Some(f) => f,
+            None => return Err(Op::Add(a, b)),
+        };
+        for &l in &canon[1..] {
+            let lf = match self.format_of(l) {
+                Some(f) => f,
+                None => return Err(Op::Add(a, b)),
+            };
+            fmt = match checked_add_format(fmt, lf) {
+                Some(f) => f,
+                None => return Err(Op::Add(a, b)),
+            };
+        }
+        let mut root = canon[0];
+        for &l in &canon[1..] {
+            root = self.intern_raw(Op::Add(root, l));
+        }
+        Ok(root)
     }
 
     /// One rewriting step: `Ok(id)` means the op reduced to an existing
@@ -360,9 +505,80 @@ impl SymTable {
             }
         }
         match op {
-            // Commutativity canonicalization: order operands by id.
-            Op::Add(a, b) if a > b => Err(Op::Add(b, a)),
-            Op::Mul(a, b) if a > b => Err(Op::Mul(b, a)),
+            // Additive chains canonicalize wholesale: flatten, fold
+            // constants, cancel `x + (−x)`, sort, rebuild left-deep. This
+            // subsumes plain commutativity and is what lets a rebalanced
+            // adder tree meet the original serial chain.
+            Op::Add(a, b) => self.canonicalize_add(a, b),
+            // Subtraction moves into the additive domain (`a − b` is
+            // exactly `a + (−b)` in the exact arithmetic) so differences
+            // join the same canonical sums. The expansion is wider than
+            // `sub_format` (negation costs a bit), so it only fires when
+            // both the negation and the resulting sum stay representable.
+            Op::Sub(a, b) => {
+                let widened = self
+                    .format_of(a)
+                    .zip(self.format_of(b).and_then(checked_neg_format));
+                match widened.and_then(|(fa, nf)| checked_add_format(fa, nf)) {
+                    Some(_) => {
+                        let nb = self.intern(Op::Neg(b));
+                        Ok(self.intern(Op::Add(a, nb)))
+                    }
+                    None => Err(Op::Sub(a, b)),
+                }
+            }
+            Op::Neg(a) => match *self.op_of(a) {
+                // Exact negation is an involution on values.
+                Op::Neg(x) => Ok(x),
+                // −(x + y) = (−x) + (−y): pushing negation to the leaves
+                // lets subtract chains built in any shape flatten into
+                // one canonical sum. Guarded per leaf by the negation
+                // format staying representable.
+                Op::Add(..) => {
+                    let mut leaves = Vec::new();
+                    self.add_leaves(a, &mut leaves);
+                    // Guard every negated leaf and the whole rebuilt sum:
+                    // the distributed chain is a bit wider per leaf, and
+                    // no intermediate may pass the width limit.
+                    let mut negf = Vec::with_capacity(leaves.len());
+                    for &l in &leaves {
+                        match self.format_of(l).and_then(checked_neg_format) {
+                            Some(f) => negf.push(f),
+                            None => return Err(Op::Neg(a)),
+                        }
+                    }
+                    let mut acc = negf[0];
+                    for &f in &negf[1..] {
+                        acc = match checked_add_format(acc, f) {
+                            Some(f) => f,
+                            None => return Err(Op::Neg(a)),
+                        };
+                    }
+                    let mut negs = Vec::with_capacity(leaves.len());
+                    for &l in &leaves {
+                        negs.push(self.intern(Op::Neg(l)));
+                    }
+                    let mut root = negs[0];
+                    for &n in &negs[1..] {
+                        root = self.intern(Op::Add(root, n));
+                    }
+                    Ok(root)
+                }
+                _ => Err(Op::Neg(a)),
+            },
+            Op::Mul(a, b) => {
+                // ×0 and ×1 are value-exact in the exact arithmetic, and
+                // every consumer in this DAG is value-based, so the
+                // product format's extra bits carry no information.
+                let one = Fixed::from_int(1, Format::signed(2, 2));
+                match (self.const_value(a), self.const_value(b)) {
+                    (Some(c), _) if c.is_zero() || c == one => Ok(if c.is_zero() { a } else { b }),
+                    (_, Some(c)) if c.is_zero() || c == one => Ok(if c.is_zero() { b } else { a }),
+                    // Commutativity canonicalization: order operands by id.
+                    _ if a > b => Err(Op::Mul(b, a)),
+                    _ => Err(Op::Mul(a, b)),
+                }
+            }
             Op::And(a, b) if a > b => Err(Op::And(b, a)),
             Op::Or(a, b) if a > b => Err(Op::Or(b, a)),
             Op::Cmp(c, a, b) if a > b => Err(Op::Cmp(mirror(c), b, a)),
@@ -692,6 +908,83 @@ mod tests {
         let s1 = t.intern(Op::Add(a, b));
         let s2 = t.intern(Op::Add(b, a)); // commuted
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn rebalanced_adder_trees_are_canonical() {
+        // The netlist rebalance pass re-associates serial accumulation
+        // chains into balanced trees; both shapes must intern to one node.
+        let mut t = SymTable::new();
+        let f = Format::signed(8, 4);
+        let vars: Vec<SymId> = (0..4).map(|_| t.fresh_input(f)).collect();
+        let (a, b, c, d) = (vars[0], vars[1], vars[2], vars[3]);
+        let ab = t.intern(Op::Add(a, b));
+        let abc = t.intern(Op::Add(ab, c));
+        let serial = t.intern(Op::Add(abc, d));
+        let cd = t.intern(Op::Add(c, d));
+        let tree = t.intern(Op::Add(ab, cd));
+        assert_eq!(serial, tree, "association order must not matter");
+        // Constants scattered through the chain fold into one leaf.
+        let k1 = t.constant(fx(3, 8, 8));
+        let k2 = t.constant(fx(4, 8, 8));
+        let l = t.intern(Op::Add(ab, k1));
+        let l = t.intern(Op::Add(l, k2));
+        let k7 = t.constant(fx(7, 9, 9));
+        let folded = t.intern(Op::Add(ab, k7));
+        assert_eq!(l, folded, "chain constants fold into one leaf");
+    }
+
+    #[test]
+    fn subtraction_joins_the_additive_domain() {
+        // a − b interned directly equals a + (−b), and (a + b) − b
+        // cancels back to a — the algebra the delay-rebalance pass leans
+        // on when it re-associates mixed add/sub chains.
+        let mut t = SymTable::new();
+        let f = Format::signed(8, 4);
+        let a = t.fresh_input(f);
+        let b = t.fresh_input(f);
+        let sub = t.intern(Op::Sub(a, b));
+        let nb = t.intern(Op::Neg(b));
+        let add = t.intern(Op::Add(a, nb));
+        assert_eq!(sub, add, "a − b canonicalizes to a + (−b)");
+        let ab = t.intern(Op::Add(a, b));
+        let back = t.intern(Op::Sub(ab, b));
+        assert_eq!(back, a, "(a + b) − b cancels to a");
+        // Negation is an involution and distributes over sums.
+        let nn = t.intern(Op::Neg(nb));
+        assert_eq!(nn, b);
+        let neg_sum = t.intern(Op::Neg(ab));
+        let na = t.intern(Op::Neg(a));
+        let dist = t.intern(Op::Add(na, nb));
+        assert_eq!(neg_sum, dist, "−(a + b) = (−a) + (−b)");
+    }
+
+    #[test]
+    fn multiplicative_identities_vanish() {
+        let mut t = SymTable::new();
+        let x = t.fresh_input(Format::signed(8, 4));
+        let one = t.constant(fx(1, 8, 8));
+        let zero = t.constant(fx(0, 8, 8));
+        assert_eq!(t.intern(Op::Mul(x, one)), x, "x × 1 = x");
+        assert_eq!(t.intern(Op::Mul(one, x)), x, "1 × x = x");
+        let z = t.intern(Op::Mul(x, zero));
+        assert_eq!(t.const_value(z).map(|c| c.to_i64()), Some(0), "x × 0 = 0");
+    }
+
+    #[test]
+    fn wide_chains_bail_rather_than_overflow_the_exact_format() {
+        // Leaves near the 64-bit width limit: re-associating could push
+        // an exact intermediate past it, so canonicalization declines and
+        // the nodes intern as built (sound, merely less canonical).
+        let mut t = SymTable::new();
+        let f = Format::signed(63, 32);
+        let a = t.fresh_input(f);
+        let b = t.fresh_input(f);
+        let s = t.intern(Op::Sub(a, b));
+        assert!(
+            matches!(t.op_of(s), Op::Sub(..)),
+            "negation would need 64+1 bits, so Sub stays opaque"
+        );
     }
 
     #[test]

@@ -38,6 +38,63 @@ fn gate_passes_a_correct_design_and_records_it() {
 }
 
 #[test]
+fn gate_discharges_netlist_obligations_inline() {
+    // With the optimizer on (the default), the gate's `netlist-opt`
+    // branch must prove every per-pass rewrite obligation and record the
+    // proof in the pass trace, alongside the end-to-end `equiv-ok`.
+    let f = sum_loop();
+    let gate = EquivGate;
+    let mut state = PipelineState::new(&f, &Directives::new(10.0), &TechLibrary::asic_100mhz());
+    let run = Pipeline::synthesis(PipelineConfig::default())
+        .with_hook(&gate)
+        .run(&mut state);
+    assert!(run.error.is_none());
+    assert!(!run.diagnostics.has_errors(), "{}", run.diagnostics);
+    let note = run
+        .diagnostics
+        .find("netlist-equiv-ok")
+        .expect("netlist obligations proved and recorded");
+    assert_eq!(note.pass, "netlist-opt");
+    assert!(
+        run.diagnostics.find("netlist-equiv-unknown").is_none(),
+        "every rewrite on this design must be decidable"
+    );
+    assert!(run.diagnostics.find("equiv-ok").is_some());
+}
+
+#[test]
+fn gate_vetoes_an_unsound_netlist_rewrite() {
+    // Corrupt a lowered design with the deliberately broken self-test
+    // rewrite, hand its obligation to the gate via the pipeline artifact
+    // slot, and the gate must emit the aborting error diagnostic.
+    use hls_core::PassHook;
+    let f = {
+        let mut b = FunctionBuilder::new("diff");
+        let x = b.param_scalar("x", Ty::fixed(4, 2));
+        let y = b.param_scalar("y", Ty::fixed(4, 2));
+        let out = b.param_scalar("out", Ty::fixed(6, 3));
+        b.assign(out, Expr::sub(Expr::var(x), Expr::var(y)));
+        b.build()
+    };
+    let d = Directives::new(10.0);
+    let mut low = hls_core::lower(&f, &d);
+    let ob = hls_core::apply_unsound_rewrite_for_selftest(&mut low)
+        .expect("diff kernel has a subtraction to corrupt");
+    let mut state = PipelineState::new(&f, &d, &TechLibrary::asic_100mhz());
+    state.put_artifact("netlist-obligations", vec![ob]);
+    let mut diags = hls_core::Diagnostics::default();
+    EquivGate.after_pass("netlist-opt", &state, &mut diags);
+    let err = diags
+        .find("netlist-equiv-failed")
+        .expect("unsound rewrite must be vetoed");
+    assert!(
+        err.message.contains("selftest-unsound"),
+        "diagnostic names the offending pass: {}",
+        err.message
+    );
+}
+
+#[test]
 fn gate_runs_once_even_with_rtl_passes_downstream() {
     // The gate keys on the `metrics` pass specifically; appending more
     // passes after it must not re-trigger verification, and the gated

@@ -75,6 +75,70 @@ fn fixed_and_ir_bit_identical_via_facade() {
     }
 }
 
+/// Netlist optimization must be invisible to simulation: on every Table-1
+/// architecture, the optimized design's [`RtlSimulator`] and
+/// [`CompiledSim`] agree with each other bit-for-bit and cycle-for-cycle,
+/// and both return exactly the values of the unoptimized (paper-baseline)
+/// design call after call — the whole-flow counterpart of the per-pass
+/// equivalence obligations.
+#[test]
+fn netlist_optimized_table1_designs_simulate_bit_identically() {
+    use wireless_hls::hls_core::OptLevel;
+    let p = DecoderParams::default();
+    for arch in table1_architectures() {
+        let ids = build_qam_decoder_ir(&p);
+        let lib = table1_library();
+        let base = wireless_hls::hls_core::synthesize(&ids.func, &arch.directives, &lib)
+            .expect("baseline synthesizes");
+        let opt_d = arch.directives.clone().netlist_opt_level(OptLevel::Full);
+        let opt = wireless_hls::hls_core::synthesize(&ids.func, &opt_d, &lib)
+            .expect("optimized synthesizes");
+        let fsmd_opt = Fsmd::from_synthesis(&opt);
+        let mut sim_base = RtlSimulator::new(Fsmd::from_synthesis(&base));
+        let mut sim_opt = RtlSimulator::new(fsmd_opt.clone());
+        let mut compiled_opt = CompiledSim::from_fsmd(&fsmd_opt);
+
+        let cfmt = p.ffe_c_format();
+        for tap in [0usize, 1] {
+            let v = Fixed::from_f64(0.45, cfmt);
+            sim_base.poke_array(ids.ffe_c.0, tap, v);
+            sim_opt.poke_array(ids.ffe_c.0, tap, v);
+            compiled_opt.poke_array(ids.ffe_c.0, tap, v);
+        }
+
+        let xfmt = p.x_format();
+        for call in 0..12i64 {
+            let v = (call % 11 - 5) as f64 / 16.0;
+            let w = (call % 7 - 3) as f64 / 32.0;
+            let re = Slot::Array(vec![Fixed::from_f64(v, xfmt), Fixed::from_f64(w, xfmt)]);
+            let im = Slot::Array(vec![Fixed::from_f64(-w, xfmt), Fixed::from_f64(v, xfmt)]);
+            let inputs = [(ids.x_in_re, re), (ids.x_in_im, im)];
+
+            let a = sim_base.run_call(&inputs).expect("baseline simulates");
+            let b = sim_opt.run_call(&inputs).expect("optimized simulates");
+            let c = compiled_opt.run_call(&inputs).expect("compiled simulates");
+            assert_eq!(
+                a, b,
+                "{}: optimization changed a value at call {call}",
+                arch.name
+            );
+            assert_eq!(b, c, "{}: compiled diverged at call {call}", arch.name);
+            assert_eq!(
+                sim_opt.cycles(),
+                compiled_opt.cycles(),
+                "{}: cycle counters diverged at call {call}",
+                arch.name
+            );
+            // The optimizer may only *remove* work, never add states.
+            assert!(
+                opt.metrics.latency_cycles <= base.metrics.latency_cycles,
+                "{}: optimization must not slow the design",
+                arch.name
+            );
+        }
+    }
+}
+
 /// The compiled simulator ([`SimProgram`]/[`CompiledSim`]) is a bit-exact
 /// stand-in for the reference [`RtlSimulator`] on every Table-1
 /// architecture: after every call, the returned parameter slots, the cycle

@@ -139,3 +139,31 @@ fn emission_is_deterministic_across_runs() {
     let b = emit_verilog(&figure4_fsmd());
     assert_eq!(a, b);
 }
+
+#[test]
+fn goldens_are_the_unoptimized_baseline() {
+    // The Figure-4 snapshots document the *paper's* datapath. Table-1
+    // rows therefore pin the netlist optimizer off; this guard keeps an
+    // accidental un-pinning from silently regenerating the goldens into
+    // the optimized form. An explicit `OptLevel::Off` re-synthesis must
+    // reproduce the golden bytes exactly.
+    use wireless_hls::hls_core::OptLevel;
+    let ir = build_qam_decoder_ir(&DecoderParams::default());
+    let arch = table1_architectures()
+        .into_iter()
+        .find(|a| a.name == "merged")
+        .expect("merged architecture");
+    assert_eq!(
+        arch.directives.netlist_opt.level,
+        OptLevel::Off,
+        "Table-1 rows are the paper baseline and must pin the optimizer off"
+    );
+    let off = arch.directives.clone().netlist_opt_level(OptLevel::Off);
+    let r = synthesize(&ir.func, &off, &table1_library()).expect("synthesizes");
+    let v = emit_verilog(&Fsmd::from_synthesis(&r));
+    let expected = std::fs::read_to_string(golden_path("figure4_merged.v")).expect("golden");
+    assert!(
+        expected == v,
+        "opt_level=Off emission must be byte-identical to the golden"
+    );
+}

@@ -197,7 +197,9 @@ fn lower_expr(e: &ExprSpec, locals: &[VarId], arr: VarId) -> Expr {
 
 /// The property, reusable outside the proptest harness: interpreter and
 /// RTL simulator agree on `out`, on the inout array, and on the cycle
-/// count. Panics with a diagnostic on any mismatch.
+/// count — at *both* netlist-optimization levels, so every random program
+/// doubles as an optimize→simulate bit-identity check on the rewrite
+/// engine. Panics with a diagnostic on any mismatch.
 fn check_program(prog: &Program) {
     let (func, arr, out) = build(prog);
     assert!(
@@ -211,7 +213,6 @@ fn check_program(prog: &Program) {
             d = d.unroll(&label, Unroll::Factor(u));
         }
     }
-    let r = synthesize(&func, &d, &TechLibrary::asic_100mhz()).expect("synthesizes");
 
     let fmt = work_ty().format().expect("numeric");
     let input = Slot::Array(
@@ -221,23 +222,35 @@ fn check_program(prog: &Program) {
             .collect(),
     );
 
-    // Reference: interpreter on the transformed IR (the RTL implements
-    // the transformed program).
-    let mut interp = Interpreter::new(r.transformed.clone());
-    let want = interp.call(&[(arr, input.clone())]).expect("interprets");
+    for level in [
+        wireless_hls::hls_core::OptLevel::Off,
+        wireless_hls::hls_core::OptLevel::Full,
+    ] {
+        let d = d.clone().netlist_opt_level(level);
+        let r = synthesize(&func, &d, &TechLibrary::asic_100mhz()).expect("synthesizes");
 
-    let mut sim = RtlSimulator::new(Fsmd::from_synthesis(&r));
-    let got = sim.run_call(&[(arr, input)]).expect("simulates");
+        // Reference: interpreter on the transformed IR (the RTL implements
+        // the transformed program).
+        let mut interp = Interpreter::new(r.transformed.clone());
+        let want = interp.call(&[(arr, input.clone())]).expect("interprets");
 
-    assert_eq!(
-        want[&out].scalar().expect("scalar").raw(),
-        got[&out].scalar().expect("scalar").raw(),
-        "out differs"
-    );
-    // The inout array must agree element-wise too.
-    assert_eq!(want[&arr].array(), got[&arr].array());
-    // And the cycle count matches the scheduler's claim.
-    assert_eq!(sim.cycles(), r.metrics.latency_cycles);
+        let mut sim = RtlSimulator::new(Fsmd::from_synthesis(&r));
+        let got = sim.run_call(&[(arr, input.clone())]).expect("simulates");
+
+        assert_eq!(
+            want[&out].scalar().expect("scalar").raw(),
+            got[&out].scalar().expect("scalar").raw(),
+            "out differs at {level:?}"
+        );
+        // The inout array must agree element-wise too.
+        assert_eq!(want[&arr].array(), got[&arr].array(), "array at {level:?}");
+        // And the cycle count matches the scheduler's claim.
+        assert_eq!(
+            sim.cycles(),
+            r.metrics.latency_cycles,
+            "cycles at {level:?}"
+        );
+    }
 }
 
 proptest! {
