@@ -52,6 +52,7 @@ fn sweep_config() -> ExploreConfig {
         verify: VerifyLevel::All,
         budget: None,
         loop_grids: None,
+        cache: None,
     }
 }
 
@@ -84,6 +85,7 @@ fn grid_config() -> ExploreConfig {
                 .collect(),
             pipeline: Vec::new(),
         }),
+        cache: None,
     }
 }
 

@@ -38,7 +38,8 @@ fn run_point(
     let run = pipeline.run(&mut state);
     let report = state.take_artifact("netlist-report").unwrap_or_default();
     let obligations = state
-        .take_artifact::<Vec<NetlistObligation>>("netlist-obligations")
+        .take_artifact::<std::sync::Arc<Vec<NetlistObligation>>>("netlist-obligations")
+        .map(|obs| std::sync::Arc::try_unwrap(obs).unwrap_or_else(|obs| (*obs).clone()))
         .unwrap_or_default();
     let metrics = match run.error {
         None => state.to_result().map(|r| r.metrics),

@@ -35,7 +35,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use hls_cluster::{serve, Addr, ClusterConfig, ClusterNode, Listener, DEFAULT_VNODES};
+use hls_core::{PassCache, PassCacheConfig};
 use hls_serve::{parse_batch, serve_batch, ArtifactStore, ServiceConfig, StoreConfig};
+use hls_verify::{ProofCache, ProofCacheConfig};
 
 const EXAMPLE: &str = r#"{"requests": [
   {"design": "sum8",
@@ -62,11 +64,13 @@ struct Options {
     vnodes: usize,
     example: bool,
     stats: bool,
+    incremental: bool,
+    pass_cache_dir: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: synthd [--store DIR] [--max-bytes N] [--workers N] [--max-cost-ns N]\n\
-     \x20             [--synth-delay-ms N]\n\
+     \x20             [--synth-delay-ms N] [--incremental] [--pass-cache-dir DIR]\n\
      \x20             [--daemon | --listen ADDR | --socket PATH | --example | --stats]\n\
      \x20             [--cluster --peers A,B,C --self-index N [--replicas N] [--vnodes N]]\n\
      Addresses are `unix:PATH` or `tcp:HOST:PORT`. In cluster mode the\n\
@@ -89,6 +93,8 @@ fn parse_args() -> Result<Options, String> {
         vnodes: DEFAULT_VNODES,
         example: false,
         stats: false,
+        incremental: false,
+        pass_cache_dir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -141,6 +147,11 @@ fn parse_args() -> Result<Options, String> {
                 opts.vnodes = value("--vnodes")?
                     .parse()
                     .map_err(|e| format!("--vnodes: {e}"))?
+            }
+            "--incremental" => opts.incremental = true,
+            "--pass-cache-dir" => {
+                opts.pass_cache_dir = Some(PathBuf::from(value("--pass-cache-dir")?));
+                opts.incremental = true;
             }
             "--example" => opts.example = true,
             "--stats" => opts.stats = true,
@@ -195,8 +206,27 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let mut opts = opts;
+    if opts.incremental {
+        let pass_cfg = PassCacheConfig {
+            persist_dir: opts.pass_cache_dir.clone(),
+            ..PassCacheConfig::default()
+        };
+        opts.service.pass_cache = Some(Arc::new(PassCache::new(pass_cfg)));
+        let proof_cfg = ProofCacheConfig {
+            persist_dir: opts.pass_cache_dir.as_ref().map(|d| d.join("proofs")),
+        };
+        opts.service.proof_cache = Some(Arc::new(ProofCache::new(&proof_cfg)));
+    }
     if opts.stats {
-        println!("{}", store.stats().to_json().write());
+        let mut fields = vec![("store", store.stats().to_json())];
+        if let Some(c) = &opts.service.pass_cache {
+            fields.push(("pass_cache", c.stats().to_json()));
+        }
+        if let Some(c) = &opts.service.proof_cache {
+            fields.push(("proof_cache", c.stats().to_json()));
+        }
+        println!("{}", hls_ir::Json::obj(fields).write());
         return ExitCode::SUCCESS;
     }
 

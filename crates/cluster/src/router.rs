@@ -196,21 +196,30 @@ impl ClusterNode {
             Frame::Ping => Frame::Pong {
                 shard: self.cfg.self_index as u64,
             },
-            Frame::Stats => Frame::Report(Json::obj(vec![
-                ("self", Json::count(self.cfg.self_index as u64)),
-                (
-                    "members",
-                    Json::Arr(
-                        self.cfg
-                            .members
-                            .iter()
-                            .map(|a| Json::str(a.to_string()))
-                            .collect(),
+            Frame::Stats => {
+                let mut fields = vec![
+                    ("self", Json::count(self.cfg.self_index as u64)),
+                    (
+                        "members",
+                        Json::Arr(
+                            self.cfg
+                                .members
+                                .iter()
+                                .map(|a| Json::str(a.to_string()))
+                                .collect(),
+                        ),
                     ),
-                ),
-                ("cluster", self.counters.to_json()),
-                ("store", self.store.stats().to_json()),
-            ])),
+                    ("cluster", self.counters.to_json()),
+                    ("store", self.store.stats().to_json()),
+                ];
+                if let Some(c) = &self.cfg.service.pass_cache {
+                    fields.push(("pass_cache", c.stats().to_json()));
+                }
+                if let Some(c) = &self.cfg.service.proof_cache {
+                    fields.push(("proof_cache", c.stats().to_json()));
+                }
+                Frame::Report(Json::obj(fields))
+            }
             reply @ (Frame::Report(_)
             | Frame::Entry { .. }
             | Frame::Stored { .. }

@@ -211,6 +211,13 @@ pub struct ExploreConfig {
     /// dominated interior points can disappear (into
     /// [`ExploreResult::pruned`]).
     pub budget: Option<ExploreBudget>,
+    /// A shared content-addressed pass cache
+    /// ([`crate::passcache::PassCache`]). When set, the sweep's prefix
+    /// memoization and every synthesized point consult it, so repeated
+    /// sweeps (and sweeps sharing stage inputs across calls) reuse results
+    /// instead of recomputing them. `None` (the default) keeps the classic
+    /// in-sweep memoization only.
+    pub cache: Option<Arc<crate::passcache::PassCache>>,
 }
 
 impl Default for ExploreConfig {
@@ -224,6 +231,7 @@ impl Default for ExploreConfig {
             loop_grids: None,
             verify: VerifyLevel::Off,
             budget: None,
+            cache: None,
         }
     }
 }
@@ -427,13 +435,27 @@ struct JobResult {
 /// what the cost model predicts.
 const TAIL_PASSES: [&str; 4] = ["lower", "schedule", "allocate", "metrics"];
 
-fn run_job(func: &Function, job: &Job<'_>, lib: &TechLibrary, check: CheckOp<'_, '_>) -> JobResult {
+fn run_job(
+    func: &Function,
+    job: &Job<'_>,
+    lib: &TechLibrary,
+    check: CheckOp<'_, '_>,
+    cache: Option<&Arc<crate::passcache::PassCache>>,
+) -> JobResult {
+    let pipeline_config = PipelineConfig {
+        cache: cache.cloned(),
+        // The sweep only reads pass timings and memo flags from the
+        // traces; the per-pass design-size snapshots would cost more
+        // than a fully memo-served job.
+        skip_trace_stats: true,
+        ..PipelineConfig::default()
+    };
     let (result, run) = match (&job.transformed, &job.lowered) {
         (Some(t), Some(l)) => synthesize_traced_with_prefix(
             func,
             job.directives,
             lib,
-            &PipelineConfig::default(),
+            &pipeline_config,
             Arc::clone(t),
             Arc::clone(l),
         ),
@@ -441,10 +463,10 @@ fn run_job(func: &Function, job: &Job<'_>, lib: &TechLibrary, check: CheckOp<'_,
             func,
             job.directives,
             lib,
-            &PipelineConfig::default(),
+            &pipeline_config,
             Arc::clone(t),
         ),
-        _ => synthesize_traced(func, job.directives, lib, &PipelineConfig::default()),
+        _ => synthesize_traced(func, job.directives, lib, &pipeline_config),
     };
     let tail_ns = run
         .trace
@@ -780,11 +802,29 @@ fn explore_impl(
     // when the IR is invalid — the pipeline's validate pass must report
     // that, and transforms assume validated IR.
     let mut transforms: BTreeMap<String, Arc<TransformResult>> = BTreeMap::new();
+    let base_key = if hls_ir::validate(func).is_empty() {
+        config
+            .cache
+            .as_ref()
+            .map(|_| crate::passcache::base_key(func))
+    } else {
+        None
+    };
     if hls_ir::validate(func).is_empty() {
         for d in &uniques {
-            transforms
-                .entry(transform_signature(d))
-                .or_insert_with(|| Arc::new(apply_loop_transforms(func, d)));
+            transforms.entry(transform_signature(d)).or_insert_with(|| {
+                if let (Some(cache), Some(base)) = (&config.cache, &base_key) {
+                    let key = crate::passcache::transform_key(base, d);
+                    if let Some(t) = cache.get_transform(&key) {
+                        return t;
+                    }
+                    let t = Arc::new(apply_loop_transforms(func, d));
+                    cache.put_transform(&key, &t);
+                    t
+                } else {
+                    Arc::new(apply_loop_transforms(func, d))
+                }
+            });
         }
     }
     let transform_evaluations = transforms.len();
@@ -803,9 +843,19 @@ fn explore_impl(
         let Some(t) = transforms.get(&sig) else {
             continue;
         };
-        let low = lowerings
-            .entry(sig.clone())
-            .or_insert_with(|| Arc::new(lower(&t.func, d)));
+        let low = lowerings.entry(sig.clone()).or_insert_with(|| {
+            if let (Some(cache), Some(base)) = (&config.cache, &base_key) {
+                let key = crate::passcache::lower_key(&crate::passcache::transform_key(base, d), d);
+                if let Some(l) = cache.get_lowered(&key) {
+                    return l;
+                }
+                let l = Arc::new(lower(&t.func, d));
+                cache.put_lowered(&key, &l);
+                l
+            } else {
+                Arc::new(lower(&t.func, d))
+            }
+        });
         if config.budget.is_some() && !profiles.contains_key(&sig) {
             // Profile the netlist synthesis will actually schedule: the
             // pipeline's netlist-opt pass shrinks the seeded lowering, so
@@ -927,7 +977,7 @@ fn explore_impl(
             });
         }
         let results = par_map(parallel, to_run.len(), |k| {
-            run_job(func, &jobs[to_run[k]], lib, check_op)
+            run_job(func, &jobs[to_run[k]], lib, check_op, config.cache.as_ref())
         });
         for (&i, r) in to_run.iter().zip(results) {
             if let Ok((lat, area)) = &r.outcome {

@@ -28,11 +28,14 @@ mod allocate;
 pub mod bound;
 pub mod dfg;
 mod directives;
+pub mod docstore;
 mod error;
 pub mod explore;
 mod lower;
 mod metrics;
 pub mod netlist;
+pub mod passcache;
+pub mod persist;
 pub mod pipeline;
 pub mod report;
 mod schedule;
@@ -56,10 +59,11 @@ pub use netlist::{
     apply_unsound_rewrite_for_selftest, optimize_lowered, NetlistObligation, NetlistOptConfig,
     NetlistOutcome, NetlistReport, OptLevel, PassDelta,
 };
+pub use passcache::{NetlistEntry, PassCache, PassCacheConfig, PassCacheStats};
 pub use pipeline::{
     synthesize_traced, synthesize_traced_with_prefix, synthesize_traced_with_transform,
-    InvariantCheck, IrStats, Pass, PassHook, PassRecord, PassTrace, Pipeline, PipelineConfig,
-    PipelineRun, PipelineState,
+    CacheActivity, InvariantCheck, IrStats, Pass, PassHook, PassRecord, PassTrace, Pipeline,
+    PipelineConfig, PipelineRun, PipelineState,
 };
 pub use schedule::{recurrence_min_ii, schedule_dfg, Schedule};
 pub use synthesize::{synthesize, SynthesisResult};

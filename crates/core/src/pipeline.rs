@@ -30,7 +30,8 @@ use crate::directives::Directives;
 use crate::error::SynthesisError;
 use crate::lower::{lower, Lowered, Segment};
 use crate::metrics::{segment_cycles, DesignMetrics};
-use crate::netlist::optimize_lowered;
+use crate::netlist::{optimize_lowered, NetlistObligation, NetlistReport};
+use crate::passcache::{self, NetlistEntry, PassCache};
 use crate::schedule::{recurrence_min_ii, schedule_dfg, Schedule};
 use crate::synthesize::SynthesisResult;
 use crate::tech::TechLibrary;
@@ -69,6 +70,12 @@ pub struct PipelineState {
     /// Opaque artifacts for downstream passes (FSMD, compiled simulation,
     /// Verilog), keyed by a stable name.
     pub artifacts: BTreeMap<&'static str, Box<dyn Any + Send>>,
+    /// The content-addressed pass cache consulted by cacheable passes
+    /// (populated from [`PipelineConfig::cache`] when the run starts).
+    pub cache: Option<Arc<PassCache>>,
+    /// Exact pass-cache activity of *this* run (the shared cache's own
+    /// counters aggregate concurrent runs).
+    pub cache_events: CacheActivity,
 }
 
 impl PipelineState {
@@ -84,6 +91,8 @@ impl PipelineState {
             allocation: None,
             metrics: None,
             artifacts: BTreeMap::new(),
+            cache: None,
+            cache_events: CacheActivity::default(),
         }
     }
 
@@ -279,6 +288,18 @@ pub struct PipelineConfig {
     /// [`requires`](Pass::requires) a disabled or missing one before the
     /// run starts; violations abort with `invalid-pipeline-config`.
     pub disabled_passes: Vec<String>,
+    /// A shared content-addressed pass cache. When set, the cacheable
+    /// passes (`loop-transforms`, `lower`, `netlist-opt`, `schedule`,
+    /// `allocate`) consult it before computing and publish their results
+    /// after; hits surface as memo hits in the trace. `None` (the
+    /// default) runs every pass cold.
+    pub cache: Option<Arc<PassCache>>,
+    /// Skip the per-pass [`IrStats`] snapshots in the trace (they read as
+    /// all-zero). Walking the design before and after every pass costs
+    /// more than a fully memo-served run does; bulk drivers that only
+    /// consume timings and memo flags — the design-space explorer — turn
+    /// the walks off. Off by default: interactive traces keep their stats.
+    pub skip_trace_stats: bool,
 }
 
 impl PipelineConfig {
@@ -302,6 +323,12 @@ impl PipelineConfig {
             .without_pass("schedule")
             .without_pass("allocate")
             .without_pass("metrics")
+    }
+
+    /// Attaches a shared pass cache (builder style).
+    pub fn with_cache(mut self, cache: Arc<PassCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Disables the named pass (builder style).
@@ -346,6 +373,21 @@ impl InvariantCheck {
 // Trace
 // ---------------------------------------------------------------------------
 
+/// Pass-cache lookups, misses and insertions attributable to one run.
+///
+/// Counted by the run itself (not diffed from the shared cache's global
+/// counters), so the numbers stay exact when many runs share one cache
+/// concurrently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheActivity {
+    /// Stage results served from the pass cache.
+    pub hits: u64,
+    /// Stage lookups that found nothing.
+    pub misses: u64,
+    /// Stage results published to the cache.
+    pub inserts: u64,
+}
+
 /// What one pass did and cost.
 #[derive(Debug, Clone)]
 pub struct PassRecord {
@@ -375,6 +417,9 @@ pub struct PassTrace {
     pub passes: Vec<PassRecord>,
     /// Total wall time in nanoseconds.
     pub total_ns: u64,
+    /// Pass-cache activity of this run (all zero when no cache was
+    /// attached).
+    pub cache: CacheActivity,
 }
 
 impl PassTrace {
@@ -384,6 +429,10 @@ impl PassTrace {
         let mut s = String::from("{");
         s.push_str(&format!("\"design\":{}", json_str(&self.design)));
         s.push_str(&format!(",\"total_ns\":{}", self.total_ns));
+        s.push_str(&format!(
+            ",\"cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{}}}",
+            self.cache.hits, self.cache.misses, self.cache.inserts
+        ));
         s.push_str(",\"passes\":[");
         for (i, p) in self.passes.iter().enumerate() {
             if i > 0 {
@@ -562,6 +611,9 @@ impl<'a> Pipeline<'a> {
             ..PipelineRun::default()
         };
         let total_start = Instant::now();
+        if state.cache.is_none() {
+            state.cache = self.config.cache.clone();
+        }
 
         // Reject unsatisfiable configurations up front: every enabled
         // pass's prerequisites must be enabled and sequenced earlier.
@@ -598,11 +650,19 @@ impl<'a> Pipeline<'a> {
             return run;
         }
 
+        // Between passes the state is untouched, so each pass's entry
+        // stats equal the previous pass's exit stats; carrying them over
+        // halves the stat walks, which a memo-served run is dominated by.
+        let mut carried_stats: Option<IrStats> = None;
         for pass in &self.passes {
             if !self.config.is_enabled(pass.name()) {
                 continue;
             }
-            let before = state.stats();
+            let before = if self.config.skip_trace_stats {
+                IrStats::default()
+            } else {
+                carried_stats.unwrap_or_else(|| state.stats())
+            };
             let diags_before = run.diagnostics.len();
             let start = Instant::now();
             let result = pass.run(state, &mut run.diagnostics);
@@ -658,11 +718,17 @@ impl<'a> Pipeline<'a> {
                 }
             }
 
+            let after = if self.config.skip_trace_stats {
+                IrStats::default()
+            } else {
+                state.stats()
+            };
+            carried_stats = Some(after);
             run.trace.passes.push(PassRecord {
                 pass: pass.name().to_string(),
                 wall_ns: start.elapsed().as_nanos() as u64,
                 before,
-                after: state.stats(),
+                after,
                 diagnostics: run.diagnostics.len() - diags_before,
                 invariants_checked,
                 memo_hit,
@@ -671,6 +737,7 @@ impl<'a> Pipeline<'a> {
                 break;
             }
         }
+        run.trace.cache = state.cache_events;
         run.trace.total_ns = total_start.elapsed().as_nanos() as u64;
         run
     }
@@ -787,16 +854,52 @@ impl Pass for LoopTransformsPass {
         state: &mut PipelineState,
         diags: &mut Diagnostics,
     ) -> Result<(), SynthesisError> {
+        // The content-addressed key covers the input function and the
+        // directive subset the transform pipeline reads; `state.func` is
+        // still the pipeline input at this point.
+        let tkey = state.cache.as_ref().map(|_| {
+            let base = passcache::base_key(&state.func);
+            passcache::transform_key(&base, &state.directives)
+        });
         let t = match &self.seeded {
             Some(t) => {
                 diags.push(Diagnostic::note(
                     "memo-hit",
                     "transform prefix reused from memo cache",
                 ));
+                if let (Some(cache), Some(key)) = (&state.cache, &tkey) {
+                    // Clock sweeps seed every twin with the same prefix;
+                    // publish it once and skip the no-op re-inserts.
+                    if !cache.contains(key) {
+                        cache.put_transform(key, t);
+                        state.cache_events.inserts += 1;
+                    }
+                }
                 (**t).clone()
             }
-            None => apply_loop_transforms(&state.func, &state.directives),
+            None => match (&state.cache, &tkey) {
+                (Some(cache), Some(key)) => {
+                    if let Some(t) = cache.get_transform(key) {
+                        state.cache_events.hits += 1;
+                        diags.push(Diagnostic::note(
+                            "memo-hit",
+                            "loop transforms reused from pass cache",
+                        ));
+                        (*t).clone()
+                    } else {
+                        state.cache_events.misses += 1;
+                        let t = Arc::new(apply_loop_transforms(&state.func, &state.directives));
+                        cache.put_transform(key, &t);
+                        state.cache_events.inserts += 1;
+                        (*t).clone()
+                    }
+                }
+                _ => apply_loop_transforms(&state.func, &state.directives),
+            },
         };
+        if let Some(key) = tkey {
+            state.put_artifact("cache-key:loop-transforms", key);
+        }
         for m in &t.merges {
             for h in &m.hazards {
                 diags.push(
@@ -840,16 +943,52 @@ impl Pass for LowerPass {
         state: &mut PipelineState,
         diags: &mut Diagnostics,
     ) -> Result<(), SynthesisError> {
+        // Chain off the transform stage's key; without it (custom
+        // pipeline, transforms disabled) lowering runs uncached.
+        let lkey = match (
+            &state.cache,
+            state.artifact::<String>("cache-key:loop-transforms"),
+        ) {
+            (Some(_), Some(tkey)) => Some(passcache::lower_key(tkey, &state.directives)),
+            _ => None,
+        };
         state.lowered = Some(match &self.seeded {
             Some(l) => {
                 diags.push(Diagnostic::note(
                     "memo-hit",
                     "lowered prefix reused from memo cache",
                 ));
+                if let (Some(cache), Some(key)) = (&state.cache, &lkey) {
+                    if !cache.contains(key) {
+                        cache.put_lowered(key, l);
+                        state.cache_events.inserts += 1;
+                    }
+                }
                 (**l).clone()
             }
-            None => lower(&state.func, &state.directives),
+            None => match (&state.cache, &lkey) {
+                (Some(cache), Some(key)) => {
+                    if let Some(l) = cache.get_lowered(key) {
+                        state.cache_events.hits += 1;
+                        diags.push(Diagnostic::note(
+                            "memo-hit",
+                            "lowering reused from pass cache",
+                        ));
+                        (*l).clone()
+                    } else {
+                        state.cache_events.misses += 1;
+                        let l = Arc::new(lower(&state.func, &state.directives));
+                        cache.put_lowered(key, &l);
+                        state.cache_events.inserts += 1;
+                        (*l).clone()
+                    }
+                }
+                _ => lower(&state.func, &state.directives),
+            },
         });
+        if let Some(key) = lkey {
+            state.put_artifact("cache-key:lower", key);
+        }
         Ok(())
     }
 }
@@ -880,16 +1019,57 @@ impl Pass for NetlistOptPass {
     ) -> Result<(), SynthesisError> {
         let cfg = state.directives.netlist_opt;
         let lib = state.lib.clone();
+        let nkey = match (&state.cache, state.artifact::<String>("cache-key:lower")) {
+            (Some(_), Some(lkey)) => Some(passcache::netlist_key(lkey, &state.directives, &lib)),
+            _ => None,
+        };
         let lowered = state
             .lowered
             .as_mut()
             .ok_or_else(|| missing_slot("netlist-opt", "lower"))?;
-        let outcome = optimize_lowered(lowered, &cfg, &lib);
+        let (report, obligations): (NetlistReport, Arc<Vec<NetlistObligation>>) =
+            match (&state.cache, &nkey) {
+                (Some(cache), Some(key)) => {
+                    if let Some(entry) = cache.get_netlist(key) {
+                        state.cache_events.hits += 1;
+                        // Replay the exact cold-run output: the optimized
+                        // design, the measurements and the obligations the
+                        // verify gate will re-discharge or look up.
+                        *lowered = entry.lowered.clone();
+                        diags.push(Diagnostic::note(
+                            "memo-hit",
+                            "optimized netlist reused from pass cache",
+                        ));
+                        (entry.report.clone(), Arc::clone(&entry.obligations))
+                    } else {
+                        state.cache_events.misses += 1;
+                        let outcome = optimize_lowered(lowered, &cfg, &lib);
+                        let obligations = Arc::new(outcome.obligations);
+                        cache.put_netlist(
+                            key,
+                            &Arc::new(NetlistEntry {
+                                lowered: lowered.clone(),
+                                report: outcome.report.clone(),
+                                obligations: Arc::clone(&obligations),
+                            }),
+                        );
+                        state.cache_events.inserts += 1;
+                        (outcome.report, obligations)
+                    }
+                }
+                _ => {
+                    let outcome = optimize_lowered(lowered, &cfg, &lib);
+                    (outcome.report, Arc::new(outcome.obligations))
+                }
+            };
         if cfg.is_enabled() {
-            diags.push(Diagnostic::note("netlist-opt", outcome.report.describe()));
+            diags.push(Diagnostic::note("netlist-opt", report.describe()));
         }
-        state.put_artifact("netlist-report", outcome.report);
-        state.put_artifact("netlist-obligations", outcome.obligations);
+        state.put_artifact("netlist-report", report);
+        state.put_artifact("netlist-obligations", obligations);
+        if let Some(key) = nkey {
+            state.put_artifact("cache-key:netlist-opt", key);
+        }
         Ok(())
     }
 }
@@ -910,8 +1090,31 @@ impl Pass for SchedulePass {
     fn run(
         &self,
         state: &mut PipelineState,
-        _diags: &mut Diagnostics,
+        diags: &mut Diagnostics,
     ) -> Result<(), SynthesisError> {
+        let skey = match (
+            &state.cache,
+            state.artifact::<String>("cache-key:netlist-opt"),
+        ) {
+            (Some(_), Some(nkey)) => {
+                Some(passcache::schedule_key(nkey, &state.directives, &state.lib))
+            }
+            _ => None,
+        };
+        if let (Some(cache), Some(key)) = (&state.cache, &skey) {
+            if let Some(s) = cache.get_schedules(key) {
+                state.cache_events.hits += 1;
+                diags.push(Diagnostic::note(
+                    "memo-hit",
+                    "schedules reused from pass cache",
+                ));
+                state.schedules = Some((*s).clone());
+                let key = key.clone();
+                state.put_artifact("cache-key:schedule", key);
+                return Ok(());
+            }
+            state.cache_events.misses += 1;
+        }
         let lowered = state
             .lowered
             .as_ref()
@@ -957,7 +1160,16 @@ impl Pass for SchedulePass {
             }
             schedules.push(sched);
         }
+        // Only a completed schedule set is cached — an infeasible II
+        // returned above, so errors can never be replayed as results.
+        if let (Some(cache), Some(key)) = (&state.cache, &skey) {
+            cache.put_schedules(key, &Arc::new(schedules.clone()));
+            state.cache_events.inserts += 1;
+        }
         state.schedules = Some(schedules);
+        if let Some(key) = skey {
+            state.put_artifact("cache-key:schedule", key);
+        }
         Ok(())
     }
 }
@@ -977,8 +1189,26 @@ impl Pass for AllocatePass {
     fn run(
         &self,
         state: &mut PipelineState,
-        _diags: &mut Diagnostics,
+        diags: &mut Diagnostics,
     ) -> Result<(), SynthesisError> {
+        let akey = match (&state.cache, state.artifact::<String>("cache-key:schedule")) {
+            (Some(_), Some(skey)) => {
+                Some(passcache::allocate_key(skey, &state.directives, &state.lib))
+            }
+            _ => None,
+        };
+        if let (Some(cache), Some(key)) = (&state.cache, &akey) {
+            if let Some(a) = cache.get_allocation(key) {
+                state.cache_events.hits += 1;
+                diags.push(Diagnostic::note(
+                    "memo-hit",
+                    "allocation reused from pass cache",
+                ));
+                state.allocation = Some((*a).clone());
+                return Ok(());
+            }
+            state.cache_events.misses += 1;
+        }
         let lowered = state
             .lowered
             .as_ref()
@@ -987,13 +1217,18 @@ impl Pass for AllocatePass {
             .schedules
             .as_ref()
             .ok_or_else(|| missing_slot("allocate", "schedule"))?;
-        state.allocation = Some(allocate(
+        let allocation = allocate(
             &lowered.func,
             lowered,
             schedules,
             &state.directives,
             &state.lib,
-        ));
+        );
+        if let (Some(cache), Some(key)) = (&state.cache, &akey) {
+            cache.put_allocation(key, &Arc::new(allocation.clone()));
+            state.cache_events.inserts += 1;
+        }
+        state.allocation = Some(allocation);
         Ok(())
     }
 }

@@ -207,6 +207,18 @@ impl TechLibrary {
         self.nominal_clock_ns
     }
 
+    /// Returns a copy with the base operator delay nudged by `delta_ns`.
+    ///
+    /// This is a calibration hook: it lets tooling (and the cache
+    /// key-soundness tests) derive a library whose timing model differs in
+    /// exactly one constant, which must change [`TechLibrary::fingerprint`]
+    /// and therefore miss every content-addressed cache keyed on it.
+    pub fn with_delay_base_offset(&self, delta_ns: f64) -> Self {
+        let mut lib = self.clone();
+        lib.delay_base += delta_ns;
+        lib
+    }
+
     /// Propagation delay (ns) of one operator at the given output width.
     pub fn delay(&self, class: OpClass, width: u32) -> f64 {
         let w = width.max(1) as f64;

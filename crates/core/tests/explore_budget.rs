@@ -51,6 +51,7 @@ fn config(clocks: Vec<f64>, unrolls: Vec<u32>, both_merges: bool) -> ExploreConf
         loop_grids: None,
         verify: VerifyLevel::Off,
         budget: None,
+        cache: None,
     }
 }
 

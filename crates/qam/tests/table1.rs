@@ -137,6 +137,7 @@ fn paper_designs_dominate_the_uniform_sweep() {
         per_loop_refinement: false,
         verify: hls_core::VerifyLevel::Off,
         budget: None,
+        cache: None,
         loop_grids: None,
     };
     let sweep = hls_core::explore(&ir.func, &cfg, &lib);

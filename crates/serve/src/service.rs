@@ -45,12 +45,14 @@ use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use std::sync::Arc;
+
 use hls_core::{
     apply_loop_transforms, lower_bound, DesignBound, Diagnostic, Diagnostics, ExploreBudget,
-    PipelineConfig,
+    PassCache, PassCacheStats, PipelineConfig,
 };
 use hls_ir::{parse_function, Function, Json};
-use hls_verify::verify_equiv;
+use hls_verify::{verify_equiv, verify_equiv_cached, ProofCache, ProofCacheStats};
 use rtl::compile_traced;
 
 use crate::digest::RequestKey;
@@ -75,6 +77,15 @@ pub struct ServiceConfig {
     /// the cluster benchmarks use it to measure fabric scaling
     /// independently of this machine's core count.
     pub synth_delay: Duration,
+    /// A shared content-addressed pass cache threaded into every
+    /// pipeline invocation. With a persistent tier, a restarted daemon
+    /// replays the clock-independent stage prefix (loop transforms,
+    /// lowering, netlist optimization) without re-running anything.
+    pub pass_cache: Option<Arc<PassCache>>,
+    /// A shared proof-verdict cache: verified requests replay FSMD
+    /// equivalence verdicts for machines already proved (clock twins
+    /// included) instead of re-proving them.
+    pub proof_cache: Option<Arc<ProofCache>>,
 }
 
 impl Default for ServiceConfig {
@@ -86,6 +97,8 @@ impl Default for ServiceConfig {
             budget: ExploreBudget::default(),
             max_cost_ns: None,
             synth_delay: Duration::ZERO,
+            pass_cache: None,
+            proof_cache: None,
         }
     }
 }
@@ -186,12 +199,16 @@ pub struct CountersSnapshot {
     pub verify_us: HistogramSnapshot,
     /// Store-insert latency per miss.
     pub insert_us: HistogramSnapshot,
+    /// Pass-cache census, when the service runs one.
+    pub pass_cache: Option<PassCacheStats>,
+    /// Proof-cache census, when the service runs one.
+    pub proof_cache: Option<ProofCacheStats>,
 }
 
 impl CountersSnapshot {
     /// Serializes the counters.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("hits", Json::count(self.hits)),
             ("misses", Json::count(self.misses)),
             ("synthesized", Json::count(self.synthesized)),
@@ -205,7 +222,19 @@ impl CountersSnapshot {
             ("synth_us", self.synth_us.to_json()),
             ("verify_us", self.verify_us.to_json()),
             ("insert_us", self.insert_us.to_json()),
-        ])
+        ];
+        if let Some(pc) = &self.pass_cache {
+            fields.push(("pass_cache", pc.to_json()));
+        }
+        if let Some(pc) = &self.proof_cache {
+            fields.push(("proof_cache", pc.to_json()));
+        }
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
     }
 }
 
@@ -511,6 +540,8 @@ pub fn serve_batch(
             synth_us: counters.synth.snapshot(),
             verify_us: counters.verify.snapshot(),
             insert_us: counters.insert.snapshot(),
+            pass_cache: cfg.pass_cache.as_ref().map(|c| c.stats()),
+            proof_cache: cfg.proof_cache.as_ref().map(|c| c.stats()),
         },
     }
 }
@@ -605,12 +636,11 @@ fn run_job(
     counters.misses.fetch_add(1, Ordering::Relaxed);
 
     let t = Instant::now();
-    let (result, run) = compile_traced(
-        &job.func,
-        &req.directives,
-        &req.library,
-        &PipelineConfig::default(),
-    );
+    let pipeline_config = PipelineConfig {
+        cache: cfg.pass_cache.clone(),
+        ..PipelineConfig::default()
+    };
+    let (result, run) = compile_traced(&job.func, &req.directives, &req.library, &pipeline_config);
     if !cfg.synth_delay.is_zero() {
         // Models the external backend tool's wall time (applies to
         // failed runs too: a real tool burns its runtime before
@@ -651,7 +681,10 @@ fn run_job(
     };
     let verdict = if req.verify {
         let t = Instant::now();
-        let report = verify_equiv(&artifacts.fsmd);
+        let report = match &cfg.proof_cache {
+            Some(cache) => verify_equiv_cached(&artifacts.fsmd, cache),
+            None => verify_equiv(&artifacts.fsmd),
+        };
         counters.verify.record(t.elapsed());
         Some(Verdict {
             passed: report.passed(),

@@ -25,10 +25,10 @@ use rtl::{Control, Fsmd, RtlSimulator};
 
 /// Deterministic SplitMix64 — tiny, seedable, and dependency-free.
 #[derive(Debug, Clone)]
-struct SplitMix64(u64);
+pub(crate) struct SplitMix64(pub(crate) u64);
 
 impl SplitMix64 {
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
@@ -258,7 +258,7 @@ fn extreme_call(func: &Function, low: bool) -> Vec<(VarId, Slot)> {
         .collect()
 }
 
-fn random_fixed(f: fixpt::Format, rng: &mut SplitMix64) -> Fixed {
+pub(crate) fn random_fixed(f: fixpt::Format, rng: &mut SplitMix64) -> Fixed {
     let span = (f.max_raw() - f.min_raw() + 1) as u64;
     let raw = f.min_raw() + rng.below(span) as i128;
     Fixed::from_raw(raw, f).expect("raw in range")

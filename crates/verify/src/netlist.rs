@@ -17,23 +17,118 @@
 
 use std::collections::HashMap;
 
+use fixpt::{Fixed, Format};
 use hls_core::dfg::Dfg;
 use hls_core::{Lowered, NetlistObligation, Segment};
 
-use crate::equiv::{bit_blast, Obligation, ProofMethod, ProveOptions, ProveVerdict};
+use crate::equiv::{bit_blast, Obligation, ProofCex, ProofMethod, ProveOptions, ProveVerdict};
 use crate::fsmd_exec::{eval_node, FsmdState};
+use crate::fuzz::{random_fixed, SplitMix64};
+use crate::proofcache::{obligation_key, ProofCache};
 use crate::state::{ExecResult, Unsupported};
 use crate::sym::{bool_format, Evaluator, SymId, SymTable};
 
 /// Checks every obligation of one synthesis run; returns one verdict per
-/// obligation, in order.
+/// obligation, in order. Obligations are independent proofs, so they are
+/// discharged in parallel across a scoped worker pool.
 pub fn check_netlist_obligations(
     obligations: &[NetlistObligation],
     opts: &ProveOptions,
 ) -> Vec<ProveVerdict> {
-    obligations
-        .iter()
-        .map(|ob| check_netlist_obligation(ob, opts))
+    check_netlist_obligations_cached(obligations, opts, None)
+}
+
+/// [`check_netlist_obligations`] through an optional
+/// [`ProofCache`]: each obligation's verdict is replayed when its
+/// content key hits and recorded when it was freshly proved. Verdict
+/// order matches the obligation order either way, and a cached verdict
+/// is byte-identical to recomputation (the key covers the exact proof
+/// inputs, including the pass name and blast budget).
+pub fn check_netlist_obligations_cached(
+    obligations: &[NetlistObligation],
+    opts: &ProveOptions,
+    cache: Option<&ProofCache>,
+) -> Vec<ProveVerdict> {
+    let keys: Option<Vec<String>> = cache.map(|_| {
+        obligations
+            .iter()
+            .map(|ob| obligation_key(ob, opts))
+            .collect()
+    });
+    check_netlist_obligations_keyed(obligations, keys.as_deref(), opts, None, cache)
+}
+
+/// [`check_netlist_obligations_cached`] with the content keys supplied
+/// by the caller.
+///
+/// Deriving a key serializes both sides of the obligation — often more
+/// work than replaying the verdict it looks up. A sweep that memoizes
+/// obligation *sets* (one set per unique lowering, shared by every clock
+/// point) should memoize the keys beside them and pass both here, paying
+/// the serialization once per set instead of once per point. `keys`,
+/// when present, must be index-aligned with `obligations` and computed
+/// under the same `opts` *and* `cross` regime — [`obligation_key`] for
+/// the plain checker, [`obligation_key_tagged`] with
+/// [`NetlistCrossCheck::tag`] when cross-checking — a stale or
+/// misaligned key is a soundness bug on the caller. With `keys` `None`
+/// (or no cache), every obligation is proved directly.
+///
+/// [`obligation_key_tagged`]: crate::proofcache::obligation_key_tagged
+pub fn check_netlist_obligations_keyed(
+    obligations: &[NetlistObligation],
+    keys: Option<&[String]>,
+    opts: &ProveOptions,
+    cross: Option<&NetlistCrossCheck>,
+    cache: Option<&ProofCache>,
+) -> Vec<ProveVerdict> {
+    assert!(
+        keys.is_none_or(|k| k.len() == obligations.len()),
+        "one key per obligation"
+    );
+    let one = |i: usize| -> ProveVerdict {
+        let ob = &obligations[i];
+        let (Some(cache), Some(keys)) = (cache, keys) else {
+            return check_netlist_obligation_with(ob, opts, cross);
+        };
+        let key = &keys[i];
+        if let Some(v) = cache.get_obligation(key) {
+            return v;
+        }
+        let v = check_netlist_obligation_with(ob, opts, cross);
+        cache.put_obligation(key, &v);
+        v
+    };
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(obligations.len());
+    if workers <= 1 {
+        return (0..obligations.len()).map(one).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ProveVerdict>>> =
+        obligations.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= obligations.len() {
+                    break;
+                }
+                let v = one(i);
+                *slots[i].lock().expect("no panics hold this lock") = Some(v);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("poisoned slot")
+                .expect("all indices visited")
+        })
         .collect()
 }
 
@@ -146,6 +241,166 @@ pub fn check_netlist_obligation(ob: &NetlistObligation, opts: &ProveOptions) -> 
     }
 }
 
+/// Concrete cross-check knobs for netlist obligations.
+///
+/// After a symbolic `Proved`, both sides of the obligation are
+/// re-executed in *independent* symbolic tables — taking the
+/// shared-table normalizer out of the trusted base — and their final
+/// states compared under deterministic pseudo-random input valuations.
+/// A divergence downgrades the verdict to `Disproved` with the
+/// offending valuation; agreement leaves the proved verdict
+/// byte-identical to the plain checker's. Deep-verification sweeps run
+/// in this regime, and replaying the verdict from a [`ProofCache`]
+/// amortizes the proof and the cross-check together.
+#[derive(Debug, Clone)]
+pub struct NetlistCrossCheck {
+    /// Seed for the stimulus stream. Restarted for every obligation, so
+    /// verdicts are independent of check order and parallelism.
+    pub seed: u64,
+    /// Input valuations compared per obligation.
+    pub vectors: usize,
+}
+
+impl Default for NetlistCrossCheck {
+    fn default() -> NetlistCrossCheck {
+        NetlistCrossCheck {
+            seed: 0x6e7_2005,
+            vectors: 16,
+        }
+    }
+}
+
+impl NetlistCrossCheck {
+    /// Cache-key tag for this regime: a verdict proved under a
+    /// cross-check only replays for callers running the same one (see
+    /// [`obligation_key_tagged`](crate::proofcache::obligation_key_tagged)).
+    pub fn tag(&self) -> String {
+        format!("xvec{:x}:{}", self.seed, self.vectors)
+    }
+}
+
+/// [`check_netlist_obligation`] under an optional concrete cross-check:
+/// a symbolic `Proved` must additionally survive
+/// [`NetlistCrossCheck::vectors`] sampled differential executions.
+/// `Disproved` and `Unknown` verdicts pass through untouched — the
+/// cross-check can only *demote* a proof, never rescue one. Cached
+/// callers must key these verdicts with
+/// [`obligation_key_tagged`](crate::proofcache::obligation_key_tagged)
+/// under [`NetlistCrossCheck::tag`].
+pub fn check_netlist_obligation_with(
+    ob: &NetlistObligation,
+    opts: &ProveOptions,
+    cross: Option<&NetlistCrossCheck>,
+) -> ProveVerdict {
+    let verdict = check_netlist_obligation(ob, opts);
+    match (&verdict, cross) {
+        (ProveVerdict::Proved { .. }, Some(c)) => match cross_check_obligation(ob, c) {
+            Some(cex) => ProveVerdict::Disproved(cex),
+            None => verdict,
+        },
+        _ => verdict,
+    }
+}
+
+/// Executes one side of an obligation in its *own* fresh table from a
+/// fully arbitrary start state. Inputs are created in variable order, so
+/// ordinals line up across the two sides of an obligation (they share
+/// one [`Function`](hls_ir::Function)). Returns the table, the final
+/// observables (name, node) in variable order, and the created inputs.
+#[allow(clippy::type_complexity)]
+fn exec_fresh_side(
+    lowered: &Lowered,
+) -> Result<(SymTable, Vec<(String, SymId)>, Vec<(u32, Format, String)>), String> {
+    let func = &lowered.func;
+    let mut t = SymTable::new();
+    let nvars = func.iter_vars().count();
+    let mut st = FsmdState {
+        regs: vec![None; nvars],
+        arrays: vec![None; nvars],
+    };
+    let mut inputs: Vec<(u32, Format, String)> = Vec::new();
+    for (id, v) in func.iter_vars() {
+        let fmt = v.ty.format().unwrap_or_else(bool_format);
+        match v.len {
+            None => {
+                let s = t.fresh_input(fmt);
+                let (n, _) = t.input_info(s).expect("fresh input");
+                inputs.push((n, fmt, v.name.clone()));
+                st.regs[id.index()] = Some(s);
+            }
+            Some(len) => {
+                let elems: Vec<SymId> = (0..len)
+                    .map(|i| {
+                        let s = t.fresh_input(fmt);
+                        let (n, _) = t.input_info(s).expect("fresh input");
+                        inputs.push((n, fmt, format!("{}[{i}]", v.name)));
+                        s
+                    })
+                    .collect();
+                st.arrays[id.index()] = Some(elems);
+            }
+        }
+    }
+    exec_lowered(&mut t, lowered, &mut st).map_err(|e| e.to_string())?;
+    let mut observables = Vec::new();
+    for (id, v) in func.iter_vars() {
+        match v.len {
+            None => {
+                observables.push((v.name.clone(), st.regs[id.index()].expect("register state")));
+            }
+            Some(_) => {
+                let elems = st.arrays[id.index()].as_ref().expect("array state");
+                for (i, &s) in elems.iter().enumerate() {
+                    observables.push((format!("{}[{i}]", v.name), s));
+                }
+            }
+        }
+    }
+    Ok((t, observables, inputs))
+}
+
+/// Samples the two sides of an obligation in independent tables; `Some`
+/// is a concrete divergence (the prover was wrong somewhere), `None`
+/// means every sampled valuation agreed. A side the executor cannot run
+/// returns `None` — the symbolic verdict (which executed the same
+/// design) stands on its own there.
+fn cross_check_obligation(ob: &NetlistObligation, cross: &NetlistCrossCheck) -> Option<ProofCex> {
+    let (tb, before, inputs) = exec_fresh_side(&ob.before).ok()?;
+    let (ta, after, inputs_after) = exec_fresh_side(&ob.after).ok()?;
+    if before.len() != after.len() || inputs != inputs_after {
+        // Sides over different state spaces never canonically agree, so
+        // the symbolic checker already refused; nothing to sample.
+        return None;
+    }
+    let broots: Vec<SymId> = before.iter().map(|&(_, s)| s).collect();
+    let aroots: Vec<SymId> = after.iter().map(|&(_, s)| s).collect();
+    let mut rng = SplitMix64(cross.seed);
+    let mut evb = Evaluator::new();
+    let mut eva = Evaluator::new();
+    for _ in 0..cross.vectors {
+        let valuation: HashMap<u32, Fixed> = inputs
+            .iter()
+            .map(|&(n, f, _)| (n, random_fixed(f, &mut rng)))
+            .collect();
+        let vb = evb.eval(&tb, &broots, &valuation);
+        let va = eva.eval(&ta, &aroots, &valuation);
+        for ((name, _), (b, a)) in before.iter().zip(vb.iter().zip(&va)) {
+            if b != a {
+                return Some(ProofCex {
+                    observable: name.clone(),
+                    inputs: inputs
+                        .iter()
+                        .map(|&(n, _, ref label)| (label.clone(), valuation[&n]))
+                        .collect(),
+                    ir_value: *b,
+                    rtl_value: *a,
+                });
+            }
+        }
+    }
+    None
+}
+
 /// Symbolically executes a lowered design (pre-schedule): segments in
 /// order, straight-line DFGs evaluated node-by-node in construction order
 /// (predecessors precede consumers), loop bodies once per trip with the
@@ -215,6 +470,7 @@ fn unknown_all(func: &hls_ir::Function, reason: String) -> ProveVerdict {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::proofcache::obligation_key_tagged;
     use hls_core::{lower, optimize_lowered, Directives, NetlistOptConfig, TechLibrary};
     use hls_ir::parse_function;
 
@@ -252,6 +508,72 @@ mod tests {
             .zip(check_netlist_obligations(&obs, &ProveOptions::default()))
         {
             assert!(v.is_proved(), "pass {} must prove, got {v:?}", ob.pass);
+        }
+    }
+
+    #[test]
+    fn cross_check_preserves_passing_verdicts_exactly() {
+        let obs = lowered_pair();
+        assert!(!obs.is_empty(), "default opt must rewrite something");
+        let opts = ProveOptions::default();
+        let cross = NetlistCrossCheck::default();
+        for ob in &obs {
+            let plain = check_netlist_obligation(ob, &opts);
+            let checked = check_netlist_obligation_with(ob, &opts, Some(&cross));
+            assert_eq!(
+                format!("{plain:?}"),
+                format!("{checked:?}"),
+                "a passing cross-check must not perturb the verdict"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_check_regime_keys_never_alias() {
+        let obs = lowered_pair();
+        let opts = ProveOptions::default();
+        let cross = NetlistCrossCheck::default();
+        let tagged: Vec<String> = obs
+            .iter()
+            .map(|ob| obligation_key_tagged(ob, &opts, &cross.tag()))
+            .collect();
+        assert_ne!(
+            obligation_key(&obs[0], &opts),
+            tagged[0],
+            "cross-checked verdicts live under their own keys"
+        );
+        let cache = ProofCache::in_memory();
+        let first =
+            check_netlist_obligations_keyed(&obs, Some(&tagged), &opts, Some(&cross), Some(&cache));
+        let second =
+            check_netlist_obligations_keyed(&obs, Some(&tagged), &opts, Some(&cross), Some(&cache));
+        assert_eq!(
+            format!("{first:?}"),
+            format!("{second:?}"),
+            "replayed verdicts are byte-identical to fresh ones"
+        );
+        assert!(cache.stats().hits >= obs.len() as u64, "second run replays");
+        // The plain regime's keys still miss: a verdict proved under a
+        // cross-check never stands in for one proved without it (or vice
+        // versa).
+        assert!(cache
+            .get_obligation(&obligation_key(&obs[0], &opts))
+            .is_none());
+    }
+
+    #[test]
+    fn cross_check_refutes_unsound_rewrites() {
+        let func = parse_function(SRC).unwrap();
+        let d = Directives::new(10.0);
+        let mut low = lower(&func, &d);
+        let ob = hls_core::apply_unsound_rewrite_for_selftest(&mut low)
+            .expect("kernel has a subtraction to corrupt");
+        let cross = NetlistCrossCheck::default();
+        match check_netlist_obligation_with(&ob, &ProveOptions::default(), Some(&cross)) {
+            ProveVerdict::Disproved(cex) => {
+                assert!(!cex.inputs.is_empty(), "counterexample names its inputs");
+            }
+            v => panic!("unsound rewrite must stay disproved, got {v:?}"),
         }
     }
 

@@ -27,6 +27,7 @@ use crate::equiv::{
     prove_equiv_in, prove_equiv_with, IrContext, ProofCex, ProofMethod, ProveOptions, ProveVerdict,
 };
 use crate::fuzz::{fuzz_equiv_with, FuzzCex, FuzzConfig};
+use crate::proofcache::{fsmd_key, ProofCache, DEFAULT_OPTIONS_TAG};
 
 /// How [`verify_equiv`] reached its conclusion.
 #[derive(Debug, Clone)]
@@ -116,7 +117,22 @@ pub fn verify_equiv(fsmd: &Fsmd) -> VerifyReport {
 
 /// [`verify_equiv`] with explicit prover and fuzzer configuration.
 pub fn verify_equiv_with(fsmd: &Fsmd, prove: &ProveOptions, fuzz: &FuzzConfig) -> VerifyReport {
-    settle(prove_equiv_with(fsmd, prove), fsmd, fuzz)
+    settle(prove_equiv_with(fsmd, prove), fsmd, fuzz, false)
+}
+
+/// [`verify_equiv`] through a [`ProofCache`]: the verdict is replayed
+/// when the machine's structural key (clock excluded — clock twins
+/// share one proof) hits, and recorded otherwise. Only default knobs —
+/// the cache key carries the options tag, so a non-default
+/// configuration must use its own tag via the lower-level API.
+pub fn verify_equiv_cached(fsmd: &Fsmd, cache: &ProofCache) -> VerifyReport {
+    let key = fsmd_key(fsmd, DEFAULT_OPTIONS_TAG);
+    if let Some(report) = cache.get_fsmd(&key) {
+        return report;
+    }
+    let report = verify_equiv(fsmd);
+    cache.put_fsmd(&key, &report);
+    report
 }
 
 /// [`verify_equiv`], persisting any fuzzer-shrunk counterexample as an
@@ -140,19 +156,40 @@ pub fn verify_equiv_persist(
 
 /// Turns a prover verdict into a [`VerifyReport`], falling back to the
 /// differential fuzzer when the prover gave up.
-fn settle(verdict: ProveVerdict, fsmd: &Fsmd, fuzz: &FuzzConfig) -> VerifyReport {
+///
+/// With `cross_check` set, even a *proved* machine runs the fuzz
+/// campaign: the symbolic prover and the concrete simulators are
+/// independent oracles, so agreement defends against a bug in either.
+/// A divergence surfaces as a fuzz counterexample (it would mean the
+/// proof was wrong); agreement leaves the `Proved` finding untouched, so
+/// cross-checking never changes the shape of a passing report.
+fn settle(
+    verdict: ProveVerdict,
+    fsmd: &Fsmd,
+    fuzz: &FuzzConfig,
+    cross_check: bool,
+) -> VerifyReport {
     let finding = match verdict {
         ProveVerdict::Proved {
             obligations,
             sym_nodes,
-        } => VerifyFinding::Proved {
-            obligations: obligations.len(),
-            bit_blasted: obligations
-                .iter()
-                .filter(|o| matches!(o.method, ProofMethod::BitBlast { .. }))
-                .count(),
-            sym_nodes,
-        },
+        } => {
+            if cross_check {
+                if let Some(cex) = fuzz_equiv_with(fsmd, fuzz).counterexample {
+                    return VerifyReport {
+                        finding: VerifyFinding::FuzzCounterexample(cex),
+                    };
+                }
+            }
+            VerifyFinding::Proved {
+                obligations: obligations.len(),
+                bit_blasted: obligations
+                    .iter()
+                    .filter(|o| matches!(o.method, ProofMethod::BitBlast { .. }))
+                    .count(),
+                sym_nodes,
+            }
+        }
         ProveVerdict::Disproved(cex) => VerifyFinding::ProofCounterexample(cex),
         ProveVerdict::Unknown { reason, .. } => {
             let report = fuzz_equiv_with(fsmd, fuzz);
@@ -197,8 +234,10 @@ fn settle(verdict: ProveVerdict, fsmd: &Fsmd, fuzz: &FuzzConfig) -> VerifyReport
 pub struct ExploreProver {
     prove: ProveOptions,
     fuzz: FuzzConfig,
+    cross_check: bool,
     groups: Mutex<HashMap<String, Vec<Arc<ProofGroup>>>>,
     counters: Mutex<ProverStats>,
+    cache: Option<Arc<ProofCache>>,
 }
 
 /// One shared-function group: the prebuilt IR context plus the verdicts
@@ -236,9 +275,61 @@ impl ExploreProver {
         ExploreProver {
             prove,
             fuzz,
+            cross_check: false,
             groups: Mutex::new(HashMap::new()),
             counters: Mutex::new(ProverStats::default()),
+            cache: None,
         }
+    }
+
+    /// Attaches a shared [`ProofCache`]: a third memo layer that, unlike
+    /// the two sweep-scoped ones, survives across sweeps (and across
+    /// restarts when the cache persists). Sound for any knob setting —
+    /// the cache key carries a tag derived from the exact prove/fuzz
+    /// configuration (see [`ExploreProver::options_tag`]), so differently
+    /// configured provers never read each other's verdicts.
+    pub fn with_cache(mut self, cache: Arc<ProofCache>) -> ExploreProver {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Cross-check every fresh *proved* verdict with the differential
+    /// fuzz campaign (the prover and the simulators are independent
+    /// oracles; agreement defends against a bug in either). Passing
+    /// reports keep their exact `Proved` shape, so cross-checking is
+    /// observable only in wall time — and in the one case that matters,
+    /// where the oracles disagree and the report becomes a fuzz
+    /// counterexample.
+    pub fn with_cross_check(mut self) -> ExploreProver {
+        self.cross_check = true;
+        self
+    }
+
+    /// The cache-key tag naming this prover's exact configuration.
+    ///
+    /// Defaults map to [`DEFAULT_OPTIONS_TAG`] (sharing verdicts with
+    /// [`verify_equiv_cached`]); any other setting gets a tag spelling
+    /// out every knob, so a verdict can only ever be replayed under the
+    /// configuration that produced it.
+    pub fn options_tag(&self) -> String {
+        let default = ProveOptions::default();
+        let dfuzz = FuzzConfig::default();
+        if !self.cross_check
+            && self.prove.max_blast_bits == default.max_blast_bits
+            && self.fuzz.seed == dfuzz.seed
+            && self.fuzz.iterations == dfuzz.iterations
+            && self.fuzz.max_calls == dfuzz.max_calls
+        {
+            return DEFAULT_OPTIONS_TAG.to_string();
+        }
+        format!(
+            "blast{};fuzz{:x}:{}:{};xcheck{}",
+            self.prove.max_blast_bits,
+            self.fuzz.seed,
+            self.fuzz.iterations,
+            self.fuzz.max_calls,
+            self.cross_check
+        )
     }
 
     /// [`verify_equiv`] through both memo layers. `directives` must be
@@ -257,12 +348,32 @@ impl ExploreProver {
             self.counters.lock().unwrap().memo_hits += 1;
             return hit.1.clone();
         }
+        let key = self
+            .cache
+            .as_ref()
+            .map(|_| fsmd_key(fsmd, &self.options_tag()));
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            if let Some(report) = cache.get_fsmd(key) {
+                // Seed the structural memo so this machine's clock twins
+                // hit the cheaper in-sweep layer from now on.
+                group
+                    .machines
+                    .lock()
+                    .unwrap()
+                    .push((fsmd.clone(), report.clone()));
+                return report;
+            }
+        }
         let report = settle(
             prove_equiv_in(&group.ctx, fsmd, &self.prove),
             fsmd,
             &self.fuzz,
+            self.cross_check,
         );
         self.counters.lock().unwrap().proofs += 1;
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            cache.put_fsmd(key, &report);
+        }
         group
             .machines
             .lock()
@@ -316,10 +427,45 @@ pub struct EquivGate;
 
 impl PassHook for EquivGate {
     fn after_pass(&self, pass: &str, state: &PipelineState, diags: &mut Diagnostics) {
+        gate_after_pass(pass, state, diags, None);
+    }
+}
+
+/// [`EquivGate`] with a shared [`ProofCache`]: identical gating
+/// semantics and byte-identical diagnostics, but netlist obligations
+/// and the end-to-end FSMD proof replay cached verdicts — across
+/// repeated synthesis runs, serve requests and (with a persistent
+/// cache) daemon restarts.
+#[derive(Debug, Clone)]
+pub struct CachedEquivGate {
+    cache: Arc<ProofCache>,
+}
+
+impl CachedEquivGate {
+    /// A gate sharing `cache`.
+    pub fn new(cache: Arc<ProofCache>) -> CachedEquivGate {
+        CachedEquivGate { cache }
+    }
+}
+
+impl PassHook for CachedEquivGate {
+    fn after_pass(&self, pass: &str, state: &PipelineState, diags: &mut Diagnostics) {
+        gate_after_pass(pass, state, diags, Some(&self.cache));
+    }
+}
+
+/// Shared body of the cached and uncached gates.
+fn gate_after_pass(
+    pass: &str,
+    state: &PipelineState,
+    diags: &mut Diagnostics,
+    cache: Option<&ProofCache>,
+) {
+    {
         if pass == "netlist-opt" {
             let obligations = state
-                .artifact::<Vec<hls_core::NetlistObligation>>("netlist-obligations")
-                .map(Vec::as_slice)
+                .artifact::<std::sync::Arc<Vec<hls_core::NetlistObligation>>>("netlist-obligations")
+                .map(|obs| obs.as_slice())
                 .unwrap_or_default();
             if obligations.is_empty() {
                 return;
@@ -329,7 +475,11 @@ impl PassHook for EquivGate {
             let mut unknown: Vec<String> = Vec::new();
             for (ob, verdict) in obligations
                 .iter()
-                .zip(crate::check_netlist_obligations(obligations, &opts))
+                .zip(crate::check_netlist_obligations_cached(
+                    obligations,
+                    &opts,
+                    cache,
+                ))
             {
                 match verdict {
                     ProveVerdict::Proved { .. } => proved += 1,
@@ -370,7 +520,10 @@ impl PassHook for EquivGate {
             return;
         };
         let fsmd = Fsmd::from_synthesis(&result);
-        let report = verify_equiv(&fsmd);
+        let report = match cache {
+            Some(cache) => verify_equiv_cached(&fsmd, cache),
+            None => verify_equiv(&fsmd),
+        };
         if report.passed() {
             diags.push(Diagnostic::note("equiv-ok", report.describe()));
         } else {
@@ -391,7 +544,19 @@ pub fn explore_verified(
     config: &ExploreConfig,
     lib: &TechLibrary,
 ) -> ExploreResult {
-    let prover = ExploreProver::new();
+    explore_verified_with(func, config, lib, &ExploreProver::new())
+}
+
+/// [`explore_verified`] with a caller-owned [`ExploreProver`], so one
+/// prover (and through [`ExploreProver::with_cache`], one proof cache)
+/// can span several sweeps — warm re-sweeps replay verdicts instead of
+/// re-proving clock twins and repeated machines from scratch.
+pub fn explore_verified_with(
+    func: &Function,
+    config: &ExploreConfig,
+    lib: &TechLibrary,
+    prover: &ExploreProver,
+) -> ExploreResult {
     explore_with_check(func, config, lib, &|_, d, _, result| {
         let fsmd = Fsmd::from_synthesis(result);
         let report = prover.verify(d, &fsmd);

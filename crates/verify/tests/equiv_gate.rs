@@ -81,7 +81,7 @@ fn gate_vetoes_an_unsound_netlist_rewrite() {
     let ob = hls_core::apply_unsound_rewrite_for_selftest(&mut low)
         .expect("diff kernel has a subtraction to corrupt");
     let mut state = PipelineState::new(&f, &d, &TechLibrary::asic_100mhz());
-    state.put_artifact("netlist-obligations", vec![ob]);
+    state.put_artifact("netlist-obligations", std::sync::Arc::new(vec![ob]));
     let mut diags = hls_core::Diagnostics::default();
     EquivGate.after_pass("netlist-opt", &state, &mut diags);
     let err = diags

@@ -22,6 +22,7 @@ fn sweep() -> ExploreConfig {
         per_loop_refinement: true,
         verify: VerifyLevel::All,
         budget: None,
+        cache: None,
         loop_grids: None,
     }
 }
