@@ -1,0 +1,206 @@
+//! Stream-system measurement: synthesizes the stream workloads
+//! (CORDIC rotator, FIR line) to handshake-shelled modules, composes
+//! the CORDIC -> FIR chain, and measures what the stream interface
+//! costs and buys:
+//!
+//! - per-module rows (Table-1 style): core latency, shell latency,
+//!   core area, handshake overhead area and percentage, across each
+//!   workload's architecture sweep;
+//! - composed-chain throughput (cycles for a token batch) against the
+//!   sum-of-parts serial bound, i.e. the pipelining win;
+//! - a latency-insensitivity check (100 randomized backpressure/depth
+//!   schedules) and bit-equality of the hardware token streams against
+//!   the dsp software reference.
+//!
+//! The machine-readable record goes to `BENCH_stream.json` at the repo
+//! root. The binary is the CI smoke for the stream layer: it exits
+//! non-zero unless the LI check passes all runs, the composed chain
+//! beats the serial bound, the outputs are bit-identical to software,
+//! and a nonzero handshake overhead is actually reported.
+
+use std::collections::BTreeMap;
+
+use fixpt::Fixed;
+use hls_core::TechLibrary;
+use hls_ir::Slot;
+use hls_stream::{
+    check_latency_insensitivity, synthesize_stream, synthesize_stream_sweep, ChannelCfg, LiConfig,
+    StallPlan, SystemGraph, SystemSim,
+};
+
+const ITERS: u32 = 8;
+const NTAPS: usize = 8;
+const TOKENS: usize = 24;
+const MAX_CYCLES: u64 = 4_000_000;
+
+fn build_system(lib: &TechLibrary) -> SystemGraph {
+    let cordic = dsp::cordic_stream(ITERS);
+    let fir = dsp::fir_stream(NTAPS);
+    let cordic = synthesize_stream(&cordic.func, &cordic.directives, lib).expect("cordic");
+    let fir = synthesize_stream(&fir.func, &fir.directives, lib).expect("fir");
+    let mut g = SystemGraph::new("cordic_fir_system");
+    let rot = g.add_module("rot", cordic).expect("fresh");
+    let line = g.add_module("line", fir).expect("fresh");
+    g.connect(rot, "xout", line, "x", ChannelCfg::default())
+        .expect("compatible");
+    g.expose_input("xin", rot, "xin").expect("wires");
+    g.expose_input("yin", rot, "yin").expect("wires");
+    g.expose_input("zin", rot, "zin").expect("wires");
+    g.expose_output("rot_y", rot, "yout").expect("wires");
+    g.expose_output("fir_y", line, "y").expect("wires");
+    g
+}
+
+fn stimulus(n: usize) -> BTreeMap<String, Vec<Slot>> {
+    let fmt = dsp::stream_data_format();
+    let fx = |v: f64| Slot::Scalar(Fixed::from_f64(v, fmt));
+    let mut xin = Vec::new();
+    let mut yin = Vec::new();
+    let mut zin = Vec::new();
+    for i in 0..n {
+        let t = i as f64;
+        xin.push(fx(0.9 * (0.13 * t).cos()));
+        yin.push(fx(0.7 * (0.29 * t).sin()));
+        zin.push(fx(1.4 * (0.41 * t + 0.2).sin()));
+    }
+    BTreeMap::from([
+        ("xin".to_string(), xin),
+        ("yin".to_string(), yin),
+        ("zin".to_string(), zin),
+    ])
+}
+
+fn reference(inputs: &BTreeMap<String, Vec<Slot>>) -> (Vec<Slot>, Vec<Slot>) {
+    let scalar = |s: &Slot| match s {
+        Slot::Scalar(v) => *v,
+        Slot::Array(_) => unreachable!("stimulus is scalar"),
+    };
+    let mut fir = dsp::FirStreamRef::new(NTAPS);
+    let mut rot_y = Vec::new();
+    let mut fir_y = Vec::new();
+    for ((x, y), z) in inputs["xin"].iter().zip(&inputs["yin"]).zip(&inputs["zin"]) {
+        let (xo, yo) = dsp::cordic_rot_reference(scalar(x), scalar(y), scalar(z), ITERS);
+        rot_y.push(Slot::Scalar(yo));
+        fir_y.push(Slot::Scalar(fir.push(xo)));
+    }
+    (rot_y, fir_y)
+}
+
+fn main() {
+    let lib = TechLibrary::asic_100mhz();
+
+    // Per-module handshake-overhead rows across each workload's sweep.
+    let mut rows = Vec::new();
+    let mut overhead_reported = false;
+    for w in dsp::stream_workloads() {
+        let sweep = synthesize_stream_sweep(&w.func, &w.architectures, &lib)
+            .unwrap_or_else(|e| panic!("{} sweep fails: {e}", w.name));
+        for (arch, m) in &sweep {
+            let s = &m.shell;
+            if s.overhead_area > 0.0 {
+                overhead_reported = true;
+            }
+            println!(
+                "== {}/{arch} ==  core {} cyc / area {:.0}; shell {} cyc, \
+                 overhead {:.0} ({:.1}%)",
+                w.name,
+                s.core_latency,
+                s.core_area,
+                s.shell_latency,
+                s.overhead_area,
+                s.overhead_pct()
+            );
+            rows.push(format!(
+                "{{\"workload\":\"{}\",\"arch\":\"{arch}\",\"core_latency\":{},\
+                 \"shell_latency\":{},\"core_area\":{:.2},\"overhead_area\":{:.2},\
+                 \"overhead_pct\":{:.3},\"inputs\":{},\"outputs\":{}}}",
+                w.name,
+                s.core_latency,
+                s.shell_latency,
+                s.core_area,
+                s.overhead_area,
+                s.overhead_pct(),
+                s.inputs.len(),
+                s.outputs.len()
+            ));
+        }
+    }
+
+    // Composed chain: throughput against the serialized sum-of-parts.
+    let graph = build_system(&lib);
+    let inputs = stimulus(TOKENS);
+    let (rot_y_ref, fir_y_ref) = reference(&inputs);
+    let run = SystemSim::new(&graph)
+        .expect("valid graph")
+        .run(&inputs, &StallPlan::none(), MAX_CYCLES)
+        .expect("system drains");
+    let shell_lats: Vec<u64> = ["rot", "line"]
+        .iter()
+        .map(|n| graph.shell(n).expect("instance").shell_latency)
+        .collect();
+    let serial_bound: u64 = TOKENS as u64 * shell_lats.iter().sum::<u64>();
+    let bit_identical = run.outputs["rot_y"] == rot_y_ref && run.outputs["fir_y"] == fir_y_ref;
+    println!(
+        "== cordic_fir_system ==  {} tokens in {} cycles (serial bound {}); \
+         bit-identical to software reference: {bit_identical}",
+        TOKENS, run.cycles, serial_bound
+    );
+
+    // Latency insensitivity under randomized backpressure and depths.
+    let li_cfg = LiConfig {
+        max_cycles: MAX_CYCLES,
+        ..LiConfig::default()
+    };
+    let li = check_latency_insensitivity(&graph, &stimulus(12), &li_cfg).expect("baseline drains");
+    println!(
+        "== latency insensitivity ==  {} randomized runs, {} failures \
+         (baseline {} cycles)",
+        li.runs,
+        li.failures.len(),
+        li.baseline_cycles
+    );
+    for f in li.failures.iter().take(3) {
+        println!("  [LI FAIL] run {}: {}", f.run, f.detail);
+    }
+
+    let json = format!(
+        "{{\"modules\":[{}],\"system\":{{\"tokens\":{TOKENS},\"cycles\":{},\
+         \"serial_bound_cycles\":{serial_bound},\"pipelining_speedup\":{:.3},\
+         \"bit_identical\":{bit_identical},\"firings\":{{\"rot\":{},\"line\":{}}}}},\
+         \"latency_insensitivity\":{{\"runs\":{},\"failures\":{},\
+         \"baseline_cycles\":{}}}}}\n",
+        rows.join(","),
+        run.cycles,
+        serial_bound as f64 / run.cycles as f64,
+        run.firings["rot"],
+        run.firings["line"],
+        li.runs,
+        li.failures.len(),
+        li.baseline_cycles
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream.json");
+    std::fs::write(path, &json).expect("writes BENCH_stream.json");
+    println!(
+        "wrote BENCH_stream.json ({} module rows; speedup {:.2}x over serial)",
+        rows.len(),
+        serial_bound as f64 / run.cycles as f64
+    );
+
+    // CI smoke: correctness and a measurable stream win are hard gates.
+    assert!(
+        bit_identical,
+        "hardware token streams diverged from software"
+    );
+    assert!(li.passed(), "latency-insensitivity check failed");
+    assert!(li.runs >= 100, "LI check must cover at least 100 schedules");
+    assert!(
+        run.cycles < serial_bound,
+        "composed chain did not pipeline: {} cycles >= serialized {}",
+        run.cycles,
+        serial_bound
+    );
+    assert!(
+        overhead_reported,
+        "handshake overhead was never reported non-zero"
+    );
+}

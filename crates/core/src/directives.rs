@@ -96,6 +96,34 @@ pub enum InterfaceKind {
     Stream,
 }
 
+/// Stream-shell interface synthesis: wrap the synthesized FSMD in a
+/// ready/valid handshake shell so the design can be composed into
+/// multi-module dataflow systems (the paper's "interface synthesis"
+/// directive, extended from single transfers to full token streams).
+///
+/// One *token* on the input side carries the values of every `In`
+/// parameter; one output token carries every `Out` parameter. The shell
+/// stalls the core on `!in_valid` / `!out_ready` and adds a registered
+/// output stage so `ready` never combinationally depends on `valid`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamInterface {
+    /// Default depth of FIFO channels attached to this module's ports
+    /// (clamped to ≥ 1 by [`Directives::stream_interface`]).
+    pub fifo_depth: u32,
+    /// Default first-word-fall-through mode for attached channels: a
+    /// token pushed this cycle is visible to the consumer this cycle.
+    pub fall_through: bool,
+}
+
+impl Default for StreamInterface {
+    fn default() -> Self {
+        StreamInterface {
+            fifo_depth: 2,
+            fall_through: false,
+        }
+    }
+}
+
 /// The complete directive set for one synthesis run.
 ///
 /// # Examples
@@ -129,6 +157,11 @@ pub struct Directives {
     /// Netlist optimization between lowering and scheduling (default on
     /// at [`OptLevel::Full`]; part of the canonical request digest).
     pub netlist_opt: NetlistOptConfig,
+    /// Stream-interface synthesis: when set, the `stream-shell` pass
+    /// wraps the FSMD in a ready/valid handshake shell (`None` keeps the
+    /// classic start/done call interface). Part of the canonical request
+    /// digest, so shelled and unshelled artifacts can never alias.
+    pub stream: Option<StreamInterface>,
 }
 
 impl Directives {
@@ -144,7 +177,18 @@ impl Directives {
             interfaces: BTreeMap::new(),
             fu_limits: BTreeMap::new(),
             netlist_opt: NetlistOptConfig::default(),
+            stream: None,
         }
+    }
+
+    /// Requests stream-interface synthesis with the given default FIFO
+    /// depth (clamped to ≥ 1) and fall-through mode.
+    pub fn stream_interface(mut self, fifo_depth: u32, fall_through: bool) -> Self {
+        self.stream = Some(StreamInterface {
+            fifo_depth: fifo_depth.max(1),
+            fall_through,
+        });
+        self
     }
 
     /// Sets the netlist optimization level.
@@ -315,6 +359,16 @@ impl Directives {
             ("interfaces", Json::Obj(interfaces)),
             ("fu_limits", Json::Obj(fu_limits)),
             ("netlist_opt", self.netlist_opt.to_json()),
+            (
+                "stream",
+                match &self.stream {
+                    None => Json::Null,
+                    Some(s) => Json::obj(vec![
+                        ("fifo_depth", Json::count(s.fifo_depth as u64)),
+                        ("fall_through", Json::Bool(s.fall_through)),
+                    ]),
+                },
+            ),
         ])
     }
 
@@ -402,6 +456,26 @@ impl Directives {
             d.netlist_opt =
                 NetlistOptConfig::from_json(n).map_err(|e| format!("directives: {e}"))?;
         }
+        match v.get("stream") {
+            // Absent key => no stream shell (older serialized forms).
+            None | Some(Json::Null) => {}
+            Some(s) => {
+                let depth = s
+                    .get("fifo_depth")
+                    .and_then(Json::as_u64)
+                    .ok_or("directives: stream needs a numeric fifo_depth")?;
+                if depth == 0 {
+                    return Err("directives: stream fifo_depth must be >= 1".into());
+                }
+                d.stream = Some(StreamInterface {
+                    fifo_depth: depth as u32,
+                    fall_through: s
+                        .get("fall_through")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false),
+                });
+            }
+        }
         Ok(d)
     }
 }
@@ -444,6 +518,44 @@ mod tests {
         assert_eq!(d.loop_directive("ffe").pipeline_ii, None);
         assert_eq!(d.loop_directive("dfe").unroll, Unroll::None);
         assert_eq!(d.loop_directive("dfe").pipeline_ii, Some(2));
+    }
+
+    #[test]
+    fn stream_directive_round_trips_and_defaults_off() {
+        let plain = Directives::new(10.0);
+        assert_eq!(plain.stream, None);
+        // Absent key in older serialized forms => None.
+        let back = Directives::from_json(&plain.to_json()).unwrap();
+        assert_eq!(back.stream, None);
+
+        let d = Directives::new(10.0).stream_interface(4, true);
+        assert_eq!(
+            d.stream,
+            Some(StreamInterface {
+                fifo_depth: 4,
+                fall_through: true
+            })
+        );
+        let back = Directives::from_json(&d.to_json()).unwrap();
+        assert_eq!(back, d);
+
+        // Depth is clamped to >= 1 by the builder and rejected at 0 in JSON.
+        assert_eq!(
+            Directives::new(10.0).stream_interface(0, false).stream,
+            Some(StreamInterface {
+                fifo_depth: 1,
+                fall_through: false
+            })
+        );
+        let mut bad = d.to_json();
+        if let Json::Obj(pairs) = &mut bad {
+            for (k, v) in pairs.iter_mut() {
+                if k == "stream" {
+                    *v = Json::obj(vec![("fifo_depth", Json::count(0))]);
+                }
+            }
+        }
+        assert!(Directives::from_json(&bad).is_err());
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub mod transform;
 
 pub use allocate::{allocate, Allocation, FuGroup};
 pub use bound::{bound_from_profile, bound_profile, lower_bound, BoundProfile, DesignBound};
-pub use directives::{ArrayMapping, Directives, InterfaceKind, LoopDirective, MergePolicy, Unroll};
+pub use directives::{
+    ArrayMapping, Directives, InterfaceKind, LoopDirective, MergePolicy, StreamInterface, Unroll,
+};
 pub use error::SynthesisError;
 pub use explore::{
     explore, explore_serial, explore_with_check, explore_with_check_serial, transform_signature,

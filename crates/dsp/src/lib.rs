@@ -35,6 +35,7 @@ mod metrics;
 mod pulse;
 mod qam;
 mod source;
+mod stream;
 
 pub use adaptive::{AdaptationRule, AdaptiveFir};
 pub use channel::{noise_std_for_esn0, Channel};
@@ -46,3 +47,8 @@ pub use metrics::{evm_rms, ErrorCounter, MseTrace};
 pub use pulse::{rrc_taps, MatchedRrc};
 pub use qam::{QamConstellation, QamOrderError, SymbolMapping};
 pub use source::{Prbs, SymbolSource};
+pub use stream::{
+    cordic_rot_reference, cordic_stream, cordic_stream_angles, fir_acc_format, fir_coef_format,
+    fir_stream, fir_stream_coefs, stream_data_format, stream_workloads, FirStreamRef,
+    StreamWorkload,
+};

@@ -1,0 +1,438 @@
+//! Streaming synthesis workloads: CORDIC rotation and a delay-line FIR
+//! as fixed-point IR builders, ready for stream-interface synthesis.
+//!
+//! The paper's case study is one 64-QAM decoder; these entry points open
+//! the multi-workload axis the ROADMAP calls for. Each workload carries
+//! a base directive set (including the `stream` interface directive) and
+//! a Table-1-style architecture sweep, so `explore`/`serve` treat them
+//! exactly like the decoder. Each also ships a bit-exact software
+//! reference mirroring the IR interpreter's fixed-point semantics —
+//! exact expression arithmetic, cast-on-assign — statement for
+//! statement, which is what the end-to-end stream-system equality checks
+//! in `hls-stream` compare against.
+//!
+//! Both kernels are written for the RTL back end's operator diet: shift
+//! amounts are compile-time constants (the CORDIC loop is emitted as
+//! straight-line micro-rotations, one constant shift pair per stage),
+//! and coefficients are fixed-point literals shared — via one table
+//! function — between the IR builder and the reference, so the two can
+//! never drift.
+
+use fixpt::{Fixed, Format};
+use hls_core::{Directives, Unroll};
+use hls_ir::{BinOp, CmpOp, Expr, Function, FunctionBuilder, Ty};
+
+/// Data format of the stream kernels' x/y/z values: s18.3 — range
+/// [-4, 4), 15 fractional bits. Headroom covers the un-compensated
+/// CORDIC gain (≈ 1.647) on unit-amplitude inputs.
+pub fn stream_data_format() -> Format {
+    Format::signed(18, 3)
+}
+
+/// Coefficient format of the FIR taps: s16.1, range [-1, 1).
+pub fn fir_coef_format() -> Format {
+    Format::signed(16, 1)
+}
+
+/// Accumulator format of the FIR MAC chain: s24.6.
+pub fn fir_acc_format() -> Format {
+    Format::signed(24, 6)
+}
+
+fn data_ty() -> Ty {
+    Ty::fixed(
+        stream_data_format().width(),
+        stream_data_format().int_bits(),
+    )
+}
+
+/// One streaming workload: the IR function plus its base directive set
+/// (which always carries the stream-interface directive) and a
+/// Table-1-style sweep of architecture variants.
+#[derive(Debug, Clone)]
+pub struct StreamWorkload {
+    /// Workload name (the IR function's name).
+    pub name: String,
+    /// The untimed IR.
+    pub func: Function,
+    /// Base directives: target clock plus the stream-interface request.
+    pub directives: Directives,
+    /// Architecture sweep: `(variant name, directives)` rows, the first
+    /// being the base set — the stream counterpart of the paper's
+    /// Table 1 so explore/serve can sweep each workload.
+    pub architectures: Vec<(String, Directives)>,
+}
+
+/// The CORDIC micro-rotation angle table `atan(2^-i)` quantized to the
+/// stream data format — the one table both the IR builder and the
+/// software reference read, so constants cannot drift between them.
+pub fn cordic_stream_angles(iterations: u32) -> Vec<Fixed> {
+    (0..iterations)
+        .map(|i| Fixed::from_f64((2f64.powi(-(i as i32))).atan(), stream_data_format()))
+        .collect()
+}
+
+/// Builds the streaming CORDIC rotator: token in = `(xin, yin, zin)`,
+/// token out = `(xout, yout)` — the input vector rotated by `zin`
+/// radians, scaled by the (un-compensated) CORDIC gain.
+///
+/// The `iterations` micro-rotations are emitted as straight-line code so
+/// every `>> i` has a constant amount (the RTL back end does not emit
+/// variable shifts); gain compensation is left to the consumer, as in
+/// multiplierless hardware practice.
+///
+/// # Panics
+///
+/// Panics unless `1 <= iterations <= 16`.
+pub fn cordic_stream(iterations: u32) -> StreamWorkload {
+    assert!(
+        (1..=16).contains(&iterations),
+        "iterations must be 1..=16, got {iterations}"
+    );
+    let ty = data_ty();
+    let angles = cordic_stream_angles(iterations);
+    let zero = Fixed::zero(stream_data_format());
+
+    let mut b = FunctionBuilder::new("cordic_rot");
+    let xin = b.param_scalar("xin", ty);
+    let yin = b.param_scalar("yin", ty);
+    let zin = b.param_scalar("zin", ty);
+    let xout = b.param_scalar("xout", ty);
+    let yout = b.param_scalar("yout", ty);
+    let x = b.local("x", ty);
+    let y = b.local("y", ty);
+    let z = b.local("z", ty);
+    b.assign(x, Expr::var(xin));
+    b.assign(y, Expr::var(yin));
+    b.assign(z, Expr::var(zin));
+    for i in 0..iterations {
+        let shr = |v| Expr::Binary {
+            op: BinOp::Shr,
+            lhs: Box::new(Expr::var(v)),
+            rhs: Box::new(Expr::int_const(i as i64)),
+        };
+        let d = || Expr::cmp(CmpOp::Ge, Expr::var(z), Expr::Const(zero));
+        // y and z read the *old* x, so x's update lands in a temporary
+        // until both are written.
+        let tx = b.local(format!("tx{i}"), ty);
+        b.assign(
+            tx,
+            Expr::select(
+                d(),
+                Expr::sub(Expr::var(x), shr(y)),
+                Expr::add(Expr::var(x), shr(y)),
+            ),
+        );
+        b.assign(
+            y,
+            Expr::select(
+                d(),
+                Expr::add(Expr::var(y), shr(x)),
+                Expr::sub(Expr::var(y), shr(x)),
+            ),
+        );
+        b.assign(x, Expr::var(tx));
+        b.assign(
+            z,
+            Expr::select(
+                d(),
+                Expr::sub(Expr::var(z), Expr::Const(angles[i as usize])),
+                Expr::add(Expr::var(z), Expr::Const(angles[i as usize])),
+            ),
+        );
+    }
+    b.assign(xout, Expr::var(x));
+    b.assign(yout, Expr::var(y));
+    let func = b.build();
+
+    let directives = Directives::new(10.0).stream_interface(2, false);
+    let architectures = vec![
+        ("base".to_string(), directives.clone()),
+        (
+            "fast-clock".to_string(),
+            Directives::new(5.0).stream_interface(2, false),
+        ),
+    ];
+    StreamWorkload {
+        name: func.name.clone(),
+        func,
+        directives,
+        architectures,
+    }
+}
+
+/// Bit-exact software reference of [`cordic_stream`]: one token through
+/// the rotator, mirroring the interpreter's cast-on-assign semantics
+/// (every intermediate is cast back to [`stream_data_format`], shifts
+/// truncate in-format).
+pub fn cordic_rot_reference(xin: Fixed, yin: Fixed, zin: Fixed, iterations: u32) -> (Fixed, Fixed) {
+    let fmt = stream_data_format();
+    let angles = cordic_stream_angles(iterations);
+    let mut x = xin.cast(fmt);
+    let mut y = yin.cast(fmt);
+    let mut z = zin.cast(fmt);
+    for i in 0..iterations {
+        let xs = x.shr(i);
+        let ys = y.shr(i);
+        let d = !z.is_negative();
+        let nx = if d {
+            x.exact_sub(&ys)
+        } else {
+            x.exact_add(&ys)
+        }
+        .cast(fmt);
+        let ny = if d {
+            y.exact_add(&xs)
+        } else {
+            y.exact_sub(&xs)
+        }
+        .cast(fmt);
+        let nz = if d {
+            z.exact_sub(&angles[i as usize])
+        } else {
+            z.exact_add(&angles[i as usize])
+        }
+        .cast(fmt);
+        x = nx;
+        y = ny;
+        z = nz;
+    }
+    (x, y)
+}
+
+/// The default FIR tap set for `ntaps` taps: a unit-sum triangular
+/// (Bartlett) low-pass, quantized to [`fir_coef_format`]. One table for
+/// the IR builder and the reference.
+pub fn fir_stream_coefs(ntaps: usize) -> Vec<Fixed> {
+    let mid = (ntaps as f64 - 1.0) / 2.0;
+    let raw: Vec<f64> = (0..ntaps)
+        .map(|k| 1.0 - (k as f64 - mid).abs() / (mid + 1.0))
+        .collect();
+    let sum: f64 = raw.iter().sum();
+    raw.iter()
+        .map(|w| Fixed::from_f64(w / sum, fir_coef_format()))
+        .collect()
+}
+
+/// Builds the streaming delay-line FIR: token in = `x`, token out = `y`
+/// (the dot product of the last `ntaps` inputs with
+/// [`fir_stream_coefs`]). The delay line is a static array — state that
+/// persists across tokens, which is exactly what distinguishes a stream
+/// module from a pure function — shifted by the `fir_shift` loop and
+/// accumulated by the `fir_mac` loop, both sweepable via unroll
+/// directives.
+///
+/// # Panics
+///
+/// Panics unless `2 <= ntaps <= 64`.
+pub fn fir_stream(ntaps: usize) -> StreamWorkload {
+    assert!(
+        (2..=64).contains(&ntaps),
+        "ntaps must be 2..=64, got {ntaps}"
+    );
+    let ty = data_ty();
+    let coef_ty = Ty::fixed(fir_coef_format().width(), fir_coef_format().int_bits());
+    let acc_ty = Ty::fixed(fir_acc_format().width(), fir_acc_format().int_bits());
+    let coefs = fir_stream_coefs(ntaps);
+
+    let mut b = FunctionBuilder::new("fir_line");
+    let x = b.param_scalar("x", ty);
+    let y = b.param_scalar("y", ty);
+    let dl = b.static_array("dl", ty, ntaps);
+    let coef = b.local_array("coef", coef_ty, ntaps);
+    let acc = b.local("acc", acc_ty);
+    for (k, c) in coefs.iter().enumerate() {
+        b.store(coef, Expr::int_const(k as i64), Expr::Const(*c));
+    }
+    b.for_loop("fir_shift", ntaps as i64 - 2, CmpOp::Ge, 0, -1, |b, k| {
+        b.store(
+            dl,
+            Expr::add(Expr::var(k), Expr::int_const(1)),
+            Expr::load(dl, Expr::var(k)),
+        );
+    });
+    b.store(dl, Expr::int_const(0), Expr::var(x));
+    b.assign(acc, Expr::Const(Fixed::zero(fir_acc_format())));
+    b.for_loop("fir_mac", 0, CmpOp::Lt, ntaps as i64, 1, |b, k| {
+        b.assign(
+            acc,
+            Expr::add(
+                Expr::var(acc),
+                Expr::mul(Expr::load(dl, Expr::var(k)), Expr::load(coef, Expr::var(k))),
+            ),
+        );
+    });
+    b.assign(y, Expr::var(acc));
+    let func = b.build();
+
+    let directives = Directives::new(10.0).stream_interface(2, false);
+    let architectures = vec![
+        ("base".to_string(), directives.clone()),
+        (
+            "mac-u2".to_string(),
+            directives
+                .clone()
+                .unroll("fir_mac", Unroll::Factor(2))
+                .unroll("fir_shift", Unroll::Factor(2)),
+        ),
+        (
+            "mac-full".to_string(),
+            directives
+                .clone()
+                .unroll("fir_mac", Unroll::Full)
+                .unroll("fir_shift", Unroll::Full),
+        ),
+    ];
+    StreamWorkload {
+        name: func.name.clone(),
+        func,
+        directives,
+        architectures,
+    }
+}
+
+/// Bit-exact software reference of [`fir_stream`]: holds the delay line
+/// the static array holds in hardware; [`FirStreamRef::push`] is one
+/// token through the filter with interpreter-identical fixed-point
+/// semantics.
+#[derive(Debug, Clone)]
+pub struct FirStreamRef {
+    dl: Vec<Fixed>,
+    coefs: Vec<Fixed>,
+}
+
+impl FirStreamRef {
+    /// A fresh filter (delay line zeroed, as static storage resets).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= ntaps <= 64` (mirrors [`fir_stream`]).
+    pub fn new(ntaps: usize) -> Self {
+        assert!((2..=64).contains(&ntaps), "ntaps must be 2..=64");
+        FirStreamRef {
+            dl: vec![Fixed::zero(stream_data_format()); ntaps],
+            coefs: fir_stream_coefs(ntaps),
+        }
+    }
+
+    /// Pushes one input token and returns the output token.
+    pub fn push(&mut self, x: Fixed) -> Fixed {
+        let n = self.dl.len();
+        for k in (0..n - 1).rev() {
+            self.dl[k + 1] = self.dl[k];
+        }
+        self.dl[0] = x.cast(stream_data_format());
+        let mut acc = Fixed::zero(fir_acc_format());
+        for k in 0..n {
+            acc = acc
+                .exact_add(&self.dl[k].exact_mul(&self.coefs[k]))
+                .cast(fir_acc_format());
+        }
+        acc.cast(stream_data_format())
+    }
+}
+
+/// The stream workload set explore/serve sweeps: the 8-iteration CORDIC
+/// rotator and the 8-tap FIR.
+pub fn stream_workloads() -> Vec<StreamWorkload> {
+    vec![cordic_stream(8), fir_stream(8)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex;
+    use hls_ir::{Interpreter, Slot};
+
+    fn fx(v: f64) -> Fixed {
+        Fixed::from_f64(v, stream_data_format())
+    }
+
+    #[test]
+    fn cordic_ir_matches_reference_bit_for_bit() {
+        let w = cordic_stream(8);
+        let mut interp = Interpreter::new(w.func.clone());
+        let (xin, yin, zin, xout, yout) = (
+            w.func.params[0],
+            w.func.params[1],
+            w.func.params[2],
+            w.func.params[3],
+            w.func.params[4],
+        );
+        for (xi, yi, zi) in [
+            (0.5, 0.0, std::f64::consts::FRAC_PI_4),
+            (0.25, -0.5, -1.2),
+            (-0.7, 0.3, 0.1),
+            (0.0, 0.0, 0.0),
+            (0.6, 0.6, -0.4),
+        ] {
+            let out = interp
+                .call(&[
+                    (xin, Slot::Scalar(fx(xi))),
+                    (yin, Slot::Scalar(fx(yi))),
+                    (zin, Slot::Scalar(fx(zi))),
+                ])
+                .expect("interprets");
+            let (rx, ry) = cordic_rot_reference(fx(xi), fx(yi), fx(zi), 8);
+            assert_eq!(out[&xout], Slot::Scalar(rx), "x for ({xi},{yi},{zi})");
+            assert_eq!(out[&yout], Slot::Scalar(ry), "y for ({xi},{yi},{zi})");
+        }
+    }
+
+    #[test]
+    fn cordic_reference_approximates_float_rotation() {
+        // The fixed-point rotator ≈ gain * float rotation; 8 iterations
+        // give ~2^-8 angular resolution, s18.3 gives 15 fractional bits.
+        let float = crate::Cordic::new(8);
+        let gain = float.gain();
+        for angle in [-1.2, -0.5, 0.0, 0.3, 0.8, 1.4] {
+            let (x, y) = cordic_rot_reference(fx(0.5), fx(-0.25), fx(angle), 8);
+            let want = Complex::new(0.5, -0.25) * Complex::new(angle.cos(), angle.sin());
+            assert!(
+                (x.to_f64() - gain * want.re).abs() < 0.02,
+                "angle {angle}: {} vs {}",
+                x.to_f64(),
+                gain * want.re
+            );
+            assert!(
+                (y.to_f64() - gain * want.im).abs() < 0.02,
+                "angle {angle}: {} vs {}",
+                y.to_f64(),
+                gain * want.im
+            );
+        }
+    }
+
+    #[test]
+    fn fir_ir_matches_reference_across_a_token_stream() {
+        // Statics persist across interpreter calls exactly like the
+        // hardware delay line persists across tokens.
+        let w = fir_stream(8);
+        let mut interp = Interpreter::new(w.func.clone());
+        let (x, y) = (w.func.params[0], w.func.params[1]);
+        let mut reference = FirStreamRef::new(8);
+        for k in 0..32 {
+            let v = fx(((k * 37) % 17) as f64 / 8.0 - 1.0);
+            let out = interp.call(&[(x, Slot::Scalar(v))]).expect("interprets");
+            let want = reference.push(v);
+            assert_eq!(out[&y], Slot::Scalar(want), "token {k}");
+        }
+    }
+
+    #[test]
+    fn fir_coefs_sum_to_one() {
+        let sum: f64 = fir_stream_coefs(8).iter().map(Fixed::to_f64).sum();
+        assert!((sum - 1.0).abs() < 0.01, "{sum}");
+    }
+
+    #[test]
+    fn workloads_carry_stream_directives() {
+        for w in stream_workloads() {
+            assert!(w.directives.stream.is_some(), "{}", w.name);
+            assert!(!w.architectures.is_empty(), "{}", w.name);
+            for (name, d) in &w.architectures {
+                assert!(d.stream.is_some(), "{}/{name}", w.name);
+            }
+        }
+    }
+}

@@ -68,12 +68,20 @@ impl WaveSource for CompiledSim {
 /// A waveform recorder: snapshot the simulator after every call (or at any
 /// cadence you like) and serialize to VCD text.
 ///
-/// Arrays are flattened to one signal per element.
+/// Arrays are flattened to one signal per element. A recorder is either
+/// *flat* (one design, [`VcdRecorder::new`]) or a *system* recorder
+/// ([`VcdRecorder::new_system`]) covering several module instances, each
+/// emitted as its own nested `$scope module` so a composed stream system
+/// dumps one waveform with per-module scopes.
 #[derive(Debug, Clone)]
 pub struct VcdRecorder {
-    /// Signal order: (display name, width, source).
-    signals: Vec<(String, u32, Source)>,
-    /// Sample times (ns) and values (two's-complement mantissas).
+    /// Instance names of a system recorder, one nested scope per entry;
+    /// empty for a flat single-design recorder.
+    scopes: Vec<String>,
+    /// Signal order: (scope index, display name, width, source). The
+    /// scope index is 0 (and unused) in a flat recorder.
+    signals: Vec<(usize, String, u32, Source)>,
+    /// Sample times (cycles) and values (two's-complement mantissas).
     samples: Vec<(u64, Vec<i128>)>,
     clock_ns: f64,
 }
@@ -84,27 +92,61 @@ enum Source {
     ArrayElem(VarId, usize),
 }
 
+/// The flattened signal list of one design: every scalar register and
+/// array element, under the given scope index.
+fn design_signals(scope: usize, func: &hls_ir::Function) -> Vec<(usize, String, u32, Source)> {
+    let mut signals = Vec::new();
+    for (id, v) in func.iter_vars() {
+        let w = v.ty.width();
+        match v.len {
+            None => signals.push((scope, v.name.clone(), w, Source::Reg(id))),
+            Some(n) => {
+                for i in 0..n {
+                    signals.push((
+                        scope,
+                        format!("{}_{i}", v.name),
+                        w,
+                        Source::ArrayElem(id, i),
+                    ));
+                }
+            }
+        }
+    }
+    signals
+}
+
 impl VcdRecorder {
     /// Creates a recorder for every scalar register and array element of
     /// the design under `sim` (either simulation engine).
     pub fn new(sim: &impl WaveSource) -> Self {
-        let func = sim.function();
-        let mut signals = Vec::new();
-        for (id, v) in func.iter_vars() {
-            let w = v.ty.width();
-            match v.len {
-                None => signals.push((v.name.clone(), w, Source::Reg(id))),
-                Some(n) => {
-                    for i in 0..n {
-                        signals.push((format!("{}_{i}", v.name), w, Source::ArrayElem(id, i)));
-                    }
-                }
-            }
-        }
         VcdRecorder {
-            signals,
+            scopes: Vec::new(),
+            signals: design_signals(0, sim.function()),
             samples: Vec::new(),
             clock_ns: sim.clock_ns(),
+        }
+    }
+
+    /// Creates a system recorder over several module instances. Each
+    /// `(instance name, simulator)` pair becomes one nested scope; sample
+    /// with [`VcdRecorder::snapshot_system`], passing the simulators in
+    /// the same order. The timestamp scale is the first module's clock
+    /// (a composed system is synchronous on one clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `modules` is empty.
+    pub fn new_system(modules: &[(&str, &dyn WaveSource)]) -> Self {
+        assert!(!modules.is_empty(), "system recorder needs >= 1 module");
+        let mut signals = Vec::new();
+        for (scope, (_, sim)) in modules.iter().enumerate() {
+            signals.extend(design_signals(scope, sim.function()));
+        }
+        VcdRecorder {
+            scopes: modules.iter().map(|(n, _)| n.to_string()).collect(),
+            signals,
+            samples: Vec::new(),
+            clock_ns: modules[0].1.clock_ns(),
         }
     }
 
@@ -119,24 +161,57 @@ impl VcdRecorder {
     }
 
     /// Snapshots the simulator's current state, timestamped by its cycle
-    /// counter.
+    /// counter. Only meaningful on a flat recorder — a system recorder's
+    /// signals span several designs; use
+    /// [`VcdRecorder::snapshot_system`] there.
     pub fn snapshot(&mut self, sim: &impl WaveSource) {
+        debug_assert!(
+            self.scopes.is_empty(),
+            "snapshot() on a system recorder; use snapshot_system()"
+        );
+        let cycle = sim.cycles();
+        self.sample(cycle, &[sim as &dyn WaveSource]);
+    }
+
+    /// Snapshots every module of a system recorder at one shared system
+    /// cycle (the composed simulation's own counter — member simulators
+    /// advance at call granularity, so their counters are not a common
+    /// timebase). `sims` must be in [`VcdRecorder::new_system`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sims` does not match the number of scopes.
+    pub fn snapshot_system(&mut self, cycle: u64, sims: &[&dyn WaveSource]) {
+        assert_eq!(
+            sims.len(),
+            self.scopes.len().max(1),
+            "snapshot_system: simulator count must match scope count"
+        );
+        self.sample(cycle, sims);
+    }
+
+    fn sample(&mut self, cycle: u64, sims: &[&dyn WaveSource]) {
         let values = self
             .signals
             .iter()
-            .map(|(_, _, src)| match src {
-                Source::Reg(id) => sim.reg(*id).as_ref().map(Fixed::raw).unwrap_or(0),
-                Source::ArrayElem(id, i) => sim
-                    .array(*id)
-                    .and_then(|a| a.get(*i))
-                    .map(Fixed::raw)
-                    .unwrap_or(0),
+            .map(|(scope, _, _, src)| {
+                let sim = sims[*scope];
+                match src {
+                    Source::Reg(id) => sim.reg(*id).as_ref().map(Fixed::raw).unwrap_or(0),
+                    Source::ArrayElem(id, i) => sim
+                        .array(*id)
+                        .and_then(|a| a.get(*i))
+                        .map(Fixed::raw)
+                        .unwrap_or(0),
+                }
             })
             .collect();
-        self.samples.push((sim.cycles(), values));
+        self.samples.push((cycle, values));
     }
 
-    /// Serializes the recording as VCD text.
+    /// Serializes the recording as VCD text. A flat recording emits one
+    /// `$scope module` named `module_name`; a system recording nests one
+    /// scope per module instance inside it.
     pub fn to_vcd(&self, module_name: &str) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "$date reproduction run $end");
@@ -144,8 +219,20 @@ impl VcdRecorder {
         let _ = writeln!(out, "$timescale 1ns $end");
         let _ = writeln!(out, "$scope module {module_name} $end");
         let ids: Vec<String> = (0..self.signals.len()).map(vcd_id).collect();
-        for ((name, width, _), id) in self.signals.iter().zip(&ids) {
-            let _ = writeln!(out, "$var wire {width} {id} {name} $end");
+        if self.scopes.is_empty() {
+            for ((_, name, width, _), id) in self.signals.iter().zip(&ids) {
+                let _ = writeln!(out, "$var wire {width} {id} {name} $end");
+            }
+        } else {
+            for (scope, scope_name) in self.scopes.iter().enumerate() {
+                let _ = writeln!(out, "$scope module {scope_name} $end");
+                for ((s, name, width, _), id) in self.signals.iter().zip(&ids) {
+                    if *s == scope {
+                        let _ = writeln!(out, "$var wire {width} {id} {name} $end");
+                    }
+                }
+                let _ = writeln!(out, "$upscope $end");
+            }
         }
         let _ = writeln!(out, "$upscope $end");
         let _ = writeln!(out, "$enddefinitions $end");
@@ -162,7 +249,7 @@ impl VcdRecorder {
                     let _ = writeln!(out, "#{t}");
                     wrote_time = true;
                 }
-                let width = self.signals[si].1;
+                let width = self.signals[si].2;
                 let _ = writeln!(out, "b{} {}", to_bits(*v, width), ids[si]);
                 last.insert(si, *v);
             }
@@ -284,6 +371,30 @@ mod tests {
         }
         assert_eq!(rec_s.len(), rec_c.len());
         assert_eq!(rec_s.to_vcd("acc"), rec_c.to_vcd("acc"));
+    }
+
+    #[test]
+    fn system_recorder_nests_one_scope_per_module() {
+        let (mut s1, x1) = sim();
+        let (mut s2, x2) = sim();
+        let mut rec = VcdRecorder::new_system(&[("u_front", &s1), ("u_back", &s2)]);
+        rec.snapshot_system(0, &[&s1, &s2]);
+        let half = Slot::Scalar(Fixed::from_f64(0.5, Format::signed(8, 4)));
+        s1.run_call(&[(x1, half.clone())]).expect("front runs");
+        rec.snapshot_system(3, &[&s1, &s2]);
+        s2.run_call(&[(x2, half)]).expect("back runs");
+        rec.snapshot_system(6, &[&s1, &s2]);
+
+        let vcd = rec.to_vcd("system");
+        assert!(vcd.contains("$scope module system $end"), "{vcd}");
+        assert!(vcd.contains("$scope module u_front $end"), "{vcd}");
+        assert!(vcd.contains("$scope module u_back $end"), "{vcd}");
+        // One $upscope per module scope plus the top-level one.
+        assert_eq!(vcd.matches("$upscope $end").count(), 3, "{vcd}");
+        // Both instances' `state` registers are distinct signals: the
+        // front's update at #30 and the back's at #60 both appear.
+        assert!(vcd.contains("#30"), "{vcd}");
+        assert!(vcd.contains("#60"), "{vcd}");
     }
 
     #[test]

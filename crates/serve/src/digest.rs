@@ -22,7 +22,10 @@ use hls_core::{Directives, TechLibrary};
 use hls_ir::{stable_digest, Function};
 
 /// Schema tag mixed into every preimage (bump to invalidate all entries).
-pub const REQUEST_SCHEMA: &str = "hls-serve-request/v2";
+/// v3: directive JSON grew the `stream` interface-synthesis key, so
+/// shelled and unshelled artifacts (and differing FIFO depths) can never
+/// alias pre-stream cache entries.
+pub const REQUEST_SCHEMA: &str = "hls-serve-request/v3";
 
 /// A request's content address: the digest plus the preimage it was
 /// computed from (stored with the entry so integrity is checkable).
@@ -120,6 +123,30 @@ mod tests {
         );
         let g = parse_function(&SUM_SRC.replace("k < 8", "k < 7")).unwrap();
         assert_ne!(request_key(&g, &d, &lib, true).digest, k1.digest);
+    }
+
+    #[test]
+    fn stream_interface_bits_perturb_the_digest() {
+        // Interface configuration changes the emitted artifact set (shell
+        // module, FIFO parameterization), so every stream directive bit
+        // must land in the digest: on/off, depth, and fall-through mode
+        // all produce distinct content addresses.
+        let f = parse_function(SUM_SRC).unwrap();
+        let lib = TechLibrary::asic_100mhz();
+        let keys: Vec<String> = [
+            Directives::new(10.0),
+            Directives::new(10.0).stream_interface(2, false),
+            Directives::new(10.0).stream_interface(3, false),
+            Directives::new(10.0).stream_interface(2, true),
+        ]
+        .iter()
+        .map(|d| request_key(&f, d, &lib, true).digest)
+        .collect();
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "configs {i} and {j} alias");
+            }
+        }
     }
 
     #[test]

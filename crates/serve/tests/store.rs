@@ -252,7 +252,7 @@ fn request_digest_is_stable_across_processes() {
         &TechLibrary::asic_100mhz(),
         true,
     );
-    assert_eq!(k.digest, "c5014ce6fed323b4fc4f8dcac35dc7c7");
+    assert_eq!(k.digest, "d6d8538784ccb0927f98255f2003719f");
 }
 
 #[test]

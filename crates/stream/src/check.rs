@@ -1,0 +1,176 @@
+//! Latency-insensitivity checking.
+//!
+//! A correctly shelled system is *latency-insensitive*: its output token
+//! streams are a function of its input token streams alone, not of when
+//! tokens happen to arrive or how deep its FIFOs are. This module checks
+//! that property empirically the same way the differential fuzzer checks
+//! IR/RTL equivalence: one unstalled baseline run, then many seeded runs
+//! under randomized per-endpoint backpressure and randomized internal
+//! FIFO depths, each compared token-for-token and bit-for-bit against
+//! the baseline.
+
+use std::collections::BTreeMap;
+
+use hls_ir::Slot;
+use hls_verify::SplitMix64;
+
+use crate::graph::SystemGraph;
+use crate::sim::{StallPlan, StallSchedule, SystemRun, SystemSim, SystemSimError};
+
+/// Parameters of a latency-insensitivity check.
+#[derive(Debug, Clone)]
+pub struct LiConfig {
+    /// Randomized runs to compare against the baseline.
+    pub runs: usize,
+    /// Master seed; every run's stall percentages, schedules and FIFO
+    /// depths derive from it deterministically.
+    pub seed: u64,
+    /// Upper bound (inclusive) on any endpoint's stall percentage.
+    pub max_stall_pct: u8,
+    /// Upper bound (inclusive) on randomized internal FIFO depths.
+    pub max_depth: usize,
+    /// Cycle budget per run. Stalled runs take longer than the baseline
+    /// by roughly `1 / (1 - stall_pct/100)`; size accordingly.
+    pub max_cycles: u64,
+}
+
+impl Default for LiConfig {
+    fn default() -> Self {
+        LiConfig {
+            runs: 100,
+            seed: 0x5eed_11a7_e11c_2026,
+            max_stall_pct: 75,
+            max_depth: 4,
+            max_cycles: 2_000_000,
+        }
+    }
+}
+
+/// One divergence between a stalled run and the baseline.
+#[derive(Debug)]
+pub struct LiFailure {
+    /// Index of the randomized run (0-based).
+    pub run: usize,
+    /// Human-readable description of the divergence.
+    pub detail: String,
+}
+
+/// The checker's verdict.
+#[derive(Debug)]
+pub struct LiReport {
+    /// Cycles the unstalled baseline took.
+    pub baseline_cycles: u64,
+    /// The baseline run (reusable as the reference output).
+    pub baseline: SystemRun,
+    /// Randomized runs completed.
+    pub runs: usize,
+    /// Divergences found (empty = the system is latency-insensitive
+    /// under every schedule tried).
+    pub failures: Vec<LiFailure>,
+}
+
+impl LiReport {
+    /// `true` when no randomized run diverged from the baseline.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Checks latency-insensitivity of `graph` on the given input streams.
+///
+/// # Errors
+///
+/// Returns the baseline run's error if the *unstalled* system fails to
+/// drain — that is a functional bug, not an LI violation. Errors in
+/// stalled runs are recorded as failures in the report instead.
+pub fn check_latency_insensitivity(
+    graph: &SystemGraph,
+    inputs: &BTreeMap<String, Vec<Slot>>,
+    cfg: &LiConfig,
+) -> Result<LiReport, SystemSimError> {
+    let baseline = SystemSim::new(graph)
+        .map_err(|e| SystemSimError::UnknownInput {
+            name: format!("invalid graph: {e}"),
+        })?
+        .run(inputs, &StallPlan::none(), cfg.max_cycles)?;
+
+    let mut failures = Vec::new();
+    let mut master = SplitMix64(cfg.seed);
+    for run in 0..cfg.runs {
+        // Derive this run's knobs from the master stream.
+        let mut plan = StallPlan::none();
+        for name in graph.input_names() {
+            plan = plan.stall_input(
+                name.clone(),
+                StallSchedule::Random {
+                    seed: master.next(),
+                    stall_pct: (master.below(u64::from(cfg.max_stall_pct) + 1)) as u8,
+                },
+            );
+        }
+        for name in graph.output_names() {
+            plan = plan.stall_output(
+                name.clone(),
+                StallSchedule::Random {
+                    seed: master.next(),
+                    stall_pct: (master.below(u64::from(cfg.max_stall_pct) + 1)) as u8,
+                },
+            );
+        }
+        let mut depths = BTreeMap::new();
+        for ch in 0..graph.channel_count() {
+            if graph.channel_is_internal(ch) {
+                depths.insert(ch, 1 + master.below(cfg.max_depth.max(1) as u64) as usize);
+            }
+        }
+
+        let mut sim = match SystemSim::with_depth_overrides(graph, &depths) {
+            Ok(sim) => sim,
+            Err(e) => {
+                failures.push(LiFailure {
+                    run,
+                    detail: format!("graph rejected depth overrides: {e}"),
+                });
+                continue;
+            }
+        };
+        match sim.run(inputs, &plan, cfg.max_cycles) {
+            Ok(r) => {
+                if r.outputs != baseline.outputs {
+                    let detail = describe_divergence(&baseline, &r);
+                    failures.push(LiFailure { run, detail });
+                }
+            }
+            Err(e) => failures.push(LiFailure {
+                run,
+                detail: format!("stalled run failed: {e}"),
+            }),
+        }
+    }
+
+    Ok(LiReport {
+        baseline_cycles: baseline.cycles,
+        baseline,
+        runs: cfg.runs,
+        failures,
+    })
+}
+
+fn describe_divergence(baseline: &SystemRun, got: &SystemRun) -> String {
+    for (name, want) in &baseline.outputs {
+        let have = got.outputs.get(name).map(Vec::as_slice).unwrap_or(&[]);
+        if have.len() != want.len() {
+            return format!(
+                "stream `{name}`: {} tokens under stall vs {} unstalled",
+                have.len(),
+                want.len()
+            );
+        }
+        for (i, (w, h)) in want.iter().zip(have).enumerate() {
+            if w != h {
+                return format!("stream `{name}` token {i}: {h:?} under stall vs {w:?} unstalled");
+            }
+        }
+    }
+    "output streams differ".to_string()
+}

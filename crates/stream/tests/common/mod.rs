@@ -1,0 +1,80 @@
+//! Shared builder for the CORDIC -> FIR composed stream system the
+//! integration tests and the golden snapshot both exercise.
+
+// Each test binary uses a different subset of these helpers.
+#![allow(dead_code)]
+
+use std::collections::BTreeMap;
+
+use fixpt::Fixed;
+use hls_core::TechLibrary;
+use hls_ir::Slot;
+use hls_stream::{synthesize_stream, ChannelCfg, ModuleId, SystemGraph};
+
+/// CORDIC rotator iterations (matches the dsp workload default).
+pub const ITERS: u32 = 8;
+/// FIR taps.
+pub const NTAPS: usize = 8;
+
+/// Builds the composed system: external xin/yin/zin feed the CORDIC
+/// rotator, its `xout` streams through a FIFO into the FIR line, `yout`
+/// and the FIR output are the system's external outputs.
+pub fn cordic_fir_system(fifo: ChannelCfg) -> (SystemGraph, ModuleId, ModuleId) {
+    let lib = TechLibrary::asic_100mhz();
+    let cordic = dsp::cordic_stream(ITERS);
+    let fir = dsp::fir_stream(NTAPS);
+    let cordic = synthesize_stream(&cordic.func, &cordic.directives, &lib)
+        .expect("cordic synthesizes to a stream module");
+    let fir =
+        synthesize_stream(&fir.func, &fir.directives, &lib).expect("fir synthesizes to a stream");
+
+    let mut g = SystemGraph::new("cordic_fir_system");
+    let rot = g.add_module("rot", cordic).expect("fresh name");
+    let line = g.add_module("line", fir).expect("fresh name");
+    g.connect(rot, "xout", line, "x", fifo).expect("compatible");
+    g.expose_input("xin", rot, "xin").expect("wires");
+    g.expose_input("yin", rot, "yin").expect("wires");
+    g.expose_input("zin", rot, "zin").expect("wires");
+    g.expose_output("rot_y", rot, "yout").expect("wires");
+    g.expose_output("fir_y", line, "y").expect("wires");
+    (g, rot, line)
+}
+
+/// Deterministic input token streams: `n` rotation triples inside the
+/// format's safe range (CORDIC gain is ~1.65, formats carry headroom).
+pub fn stimulus(n: usize) -> BTreeMap<String, Vec<Slot>> {
+    let fmt = dsp::stream_data_format();
+    let fx = |v: f64| Slot::Scalar(Fixed::from_f64(v, fmt));
+    let mut xin = Vec::new();
+    let mut yin = Vec::new();
+    let mut zin = Vec::new();
+    for i in 0..n {
+        let t = i as f64;
+        xin.push(fx(0.9 * (0.13 * t).cos()));
+        yin.push(fx(0.7 * (0.29 * t).sin()));
+        zin.push(fx(1.4 * (0.41 * t + 0.2).sin()));
+    }
+    BTreeMap::from([
+        ("xin".to_string(), xin),
+        ("yin".to_string(), yin),
+        ("zin".to_string(), zin),
+    ])
+}
+
+/// The software reference for the composed chain: per token, the CORDIC
+/// bit-exact reference feeds the FIR bit-exact reference.
+pub fn reference_streams(inputs: &BTreeMap<String, Vec<Slot>>) -> (Vec<Slot>, Vec<Slot>) {
+    let scalar = |s: &Slot| match s {
+        Slot::Scalar(v) => *v,
+        Slot::Array(_) => panic!("stimulus is scalar"),
+    };
+    let mut fir = dsp::FirStreamRef::new(NTAPS);
+    let mut rot_y = Vec::new();
+    let mut fir_y = Vec::new();
+    for ((x, y), z) in inputs["xin"].iter().zip(&inputs["yin"]).zip(&inputs["zin"]) {
+        let (xo, yo) = dsp::cordic_rot_reference(scalar(x), scalar(y), scalar(z), ITERS);
+        rot_y.push(Slot::Scalar(yo));
+        fir_y.push(Slot::Scalar(fir.push(xo)));
+    }
+    (rot_y, fir_y)
+}

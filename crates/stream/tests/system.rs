@@ -1,0 +1,252 @@
+//! End-to-end tests of the composed CORDIC -> FIR stream system: the
+//! hardware co-simulation must reproduce the dsp crate's software
+//! reference bit for bit, and the token streams must be invariant under
+//! randomized backpressure and FIFO depths (latency insensitivity).
+
+mod common;
+
+use common::{cordic_fir_system, reference_streams, stimulus};
+use hls_stream::{
+    check_latency_insensitivity, ChannelCfg, LiConfig, StallPlan, StallSchedule, SystemSim,
+    SystemSimError,
+};
+use proptest::prelude::*;
+
+const MAX_CYCLES: u64 = 2_000_000;
+
+#[test]
+fn composed_chain_matches_software_reference_bit_for_bit() {
+    let (graph, _, _) = cordic_fir_system(ChannelCfg::default());
+    let inputs = stimulus(24);
+    let (rot_y, fir_y) = reference_streams(&inputs);
+
+    let mut sim = SystemSim::new(&graph).expect("valid graph");
+    let run = sim
+        .run(&inputs, &StallPlan::none(), MAX_CYCLES)
+        .expect("system drains");
+
+    assert_eq!(run.outputs["rot_y"], rot_y, "CORDIC y stream diverged");
+    assert_eq!(run.outputs["fir_y"], fir_y, "FIR output stream diverged");
+    assert_eq!(run.firings["rot"], 24);
+    assert_eq!(run.firings["line"], 24);
+}
+
+#[test]
+fn throughput_is_bounded_by_the_slowest_member() {
+    let (graph, _, _) = cordic_fir_system(ChannelCfg::default());
+    let n = 16u64;
+    let inputs = stimulus(n as usize);
+    let mut sim = SystemSim::new(&graph).expect("valid graph");
+    let run = sim
+        .run(&inputs, &StallPlan::none(), MAX_CYCLES)
+        .expect("system drains");
+    // A chain of shells with depth-2 FIFOs pipelines: total cycles must
+    // beat the fully serialized sum (every token waiting out both
+    // modules' latencies end to end) and cannot beat one token per
+    // slowest-member interval.
+    let shell_lats = [
+        graph.shell("rot").expect("rot instance").shell_latency,
+        graph.shell("line").expect("line instance").shell_latency,
+    ];
+    let serial: u64 = n * shell_lats.iter().sum::<u64>();
+    let floor: u64 = n * shell_lats.iter().copied().max().unwrap();
+    assert!(
+        run.cycles < serial,
+        "no pipelining: {} cycles >= serialized {}",
+        run.cycles,
+        serial
+    );
+    assert!(
+        run.cycles >= floor,
+        "impossible throughput: {} cycles < floor {}",
+        run.cycles,
+        floor
+    );
+}
+
+#[test]
+fn latency_insensitive_under_100_randomized_schedules() {
+    let (graph, _, _) = cordic_fir_system(ChannelCfg::default());
+    let inputs = stimulus(12);
+    let cfg = LiConfig {
+        runs: 100,
+        max_cycles: MAX_CYCLES,
+        ..LiConfig::default()
+    };
+    let report = check_latency_insensitivity(&graph, &inputs, &cfg).expect("baseline drains");
+    assert_eq!(report.runs, 100);
+    assert!(
+        report.passed(),
+        "latency-insensitivity violated: {:?}",
+        report.failures.first().map(|f| &f.detail)
+    );
+}
+
+#[test]
+fn fall_through_channel_preserves_the_streams() {
+    let registered = {
+        let (graph, _, _) = cordic_fir_system(ChannelCfg::default());
+        let inputs = stimulus(10);
+        SystemSim::new(&graph)
+            .expect("valid")
+            .run(&inputs, &StallPlan::none(), MAX_CYCLES)
+            .expect("drains")
+    };
+    let fall_through = {
+        let (graph, _, _) = cordic_fir_system(ChannelCfg {
+            depth: 2,
+            fall_through: true,
+        });
+        let inputs = stimulus(10);
+        SystemSim::new(&graph)
+            .expect("valid")
+            .run(&inputs, &StallPlan::none(), MAX_CYCLES)
+            .expect("drains")
+    };
+    assert_eq!(registered.outputs, fall_through.outputs);
+    assert!(
+        fall_through.cycles <= registered.cycles,
+        "fall-through must not be slower ({} vs {})",
+        fall_through.cycles,
+        registered.cycles
+    );
+}
+
+#[test]
+fn unknown_and_missing_input_streams_are_rejected() {
+    let (graph, _, _) = cordic_fir_system(ChannelCfg::default());
+    let mut sim = SystemSim::new(&graph).expect("valid");
+
+    let mut bogus = stimulus(2);
+    bogus.insert("nonesuch".into(), vec![]);
+    assert!(matches!(
+        sim.run(&bogus, &StallPlan::none(), MAX_CYCLES),
+        Err(SystemSimError::UnknownInput { .. })
+    ));
+
+    let mut missing = stimulus(2);
+    missing.remove("zin");
+    assert!(matches!(
+        sim.run(&missing, &StallPlan::none(), MAX_CYCLES),
+        Err(SystemSimError::UnknownInput { .. })
+    ));
+}
+
+#[test]
+fn starved_input_deadlocks_cleanly_instead_of_spinning() {
+    // One input stream shorter than the others: the CORDIC can never
+    // assemble its final token set, and with no stalls configured the
+    // simulator must report deadlock rather than run to the timeout.
+    let (graph, _, _) = cordic_fir_system(ChannelCfg::default());
+    let mut inputs = stimulus(4);
+    inputs.get_mut("zin").unwrap().pop();
+    let mut sim = SystemSim::new(&graph).expect("valid");
+    assert!(matches!(
+        sim.run(&inputs, &StallPlan::none(), MAX_CYCLES),
+        Err(SystemSimError::Deadlock { .. })
+    ));
+}
+
+#[test]
+fn system_vcd_gets_one_scope_per_instance() {
+    let (graph, _, _) = cordic_fir_system(ChannelCfg::default());
+    let inputs = stimulus(3);
+    let mut sim = SystemSim::new(&graph).expect("valid");
+    let mut rec = sim.vcd_recorder();
+    sim.run_with_vcd(&inputs, &StallPlan::none(), MAX_CYCLES, &mut rec)
+        .expect("drains");
+    let vcd = rec.to_vcd("cordic_fir_system");
+    assert!(vcd.contains("$scope module cordic_fir_system"), "{vcd}");
+    assert!(vcd.contains("$scope module rot"), "missing rot scope");
+    assert!(vcd.contains("$scope module line"), "missing line scope");
+}
+
+#[test]
+fn pattern_stalls_are_cycle_exact() {
+    let s = StallSchedule::Pattern(vec![true, false, false]);
+    assert!(s.stalled(0));
+    assert!(!s.stalled(1));
+    assert!(!s.stalled(2));
+    assert!(s.stalled(3));
+    let never = StallSchedule::Pattern(vec![]);
+    assert!(!never.stalled(7));
+}
+
+#[test]
+fn random_stall_schedules_are_reproducible_and_calibrated() {
+    let s = StallSchedule::Random {
+        seed: 42,
+        stall_pct: 40,
+    };
+    let a: Vec<bool> = (0..64).map(|c| s.stalled(c)).collect();
+    let b: Vec<bool> = (0..64).map(|c| s.stalled(c)).collect();
+    assert_eq!(a, b, "schedule must be a pure function of the cycle");
+    let hits = (0..10_000).filter(|&c| s.stalled(c)).count();
+    assert!(
+        (3_000..5_000).contains(&hits),
+        "~40% of cycles should stall, got {hits}/10000"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The composed system's token streams are invariant across FIFO
+    /// depths (>= 1) and arbitrary stall patterns on both boundaries.
+    #[test]
+    fn token_streams_survive_any_depth_and_stall_pattern(
+        depth in 1usize..6,
+        fall_through in any::<bool>(),
+        seed in any::<u64>(),
+        in_pct in 0u8..80,
+        out_pct in 0u8..80,
+    ) {
+        let (graph, _, _) = cordic_fir_system(ChannelCfg { depth, fall_through });
+        let inputs = stimulus(8);
+        let (rot_y, fir_y) = reference_streams(&inputs);
+
+        let plan = StallPlan::none()
+            .stall_input("xin", StallSchedule::Random { seed, stall_pct: in_pct })
+            .stall_input("zin", StallSchedule::Pattern(vec![seed.is_multiple_of(2), false, true]))
+            .stall_output("fir_y", StallSchedule::Random { seed: seed ^ 1, stall_pct: out_pct });
+
+        let run = SystemSim::new(&graph)
+            .expect("valid graph")
+            .run(&inputs, &plan, MAX_CYCLES)
+            .expect("system drains under stalls");
+        prop_assert_eq!(&run.outputs["rot_y"], &rot_y);
+        prop_assert_eq!(&run.outputs["fir_y"], &fir_y);
+    }
+}
+
+#[test]
+fn digest_distinguishes_stream_architectures() {
+    // The serve layer must never conflate a streamed design with its
+    // start/done twin, nor two FIFO depths (satellite: digest coverage).
+    use hls_core::Directives;
+    let base = Directives::new(10.0);
+    let streamed = base.clone().stream_interface(2, false);
+    let deeper = base.clone().stream_interface(4, false);
+    assert_ne!(base.to_json().write(), streamed.to_json().write());
+    assert_ne!(streamed.to_json().write(), deeper.to_json().write());
+}
+
+#[test]
+fn composed_system_emits_top_level_verilog() {
+    let (graph, _, _) = cordic_fir_system(ChannelCfg::default());
+    let v = hls_stream::emit_system_verilog(&graph).expect("emits");
+    for needle in [
+        "module stream_fifo #(",
+        "module cordic_rot (",
+        "module cordic_rot_stream (",
+        "module fir_line (",
+        "module fir_line_stream (",
+        "module cordic_fir_system (",
+        ".FALLTHROUGH(0)",
+    ] {
+        assert!(v.contains(needle), "missing `{needle}` in:\n{v}");
+    }
+    // Exactly one FIFO per channel (3 inputs + 2 outputs + 1 internal).
+    let fifos = v.matches("stream_fifo #(").count();
+    assert_eq!(fifos, 7, "6 channels + 1 primitive definition");
+}

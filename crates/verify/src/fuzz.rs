@@ -24,11 +24,21 @@ use hls_ir::{BinOp, Direction, Function, Interpreter, Slot, UnOp, VarId, VarKind
 use rtl::{Control, Fsmd, RtlSimulator};
 
 /// Deterministic SplitMix64 — tiny, seedable, and dependency-free.
+///
+/// Public so downstream verification harnesses (e.g. the stream-system
+/// latency-insensitivity checker in `hls-stream`) draw their randomized
+/// stimulus from the same seeded generator the differential fuzzer uses:
+/// every reported failure replays from nothing but a `u64` seed.
 #[derive(Debug, Clone)]
-pub(crate) struct SplitMix64(pub(crate) u64);
+pub struct SplitMix64(pub u64);
 
 impl SplitMix64 {
-    pub(crate) fn next(&mut self) -> u64 {
+    /// Advances the state and returns the next 64 pseudo-random bits.
+    ///
+    /// Not an `Iterator`: the stream is infinite and `None` is
+    /// unrepresentable, so the `next` name stays.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
@@ -36,7 +46,8 @@ impl SplitMix64 {
         z ^ (z >> 31)
     }
 
-    fn below(&mut self, n: u64) -> u64 {
+    /// A value uniform in `0..n` (`n` clamped to ≥ 1).
+    pub fn below(&mut self, n: u64) -> u64 {
         self.next() % n.max(1)
     }
 }

@@ -42,7 +42,7 @@ pub use fixtures::{
 };
 pub use fuzz::{
     fuzz_equiv, fuzz_equiv_with, replay_stimulus, Coverage, FuzzCex, FuzzConfig, FuzzReport,
-    Stimulus,
+    SplitMix64, Stimulus,
 };
 pub use mutate::{mutate_fsmd, mutations_for, Mutation};
 pub use netlist::{

@@ -19,6 +19,10 @@
 //! - [`hls_verify`] — IR↔FSMD equivalence checking: symbolic proof with
 //!   bit-blast fallback, coverage-guided differential fuzzing with
 //!   counterexample shrinking, and mutation self-checks.
+//! - [`hls_stream`] — handshake/stream interface synthesis and
+//!   multi-module composition: ready/valid shells, FIFO channels,
+//!   cycle-accurate co-simulation, latency-insensitivity checking and
+//!   top-level Verilog.
 //! - [`dsp`] — the complex-baseband substrate: filters, QAM, channels,
 //!   metrics, and the floating-point reference equalizer.
 //! - [`qam_decoder`] — the paper's Figure-4 case study in bit-accurate and
@@ -33,6 +37,7 @@ pub use dsp;
 pub use fixpt;
 pub use hls_core;
 pub use hls_ir;
+pub use hls_stream;
 pub use hls_verify;
 pub use qam_decoder;
 pub use rtl;
